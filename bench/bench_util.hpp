@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared helpers for the figure/table harness binaries.  Every binary
+// supports:
+//   --trials N    Monte-Carlo trials per sweep point (default per-bench)
+//   --nodes N     network size where applicable
+//   --quick       cut simulated durations ~4x for smoke runs
+//   --csv         emit CSV instead of the aligned table
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "dophy/common/table.hpp"
+
+namespace dophy::bench {
+
+struct BenchArgs {
+  std::size_t trials = 3;
+  std::size_t nodes = 100;
+  bool quick = false;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv, std::size_t default_trials = 3,
+                         std::size_t default_nodes = 100) {
+    BenchArgs args;
+    args.trials = default_trials;
+    args.nodes = default_nodes;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next_value = [&]() -> std::uint64_t {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value for " << a << "\n";
+          std::exit(2);
+        }
+        return std::strtoull(argv[++i], nullptr, 10);
+      };
+      if (a == "--trials") {
+        args.trials = static_cast<std::size_t>(next_value());
+      } else if (a == "--nodes") {
+        args.nodes = static_cast<std::size_t>(next_value());
+      } else if (a == "--quick") {
+        args.quick = true;
+      } else if (a == "--csv") {
+        args.csv = true;
+      } else if (a == "--help" || a == "-h") {
+        std::cout << "usage: bench [--trials N] [--nodes N] [--quick] [--csv]\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown argument: " << a << "\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline void emit(const dophy::common::Table& table, const BenchArgs& args,
+                 const std::string& title) {
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout, title);
+  }
+}
+
+}  // namespace dophy::bench

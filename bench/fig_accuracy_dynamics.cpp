@@ -1,0 +1,68 @@
+// F6 — THE headline comparison: accuracy vs. routing dynamics.
+//
+// Claim (abstract): "Comparative studies show that Dophy significantly
+// outperforms traditional loss tomography approaches in terms of accuracy"
+// — in dynamic WSNs "where each node dynamically selects the forwarding
+// nodes towards the sink".
+//
+// Link qualities re-randomize with increasing intensity, driving parent
+// churn from near-zero to many changes per node-hour.  Dophy decodes the
+// exact per-packet path, so churn barely touches it; the baselines' snapshot
+// paths go stale and their error climbs.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  struct Level {
+    std::string label;
+    double interval_s;  // 0 = static
+    double spread;
+  };
+  const std::vector<Level> levels = {
+      {"static", 0.0, 0.0},        {"mild", 600.0, 0.08},  {"moderate", 300.0, 0.12},
+      {"high", 150.0, 0.18},       {"extreme", 60.0, 0.25},
+  };
+
+  dophy::common::Table table({"dynamics", "parent_chg_per_node_h", "dophy_mae",
+                              "delivery_ratio_mae", "nnls_mae", "em_mae",
+                              "dophy_spearman", "best_baseline_spearman"});
+
+  for (const auto& level : levels) {
+    auto cfg = dophy::eval::default_pipeline(args.nodes, 90);
+    if (level.interval_s > 0.0) {
+      dophy::eval::add_dynamics(cfg, level.interval_s, level.spread);
+      cfg.dophy.tracker_decay = 0.85;  // track moving link qualities
+    }
+    cfg.warmup_s = args.quick ? 150.0 : 300.0;
+    cfg.measure_s = args.quick ? 900.0 : 3600.0;
+
+    const auto agg = dophy::eval::run_trials(cfg, args.trials, 900);
+    const double best_baseline_rho =
+        std::max({agg.method("delivery-ratio").spearman.mean(),
+                  agg.method("nnls").spearman.mean(), agg.method("em").spearman.mean()});
+    table.row()
+        .cell(level.label)
+        .cell(agg.parent_changes_per_node_hour.mean(), 2)
+        .cell(agg.method("dophy").mae.mean(), 4)
+        .cell(agg.method("delivery-ratio").mae.mean(), 4)
+        .cell(agg.method("nnls").mae.mean(), 4)
+        .cell(agg.method("em").mae.mean(), 4)
+        .cell(agg.method("dophy").spearman.mean(), 3)
+        .cell(best_baseline_rho, 3);
+  }
+
+  dophy::bench::emit(table, args, "F6: accuracy vs routing dynamics (headline comparison)");
+  std::cout << "\nExpected shape: dophy stays flat and accurate across the whole sweep\n"
+               "(it never assumes a path); every traditional method is already poor on\n"
+               "the static network (ARQ masks loss from end-to-end outcomes) and\n"
+               "degrades further as parent churn invalidates its snapshot paths.\n";
+  return 0;
+}

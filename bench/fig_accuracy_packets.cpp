@@ -1,0 +1,50 @@
+// F5 — Estimation accuracy vs. number of collected packets.
+//
+// Claim (abstract): "Dophy achieves ... high estimation accuracy."
+//
+// The measurement window is swept so the sink decodes progressively more
+// packets; per-link MAE for every method is reported against the packets
+// actually measured.  Dophy's error falls like a parametric estimator
+// (each hop is a full geometric observation); the end-to-end baselines
+// starve because ARQ leaves almost no signal in delivery outcomes.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dophy/eval/report.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  dophy::common::Table table({"measure_s", "packets", "dophy_mae", "delivery_ratio_mae",
+                              "nnls_mae", "em_mae", "dophy_spearman", "em_spearman"});
+
+  for (const double measure_s : {300.0, 600.0, 1200.0, 2400.0, 4800.0}) {
+    auto cfg = dophy::eval::default_pipeline(args.nodes, 80);
+    cfg.warmup_s = 300.0;
+    cfg.measure_s = args.quick ? measure_s / 4.0 : measure_s;
+
+    const auto agg = dophy::eval::run_trials(cfg, args.trials, 800, /*keep_runs=*/true);
+    dophy::common::RunningStats packets;
+    for (const auto& run : agg.runs) packets.add(static_cast<double>(run.packets_measured));
+
+    table.row()
+        .cell(cfg.measure_s, 0)
+        .cell(packets.mean(), 0)
+        .cell(agg.method("dophy").mae.mean(), 4)
+        .cell(agg.method("delivery-ratio").mae.mean(), 4)
+        .cell(agg.method("nnls").mae.mean(), 4)
+        .cell(agg.method("em").mae.mean(), 4)
+        .cell(agg.method("dophy").spearman.mean(), 3)
+        .cell(agg.method("em").spearman.mean(), 3);
+  }
+
+  dophy::bench::emit(table, args, "F5: per-link MAE vs collected packets");
+  std::cout << "\nExpected shape: dophy's MAE shrinks steadily with more packets\n"
+               "(roughly 1/sqrt(n) per link) and sits ~10x below every baseline at\n"
+               "every budget; baselines barely improve because end-to-end outcomes\n"
+               "carry almost no per-attempt information under ARQ.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// A2 — What Dophy costs the network (DESIGN.md design-cost bench).
+//
+// Runs the same network with and without the in-packet measurement plane
+// and compares delivery, latency, and estimated radio energy.  The blob adds
+// bytes to every data frame (per-byte tx energy) and model floods add
+// control traffic; nothing else changes (the simulator's frame timing is
+// size-independent, as is typical for slotted WSN MACs).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/net/energy.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+  const double duration_s = args.quick ? 1200.0 : 3600.0;
+
+  dophy::common::Table table({"config", "delivered", "delivery", "latency_ms_mean",
+                              "energy_mj", "meas_energy_pct"});
+
+  for (const bool with_dophy : {false, true}) {
+    dophy::common::RunningStats delivered, delivery, latency, energy, meas_pct;
+    for (std::size_t trial = 0; trial < args.trials; ++trial) {
+      const auto cfg = dophy::eval::default_pipeline(args.nodes, 150 + trial);
+      const dophy::tomo::SymbolMapper mapper(cfg.dophy.censor_threshold);
+      dophy::tomo::DophyInstrumentation instr(args.nodes, mapper);
+      dophy::net::Network net(cfg.net, with_dophy ? &instr : nullptr);
+      net.run_for(duration_s);
+
+      const auto stats = net.stats();
+      const auto e = dophy::net::estimate_energy(stats);
+      delivered.add(static_cast<double>(stats.packets_delivered));
+      delivery.add(stats.delivery_ratio());
+      latency.add(net.traces().latency().mean() * 1000.0);
+      energy.add(e.total_mj());
+      meas_pct.add(100.0 * e.measurement_fraction());
+    }
+    table.row()
+        .cell(with_dophy ? "with-dophy" : "plain-ctp")
+        .cell(delivered.mean(), 0)
+        .cell(delivery.mean(), 4)
+        .cell(latency.mean(), 1)
+        .cell(energy.mean(), 1)
+        .cell(meas_pct.mean(), 2);
+  }
+
+  dophy::bench::emit(table, args, "A2: network cost of the Dophy measurement plane");
+  std::cout << "\nExpected shape: delivery and latency are identical (the blob rides\n"
+               "existing frames, and seeds match so the runs are event-for-event the\n"
+               "same); the energy delta is the per-byte cost of the measurement field\n"
+               "— dominated by the 10-byte in-flight coder trailer, ~10% of the radio\n"
+               "budget at this traffic rate.\n";
+  return 0;
+}

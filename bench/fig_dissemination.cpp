@@ -1,0 +1,61 @@
+// A4 — Model-dissemination substrate ablation: abstract depth-latency flood
+// vs the real Trickle protocol over the lossy control plane.
+//
+// Quantifies what the abstraction hides: Trickle pays maintenance traffic
+// and delivers updates with stochastic multi-hop latency, which can leave
+// forwarders briefly stale (missing-model hops -> dropped samples) — yet the
+// tomography results must stay essentially unchanged, validating that the
+// flood abstraction used by the headline figures is safe.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  dophy::common::Table table({"dissemination", "updates", "dissem_kb", "install_lat_s",
+                              "missing_model_hops", "decode_fail_pct", "mae"});
+
+  for (const bool use_trickle : {false, true}) {
+    auto cfg = dophy::eval::default_pipeline(args.nodes, 170);
+    dophy::eval::make_drifting(cfg, 0.08, 900.0);
+    cfg.dophy.update.policy = dophy::tomo::ModelUpdateConfig::Policy::kPeriodic;
+    cfg.dophy.update.check_interval_s = 240.0;
+    cfg.dophy.use_trickle_dissemination = use_trickle;
+    cfg.warmup_s = args.quick ? 150.0 : 300.0;
+    cfg.measure_s = args.quick ? 900.0 : 3600.0;
+    cfg.run_baselines = false;
+
+    const auto agg = dophy::eval::run_trials(cfg, args.trials, 1700, /*keep_runs=*/true);
+    dophy::common::RunningStats dissem_kb, latency, missing;
+    for (const auto& run : agg.runs) {
+      if (use_trickle) {
+        dissem_kb.add(static_cast<double>(run.trickle_stats.bytes_sent) / 1024.0);
+        latency.add(run.trickle_stats.install_latency_s.mean());
+      } else {
+        dissem_kb.add(static_cast<double>(run.net_stats.control_flood_bytes) / 1024.0);
+        latency.add(0.05 * 5.0);  // the abstraction's fixed per-depth delay
+      }
+      missing.add(static_cast<double>(run.encoder_stats.missing_model_hops));
+    }
+    table.row()
+        .cell(use_trickle ? "trickle-rfc6206" : "abstract-flood")
+        .cell(agg.model_updates.mean(), 1)
+        .cell(dissem_kb.mean(), 1)
+        .cell(latency.mean(), 2)
+        .cell(missing.mean(), 1)
+        .cell(100.0 * agg.decode_failure_rate.mean(), 3)
+        .cell(agg.method("dophy").mae.mean(), 4);
+  }
+
+  dophy::bench::emit(table, args,
+                     "A4: dissemination substrate — abstract flood vs Trickle");
+  std::cout << "\nExpected shape: Trickle spends more bytes (maintenance gossip) and\n"
+               "delivers updates in seconds rather than instantly, occasionally leaving\n"
+               "a forwarder stale; decode failures stay near zero and MAE unchanged,\n"
+               "so the abstract flood used elsewhere does not distort the results.\n";
+  return 0;
+}

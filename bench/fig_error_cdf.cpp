@@ -1,0 +1,58 @@
+// F8 — CDF of per-link absolute estimation error.
+//
+// One moderately dynamic scenario; all four estimators' per-link absolute
+// errors are pooled across trials and tabulated at fixed CDF levels.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/metrics.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  auto cfg = dophy::eval::default_pipeline(args.nodes, 120);
+  dophy::eval::add_dynamics(cfg, 300.0, 0.12);
+  cfg.dophy.tracker_decay = 0.85;
+  cfg.warmup_s = args.quick ? 150.0 : 300.0;
+  cfg.measure_s = args.quick ? 900.0 : 3600.0;
+
+  const auto agg = dophy::eval::run_trials(cfg, args.trials, 1200, /*keep_runs=*/true);
+
+  std::map<std::string, std::vector<double>> errors;
+  for (const auto& run : agg.runs) {
+    for (const auto& method : run.methods) {
+      const auto errs = dophy::tomo::abs_errors(method.scores);
+      auto& pool = errors[method.name];
+      pool.insert(pool.end(), errs.begin(), errs.end());
+    }
+  }
+
+  dophy::common::Table table({"cdf_level", "dophy", "delivery-ratio", "nnls", "em"});
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    auto row_cell = [&](const std::string& name) {
+      const auto it = errors.find(name);
+      return (it == errors.end() || it->second.empty())
+                 ? std::string("-")
+                 : dophy::common::format_double(dophy::common::quantile(it->second, q), 4);
+    };
+    table.row()
+        .cell(q, 2)
+        .cell(row_cell("dophy"))
+        .cell(row_cell("delivery-ratio"))
+        .cell(row_cell("nnls"))
+        .cell(row_cell("em"));
+  }
+
+  dophy::bench::emit(table, args, "F8: abs-error CDF quantiles per method (dynamic, 80 nodes)");
+  std::cout << "\nExpected shape: dophy's error curve is an order of magnitude to the\n"
+               "left of every baseline across the entire distribution, not just at the\n"
+               "median — fine-grained per-hop counts help worst-case links too.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// A1 — Sink-estimator design ablation (DESIGN.md design-choice bench).
+//
+// Compares the cumulative censored-geometric MLE, the count-decay tracker at
+// two decay levels, and the Beta-prior Bayesian posterior mean, on a static
+// network and on a drifting one.  Shows why the library defaults to the
+// plain MLE for stationary links and decay ~0.85 for moving ones.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  struct Variant {
+    std::string label;
+    double decay;
+    double prior_a;
+    double prior_b;
+  };
+  const std::vector<Variant> variants = {
+      {"mle-cumulative", 1.0, 0.0, 0.0},
+      {"tracker-d0.85", 0.85, 0.0, 0.0},
+      {"tracker-d0.60", 0.60, 0.0, 0.0},
+      {"bayes-beta(2,0.4)", 1.0, 2.0, 0.4},
+      {"bayes+track-d0.85", 0.85, 2.0, 0.4},
+  };
+
+  dophy::common::Table table({"estimator", "static_mae", "static_p90", "drift_mae",
+                              "drift_p90", "drift_spearman"});
+
+  for (const auto& v : variants) {
+    auto run_one = [&](bool drifting) {
+      auto cfg = dophy::eval::default_pipeline(args.nodes, 140);
+      if (drifting) {
+        // Re-randomizing link qualities plus RECENT-truth scoring: the fair
+        // target for a tracker is what the link does now, not the window
+        // average (which would structurally favor the cumulative MLE).
+        dophy::eval::add_dynamics(cfg, 600.0, 0.2);
+        cfg.truth_tail_fraction = 0.25;
+      }
+      cfg.dophy.tracker_decay = v.decay;
+      cfg.dophy.prior_successes = v.prior_a;
+      cfg.dophy.prior_failures = v.prior_b;
+      cfg.warmup_s = args.quick ? 150.0 : 300.0;
+      cfg.measure_s = args.quick ? 900.0 : 2400.0;
+      cfg.run_baselines = false;
+      return dophy::eval::run_trials(cfg, args.trials, 1400);
+    };
+    const auto st = run_one(false);
+    const auto dr = run_one(true);
+    table.row()
+        .cell(v.label)
+        .cell(st.method("dophy").mae.mean(), 4)
+        .cell(st.method("dophy").p90_abs.mean(), 4)
+        .cell(dr.method("dophy").mae.mean(), 4)
+        .cell(dr.method("dophy").p90_abs.mean(), 4)
+        .cell(dr.method("dophy").spearman.mean(), 3);
+  }
+
+  dophy::bench::emit(table, args, "A1: sink estimator variants, static vs drifting links");
+  std::cout << "\nExpected shape: the cumulative MLE wins on static links (uses all\n"
+               "data) but anchors to stale history when link qualities re-randomize\n"
+               "and truth is scored on the recent window; moderate decay trades a\n"
+               "little static accuracy for tracking; the Beta prior mainly tightens\n"
+               "thin links (tail/p90).\n";
+  return 0;
+}

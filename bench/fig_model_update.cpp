@@ -1,0 +1,69 @@
+// F4 — Probability-model update-policy ablation.
+//
+// Claim (abstract): "Dophy periodically updates the probability model to
+// minimize the overall transmission overhead."
+//
+// A drifting network shifts the symbol distribution over time.  We compare:
+// never updating (bootstrap model forever), periodic updates at several
+// cadences, and the KL-triggered adaptive policy.  "Total overhead" counts
+// both the measurement bytes carried in data packets over the air and the
+// bytes flooded to disseminate models.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  struct Policy {
+    std::string label;
+    dophy::tomo::ModelUpdateConfig::Policy policy;
+    double interval_s;
+  };
+  const std::vector<Policy> policies = {
+      {"static(never)", dophy::tomo::ModelUpdateConfig::Policy::kStatic, 120.0},
+      {"periodic-60s", dophy::tomo::ModelUpdateConfig::Policy::kPeriodic, 60.0},
+      {"periodic-240s", dophy::tomo::ModelUpdateConfig::Policy::kPeriodic, 240.0},
+      {"periodic-960s", dophy::tomo::ModelUpdateConfig::Policy::kPeriodic, 960.0},
+      {"adaptive-kl", dophy::tomo::ModelUpdateConfig::Policy::kAdaptive, 120.0},
+  };
+
+  dophy::common::Table table({"policy", "updates", "bits_per_hop", "data_overhead_kb",
+                              "flood_kb", "total_kb", "mae"});
+
+  for (const auto& policy : policies) {
+    auto cfg = dophy::eval::default_pipeline(args.nodes, 70);
+    dophy::eval::make_drifting(cfg, 0.08, 900.0);
+    cfg.net.traffic.data_interval_s = 5.0;  // busier network: updates matter
+    cfg.dophy.update.policy = policy.policy;
+    cfg.dophy.update.check_interval_s = policy.interval_s;
+    cfg.warmup_s = args.quick ? 150.0 : 300.0;
+    cfg.measure_s = args.quick ? 900.0 : 3600.0;
+    cfg.run_baselines = false;
+
+    const auto agg = dophy::eval::run_trials(cfg, args.trials, 700);
+    const double data_kb = agg.measurement_air_kb.mean();
+    const double flood_kb = agg.control_flood_kb.mean();
+    table.row()
+        .cell(policy.label)
+        .cell(agg.model_updates.mean(), 1)
+        .cell(agg.bits_per_hop.mean(), 2)
+        .cell(data_kb, 1)
+        .cell(flood_kb, 1)
+        .cell(data_kb + flood_kb, 1)
+        .cell(agg.method("dophy").mae.mean(), 4);
+  }
+
+  dophy::bench::emit(table, args, "F4: model-update policy vs total transmission overhead");
+  std::cout << "\nExpected shape: never updating leaves bits/hop at the bootstrap-model\n"
+               "ceiling; very frequent updates buy little extra coding efficiency but\n"
+               "pay a growing flood bill; the adaptive policy lands near the best total\n"
+               "overhead without hand-tuning the period.  MAE is identical by design:\n"
+               "decoding is exact under every model, so updates trade overhead only.\n";
+  return 0;
+}

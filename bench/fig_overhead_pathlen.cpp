@@ -1,0 +1,106 @@
+// F1 — Encoding overhead vs. path length.
+//
+// Claim (abstract): "Dophy employs arithmetic encoding to compactly encode
+// the number of retransmissions along the paths ... reducing the encoding
+// overhead significantly."
+//
+// Setup: synthetic multi-hop paths whose per-hop transmission counts are
+// Geometric in heterogeneous per-link losses (drawn from the same
+// distance-curve regime the simulator produces).  Each scheme encodes the
+// per-packet count sequence (aggregated at K=4); node ids cost the same for
+// every scheme and are excluded.  Reported: mean measurement bytes/packet.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dophy/coding/codec.hpp"
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace {
+
+using dophy::common::Rng;
+
+constexpr std::uint32_t kCensorK = 4;
+constexpr std::uint32_t kMaxAttempts = 8;
+
+/// Per-hop losses for a path: mixture of mostly-good and some bad links.
+std::vector<double> draw_path_losses(Rng& rng, std::size_t hops) {
+  std::vector<double> losses(hops);
+  for (auto& p : losses) {
+    p = rng.bernoulli(0.25) ? rng.uniform(0.2, 0.5) : rng.uniform(0.02, 0.15);
+  }
+  return losses;
+}
+
+std::vector<std::uint32_t> draw_packet_symbols(Rng& rng, const std::vector<double>& losses,
+                                               const dophy::tomo::SymbolMapper& mapper) {
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(losses.size());
+  for (const double p : losses) {
+    const std::uint32_t attempts = std::min(rng.geometric_trials(1.0 - p), kMaxAttempts);
+    symbols.push_back(mapper.to_symbol(attempts));
+  }
+  return symbols;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/5);
+  const std::size_t packets = args.quick ? 2000 : 10000;
+  const dophy::tomo::SymbolMapper mapper(kCensorK);
+
+  dophy::common::Table table({"path_len", "raw8bit_B", "fixed2bit_B", "gamma_B", "rice0_B",
+                              "huffman_B", "dophy_arith_B", "entropy_B"});
+
+  for (const std::size_t hops : {1u, 2u, 4u, 6u, 8u, 10u, 12u}) {
+    dophy::common::RunningStats raw8, fixed2, gamma, rice0, huffman, arith, entropy;
+    for (std::size_t trial = 0; trial < args.trials; ++trial) {
+      Rng rng(1000 + trial * 77 + hops);
+      // Train Huffman/arithmetic on a training corpus from the same regime.
+      std::vector<std::uint64_t> counts(kCensorK, 0);
+      for (int i = 0; i < 5000; ++i) {
+        const auto losses = draw_path_losses(rng, hops);
+        for (const auto s : draw_packet_symbols(rng, losses, mapper)) ++counts[s];
+      }
+      auto huffman_codec = dophy::coding::make_huffman_codec(counts);
+      auto arith_codec = dophy::coding::make_static_arith_codec(counts);
+      auto fixed_codec = dophy::coding::make_fixed_width_codec(kCensorK);
+      auto gamma_codec = dophy::coding::make_elias_gamma_codec();
+      auto rice_codec = dophy::coding::make_rice_codec(0);
+      const double h_bits = dophy::common::entropy_bits(counts);
+
+      std::vector<std::uint8_t> buf;
+      for (std::size_t pkt = 0; pkt < packets; ++pkt) {
+        const auto losses = draw_path_losses(rng, hops);
+        const auto symbols = draw_packet_symbols(rng, losses, mapper);
+        raw8.add(static_cast<double>(symbols.size()));  // 1 byte/hop baseline
+        fixed2.add(static_cast<double>(fixed_codec->encode(symbols, buf)) / 8.0);
+        gamma.add(static_cast<double>(gamma_codec->encode(symbols, buf)) / 8.0);
+        rice0.add(static_cast<double>(rice_codec->encode(symbols, buf)) / 8.0);
+        huffman.add(static_cast<double>(huffman_codec->encode(symbols, buf)) / 8.0);
+        arith.add(static_cast<double>(arith_codec->encode(symbols, buf)) / 8.0);
+        entropy.add(h_bits * static_cast<double>(hops) / 8.0);
+      }
+    }
+    table.row()
+        .cell(hops)
+        .cell(raw8.mean(), 3)
+        .cell(fixed2.mean(), 3)
+        .cell(gamma.mean(), 3)
+        .cell(rice0.mean(), 3)
+        .cell(huffman.mean(), 3)
+        .cell(arith.mean(), 3)
+        .cell(entropy.mean(), 3);
+  }
+
+  dophy::bench::emit(table, args,
+                     "F1: measurement bytes/packet vs path length (retx counts, K=4)");
+  std::cout << "\nExpected shape: dophy_arith tracks the entropy bound and undercuts\n"
+               "every prefix code; the gap widens with path length because arithmetic\n"
+               "coding amortizes sub-bit symbols while Huffman/Rice pay >= 1 bit/hop.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// T2a — Codec microbenchmarks (google-benchmark): ns/symbol for encode and
+// decode across the coding library, on a geometric retransmission-count
+// stream (K = 4 aggregation, ~10% link loss regime).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/coding/codec.hpp"
+#include "dophy/common/rng.hpp"
+#include "dophy/mote/mote_encoder.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace {
+
+using dophy::coding::Codec;
+
+constexpr std::size_t kStreamLength = 4096;
+
+std::vector<std::uint32_t> make_stream() {
+  dophy::common::Rng rng(4242);
+  const dophy::tomo::SymbolMapper mapper(4);
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(kStreamLength);
+  for (std::size_t i = 0; i < kStreamLength; ++i) {
+    symbols.push_back(mapper.to_symbol(std::min(rng.geometric_trials(0.9), 8u)));
+  }
+  return symbols;
+}
+
+std::vector<std::uint64_t> stream_counts(const std::vector<std::uint32_t>& symbols) {
+  std::vector<std::uint64_t> counts(4, 0);
+  for (const auto s : symbols) ++counts[s];
+  return counts;
+}
+
+void bench_encode(benchmark::State& state, Codec& codec) {
+  const auto symbols = make_stream();
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(symbols, buf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+
+void bench_decode(benchmark::State& state, Codec& codec) {
+  const auto symbols = make_stream();
+  std::vector<std::uint8_t> buf;
+  (void)codec.encode(symbols, buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(buf, symbols.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+
+#define DOPHY_CODEC_BENCH(name, maker)                                  \
+  void Encode_##name(benchmark::State& state) {                         \
+    auto codec = (maker);                                               \
+    bench_encode(state, *codec);                                        \
+  }                                                                     \
+  BENCHMARK(Encode_##name);                                             \
+  void Decode_##name(benchmark::State& state) {                         \
+    auto codec = (maker);                                               \
+    bench_decode(state, *codec);                                        \
+  }                                                                     \
+  BENCHMARK(Decode_##name)
+
+DOPHY_CODEC_BENCH(Fixed2Bit, dophy::coding::make_fixed_width_codec(4));
+DOPHY_CODEC_BENCH(EliasGamma, dophy::coding::make_elias_gamma_codec());
+DOPHY_CODEC_BENCH(Rice0, dophy::coding::make_rice_codec(0));
+DOPHY_CODEC_BENCH(Huffman, dophy::coding::make_huffman_codec(stream_counts(make_stream())));
+DOPHY_CODEC_BENCH(ArithStatic,
+                  dophy::coding::make_static_arith_codec(stream_counts(make_stream())));
+DOPHY_CODEC_BENCH(ArithAdaptive, dophy::coding::make_adaptive_arith_codec(4));
+
+/// The TinyOS-constrained reference encoder's per-hop operation (no heap,
+/// fixed buffers) — the cycle budget a real mote pays per forwarded packet.
+void MotePerHopAppend(benchmark::State& state) {
+  const dophy::coding::StaticModel ids(std::vector<std::uint64_t>(100, 1));
+  const dophy::coding::StaticModel retx(std::vector<std::uint64_t>{90, 7, 2, 1});
+  const auto ids_wire = ids.serialize();
+  const auto retx_wire = retx.serialize();
+  dophy::mote::MoteModel mote_ids{}, mote_retx{};
+  (void)mote_ids.load(ids_wire.data(), ids_wire.size());
+  (void)mote_retx.load(retx_wire.data(), retx_wire.size());
+  for (auto _ : state) {
+    dophy::mote::MotePacketState pkt{};
+    dophy::mote::mote_on_origin(pkt, 1);
+    for (std::uint16_t hop = 0; hop < 6; ++hop) {
+      benchmark::DoNotOptimize(
+          dophy::mote::mote_append_hop(pkt, mote_ids, mote_retx,
+                                       static_cast<std::uint16_t>(hop + 1), 0));
+    }
+    benchmark::DoNotOptimize(pkt.bit_len);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+}
+BENCHMARK(MotePerHopAppend);
+
+/// The per-hop path: resume coder state, append two symbols, re-suspend —
+/// the exact work a forwarding mote performs per packet.
+void PerHopResumeAppendSuspend(benchmark::State& state) {
+  const dophy::coding::StaticModel ids(std::vector<std::uint64_t>(100, 1));
+  const dophy::coding::StaticModel retx(std::vector<std::uint64_t>{90, 7, 2, 1});
+  for (auto _ : state) {
+    dophy::common::BitWriter w;
+    dophy::coding::ArithCoderState st;
+    for (int hop = 0; hop < 6; ++hop) {
+      dophy::coding::ArithmeticEncoder enc(w, st);
+      enc.encode(ids, static_cast<std::size_t>(hop + 1));
+      enc.encode(retx, 0);
+      st = enc.suspend();
+    }
+    benchmark::DoNotOptimize(w.bit_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+}
+BENCHMARK(PerHopResumeAppendSuspend);
+
+}  // namespace
+
+BENCHMARK_MAIN();

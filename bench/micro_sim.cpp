@@ -1,0 +1,69 @@
+// T2b — Simulator microbenchmarks (google-benchmark): raw event-queue
+// throughput and whole-network simulation rate with/without Dophy
+// instrumentation.
+
+#include <benchmark/benchmark.h>
+
+#include "dophy/net/event_queue.hpp"
+#include "dophy/net/network.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+
+namespace {
+
+void EventQueuePushPop(benchmark::State& state) {
+  dophy::net::EventQueue q;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(static_cast<dophy::net::SimTime>((t * 2654435761u) % 100000), [] {});
+      ++t;
+    }
+    for (int i = 0; i < 64; ++i) (void)q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(EventQueuePushPop);
+
+dophy::net::NetworkConfig bench_net_config(std::uint64_t seed) {
+  dophy::net::NetworkConfig cfg;
+  cfg.topology.node_count = 60;
+  cfg.topology.field_size = 160.0;
+  cfg.topology.comm_range = 40.0;
+  cfg.traffic.data_interval_s = 5.0;
+  cfg.seed = seed;
+  cfg.collect_outcomes = false;
+  return cfg;
+}
+
+void NetworkSimulatedSecondsPlain(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    dophy::net::Network net(bench_net_config(seed++));
+    net.run_for(120.0);
+    benchmark::DoNotOptimize(net.stats().packets_delivered);
+  }
+  state.counters["sim_s_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 120.0,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(NetworkSimulatedSecondsPlain)->Unit(benchmark::kMillisecond);
+
+void NetworkSimulatedSecondsWithDophy(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto cfg = bench_net_config(seed++);
+    const dophy::tomo::SymbolMapper mapper(4);
+    dophy::tomo::DophyInstrumentation instr(cfg.topology.node_count, mapper);
+    dophy::net::Network net(cfg, &instr);
+    net.run_for(120.0);
+    benchmark::DoNotOptimize(instr.stats().hops_encoded);
+  }
+  state.counters["sim_s_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * 120.0,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(NetworkSimulatedSecondsWithDophy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// T1 — Summary table across the four canonical scenarios
+// (static / dynamic / bursty / drifting).
+//
+// For each scenario: accuracy of every method, Dophy's wire overhead, the
+// window delivery ratio (shows ARQ masking), and routing churn.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dophy/eval/report.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/3, /*nodes=*/80);
+
+  dophy::common::Table table({"scenario", "method", "mae", "p90_abs_err", "spearman",
+                              "coverage", "bytes_per_pkt", "delivery", "parent_chg_per_node_h",
+                              "model_updates"});
+
+  for (auto& scenario : dophy::eval::summary_scenarios(args.nodes, 130)) {
+    auto cfg = scenario.config;
+    cfg.warmup_s = args.quick ? 150.0 : 300.0;
+    cfg.measure_s = args.quick ? 900.0 : 3600.0;
+    const auto agg = dophy::eval::run_trials(cfg, args.trials, 1300);
+
+    bool first = true;
+    for (const auto& name : dophy::eval::method_order(agg)) {
+      const auto& m = agg.method(name);
+      table.row()
+          .cell(first ? scenario.name : "")
+          .cell(name)
+          .cell(m.mae.mean(), 4)
+          .cell(m.p90_abs.mean(), 4)
+          .cell(m.spearman.mean(), 3)
+          .cell(m.coverage.mean(), 3)
+          .cell(first ? dophy::common::format_double(agg.bits_per_packet.mean() / 8.0, 2)
+                      : std::string(""))
+          .cell(first ? dophy::common::format_double(agg.delivery_ratio.mean(), 3)
+                      : std::string(""))
+          .cell(first ? dophy::common::format_double(agg.parent_changes_per_node_hour.mean(), 2)
+                      : std::string(""))
+          .cell(first ? dophy::common::format_double(agg.model_updates.mean(), 1)
+                      : std::string(""));
+      first = false;
+    }
+  }
+
+  dophy::bench::emit(table, args, "T1: summary across scenarios (80 nodes, 1h windows)");
+  std::cout << "\nExpected shape: dophy's MAE stays in the low hundredths and its rank\n"
+               "correlation above ~0.9 in every scenario; traditional methods sit an\n"
+               "order of magnitude worse even on the static network, and churn/burst\n"
+               "scenarios widen the gap.\n";
+  return 0;
+}

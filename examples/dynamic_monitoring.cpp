@@ -1,0 +1,91 @@
+// Dynamic monitoring: use the Dophy library API directly (network +
+// instrumentation + decoder + tracking estimator) to watch link quality in
+// real time and raise alarms when a link degrades.
+//
+// The scenario scripts a mid-run quality collapse on the whole network
+// (Gilbert-Elliott style bursts via drifting re-randomization) and shows how
+// quickly the sink-side tracker notices per-link degradations that raw
+// end-to-end delivery would hide behind ARQ.
+//
+//   ./build/examples/dynamic_monitoring [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "dophy/common/table.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/net/network.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/link_inference.hpp"
+
+using dophy::net::kSinkId;
+using dophy::net::LinkKey;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+  constexpr double kAlarmThreshold = 0.35;  // per-attempt loss considered bad
+  constexpr double kEpochSeconds = 120.0;
+
+  // A 50-node network whose link qualities re-randomize every ~10 minutes.
+  auto cfg = dophy::eval::default_pipeline(50, seed);
+  dophy::eval::add_dynamics(cfg, 600.0, 0.25);
+  cfg.net.traffic.data_interval_s = 5.0;
+
+  // Wire the measurement plane by hand — this is the library's public API.
+  const dophy::tomo::SymbolMapper mapper(cfg.dophy.censor_threshold);
+  dophy::tomo::DophyInstrumentation instrumentation(cfg.net.topology.node_count, mapper);
+  dophy::net::Network net(cfg.net, &instrumentation);
+
+  dophy::tomo::DophyDecoder decoder(instrumentation.store(kSinkId), mapper);
+  // decay < 1 turns the MLE into a tracker that follows moving loss levels.
+  dophy::tomo::LinkLossEstimator tracker(cfg.dophy.censor_threshold, /*decay=*/0.6);
+
+  net.set_delivery_handler([&](const dophy::net::Packet& packet, dophy::net::SimTime) {
+    if (const auto decoded = decoder.decode(packet)) tracker.observe_path(*decoded);
+  });
+
+  std::map<LinkKey, bool> alarmed;
+  std::uint64_t alarms_raised = 0;
+  std::uint64_t alarms_correct = 0;
+
+  net.add_periodic(kEpochSeconds, [&](dophy::net::SimTime now) {
+    tracker.end_epoch();
+    for (const auto& [link, est] : tracker.all_estimates()) {
+      if (est.samples < 20) continue;  // too thin to alarm on
+      const bool bad = est.loss > kAlarmThreshold;
+      bool& state = alarmed[link];
+      if (bad && !state) {
+        state = true;
+        ++alarms_raised;
+        const double truth = net.link(link.from, link.to).empirical_loss(now);
+        alarms_correct += truth > kAlarmThreshold * 0.7;
+        std::cout << "[t=" << now / 1000000 << "s] ALARM link " << link.from << "->"
+                  << link.to << ": est loss "
+                  << dophy::common::format_double(est.loss, 3) << " (±"
+                  << dophy::common::format_double(2 * est.stderr_, 3) << "), recent truth "
+                  << dophy::common::format_double(truth, 3) << "\n";
+      } else if (!bad && state && est.loss < 0.8 * kAlarmThreshold) {
+        state = false;
+        std::cout << "[t=" << now / 1000000 << "s] clear link " << link.from << "->"
+                  << link.to << " (est "
+                  << dophy::common::format_double(est.loss, 3) << ")\n";
+      }
+    }
+  });
+
+  std::cout << "Monitoring a 50-node dynamic network for 40 simulated minutes...\n\n";
+  net.run_for(2400.0);
+
+  const auto stats = net.stats();
+  std::cout << "\nRun summary: " << stats.packets_delivered << "/" << stats.packets_generated
+            << " packets delivered ("
+            << dophy::common::format_double(100.0 * stats.delivery_ratio(), 1)
+            << "%), " << alarms_raised << " alarms raised, " << alarms_correct
+            << " matched ground truth at alarm time.\n";
+  std::cout << "Note the delivery ratio barely moves when links degrade — ARQ hides\n"
+               "loss from end-to-end metrics, which is exactly why per-hop\n"
+               "retransmission counts are needed to see it.\n";
+  return 0;
+}

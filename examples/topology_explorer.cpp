@@ -1,0 +1,77 @@
+// Topology explorer: generate a deployment, render an ASCII field map, and
+// print the structural statistics (degree/hop histograms, link-quality
+// distribution) that determine how hard the tomography problem is.
+//
+//   ./build/examples/topology_explorer [nodes] [seed]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dophy/common/histogram.hpp"
+#include "dophy/common/rng.hpp"
+#include "dophy/common/table.hpp"
+#include "dophy/net/loss_model.hpp"
+#include "dophy/net/topology.hpp"
+
+using dophy::net::NodeId;
+
+int main(int argc, char** argv) {
+  const std::size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  dophy::net::TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.comm_range = 40.0;
+  cfg.field_size = std::sqrt(static_cast<double>(nodes) * 3.14159265 * 1600.0 / 8.0);
+
+  dophy::common::Rng rng(seed);
+  const auto topo = dophy::net::Topology::generate(cfg, rng);
+
+  // ASCII field map: S = sink, o = node (digit = hop distance mod 10).
+  constexpr int kCols = 64;
+  constexpr int kRows = 24;
+  std::vector<std::string> canvas(kRows, std::string(kCols, '.'));
+  const auto hops = topo.hops_to_sink();
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const auto& p = topo.position(static_cast<NodeId>(i));
+    const int col = std::min(kCols - 1, static_cast<int>(p.x / cfg.field_size * kCols));
+    const int row = std::min(kRows - 1, static_cast<int>(p.y / cfg.field_size * kRows));
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        i == 0 ? 'S' : static_cast<char>('0' + hops[i] % 10);
+  }
+  std::cout << "Field map (" << dophy::common::format_double(cfg.field_size, 0) << "m square, "
+            << "S = sink, digits = BFS hops to sink mod 10):\n";
+  for (const auto& line : canvas) std::cout << "  " << line << '\n';
+
+  dophy::common::Histogram degree(31), hop_hist(31);
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    degree.add(topo.neighbors(static_cast<NodeId>(i)).size());
+    if (i > 0) hop_hist.add(hops[i]);
+  }
+  std::cout << "\nDegree histogram:   " << degree.to_string() << '\n';
+  std::cout << "Hop histogram:      " << hop_hist.to_string() << '\n';
+  std::cout << "Mean degree " << dophy::common::format_double(degree.mean(), 2)
+            << ", max hops " << hop_hist.quantile(1.0) << ", directed links "
+            << topo.directed_links().size() << "\n\n";
+
+  // Link-quality distribution under the distance-PRR curve.
+  dophy::common::Histogram loss_deciles(9);
+  for (const auto& key : topo.directed_links()) {
+    const double p = dophy::net::distance_loss(topo.distance(key.from, key.to),
+                                               cfg.comm_range, 0.0);
+    loss_deciles.add(static_cast<std::uint64_t>(p * 10.0));
+  }
+  dophy::common::Table table({"loss_decile", "links"});
+  for (std::uint64_t d = 0; d <= 9; ++d) {
+    if (loss_deciles.count(d) == 0) continue;
+    table.row()
+        .cell(dophy::common::format_double(static_cast<double>(d) / 10.0, 1) + "-" +
+              dophy::common::format_double(static_cast<double>(d + 1) / 10.0, 1))
+        .cell(loss_deciles.count(d));
+  }
+  table.print(std::cout, "Per-attempt loss distribution across links (distance curve)");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced figure/table into results/ (text + CSV).
+# Usage: scripts/run_all_benches.sh [build_dir] [--quick]
+set -euo pipefail
+
+build_dir="${1:-build}"
+quick_flag=""
+if [[ "${2:-}" == "--quick" || "${1:-}" == "--quick" ]]; then
+  quick_flag="--quick"
+  [[ "${1:-}" == "--quick" ]] && build_dir="build"
+fi
+
+out_dir="results"
+mkdir -p "$out_dir"
+
+for bench in "$build_dir"/bench/fig_* "$build_dir"/bench/table_summary; do
+  name="$(basename "$bench")"
+  echo ">>> $name"
+  "$bench" $quick_flag | tee "$out_dir/$name.txt"
+  "$bench" $quick_flag --csv > "$out_dir/$name.csv"
+done
+
+echo ">>> micro benchmarks"
+"$build_dir"/bench/micro_codec | tee "$out_dir/micro_codec.txt"
+"$build_dir"/bench/micro_sim | tee "$out_dir/micro_sim.txt"
+
+echo "All outputs in $out_dir/"

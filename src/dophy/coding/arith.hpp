@@ -1,0 +1,90 @@
+#pragma once
+
+// Integer arithmetic coder (Witten–Neal–Cleary construction, 32-bit
+// registers) with a *resumable* encoder: the register state serializes into
+// a fixed 10-byte trailer so a partially encoded stream can travel inside a
+// packet and the next hop can keep appending symbols.  This is the mechanism
+// that lets Dophy accumulate per-hop retransmission symbols at a cost of a
+// few bits per hop instead of whole bytes.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dophy/common/bitio.hpp"
+#include "dophy/coding/freq_model.hpp"
+
+namespace dophy::coding {
+
+/// Suspended encoder registers.  `pending` counts carry-straddling bits not
+/// yet emitted; it is bounded by the number of symbols encoded so far, which
+/// packet-scale streams keep far below 2^16.
+struct ArithCoderState {
+  std::uint64_t low = 0;
+  std::uint64_t high = 0xFFFFFFFFull;
+  std::uint16_t pending = 0;
+
+  static constexpr std::size_t kSerializedSize = 10;
+  [[nodiscard]] std::array<std::uint8_t, kSerializedSize> serialize() const noexcept;
+  [[nodiscard]] static ArithCoderState deserialize(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool operator==(const ArithCoderState&) const noexcept = default;
+};
+
+class ArithmeticEncoder {
+ public:
+  /// Fresh stream writing into `out` (which may already hold earlier,
+  /// unrelated bits; the coder only appends).
+  explicit ArithmeticEncoder(dophy::common::BitWriter& out) noexcept;
+
+  /// Resumes from a suspended state.  `out` must contain the bits the
+  /// original encoder had emitted (byte-exact continuation is the caller's
+  /// contract; Dophy stores the packet's bit count alongside the trailer).
+  ArithmeticEncoder(dophy::common::BitWriter& out, const ArithCoderState& state) noexcept;
+
+  /// Encodes `symbol`; does NOT call model.update() — callers that want
+  /// adaptivity update explicitly so encode/decode stay symmetric.
+  void encode(const FrequencyModel& model, std::size_t symbol);
+
+  /// Captures the register state for in-packet transport.  The encoder stays
+  /// usable; typically the caller suspends and drops it.
+  [[nodiscard]] ArithCoderState suspend() const noexcept { return state_; }
+
+  /// Terminates the stream (emits 1–2 disambiguating bits plus pendings).
+  /// The encoder must not be used afterwards.
+  void finish();
+
+ private:
+  void emit_bit_with_pending(bool bit);
+
+  dophy::common::BitWriter* out_;
+  ArithCoderState state_;
+  bool finished_ = false;
+};
+
+class ArithmeticDecoder {
+ public:
+  /// Decodes from `data`, starting at `start_bit`, reading at most
+  /// `bit_limit` bits total (SIZE_MAX = whole buffer).  Reads past the
+  /// logical end are treated as zero bits, as the finish() convention
+  /// requires.
+  explicit ArithmeticDecoder(std::span<const std::uint8_t> data, std::size_t start_bit = 0,
+                             std::size_t bit_limit = SIZE_MAX);
+
+  /// Decodes one symbol under `model` (no update; see encoder note).
+  [[nodiscard]] std::size_t decode(const FrequencyModel& model);
+
+  /// Bits consumed from the underlying stream (excludes virtual zero-fill).
+  [[nodiscard]] std::size_t bits_consumed() const noexcept { return consumed_; }
+
+ private:
+  [[nodiscard]] bool next_bit() noexcept;
+
+  dophy::common::BitReader reader_;
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = 0xFFFFFFFFull;
+  std::uint64_t value_ = 0;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace dophy::coding

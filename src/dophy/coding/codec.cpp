@@ -1,0 +1,230 @@
+#include "dophy/coding/codec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "dophy/common/bitio.hpp"
+#include "dophy/coding/elias.hpp"
+#include "dophy/coding/golomb.hpp"
+
+namespace dophy::coding {
+
+namespace {
+
+using dophy::common::BitReader;
+using dophy::common::BitWriter;
+
+class FixedWidthCodec final : public Codec {
+ public:
+  explicit FixedWidthCodec(std::uint32_t alphabet_size)
+      : width_(alphabet_size <= 1
+                   ? 1u
+                   : static_cast<unsigned>(std::bit_width(alphabet_size - 1))) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "fixed" + std::to_string(width_) + "bit";
+  }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    BitWriter w;
+    for (const std::uint32_t s : symbols) w.put_bits(s, width_);
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    BitReader r(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(static_cast<std::uint32_t>(r.get_bits(width_)));
+    }
+    return symbols;
+  }
+
+ private:
+  unsigned width_;
+};
+
+class EliasGammaCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "elias-gamma"; }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    BitWriter w;
+    for (const std::uint32_t s : symbols) elias_gamma_encode(w, s + 1ull);
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    BitReader r(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(static_cast<std::uint32_t>(elias_gamma_decode(r) - 1));
+    }
+    return symbols;
+  }
+};
+
+class RiceCodec final : public Codec {
+ public:
+  explicit RiceCodec(unsigned k) : k_(k) {}
+
+  [[nodiscard]] std::string name() const override { return "rice-k" + std::to_string(k_); }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    BitWriter w;
+    for (const std::uint32_t s : symbols) rice_encode(w, s, k_);
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    BitReader r(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(static_cast<std::uint32_t>(rice_decode(r, k_)));
+    }
+    return symbols;
+  }
+
+ private:
+  unsigned k_;
+};
+
+class HuffmanCodec final : public Codec {
+ public:
+  explicit HuffmanCodec(std::vector<std::uint64_t> counts) : code_(counts) {}
+
+  [[nodiscard]] std::string name() const override { return "huffman"; }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    BitWriter w;
+    for (const std::uint32_t s : symbols) code_.encode(w, s);
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    BitReader r(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(static_cast<std::uint32_t>(code_.decode(r)));
+    }
+    return symbols;
+  }
+
+ private:
+  HuffmanCode code_;
+};
+
+class StaticArithCodec final : public Codec {
+ public:
+  explicit StaticArithCodec(std::vector<std::uint64_t> counts) : model_(counts) {}
+
+  [[nodiscard]] std::string name() const override { return "arith-static"; }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    BitWriter w;
+    ArithmeticEncoder enc(w);
+    for (const std::uint32_t s : symbols) enc.encode(model_, s);
+    enc.finish();
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    ArithmeticDecoder dec(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(static_cast<std::uint32_t>(dec.decode(model_)));
+    }
+    return symbols;
+  }
+
+ private:
+  StaticModel model_;
+};
+
+class AdaptiveArithCodec final : public Codec {
+ public:
+  explicit AdaptiveArithCodec(std::uint32_t alphabet_size) : alphabet_size_(alphabet_size) {}
+
+  [[nodiscard]] std::string name() const override { return "arith-adaptive"; }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    AdaptiveModel model(alphabet_size_);
+    BitWriter w;
+    ArithmeticEncoder enc(w);
+    for (const std::uint32_t s : symbols) {
+      enc.encode(model, s);
+      model.update(s);
+    }
+    enc.finish();
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    AdaptiveModel model(alphabet_size_);
+    ArithmeticDecoder dec(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t s = dec.decode(model);
+      model.update(s);
+      symbols.push_back(static_cast<std::uint32_t>(s));
+    }
+    return symbols;
+  }
+
+ private:
+  std::uint32_t alphabet_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_fixed_width_codec(std::uint32_t alphabet_size) {
+  return std::make_unique<FixedWidthCodec>(alphabet_size);
+}
+
+std::unique_ptr<Codec> make_elias_gamma_codec() { return std::make_unique<EliasGammaCodec>(); }
+
+std::unique_ptr<Codec> make_rice_codec(unsigned k) { return std::make_unique<RiceCodec>(k); }
+
+std::unique_ptr<Codec> make_huffman_codec(std::vector<std::uint64_t> counts) {
+  return std::make_unique<HuffmanCodec>(std::move(counts));
+}
+
+std::unique_ptr<Codec> make_static_arith_codec(std::vector<std::uint64_t> counts) {
+  return std::make_unique<StaticArithCodec>(std::move(counts));
+}
+
+std::unique_ptr<Codec> make_adaptive_arith_codec(std::uint32_t alphabet_size) {
+  return std::make_unique<AdaptiveArithCodec>(alphabet_size);
+}
+
+}  // namespace dophy::coding

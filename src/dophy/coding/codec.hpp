@@ -1,0 +1,59 @@
+#pragma once
+
+// Uniform stream-codec interface over the project's entropy coders so the
+// encoding-overhead experiments (F1/F2) and microbenchmarks (T2) compare all
+// schemes through one code path.
+//
+// Symbols are small non-negative integers (retransmission-count symbols
+// after aggregation).  Every codec is self-contained per stream: whatever
+// side information it needs (Huffman lengths, Rice parameter, model) is
+// derived from the constructor arguments, matching how a deployed scheme
+// would be provisioned.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/coding/freq_model.hpp"
+#include "dophy/coding/huffman.hpp"
+
+namespace dophy::coding {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Encodes the whole symbol stream; returns the bit length (the padded
+  /// byte buffer is in `out`).
+  virtual std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                             std::vector<std::uint8_t>& out) = 0;
+
+  /// Decodes exactly `count` symbols.
+  [[nodiscard]] virtual std::vector<std::uint32_t> decode(
+      const std::vector<std::uint8_t>& bytes, std::size_t count) = 0;
+};
+
+/// Fixed-width binary packing (the "no compression" reference; width chosen
+/// to cover the alphabet).
+[[nodiscard]] std::unique_ptr<Codec> make_fixed_width_codec(std::uint32_t alphabet_size);
+
+/// Elias gamma over (symbol + 1).
+[[nodiscard]] std::unique_ptr<Codec> make_elias_gamma_codec();
+
+/// Golomb-Rice with an explicit parameter.
+[[nodiscard]] std::unique_ptr<Codec> make_rice_codec(unsigned k);
+
+/// Canonical Huffman trained on provided counts.
+[[nodiscard]] std::unique_ptr<Codec> make_huffman_codec(std::vector<std::uint64_t> counts);
+
+/// Arithmetic coding with a trained static model (Dophy's deployed mode).
+[[nodiscard]] std::unique_ptr<Codec> make_static_arith_codec(std::vector<std::uint64_t> counts);
+
+/// Arithmetic coding with an order-0 adaptive model (self-synchronizing).
+[[nodiscard]] std::unique_ptr<Codec> make_adaptive_arith_codec(std::uint32_t alphabet_size);
+
+}  // namespace dophy::coding

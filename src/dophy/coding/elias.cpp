@@ -1,0 +1,61 @@
+#include "dophy/coding/elias.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dophy::coding {
+
+namespace {
+[[nodiscard]] unsigned bit_width_u64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+}  // namespace
+
+void elias_gamma_encode(dophy::common::BitWriter& out, std::uint64_t value) {
+  if (value == 0) throw std::invalid_argument("elias_gamma_encode: value must be >= 1");
+  const unsigned n = bit_width_u64(value);  // number of significant bits
+  for (unsigned i = 1; i < n; ++i) out.put_bit(false);
+  out.put_bits(value, n);  // leading 1 then the n-1 low bits
+}
+
+std::uint64_t elias_gamma_decode(dophy::common::BitReader& in) {
+  unsigned zeros = 0;
+  while (!in.get_bit()) {
+    if (++zeros > 63) throw std::runtime_error("elias_gamma_decode: malformed codeword");
+  }
+  std::uint64_t value = 1;
+  for (unsigned i = 0; i < zeros; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(in.get_bit());
+  }
+  return value;
+}
+
+unsigned elias_gamma_bits(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  return 2 * bit_width_u64(value) - 1;
+}
+
+void elias_delta_encode(dophy::common::BitWriter& out, std::uint64_t value) {
+  if (value == 0) throw std::invalid_argument("elias_delta_encode: value must be >= 1");
+  const unsigned n = bit_width_u64(value);
+  elias_gamma_encode(out, n);
+  if (n > 1) out.put_bits(value & ((1ull << (n - 1)) - 1), n - 1);
+}
+
+std::uint64_t elias_delta_decode(dophy::common::BitReader& in) {
+  const std::uint64_t n = elias_gamma_decode(in);
+  if (n == 0 || n > 64) throw std::runtime_error("elias_delta_decode: malformed codeword");
+  std::uint64_t value = 1;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(in.get_bit());
+  }
+  return value;
+}
+
+unsigned elias_delta_bits(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  const unsigned n = bit_width_u64(value);
+  return elias_gamma_bits(n) + (n - 1);
+}
+
+}  // namespace dophy::coding

@@ -1,0 +1,31 @@
+#pragma once
+
+// Elias gamma/delta universal codes.  Used (a) as encoding-overhead baselines
+// against Dophy's arithmetic coding and (b) as the escape code for
+// non-aggregated transmission counts above the censoring threshold.
+
+#include <cstdint>
+
+#include "dophy/common/bitio.hpp"
+
+namespace dophy::coding {
+
+/// Encodes `value` >= 1 in Elias gamma.
+void elias_gamma_encode(dophy::common::BitWriter& out, std::uint64_t value);
+
+/// Decodes one gamma codeword.
+[[nodiscard]] std::uint64_t elias_gamma_decode(dophy::common::BitReader& in);
+
+/// Bits a gamma codeword for `value` occupies.
+[[nodiscard]] unsigned elias_gamma_bits(std::uint64_t value) noexcept;
+
+/// Encodes `value` >= 1 in Elias delta.
+void elias_delta_encode(dophy::common::BitWriter& out, std::uint64_t value);
+
+/// Decodes one delta codeword.
+[[nodiscard]] std::uint64_t elias_delta_decode(dophy::common::BitReader& in);
+
+/// Bits a delta codeword for `value` occupies.
+[[nodiscard]] unsigned elias_delta_bits(std::uint64_t value) noexcept;
+
+}  // namespace dophy::coding

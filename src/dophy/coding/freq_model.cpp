@@ -1,0 +1,163 @@
+#include "dophy/coding/freq_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "dophy/coding/varint.hpp"
+
+namespace dophy::coding {
+
+void FrequencyModel::update(std::size_t /*symbol*/) {}
+
+double FrequencyModel::ideal_bits(std::size_t symbol) const {
+  const double p = static_cast<double>(freq(symbol)) / static_cast<double>(total());
+  return -std::log2(p);
+}
+
+std::vector<std::uint32_t> quantize_counts(const std::vector<std::uint64_t>& counts,
+                                           std::uint32_t max_total) {
+  if (counts.empty()) throw std::invalid_argument("quantize_counts: empty counts");
+  if (max_total < counts.size()) {
+    throw std::invalid_argument("quantize_counts: max_total smaller than symbol count");
+  }
+  const std::uint64_t raw_total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  std::vector<std::uint32_t> freqs(counts.size(), 1);
+  if (raw_total == 0) return freqs;  // degenerate: uniform(1)
+
+  // Scale, floor at 1, then trim from the largest symbols if we overshoot.
+  const double scale =
+      static_cast<double>(max_total - counts.size()) / static_cast<double>(raw_total);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto f = static_cast<std::uint32_t>(
+        1.0 + static_cast<double>(counts[i]) * scale);
+    freqs[i] = std::max<std::uint32_t>(1, f);
+    total += freqs[i];
+  }
+  while (total > max_total) {
+    const auto it = std::max_element(freqs.begin(), freqs.end());
+    if (*it <= 1) break;  // cannot shrink further (max_total >= size prevents this)
+    const std::uint64_t excess = total - max_total;
+    const std::uint32_t cut =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(excess, *it - 1));
+    *it -= cut;
+    total -= cut;
+  }
+  return freqs;
+}
+
+StaticModel::StaticModel(std::size_t symbol_count) {
+  if (symbol_count == 0) throw std::invalid_argument("StaticModel: zero symbols");
+  if (symbol_count > kMaxModelTotal) {
+    throw std::invalid_argument("StaticModel: too many symbols");
+  }
+  freqs_.assign(symbol_count, 1);
+  rebuild_cum();
+}
+
+StaticModel::StaticModel(const std::vector<std::uint64_t>& counts, std::uint32_t max_total) {
+  if (max_total > kMaxModelTotal) {
+    throw std::invalid_argument("StaticModel: max_total exceeds coder limit");
+  }
+  freqs_ = quantize_counts(counts, max_total);
+  rebuild_cum();
+}
+
+void StaticModel::rebuild_cum() {
+  cum_.assign(freqs_.size() + 1, 0);
+  for (std::size_t i = 0; i < freqs_.size(); ++i) cum_[i + 1] = cum_[i] + freqs_[i];
+  total_ = cum_.back();
+}
+
+std::uint32_t StaticModel::cum(std::size_t symbol) const {
+  if (symbol >= freqs_.size()) throw std::out_of_range("StaticModel::cum");
+  return cum_[symbol];
+}
+
+std::uint32_t StaticModel::freq(std::size_t symbol) const {
+  if (symbol >= freqs_.size()) throw std::out_of_range("StaticModel::freq");
+  return freqs_[symbol];
+}
+
+std::size_t StaticModel::find(std::uint32_t cum_value) const {
+  if (cum_value >= total_) throw std::out_of_range("StaticModel::find");
+  // upper_bound over cum_: first entry > cum_value, minus one.
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), cum_value);
+  return static_cast<std::size_t>(it - cum_.begin()) - 1;
+}
+
+std::vector<std::uint8_t> StaticModel::serialize() const {
+  std::vector<std::uint8_t> out;
+  write_varint(out, freqs_.size());
+  for (const std::uint32_t f : freqs_) write_varint(out, f);
+  return out;
+}
+
+StaticModel StaticModel::deserialize(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  const std::uint64_t n = read_varint(bytes, offset);
+  if (n == 0 || n > kMaxModelTotal) {
+    throw std::runtime_error("StaticModel::deserialize: bad symbol count");
+  }
+  StaticModel model;
+  model.freqs_.resize(static_cast<std::size_t>(n));
+  for (auto& f : model.freqs_) {
+    const std::uint64_t v = read_varint(bytes, offset);
+    if (v == 0 || v > kMaxModelTotal) {
+      throw std::runtime_error("StaticModel::deserialize: bad frequency");
+    }
+    f = static_cast<std::uint32_t>(v);
+  }
+  model.rebuild_cum();
+  if (model.total_ > kMaxModelTotal) {
+    throw std::runtime_error("StaticModel::deserialize: total overflow");
+  }
+  return model;
+}
+
+AdaptiveModel::AdaptiveModel(std::size_t symbol_count, std::uint32_t increment)
+    : count_(symbol_count), increment_(increment) {
+  if (symbol_count == 0) throw std::invalid_argument("AdaptiveModel: zero symbols");
+  if (increment == 0) throw std::invalid_argument("AdaptiveModel: zero increment");
+  if (symbol_count * 2 > kMaxModelTotal) {
+    throw std::invalid_argument("AdaptiveModel: too many symbols");
+  }
+  tree_.reset(symbol_count);
+  for (std::size_t i = 0; i < symbol_count; ++i) tree_.add(i, 1);
+}
+
+std::uint32_t AdaptiveModel::total() const noexcept {
+  return static_cast<std::uint32_t>(tree_.total());
+}
+
+std::uint32_t AdaptiveModel::cum(std::size_t symbol) const {
+  return static_cast<std::uint32_t>(tree_.prefix_sum(symbol));
+}
+
+std::uint32_t AdaptiveModel::freq(std::size_t symbol) const {
+  return static_cast<std::uint32_t>(tree_.get(symbol));
+}
+
+std::size_t AdaptiveModel::find(std::uint32_t cum_value) const {
+  return tree_.find_by_cumulative(cum_value);
+}
+
+void AdaptiveModel::update(std::size_t symbol) {
+  if (symbol >= count_) throw std::out_of_range("AdaptiveModel::update");
+  if (tree_.total() + increment_ > kMaxModelTotal) rescale();
+  tree_.add(symbol, increment_);
+}
+
+void AdaptiveModel::rescale() {
+  std::vector<std::uint64_t> freqs(count_);
+  for (std::size_t i = 0; i < count_; ++i) freqs[i] = tree_.get(i);
+  tree_.reset(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    tree_.add(i, static_cast<std::int64_t>(std::max<std::uint64_t>(1, freqs[i] / 2)));
+  }
+}
+
+}  // namespace dophy::coding

@@ -1,0 +1,109 @@
+#pragma once
+
+// Symbol frequency models driving the arithmetic coder.
+//
+// Dophy disseminates *versioned static models* from the sink (all encoders
+// along a path must share the decoder's model bit-for-bit), while offline
+// codec comparisons also use a self-synchronizing adaptive model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dophy/common/fenwick.hpp"
+
+namespace dophy::coding {
+
+/// Upper bound on a model's total frequency.  The arithmetic coder requires
+/// total <= range/4 at minimum renormalized range (2^30), so 2^16 leaves a
+/// huge margin while keeping serialized models small.
+inline constexpr std::uint32_t kMaxModelTotal = 1u << 16;
+
+/// Interface consumed by ArithmeticEncoder/Decoder.  Cumulative counts are
+/// "below": cum(s) = sum of freq(t) for t < s; every symbol must have
+/// freq >= 1 so it stays codable.
+class FrequencyModel {
+ public:
+  virtual ~FrequencyModel() = default;
+
+  [[nodiscard]] virtual std::size_t symbol_count() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t total() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t cum(std::size_t symbol) const = 0;
+  [[nodiscard]] virtual std::uint32_t freq(std::size_t symbol) const = 0;
+  /// Symbol whose interval [cum(s), cum(s)+freq(s)) contains `cum_value`.
+  [[nodiscard]] virtual std::size_t find(std::uint32_t cum_value) const = 0;
+  /// Adapts the model after coding `symbol`; static models ignore it.
+  virtual void update(std::size_t symbol);
+
+  /// Ideal code length of `symbol` under this model, in bits.
+  [[nodiscard]] double ideal_bits(std::size_t symbol) const;
+};
+
+/// Immutable model built from a count vector, quantized so that the total is
+/// <= kMaxModelTotal and every symbol keeps frequency >= 1.  Serializable for
+/// model dissemination; (de)serialization is bit-exact so every node and the
+/// sink agree.
+class StaticModel final : public FrequencyModel {
+ public:
+  /// Uniform model over `symbol_count` symbols.
+  explicit StaticModel(std::size_t symbol_count);
+
+  /// Model proportional to `counts` (zeros are bumped to 1), quantized so
+  /// the total is <= `max_total`.  Smaller totals give coarser probabilities
+  /// but much smaller serialized models — the dissemination-cost knob.
+  explicit StaticModel(const std::vector<std::uint64_t>& counts,
+                       std::uint32_t max_total = kMaxModelTotal);
+
+  [[nodiscard]] std::size_t symbol_count() const noexcept override { return freqs_.size(); }
+  [[nodiscard]] std::uint32_t total() const noexcept override { return total_; }
+  [[nodiscard]] std::uint32_t cum(std::size_t symbol) const override;
+  [[nodiscard]] std::uint32_t freq(std::size_t symbol) const override;
+  [[nodiscard]] std::size_t find(std::uint32_t cum_value) const override;
+
+  /// Compact wire form (varint-coded quantized frequencies).  This is the
+  /// payload counted as model-dissemination overhead.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static StaticModel deserialize(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] bool operator==(const StaticModel& other) const noexcept {
+    return freqs_ == other.freqs_;
+  }
+
+ private:
+  StaticModel() = default;
+  void rebuild_cum();
+
+  std::vector<std::uint32_t> freqs_;
+  std::vector<std::uint32_t> cum_;  // cum_[s] = sum below s; size()+1 entries
+  std::uint32_t total_ = 0;
+};
+
+/// Order-0 adaptive model: starts uniform(1), increments the coded symbol by
+/// `increment`, and halves all counts (keeping >= 1) when the total would
+/// exceed kMaxModelTotal.  Encoder and decoder stay synchronized by applying
+/// identical update() calls.
+class AdaptiveModel final : public FrequencyModel {
+ public:
+  explicit AdaptiveModel(std::size_t symbol_count, std::uint32_t increment = 32);
+
+  [[nodiscard]] std::size_t symbol_count() const noexcept override { return count_; }
+  [[nodiscard]] std::uint32_t total() const noexcept override;
+  [[nodiscard]] std::uint32_t cum(std::size_t symbol) const override;
+  [[nodiscard]] std::uint32_t freq(std::size_t symbol) const override;
+  [[nodiscard]] std::size_t find(std::uint32_t cum_value) const override;
+  void update(std::size_t symbol) override;
+
+ private:
+  void rescale();
+
+  dophy::common::FenwickTree tree_;
+  std::size_t count_;
+  std::uint32_t increment_;
+};
+
+/// Normalizes `counts` to frequencies with total <= max_total and min 1 per
+/// symbol.  Shared by StaticModel and tests.
+[[nodiscard]] std::vector<std::uint32_t> quantize_counts(const std::vector<std::uint64_t>& counts,
+                                                         std::uint32_t max_total);
+
+}  // namespace dophy::coding

@@ -1,0 +1,91 @@
+#include "dophy/coding/golomb.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace dophy::coding {
+
+namespace {
+constexpr unsigned kMaxUnary = 4096;  // corruption guard for unary runs
+}
+
+void rice_encode(dophy::common::BitWriter& out, std::uint64_t value, unsigned k) {
+  if (k > 32) throw std::invalid_argument("rice_encode: k too large");
+  const std::uint64_t q = value >> k;
+  if (q > kMaxUnary) throw std::invalid_argument("rice_encode: value too large for parameter");
+  for (std::uint64_t i = 0; i < q; ++i) out.put_bit(true);
+  out.put_bit(false);
+  if (k > 0) out.put_bits(value & ((1ull << k) - 1), k);
+}
+
+std::uint64_t rice_decode(dophy::common::BitReader& in, unsigned k) {
+  if (k > 32) throw std::invalid_argument("rice_decode: k too large");
+  std::uint64_t q = 0;
+  while (in.get_bit()) {
+    if (++q > kMaxUnary) throw std::runtime_error("rice_decode: malformed codeword");
+  }
+  std::uint64_t r = 0;
+  if (k > 0) r = in.get_bits(k);
+  return (q << k) | r;
+}
+
+std::uint64_t rice_bits(std::uint64_t value, unsigned k) noexcept {
+  return (value >> k) + 1 + k;
+}
+
+unsigned optimal_rice_param(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  const double target = std::log2(0.6931471805599453 * mean);
+  if (target <= 0.0) return 0;
+  const double k = std::ceil(target);
+  return k > 32.0 ? 32u : static_cast<unsigned>(k);
+}
+
+void golomb_encode(dophy::common::BitWriter& out, std::uint64_t value, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("golomb_encode: m must be >= 1");
+  const std::uint64_t q = value / m;
+  const std::uint64_t r = value % m;
+  if (q > kMaxUnary) throw std::invalid_argument("golomb_encode: value too large for divisor");
+  for (std::uint64_t i = 0; i < q; ++i) out.put_bit(true);
+  out.put_bit(false);
+  // Truncated binary remainder.
+  const unsigned b = static_cast<unsigned>(std::bit_width(m - 1));
+  const std::uint64_t cutoff = (1ull << b) - m;
+  if (r < cutoff) {
+    if (b > 0) out.put_bits(r, b - 1);
+  } else {
+    out.put_bits(r + cutoff, b);
+  }
+}
+
+std::uint64_t golomb_decode(dophy::common::BitReader& in, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("golomb_decode: m must be >= 1");
+  std::uint64_t q = 0;
+  while (in.get_bit()) {
+    if (++q > kMaxUnary) throw std::runtime_error("golomb_decode: malformed codeword");
+  }
+  const unsigned b = static_cast<unsigned>(std::bit_width(m - 1));
+  const std::uint64_t cutoff = (1ull << b) - m;
+  std::uint64_t r = 0;
+  if (b > 0) {
+    r = in.get_bits(b - 1);
+    if (r >= cutoff) {
+      r = (r << 1) | static_cast<std::uint64_t>(in.get_bit());
+      r -= cutoff;
+    }
+  }
+  return q * m + r;
+}
+
+std::uint64_t golomb_bits(std::uint64_t value, std::uint64_t m) noexcept {
+  if (m == 0) return 0;
+  const std::uint64_t q = value / m;
+  const std::uint64_t r = value % m;
+  const unsigned b = static_cast<unsigned>(std::bit_width(m - 1));
+  const std::uint64_t cutoff = (1ull << b) - m;
+  const unsigned rbits = (b == 0) ? 0u : (r < cutoff ? b - 1 : b);
+  return q + 1 + rbits;
+}
+
+}  // namespace dophy::coding

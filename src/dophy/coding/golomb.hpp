@@ -1,0 +1,34 @@
+#pragma once
+
+// Golomb and Golomb-Rice codes for non-negative integers.  Rice (m = 2^k) is
+// the classic low-cost choice for geometric-ish data on motes, which makes it
+// the strongest prefix-code baseline against Dophy's arithmetic coding.
+
+#include <cstdint>
+
+#include "dophy/common/bitio.hpp"
+
+namespace dophy::coding {
+
+/// Encodes `value` >= 0 with Rice parameter `k` (remainder bits).
+void rice_encode(dophy::common::BitWriter& out, std::uint64_t value, unsigned k);
+
+/// Decodes one Rice codeword with parameter `k`.
+[[nodiscard]] std::uint64_t rice_decode(dophy::common::BitReader& in, unsigned k);
+
+/// Bits the Rice codeword occupies.
+[[nodiscard]] std::uint64_t rice_bits(std::uint64_t value, unsigned k) noexcept;
+
+/// Rice parameter minimizing expected length for data with the given mean
+/// (standard k = max(0, ceil(log2(ln(2) * mean))) rule).
+[[nodiscard]] unsigned optimal_rice_param(double mean) noexcept;
+
+/// General Golomb code with arbitrary divisor m >= 1 (truncated binary
+/// remainder).
+void golomb_encode(dophy::common::BitWriter& out, std::uint64_t value, std::uint64_t m);
+
+[[nodiscard]] std::uint64_t golomb_decode(dophy::common::BitReader& in, std::uint64_t m);
+
+[[nodiscard]] std::uint64_t golomb_bits(std::uint64_t value, std::uint64_t m) noexcept;
+
+}  // namespace dophy::coding

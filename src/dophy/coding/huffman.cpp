@@ -1,0 +1,141 @@
+#include "dophy/coding/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace dophy::coding {
+
+namespace {
+
+struct HeapEntry {
+  std::uint64_t weight;
+  std::uint32_t node;
+  // Tie-break on node id for deterministic trees across platforms.
+  [[nodiscard]] bool operator>(const HeapEntry& other) const noexcept {
+    return weight != other.weight ? weight > other.weight : node > other.node;
+  }
+};
+
+}  // namespace
+
+HuffmanCode::HuffmanCode(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) throw std::invalid_argument("HuffmanCode: empty counts");
+  const std::size_t n = counts.size();
+  lengths_.assign(n, 0);
+
+  if (n == 1) {
+    lengths_[0] = 1;  // degenerate alphabet still needs a bit to terminate
+    assign_canonical_codes();
+    return;
+  }
+
+  // Classic two-queue-free heap build over weights floored at 1.
+  std::vector<std::uint32_t> parent(2 * n, 0);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.push({counts[i] + 1, static_cast<std::uint32_t>(i)});
+  }
+  std::uint32_t next_internal = static_cast<std::uint32_t>(n);
+  while (heap.size() > 1) {
+    const HeapEntry a = heap.top();
+    heap.pop();
+    const HeapEntry b = heap.top();
+    heap.pop();
+    parent[a.node] = next_internal;
+    parent[b.node] = next_internal;
+    heap.push({a.weight + b.weight, next_internal});
+    ++next_internal;
+  }
+  const std::uint32_t root = heap.top().node;
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned depth = 0;
+    for (std::uint32_t v = static_cast<std::uint32_t>(i); v != root; v = parent[v]) ++depth;
+    if (depth > 63) throw std::runtime_error("HuffmanCode: depth overflow");
+    lengths_[i] = static_cast<std::uint8_t>(depth);
+  }
+  assign_canonical_codes();
+}
+
+void HuffmanCode::assign_canonical_codes() {
+  const std::size_t n = lengths_.size();
+  max_length_ = *std::max_element(lengths_.begin(), lengths_.end());
+  if (max_length_ > 31) throw std::runtime_error("HuffmanCode: code too long for u32 codes");
+
+  sorted_symbols_.resize(n);
+  std::iota(sorted_symbols_.begin(), sorted_symbols_.end(), 0u);
+  std::sort(sorted_symbols_.begin(), sorted_symbols_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return lengths_[a] != lengths_[b] ? lengths_[a] < lengths_[b] : a < b;
+            });
+
+  std::vector<std::uint32_t> length_count(max_length_ + 1, 0);
+  for (const std::uint8_t l : lengths_) ++length_count[l];
+
+  // Canonical assignment: symbols of length 0 (unused) sort first in
+  // sorted_symbols_; real codes start at the shortest length.
+  first_code_.assign(max_length_ + 2, 0);
+  first_index_.assign(max_length_ + 2, 0);
+  std::uint32_t idx = length_count[0];
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= max_length_; ++l) {
+    code <<= 1;
+    first_code_[l] = code;
+    first_index_[l] = idx;
+    code += length_count[l];
+    idx += length_count[l];
+  }
+
+  codes_.assign(n, 0);
+  std::vector<std::uint32_t> next_code = first_code_;
+  for (const std::uint32_t s : sorted_symbols_) {
+    const unsigned l = lengths_[s];
+    if (l == 0) continue;
+    codes_[s] = next_code[l]++;
+  }
+}
+
+unsigned HuffmanCode::length(std::size_t symbol) const {
+  if (symbol >= lengths_.size()) throw std::out_of_range("HuffmanCode::length");
+  return lengths_[symbol];
+}
+
+double HuffmanCode::expected_length(const std::vector<std::uint64_t>& counts) const {
+  if (counts.size() != lengths_.size()) {
+    throw std::invalid_argument("HuffmanCode::expected_length: size mismatch");
+  }
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (total == 0) return 0.0;
+  double bits = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    bits += static_cast<double>(counts[i]) * static_cast<double>(lengths_[i]);
+  }
+  return bits / static_cast<double>(total);
+}
+
+void HuffmanCode::encode(dophy::common::BitWriter& out, std::size_t symbol) const {
+  if (symbol >= lengths_.size()) throw std::out_of_range("HuffmanCode::encode");
+  const unsigned l = lengths_[symbol];
+  if (l == 0) throw std::logic_error("HuffmanCode::encode: symbol has no code");
+  out.put_bits(codes_[symbol], l);
+}
+
+std::size_t HuffmanCode::decode(dophy::common::BitReader& in) const {
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= max_length_; ++l) {
+    code = (code << 1) | static_cast<std::uint32_t>(in.get_bit());
+    const std::uint32_t first = first_code_[l];
+    // Number of codes of this length:
+    const std::uint32_t count_l =
+        (l < max_length_ ? first_index_[l + 1] : static_cast<std::uint32_t>(sorted_symbols_.size())) -
+        first_index_[l];
+    if (count_l > 0 && code >= first && code < first + count_l) {
+      return sorted_symbols_[first_index_[l] + (code - first)];
+    }
+  }
+  throw std::runtime_error("HuffmanCode::decode: malformed codeword");
+}
+
+}  // namespace dophy::coding

@@ -1,0 +1,49 @@
+#pragma once
+
+// Canonical Huffman coding built from symbol counts.  Serves as the
+// "optimal prefix code" baseline: it needs whole bits per symbol, which is
+// exactly the deficit arithmetic coding removes for Dophy's highly skewed
+// retransmission-count distributions.
+
+#include <cstdint>
+#include <vector>
+
+#include "dophy/common/bitio.hpp"
+
+namespace dophy::coding {
+
+class HuffmanCode {
+ public:
+  /// Builds a canonical code for `counts` (zeros get the longest codes via a
+  /// +1 floor so every symbol stays encodable).  Requires >= 1 symbol.
+  explicit HuffmanCode(const std::vector<std::uint64_t>& counts);
+
+  [[nodiscard]] std::size_t symbol_count() const noexcept { return lengths_.size(); }
+
+  /// Code length in bits for `symbol`.
+  [[nodiscard]] unsigned length(std::size_t symbol) const;
+
+  /// Expected bits/symbol under the build-time distribution.
+  [[nodiscard]] double expected_length(const std::vector<std::uint64_t>& counts) const;
+
+  void encode(dophy::common::BitWriter& out, std::size_t symbol) const;
+  [[nodiscard]] std::size_t decode(dophy::common::BitReader& in) const;
+
+  /// Code lengths (the canonical representation a receiver needs).
+  [[nodiscard]] const std::vector<std::uint8_t>& lengths() const noexcept { return lengths_; }
+
+ private:
+  void assign_canonical_codes();
+
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;  // canonical, MSB-first
+
+  // Canonical decode acceleration: first code value and symbol offset per
+  // length, plus symbols sorted by (length, symbol).
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint32_t> sorted_symbols_;
+  unsigned max_length_ = 0;
+};
+
+}  // namespace dophy::coding

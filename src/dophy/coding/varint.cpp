@@ -1,0 +1,37 @@
+#include "dophy/coding/varint.hpp"
+
+#include <stdexcept>
+
+namespace dophy::coding {
+
+void write_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t read_varint(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (unsigned i = 0; i < 10; ++i) {
+    if (offset >= bytes.size()) throw std::runtime_error("read_varint: truncated");
+    const std::uint8_t b = bytes[offset++];
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+  throw std::runtime_error("read_varint: overlong encoding");
+}
+
+std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dophy::coding

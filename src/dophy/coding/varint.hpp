@@ -1,0 +1,22 @@
+#pragma once
+
+// LEB128-style unsigned varints, used for model serialization and packet
+// header fields where values are usually tiny.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dophy::coding {
+
+/// Appends `value` as an unsigned LEB128 varint.
+void write_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Reads a varint starting at `offset`; advances `offset` past it.
+/// Throws std::runtime_error on truncation or a >10-byte encoding.
+[[nodiscard]] std::uint64_t read_varint(std::span<const std::uint8_t> bytes, std::size_t& offset);
+
+/// Size in bytes the varint encoding of `value` occupies.
+[[nodiscard]] std::size_t varint_size(std::uint64_t value) noexcept;
+
+}  // namespace dophy::coding

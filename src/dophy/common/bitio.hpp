@@ -1,0 +1,79 @@
+#pragma once
+
+// Bit-granular serialization used by every entropy coder in the project.
+//
+// Bits are written MSB-first within each byte so that the arithmetic coder's
+// output is a conventional big-endian binary fraction and prefix codes read
+// back in natural order.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dophy::common {
+
+/// Append-only MSB-first bit sink backed by a byte vector.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the single bit (0/1).
+  void put_bit(bool bit);
+
+  /// Appends the low `count` bits of `value`, most significant first.
+  /// `count` must be <= 64.
+  void put_bits(std::uint64_t value, unsigned count);
+
+  /// Appends a whole byte (8 bits).
+  void put_byte(std::uint8_t byte) { put_bits(byte, 8); }
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Number of bytes the padded output occupies.
+  [[nodiscard]] std::size_t byte_count() const noexcept { return (bit_count_ + 7) / 8; }
+
+  /// Finished buffer; trailing partial byte is zero-padded.  The writer
+  /// remains usable (further bits continue after the logical bit count, not
+  /// after the padding).
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+  /// Moves the buffer out; the writer resets to empty.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  void clear() noexcept;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first bit source over a byte span.  Reading past the end throws
+/// `std::out_of_range` — decoders treat truncation as data corruption.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data, std::size_t bit_limit = SIZE_MAX) noexcept;
+
+  /// Reads one bit.
+  [[nodiscard]] bool get_bit();
+
+  /// Reads `count` (<= 64) bits, MSB-first, into the low bits of the result.
+  [[nodiscard]] std::uint64_t get_bits(unsigned count);
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  /// Bits remaining before the limit.
+  [[nodiscard]] std::size_t remaining() const noexcept { return limit_ - pos_; }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= limit_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::size_t limit_;
+};
+
+}  // namespace dophy::common

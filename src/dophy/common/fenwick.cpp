@@ -1,0 +1,50 @@
+#include "dophy/common/fenwick.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dophy::common {
+
+FenwickTree::FenwickTree(std::size_t size) { reset(size); }
+
+void FenwickTree::reset(std::size_t size) {
+  size_ = size;
+  tree_.assign(size + 1, 0);
+}
+
+void FenwickTree::add(std::size_t index, std::int64_t delta) {
+  if (index >= size_) throw std::out_of_range("FenwickTree::add: index out of range");
+  for (std::size_t i = index + 1; i <= size_; i += i & (~i + 1)) {
+    tree_[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tree_[i]) + delta);
+  }
+}
+
+std::uint64_t FenwickTree::prefix_sum(std::size_t index) const {
+  if (index > size_) throw std::out_of_range("FenwickTree::prefix_sum: index out of range");
+  std::uint64_t sum = 0;
+  for (std::size_t i = index; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+  return sum;
+}
+
+std::uint64_t FenwickTree::get(std::size_t index) const {
+  return prefix_sum(index + 1) - prefix_sum(index);
+}
+
+std::size_t FenwickTree::find_by_cumulative(std::uint64_t target) const {
+  if (target >= total()) {
+    throw std::out_of_range("FenwickTree::find_by_cumulative: target >= total");
+  }
+  std::size_t pos = 0;
+  std::uint64_t remaining = target;
+  std::size_t mask = size_ ? std::bit_floor(size_) : 0;
+  for (; mask > 0; mask >>= 1) {
+    const std::size_t next = pos + mask;
+    if (next <= size_ && tree_[next] <= remaining) {
+      remaining -= tree_[next];
+      pos = next;
+    }
+  }
+  return pos;  // slot index (0-based) whose interval contains target
+}
+
+}  // namespace dophy::common

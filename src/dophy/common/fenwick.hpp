@@ -1,0 +1,45 @@
+#pragma once
+
+// Fenwick (binary indexed) tree over non-negative integer frequencies.
+// Backs the adaptive arithmetic-coding model: O(log n) frequency updates,
+// prefix sums, and inverse lookups (find the symbol containing a cumulative
+// count), which is exactly the decoder's hot path.
+
+#include <cstdint>
+#include <vector>
+
+namespace dophy::common {
+
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  explicit FenwickTree(std::size_t size);
+
+  /// Rebuilds with `size` zero-frequency slots.
+  void reset(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Adds `delta` to slot `index` (may be negative; caller keeps counts >= 0).
+  void add(std::size_t index, std::int64_t delta);
+
+  /// Sum of slots [0, index) — i.e. cumulative frequency *below* `index`.
+  [[nodiscard]] std::uint64_t prefix_sum(std::size_t index) const;
+
+  /// Sum over all slots.
+  [[nodiscard]] std::uint64_t total() const { return prefix_sum(size_); }
+
+  /// Frequency of a single slot.
+  [[nodiscard]] std::uint64_t get(std::size_t index) const;
+
+  /// Largest index such that prefix_sum(index) <= target; equivalently the
+  /// slot whose cumulative interval [prefix_sum(i), prefix_sum(i+1)) contains
+  /// `target`.  Requires target < total().
+  [[nodiscard]] std::size_t find_by_cumulative(std::uint64_t target) const;
+
+ private:
+  std::vector<std::uint64_t> tree_;  // 1-based internally
+  std::size_t size_ = 0;
+};
+
+}  // namespace dophy::common

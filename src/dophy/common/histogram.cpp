@@ -1,0 +1,77 @@
+#include "dophy/common/histogram.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dophy::common {
+
+Histogram::Histogram(std::uint32_t max_value)
+    : max_value_(max_value), buckets_(static_cast<std::size_t>(max_value) + 1, 0) {}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  if (value <= max_value_) {
+    buckets_[static_cast<std::size_t>(value)] += weight;
+  } else {
+    overflow_ += weight;
+  }
+  total_ += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.max_value_ != max_value_) {
+    throw std::invalid_argument("Histogram::merge: bucket layout mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+void Histogram::clear() noexcept {
+  for (auto& b : buckets_) b = 0;
+  overflow_ = 0;
+  total_ = 0;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const noexcept {
+  return value <= max_value_ ? buckets_[static_cast<std::size_t>(value)] : overflow_;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    sum += static_cast<double>(i) * static_cast<double>(buckets_[i]);
+  }
+  // Overflow values contribute at least max_value_+1 each; use that floor.
+  sum += static_cast<double>(overflow_) * static_cast<double>(max_value_ + 1);
+  return sum / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) return i;
+  }
+  return static_cast<std::uint64_t>(max_value_) + 1;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) os << ' ';
+    os << i << ':' << buckets_[i];
+    first = false;
+  }
+  if (overflow_ > 0) {
+    if (!first) os << ' ';
+    os << '>' << max_value_ << ':' << overflow_;
+  }
+  return os.str();
+}
+
+}  // namespace dophy::common

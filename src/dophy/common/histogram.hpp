@@ -1,0 +1,47 @@
+#pragma once
+
+// Integer-valued histogram with a censoring tail bucket.  Used both as the
+// empirical symbol distribution at the Dophy sink and as a general counting
+// utility in tests/benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dophy::common {
+
+/// Histogram over {0, 1, ..., max_value} plus an overflow bucket counting
+/// values > max_value.
+class Histogram {
+ public:
+  explicit Histogram(std::uint32_t max_value = 63);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+  void merge(const Histogram& other);
+  void clear() noexcept;
+
+  [[nodiscard]] std::uint32_t max_value() const noexcept { return max_value_; }
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept;
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Buckets 0..max_value (overflow excluded).
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest v with CDF(v) >= q, scanning buckets (overflow maps to
+  /// max_value + 1).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  /// Compact textual rendering for logs ("0:12 1:40 2:7 >3:1").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint32_t max_value_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dophy::common

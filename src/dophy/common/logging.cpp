@@ -1,0 +1,54 @@
+#include "dophy/common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace dophy::common {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+std::mutex g_log_mutex;
+
+void default_sink(LogLevel level, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()), message.data());
+}
+}  // namespace
+
+Logger::Logger() : sink_(default_sink) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = sink ? std::move(sink) : Sink(default_sink); }
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  sink_(level, message);
+}
+
+void Logger::logf(LogLevel level, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  char buffer[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  sink_(level, buffer);
+}
+
+}  // namespace dophy::common

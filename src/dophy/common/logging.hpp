@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal leveled logger.  Simulation code logs through this so benches can
+// silence it; tests can capture it.  Not a general-purpose logging framework
+// by design — a single global sink with a level threshold is all the project
+// needs.
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace dophy::common {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Replaces the sink (default writes to stderr). Passing nullptr restores
+  /// the default sink.
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void log(LogLevel level, std::string_view message);
+
+  /// printf-style formatted logging (GCC 12 on this toolchain lacks
+  /// <format>; attribute keeps format/argument mismatches compile errors).
+  [[gnu::format(printf, 3, 4)]] void logf(LogLevel level, const char* fmt, ...);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+#define DOPHY_LOG(level_, ...)                                              \
+  do {                                                                      \
+    auto& logger_ = ::dophy::common::Logger::instance();                    \
+    if (logger_.enabled(level_)) logger_.logf((level_), __VA_ARGS__);       \
+  } while (0)
+
+#define DOPHY_TRACE(...) DOPHY_LOG(::dophy::common::LogLevel::kTrace, __VA_ARGS__)
+#define DOPHY_DEBUG(...) DOPHY_LOG(::dophy::common::LogLevel::kDebug, __VA_ARGS__)
+#define DOPHY_INFO(...) DOPHY_LOG(::dophy::common::LogLevel::kInfo, __VA_ARGS__)
+#define DOPHY_WARN(...) DOPHY_LOG(::dophy::common::LogLevel::kWarn, __VA_ARGS__)
+#define DOPHY_ERROR(...) DOPHY_LOG(::dophy::common::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dophy::common

@@ -1,0 +1,107 @@
+#include "dophy/common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace dophy::common {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // All-zero state is the one invalid xoshiro state; splitmix64 cannot
+  // produce four zero words from any seed, but guard regardless.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire-style rejection-free-in-expectation bounded draw.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint32_t Rng::geometric_trials(double p) noexcept {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return ~0u;  // never succeeds; caller must cap
+  const double u = 1.0 - next_double();  // in (0,1]
+  // P(T > t) = (1-p)^t; invert: T = ceil(log(u)/log(1-p)).
+  const double t = std::ceil(std::log(u) / std::log1p(-p));
+  if (t < 1.0) return 1;
+  if (t > 4.0e9) return ~0u;
+  return static_cast<std::uint32_t>(t);
+}
+
+double Rng::exponential(double lambda) noexcept {
+  const double u = 1.0 - next_double();
+  return -std::log(u) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  const double u1 = 1.0 - next_double();
+  const double u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+std::uint32_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double prod = next_double();
+    std::uint32_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= next_double();
+    }
+    return n;
+  }
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v < 0.0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace dophy::common

@@ -1,0 +1,86 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for simulation.
+//
+// We deliberately avoid <random> engines/distributions: their outputs are not
+// guaranteed to be identical across standard-library implementations, and
+// reproducible simulation traces are a hard requirement for the evaluation
+// harness.  Rng is xoshiro256** seeded via SplitMix64, with a small set of
+// exactly-specified distribution helpers.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dophy::common {
+
+/// xoshiro256** generator with deterministic, implementation-independent
+/// distribution helpers.  Cheap to copy; each simulation entity owns a
+/// `fork()`ed stream so entity order never perturbs other entities' draws.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). `bound` must be > 0. Unbiased (rejection).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Geometric "number of trials until first success" (support {1,2,...})
+  /// with success probability `p` in (0,1].  Draws one uniform and inverts
+  /// the CDF, so it costs one RNG call regardless of the outcome.
+  [[nodiscard]] std::uint32_t geometric_trials(double p) noexcept;
+
+  /// Exponential with rate `lambda` > 0.
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call, no caching, so the
+  /// stream is position-independent).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Poisson with mean `lambda` (Knuth for small lambda, normal approx for
+  /// large).
+  [[nodiscard]] std::uint32_t poisson(double lambda) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent stream; mutates this stream (consumes one draw).
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// std::uniform_random_bit_generator interface (for interop only).
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+  std::uint64_t operator()() noexcept { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// SplitMix64 step; exposed for seeding schemes and tests.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace dophy::common

@@ -1,0 +1,150 @@
+#include "dophy/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dophy::common {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_halfwidth() const noexcept { return 1.959964 * sem(); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double h = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+std::vector<std::pair<double, double>> ecdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+std::vector<double> average_ranks(const std::vector<double>& v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(v.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return pearson(average_ranks(x), average_ranks(y));
+}
+
+double entropy_bits(const std::vector<std::uint64_t>& counts) {
+  const std::uint64_t total = std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const std::uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double kl_divergence_bits(const std::vector<std::uint64_t>& p,
+                          const std::vector<std::uint64_t>& q) {
+  if (p.size() != q.size()) throw std::invalid_argument("kl_divergence_bits: size mismatch");
+  const double tp = static_cast<double>(
+      std::accumulate(p.begin(), p.end(), std::uint64_t{0}));
+  const double tq = static_cast<double>(
+      std::accumulate(q.begin(), q.end(), std::uint64_t{0}));
+  if (tp == 0.0 || tq == 0.0) return 0.0;
+  constexpr double kEps = 1e-9;
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = static_cast<double>(p[i]) / tp;
+    if (pi <= 0.0) continue;
+    const double qi = std::max(static_cast<double>(q[i]) / tq, kEps);
+    kl += pi * std::log2(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace dophy::common

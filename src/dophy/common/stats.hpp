@@ -1,0 +1,64 @@
+#pragma once
+
+// Streaming and batch statistics used by the evaluation harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dophy::common {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample by linear interpolation (type-7, the numpy default).
+/// `q` in [0,1].  Sorts a copy; fine for evaluation-sized vectors.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Convenience: median.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Empirical CDF evaluation points: returns (x, F(x)) pairs for the sorted
+/// sample, suitable for plotting/tabulation.
+[[nodiscard]] std::vector<std::pair<double, double>> ecdf(std::vector<double> values);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+[[nodiscard]] double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Shannon entropy (bits per symbol) of a count vector.
+[[nodiscard]] double entropy_bits(const std::vector<std::uint64_t>& counts);
+
+/// Kullback-Leibler divergence KL(p || q) in bits from count vectors.
+/// Zero-probability q-cells with nonzero p contribute via epsilon smoothing.
+[[nodiscard]] double kl_divergence_bits(const std::vector<std::uint64_t>& p,
+                                        const std::vector<std::uint64_t>& q);
+
+}  // namespace dophy::common

@@ -1,0 +1,48 @@
+#pragma once
+
+// Aligned-text and CSV table emission for the benchmark harnesses.  Every
+// figure/table binary prints one of these so the reproduced series are easy
+// to diff and to paste into a plotting tool.
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dophy::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  /// Any integer type.
+  template <typename T>
+    requires std::integral<T>
+  Table& cell(T value) {
+    return cell(std::to_string(value));
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Writes the table with padded columns, a header rule, and an optional
+  /// title line.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with log lines).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace dophy::common

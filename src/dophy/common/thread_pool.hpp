@@ -1,0 +1,54 @@
+#pragma once
+
+// Fixed-size worker pool with a `parallel_for` used to fan Monte-Carlo
+// trials across cores.  Each trial owns an independent Rng stream, so the
+// results are bitwise identical regardless of worker count or scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dophy::common {
+
+class ThreadPool {
+ public:
+  /// `worker_count` of 0 means hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw; wrap fallible work yourself.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool; blocks until done.
+/// body must be safe to invoke concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: shared process-wide pool sized to the machine.
+ThreadPool& global_pool();
+
+}  // namespace dophy::common

@@ -1,0 +1,28 @@
+#pragma once
+
+// Umbrella header: the public API a downstream user needs for the common
+// workflows (run experiments, wire a live measurement plane, analyze
+// traces).  Individual headers remain includable for finer-grained builds.
+
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+#include "dophy/common/table.hpp"
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/coding/codec.hpp"
+#include "dophy/coding/freq_model.hpp"
+
+#include "dophy/net/energy.hpp"
+#include "dophy/net/network.hpp"
+#include "dophy/net/trickle.hpp"
+
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/hash_path.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/metrics.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/eval/trace_io.hpp"

@@ -1,0 +1,44 @@
+#include "dophy/eval/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dophy::eval {
+
+std::vector<std::string> method_order(const MultiTrialResult& result) {
+  static const std::vector<std::string> kPreferred = {"dophy", "delivery-ratio", "nnls", "em"};
+  std::vector<std::string> order;
+  for (const auto& name : kPreferred) {
+    if (result.methods.contains(name)) order.push_back(name);
+  }
+  for (const auto& [name, agg] : result.methods) {
+    if (std::find(order.begin(), order.end(), name) == order.end()) order.push_back(name);
+  }
+  return order;
+}
+
+std::string format_ci(const dophy::common::RunningStats& stats, int precision) {
+  std::string out = dophy::common::format_double(stats.mean(), precision);
+  if (stats.count() > 1) {
+    out += " ±";
+    out += dophy::common::format_double(stats.ci95_halfwidth(), precision);
+  }
+  return out;
+}
+
+void print_method_comparison(std::ostream& os, const std::string& title,
+                             const MultiTrialResult& result) {
+  dophy::common::Table table({"method", "mae", "p90_abs_err", "spearman", "coverage"});
+  for (const auto& name : method_order(result)) {
+    const MethodAggregate& m = result.method(name);
+    table.row()
+        .cell(name)
+        .cell(format_ci(m.mae))
+        .cell(format_ci(m.p90_abs))
+        .cell(format_ci(m.spearman, 3))
+        .cell(format_ci(m.coverage, 3));
+  }
+  table.print(os, title);
+}
+
+}  // namespace dophy::eval

@@ -1,0 +1,25 @@
+#pragma once
+
+// Shared table-printing helpers for the figure/table benches.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dophy/common/table.hpp"
+#include "dophy/eval/runner.hpp"
+
+namespace dophy::eval {
+
+/// Standard method ordering for comparison tables.
+[[nodiscard]] std::vector<std::string> method_order(const MultiTrialResult& result);
+
+/// Appends "value ± ci95" formatted cell text.
+[[nodiscard]] std::string format_ci(const dophy::common::RunningStats& stats,
+                                    int precision = 4);
+
+/// One row per method: MAE / p90 / spearman / coverage.
+void print_method_comparison(std::ostream& os, const std::string& title,
+                             const MultiTrialResult& result);
+
+}  // namespace dophy::eval

@@ -1,0 +1,58 @@
+#include "dophy/eval/runner.hpp"
+
+#include <stdexcept>
+
+#include "dophy/common/thread_pool.hpp"
+
+namespace dophy::eval {
+
+const MethodAggregate& MultiTrialResult::method(const std::string& name) const {
+  const auto it = methods.find(name);
+  if (it == methods.end()) {
+    throw std::out_of_range("MultiTrialResult::method: no method named " + name);
+  }
+  return it->second;
+}
+
+MultiTrialResult run_trials(const dophy::tomo::PipelineConfig& base, std::size_t trials,
+                            std::uint64_t base_seed, bool keep_runs) {
+  std::vector<dophy::tomo::PipelineResult> results(trials);
+  dophy::common::parallel_for(
+      dophy::common::global_pool(), trials, [&](std::size_t i) {
+        dophy::tomo::PipelineConfig cfg = base;
+        cfg.net.seed = base_seed + i + 1;
+        results[i] = dophy::tomo::run_pipeline(cfg);
+      });
+
+  MultiTrialResult agg;
+  for (auto& r : results) {
+    for (const auto& m : r.methods) {
+      MethodAggregate& ma = agg.methods[m.name];
+      ma.coverage.add(m.summary.coverage);
+      // A method that scored zero links has no defined error; folding its
+      // zero-initialized summary in would fake perfect accuracy.
+      if (m.summary.links_scored == 0) continue;
+      ma.mae.add(m.summary.mae);
+      ma.rmse.add(m.summary.rmse);
+      ma.p90_abs.add(m.summary.p90_abs);
+      ma.spearman.add(m.summary.spearman);
+    }
+    agg.bits_per_packet.add(r.mean_bits_per_packet);
+    agg.bits_per_hop.add(r.encoder_stats.mean_bits_per_hop());
+    agg.id_bits_per_hop.add(r.encoder_stats.mean_id_bits_per_hop());
+    agg.retx_bits_per_hop.add(r.encoder_stats.mean_retx_bits_per_hop());
+    agg.path_length.add(r.mean_path_length);
+    agg.parent_changes_per_node_hour.add(r.parent_changes_per_node_hour);
+    agg.delivery_ratio.add(r.delivery_ratio_in_window);
+    agg.control_flood_kb.add(static_cast<double>(r.net_stats.control_flood_bytes) / 1024.0);
+    agg.measurement_air_kb.add(static_cast<double>(r.net_stats.measurement_air_bytes) / 1024.0);
+    agg.model_updates.add(static_cast<double>(r.manager_stats.updates_published));
+    const double decoded = static_cast<double>(r.decoder_stats.packets_decoded);
+    const double failed = static_cast<double>(r.decoder_stats.decode_failures);
+    agg.decode_failure_rate.add(decoded + failed > 0.0 ? failed / (decoded + failed) : 0.0);
+  }
+  if (keep_runs) agg.runs = std::move(results);
+  return agg;
+}
+
+}  // namespace dophy::eval

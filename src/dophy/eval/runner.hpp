@@ -1,0 +1,48 @@
+#pragma once
+
+// Monte-Carlo trial runner: executes a pipeline config across seeds (in
+// parallel) and aggregates per-method accuracy plus overhead metrics with
+// confidence intervals.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dophy/common/stats.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::eval {
+
+struct MethodAggregate {
+  dophy::common::RunningStats mae;
+  dophy::common::RunningStats rmse;
+  dophy::common::RunningStats p90_abs;
+  dophy::common::RunningStats spearman;
+  dophy::common::RunningStats coverage;
+};
+
+struct MultiTrialResult {
+  std::map<std::string, MethodAggregate> methods;
+  dophy::common::RunningStats bits_per_packet;
+  dophy::common::RunningStats bits_per_hop;
+  dophy::common::RunningStats id_bits_per_hop;
+  dophy::common::RunningStats retx_bits_per_hop;
+  dophy::common::RunningStats path_length;
+  dophy::common::RunningStats parent_changes_per_node_hour;
+  dophy::common::RunningStats delivery_ratio;
+  dophy::common::RunningStats control_flood_kb;
+  dophy::common::RunningStats measurement_air_kb;
+  dophy::common::RunningStats model_updates;
+  dophy::common::RunningStats decode_failure_rate;
+  std::vector<dophy::tomo::PipelineResult> runs;  ///< kept when requested
+
+  [[nodiscard]] const MethodAggregate& method(const std::string& name) const;
+};
+
+/// Runs `trials` pipelines with seeds base_seed+1..base_seed+trials across
+/// the global thread pool; deterministic regardless of scheduling.
+[[nodiscard]] MultiTrialResult run_trials(const dophy::tomo::PipelineConfig& base,
+                                          std::size_t trials, std::uint64_t base_seed,
+                                          bool keep_runs = false);
+
+}  // namespace dophy::eval

@@ -1,0 +1,104 @@
+#include "dophy/eval/scenario.hpp"
+
+#include <cmath>
+
+namespace dophy::eval {
+
+using dophy::tomo::PipelineConfig;
+
+PipelineConfig default_pipeline(std::size_t node_count, std::uint64_t seed) {
+  PipelineConfig cfg;
+  cfg.net.seed = seed;
+
+  auto& topo = cfg.net.topology;
+  topo.node_count = node_count;
+  topo.comm_range = 40.0;
+  // Field sized for mean degree ~8: area = N * pi R^2 / degree.
+  const double area = static_cast<double>(node_count) * 3.14159265358979 *
+                      topo.comm_range * topo.comm_range / 8.0;
+  topo.field_size = std::sqrt(area);
+  topo.layout = dophy::net::Layout::kRandom;
+  topo.sink_placement = dophy::net::SinkPlacement::kCorner;
+
+  cfg.net.mac.max_attempts = 8;
+  cfg.net.loss.kind = dophy::net::LossConfig::Kind::kBernoulli;
+  cfg.net.traffic.data_interval_s = 10.0;
+  cfg.net.routing.beacon_interval_s = 10.0;
+
+  cfg.dophy.censor_threshold = 4;
+  cfg.dophy.update.policy = dophy::tomo::ModelUpdateConfig::Policy::kPeriodic;
+  cfg.dophy.update.check_interval_s = 120.0;
+
+  cfg.warmup_s = 300.0;
+  cfg.measure_s = 3600.0;
+  cfg.snapshot_interval_s = 60.0;
+  return cfg;
+}
+
+void add_dynamics(PipelineConfig& config, double interval_s, double spread) {
+  config.net.loss.kind = dophy::net::LossConfig::Kind::kDrifting;
+  config.net.loss.drift_amplitude = 0.0;
+  config.net.loss.drift_shuffle_interval_s = interval_s;
+  config.net.loss.drift_shuffle_spread = spread;
+}
+
+void make_bursty(PipelineConfig& config) {
+  config.net.loss.kind = dophy::net::LossConfig::Kind::kGilbertElliott;
+  config.net.loss.ge_bad_multiplier = 4.0;
+  config.net.loss.ge_mean_good_s = 120.0;
+  config.net.loss.ge_mean_bad_s = 20.0;
+}
+
+void make_drifting(PipelineConfig& config, double amplitude, double period_s) {
+  config.net.loss.kind = dophy::net::LossConfig::Kind::kDrifting;
+  config.net.loss.drift_amplitude = amplitude;
+  config.net.loss.drift_period_s = period_s;
+  config.dophy.tracker_decay = 0.8;  // track the moving target
+}
+
+void add_churn(PipelineConfig& config, double churn_fraction, double mean_up_s,
+               double mean_down_s) {
+  config.net.churn.enabled = true;
+  config.net.churn.churn_fraction = churn_fraction;
+  config.net.churn.mean_up_s = mean_up_s;
+  config.net.churn.mean_down_s = mean_down_s;
+}
+
+void add_opportunism(PipelineConfig& config, double fraction) {
+  config.net.routing.opportunistic_fraction = fraction;
+}
+
+std::vector<NamedScenario> summary_scenarios(std::size_t node_count, std::uint64_t seed) {
+  std::vector<NamedScenario> scenarios;
+
+  scenarios.push_back({"static", default_pipeline(node_count, seed)});
+
+  {
+    auto cfg = default_pipeline(node_count, seed);
+    add_dynamics(cfg, 300.0, 0.15);
+    scenarios.push_back({"dynamic", std::move(cfg)});
+  }
+  {
+    auto cfg = default_pipeline(node_count, seed);
+    make_bursty(cfg);
+    scenarios.push_back({"bursty", std::move(cfg)});
+  }
+  {
+    auto cfg = default_pipeline(node_count, seed);
+    make_drifting(cfg, 0.08, 900.0);
+    scenarios.push_back({"drifting", std::move(cfg)});
+  }
+  {
+    auto cfg = default_pipeline(node_count, seed);
+    add_churn(cfg, 0.25, 600.0, 90.0);
+    scenarios.push_back({"churn", std::move(cfg)});
+  }
+  {
+    auto cfg = default_pipeline(node_count, seed);
+    add_opportunism(cfg, 0.35);
+    scenarios.push_back({"opportunistic", std::move(cfg)});
+  }
+  return scenarios;
+}
+
+}  // namespace dophy::eval

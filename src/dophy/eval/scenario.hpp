@@ -1,0 +1,49 @@
+#pragma once
+
+// Canonical experiment scenarios shared by benches, examples and tests, so
+// every figure draws from the same parameterization (and EXPERIMENTS.md can
+// describe each setting once).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::eval {
+
+/// Baseline parameterization: `node_count` nodes uniform in a square field
+/// sized for mean radio degree ~8, sink at the corner, Bernoulli losses from
+/// the distance curve, 8-attempt ARQ, 10 s data period, CTP-style routing.
+[[nodiscard]] dophy::tomo::PipelineConfig default_pipeline(std::size_t node_count,
+                                                           std::uint64_t seed);
+
+/// Adds link-quality re-randomization (the routing-dynamics knob).  Larger
+/// `spread` and shorter `interval_s` produce more parent churn.
+void add_dynamics(dophy::tomo::PipelineConfig& config, double interval_s, double spread);
+
+/// Switches losses to bursty Gilbert-Elliott channels.
+void make_bursty(dophy::tomo::PipelineConfig& config);
+
+/// Switches losses to smooth sinusoidal drift.
+void make_drifting(dophy::tomo::PipelineConfig& config, double amplitude, double period_s);
+
+/// Enables node churn (failure/recovery) on a fraction of the nodes.
+void add_churn(dophy::tomo::PipelineConfig& config, double churn_fraction,
+               double mean_up_s, double mean_down_s);
+
+/// Enables per-packet opportunistic forwarder selection (maximum path
+/// dynamics: even consecutive packets from one origin take different paths).
+void add_opportunism(dophy::tomo::PipelineConfig& config, double fraction);
+
+struct NamedScenario {
+  std::string name;
+  dophy::tomo::PipelineConfig config;
+};
+
+/// The four scenarios of the summary table (T1): static / dynamic / bursty /
+/// drifting, all at `node_count` nodes.
+[[nodiscard]] std::vector<NamedScenario> summary_scenarios(std::size_t node_count,
+                                                           std::uint64_t seed);
+
+}  // namespace dophy::eval

@@ -1,0 +1,126 @@
+#include "dophy/eval/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "dophy/tomo/link_inference.hpp"
+
+namespace dophy::eval {
+
+using dophy::net::HopRecord;
+using dophy::net::PacketFate;
+using dophy::net::PacketOutcome;
+
+namespace {
+
+const char* fate_name(PacketFate fate) {
+  switch (fate) {
+    case PacketFate::kDelivered: return "delivered";
+    case PacketFate::kDroppedRetries: return "retries";
+    case PacketFate::kDroppedNoRoute: return "noroute";
+    case PacketFate::kDroppedTtl: return "ttl";
+    case PacketFate::kDroppedQueue: return "queue";
+  }
+  return "?";
+}
+
+PacketFate fate_from(const std::string& name) {
+  if (name == "delivered") return PacketFate::kDelivered;
+  if (name == "retries") return PacketFate::kDroppedRetries;
+  if (name == "noroute") return PacketFate::kDroppedNoRoute;
+  if (name == "ttl") return PacketFate::kDroppedTtl;
+  if (name == "queue") return PacketFate::kDroppedQueue;
+  throw std::runtime_error("read_trace: unknown fate '" + name + "'");
+}
+
+}  // namespace
+
+std::size_t write_trace(std::ostream& os, const std::vector<PacketOutcome>& outcomes) {
+  os << "# dophy-trace v1: origin,seq,created_us,finished_us,fate,hops\n";
+  for (const PacketOutcome& o : outcomes) {
+    os << o.packet.origin << ',' << o.packet.seq << ',' << o.packet.created_at << ','
+       << o.finished_at << ',' << fate_name(o.fate) << ',';
+    for (std::size_t i = 0; i < o.packet.true_hops.size(); ++i) {
+      const HopRecord& h = o.packet.true_hops[i];
+      if (i) os << ';';
+      os << h.sender << '>' << h.receiver << ':' << h.attempts_to_first_rx;
+    }
+    os << '\n';
+  }
+  return outcomes.size();
+}
+
+std::vector<PacketOutcome> read_trace(std::istream& is) {
+  std::vector<PacketOutcome> outcomes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string field;
+    PacketOutcome o;
+    try {
+      std::getline(ls, field, ',');
+      o.packet.origin = static_cast<dophy::net::NodeId>(std::stoul(field));
+      std::getline(ls, field, ',');
+      o.packet.seq = static_cast<std::uint16_t>(std::stoul(field));
+      std::getline(ls, field, ',');
+      o.packet.created_at = std::stoll(field);
+      std::getline(ls, field, ',');
+      o.finished_at = std::stoll(field);
+      std::getline(ls, field, ',');
+      o.fate = fate_from(field);
+      std::string hops;
+      std::getline(ls, hops);
+      std::istringstream hs(hops);
+      std::string hop;
+      while (std::getline(hs, hop, ';')) {
+        if (hop.empty()) continue;
+        const auto gt = hop.find('>');
+        const auto colon = hop.find(':', gt);
+        if (gt == std::string::npos || colon == std::string::npos) {
+          throw std::runtime_error("bad hop field");
+        }
+        HopRecord h;
+        h.sender = static_cast<dophy::net::NodeId>(std::stoul(hop.substr(0, gt)));
+        h.receiver =
+            static_cast<dophy::net::NodeId>(std::stoul(hop.substr(gt + 1, colon - gt - 1)));
+        h.attempts_to_first_rx = static_cast<std::uint32_t>(std::stoul(hop.substr(colon + 1)));
+        h.total_attempts = h.attempts_to_first_rx;
+        o.packet.true_hops.push_back(h);
+      }
+      o.packet.hop_count = static_cast<std::uint16_t>(o.packet.true_hops.size());
+    } catch (const std::exception& e) {
+      throw std::runtime_error("read_trace: malformed line " + std::to_string(line_no) +
+                               ": " + e.what());
+    }
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+std::vector<std::pair<dophy::net::LinkKey, double>> offline_link_estimates(
+    const std::vector<PacketOutcome>& outcomes, std::uint32_t censor_threshold) {
+  dophy::tomo::LinkLossEstimator estimator(censor_threshold);
+  for (const PacketOutcome& o : outcomes) {
+    if (o.fate != PacketFate::kDelivered) continue;
+    for (const HopRecord& h : o.packet.true_hops) {
+      const bool censored = h.attempts_to_first_rx >= censor_threshold;
+      estimator.observe(
+          dophy::net::LinkKey{h.sender, h.receiver},
+          dophy::tomo::HopObservation{
+              censored ? censor_threshold : h.attempts_to_first_rx, censored});
+    }
+  }
+  std::vector<std::pair<dophy::net::LinkKey, double>> out;
+  for (const auto& [key, est] : estimator.all_estimates()) {
+    out.emplace_back(key, est.loss);
+  }
+  return out;
+}
+
+}  // namespace dophy::eval

@@ -1,0 +1,32 @@
+#pragma once
+
+// Packet-trace export/import.  Runs can dump their delivered/dropped packet
+// records to a portable text format and analyses can be re-run offline —
+// the workflow a deployment would use (collect at the sink, analyze later).
+//
+// Format: one record per line,
+//   origin,seq,created_us,finished_us,fate,hop1_sender>hop1_receiver:attempts;hop2...
+// with a `#`-prefixed header. Only simulator-side ground-truth hops are
+// stored (the blob is an in-memory artifact of the live decoder path).
+
+#include <iosfwd>
+#include <vector>
+
+#include "dophy/net/trace.hpp"
+
+namespace dophy::eval {
+
+/// Writes `outcomes` to `os`; returns the number of records written.
+std::size_t write_trace(std::ostream& os,
+                        const std::vector<dophy::net::PacketOutcome>& outcomes);
+
+/// Reads records back.  Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<dophy::net::PacketOutcome> read_trace(std::istream& is);
+
+/// Convenience: per-link (attempts-based) loss estimates computed offline
+/// from a trace's ground-truth hops with the censored-geometric MLE at
+/// threshold K — lets external traces reuse the sink estimator.
+[[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, double>> offline_link_estimates(
+    const std::vector<dophy::net::PacketOutcome>& outcomes, std::uint32_t censor_threshold);
+
+}  // namespace dophy::eval

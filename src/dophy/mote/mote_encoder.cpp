@@ -1,0 +1,148 @@
+#include "dophy/mote/mote_encoder.hpp"
+
+namespace dophy::mote {
+
+namespace {
+
+constexpr std::uint32_t kTop = 0xFFFFFFFFu;
+constexpr std::uint32_t kHalf = 0x80000000u;
+constexpr std::uint32_t kQuarter = 0x40000000u;
+constexpr std::uint32_t kThreeQuarters = kHalf + kQuarter;
+
+/// LEB128 read without exceptions; returns false on truncation/overlong.
+bool read_varint(const std::uint8_t* bytes, std::size_t size, std::size_t& offset,
+                 std::uint32_t& value) {
+  value = 0;
+  std::uint8_t shift = 0;
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    if (offset >= size) return false;
+    const std::uint8_t b = bytes[offset++];
+    value |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift = static_cast<std::uint8_t>(shift + 7);
+  }
+  return false;
+}
+
+/// Appends one bit to the packet stream; false if the budget is exhausted.
+bool put_bit(MotePacketState& state, bool bit) {
+  const std::uint16_t byte_index = static_cast<std::uint16_t>(state.bit_len >> 3);
+  if (byte_index >= kMaxStreamBytes) return false;
+  if (bit) {
+    state.stream[byte_index] = static_cast<std::uint8_t>(
+        state.stream[byte_index] | (0x80u >> (state.bit_len & 7)));
+  } else {
+    state.stream[byte_index] = static_cast<std::uint8_t>(
+        state.stream[byte_index] & ~(0x80u >> (state.bit_len & 7)));
+  }
+  ++state.bit_len;
+  return true;
+}
+
+bool emit_with_pending(MotePacketState& state, bool bit) {
+  if (!put_bit(state, bit)) return false;
+  while (state.pending > 0) {
+    if (!put_bit(state, !bit)) return false;
+    --state.pending;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status MoteModel::load(const std::uint8_t* bytes, std::size_t size) {
+  std::size_t offset = 0;
+  std::uint32_t n = 0;
+  if (!read_varint(bytes, size, offset, n)) return Status::kBadModel;
+  if (n == 0 || n > kMaxModelSymbols) return Status::kBadModel;
+  count = static_cast<std::uint16_t>(n);
+  std::uint32_t running = 0;
+  cum[0] = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::uint32_t freq = 0;
+    if (!read_varint(bytes, size, offset, freq)) return Status::kBadModel;
+    if (freq == 0) return Status::kBadModel;
+    running += freq;
+    if (running > 0x10000) return Status::kBadModel;  // coder cap is 2^16
+    cum[s + 1] = running;
+  }
+  return Status::kOk;
+}
+
+void mote_on_origin(MotePacketState& state, std::uint8_t model_version) {
+  for (std::size_t i = 0; i < kMaxStreamBytes; ++i) state.stream[i] = 0;
+  state.bit_len = 0;
+  state.low = 0;
+  state.high = kTop;
+  state.pending = 0;
+  state.model_version = model_version;
+  state.truncated = false;
+}
+
+Status mote_encode_symbol(MotePacketState& state, const MoteModel& model,
+                          std::uint16_t symbol) {
+  if (state.truncated) return Status::kTruncated;
+  if (symbol >= model.count) return Status::kBadSymbol;
+
+  const std::uint64_t total = model.total();
+  const std::uint64_t cum_lo = model.cum[symbol];
+  const std::uint64_t cum_hi = model.cum[symbol + 1];
+
+  // Snapshot so a budget failure leaves the state untouched (the packet is
+  // then poisoned, matching the host encoder).
+  const MotePacketState saved = state;
+
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(state.high) - state.low + 1;
+  state.high =
+      static_cast<std::uint32_t>(state.low + (range * cum_hi) / total - 1);
+  state.low = static_cast<std::uint32_t>(state.low + (range * cum_lo) / total);
+
+  for (;;) {
+    if (state.high < kHalf) {
+      if (!emit_with_pending(state, false)) {
+        state = saved;
+        state.truncated = true;
+        return Status::kBudget;
+      }
+    } else if (state.low >= kHalf) {
+      if (!emit_with_pending(state, true)) {
+        state = saved;
+        state.truncated = true;
+        return Status::kBudget;
+      }
+      state.low -= kHalf;
+      state.high -= kHalf;
+    } else if (state.low >= kQuarter && state.high < kThreeQuarters) {
+      ++state.pending;
+      state.low -= kQuarter;
+      state.high -= kQuarter;
+    } else {
+      break;
+    }
+    state.low <<= 1;
+    state.high = (state.high << 1) | 1u;
+  }
+  return Status::kOk;
+}
+
+Status mote_finish(MotePacketState& state) {
+  if (state.truncated) return Status::kTruncated;
+  ++state.pending;
+  const bool bit = state.low >= kQuarter;
+  if (!emit_with_pending(state, bit)) {
+    state.truncated = true;
+    return Status::kBudget;
+  }
+  return Status::kOk;
+}
+
+Status mote_append_hop(MotePacketState& state, const MoteModel& id_model,
+                       const MoteModel& retx_model, std::uint16_t receiver_id,
+                       std::uint16_t retx_symbol) {
+  const Status id_status = mote_encode_symbol(state, id_model, receiver_id);
+  if (id_status != Status::kOk) return id_status;
+  return mote_encode_symbol(state, retx_model, retx_symbol);
+}
+
+}  // namespace dophy::mote

@@ -1,0 +1,86 @@
+#pragma once
+
+// Mote-constrained reference implementation of Dophy's node-side encoder.
+//
+// The paper implements Dophy on TinyOS (TelosB-class motes: ~10 KB RAM, no
+// heap, no exceptions, nesC/C).  This module demonstrates that the node-side
+// hot path — install a disseminated model, stamp a packet at the origin,
+// resume/append/suspend per hop — fits those constraints:
+//
+//   * no dynamic allocation (fixed-size arrays, compile-time capacities),
+//   * no exceptions (every operation returns a status code),
+//   * integer-only arithmetic,
+//   * RAM budget enforced by static_asserts and tests.
+//
+// Equivalence with the full-featured dophy::tomo encoder is bit-exact and
+// property-tested: the streams a mote produces are decodable by the standard
+// sink decoder.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dophy::mote {
+
+/// Compile-time capacities (TelosB-sized).
+inline constexpr std::size_t kMaxModelSymbols = 256;  ///< id alphabet bound
+inline constexpr std::size_t kMaxStreamBytes = 40;    ///< in-packet budget
+inline constexpr std::size_t kMaxRetxSymbols = 16;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadModel,       ///< malformed serialized model
+  kBadSymbol,      ///< symbol outside the model's alphabet
+  kBudget,         ///< stream would exceed kMaxStreamBytes
+  kTruncated,      ///< packet already poisoned; nothing appended
+};
+
+/// Quantized frequency table in fixed storage.  Mirrors
+/// dophy::coding::StaticModel bit-for-bit (same wire format, same cumulative
+/// layout) so both sides code identically.
+struct MoteModel {
+  /// cum[s] = freq mass below s; 32-bit because totals may be exactly 2^16.
+  std::uint32_t cum[kMaxModelSymbols + 1];
+  std::uint16_t count;  ///< symbols in the alphabet
+
+  /// Parses the StaticModel wire format (varint count, varint freqs).
+  /// Returns kBadModel on truncation/overflow; no allocation.
+  Status load(const std::uint8_t* bytes, std::size_t size);
+
+  std::uint32_t total() const { return cum[count]; }
+};
+
+/// Per-packet measurement state as it would live in a packet buffer: the
+/// partially emitted stream plus the suspended coder registers.
+struct MotePacketState {
+  std::uint8_t stream[kMaxStreamBytes];
+  std::uint16_t bit_len;
+  std::uint32_t low;
+  std::uint32_t high;
+  std::uint16_t pending;
+  std::uint8_t model_version;
+  bool truncated;
+};
+
+/// Initializes packet state at the origin (fresh registers, empty stream).
+void mote_on_origin(MotePacketState& state, std::uint8_t model_version);
+
+/// Appends one arithmetic-coded symbol under `model`.  On kBudget the state
+/// is marked truncated (matching the host encoder's poisoning semantics).
+Status mote_encode_symbol(MotePacketState& state, const MoteModel& model,
+                          std::uint16_t symbol);
+
+/// Terminates the stream (sink-side final hop).  After this no more symbols
+/// may be appended.
+Status mote_finish(MotePacketState& state);
+
+/// Convenience for the per-hop operation: encode receiver id then the
+/// aggregated retransmission symbol.
+Status mote_append_hop(MotePacketState& state, const MoteModel& id_model,
+                       const MoteModel& retx_model, std::uint16_t receiver_id,
+                       std::uint16_t retx_symbol);
+
+// The whole per-packet state must stay pocket-sized.
+static_assert(sizeof(MotePacketState) <= kMaxStreamBytes + 16,
+              "packet state must fit alongside a data payload");
+
+}  // namespace dophy::mote

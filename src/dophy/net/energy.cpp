@@ -1,0 +1,34 @@
+#include "dophy/net/energy.hpp"
+
+namespace dophy::net {
+
+EnergyBreakdown estimate_energy(const NetworkStats& stats, const EnergyModel& model) {
+  EnergyBreakdown e;
+  const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  e.data_tx_uj = d(stats.data_tx_attempts) * model.tx_uj_per_frame;
+  e.data_rx_uj = d(stats.data_rx_frames) * model.rx_uj_per_frame;
+  // One ACK per received data frame; ACK frames are short, charge frame cost
+  // only, on both radios.
+  e.acks_uj = d(stats.data_rx_frames) * (model.tx_uj_per_frame + model.rx_uj_per_frame);
+  // Each beacon is one broadcast tx; receptions are in control_rx_frames
+  // (which also contains ACK receptions — subtract them).
+  const double ack_rx = d(stats.data_rx_frames);
+  const double beacon_rx =
+      d(stats.control_rx_frames) > ack_rx ? d(stats.control_rx_frames) - ack_rx : 0.0;
+  e.beacons_uj =
+      d(stats.beacons_sent) * model.tx_uj_per_frame + beacon_rx * model.rx_uj_per_frame;
+  // Flood cost: every node rebroadcasts the payload once (frame + bytes) and
+  // its neighbors receive it; we charge tx side + one rx per tx as a
+  // conservative floor.
+  const double flood_frames =
+      stats.control_flood_bytes > 0 ? d(stats.control_flood_bytes) / 64.0 : 0.0;
+  e.flood_uj = d(stats.control_flood_bytes) * model.tx_uj_per_byte +
+               flood_frames * (model.tx_uj_per_frame + model.rx_uj_per_frame);
+  // Measurement blob bytes ride existing data frames: per-byte cost on the
+  // tx side (the rx radio is on for the frame anyway).
+  e.measurement_uj = d(stats.measurement_air_bytes) * model.tx_uj_per_byte;
+  return e;
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,43 @@
+#pragma once
+
+// Radio-energy estimation from network counters.  The model follows the
+// CC2420-class numbers WSN papers use: a per-frame cost (preamble, header,
+// turnaround) plus a per-payload-byte cost.  It is an accounting layer over
+// NetworkStats, not a simulation-time model — adequate for comparing the
+// energy overhead of measurement schemes, which is what the evaluation
+// needs.
+
+#include "dophy/net/network.hpp"
+
+namespace dophy::net {
+
+struct EnergyModel {
+  double tx_uj_per_frame = 45.0;  ///< fixed per transmitted frame
+  double rx_uj_per_frame = 50.0;  ///< fixed per received frame
+  double tx_uj_per_byte = 1.2;    ///< per payload byte transmitted
+};
+
+struct EnergyBreakdown {
+  double data_tx_uj = 0.0;      ///< data frames (incl. retransmissions)
+  double data_rx_uj = 0.0;
+  double acks_uj = 0.0;         ///< one ACK per received data frame (tx + rx)
+  double beacons_uj = 0.0;      ///< routing beacons (tx + neighbor rx)
+  double flood_uj = 0.0;        ///< model-dissemination payload bytes
+  double measurement_uj = 0.0;  ///< measurement blob bytes riding data frames
+
+  [[nodiscard]] double total_mj() const noexcept {
+    return (data_tx_uj + data_rx_uj + acks_uj + beacons_uj + flood_uj + measurement_uj) /
+           1000.0;
+  }
+  /// Fraction of the total spent on the measurement plane (blob + floods).
+  [[nodiscard]] double measurement_fraction() const noexcept {
+    const double total = total_mj() * 1000.0;
+    return total > 0.0 ? (flood_uj + measurement_uj) / total : 0.0;
+  }
+};
+
+/// Estimates the radio energy a run consumed from its aggregate counters.
+[[nodiscard]] EnergyBreakdown estimate_energy(const NetworkStats& stats,
+                                              const EnergyModel& model = {});
+
+}  // namespace dophy::net

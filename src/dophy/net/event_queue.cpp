@@ -1,0 +1,28 @@
+#include "dophy/net/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dophy::net {
+
+void EventQueue::push(SimTime at, Callback cb) {
+  heap_.push_back(Entry{at, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+SimTime EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty queue");
+  return heap_.front().time;
+}
+
+EventQueue::Callback EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Callback cb = std::move(heap_.back().cb);
+  heap_.pop_back();
+  return cb;
+}
+
+void EventQueue::clear() noexcept { heap_.clear(); }
+
+}  // namespace dophy::net

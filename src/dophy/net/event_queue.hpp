@@ -1,0 +1,52 @@
+#pragma once
+
+// Discrete-event priority queue.  Events at equal timestamps execute in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// which makes whole-simulation runs bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`.
+  void push(SimTime at, Callback cb);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest event; queue must be non-empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest event's callback (FIFO among equal
+  /// times); queue must be non-empty.
+  [[nodiscard]] Callback pop();
+
+  void clear() noexcept;
+
+  /// Total events ever pushed (for throughput metrics).
+  [[nodiscard]] std::uint64_t pushed_count() const noexcept { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  // Min-heap ordering (std::push_heap builds a max-heap, so invert).
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,40 @@
+#include "dophy/net/link.hpp"
+
+#include <stdexcept>
+
+namespace dophy::net {
+
+Link::Link(LinkKey key, std::unique_ptr<LossProcess> loss, dophy::common::Rng rng)
+    : key_(key), loss_(std::move(loss)), rng_(rng) {}
+
+bool Link::attempt_data(SimTime now) {
+  ++data_attempts_;
+  const bool lost = loss_->attempt_lost(now, rng_);
+  if (lost) ++data_losses_;
+  return !lost;
+}
+
+bool Link::attempt_control(SimTime now) {
+  ++control_attempts_;
+  const bool lost = loss_->attempt_lost(now, rng_);
+  if (lost) ++control_losses_;
+  return !lost;
+}
+
+void Link::replace_loss_process(std::unique_ptr<LossProcess> process) {
+  if (!process) throw std::invalid_argument("Link::replace_loss_process: null process");
+  loss_ = std::move(process);
+}
+
+double Link::empirical_loss(SimTime now) const noexcept {
+  if (data_attempts_ == 0) return loss_->nominal_loss(now);
+  return static_cast<double>(data_losses_) / static_cast<double>(data_attempts_);
+}
+
+double Link::empirical_loss_since(const Snapshot& start, SimTime now) const noexcept {
+  const std::uint64_t attempts = data_attempts_ - start.attempts;
+  if (attempts == 0) return loss_->nominal_loss(now);
+  return static_cast<double>(data_losses_ - start.losses) / static_cast<double>(attempts);
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,69 @@
+#pragma once
+
+// Directed radio link: a loss process plus empirical counters.  The
+// cumulative counters are the evaluation ground truth — tomography estimates
+// are scored against `empirical_loss()` over the same window the estimator
+// consumed.
+
+#include <cstdint>
+#include <memory>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/loss_model.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+class Link {
+ public:
+  Link(LinkKey key, std::unique_ptr<LossProcess> loss, dophy::common::Rng rng);
+
+  [[nodiscard]] LinkKey key() const noexcept { return key_; }
+
+  /// Performs one transmission attempt of a data frame; updates counters.
+  [[nodiscard]] bool attempt_data(SimTime now);
+
+  /// One broadcast/control-frame attempt (beacons, model dissemination);
+  /// counted separately so data-plane ground truth stays clean.
+  [[nodiscard]] bool attempt_control(SimTime now);
+
+  /// Cumulative data-frame attempt/loss counters.
+  [[nodiscard]] std::uint64_t data_attempts() const noexcept { return data_attempts_; }
+  [[nodiscard]] std::uint64_t data_losses() const noexcept { return data_losses_; }
+  [[nodiscard]] std::uint64_t control_attempts() const noexcept { return control_attempts_; }
+  [[nodiscard]] std::uint64_t control_losses() const noexcept { return control_losses_; }
+
+  /// Empirical data-frame loss ratio since construction (NaN-free: returns
+  /// the nominal value when no attempts were made).
+  [[nodiscard]] double empirical_loss(SimTime now) const noexcept;
+
+  /// Empirical loss over a window given a counter snapshot taken at the
+  /// window start.
+  struct Snapshot {
+    std::uint64_t attempts = 0;
+    std::uint64_t losses = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept { return {data_attempts_, data_losses_}; }
+  [[nodiscard]] double empirical_loss_since(const Snapshot& start, SimTime now) const noexcept;
+
+  [[nodiscard]] double nominal_loss(SimTime now) const noexcept {
+    return loss_->nominal_loss(now);
+  }
+
+  [[nodiscard]] LossProcess& loss_process() noexcept { return *loss_; }
+
+  /// Swaps the loss process (e.g. scripting a degradation mid-run); counters
+  /// are untouched.
+  void replace_loss_process(std::unique_ptr<LossProcess> process);
+
+ private:
+  LinkKey key_;
+  std::unique_ptr<LossProcess> loss_;
+  dophy::common::Rng rng_;
+  std::uint64_t data_attempts_ = 0;
+  std::uint64_t data_losses_ = 0;
+  std::uint64_t control_attempts_ = 0;
+  std::uint64_t control_losses_ = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,55 @@
+#include "dophy/net/link_estimator.hpp"
+
+#include <algorithm>
+
+namespace dophy::net {
+
+void LinkQualityEstimate::on_data_tx(std::uint32_t total_attempts, bool delivered) noexcept {
+  // A failed exchange is at least as bad as needing every attempt; charge a
+  // pessimistic 2x so dead links decay fast.
+  const double sample = delivered ? static_cast<double>(total_attempts)
+                                  : 2.0 * static_cast<double>(total_attempts);
+  if (data_samples_ == 0) {
+    data_etx_ = sample;
+  } else {
+    data_etx_ = config_->data_alpha * data_etx_ + (1.0 - config_->data_alpha) * sample;
+  }
+  ++data_samples_;
+  data_etx_ = std::min(data_etx_, config_->max_etx);
+}
+
+void LinkQualityEstimate::on_beacon(std::uint16_t seq) noexcept {
+  if (!have_beacon_) {
+    have_beacon_ = true;
+    last_beacon_seq_ = seq;
+    beacon_prr_ = 1.0;
+    return;
+  }
+  // Sequence numbers are uint16 and wrap; treat backward jumps as restart.
+  const std::uint16_t gap = static_cast<std::uint16_t>(seq - last_beacon_seq_);
+  last_beacon_seq_ = seq;
+  if (gap == 0 || gap > 100) {
+    beacon_prr_ = 1.0;  // duplicate or restart: reset optimistically
+    return;
+  }
+  // gap-1 missed beacons followed by one received.
+  for (std::uint16_t i = 1; i < gap; ++i) {
+    beacon_prr_ = config_->beacon_alpha * beacon_prr_;
+  }
+  beacon_prr_ = config_->beacon_alpha * beacon_prr_ + (1.0 - config_->beacon_alpha);
+}
+
+double LinkQualityEstimate::etx() const noexcept {
+  if (data_samples_ >= config_->min_data_samples) return data_etx_;
+  if (beacon_prr_ > 0.0) {
+    // Beacon PRR measures the inbound direction; use it as a symmetric
+    // proxy, blended with the optimistic prior while data is scarce.
+    const double beacon_etx = std::min(1.0 / std::max(beacon_prr_, 1.0 / config_->max_etx),
+                                       config_->max_etx);
+    if (data_samples_ > 0) return 0.5 * data_etx_ + 0.5 * beacon_etx;
+    return beacon_etx;
+  }
+  return data_samples_ > 0 ? data_etx_ : config_->initial_etx;
+}
+
+}  // namespace dophy::net

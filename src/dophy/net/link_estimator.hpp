@@ -1,0 +1,53 @@
+#pragma once
+
+// Node-local link-quality (ETX) estimation, in the spirit of CTP's hybrid
+// estimator: unicast data transmissions give the sharpest signal (attempts
+// needed per delivered packet IS the link ETX), beacon sequence-number gaps
+// provide a bootstrap estimate before any data has flowed.
+
+#include <cstdint>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+struct LinkEstimatorConfig {
+  double data_alpha = 0.95;   ///< EWMA weight on history for data ETX
+  double beacon_alpha = 0.8;  ///< EWMA weight on history for beacon PRR
+  std::uint32_t min_data_samples = 3;  ///< below this, fall back to beacons
+  double initial_etx = 3.0;   ///< optimistic prior for unexplored links
+  double max_etx = 16.0;
+};
+
+/// Quality estimate for one (self -> neighbor) link.
+class LinkQualityEstimate {
+ public:
+  explicit LinkQualityEstimate(const LinkEstimatorConfig& config) noexcept
+      : config_(&config) {}
+
+  /// Records a completed ARQ exchange (total sender-side attempts; failures
+  /// charge the full attempt budget like a delivery that cost that much).
+  void on_data_tx(std::uint32_t total_attempts, bool delivered) noexcept;
+
+  /// Records a received beacon carrying `seq`; gaps against the previous
+  /// sequence number count as losses.
+  void on_beacon(std::uint16_t seq) noexcept;
+
+  /// Current ETX estimate for this link.
+  [[nodiscard]] double etx() const noexcept;
+
+  /// Inferred inbound beacon PRR (negative when no beacon seen yet).
+  [[nodiscard]] double beacon_prr() const noexcept { return beacon_prr_; }
+
+  [[nodiscard]] std::uint32_t data_samples() const noexcept { return data_samples_; }
+
+ private:
+  const LinkEstimatorConfig* config_;
+  double data_etx_ = 0.0;
+  std::uint32_t data_samples_ = 0;
+  double beacon_prr_ = -1.0;
+  std::uint16_t last_beacon_seq_ = 0;
+  bool have_beacon_ = false;
+};
+
+}  // namespace dophy::net

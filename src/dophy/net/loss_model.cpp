@@ -1,0 +1,122 @@
+#include "dophy/net/loss_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <stdexcept>
+
+namespace dophy::net {
+
+namespace {
+constexpr double kMinLoss = 0.001;
+constexpr double kMaxLoss = 0.95;
+
+double clamp_loss(double p) noexcept { return std::clamp(p, kMinLoss, kMaxLoss); }
+}  // namespace
+
+BernoulliLoss::BernoulliLoss(double loss_probability) : p_(loss_probability) {
+  if (loss_probability < 0.0 || loss_probability > 1.0) {
+    throw std::invalid_argument("BernoulliLoss: probability out of [0,1]");
+  }
+}
+
+bool BernoulliLoss::attempt_lost(SimTime /*now*/, dophy::common::Rng& rng) {
+  return rng.bernoulli(p_);
+}
+
+double BernoulliLoss::nominal_loss(SimTime /*now*/) const noexcept { return p_; }
+
+GilbertElliottLoss::GilbertElliottLoss(const Params& params, dophy::common::Rng& seed_rng)
+    : params_(params) {
+  if (params.mean_good_duration_s <= 0.0 || params.mean_bad_duration_s <= 0.0) {
+    throw std::invalid_argument("GilbertElliottLoss: non-positive sojourn time");
+  }
+  // Start in the stationary distribution so early windows are unbiased.
+  const double pi_bad =
+      params.mean_bad_duration_s / (params.mean_good_duration_s + params.mean_bad_duration_s);
+  bad_ = seed_rng.bernoulli(pi_bad);
+  const double mean = bad_ ? params.mean_bad_duration_s : params.mean_good_duration_s;
+  next_transition_ = static_cast<SimTime>(seed_rng.exponential(1.0 / mean) * 1e6);
+}
+
+void GilbertElliottLoss::maybe_transition(SimTime now, dophy::common::Rng& rng) {
+  while (now >= next_transition_) {
+    bad_ = !bad_;
+    const double mean = bad_ ? params_.mean_bad_duration_s : params_.mean_good_duration_s;
+    next_transition_ += static_cast<SimTime>(std::max(1.0, rng.exponential(1.0 / mean) * 1e6));
+  }
+}
+
+bool GilbertElliottLoss::attempt_lost(SimTime now, dophy::common::Rng& rng) {
+  maybe_transition(now, rng);
+  return rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliottLoss::nominal_loss(SimTime /*now*/) const noexcept {
+  const double pi_bad = params_.mean_bad_duration_s /
+                        (params_.mean_good_duration_s + params_.mean_bad_duration_s);
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+DriftingLoss::DriftingLoss(const Params& params, dophy::common::Rng& seed_rng)
+    : params_(params), current_base_(params.base) {
+  if (params.period_s <= 0.0) throw std::invalid_argument("DriftingLoss: non-positive period");
+  next_shuffle_ = params.shuffle_interval_s > 0.0
+                      ? static_cast<SimTime>(seed_rng.uniform(0.5, 1.5) *
+                                             params.shuffle_interval_s * 1e6)
+                      : std::numeric_limits<SimTime>::max();
+}
+
+void DriftingLoss::maybe_shuffle(SimTime now, dophy::common::Rng& rng) {
+  while (now >= next_shuffle_) {
+    current_base_ = clamp_loss(params_.base +
+                               rng.uniform(-params_.shuffle_spread, params_.shuffle_spread));
+    next_shuffle_ += static_cast<SimTime>(
+        std::max(1.0, rng.uniform(0.5, 1.5) * params_.shuffle_interval_s * 1e6));
+  }
+}
+
+bool DriftingLoss::attempt_lost(SimTime now, dophy::common::Rng& rng) {
+  maybe_shuffle(now, rng);
+  return rng.bernoulli(nominal_loss(now));
+}
+
+double DriftingLoss::nominal_loss(SimTime now) const noexcept {
+  const double t = static_cast<double>(now) / 1e6;
+  const double wave =
+      params_.amplitude * std::sin(6.283185307179586 * t / params_.period_s + params_.phase);
+  return clamp_loss(current_base_ + wave);
+}
+
+ScriptedLoss::ScriptedLoss(std::vector<Step> steps) : steps_(std::move(steps)) {
+  if (steps_.empty()) throw std::invalid_argument("ScriptedLoss: empty schedule");
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].from < steps_[i - 1].from) {
+      throw std::invalid_argument("ScriptedLoss: schedule not sorted");
+    }
+  }
+}
+
+bool ScriptedLoss::attempt_lost(SimTime now, dophy::common::Rng& rng) {
+  return rng.bernoulli(nominal_loss(now));
+}
+
+double ScriptedLoss::nominal_loss(SimTime now) const noexcept {
+  double loss = steps_.front().loss;
+  for (const Step& s : steps_) {
+    if (s.from > now) break;
+    loss = s.loss;
+  }
+  return clamp_loss(loss);
+}
+
+double distance_loss(double distance, double comm_range, double noise) {
+  if (comm_range <= 0.0) return kMaxLoss;
+  const double d = std::max(0.0, distance) / comm_range;  // normalized [0, 1+]
+  // Logistic ramp centered at ~0.75R: near nodes see a few percent loss,
+  // edge-of-range links 40-60%.
+  const double base = 0.02 + 0.75 / (1.0 + std::exp(-(d - 0.78) * 10.0));
+  return clamp_loss(base + noise);
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,121 @@
+#pragma once
+
+// Per-link packet-loss processes.  Each directed link owns one process; the
+// MAC consults it once per transmission attempt.  Processes also report
+// their *configured* loss level for reference, but estimator scoring uses
+// the empirical attempt/loss counters kept by Link — that is the only
+// ground truth that is well-defined for bursty and drifting processes.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+class LossProcess {
+ public:
+  virtual ~LossProcess() = default;
+
+  /// Returns true if a transmission attempt at `now` is lost.  May advance
+  /// internal state (e.g. Gilbert-Elliott channel state).
+  [[nodiscard]] virtual bool attempt_lost(SimTime now, dophy::common::Rng& rng) = 0;
+
+  /// The process's nominal loss probability at `now` (stationary average
+  /// for GE; instantaneous value for drifting processes).
+  [[nodiscard]] virtual double nominal_loss(SimTime now) const noexcept = 0;
+};
+
+/// Independent Bernoulli loss with fixed probability.
+class BernoulliLoss final : public LossProcess {
+ public:
+  explicit BernoulliLoss(double loss_probability);
+
+  [[nodiscard]] bool attempt_lost(SimTime now, dophy::common::Rng& rng) override;
+  [[nodiscard]] double nominal_loss(SimTime now) const noexcept override;
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott channel: per-attempt loss p_good/p_bad, with
+/// exponential sojourn times in each state.
+class GilbertElliottLoss final : public LossProcess {
+ public:
+  struct Params {
+    double loss_good = 0.05;
+    double loss_bad = 0.6;
+    double mean_good_duration_s = 60.0;
+    double mean_bad_duration_s = 10.0;
+  };
+
+  GilbertElliottLoss(const Params& params, dophy::common::Rng& seed_rng);
+
+  [[nodiscard]] bool attempt_lost(SimTime now, dophy::common::Rng& rng) override;
+  [[nodiscard]] double nominal_loss(SimTime now) const noexcept override;
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  void maybe_transition(SimTime now, dophy::common::Rng& rng);
+
+  Params params_;
+  bool bad_ = false;
+  SimTime next_transition_ = 0;
+};
+
+/// Loss that drifts over time: base probability plus a sinusoid, optionally
+/// re-randomized at "shuffle" epochs — the knob that drives routing-parent
+/// churn in the dynamics experiments (F6).
+class DriftingLoss final : public LossProcess {
+ public:
+  struct Params {
+    double base = 0.1;          ///< mean loss level
+    double amplitude = 0.0;     ///< sinusoid amplitude
+    double period_s = 600.0;    ///< sinusoid period
+    double phase = 0.0;         ///< radians
+    double shuffle_interval_s = 0.0;  ///< 0 disables re-randomization
+    double shuffle_spread = 0.0;      ///< new base drawn base ± spread
+  };
+
+  DriftingLoss(const Params& params, dophy::common::Rng& seed_rng);
+
+  [[nodiscard]] bool attempt_lost(SimTime now, dophy::common::Rng& rng) override;
+  [[nodiscard]] double nominal_loss(SimTime now) const noexcept override;
+
+ private:
+  void maybe_shuffle(SimTime now, dophy::common::Rng& rng);
+
+  Params params_;
+  double current_base_;
+  SimTime next_shuffle_;
+};
+
+/// Piecewise-constant loss schedule: loss stays at each step's level until
+/// the next step's start time.  Used by detection-latency experiments that
+/// degrade a chosen link at a known instant.
+class ScriptedLoss final : public LossProcess {
+ public:
+  struct Step {
+    SimTime from = 0;
+    double loss = 0.1;
+  };
+
+  /// `steps` must be non-empty and sorted by `from` ascending.
+  explicit ScriptedLoss(std::vector<Step> steps);
+
+  [[nodiscard]] bool attempt_lost(SimTime now, dophy::common::Rng& rng) override;
+  [[nodiscard]] double nominal_loss(SimTime now) const noexcept override;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Distance-derived loss probability: low and flat inside half the range,
+/// then rising steeply toward the range edge (the shape of measured
+/// PRR-vs-distance curves under log-normal shadowing), plus per-link noise.
+[[nodiscard]] double distance_loss(double distance, double comm_range, double noise);
+
+}  // namespace dophy::net

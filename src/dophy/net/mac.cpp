@@ -1,0 +1,38 @@
+#include "dophy/net/mac.hpp"
+
+#include <stdexcept>
+
+namespace dophy::net {
+
+ArqMac::ArqMac(const MacConfig& config) : config_(config) {
+  if (config.max_attempts == 0) throw std::invalid_argument("ArqMac: max_attempts must be >= 1");
+}
+
+TxOutcome ArqMac::transmit(Link& forward, Link* reverse, SimTime now,
+                           dophy::common::Rng& /*rng*/) const {
+  // Loss draws use each link's own RNG stream; the node RNG parameter is
+  // reserved for future backoff randomization.
+  TxOutcome out;
+  for (std::uint32_t attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    const SimTime attempt_time = now + static_cast<SimTime>(attempt - 1) * config_.attempt_duration;
+    ++out.total_attempts;
+    const bool data_ok = forward.attempt_data(attempt_time);
+    if (data_ok && !out.delivered) {
+      out.delivered = true;
+      out.attempts_to_first_rx = attempt;
+    }
+    if (data_ok) {
+      const bool ack_ok = (!config_.model_ack_loss || reverse == nullptr)
+                              ? true
+                              : reverse->attempt_control(attempt_time);
+      if (ack_ok) {
+        out.delay = static_cast<SimTime>(attempt) * config_.attempt_duration;
+        return out;
+      }
+    }
+  }
+  out.delay = static_cast<SimTime>(config_.max_attempts) * config_.attempt_duration;
+  return out;
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,52 @@
+#pragma once
+
+// ARQ MAC model.  A unicast transmission retries until the receiver's
+// acknowledgement arrives or the attempt budget is exhausted.  The whole
+// exchange is resolved in one call (attempt-by-attempt against the link's
+// loss process, so burstiness is honored) and the resulting delay is
+// returned for the caller to schedule delivery.
+//
+// Retransmission-count semantics: `attempts_to_first_rx` is the attempt
+// index of the first data frame the receiver heard — the quantity Dophy
+// encodes (the receiver reads it from the frame's attempt counter, as a
+// TinyOS implementation reads the MAC retry field).  It is Geometric(1-p)
+// in the forward loss p, independent of ACK losses; ACK losses only add
+// duplicate attempts, which show up in `total_attempts` (energy cost).
+
+#include <cstdint>
+
+#include "dophy/net/link.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+struct MacConfig {
+  std::uint32_t max_attempts = 8;     ///< 1 original + 7 retransmissions
+  bool model_ack_loss = true;         ///< draw ACK losses on the reverse link
+  SimTime attempt_duration = 6 * kMillisecond;  ///< CSMA backoff + frame + ACK window
+  SimTime queue_service_delay = 2 * kMillisecond;
+};
+
+struct TxOutcome {
+  bool delivered = false;             ///< receiver heard at least one copy
+  std::uint32_t attempts_to_first_rx = 0;  ///< valid when delivered
+  std::uint32_t total_attempts = 0;   ///< sender-side attempt count
+  SimTime delay = 0;                  ///< time from start to ACK/give-up
+};
+
+class ArqMac {
+ public:
+  explicit ArqMac(const MacConfig& config);
+
+  /// Runs a full ARQ exchange over `forward`; ACKs travel over `reverse`
+  /// (nullable disables ACK-loss modeling regardless of config).
+  [[nodiscard]] TxOutcome transmit(Link& forward, Link* reverse, SimTime now,
+                                   dophy::common::Rng& rng) const;
+
+  [[nodiscard]] const MacConfig& config() const noexcept { return config_; }
+
+ private:
+  MacConfig config_;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,405 @@
+#include "dophy/net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dophy/common/logging.hpp"
+
+namespace dophy::net {
+
+namespace {
+constexpr SimTime kFloodHopDelay = 50 * kMillisecond;
+}
+
+Network::Network(const NetworkConfig& config, PacketInstrumentation* instrumentation)
+    : config_(config),
+      instrumentation_(instrumentation),
+      topology_([&] {
+        dophy::common::Rng topo_rng(config.seed ^ 0x746f706fULL);  // "topo"
+        return Topology::generate(config.topology, topo_rng);
+      }()),
+      mac_(config.mac) {
+  dophy::common::Rng master(config_.seed);
+  build_links(master);
+
+  nodes_.reserve(topology_.node_count());
+  for (std::size_t i = 0; i < topology_.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    nodes_.push_back(std::make_unique<Node>(id, id == kSinkId, config_.routing,
+                                            master.fork(), config_.traffic.queue_capacity));
+  }
+  hops_to_sink_ = topology_.hops_to_sink();
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    schedule_beacon(static_cast<NodeId>(i), /*initial=*/true);
+    if (i != kSinkId) schedule_generation(static_cast<NodeId>(i), /*initial=*/true);
+  }
+
+  if (config_.churn.enabled) {
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      if (nodes_[i]->rng().bernoulli(config_.churn.churn_fraction)) {
+        schedule_churn_transition(static_cast<NodeId>(i));
+      }
+    }
+  }
+}
+
+void Network::schedule_churn_transition(NodeId id) {
+  Node& n = node(id);
+  const double mean_s = n.alive() ? config_.churn.mean_up_s : config_.churn.mean_down_s;
+  const SimTime delay =
+      static_cast<SimTime>(std::max(1.0, n.rng().exponential(1.0 / mean_s)) * 1e6);
+  sim_.schedule_in(delay, [this, id] {
+    Node& target = node(id);
+    const bool going_down = target.alive();
+    target.set_alive(!going_down);
+    if (going_down) {
+      ++node_failures_;
+      // Packets held in the dead node's queue are lost with it.
+      while (!target.queue_empty()) {
+        finish_packet(target.dequeue(), PacketFate::kDroppedNoRoute);
+      }
+    } else {
+      // Rejoin: stale table entries will be refreshed by beacons; announce
+      // ourselves quickly.
+      trigger_beacon(id);
+    }
+    schedule_churn_transition(id);
+  });
+}
+
+void Network::build_links(dophy::common::Rng& rng) {
+  // Iterate undirected pairs so forward/reverse loss levels correlate.
+  for (std::size_t u = 0; u < topology_.node_count(); ++u) {
+    for (const NodeId v : topology_.neighbors(static_cast<NodeId>(u))) {
+      if (v <= u) continue;
+      const double d = topology_.distance(static_cast<NodeId>(u), v);
+      const double noise_f = rng.uniform(-config_.loss.noise_spread, config_.loss.noise_spread);
+      const double noise_r =
+          noise_f + rng.uniform(-config_.loss.reverse_noise, config_.loss.reverse_noise);
+      const double scale = config_.loss.loss_scale;
+      const double base_f =
+          std::clamp(scale * distance_loss(d, topology_.comm_range(), noise_f), 0.001, 0.95);
+      const double base_r =
+          std::clamp(scale * distance_loss(d, topology_.comm_range(), noise_r), 0.001, 0.95);
+
+      const LinkKey fwd{static_cast<NodeId>(u), v};
+      const LinkKey rev{v, static_cast<NodeId>(u)};
+      links_.emplace(fwd, std::make_unique<Link>(fwd, make_loss_process(base_f, rng),
+                                                 rng.fork()));
+      links_.emplace(rev, std::make_unique<Link>(rev, make_loss_process(base_r, rng),
+                                                 rng.fork()));
+    }
+  }
+}
+
+std::unique_ptr<LossProcess> Network::make_loss_process(double base,
+                                                        dophy::common::Rng& rng) const {
+  switch (config_.loss.kind) {
+    case LossConfig::Kind::kBernoulli:
+      return std::make_unique<BernoulliLoss>(base);
+    case LossConfig::Kind::kGilbertElliott: {
+      GilbertElliottLoss::Params p;
+      p.loss_good = std::max(0.001, base * 0.7);
+      p.loss_bad = std::min(0.9, base * config_.loss.ge_bad_multiplier);
+      p.mean_good_duration_s = config_.loss.ge_mean_good_s;
+      p.mean_bad_duration_s = config_.loss.ge_mean_bad_s;
+      return std::make_unique<GilbertElliottLoss>(p, rng);
+    }
+    case LossConfig::Kind::kDrifting: {
+      DriftingLoss::Params p;
+      p.base = base;
+      p.amplitude = config_.loss.drift_amplitude;
+      p.period_s = config_.loss.drift_period_s;
+      p.phase = rng.uniform(0.0, 6.283185307179586);
+      p.shuffle_interval_s = config_.loss.drift_shuffle_interval_s;
+      p.shuffle_spread = config_.loss.drift_shuffle_spread;
+      return std::make_unique<DriftingLoss>(p, rng);
+    }
+  }
+  throw std::logic_error("Network::make_loss_process: unknown loss kind");
+}
+
+void Network::run_for(double seconds) {
+  run_until(sim_.now() + static_cast<SimTime>(seconds * 1e6));
+}
+
+void Network::run_until(SimTime t) { sim_.run_until(t); }
+
+Node& Network::node(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::node");
+  return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::node");
+  return *nodes_[id];
+}
+
+Link& Network::link(NodeId from, NodeId to) {
+  const auto it = links_.find(LinkKey{from, to});
+  if (it == links_.end()) throw std::out_of_range("Network::link: no such edge");
+  return *it->second;
+}
+
+const Link* Network::find_link(NodeId from, NodeId to) const noexcept {
+  const auto it = links_.find(LinkKey{from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+std::vector<LinkKey> Network::link_keys() const {
+  std::vector<LinkKey> keys;
+  keys.reserve(links_.size());
+  for (const auto& [key, link] : links_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void Network::schedule_beacon(NodeId id, bool initial) {
+  Node& n = node(id);
+  const double interval = config_.routing.beacon_interval_s;
+  const double jitter = config_.routing.beacon_jitter;
+  const double delay_s = initial ? n.rng().uniform(0.0, interval)
+                                 : interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter);
+  sim_.schedule_in(static_cast<SimTime>(delay_s * 1e6), [this, id] { send_beacon(id); });
+}
+
+void Network::send_beacon(NodeId id) {
+  broadcast_beacon(id);
+  schedule_beacon(id, /*initial=*/false);
+}
+
+void Network::broadcast_beacon(NodeId id) {
+  Node& n = node(id);
+  if (!n.alive()) return;
+  const std::uint16_t seq = n.next_beacon_seq();
+  const double advertised = n.routing().advertise_etx();
+  ++beacons_sent_;
+  for (const NodeId w : topology_.neighbors(id)) {
+    Link& l = link(id, w);
+    if (l.attempt_control(sim_.now())) {
+      Node& receiver = node(w);
+      if (!receiver.alive()) continue;
+      receiver.routing().on_beacon(id, advertised, seq, sim_.now());
+      if (receiver.routing().select_parent(sim_.now())) trigger_beacon(w);
+    }
+  }
+  if (n.routing().select_parent(sim_.now())) trigger_beacon(id);
+}
+
+void Network::trigger_beacon(NodeId id) {
+  Node& n = node(id);
+  if (n.beacon_trigger_pending()) return;
+  n.set_beacon_trigger_pending(true);
+  // Short jittered delay so simultaneous triggers don't synchronize.
+  const SimTime delay =
+      50 * kMillisecond + static_cast<SimTime>(n.rng().next_below(100)) * kMillisecond;
+  sim_.schedule_in(delay, [this, id] {
+    node(id).set_beacon_trigger_pending(false);
+    broadcast_beacon(id);
+  });
+}
+
+void Network::schedule_generation(NodeId id, bool initial) {
+  Node& n = node(id);
+  const double interval = config_.traffic.data_interval_s;
+  const double jitter = config_.traffic.jitter;
+  const double delay_s =
+      (initial ? config_.traffic.start_delay_s : 0.0) +
+      interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter);
+  sim_.schedule_in(static_cast<SimTime>(delay_s * 1e6), [this, id] { generate_packet(id); });
+}
+
+void Network::generate_packet(NodeId id) {
+  Node& n = node(id);
+  if (!n.alive()) {
+    schedule_generation(id, /*initial=*/false);
+    return;
+  }
+  ++packets_generated_;
+  ++n.stats().generated;
+
+  Packet packet;
+  packet.origin = id;
+  packet.seq = n.next_data_seq();
+  packet.created_at = sim_.now();
+  if (instrumentation_ != nullptr) instrumentation_->on_origin(packet, id, sim_.now());
+
+  if (!n.routing().has_route()) {
+    finish_packet(std::move(packet), PacketFate::kDroppedNoRoute);
+  } else if (!n.enqueue(std::move(packet))) {
+    // enqueue only moves from the packet on success.
+    finish_packet(std::move(packet), PacketFate::kDroppedQueue);
+  } else {
+    try_send(id);
+  }
+  schedule_generation(id, /*initial=*/false);
+}
+
+void Network::try_send(NodeId id) {
+  Node& n = node(id);
+  if (n.tx_busy() || n.queue_empty()) return;
+
+  // Parent selection happens on routing events (beacons, datapath
+  // inconsistency), not per packet — per-packet re-evaluation would let
+  // ETX-sample noise through the hysteresis. Only bail if routeless.
+  if (!n.routing().has_route()) {
+    finish_packet(n.dequeue(), PacketFate::kDroppedNoRoute);
+    try_send(id);
+    return;
+  }
+
+  const NodeId parent = n.routing().select_forwarder(n.rng());
+  Packet packet = n.dequeue();
+  Link& forward = link(id, parent);
+  Link* reverse = const_cast<Link*>(find_link(parent, id));
+
+  TxOutcome outcome;
+  if (node(parent).alive()) {
+    outcome = mac_.transmit(forward, reverse, sim_.now(), n.rng());
+  } else {
+    // Dead receiver: the whole ARQ budget burns with no channel involvement,
+    // so the link's loss ground truth is not polluted by churn.
+    outcome.delivered = false;
+    outcome.total_attempts = config_.mac.max_attempts;
+    outcome.delay =
+        static_cast<SimTime>(config_.mac.max_attempts) * config_.mac.attempt_duration;
+  }
+  n.routing().on_data_tx(parent, outcome.total_attempts, outcome.delivered);
+  measurement_air_bytes_ +=
+      packet.blob.wire_bytes() * static_cast<std::uint64_t>(outcome.total_attempts);
+
+  n.set_tx_busy(true);
+  const SimTime done_at = sim_.now() + outcome.delay + config_.mac.queue_service_delay;
+  // Move the packet into the completion event.
+  sim_.schedule_at(done_at, [this, id, parent, outcome,
+                             pkt = std::make_shared<Packet>(std::move(packet))]() mutable {
+    Node& sender = node(id);
+    sender.set_tx_busy(false);
+    if (outcome.delivered) {
+      ++sender.stats().forwarded;
+      handle_arrival(parent, id, std::move(*pkt), outcome.attempts_to_first_rx);
+    } else {
+      finish_packet(std::move(*pkt), PacketFate::kDroppedRetries);
+    }
+    try_send(id);
+  });
+}
+
+void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
+                             std::uint32_t attempts) {
+  Node& r = node(receiver);
+  const std::uint64_t dedupe_key =
+      (static_cast<std::uint64_t>(packet.flow_key()) << 16) | packet.hop_count;
+  if (r.check_and_mark_seen(dedupe_key)) {
+    ++r.stats().duplicates_discarded;
+    return;
+  }
+
+  // Datapath inconsistency (CTP-style): our own parent forwarding data *to*
+  // us means somebody's route advertisement is stale — re-select and push a
+  // triggered beacon so the loop collapses quickly.
+  if (sender == r.routing().parent()) {
+    (void)r.routing().select_parent(sim_.now());
+    trigger_beacon(receiver);
+  }
+
+  ++packet.hop_count;
+  if (packet.hop_count > config_.traffic.max_hops) {
+    finish_packet(std::move(packet), PacketFate::kDroppedTtl);
+    return;
+  }
+
+  packet.true_hops.push_back(
+      HopRecord{sender, receiver, attempts, attempts, sim_.now()});
+  if (instrumentation_ != nullptr) {
+    instrumentation_->on_hop_received(packet, receiver, sender, attempts, sim_.now());
+  }
+
+  if (receiver == kSinkId) {
+    ++packets_delivered_;
+    if (delivery_handler_) delivery_handler_(packet, sim_.now());
+    finish_packet(std::move(packet), PacketFate::kDelivered);
+    return;
+  }
+
+  if (!r.enqueue(std::move(packet))) {
+    finish_packet(std::move(packet), PacketFate::kDroppedQueue);
+    return;
+  }
+  try_send(receiver);
+}
+
+void Network::finish_packet(Packet&& packet, PacketFate fate) {
+  switch (fate) {
+    case PacketFate::kDelivered: break;
+    case PacketFate::kDroppedRetries: ++dropped_retries_; break;
+    case PacketFate::kDroppedNoRoute: ++dropped_noroute_; break;
+    case PacketFate::kDroppedTtl: ++dropped_ttl_; break;
+    case PacketFate::kDroppedQueue: ++dropped_queue_; break;
+  }
+  PacketOutcome outcome;
+  outcome.fate = fate;
+  outcome.finished_at = sim_.now();
+  if (config_.collect_outcomes) {
+    outcome.packet = std::move(packet);
+    traces_.record(std::move(outcome));
+  } else {
+    outcome.packet.origin = packet.origin;
+    outcome.packet.seq = packet.seq;
+    traces_.record(std::move(outcome));
+  }
+}
+
+void Network::add_periodic(double interval_s, std::function<void(SimTime)> fn) {
+  const SimTime interval = static_cast<SimTime>(interval_s * 1e6);
+  if (interval <= 0) throw std::invalid_argument("Network::add_periodic: bad interval");
+  // The re-arming closure references itself through a raw pointer into
+  // periodic_fns_ (which outlives the event queue) — a self-holding
+  // shared_ptr would be a reference cycle and leak.
+  auto rearm = std::make_shared<std::function<void()>>();
+  *rearm = [this, interval, hook = std::move(fn), self = rearm.get()]() {
+    hook(sim_.now());
+    sim_.schedule_in(interval, *self);
+  };
+  periodic_fns_.push_back(rearm);
+  sim_.schedule_in(interval, *rearm);
+}
+
+void Network::flood_from_sink(std::size_t payload_bytes,
+                              const std::function<void(NodeId, SimTime)>& install) {
+  // Epidemic flood: every node rebroadcasts once, so the byte cost is
+  // payload * node_count; installs land with per-depth latency.
+  control_flood_bytes_ += payload_bytes * nodes_.size();
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const std::uint16_t depth =
+        hops_to_sink_[i] == Topology::kInvalidHops ? 1 : hops_to_sink_[i];
+    const SimTime at = sim_.now() + static_cast<SimTime>(depth) * kFloodHopDelay;
+    sim_.schedule_at(at, [install, id, at] { install(id, at); });
+  }
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  s.packets_generated = packets_generated_;
+  s.packets_delivered = packets_delivered_;
+  s.dropped_retries = dropped_retries_;
+  s.dropped_noroute = dropped_noroute_;
+  s.dropped_ttl = dropped_ttl_;
+  s.dropped_queue = dropped_queue_;
+  s.beacons_sent = beacons_sent_;
+  s.node_failures = node_failures_;
+  s.control_flood_bytes = control_flood_bytes_;
+  s.measurement_air_bytes = measurement_air_bytes_;
+  for (const auto& [key, link] : links_) {
+    s.data_tx_attempts += link->data_attempts();
+    s.data_rx_frames += link->data_attempts() - link->data_losses();
+    s.control_rx_frames += link->control_attempts() - link->control_losses();
+  }
+  for (const auto& n : nodes_) s.parent_changes += n->routing().parent_changes();
+  return s;
+}
+
+}  // namespace dophy::net

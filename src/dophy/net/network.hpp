@@ -1,0 +1,186 @@
+#pragma once
+
+// Full network assembly: topology + links + nodes + routing + traffic, driven
+// by the discrete-event simulator.  This is the "large-scale simulation"
+// substrate the paper evaluates on (TOSSIM in the original; rebuilt here).
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/link.hpp"
+#include "dophy/net/mac.hpp"
+#include "dophy/net/node.hpp"
+#include "dophy/net/packet.hpp"
+#include "dophy/net/simulator.hpp"
+#include "dophy/net/topology.hpp"
+#include "dophy/net/trace.hpp"
+
+namespace dophy::net {
+
+/// How per-link loss processes are instantiated.  All kinds derive each
+/// link's *base* loss level from the distance-PRR curve (so links are
+/// heterogeneous, which is what makes tomography interesting) and then wrap
+/// it in the chosen temporal process.
+struct LossConfig {
+  enum class Kind { kBernoulli, kGilbertElliott, kDrifting };
+  Kind kind = Kind::kBernoulli;
+
+  double noise_spread = 0.08;   ///< per-link perturbation of the curve
+  double reverse_noise = 0.05;  ///< reverse loss = forward base ± this
+  double loss_scale = 1.0;      ///< multiplies every link's base loss level
+
+  // Gilbert-Elliott shaping (kind == kGilbertElliott).
+  double ge_bad_multiplier = 4.0;
+  double ge_mean_good_s = 120.0;
+  double ge_mean_bad_s = 20.0;
+
+  // Drift shaping (kind == kDrifting).
+  double drift_amplitude = 0.05;
+  double drift_period_s = 600.0;
+  double drift_shuffle_interval_s = 0.0;  ///< 0 disables re-randomization
+  double drift_shuffle_spread = 0.0;
+};
+
+/// Optional node failure/recovery process: a fraction of non-sink nodes
+/// alternate between up (exponential mean_up_s) and down (mean_down_s)
+/// states.  A down node neither beacons, generates, forwards, nor receives —
+/// transmissions toward it burn the full ARQ budget.
+struct ChurnConfig {
+  bool enabled = false;
+  double churn_fraction = 0.2;  ///< fraction of non-sink nodes that churn
+  double mean_up_s = 600.0;
+  double mean_down_s = 60.0;
+};
+
+struct TrafficConfig {
+  double data_interval_s = 10.0;  ///< mean per-node generation period
+  double jitter = 0.2;            ///< uniform ± fraction of the period
+  double start_delay_s = 30.0;    ///< warm-up before sources start
+  std::size_t queue_capacity = 64;
+  std::uint16_t max_hops = 32;    ///< datapath TTL (routing-loop guard)
+};
+
+struct NetworkConfig {
+  TopologyConfig topology;
+  MacConfig mac;
+  RoutingConfig routing;
+  LossConfig loss;
+  TrafficConfig traffic;
+  ChurnConfig churn;
+  std::uint64_t seed = 1;
+  bool collect_outcomes = true;  ///< keep full per-packet outcomes in memory
+};
+
+struct NetworkStats {
+  std::uint64_t packets_generated = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t dropped_retries = 0;
+  std::uint64_t dropped_noroute = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t data_tx_attempts = 0;   ///< sum over links, data frames
+  std::uint64_t data_rx_frames = 0;     ///< data frames that arrived (attempts - losses)
+  std::uint64_t control_rx_frames = 0;  ///< beacon/ack frames that arrived
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t parent_changes = 0;
+  std::uint64_t node_failures = 0;        ///< churn down-transitions
+  std::uint64_t control_flood_bytes = 0;  ///< dissemination byte-cost
+  std::uint64_t measurement_air_bytes = 0;  ///< blob bytes carried over the air
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return packets_generated == 0
+               ? 1.0
+               : static_cast<double>(packets_delivered) /
+                     static_cast<double>(packets_generated);
+  }
+};
+
+class Network {
+ public:
+  /// Builds the network.  `instrumentation` may be null (no measurement
+  /// layer); it must outlive the Network.
+  explicit Network(const NetworkConfig& config,
+                   PacketInstrumentation* instrumentation = nullptr);
+
+  /// Advances simulation time by `seconds`.
+  void run_for(double seconds);
+  void run_until(SimTime t);
+
+  [[nodiscard]] Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+
+  /// Directed link accessors; `link` throws on absent edges.
+  [[nodiscard]] Link& link(NodeId from, NodeId to);
+  [[nodiscard]] const Link* find_link(NodeId from, NodeId to) const noexcept;
+  [[nodiscard]] std::vector<LinkKey> link_keys() const;
+
+  [[nodiscard]] TraceCollector& traces() noexcept { return traces_; }
+
+  /// Extra hook invoked on every sink delivery (after instrumentation).
+  using DeliveryHandler = std::function<void(const Packet&, SimTime)>;
+  void set_delivery_handler(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
+
+  /// Periodic hook (e.g. tomography epoch boundaries).  Runs every
+  /// `interval_s` simulated seconds starting one interval from now.
+  void add_periodic(double interval_s, std::function<void(SimTime)> fn);
+
+  /// Control-plane flood from the sink: delivers an install callback to
+  /// every other node with per-depth latency and accounts the byte cost
+  /// (every node rebroadcasts the payload once).
+  void flood_from_sink(std::size_t payload_bytes,
+                       const std::function<void(NodeId, SimTime)>& install);
+
+  /// Aggregate statistics (computed on demand).
+  [[nodiscard]] NetworkStats stats() const;
+
+  /// Schedules a near-immediate beacon for `id` (route-change/Trickle
+  /// reset); coalesced while one is already pending.
+  void trigger_beacon(NodeId id);
+
+ private:
+  void build_links(dophy::common::Rng& rng);
+  [[nodiscard]] std::unique_ptr<LossProcess> make_loss_process(double base,
+                                                               dophy::common::Rng& rng) const;
+  void schedule_beacon(NodeId id, bool initial);
+  void send_beacon(NodeId id);
+  void broadcast_beacon(NodeId id);
+  void schedule_generation(NodeId id, bool initial);
+  void generate_packet(NodeId id);
+  void schedule_churn_transition(NodeId id);
+  void try_send(NodeId id);
+  void handle_arrival(NodeId receiver, NodeId sender, Packet packet, std::uint32_t attempts);
+  void finish_packet(Packet&& packet, PacketFate fate);
+
+  NetworkConfig config_;
+  PacketInstrumentation* instrumentation_;
+  Simulator sim_;
+  Topology topology_;
+  ArqMac mac_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<LinkKey, std::unique_ptr<Link>, LinkKeyHash> links_;
+  TraceCollector traces_;
+  DeliveryHandler delivery_handler_;
+  std::vector<std::uint16_t> hops_to_sink_;
+  /// Owns add_periodic closures (their scheduled events hold raw pointers).
+  std::vector<std::shared_ptr<std::function<void()>>> periodic_fns_;
+
+  std::uint64_t beacons_sent_ = 0;
+  std::uint64_t node_failures_ = 0;
+  std::uint64_t dropped_retries_ = 0;
+  std::uint64_t dropped_noroute_ = 0;
+  std::uint64_t dropped_ttl_ = 0;
+  std::uint64_t dropped_queue_ = 0;
+  std::uint64_t packets_generated_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t control_flood_bytes_ = 0;
+  std::uint64_t measurement_air_bytes_ = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,84 @@
+#pragma once
+
+// Per-node state: routing, forwarding queue, duplicate cache, sequence
+// numbers, and counters.  Behavior (when to beacon, how to forward) lives in
+// Network, which owns all nodes and the event loop.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/packet.hpp"
+#include "dophy/net/routing.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+struct NodeStats {
+  std::uint64_t generated = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t duplicates_discarded = 0;
+};
+
+class Node {
+ public:
+  Node(NodeId id, bool is_sink, const RoutingConfig& routing_config,
+       dophy::common::Rng rng, std::size_t queue_capacity);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] bool is_sink() const noexcept { return is_sink_; }
+
+  [[nodiscard]] RoutingState& routing() noexcept { return routing_; }
+  [[nodiscard]] const RoutingState& routing() const noexcept { return routing_; }
+  [[nodiscard]] dophy::common::Rng& rng() noexcept { return rng_; }
+
+  /// Forwarding queue; returns false (packet rejected) when full.
+  [[nodiscard]] bool enqueue(Packet&& packet);
+  [[nodiscard]] bool queue_empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] Packet dequeue();
+
+  /// Radio busy flag (one outstanding unicast at a time).
+  [[nodiscard]] bool tx_busy() const noexcept { return tx_busy_; }
+  void set_tx_busy(bool busy) noexcept { tx_busy_ = busy; }
+
+  /// Duplicate suppression keyed by (origin, seq, hop count) — the CTP
+  /// convention: a looped packet returns with a higher hop count and is NOT
+  /// a duplicate, so it keeps forwarding until routes heal or the TTL kills
+  /// it visibly.  Returns true if already seen (records it otherwise).
+  [[nodiscard]] bool check_and_mark_seen(std::uint64_t dedupe_key);
+
+  /// At most one pending triggered beacon at a time (Trickle-style reset).
+  [[nodiscard]] bool beacon_trigger_pending() const noexcept { return beacon_pending_; }
+  void set_beacon_trigger_pending(bool pending) noexcept { beacon_pending_ = pending; }
+
+  /// Churn state: a dead node neither beacons, generates, forwards, nor
+  /// receives.
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void set_alive(bool alive) noexcept { alive_ = alive; }
+
+  [[nodiscard]] std::uint16_t next_data_seq() noexcept { return data_seq_++; }
+  [[nodiscard]] std::uint16_t next_beacon_seq() noexcept { return beacon_seq_++; }
+
+  [[nodiscard]] NodeStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  NodeId id_;
+  bool is_sink_;
+  dophy::common::Rng rng_;
+  RoutingState routing_;
+  std::deque<Packet> queue_;
+  std::size_t queue_capacity_;
+  bool tx_busy_ = false;
+  std::uint16_t data_seq_ = 0;
+  std::uint16_t beacon_seq_ = 0;
+  bool beacon_pending_ = false;
+  bool alive_ = true;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> seen_order_;
+  NodeStats stats_;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,79 @@
+#pragma once
+
+// Data packet model plus the instrumentation hook through which the
+// tomography layer rides in packets.  dophy::net knows nothing about
+// arithmetic coding: the measurement blob is opaque bytes plus enough
+// bookkeeping (logical bit length, small in-flight state, model version)
+// for the simulator to account wire overhead honestly.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+/// Opaque in-packet measurement field maintained by a PacketInstrumentation.
+struct MeasurementBlob {
+  std::vector<std::uint8_t> bytes;  ///< encoded stream (padded to bytes)
+  std::uint32_t logical_bits = 0;   ///< exact bit length of the stream
+  /// Small fixed-size state carried while in flight (e.g. suspended
+  /// arithmetic-coder registers); squeezed out at the sink.
+  std::array<std::uint8_t, 16> state{};
+  std::uint8_t state_size = 0;
+  std::uint8_t model_version = 0;
+  /// Set when a hop could not append (payload budget exhausted); the sink
+  /// must not trust the stream to describe the whole path.
+  bool truncated = false;
+
+  /// Bytes this field occupies on the air for one transmission; zero when
+  /// no measurement layer initialized the packet.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    if (logical_bits == 0 && state_size == 0 && bytes.empty()) return 0;
+    return (logical_bits + 7) / 8 + state_size + /*version*/ 1 + /*bit count*/ 2;
+  }
+};
+
+/// Ground-truth record of one completed hop (simulator-side only; a real
+/// deployment does not have this).
+struct HopRecord {
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  std::uint32_t attempts_to_first_rx = 0;
+  std::uint32_t total_attempts = 0;
+  SimTime at = 0;
+};
+
+struct Packet {
+  NodeId origin = kInvalidNode;
+  std::uint16_t seq = 0;
+  std::uint16_t hop_count = 0;
+  SimTime created_at = 0;
+  MeasurementBlob blob;
+
+  /// Ground truth, appended by the simulator as the packet moves.
+  std::vector<HopRecord> true_hops;
+
+  [[nodiscard]] std::uint32_t flow_key() const noexcept {
+    return (static_cast<std::uint32_t>(origin) << 16) | seq;
+  }
+};
+
+/// Hook implemented by the tomography layer.  Called synchronously from the
+/// simulator's data path.
+class PacketInstrumentation {
+ public:
+  virtual ~PacketInstrumentation() = default;
+
+  /// A new packet was created at `origin`; initialize the blob.
+  virtual void on_origin(Packet& packet, NodeId origin, SimTime now) = 0;
+
+  /// `receiver` just accepted the packet from `sender`, whose winning frame
+  /// carried attempt counter `attempts`.  Called for every hop including
+  /// final delivery at the sink (receiver == kSinkId).
+  virtual void on_hop_received(Packet& packet, NodeId receiver, NodeId sender,
+                               std::uint32_t attempts, SimTime now) = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,180 @@
+#include "dophy/net/routing.hpp"
+
+#include <algorithm>
+
+namespace dophy::net {
+
+RoutingState::RoutingState(NodeId self, bool is_sink, const RoutingConfig& config)
+    : self_(self), is_sink_(is_sink), config_(config),
+      path_etx_(is_sink ? 0.0 : kInfiniteEtx) {}
+
+RoutingState::NeighborEntry& RoutingState::entry(NodeId neighbor) {
+  auto it = table_.find(neighbor);
+  if (it == table_.end()) {
+    it = table_.emplace(neighbor, NeighborEntry(config_.estimator)).first;
+  }
+  return it->second;
+}
+
+void RoutingState::on_beacon(NodeId from, double path_etx, std::uint16_t beacon_seq,
+                             SimTime now) {
+  if (from == self_) return;
+  NeighborEntry& e = entry(from);
+  e.advertised_path_etx = path_etx;
+  e.last_heard = now;
+  e.quality.on_beacon(beacon_seq);
+}
+
+void RoutingState::on_data_tx(NodeId to, std::uint32_t total_attempts, bool delivered) {
+  entry(to).quality.on_data_tx(total_attempts, delivered);
+  if (to == parent_) refresh_path_etx();
+}
+
+void RoutingState::expire_stale(SimTime now) {
+  const SimTime timeout = static_cast<SimTime>(config_.neighbor_timeout_s * 1e6);
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.last_heard + timeout < now && it->first != parent_) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool RoutingState::select_parent(SimTime now) {
+  if (is_sink_) return false;
+  expire_stale(now);
+
+  NodeId best = kInvalidNode;
+  double best_metric = kInfiniteEtx;
+  for (auto& [id, e] : table_) {
+    if (e.advertised_path_etx == kInfiniteEtx) continue;
+    // Gradient rule: only consider neighbors strictly closer to the sink
+    // than our own current position; prevents mutual-parent loops under
+    // consistent views (stale views are caught by the datapath TTL).
+    if (path_etx_ != kInfiniteEtx && e.advertised_path_etx >= path_etx_) continue;
+    const double metric = e.quality.etx() + e.advertised_path_etx;
+    // Tie-break on id so the choice never depends on hash-map order.
+    if (metric < best_metric || (metric == best_metric && id < best)) {
+      best_metric = metric;
+      best = id;
+    }
+  }
+
+  if (best == kInvalidNode) {
+    // No feasible candidate under the gradient rule; if we also have no
+    // working parent, fall back to the global minimum so nodes (re)join.
+    if (parent_ == kInvalidNode) {
+      for (auto& [id, e] : table_) {
+        if (e.advertised_path_etx == kInfiniteEtx) continue;
+        const double metric = e.quality.etx() + e.advertised_path_etx;
+        if (metric < best_metric || (metric == best_metric && id < best)) {
+          best_metric = metric;
+          best = id;
+        }
+      }
+      if (best == kInvalidNode) return false;
+      parent_ = best;
+      ++parent_changes_;
+      refresh_path_etx();
+      return true;
+    }
+    return false;
+  }
+
+  if (parent_ == best) {
+    refresh_path_etx();
+    return false;
+  }
+
+  double current_metric = kInfiniteEtx;
+  if (parent_ != kInvalidNode) {
+    const auto it = table_.find(parent_);
+    if (it != table_.end() && it->second.advertised_path_etx != kInfiniteEtx) {
+      current_metric = it->second.quality.etx() + it->second.advertised_path_etx;
+    }
+  }
+
+  if (best_metric + config_.switch_hysteresis <= current_metric) {
+    parent_ = best;
+    ++parent_changes_;
+    refresh_path_etx();
+    return true;
+  }
+  refresh_path_etx();
+  return false;
+}
+
+void RoutingState::refresh_path_etx() {
+  if (is_sink_) {
+    path_etx_ = 0.0;
+    return;
+  }
+  if (parent_ == kInvalidNode) {
+    path_etx_ = kInfiniteEtx;
+    return;
+  }
+  const auto it = table_.find(parent_);
+  if (it == table_.end() || it->second.advertised_path_etx == kInfiniteEtx) {
+    path_etx_ = kInfiniteEtx;
+    parent_ = kInvalidNode;
+    return;
+  }
+  path_etx_ = it->second.quality.etx() + it->second.advertised_path_etx;
+}
+
+NodeId RoutingState::select_forwarder(dophy::common::Rng& rng) const {
+  if (parent_ == kInvalidNode || config_.opportunistic_fraction <= 0.0 ||
+      !rng.bernoulli(config_.opportunistic_fraction)) {
+    return parent_;
+  }
+  // Feasible alternates: gradient-rule candidates other than the parent,
+  // with a bounded metric handicap so we never detour through junk links.
+  std::vector<NodeId> alternates;
+  const double parent_metric = path_etx_;
+  for (const auto& [id, e] : table_) {
+    if (id == parent_ || e.advertised_path_etx == kInfiniteEtx) continue;
+    if (path_etx_ != kInfiniteEtx && e.advertised_path_etx >= path_etx_) continue;
+    const double metric = e.quality.etx() + e.advertised_path_etx;
+    if (metric <= parent_metric + 2.0) alternates.push_back(id);
+  }
+  if (alternates.empty()) return parent_;
+  // Sorted so the draw never depends on hash-map iteration order.
+  std::sort(alternates.begin(), alternates.end());
+  return alternates[rng.next_below(alternates.size())];
+}
+
+double RoutingState::advertise_etx() {
+  if (is_sink_) return 0.0;
+  if (path_etx_ == kInfiniteEtx) {
+    advertised_etx_ = kInfiniteEtx;
+    return kInfiniteEtx;
+  }
+  if (advertised_etx_ == kInfiniteEtx) {
+    advertised_etx_ = path_etx_;  // first valid route: jump, don't smooth
+  } else {
+    advertised_etx_ = config_.advertise_alpha * advertised_etx_ +
+                      (1.0 - config_.advertise_alpha) * path_etx_;
+  }
+  return advertised_etx_;
+}
+
+double RoutingState::link_etx(NodeId neighbor) const {
+  const auto it = table_.find(neighbor);
+  return it == table_.end() ? config_.estimator.initial_etx : it->second.quality.etx();
+}
+
+std::vector<NodeId> RoutingState::known_neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& [id, e] : table_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double RoutingState::neighbor_path_etx(NodeId neighbor) const {
+  const auto it = table_.find(neighbor);
+  return it == table_.end() ? kInfiniteEtx : it->second.advertised_path_etx;
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,103 @@
+#pragma once
+
+// CTP-style dynamic collection routing state, per node.  Each node keeps a
+// neighbor table (advertised path ETX + link-quality estimate), selects the
+// parent minimizing link ETX + advertised path ETX with hysteresis, and
+// advertises its own resulting path ETX in beacons.  Parent changes are the
+// "dynamics" the paper's tomography must survive, so the state counts them.
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/link_estimator.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+struct RoutingConfig {
+  LinkEstimatorConfig estimator;
+  double switch_hysteresis = 2.0;   ///< new parent must beat current by this
+  double beacon_interval_s = 10.0;  ///< mean beacon period
+  double beacon_jitter = 0.25;      ///< uniform ± fraction of the interval
+  double neighbor_timeout_s = 60.0; ///< drop neighbors silent for this long
+  /// EWMA weight on history for the *advertised* path ETX.  Smoothing what
+  /// we advertise damps estimate noise multiplicatively per hop, which is
+  /// what keeps deep networks from flapping between near-equal parents.
+  double advertise_alpha = 0.7;
+  /// Per-packet opportunistic forwarding: with this probability a data
+  /// packet goes to a feasible alternate forwarder instead of the primary
+  /// parent (0 = classic single-parent CTP).  Models protocols where each
+  /// node *dynamically selects the forwarding node* per packet.
+  double opportunistic_fraction = 0.0;
+};
+
+inline constexpr double kInfiniteEtx = std::numeric_limits<double>::infinity();
+
+class RoutingState {
+ public:
+  RoutingState(NodeId self, bool is_sink, const RoutingConfig& config);
+
+  /// Handles a received beacon from `from` advertising `path_etx`.
+  void on_beacon(NodeId from, double path_etx, std::uint16_t beacon_seq, SimTime now);
+
+  /// Handles the outcome of a unicast data exchange toward `to`.
+  void on_data_tx(NodeId to, std::uint32_t total_attempts, bool delivered);
+
+  /// Re-evaluates the parent choice; returns true if the parent changed.
+  bool select_parent(SimTime now);
+
+  [[nodiscard]] NodeId parent() const noexcept { return parent_; }
+  [[nodiscard]] bool has_route() const noexcept {
+    return is_sink_ || parent_ != kInvalidNode;
+  }
+
+  /// Chooses the next-hop forwarder for one data packet: the parent, or —
+  /// with RoutingConfig::opportunistic_fraction probability — a uniformly
+  /// drawn feasible alternate (gradient-rule candidates excluding the
+  /// parent).  Falls back to the parent when no alternate exists.
+  [[nodiscard]] NodeId select_forwarder(dophy::common::Rng& rng) const;
+
+  /// Own instantaneous path ETX (0 for the sink, +inf when routeless).
+  [[nodiscard]] double path_etx() const noexcept { return path_etx_; }
+
+  /// Smoothed path ETX for beacons; call exactly once per beacon broadcast
+  /// (it advances the EWMA).
+  [[nodiscard]] double advertise_etx();
+
+  /// Current link-ETX estimate toward `neighbor` (initial prior if unknown).
+  [[nodiscard]] double link_etx(NodeId neighbor) const;
+
+  [[nodiscard]] std::uint64_t parent_changes() const noexcept { return parent_changes_; }
+
+  /// Neighbors currently in the table (for diagnostics/tests).
+  [[nodiscard]] std::vector<NodeId> known_neighbors() const;
+
+  /// The advertised path ETX last heard from `neighbor` (+inf if none).
+  [[nodiscard]] double neighbor_path_etx(NodeId neighbor) const;
+
+ private:
+  struct NeighborEntry {
+    LinkQualityEstimate quality;
+    double advertised_path_etx = kInfiniteEtx;
+    SimTime last_heard = 0;
+    explicit NeighborEntry(const LinkEstimatorConfig& cfg) : quality(cfg) {}
+  };
+
+  NeighborEntry& entry(NodeId neighbor);
+  void refresh_path_etx();
+  void expire_stale(SimTime now);
+
+  NodeId self_;
+  bool is_sink_;
+  RoutingConfig config_;
+  std::unordered_map<NodeId, NeighborEntry> table_;
+  NodeId parent_ = kInvalidNode;
+  double path_etx_;
+  double advertised_etx_ = kInfiniteEtx;
+  std::uint64_t parent_changes_ = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,41 @@
+#include "dophy/net/simulator.hpp"
+
+#include <stdexcept>
+
+namespace dophy::net {
+
+void Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
+  if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  queue_.push(at, std::move(cb));
+}
+
+void Simulator::schedule_in(SimTime delay, EventQueue::Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  queue_.push(now_ + delay, std::move(cb));
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    now_ = queue_.next_time();
+    auto cb = queue_.pop();
+    cb();
+    ++executed_;
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  auto cb = queue_.pop();
+  cb();
+  ++executed_;
+  return true;
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,41 @@
+#pragma once
+
+// Simulation clock + event loop.  Owns the queue; everything in dophy::net
+// schedules through this.
+
+#include <cstdint>
+
+#include "dophy/net/event_queue.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules at absolute simulation time (must be >= now).
+  void schedule_at(SimTime at, EventQueue::Callback cb);
+
+  /// Schedules `delay` microseconds from now (delay >= 0).
+  void schedule_in(SimTime delay, EventQueue::Callback cb);
+
+  /// Runs events with time <= `until`, then advances the clock to `until`.
+  void run_until(SimTime until);
+
+  /// Runs until the queue drains.
+  void run_all();
+
+  /// Executes the single next event; returns false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,122 @@
+#include "dophy/net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace dophy::net {
+
+namespace {
+
+double dist(const Vec2& a, const Vec2& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Topology Topology::generate(const TopologyConfig& config, dophy::common::Rng& rng) {
+  if (config.node_count < 2) throw std::invalid_argument("Topology: need >= 2 nodes");
+  if (config.comm_range <= 0.0 || config.field_size <= 0.0) {
+    throw std::invalid_argument("Topology: non-positive dimensions");
+  }
+
+  for (std::uint32_t attempt = 0; attempt < config.max_generation_attempts; ++attempt) {
+    Topology topo;
+    topo.config_ = config;
+    topo.positions_.resize(config.node_count);
+
+    topo.positions_[kSinkId] =
+        config.sink_placement == SinkPlacement::kCorner
+            ? Vec2{0.0, 0.0}
+            : Vec2{config.field_size / 2.0, config.field_size / 2.0};
+
+    if (config.layout == Layout::kRandom) {
+      for (std::size_t i = 1; i < config.node_count; ++i) {
+        topo.positions_[i] = Vec2{rng.uniform(0.0, config.field_size),
+                                  rng.uniform(0.0, config.field_size)};
+      }
+    } else {
+      // Near-square grid with slight jitter so link distances differ.
+      const auto side = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(config.node_count))));
+      const double step = config.field_size / static_cast<double>(side);
+      for (std::size_t i = 1; i < config.node_count; ++i) {
+        const double gx = static_cast<double>(i % side) * step;
+        const double gy = static_cast<double>(i / side) * step;
+        topo.positions_[i] = Vec2{gx + rng.uniform(-step * 0.1, step * 0.1),
+                                  gy + rng.uniform(-step * 0.1, step * 0.1)};
+      }
+    }
+
+    topo.build_adjacency();
+    if (topo.is_connected()) return topo;
+  }
+  throw std::runtime_error(
+      "Topology::generate: could not produce a connected topology; "
+      "increase comm_range or density");
+}
+
+void Topology::build_adjacency() {
+  adjacency_.assign(positions_.size(), {});
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      if (dist(positions_[i], positions_[j]) <= config_.comm_range) {
+        adjacency_[i].push_back(static_cast<NodeId>(j));
+        adjacency_[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId id) const {
+  return adjacency_.at(id);
+}
+
+double Topology::distance(NodeId a, NodeId b) const {
+  return dist(positions_.at(a), positions_.at(b));
+}
+
+bool Topology::are_neighbors(NodeId a, NodeId b) const {
+  const auto& adj = adjacency_.at(a);
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+bool Topology::is_connected() const {
+  const auto hops = hops_to_sink();
+  return std::none_of(hops.begin(), hops.end(),
+                      [](std::uint16_t h) { return h == kInvalidHops; });
+}
+
+std::vector<std::uint16_t> Topology::hops_to_sink() const {
+  std::vector<std::uint16_t> hops(positions_.size(), kInvalidHops);
+  std::queue<NodeId> frontier;
+  hops[kSinkId] = 0;
+  frontier.push(kSinkId);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : adjacency_[u]) {
+      if (hops[v] == kInvalidHops) {
+        hops[v] = static_cast<std::uint16_t>(hops[u] + 1);
+        frontier.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<LinkKey> Topology::directed_links() const {
+  std::vector<LinkKey> links;
+  for (std::size_t u = 0; u < adjacency_.size(); ++u) {
+    for (const NodeId v : adjacency_[u]) {
+      links.push_back(LinkKey{static_cast<NodeId>(u), v});
+    }
+  }
+  return links;
+}
+
+}  // namespace dophy::net

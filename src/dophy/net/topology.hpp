@@ -1,0 +1,74 @@
+#pragma once
+
+// Node placement and connectivity graph.  Supports uniform-random placement
+// in a square field (the paper's large-scale simulation setting) and a
+// regular grid, with the sink at the field corner or center.  Generation
+// retries until the communication graph is connected so every node has a
+// route to the sink.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+enum class Layout { kRandom, kGrid };
+enum class SinkPlacement { kCorner, kCenter };
+
+struct TopologyConfig {
+  std::size_t node_count = 100;   ///< includes the sink
+  double field_size = 200.0;      ///< square side, meters
+  double comm_range = 40.0;       ///< maximum link distance, meters
+  Layout layout = Layout::kRandom;
+  SinkPlacement sink_placement = SinkPlacement::kCorner;
+  std::uint32_t max_generation_attempts = 64;
+};
+
+class Topology {
+ public:
+  /// Generates a connected topology; throws std::runtime_error if
+  /// max_generation_attempts placements all come out disconnected.
+  static Topology generate(const TopologyConfig& config, dophy::common::Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return positions_.size(); }
+  [[nodiscard]] const Vec2& position(NodeId id) const { return positions_.at(id); }
+  [[nodiscard]] double comm_range() const noexcept { return config_.comm_range; }
+  [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+
+  /// Nodes within communication range of `id` (excluding `id`).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const;
+
+  [[nodiscard]] double distance(NodeId a, NodeId b) const;
+
+  [[nodiscard]] bool are_neighbors(NodeId a, NodeId b) const;
+
+  /// True if every node can reach the sink over neighbor edges.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Hop distance (BFS) from each node to the sink; kInvalidHops when
+  /// unreachable.
+  static constexpr std::uint16_t kInvalidHops = 0xFFFF;
+  [[nodiscard]] std::vector<std::uint16_t> hops_to_sink() const;
+
+  /// All directed neighbor pairs (u, v), u != v — the simulator instantiates
+  /// one Link per entry.
+  [[nodiscard]] std::vector<LinkKey> directed_links() const;
+
+ private:
+  Topology() = default;
+  void build_adjacency();
+
+  TopologyConfig config_;
+  std::vector<Vec2> positions_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,33 @@
+#include "dophy/net/trace.hpp"
+
+namespace dophy::net {
+
+void TraceCollector::record(PacketOutcome outcome) {
+  auto& tally = per_origin_[outcome.packet.origin];
+  ++tally.generated;
+  if (outcome.fate == PacketFate::kDelivered) {
+    ++tally.delivered;
+    ++delivered_;
+    latency_.add(static_cast<double>(outcome.finished_at - outcome.packet.created_at) / 1e6);
+    hops_.add(static_cast<double>(outcome.packet.hop_count));
+  } else {
+    ++dropped_;
+  }
+  outcomes_.push_back(std::move(outcome));
+}
+
+double TraceCollector::delivery_ratio() const noexcept {
+  const std::uint64_t total = delivered_ + dropped_;
+  return total == 0 ? 1.0 : static_cast<double>(delivered_) / static_cast<double>(total);
+}
+
+void TraceCollector::clear() noexcept {
+  outcomes_.clear();
+  per_origin_.clear();
+  latency_ = {};
+  hops_ = {};
+  delivered_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace dophy::net

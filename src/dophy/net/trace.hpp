@@ -1,0 +1,73 @@
+#pragma once
+
+// Delivered/dropped packet traces and aggregate counters the evaluation
+// layer consumes.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/common/stats.hpp"
+#include "dophy/net/packet.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+/// Final fate of a packet.
+enum class PacketFate : std::uint8_t {
+  kDelivered,
+  kDroppedRetries,   ///< ARQ budget exhausted on some hop
+  kDroppedNoRoute,   ///< originator/forwarder had no parent
+  kDroppedTtl,       ///< hop-count guard (routing loop)
+  kDroppedQueue,     ///< forwarding queue overflow
+};
+
+struct PacketOutcome {
+  Packet packet;          ///< blob + ground-truth hops at end of life
+  PacketFate fate = PacketFate::kDelivered;
+  SimTime finished_at = 0;
+};
+
+/// Collects packet outcomes and derived tallies during a run.
+class TraceCollector {
+ public:
+  void record(PacketOutcome outcome);
+
+  [[nodiscard]] const std::vector<PacketOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept { return dropped_; }
+  [[nodiscard]] double delivery_ratio() const noexcept;
+
+  /// End-to-end latency (seconds) of delivered packets.
+  [[nodiscard]] const dophy::common::RunningStats& latency() const noexcept {
+    return latency_;
+  }
+  /// Hop counts of delivered packets.
+  [[nodiscard]] const dophy::common::RunningStats& hop_count() const noexcept {
+    return hops_;
+  }
+
+  /// Per-origin delivery tallies (what end-to-end tomography baselines see).
+  struct OriginTally {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+  };
+  [[nodiscard]] const std::unordered_map<NodeId, OriginTally>& per_origin() const noexcept {
+    return per_origin_;
+  }
+
+  void clear() noexcept;
+
+ private:
+  std::vector<PacketOutcome> outcomes_;
+  std::unordered_map<NodeId, OriginTally> per_origin_;
+  dophy::common::RunningStats latency_;
+  dophy::common::RunningStats hops_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dophy::net

@@ -1,0 +1,104 @@
+#include "dophy/net/trickle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dophy::net {
+
+TrickleDissemination::TrickleDissemination(Network& network, const TrickleConfig& config,
+                                           InstallFn install)
+    : net_(&network), config_(config), install_(std::move(install)) {
+  if (config.i_min_s <= 0.0 || config.i_max_s < config.i_min_s) {
+    throw std::invalid_argument("TrickleDissemination: bad interval bounds");
+  }
+  if (!install_) throw std::invalid_argument("TrickleDissemination: install callback required");
+  states_.resize(net_->node_count());
+  for (auto& s : states_) s.interval_s = config.i_min_s;
+}
+
+std::uint16_t TrickleDissemination::installed_version(NodeId node) const {
+  return states_.at(node).version;
+}
+
+void TrickleDissemination::publish(std::uint8_t version, std::size_t payload_bytes) {
+  NodeState& sink = states_[kSinkId];
+  sink.version = version;
+  sink.payload_bytes = payload_bytes;
+  publish_time_ = net_->sim().now();
+  ++stats_.versions_published;
+  install_(kSinkId, version, publish_time_);
+  // New data: the sink restarts at the minimum interval; other nodes reset
+  // when they hear the inconsistency.
+  start_interval(kSinkId, /*reset_to_min=*/true);
+}
+
+void TrickleDissemination::start_interval(NodeId id, bool reset_to_min) {
+  NodeState& s = states_[id];
+  if (reset_to_min) {
+    s.interval_s = config_.i_min_s;
+  } else {
+    s.interval_s = std::min(s.interval_s * 2.0, config_.i_max_s);
+  }
+  s.heard_consistent = 0;
+  const std::uint64_t epoch = ++s.epoch;
+  // Transmission point uniform in [I/2, I).
+  const double t = s.interval_s * net_->node(id).rng().uniform(0.5, 1.0);
+  net_->sim().schedule_in(static_cast<SimTime>(t * 1e6),
+                          [this, id, epoch] { on_timer(id, epoch); });
+  // End-of-interval event doubles I and starts the next round.
+  net_->sim().schedule_in(static_cast<SimTime>(s.interval_s * 1e6), [this, id, epoch] {
+    if (states_[id].epoch != epoch) return;  // interval was reset meanwhile
+    start_interval(id, /*reset_to_min=*/false);
+  });
+}
+
+void TrickleDissemination::on_timer(NodeId id, std::uint64_t epoch) {
+  NodeState& s = states_[id];
+  if (s.epoch != epoch) return;            // stale timer after a reset
+  if (s.version == 0xFFFF) return;         // nothing to share yet
+  if (!net_->node(id).alive()) return;
+  if (s.heard_consistent >= config_.redundancy_k) {
+    ++stats_.suppressions;
+    return;
+  }
+  broadcast(id);
+}
+
+void TrickleDissemination::broadcast(NodeId id) {
+  NodeState& s = states_[id];
+  ++stats_.transmissions;
+  stats_.bytes_sent += s.payload_bytes;
+  for (const NodeId w : net_->topology().neighbors(id)) {
+    Link& l = net_->link(id, w);
+    if (l.attempt_control(net_->sim().now()) && net_->node(w).alive()) {
+      receive(w, id, s.version, s.payload_bytes);
+    }
+  }
+}
+
+void TrickleDissemination::receive(NodeId receiver, NodeId /*sender*/, std::uint16_t version,
+                                   std::size_t payload_bytes) {
+  NodeState& s = states_[receiver];
+  if (s.version == version) {
+    ++s.heard_consistent;
+    return;
+  }
+  // Inconsistency.  Newer data: adopt + install + reset.  (uint8 versions
+  // are monotone within a run; a full implementation would compare with
+  // serial-number arithmetic.)
+  const bool newer = s.version == 0xFFFF ||
+                     static_cast<std::uint8_t>(version) >
+                         static_cast<std::uint8_t>(s.version);
+  if (newer) {
+    s.version = version;
+    s.payload_bytes = payload_bytes;
+    install_(receiver, static_cast<std::uint8_t>(version), net_->sim().now());
+    stats_.install_latency_s.add(
+        static_cast<double>(net_->sim().now() - publish_time_) / 1e6);
+  }
+  // Either direction of inconsistency resets the interval so the gossip
+  // burst propagates fast.
+  start_interval(receiver, /*reset_to_min=*/true);
+}
+
+}  // namespace dophy::net

@@ -1,0 +1,79 @@
+#pragma once
+
+// Trickle (RFC 6206 style) dissemination of versioned payloads over the
+// network's lossy control plane — the realistic alternative to the abstract
+// flood model in Network::flood_from_sink.
+//
+// Each node runs the classic state machine: interval I in [i_min, i_max],
+// a random transmission point t in [I/2, I), suppression when k consistent
+// messages were heard this interval, interval reset on inconsistency (a
+// different version heard).  Payload versions propagate sink-outward; every
+// broadcast draws per-neighbor losses on the real control links, so delivery
+// latency and byte cost emerge from the protocol instead of being assumed.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dophy/common/stats.hpp"
+#include "dophy/net/network.hpp"
+
+namespace dophy::net {
+
+struct TrickleConfig {
+  double i_min_s = 1.0;
+  double i_max_s = 64.0;
+  std::uint32_t redundancy_k = 2;
+};
+
+struct TrickleStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t suppressions = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t versions_published = 0;
+  /// Seconds from publish to install, across nodes and versions.
+  dophy::common::RunningStats install_latency_s;
+};
+
+class TrickleDissemination {
+ public:
+  /// `install` fires once per (node, version) when the payload first reaches
+  /// that node.  The instance must outlive the network run.
+  using InstallFn = std::function<void(NodeId node, std::uint8_t version, SimTime at)>;
+
+  TrickleDissemination(Network& network, const TrickleConfig& config, InstallFn install);
+
+  /// Publishes a new payload version from the sink; propagation then runs
+  /// entirely inside the simulation.
+  void publish(std::uint8_t version, std::size_t payload_bytes);
+
+  [[nodiscard]] const TrickleStats& stats() const noexcept { return stats_; }
+
+  /// Version currently installed at `node` (0xFFFF before anything arrived
+  /// — distinct from any uint8 version).
+  [[nodiscard]] std::uint16_t installed_version(NodeId node) const;
+
+ private:
+  struct NodeState {
+    std::uint16_t version = 0xFFFF;  ///< none yet
+    std::size_t payload_bytes = 0;
+    double interval_s = 1.0;
+    std::uint32_t heard_consistent = 0;
+    std::uint64_t epoch = 0;  ///< invalidates stale timer events
+  };
+
+  void start_interval(NodeId id, bool reset_to_min);
+  void on_timer(NodeId id, std::uint64_t epoch);
+  void broadcast(NodeId id);
+  void receive(NodeId receiver, NodeId sender, std::uint16_t version,
+               std::size_t payload_bytes);
+
+  Network* net_;
+  TrickleConfig config_;
+  InstallFn install_;
+  std::vector<NodeState> states_;
+  SimTime publish_time_ = 0;
+  TrickleStats stats_;
+};
+
+}  // namespace dophy::net

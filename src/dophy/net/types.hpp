@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared simulator vocabulary types.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace dophy::net {
+
+/// Node identifier.  The sink is always node 0.
+using NodeId = std::uint16_t;
+
+inline constexpr NodeId kSinkId = 0;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulation time in microseconds.  Integer ticks keep the event queue
+/// deterministic across platforms.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Directed link key (sender, receiver) packed for map usage.
+struct LinkKey {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  [[nodiscard]] auto operator<=>(const LinkKey&) const noexcept = default;
+  [[nodiscard]] std::uint32_t packed() const noexcept {
+    return (static_cast<std::uint32_t>(from) << 16) | to;
+  }
+};
+
+struct LinkKeyHash {
+  [[nodiscard]] std::size_t operator()(const LinkKey& k) const noexcept {
+    return std::hash<std::uint32_t>{}(k.packed());
+  }
+};
+
+}  // namespace dophy::net

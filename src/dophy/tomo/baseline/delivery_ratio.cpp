@@ -1,0 +1,60 @@
+#include "dophy/tomo/baseline/delivery_ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dophy::tomo::baseline {
+
+using dophy::net::kInvalidNode;
+using dophy::net::kSinkId;
+using dophy::net::LinkKey;
+using dophy::net::LinkKeyHash;
+using dophy::net::NodeId;
+
+double packet_success_to_attempt_loss(double packet_success, std::uint32_t max_attempts) {
+  const double fail = std::clamp(1.0 - packet_success, 0.0, 1.0);
+  if (max_attempts <= 1) return fail;
+  return std::pow(fail, 1.0 / static_cast<double>(max_attempts));
+}
+
+std::vector<NodeId> chase_parents(const std::vector<NodeId>& parent_of, NodeId origin,
+                                  std::uint16_t max_hops) {
+  std::vector<NodeId> path;
+  NodeId cur = origin;
+  for (std::uint16_t i = 0; i < max_hops; ++i) {
+    if (cur >= parent_of.size()) return {};
+    const NodeId next = parent_of[cur];
+    if (next == kInvalidNode) return {};
+    path.push_back(next);
+    if (next == kSinkId) return path;
+    cur = next;
+  }
+  return {};  // loop or overlong chain
+}
+
+std::unordered_map<LinkKey, double, LinkKeyHash> DeliveryRatioTomography::estimate(
+    const std::vector<PathSample>& samples) const {
+  // Per-node delivery ratio and parent pointer from the samples.
+  std::unordered_map<NodeId, double> delivery;
+  std::unordered_map<NodeId, NodeId> parent;
+  for (const PathSample& s : samples) {
+    if (s.generated < config_.min_generated || s.path.empty()) continue;
+    delivery[s.origin] =
+        static_cast<double>(s.delivered) / static_cast<double>(s.generated);
+    parent[s.origin] = s.path.front();
+  }
+  delivery[kSinkId] = 1.0;
+
+  std::unordered_map<LinkKey, double, LinkKeyHash> out;
+  for (const auto& [node, par] : parent) {
+    const auto it_child = delivery.find(node);
+    const auto it_parent = delivery.find(par);
+    if (it_child == delivery.end() || it_parent == delivery.end()) continue;
+    if (it_parent->second <= 1e-6) continue;
+    const double s_pkt = std::clamp(it_child->second / it_parent->second, 0.0, 1.0);
+    out[LinkKey{node, par}] = packet_success_to_attempt_loss(s_pkt, config_.max_attempts);
+  }
+  return out;
+}
+
+}  // namespace dophy::tomo::baseline

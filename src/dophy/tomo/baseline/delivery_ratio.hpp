@@ -1,0 +1,38 @@
+#pragma once
+
+// Traditional baseline 1 — delivery-ratio tree tomography (MINC-flavoured).
+//
+// Assumes a *static* collection tree.  Every node is an origin, so the
+// end-to-end delivery ratio of node v factors as D_v = prod of packet-level
+// link success along v's path; with the tree assumption the per-link success
+// is simply the ratio D_v / D_parent(v).  Fast and exact on a truly static
+// tree with no retransmissions — and that is precisely what dynamic WSNs
+// with ARQ are not.
+
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+#include "dophy/tomo/baseline/inputs.hpp"
+
+namespace dophy::tomo::baseline {
+
+struct DeliveryRatioConfig {
+  std::uint32_t max_attempts = 8;     ///< MAC budget used for the inversion
+  std::uint64_t min_generated = 10;   ///< ignore origins with fewer packets
+};
+
+class DeliveryRatioTomography {
+ public:
+  explicit DeliveryRatioTomography(const DeliveryRatioConfig& config) : config_(config) {}
+
+  /// Estimates per-attempt loss for each tree link; the tree is taken from
+  /// each sample's first hop (origin -> parent).
+  [[nodiscard]] std::unordered_map<dophy::net::LinkKey, double, dophy::net::LinkKeyHash>
+  estimate(const std::vector<PathSample>& samples) const;
+
+ private:
+  DeliveryRatioConfig config_;
+};
+
+}  // namespace dophy::tomo::baseline

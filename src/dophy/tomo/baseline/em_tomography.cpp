@@ -1,0 +1,114 @@
+#include "dophy/tomo/baseline/em_tomography.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace dophy::tomo::baseline {
+
+using dophy::net::LinkKey;
+using dophy::net::LinkKeyHash;
+using dophy::net::NodeId;
+
+std::unordered_map<LinkKey, double, LinkKeyHash> EmPathTomography::estimate(
+    const std::vector<PacketObservation>& packets) const {
+  // Index links; pre-resolve each packet's link-index path.  Identical
+  // (path, outcome) packets are collapsed into weighted groups — EM iterates
+  // over groups, which shrinks the E-step by orders of magnitude.
+  std::unordered_map<LinkKey, std::size_t, LinkKeyHash> index;
+  struct Group {
+    std::vector<std::size_t> links;
+    double success_count = 0.0;
+    double failure_count = 0.0;
+  };
+  std::unordered_map<std::string, Group> group_map;
+
+  for (const PacketObservation& p : packets) {
+    if (p.path.empty()) continue;
+    std::string group_key;
+    group_key.reserve(p.path.size() * 2 + 2);
+    std::vector<std::size_t> links;
+    NodeId prev = p.origin;
+    group_key.push_back(static_cast<char>(p.origin & 0xFF));
+    group_key.push_back(static_cast<char>(p.origin >> 8));
+    for (const NodeId hop : p.path) {
+      const LinkKey key{prev, hop};
+      const auto [it, inserted] = index.emplace(key, index.size());
+      links.push_back(it->second);
+      group_key.push_back(static_cast<char>(hop & 0xFF));
+      group_key.push_back(static_cast<char>(hop >> 8));
+      prev = hop;
+    }
+    Group& g = group_map[group_key];
+    if (g.links.empty()) g.links = std::move(links);
+    if (p.delivered) {
+      g.success_count += 1.0;
+    } else {
+      g.failure_count += 1.0;
+    }
+  }
+  if (index.empty()) return {};
+
+  std::vector<Group> groups;
+  groups.reserve(group_map.size());
+  for (auto& [key, g] : group_map) groups.push_back(std::move(g));
+
+  std::vector<double> s(index.size(), config_.initial_success);
+  std::vector<double> reach(index.size());
+  std::vector<double> cross(index.size());
+  std::vector<double> prefix;  // prod_{j<i} s_j
+  std::vector<double> suffix;  // prod_{j>=i} s_j
+
+  for (std::uint32_t iter = 0; iter < config_.max_iterations; ++iter) {
+    std::fill(reach.begin(), reach.end(), 0.0);
+    std::fill(cross.begin(), cross.end(), 0.0);
+
+    for (const Group& g : groups) {
+      const std::size_t n = g.links.size();
+      // Successful packets reached and crossed every link.
+      if (g.success_count > 0.0) {
+        for (const std::size_t l : g.links) {
+          reach[l] += g.success_count;
+          cross[l] += g.success_count;
+        }
+      }
+      if (g.failure_count <= 0.0) continue;
+
+      prefix.assign(n + 1, 1.0);
+      suffix.assign(n + 1, 1.0);
+      for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] * s[g.links[i]];
+      for (std::size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] * s[g.links[i]];
+      const double p_fail = 1.0 - prefix[n];
+      if (p_fail <= 1e-12) {
+        // Model says failure is impossible; attribute the failure uniformly
+        // as a reach on every link with no crossing on the first.
+        for (const std::size_t l : g.links) reach[l] += g.failure_count / static_cast<double>(n);
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double reach_i = prefix[i] * (1.0 - suffix[i]) / p_fail;
+        const double cross_i = prefix[i + 1] * (1.0 - suffix[i + 1]) / p_fail;
+        reach[g.links[i]] += g.failure_count * reach_i;
+        cross[g.links[i]] += g.failure_count * cross_i;
+      }
+    }
+
+    double max_delta = 0.0;
+    for (std::size_t l = 0; l < s.size(); ++l) {
+      if (reach[l] <= 1e-12) continue;
+      const double updated = std::clamp(cross[l] / reach[l], 1e-6, 1.0);
+      max_delta = std::max(max_delta, std::abs(updated - s[l]));
+      s[l] = updated;
+    }
+    if (max_delta < config_.tolerance) break;
+  }
+
+  std::unordered_map<LinkKey, double, LinkKeyHash> out;
+  out.reserve(index.size());
+  for (const auto& [key, l] : index) {
+    out[key] = packet_success_to_attempt_loss(s[l], config_.max_attempts);
+  }
+  return out;
+}
+
+}  // namespace dophy::tomo::baseline

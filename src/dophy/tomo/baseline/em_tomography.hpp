@@ -1,0 +1,45 @@
+#pragma once
+
+// Traditional baseline 3 — EM over per-packet end-to-end outcomes.
+//
+// The strongest classical estimator in our suite: it consumes individual
+// packet outcomes (not window ratios) under the serial-link model
+// "packet succeeds iff every link on its assumed path succeeds".
+//
+// E-step: for a failed packet over links l_1..l_n with current success
+// estimates s_i, the posterior probability the packet *reached* link i is
+//   P(reach i | fail) = [prod_{j<i} s_j] * (1 - prod_{j>=i} s_j) / (1 - prod_j s_j)
+// and the posterior it *crossed* link i is P(reach i+1 | fail).
+// M-step: s_i = (expected crossings) / (expected reaches).
+//
+// Like the other baselines it assumes the snapshot path is the true path
+// and converts packet-level success to per-attempt loss via the ARQ law.
+
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+#include "dophy/tomo/baseline/inputs.hpp"
+
+namespace dophy::tomo::baseline {
+
+struct EmConfig {
+  std::uint32_t max_attempts = 8;
+  std::uint32_t max_iterations = 100;
+  double tolerance = 1e-7;   ///< max per-link change to declare convergence
+  double initial_success = 0.98;
+};
+
+class EmPathTomography {
+ public:
+  explicit EmPathTomography(const EmConfig& config) : config_(config) {}
+
+  /// Per-attempt loss estimates from per-packet observations.
+  [[nodiscard]] std::unordered_map<dophy::net::LinkKey, double, dophy::net::LinkKeyHash>
+  estimate(const std::vector<PacketObservation>& packets) const;
+
+ private:
+  EmConfig config_;
+};
+
+}  // namespace dophy::tomo::baseline

@@ -1,0 +1,52 @@
+#pragma once
+
+// Inputs available to *traditional* (pre-Dophy) loss tomography.  These
+// schemes observe only (a) end-to-end delivery outcomes per origin and
+// (b) routing-topology snapshots from the control plane — never per-hop
+// transmission counts.  Under dynamic routing the snapshot paths go stale,
+// and under ARQ the end-to-end outcomes carry almost no signal; both
+// deficits are exactly what the paper's comparison demonstrates.
+//
+// All baselines estimate the *per-attempt* link loss ratio (the quantity
+// Dophy reports) by inverting the ARQ success law with the known MAC budget
+// m:   P(link delivers packet) = 1 - p^m   =>   p = (1 - S)^(1/m).
+// This is the strongest possible conversion a traditional scheme could
+// apply, so the comparison is conservative in the baselines' favor.
+
+#include <cstdint>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::tomo::baseline {
+
+/// Window aggregate for one origin under an assumed (snapshot) path.
+struct PathSample {
+  dophy::net::NodeId origin = dophy::net::kInvalidNode;
+  /// Assumed forwarding chain: first element is the origin's parent, last is
+  /// the sink.
+  std::vector<dophy::net::NodeId> path;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+};
+
+/// Per-packet observation (for the EM baseline, which exploits individual
+/// outcomes rather than per-origin ratios).
+struct PacketObservation {
+  dophy::net::NodeId origin = dophy::net::kInvalidNode;
+  std::vector<dophy::net::NodeId> path;  ///< assumed at generation time
+  bool delivered = false;
+};
+
+/// Converts a packet-level link success ratio into a per-attempt loss ratio
+/// given the MAC attempt budget.
+[[nodiscard]] double packet_success_to_attempt_loss(double packet_success,
+                                                    std::uint32_t max_attempts);
+
+/// Expands a parent map into the chain origin -> ... -> sink; empty result
+/// when the chain is broken or loops.
+[[nodiscard]] std::vector<dophy::net::NodeId> chase_parents(
+    const std::vector<dophy::net::NodeId>& parent_of, dophy::net::NodeId origin,
+    std::uint16_t max_hops = 64);
+
+}  // namespace dophy::tomo::baseline

@@ -1,0 +1,83 @@
+#include "dophy/tomo/baseline/nnls_tomography.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dophy::tomo::baseline {
+
+using dophy::net::LinkKey;
+using dophy::net::LinkKeyHash;
+using dophy::net::NodeId;
+
+std::unordered_map<LinkKey, double, LinkKeyHash> NnlsPathTomography::estimate(
+    const std::vector<PathSample>& samples) const {
+  // Index the links appearing in any usable sample.
+  std::unordered_map<LinkKey, std::size_t, LinkKeyHash> index;
+  struct Equation {
+    std::vector<std::size_t> links;
+    double b = 0.0;       ///< -ln D
+    double weight = 1.0;  ///< packet count
+  };
+  std::vector<Equation> equations;
+
+  for (const PathSample& s : samples) {
+    if (s.generated < config_.min_generated || s.path.empty()) continue;
+    Equation eq;
+    NodeId prev = s.origin;
+    for (const NodeId hop : s.path) {
+      const LinkKey key{prev, hop};
+      const auto [it, inserted] = index.emplace(key, index.size());
+      eq.links.push_back(it->second);
+      prev = hop;
+    }
+    const double d = std::clamp(
+        static_cast<double>(s.delivered) / static_cast<double>(s.generated),
+        config_.delivery_floor, 1.0);
+    eq.b = -std::log(d);
+    eq.weight = static_cast<double>(s.generated);
+    equations.push_back(std::move(eq));
+  }
+  if (index.empty()) return {};
+
+  // Projected gradient descent on f(x) = 1/2 sum_e w_e (A_e x - b_e)^2,
+  // x >= 0.  Step size from the Lipschitz bound L <= max_col_count *
+  // max_row_count * max_w (crude but safe); refined by backtracking-free
+  // diagonal scaling.
+  std::vector<double> x(index.size(), 0.0);
+  std::vector<double> diag(index.size(), 0.0);
+  for (const Equation& eq : equations) {
+    for (const std::size_t l : eq.links) {
+      diag[l] += eq.weight * static_cast<double>(eq.links.size());
+    }
+  }
+
+  double prev_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> grad(index.size());
+  for (std::uint32_t iter = 0; iter < config_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double obj = 0.0;
+    for (const Equation& eq : equations) {
+      double r = -eq.b;
+      for (const std::size_t l : eq.links) r += x[l];
+      obj += 0.5 * eq.weight * r * r;
+      const double wr = eq.weight * r;
+      for (const std::size_t l : eq.links) grad[l] += wr;
+    }
+    for (std::size_t l = 0; l < x.size(); ++l) {
+      if (diag[l] <= 0.0) continue;
+      x[l] = std::max(0.0, x[l] - grad[l] / diag[l]);
+    }
+    if (prev_obj - obj < config_.tolerance * std::max(1.0, prev_obj)) break;
+    prev_obj = obj;
+  }
+
+  std::unordered_map<LinkKey, double, LinkKeyHash> out;
+  out.reserve(index.size());
+  for (const auto& [key, l] : index) {
+    const double s_pkt = std::exp(-x[l]);
+    out[key] = packet_success_to_attempt_loss(s_pkt, config_.max_attempts);
+  }
+  return out;
+}
+
+}  // namespace dophy::tomo::baseline

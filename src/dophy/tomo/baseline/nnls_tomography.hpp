@@ -1,0 +1,41 @@
+#pragma once
+
+// Traditional baseline 2 — path-based linear inversion.
+//
+// Takes the log of the multiplicative path model: for origin o with assumed
+// path P(o),   -ln D_o = sum_{l in P(o)} x_l  with x_l = -ln(s_l) >= 0.
+// Solves the non-negative least-squares system with projected gradient
+// descent.  Handles multiple windows/paths per origin (so it is strictly
+// more general than the tree-ratio method) but still consumes only
+// end-to-end ratios and snapshot paths.
+
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+#include "dophy/tomo/baseline/inputs.hpp"
+
+namespace dophy::tomo::baseline {
+
+struct NnlsConfig {
+  std::uint32_t max_attempts = 8;
+  std::uint64_t min_generated = 10;
+  std::uint32_t max_iterations = 2000;
+  double tolerance = 1e-10;  ///< stop when the objective improves less
+  double delivery_floor = 1e-4;  ///< clamp D to avoid ln(0)
+};
+
+class NnlsPathTomography {
+ public:
+  explicit NnlsPathTomography(const NnlsConfig& config) : config_(config) {}
+
+  /// Per-attempt loss estimates for every link appearing in some sample
+  /// path.  Each PathSample is one equation (weighted by generated count).
+  [[nodiscard]] std::unordered_map<dophy::net::LinkKey, double, dophy::net::LinkKeyHash>
+  estimate(const std::vector<PathSample>& samples) const;
+
+ private:
+  NnlsConfig config_;
+};
+
+}  // namespace dophy::tomo::baseline

@@ -1,0 +1,54 @@
+#include "dophy/tomo/dophy_decoder.hpp"
+
+#include "dophy/coding/arith.hpp"
+
+namespace dophy::tomo {
+
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+
+DophyDecoder::DophyDecoder(const ModelStore& sink_store, const SymbolMapper& mapper,
+                           std::uint16_t max_hops)
+    : store_(&sink_store), mapper_(mapper), max_hops_(max_hops) {}
+
+std::optional<DecodedPath> DophyDecoder::decode(const dophy::net::Packet& packet) {
+  const ModelSet* models = store_->find(packet.blob.model_version);
+  if (models == nullptr) {
+    ++stats_.decode_failures;
+    return std::nullopt;
+  }
+  if (packet.blob.state_size != 0 || packet.blob.truncated) {
+    // Blob was never finalized (a forwarder skipped encoding) or ran out of
+    // payload budget mid-path; the stream cannot be decoded soundly.
+    ++stats_.decode_failures;
+    return std::nullopt;
+  }
+
+  DecodedPath path;
+  path.origin = packet.origin;
+  try {
+    dophy::coding::ArithmeticDecoder dec(packet.blob.bytes, 0, packet.blob.logical_bits);
+    NodeId prev = packet.origin;
+    for (std::uint16_t hop = 0; hop < max_hops_; ++hop) {
+      const auto receiver = static_cast<NodeId>(dec.decode(models->id_model));
+      const auto symbol = static_cast<std::uint32_t>(dec.decode(models->retx_model));
+      DecodedHop decoded;
+      decoded.sender = prev;
+      decoded.receiver = receiver;
+      decoded.observation.censored = mapper_.is_censored(symbol);
+      decoded.observation.attempts = mapper_.to_attempts(symbol);
+      path.hops.push_back(decoded);
+      prev = receiver;
+      if (receiver == kSinkId) {
+        ++stats_.packets_decoded;
+        return path;
+      }
+    }
+  } catch (const std::exception&) {
+    // fall through to failure accounting
+  }
+  ++stats_.decode_failures;
+  return std::nullopt;
+}
+
+}  // namespace dophy::tomo

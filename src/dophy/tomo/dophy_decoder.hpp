@@ -1,0 +1,55 @@
+#pragma once
+
+// Sink-side Dophy decoder: reconstructs the exact per-packet path and the
+// per-hop (possibly censored) transmission counts from the finalized
+// arithmetic stream.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dophy/net/packet.hpp"
+#include "dophy/tomo/measurement.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::tomo {
+
+/// One decoded hop: the packet moved from `sender` to `receiver` and the
+/// winning frame carried this transmission count.
+struct DecodedHop {
+  dophy::net::NodeId sender = dophy::net::kInvalidNode;
+  dophy::net::NodeId receiver = dophy::net::kInvalidNode;
+  HopObservation observation;
+};
+
+struct DecodedPath {
+  dophy::net::NodeId origin = dophy::net::kInvalidNode;
+  std::vector<DecodedHop> hops;
+};
+
+struct DophyDecoderStats {
+  std::uint64_t packets_decoded = 0;
+  std::uint64_t decode_failures = 0;  ///< unknown version / corrupt / overlong
+};
+
+class DophyDecoder {
+ public:
+  /// `sink_store` is the sink's model store (receives every version the
+  /// moment it is published, before any dissemination delay).
+  DophyDecoder(const ModelStore& sink_store, const SymbolMapper& mapper,
+               std::uint16_t max_hops = 64);
+
+  /// Decodes a delivered packet's blob; nullopt on any failure (missing
+  /// model version, corrupt stream, runaway path).
+  [[nodiscard]] std::optional<DecodedPath> decode(const dophy::net::Packet& packet);
+
+  [[nodiscard]] const DophyDecoderStats& stats() const noexcept { return stats_; }
+
+ private:
+  const ModelStore* store_;
+  SymbolMapper mapper_;
+  std::uint16_t max_hops_;
+  DophyDecoderStats stats_;
+};
+
+}  // namespace dophy::tomo

@@ -1,0 +1,133 @@
+#include "dophy/tomo/dophy_encoder.hpp"
+
+#include <stdexcept>
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/common/bitio.hpp"
+
+namespace dophy::tomo {
+
+using dophy::coding::ArithCoderState;
+using dophy::coding::ArithmeticEncoder;
+using dophy::common::BitWriter;
+using dophy::net::MeasurementBlob;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+
+namespace {
+
+/// Rebuilds a BitWriter holding the blob's current bit-exact stream.
+BitWriter writer_from_blob(const MeasurementBlob& blob) {
+  BitWriter w;
+  dophy::common::BitReader r(blob.bytes, blob.logical_bits);
+  // Replay whole bytes fast, then the tail bits.
+  std::size_t remaining = blob.logical_bits;
+  while (remaining >= 8) {
+    w.put_bits(r.get_bits(8), 8);
+    remaining -= 8;
+  }
+  while (remaining > 0) {
+    w.put_bit(r.get_bit());
+    --remaining;
+  }
+  return w;
+}
+
+void state_into_blob(MeasurementBlob& blob, const ArithCoderState& state) {
+  const auto bytes = state.serialize();
+  static_assert(ArithCoderState::kSerializedSize <= sizeof(MeasurementBlob::state));
+  std::copy(bytes.begin(), bytes.end(), blob.state.begin());
+  blob.state_size = static_cast<std::uint8_t>(bytes.size());
+}
+
+ArithCoderState state_from_blob(const MeasurementBlob& blob) {
+  if (blob.state_size != ArithCoderState::kSerializedSize) {
+    throw std::runtime_error("Dophy: packet carries no coder state");
+  }
+  return ArithCoderState::deserialize(
+      std::span<const std::uint8_t>(blob.state.data(), blob.state_size));
+}
+
+}  // namespace
+
+DophyInstrumentation::DophyInstrumentation(std::size_t node_count, const SymbolMapper& mapper,
+                                           std::size_t max_wire_bytes)
+    : mapper_(mapper), max_wire_bytes_(max_wire_bytes) {
+  if (node_count < 2) throw std::invalid_argument("DophyInstrumentation: need >= 2 nodes");
+  const ModelSet boot = ModelSet::bootstrap(node_count, mapper_.alphabet_size());
+  stores_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    ModelStore store;
+    store.install(boot);
+    stores_.push_back(std::move(store));
+  }
+}
+
+void DophyInstrumentation::on_origin(Packet& packet, NodeId origin,
+                                     dophy::net::SimTime /*now*/) {
+  const ModelStore& store = stores_.at(origin);
+  packet.blob.model_version = store.current_version();
+  packet.blob.bytes.clear();
+  packet.blob.logical_bits = 0;
+  state_into_blob(packet.blob, ArithCoderState{});  // fresh registers
+  ++stats_.packets_originated;
+}
+
+void DophyInstrumentation::on_hop_received(Packet& packet, NodeId receiver, NodeId /*sender*/,
+                                           std::uint32_t attempts,
+                                           dophy::net::SimTime /*now*/) {
+  const ModelStore& store = stores_.at(receiver);
+  if (packet.blob.truncated ||
+      (max_wire_bytes_ > 0 && packet.blob.wire_bytes() + 2 > max_wire_bytes_)) {
+    // Budget exhausted: stop appending; the blob is poisoned for decoding
+    // (the symbol stream no longer matches the path) and marked as such.
+    packet.blob.truncated = true;
+    ++stats_.truncated_hops;
+    return;
+  }
+  const ModelSet* models = store.find(packet.blob.model_version);
+  if (models == nullptr) {
+    // The stamped version never reached this forwarder (possible under slow
+    // dissemination).  Continuing with any other model would desynchronize
+    // the stream, and silently skipping would let the sink decode a path
+    // with this hop missing — so poison the blob and let the sink drop it.
+    packet.blob.truncated = true;
+    ++stats_.missing_model_hops;
+    return;
+  }
+
+  BitWriter writer = writer_from_blob(packet.blob);
+  const std::size_t bits_before = writer.bit_count();
+  ArithmeticEncoder enc(writer, state_from_blob(packet.blob));
+
+  // Bit attribution below is approximate (the coder's registers buffer a few
+  // bits across symbol boundaries) but unbiased over many hops.
+  enc.encode(models->id_model, receiver);
+  const std::size_t bits_after_id = writer.bit_count();
+  enc.encode(models->retx_model, mapper_.to_symbol(attempts));
+  stats_.id_bits_appended += bits_after_id - bits_before;
+  stats_.retx_bits_appended += writer.bit_count() - bits_after_id;
+
+  if (receiver == dophy::net::kSinkId) {
+    enc.finish();
+    packet.blob.state_size = 0;  // trailer squeezed out at finalization
+  } else {
+    state_into_blob(packet.blob, enc.suspend());
+  }
+
+  const std::size_t bits_after = writer.bit_count();
+  packet.blob.logical_bits = static_cast<std::uint32_t>(bits_after);
+  packet.blob.bytes = writer.take();
+
+  ++stats_.hops_encoded;
+  stats_.total_bits_appended += bits_after - bits_before;
+  stats_.bits_per_hop.add(bits_after - bits_before);
+}
+
+void DophyInstrumentation::install(NodeId node, const ModelSet& set) {
+  stores_.at(node).install(set);
+}
+
+const ModelStore& DophyInstrumentation::store(NodeId node) const { return stores_.at(node); }
+
+}  // namespace dophy::tomo

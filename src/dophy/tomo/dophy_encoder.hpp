@@ -1,0 +1,79 @@
+#pragma once
+
+// Node-side Dophy: the PacketInstrumentation that rides the simulator's data
+// path.  At the origin it stamps the node's installed model version and a
+// fresh suspended arithmetic-coder state into the packet; at every hop the
+// receiver resumes the coder from the in-packet trailer, appends two symbols
+// (its own node id, then the aggregated transmission-count symbol read from
+// the winning frame's attempt counter) and re-suspends.  At the sink the
+// stream is finalized so the decoder can run.
+
+#include <cstdint>
+#include <vector>
+
+#include "dophy/common/histogram.hpp"
+#include "dophy/net/packet.hpp"
+#include "dophy/tomo/measurement.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::tomo {
+
+struct DophyEncoderStats {
+  std::uint64_t packets_originated = 0;
+  std::uint64_t hops_encoded = 0;
+  std::uint64_t total_bits_appended = 0;   ///< across all hops (pre-finalize)
+  std::uint64_t id_bits_appended = 0;      ///< node-id portion of the stream
+  std::uint64_t retx_bits_appended = 0;    ///< transmission-count portion
+  std::uint64_t missing_model_hops = 0;    ///< forwarder lacked the stamped version
+  std::uint64_t truncated_hops = 0;        ///< payload budget exhausted mid-path
+  dophy::common::Histogram bits_per_hop{63};
+
+  [[nodiscard]] double mean_bits_per_hop() const noexcept {
+    return hops_encoded == 0
+               ? 0.0
+               : static_cast<double>(total_bits_appended) / static_cast<double>(hops_encoded);
+  }
+  [[nodiscard]] double mean_id_bits_per_hop() const noexcept {
+    return hops_encoded == 0
+               ? 0.0
+               : static_cast<double>(id_bits_appended) / static_cast<double>(hops_encoded);
+  }
+  [[nodiscard]] double mean_retx_bits_per_hop() const noexcept {
+    return hops_encoded == 0
+               ? 0.0
+               : static_cast<double>(retx_bits_appended) / static_cast<double>(hops_encoded);
+  }
+};
+
+class DophyInstrumentation final : public dophy::net::PacketInstrumentation {
+ public:
+  /// `node_count` sizes the id alphabet; every node's store starts with the
+  /// uniform bootstrap ModelSet (version 0).  `max_wire_bytes` caps the
+  /// measurement field's on-air size (0 = unlimited): when a hop would push
+  /// past the budget (e.g. an 802.15.4 frame's spare payload), it marks the
+  /// blob truncated instead of appending, and the sink drops the sample.
+  DophyInstrumentation(std::size_t node_count, const SymbolMapper& mapper,
+                       std::size_t max_wire_bytes = 0);
+
+  // PacketInstrumentation:
+  void on_origin(dophy::net::Packet& packet, dophy::net::NodeId origin,
+                 dophy::net::SimTime now) override;
+  void on_hop_received(dophy::net::Packet& packet, dophy::net::NodeId receiver,
+                       dophy::net::NodeId sender, std::uint32_t attempts,
+                       dophy::net::SimTime now) override;
+
+  /// Installs a disseminated model set at one node (the flood callback).
+  void install(dophy::net::NodeId node, const ModelSet& set);
+
+  [[nodiscard]] const ModelStore& store(dophy::net::NodeId node) const;
+  [[nodiscard]] const SymbolMapper& mapper() const noexcept { return mapper_; }
+  [[nodiscard]] const DophyEncoderStats& stats() const noexcept { return stats_; }
+
+ private:
+  SymbolMapper mapper_;
+  std::vector<ModelStore> stores_;  ///< one per node
+  std::size_t max_wire_bytes_;
+  DophyEncoderStats stats_;
+};
+
+}  // namespace dophy::tomo

@@ -1,0 +1,242 @@
+#include "dophy/tomo/hash_path.hpp"
+
+#include <stdexcept>
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/common/bitio.hpp"
+
+namespace dophy::tomo {
+
+using dophy::coding::ArithCoderState;
+using dophy::coding::ArithmeticDecoder;
+using dophy::coding::ArithmeticEncoder;
+using dophy::common::BitWriter;
+using dophy::net::kSinkId;
+using dophy::net::MeasurementBlob;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+
+std::uint32_t hash_path_step(std::uint32_t hash, NodeId hop) noexcept {
+  // Order-sensitive multiplicative mix (Knuth constant), truncated to 24 bits.
+  std::uint32_t h = hash * 2654435761u + hop + 0x9e37u;
+  h ^= h >> 13;
+  return h & kPathHashMask;
+}
+
+namespace {
+
+constexpr std::size_t kTrailerSize = ArithCoderState::kSerializedSize + 3;
+
+void trailer_into_blob(MeasurementBlob& blob, const ArithCoderState& state,
+                       std::uint32_t hash) {
+  const auto coder_bytes = state.serialize();
+  std::copy(coder_bytes.begin(), coder_bytes.end(), blob.state.begin());
+  blob.state[10] = static_cast<std::uint8_t>(hash >> 16);
+  blob.state[11] = static_cast<std::uint8_t>(hash >> 8);
+  blob.state[12] = static_cast<std::uint8_t>(hash);
+  blob.state_size = kTrailerSize;
+}
+
+ArithCoderState coder_from_blob(const MeasurementBlob& blob) {
+  if (blob.state_size != kTrailerSize) {
+    throw std::runtime_error("HashPath: packet carries no trailer");
+  }
+  return ArithCoderState::deserialize(
+      std::span<const std::uint8_t>(blob.state.data(), ArithCoderState::kSerializedSize));
+}
+
+std::uint32_t hash_from_blob(const MeasurementBlob& blob) {
+  return (static_cast<std::uint32_t>(blob.state[10]) << 16) |
+         (static_cast<std::uint32_t>(blob.state[11]) << 8) | blob.state[12];
+}
+
+BitWriter writer_from_blob(const MeasurementBlob& blob) {
+  BitWriter w;
+  dophy::common::BitReader r(blob.bytes, blob.logical_bits);
+  std::size_t remaining = blob.logical_bits;
+  while (remaining >= 8) {
+    w.put_bits(r.get_bits(8), 8);
+    remaining -= 8;
+  }
+  while (remaining > 0) {
+    w.put_bit(r.get_bit());
+    --remaining;
+  }
+  return w;
+}
+
+}  // namespace
+
+HashPathInstrumentation::HashPathInstrumentation(std::size_t node_count,
+                                                 const SymbolMapper& mapper)
+    : mapper_(mapper) {
+  if (node_count < 2) throw std::invalid_argument("HashPathInstrumentation: need >= 2 nodes");
+  const ModelSet boot = ModelSet::bootstrap(node_count, mapper_.alphabet_size());
+  stores_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    ModelStore store;
+    store.install(boot);
+    stores_.push_back(std::move(store));
+  }
+}
+
+void HashPathInstrumentation::on_origin(Packet& packet, NodeId origin,
+                                        dophy::net::SimTime /*now*/) {
+  const ModelStore& store = stores_.at(origin);
+  packet.blob.model_version = store.current_version();
+  packet.blob.bytes.clear();
+  packet.blob.logical_bits = 0;
+  trailer_into_blob(packet.blob, ArithCoderState{}, hash_path_step(0, origin));
+  ++stats_.packets_originated;
+}
+
+void HashPathInstrumentation::on_hop_received(Packet& packet, NodeId receiver,
+                                              NodeId /*sender*/, std::uint32_t attempts,
+                                              dophy::net::SimTime /*now*/) {
+  if (packet.blob.truncated) return;  // poisoned earlier; sink will drop it
+  const ModelStore& store = stores_.at(receiver);
+  const ModelSet* models = store.find(packet.blob.model_version);
+  if (models == nullptr) {
+    // See DophyInstrumentation::on_hop_received: a skipped hop would let the
+    // sink mis-resolve; poison the blob instead.
+    packet.blob.truncated = true;
+    ++stats_.missing_model_hops;
+    return;
+  }
+
+  BitWriter writer = writer_from_blob(packet.blob);
+  const std::size_t bits_before = writer.bit_count();
+  ArithmeticEncoder enc(writer, coder_from_blob(packet.blob));
+  const std::uint32_t hash =
+      hash_path_step(hash_from_blob(packet.blob), receiver);
+
+  enc.encode(models->retx_model, mapper_.to_symbol(attempts));
+
+  std::size_t bits_after = 0;
+  if (receiver == kSinkId) {
+    enc.finish();
+    bits_after = writer.bit_count();
+    packet.blob.state_size = 0;
+    packet.blob.logical_bits = static_cast<std::uint32_t>(bits_after) + kPathHashBits;
+    // Final layout: 24-bit hash, then the byte-aligned count stream.
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(writer.byte_count() + 3);
+    bytes.push_back(static_cast<std::uint8_t>(hash >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(hash >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(hash));
+    const auto stream = writer.take();
+    bytes.insert(bytes.end(), stream.begin(), stream.end());
+    packet.blob.bytes = std::move(bytes);
+  } else {
+    trailer_into_blob(packet.blob, enc.suspend(), hash);
+    bits_after = writer.bit_count();
+    packet.blob.logical_bits = static_cast<std::uint32_t>(bits_after);
+    packet.blob.bytes = writer.take();
+  }
+
+  ++stats_.hops_encoded;
+  const std::size_t appended = bits_after - bits_before;
+  stats_.total_bits_appended += appended;
+  stats_.retx_bits_appended += appended;
+  stats_.bits_per_hop.add(appended);
+}
+
+void HashPathInstrumentation::install(NodeId node, const ModelSet& set) {
+  stores_.at(node).install(set);
+}
+
+const ModelStore& HashPathInstrumentation::store(NodeId node) const {
+  return stores_.at(node);
+}
+
+HashPathDecoder::HashPathDecoder(const ModelStore& sink_store, const SymbolMapper& mapper,
+                                 const dophy::net::Topology& topology,
+                                 std::uint64_t search_budget)
+    : store_(&sink_store),
+      mapper_(mapper),
+      topology_(&topology),
+      hops_to_sink_(topology.hops_to_sink()),
+      search_budget_(search_budget) {}
+
+bool HashPathDecoder::search(NodeId current, std::uint32_t hash_so_far,
+                             std::uint32_t target_hash, std::size_t hops_left,
+                             std::vector<NodeId>& path, std::vector<NodeId>& found,
+                             std::uint64_t& budget) const {
+  if (budget == 0) return false;
+  --budget;
+  if (hops_left == 0) {
+    if (current == kSinkId && hash_so_far == target_hash) {
+      found = path;
+      return true;
+    }
+    return false;
+  }
+  for (const NodeId next : topology_->neighbors(current)) {
+    // BFS lower bound: next must still be able to reach the sink in time.
+    if (hops_to_sink_[next] > hops_left - 1) continue;
+    path.push_back(next);
+    const bool hit = search(next, hash_path_step(hash_so_far, next), target_hash,
+                            hops_left - 1, path, found, budget);
+    path.pop_back();
+    if (hit) return true;
+  }
+  return false;
+}
+
+std::optional<DecodedPath> HashPathDecoder::decode(const Packet& packet) {
+  const ModelSet* models = store_->find(packet.blob.model_version);
+  if (models == nullptr || packet.blob.state_size != 0 || packet.blob.truncated ||
+      packet.blob.logical_bits < kPathHashBits || packet.hop_count == 0) {
+    ++stats_.decode_failures;
+    return std::nullopt;
+  }
+
+  std::vector<HopObservation> observations;
+  std::uint32_t target_hash = 0;
+  try {
+    dophy::common::BitReader head(packet.blob.bytes, kPathHashBits);
+    target_hash = static_cast<std::uint32_t>(head.get_bits(kPathHashBits));
+    ArithmeticDecoder dec(packet.blob.bytes, kPathHashBits, packet.blob.logical_bits);
+    observations.reserve(packet.hop_count);
+    for (std::uint16_t i = 0; i < packet.hop_count; ++i) {
+      const auto symbol = static_cast<std::uint32_t>(dec.decode(models->retx_model));
+      HopObservation obs;
+      obs.censored = mapper_.is_censored(symbol);
+      obs.attempts = mapper_.to_attempts(symbol);
+      observations.push_back(obs);
+    }
+  } catch (const std::exception&) {
+    ++stats_.decode_failures;
+    return std::nullopt;
+  }
+
+  // Recover the path: a walk of exactly hop_count steps from the origin to
+  // the sink whose running hash matches.
+  std::vector<NodeId> path;
+  std::vector<NodeId> found;
+  std::uint64_t budget = search_budget_;
+  const std::uint32_t origin_hash = hash_path_step(0, packet.origin);
+  const bool hit = search(packet.origin, origin_hash, target_hash, packet.hop_count,
+                          path, found, budget);
+  stats_.candidates_explored += search_budget_ - budget;
+  if (!hit) {
+    ++stats_.search_failures;
+    return std::nullopt;
+  }
+
+  DecodedPath decoded;
+  decoded.origin = packet.origin;
+  NodeId sender = packet.origin;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    DecodedHop hop;
+    hop.sender = sender;
+    hop.receiver = found[i];
+    hop.observation = observations[i];
+    decoded.hops.push_back(hop);
+    sender = found[i];
+  }
+  ++stats_.packets_decoded;
+  return decoded;
+}
+
+}  // namespace dophy::tomo

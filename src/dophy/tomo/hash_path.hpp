@@ -1,0 +1,94 @@
+#pragma once
+
+// Alternative path-recording mode: instead of arithmetic-coding each hop's
+// node id (Dophy's choice), the packet carries a fixed-size *path hash*
+// (order-sensitive mix of the receiver ids) plus the count-only arithmetic
+// stream; the sink recovers the path by searching the known neighbor graph
+// for an origin->sink walk of the right length whose hash matches — the
+// PathZip-style design from the same research lineage.
+//
+// Trade-off this module lets the benches quantify: the hash costs a fixed
+// 3 bytes per packet (cheaper than per-hop ids beyond ~4 hops) but path
+// recovery becomes a search that can fail (budget exhausted) or — with
+// probability ~2^-24 per candidate — return a wrong path.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dophy/common/histogram.hpp"
+#include "dophy/net/packet.hpp"
+#include "dophy/net/topology.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/measurement.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::tomo {
+
+/// Order-sensitive 24-bit path hash.
+[[nodiscard]] std::uint32_t hash_path_step(std::uint32_t hash, dophy::net::NodeId hop) noexcept;
+inline constexpr std::uint32_t kPathHashBits = 24;
+inline constexpr std::uint32_t kPathHashMask = (1u << kPathHashBits) - 1;
+
+/// Node-side instrumentation for hash mode.  Blob layout at the sink:
+/// [24-bit hash][arithmetic count stream]; in flight the running hash rides
+/// in the state trailer after the coder registers.
+class HashPathInstrumentation final : public dophy::net::PacketInstrumentation {
+ public:
+  HashPathInstrumentation(std::size_t node_count, const SymbolMapper& mapper);
+
+  void on_origin(dophy::net::Packet& packet, dophy::net::NodeId origin,
+                 dophy::net::SimTime now) override;
+  void on_hop_received(dophy::net::Packet& packet, dophy::net::NodeId receiver,
+                       dophy::net::NodeId sender, std::uint32_t attempts,
+                       dophy::net::SimTime now) override;
+
+  void install(dophy::net::NodeId node, const ModelSet& set);
+  [[nodiscard]] const ModelStore& store(dophy::net::NodeId node) const;
+  [[nodiscard]] const DophyEncoderStats& stats() const noexcept { return stats_; }
+
+ private:
+  SymbolMapper mapper_;
+  std::vector<ModelStore> stores_;
+  DophyEncoderStats stats_;
+};
+
+struct HashPathDecoderStats {
+  std::uint64_t packets_decoded = 0;
+  std::uint64_t decode_failures = 0;   ///< stream errors / unknown version
+  std::uint64_t search_failures = 0;   ///< no matching path within budget
+  std::uint64_t search_ambiguous = 0;  ///< >1 matching path (first kept)
+  std::uint64_t candidates_explored = 0;
+};
+
+/// Sink-side decoder for hash mode: decodes the counts, then searches the
+/// neighbor graph for the matching path.
+class HashPathDecoder {
+ public:
+  /// `topology` supplies the neighbor graph (a deployment learns it from
+  /// neighborhood reports; the simulator hands it over directly).
+  HashPathDecoder(const ModelStore& sink_store, const SymbolMapper& mapper,
+                  const dophy::net::Topology& topology,
+                  std::uint64_t search_budget = 200000);
+
+  [[nodiscard]] std::optional<DecodedPath> decode(const dophy::net::Packet& packet);
+
+  [[nodiscard]] const HashPathDecoderStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] bool search(dophy::net::NodeId current, std::uint32_t hash_so_far,
+                            std::uint32_t target_hash, std::size_t hops_left,
+                            std::vector<dophy::net::NodeId>& path,
+                            std::vector<dophy::net::NodeId>& found,
+                            std::uint64_t& budget) const;
+
+  const ModelStore* store_;
+  SymbolMapper mapper_;
+  const dophy::net::Topology* topology_;
+  std::vector<std::uint16_t> hops_to_sink_;
+  std::uint64_t search_budget_;
+  HashPathDecoderStats stats_;
+};
+
+}  // namespace dophy::tomo

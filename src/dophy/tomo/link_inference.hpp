@@ -1,0 +1,80 @@
+#pragma once
+
+// Per-link loss estimation from decoded per-hop transmission counts.
+//
+// A hop observation over link l is the number of transmission attempts until
+// the receiver first heard the frame — Geometric(1 - p_l) in the per-attempt
+// loss p_l, right-censored at the aggregation threshold K.  For U uncensored
+// observations with counts t_i and C censored ones, the MLE of the success
+// probability q = 1 - p is
+//
+//     q_hat = U / (sum_i t_i + C * (K - 1)),
+//
+// with a Wald standard error from the observed Fisher information.  An
+// optional per-epoch count decay turns the estimator into a tracker for
+// drifting link qualities.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::tomo {
+
+struct LinkEstimate {
+  double loss = 0.0;        ///< p_hat, per-attempt loss ratio
+  double stderr_ = 0.0;     ///< Wald standard error of p_hat
+  double samples = 0.0;     ///< effective (possibly decayed) observation count
+};
+
+class LinkLossEstimator {
+ public:
+  /// `decay` in (0,1] scales accumulated counts at each end_epoch(); 1.0
+  /// keeps the estimator cumulative.
+  LinkLossEstimator(std::uint32_t censor_threshold, double decay = 1.0);
+
+  /// Switches to the Bayesian posterior-mean estimate under a Beta(a, b)
+  /// prior on the per-attempt success probability q.  The geometric
+  /// likelihood is conjugate (uncensored t: a += 1, b += t-1; censored:
+  /// b += K-1), so this only shifts the closed form; a = b = 0 recovers the
+  /// MLE.  Small priors (e.g. Beta(1, 0.3)) regularize thin links.
+  void set_beta_prior(double a, double b);
+
+  /// Feeds every hop of a decoded path.
+  void observe_path(const DecodedPath& path);
+
+  /// Feeds a single hop observation for `link`.
+  void observe(dophy::net::LinkKey link, const HopObservation& obs);
+
+  /// Applies the decay factor (call at tracking-epoch boundaries).
+  void end_epoch();
+
+  /// Estimate for one link; nullopt if the link has no observations.
+  [[nodiscard]] std::optional<LinkEstimate> estimate(dophy::net::LinkKey link) const;
+
+  /// All links with observations, sorted by key.
+  [[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, LinkEstimate>> all_estimates() const;
+
+  [[nodiscard]] std::size_t link_count() const noexcept { return stats_.size(); }
+  void clear() noexcept { stats_.clear(); }
+
+ private:
+  struct Counts {
+    double uncensored = 0.0;
+    double attempts_sum = 0.0;  ///< over uncensored observations
+    double censored = 0.0;
+  };
+  [[nodiscard]] LinkEstimate estimate_from(const Counts& c, std::uint32_t k) const;
+
+  std::uint32_t k_;
+  double decay_;
+  double prior_a_ = 0.0;  ///< Beta prior pseudo-successes
+  double prior_b_ = 0.0;  ///< Beta prior pseudo-failures
+  std::unordered_map<dophy::net::LinkKey, Counts, dophy::net::LinkKeyHash> stats_;
+};
+
+}  // namespace dophy::tomo

@@ -1,0 +1,71 @@
+#include "dophy/tomo/measurement.hpp"
+
+#include <stdexcept>
+
+#include "dophy/coding/varint.hpp"
+
+namespace dophy::tomo {
+
+ModelSet::ModelSet(std::uint8_t version_, dophy::coding::StaticModel id_model_,
+                   dophy::coding::StaticModel retx_model_)
+    : version(version_), id_model(std::move(id_model_)), retx_model(std::move(retx_model_)) {}
+
+ModelSet ModelSet::bootstrap(std::size_t node_count, std::uint32_t retx_alphabet) {
+  return ModelSet(0, dophy::coding::StaticModel(node_count),
+                  dophy::coding::StaticModel(retx_alphabet));
+}
+
+std::vector<std::uint8_t> ModelSet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.push_back(version);
+  const auto id_bytes = id_model.serialize();
+  const auto retx_bytes = retx_model.serialize();
+  dophy::coding::write_varint(out, id_bytes.size());
+  out.insert(out.end(), id_bytes.begin(), id_bytes.end());
+  dophy::coding::write_varint(out, retx_bytes.size());
+  out.insert(out.end(), retx_bytes.begin(), retx_bytes.end());
+  return out;
+}
+
+ModelSet ModelSet::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) throw std::runtime_error("ModelSet::deserialize: empty");
+  const std::uint8_t version = bytes[0];
+  std::size_t offset = 1;
+  const std::uint64_t id_len = dophy::coding::read_varint(bytes, offset);
+  if (offset + id_len > bytes.size()) throw std::runtime_error("ModelSet: truncated id model");
+  auto id_model = dophy::coding::StaticModel::deserialize(bytes.subspan(offset,
+                                                                        static_cast<std::size_t>(id_len)));
+  offset += static_cast<std::size_t>(id_len);
+  const std::uint64_t retx_len = dophy::coding::read_varint(bytes, offset);
+  if (offset + retx_len > bytes.size()) throw std::runtime_error("ModelSet: truncated retx model");
+  auto retx_model = dophy::coding::StaticModel::deserialize(
+      bytes.subspan(offset, static_cast<std::size_t>(retx_len)));
+  return ModelSet(version, std::move(id_model), std::move(retx_model));
+}
+
+std::size_t ModelSet::wire_size() const { return serialize().size(); }
+
+ModelStore::ModelStore(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("ModelStore: zero capacity");
+}
+
+void ModelStore::install(ModelSet set) {
+  sets_.emplace(install_counter_++, std::move(set));
+  while (sets_.size() > capacity_) sets_.erase(sets_.begin());
+}
+
+std::uint8_t ModelStore::current_version() const {
+  if (sets_.empty()) throw std::logic_error("ModelStore: empty store");
+  return sets_.rbegin()->second.version;
+}
+
+const ModelSet* ModelStore::find(std::uint8_t version) const {
+  // Newest first: version numbers wrap at 256, so prefer the most recent
+  // install with a matching tag.
+  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
+    if (it->second.version == version) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace dophy::tomo

@@ -1,0 +1,65 @@
+#pragma once
+
+// Versioned model sets and the per-node model store.
+//
+// Every hop of a packet must encode with bit-identical models, so Dophy
+// stamps the origin's installed version into the packet and disseminates
+// model updates sink-outward (forwarders sit closer to the sink than the
+// origin, so they always hold the stamped version by the time the packet
+// reaches them).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dophy/coding/freq_model.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::tomo {
+
+/// The pair of static models one version comprises: hop receiver ids and
+/// aggregated retransmission-count symbols.
+struct ModelSet {
+  std::uint8_t version = 0;
+  dophy::coding::StaticModel id_model;
+  dophy::coding::StaticModel retx_model;
+
+  ModelSet(std::uint8_t version, dophy::coding::StaticModel id_model,
+           dophy::coding::StaticModel retx_model);
+
+  /// Uniform bootstrap models (version 0).
+  static ModelSet bootstrap(std::size_t node_count, std::uint32_t retx_alphabet);
+
+  /// Wire form for dissemination; `wire_size()` is the byte cost charged to
+  /// the flood.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static ModelSet deserialize(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Per-node store of installed model versions (bounded history).
+class ModelStore {
+ public:
+  explicit ModelStore(std::size_t capacity = 8);
+
+  void install(ModelSet set);
+
+  /// Latest installed version (the one new packets get stamped with).
+  [[nodiscard]] std::uint8_t current_version() const;
+
+  /// Lookup by version; nullptr when the store never had it / evicted it.
+  [[nodiscard]] const ModelSet* find(std::uint8_t version) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sets_.size(); }
+
+ private:
+  std::size_t capacity_;
+  // Insertion-ordered; version numbers are monotone so a map keyed by the
+  // install counter keeps eviction FIFO even across uint8 wraparound.
+  std::map<std::uint64_t, ModelSet> sets_;
+  std::uint64_t install_counter_ = 0;
+};
+
+}  // namespace dophy::tomo

@@ -1,0 +1,55 @@
+#include "dophy/tomo/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dophy/common/stats.hpp"
+
+namespace dophy::tomo {
+
+AccuracySummary summarize_scores(const std::vector<LinkScore>& scores,
+                                 std::size_t active_links) {
+  AccuracySummary s;
+  s.links_scored = scores.size();
+  if (active_links > 0) {
+    s.coverage = static_cast<double>(scores.size()) / static_cast<double>(active_links);
+  }
+  if (scores.empty()) return s;
+
+  std::vector<double> errs;
+  std::vector<double> est;
+  std::vector<double> truth;
+  errs.reserve(scores.size());
+  est.reserve(scores.size());
+  truth.reserve(scores.size());
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  double sum_rel = 0.0;
+  for (const LinkScore& sc : scores) {
+    const double e = sc.abs_error();
+    errs.push_back(e);
+    est.push_back(sc.estimated);
+    truth.push_back(sc.truth);
+    sum_abs += e;
+    sum_sq += e * e;
+    sum_rel += sc.truth > 1e-9 ? e / sc.truth : 0.0;
+  }
+  const double n = static_cast<double>(scores.size());
+  s.mae = sum_abs / n;
+  s.rmse = std::sqrt(sum_sq / n);
+  s.mean_rel = sum_rel / n;
+  s.p50_abs = dophy::common::quantile(errs, 0.5);
+  s.p90_abs = dophy::common::quantile(errs, 0.9);
+  s.max_abs = *std::max_element(errs.begin(), errs.end());
+  s.spearman = dophy::common::spearman(est, truth);
+  return s;
+}
+
+std::vector<double> abs_errors(const std::vector<LinkScore>& scores) {
+  std::vector<double> errs;
+  errs.reserve(scores.size());
+  for (const LinkScore& sc : scores) errs.push_back(sc.abs_error());
+  return errs;
+}
+
+}  // namespace dophy::tomo

@@ -1,0 +1,44 @@
+#pragma once
+
+// Scoring of per-link loss estimates against simulator ground truth.
+
+#include <cstdint>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::tomo {
+
+/// One scored link: an estimator's output vs. the empirical loss the link
+/// actually exhibited over the evaluation window.
+struct LinkScore {
+  dophy::net::LinkKey link;
+  double estimated = 0.0;
+  double truth = 0.0;
+  std::uint64_t truth_attempts = 0;  ///< ground-truth sample size
+
+  [[nodiscard]] double abs_error() const noexcept {
+    return estimated > truth ? estimated - truth : truth - estimated;
+  }
+};
+
+struct AccuracySummary {
+  std::size_t links_scored = 0;
+  double mae = 0.0;       ///< mean absolute error
+  double rmse = 0.0;
+  double mean_rel = 0.0;  ///< mean |err| / truth
+  double p50_abs = 0.0;
+  double p90_abs = 0.0;
+  double max_abs = 0.0;
+  double spearman = 0.0;  ///< rank agreement (can the operator find bad links?)
+  double coverage = 0.0;  ///< scored links / active links (set by caller)
+};
+
+/// Summarizes scores; `active_links` (> 0) sets the coverage denominator.
+[[nodiscard]] AccuracySummary summarize_scores(const std::vector<LinkScore>& scores,
+                                               std::size_t active_links);
+
+/// Absolute errors of each score (for CDF tabulation).
+[[nodiscard]] std::vector<double> abs_errors(const std::vector<LinkScore>& scores);
+
+}  // namespace dophy::tomo

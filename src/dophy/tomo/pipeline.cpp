@@ -1,0 +1,401 @@
+#include "dophy/tomo/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "dophy/tomo/baseline/delivery_ratio.hpp"
+#include "dophy/tomo/baseline/em_tomography.hpp"
+#include "dophy/tomo/baseline/inputs.hpp"
+#include "dophy/tomo/baseline/nnls_tomography.hpp"
+#include "dophy/tomo/hash_path.hpp"
+#include "dophy/tomo/link_inference.hpp"
+
+namespace dophy::tomo {
+
+using dophy::net::kInvalidNode;
+using dophy::net::kSinkId;
+using dophy::net::LinkKey;
+using dophy::net::LinkKeyHash;
+using dophy::net::Network;
+using dophy::net::NodeId;
+using dophy::net::PacketFate;
+using dophy::net::SimTime;
+
+const MethodResult& PipelineResult::method(const std::string& name) const {
+  for (const MethodResult& m : methods) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("PipelineResult::method: no method named " + name);
+}
+
+namespace {
+
+/// Scores an estimate map against ground truth over the active links.
+std::vector<LinkScore> score_map(
+    const std::unordered_map<LinkKey, double, LinkKeyHash>& estimates,
+    const std::unordered_map<LinkKey, std::pair<double, std::uint64_t>, LinkKeyHash>& truth) {
+  std::vector<LinkScore> scores;
+  for (const auto& [key, est] : estimates) {
+    const auto it = truth.find(key);
+    if (it == truth.end()) continue;
+    LinkScore sc;
+    sc.link = key;
+    sc.estimated = est;
+    sc.truth = it->second.first;
+    sc.truth_attempts = it->second.second;
+    scores.push_back(sc);
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const LinkScore& a, const LinkScore& b) { return a.link < b.link; });
+  return scores;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  const SymbolMapper mapper(config.dophy.censor_threshold);
+  const bool hash_mode = config.dophy.path_mode == PathMode::kHashPath;
+
+  // Exactly one instrumentation is active; both expose install/store/stats.
+  std::optional<DophyInstrumentation> id_instr;
+  std::optional<HashPathInstrumentation> hash_instr;
+  dophy::net::PacketInstrumentation* instr_ptr = nullptr;
+  if (hash_mode) {
+    hash_instr.emplace(config.net.topology.node_count, mapper);
+    instr_ptr = &*hash_instr;
+  } else {
+    id_instr.emplace(config.net.topology.node_count, mapper, config.dophy.max_wire_bytes);
+    instr_ptr = &*id_instr;
+  }
+  auto install = [&](NodeId node, const ModelSet& set) {
+    if (hash_mode) {
+      hash_instr->install(node, set);
+    } else {
+      id_instr->install(node, set);
+    }
+  };
+  const ModelStore& sink_store =
+      hash_mode ? hash_instr->store(kSinkId) : id_instr->store(kSinkId);
+
+  Network net(config.net, instr_ptr);
+  const std::size_t node_count = net.node_count();
+
+  // --- Sink-side machinery -------------------------------------------------
+  // Trickle mode keeps a version-indexed registry of published sets so the
+  // install callback (which only carries the version) can materialize them.
+  std::unordered_map<std::uint8_t, ModelSet> published_sets;
+  std::optional<dophy::net::TrickleDissemination> trickle;
+  if (config.dophy.use_trickle_dissemination) {
+    trickle.emplace(net, config.dophy.trickle,
+                    [&](NodeId node, std::uint8_t version, SimTime) {
+                      const auto it = published_sets.find(version);
+                      if (it != published_sets.end()) install(node, it->second);
+                    });
+  }
+
+  ModelUpdateConfig update_config = config.dophy.update;
+  if (hash_mode) update_config.update_id_model = false;  // ids not coded
+  ProbModelManager manager(
+      update_config, node_count, mapper, [&](const ModelSet& set) {
+        if (trickle) {
+          published_sets.insert_or_assign(set.version, set);
+          trickle->publish(set.version, set.wire_size());
+          return;  // installs (sink included) arrive via the protocol
+        }
+        install(kSinkId, set);  // sink publishes to itself immediately
+        net.flood_from_sink(set.wire_size(), [&install, set](NodeId node, SimTime) {
+          install(node, set);
+        });
+      });
+  DophyDecoder id_decoder(sink_store, mapper,
+                          static_cast<std::uint16_t>(config.net.traffic.max_hops + 2));
+  HashPathDecoder hash_decoder(sink_store, mapper, net.topology());
+  auto decode = [&](const dophy::net::Packet& packet) {
+    return hash_mode ? hash_decoder.decode(packet) : id_decoder.decode(packet);
+  };
+  LinkLossEstimator dophy_estimator(config.dophy.censor_threshold, config.dophy.tracker_decay);
+  if (config.dophy.prior_successes > 0.0 || config.dophy.prior_failures > 0.0) {
+    dophy_estimator.set_beta_prior(config.dophy.prior_successes, config.dophy.prior_failures);
+  }
+
+  bool in_measure = false;
+  std::uint64_t packets_measured = 0;
+  std::uint64_t measured_bits = 0;
+  std::uint64_t measured_hops = 0;
+
+  std::vector<std::uint32_t> attempt_stream;
+  net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime) {
+    const auto decoded = decode(packet);
+    if (!decoded) return;
+    manager.observe(*decoded);
+    if (in_measure) {
+      dophy_estimator.observe_path(*decoded);
+      ++packets_measured;
+      measured_bits += packet.blob.logical_bits;
+      measured_hops += decoded->hops.size();
+      if (config.collect_attempt_stream) {
+        for (const auto& hop : packet.true_hops) {
+          attempt_stream.push_back(hop.attempts_to_first_rx);
+        }
+      }
+    }
+  });
+
+  net.add_periodic(config.dophy.update.check_interval_s,
+                   [&](SimTime now) { manager.on_tick(now); });
+
+  // --- Baseline inputs: periodic routing snapshots -------------------------
+  std::vector<std::vector<NodeId>> snapshots;  // snapshots[i][node] = parent
+  std::vector<SimTime> snapshot_times;
+  auto take_snapshot = [&](SimTime now) {
+    std::vector<NodeId> parents(node_count, kInvalidNode);
+    for (std::size_t i = 1; i < node_count; ++i) {
+      parents[i] = net.node(static_cast<NodeId>(i)).routing().parent();
+    }
+    snapshots.push_back(std::move(parents));
+    snapshot_times.push_back(now);
+  };
+  // Within-run convergence series state (filled only when requested).
+  std::vector<EpochPoint> epoch_series;
+  SimTime series_start = 0;
+  std::unordered_map<LinkKey, dophy::net::Link::Snapshot, LinkKeyHash> series_truth_start;
+
+  net.add_periodic(config.snapshot_interval_s, [&](SimTime now) {
+    take_snapshot(now);
+    if (!in_measure) return;
+    if (config.dophy.tracker_decay < 1.0) dophy_estimator.end_epoch();
+    if (config.collect_epoch_series) {
+      EpochPoint point;
+      point.t_s = static_cast<double>(now - series_start) / 1e6;
+      point.packets = packets_measured;
+      std::vector<LinkScore> scores;
+      for (const auto& [key, est] : dophy_estimator.all_estimates()) {
+        const auto it = series_truth_start.find(key);
+        if (it == series_truth_start.end()) continue;
+        const auto& link = net.link(key.from, key.to);
+        const std::uint64_t attempts = link.data_attempts() - it->second.attempts;
+        if (attempts < config.min_truth_attempts) continue;
+        LinkScore sc;
+        sc.link = key;
+        sc.estimated = est.loss;
+        sc.truth = link.empirical_loss_since(it->second, now);
+        sc.truth_attempts = attempts;
+        scores.push_back(sc);
+      }
+      const auto summary = summarize_scores(scores, scores.size());
+      point.links_scored = summary.links_scored;
+      point.mae = summary.mae;
+      point.p90_abs = summary.p90_abs;
+      epoch_series.push_back(point);
+    }
+  });
+
+  // --- Warm-up --------------------------------------------------------------
+  net.run_for(config.warmup_s);
+  take_snapshot(net.sim().now());  // guarantee a snapshot at window start
+
+  // Ground-truth window starts here; with a tail fraction < 1 the counters
+  // are re-snapshotted later so truth covers only the window's tail.
+  std::unordered_map<LinkKey, dophy::net::Link::Snapshot, LinkKeyHash> truth_start;
+  auto snapshot_truth = [&] {
+    truth_start.clear();
+    for (const LinkKey key : net.link_keys()) {
+      truth_start.emplace(key, net.link(key.from, key.to).snapshot());
+    }
+  };
+  snapshot_truth();
+  if (config.truth_tail_fraction < 1.0 && config.truth_tail_fraction > 0.0) {
+    const double lead_s = config.measure_s * (1.0 - config.truth_tail_fraction);
+    net.sim().schedule_in(static_cast<SimTime>(lead_s * 1e6), snapshot_truth);
+  }
+  const std::uint64_t parent_changes_start = net.stats().parent_changes;
+  const std::uint64_t generated_start = net.stats().packets_generated;
+  const std::uint64_t delivered_start = net.stats().packets_delivered;
+  const SimTime measure_start = net.sim().now();
+  const std::size_t outcomes_start = net.traces().outcomes().size();
+  series_start = measure_start;
+  series_truth_start = truth_start;
+  in_measure = true;
+
+  // --- Measurement window ----------------------------------------------------
+  net.run_for(config.measure_s);
+  in_measure = false;
+  const SimTime measure_end = net.sim().now();
+
+  // --- Ground truth -----------------------------------------------------------
+  std::unordered_map<LinkKey, std::pair<double, std::uint64_t>, LinkKeyHash> truth;
+  std::size_t active_links = 0;
+  for (const LinkKey key : net.link_keys()) {
+    const auto& link = net.link(key.from, key.to);
+    const auto start = truth_start.at(key);
+    const std::uint64_t attempts = link.data_attempts() - start.attempts;
+    if (attempts < config.min_truth_attempts) continue;
+    const double loss = link.empirical_loss_since(start, measure_end);
+    truth.emplace(key, std::make_pair(loss, attempts));
+    ++active_links;
+  }
+
+  PipelineResult result;
+  result.net_stats = net.stats();
+  result.encoder_stats = hash_mode ? hash_instr->stats() : id_instr->stats();
+  result.decoder_stats = id_decoder.stats();
+  result.manager_stats = manager.stats();
+  if (trickle) result.trickle_stats = trickle->stats();
+  if (hash_mode) {
+    const auto& hs = hash_decoder.stats();
+    result.decoder_stats.packets_decoded = hs.packets_decoded;
+    result.decoder_stats.decode_failures = hs.decode_failures + hs.search_failures;
+    result.hash_search_failures = hs.search_failures;
+    result.hash_search_ambiguous = hs.search_ambiguous;
+    result.hash_candidates_per_packet =
+        hs.packets_decoded + hs.search_failures > 0
+            ? static_cast<double>(hs.candidates_explored) /
+                  static_cast<double>(hs.packets_decoded + hs.search_failures)
+            : 0.0;
+  }
+  result.packets_measured = packets_measured;
+  result.mean_bits_per_packet =
+      packets_measured == 0 ? 0.0
+                            : static_cast<double>(measured_bits) /
+                                  static_cast<double>(packets_measured);
+  result.mean_path_length =
+      packets_measured == 0 ? 0.0
+                            : static_cast<double>(measured_hops) /
+                                  static_cast<double>(packets_measured);
+  result.active_links = active_links;
+  result.parent_changes_in_window =
+      result.net_stats.parent_changes - parent_changes_start;
+  const double node_hours = static_cast<double>(node_count) *
+                            (static_cast<double>(measure_end - measure_start) / 3.6e9);
+  result.parent_changes_per_node_hour =
+      node_hours > 0.0 ? static_cast<double>(result.parent_changes_in_window) / node_hours
+                       : 0.0;
+  {
+    const std::uint64_t gen = result.net_stats.packets_generated - generated_start;
+    const std::uint64_t del = result.net_stats.packets_delivered - delivered_start;
+    result.delivery_ratio_in_window =
+        gen == 0 ? 1.0 : static_cast<double>(del) / static_cast<double>(gen);
+  }
+  result.attempt_stream = std::move(attempt_stream);
+  result.epoch_series = std::move(epoch_series);
+
+  // --- Dophy scores -----------------------------------------------------------
+  {
+    MethodResult m;
+    m.name = "dophy";
+    std::unordered_map<LinkKey, double, LinkKeyHash> est_map;
+    for (const auto& [key, est] : dophy_estimator.all_estimates()) est_map[key] = est.loss;
+    m.scores = score_map(est_map, truth);
+    m.summary = summarize_scores(m.scores, active_links);
+    result.methods.push_back(std::move(m));
+  }
+
+  if (!config.run_baselines) return result;
+
+  // --- Baseline inputs from traces ---------------------------------------------
+  // Snapshot index covering time t: the latest snapshot taken at or before t.
+  auto snapshot_at = [&](SimTime t) -> const std::vector<NodeId>* {
+    const auto it = std::upper_bound(snapshot_times.begin(), snapshot_times.end(), t);
+    if (it == snapshot_times.begin()) return nullptr;
+    return &snapshots[static_cast<std::size_t>(it - snapshot_times.begin()) - 1];
+  };
+
+  // Per (origin, interval) tallies for the ratio/NNLS methods, and per-packet
+  // observations for EM.
+  struct OriginInterval {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    const std::vector<NodeId>* parents = nullptr;
+  };
+  std::unordered_map<std::uint64_t, OriginInterval> tallies;
+  std::vector<baseline::PacketObservation> packet_obs;
+
+  const auto& outcomes = net.traces().outcomes();
+  const SimTime interval_us = static_cast<SimTime>(config.snapshot_interval_s * 1e6);
+  for (std::size_t i = outcomes_start; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    const SimTime created = o.packet.created_at;
+    if (created < measure_start || created >= measure_end) continue;
+    if (o.packet.origin == kSinkId || o.packet.origin == kInvalidNode) continue;
+    const std::vector<NodeId>* parents = snapshot_at(created);
+    if (parents == nullptr) continue;
+    const auto path = baseline::chase_parents(*parents, o.packet.origin,
+                                              config.net.traffic.max_hops);
+    if (path.empty()) continue;
+
+    const auto interval_idx =
+        static_cast<std::uint64_t>((created - measure_start) / interval_us);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(o.packet.origin) << 32) | interval_idx;
+    OriginInterval& tally = tallies[key];
+    ++tally.generated;
+    if (o.fate == PacketFate::kDelivered) ++tally.delivered;
+    tally.parents = parents;
+
+    baseline::PacketObservation obs;
+    obs.origin = o.packet.origin;
+    obs.path = path;
+    obs.delivered = o.fate == PacketFate::kDelivered;
+    packet_obs.push_back(std::move(obs));
+  }
+
+  std::vector<baseline::PathSample> interval_samples;
+  interval_samples.reserve(tallies.size());
+  std::unordered_map<NodeId, baseline::PathSample> whole_window;
+  for (const auto& [key, tally] : tallies) {
+    const auto origin = static_cast<NodeId>(key >> 32);
+    baseline::PathSample s;
+    s.origin = origin;
+    s.path = baseline::chase_parents(*tally.parents, origin, config.net.traffic.max_hops);
+    s.generated = tally.generated;
+    s.delivered = tally.delivered;
+    if (!s.path.empty()) interval_samples.push_back(s);
+
+    baseline::PathSample& w = whole_window[origin];
+    w.origin = origin;
+    w.generated += tally.generated;
+    w.delivered += tally.delivered;
+    if (w.path.empty()) w.path = s.path;  // representative path
+  }
+  std::vector<baseline::PathSample> window_samples;
+  window_samples.reserve(whole_window.size());
+  for (auto& [origin, s] : whole_window) window_samples.push_back(std::move(s));
+
+  const auto max_attempts = config.net.mac.max_attempts;
+
+  {
+    baseline::DeliveryRatioConfig cfg;
+    cfg.max_attempts = max_attempts;
+    MethodResult m;
+    m.name = "delivery-ratio";
+    m.scores = score_map(baseline::DeliveryRatioTomography(cfg).estimate(window_samples), truth);
+    m.summary = summarize_scores(m.scores, active_links);
+    result.methods.push_back(std::move(m));
+  }
+  {
+    baseline::NnlsConfig cfg;
+    cfg.max_attempts = max_attempts;
+    cfg.min_generated = 3;
+    MethodResult m;
+    m.name = "nnls";
+    m.scores = score_map(baseline::NnlsPathTomography(cfg).estimate(interval_samples), truth);
+    m.summary = summarize_scores(m.scores, active_links);
+    result.methods.push_back(std::move(m));
+  }
+  {
+    baseline::EmConfig cfg;
+    cfg.max_attempts = max_attempts;
+    MethodResult m;
+    m.name = "em";
+    m.scores = score_map(baseline::EmPathTomography(cfg).estimate(packet_obs), truth);
+    m.summary = summarize_scores(m.scores, active_links);
+    result.methods.push_back(std::move(m));
+  }
+
+  return result;
+}
+
+}  // namespace dophy::tomo

@@ -1,0 +1,117 @@
+#pragma once
+
+// End-to-end experiment pipeline: builds a network with Dophy instrumentation,
+// runs warm-up + measurement windows, decodes at the sink, runs the
+// traditional baselines on their own (information-poorer) inputs, and scores
+// every method against the same empirical ground truth.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dophy/net/network.hpp"
+#include "dophy/net/trickle.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/metrics.hpp"
+#include "dophy/tomo/prob_model_manager.hpp"
+
+namespace dophy::tomo {
+
+/// How packets record their path for the sink.
+enum class PathMode {
+  kIdCoding,   ///< arithmetic-coded per-hop receiver ids (Dophy default)
+  kHashPath,   ///< fixed 24-bit path hash + sink-side graph search
+};
+
+struct DophyConfig {
+  std::uint32_t censor_threshold = 4;  ///< symbol-aggregation K
+  ModelUpdateConfig update;
+  double tracker_decay = 1.0;  ///< <1 turns the MLE into a drift tracker
+  /// Beta(a, b) prior on per-attempt success; both 0 = plain MLE.
+  double prior_successes = 0.0;
+  double prior_failures = 0.0;
+  PathMode path_mode = PathMode::kIdCoding;
+  /// Per-frame budget for the measurement field (0 = unlimited); hops past
+  /// the budget mark the packet truncated and the sink drops the sample.
+  std::size_t max_wire_bytes = 0;
+  /// Disseminate model updates with the real Trickle protocol instead of
+  /// the abstract depth-latency flood (latency/cost then emerge from the
+  /// lossy control plane, and stale forwarders become possible).
+  bool use_trickle_dissemination = false;
+  dophy::net::TrickleConfig trickle;
+};
+
+struct PipelineConfig {
+  dophy::net::NetworkConfig net;
+  DophyConfig dophy;
+  double warmup_s = 300.0;            ///< routing convergence, not scored
+  double measure_s = 3600.0;          ///< evaluation window
+  double snapshot_interval_s = 60.0;  ///< baseline routing snapshots / epochs
+  std::uint64_t min_truth_attempts = 30;  ///< ground-truth support to score a link
+  /// Fraction of the measurement window (ending at its close) that defines
+  /// the ground truth.  1.0 scores against the whole-window average; smaller
+  /// values score against *recent* truth, which is the fair target for
+  /// drifting links and tracking estimators.
+  double truth_tail_fraction = 1.0;
+  bool run_baselines = true;
+  /// Record the raw per-hop transmission counts of delivered packets (ground
+  /// truth, uncensored) — used by the offline codec-comparison benches.
+  bool collect_attempt_stream = false;
+  /// Record a Dophy accuracy-vs-time series, one point per snapshot
+  /// interval (convergence-after-deployment view).
+  bool collect_epoch_series = false;
+};
+
+/// One point of the within-run convergence series.
+struct EpochPoint {
+  double t_s = 0.0;             ///< seconds since measurement start
+  std::uint64_t packets = 0;    ///< packets decoded so far
+  std::size_t links_scored = 0;
+  double mae = 0.0;
+  double p90_abs = 0.0;
+};
+
+struct MethodResult {
+  std::string name;
+  std::vector<LinkScore> scores;
+  AccuracySummary summary;
+};
+
+struct PipelineResult {
+  std::vector<MethodResult> methods;  ///< dophy, delivery-ratio, nnls, em
+
+  dophy::net::NetworkStats net_stats;  ///< at end of run
+  DophyEncoderStats encoder_stats;
+  DophyDecoderStats decoder_stats;     ///< id-coding mode decode counters
+  ModelManagerStats manager_stats;
+  /// Hash-mode search counters (zero-filled under kIdCoding).
+  std::uint64_t hash_search_failures = 0;
+  std::uint64_t hash_search_ambiguous = 0;
+  double hash_candidates_per_packet = 0.0;
+
+  /// Trickle counters (zero-filled unless use_trickle_dissemination).
+  dophy::net::TrickleStats trickle_stats;
+
+  std::uint64_t packets_measured = 0;     ///< delivered inside the window
+  double mean_bits_per_packet = 0.0;      ///< finalized measurement stream
+  double mean_path_length = 0.0;
+  std::size_t active_links = 0;           ///< links with enough ground truth
+  std::uint64_t parent_changes_in_window = 0;
+  double parent_changes_per_node_hour = 0.0;
+  double delivery_ratio_in_window = 1.0;
+
+  /// Raw transmission counts per delivered hop in the measurement window
+  /// (only when PipelineConfig::collect_attempt_stream is set).
+  std::vector<std::uint32_t> attempt_stream;
+
+  /// Dophy accuracy over time (only when collect_epoch_series is set).
+  std::vector<EpochPoint> epoch_series;
+
+  /// Convenience lookup; throws if the method was not run.
+  [[nodiscard]] const MethodResult& method(const std::string& name) const;
+};
+
+[[nodiscard]] PipelineResult run_pipeline(const PipelineConfig& config);
+
+}  // namespace dophy::tomo

@@ -1,0 +1,112 @@
+#include "dophy/tomo/prob_model_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dophy/common/stats.hpp"
+
+namespace dophy::tomo {
+
+ProbModelManager::ProbModelManager(const ModelUpdateConfig& config, std::size_t node_count,
+                                   const SymbolMapper& mapper, PublishFn publish)
+    : config_(config), node_count_(node_count), mapper_(mapper), publish_(std::move(publish)) {
+  if (node_count < 2) throw std::invalid_argument("ProbModelManager: need >= 2 nodes");
+  if (!publish_) throw std::invalid_argument("ProbModelManager: publish callback required");
+  id_counts_.assign(node_count, 0);
+  retx_counts_.assign(mapper_.alphabet_size(), 0);
+  deployed_id_counts_.assign(node_count, 1);  // bootstrap models are uniform
+  deployed_retx_counts_.assign(mapper_.alphabet_size(), 1);
+}
+
+void ProbModelManager::observe(const DecodedPath& path) {
+  for (const DecodedHop& hop : path.hops) {
+    if (hop.receiver < node_count_) ++id_counts_[hop.receiver];
+    const std::uint32_t symbol =
+        hop.observation.censored ? mapper_.alphabet_size() - 1
+                                 : mapper_.to_symbol(hop.observation.attempts);
+    ++retx_counts_[symbol];
+    ++window_hops_;
+    ++stats_.hops_observed;
+  }
+}
+
+double ProbModelManager::current_kl_bits() const {
+  double kl = dophy::common::kl_divergence_bits(retx_counts_, deployed_retx_counts_);
+  if (config_.update_id_model) {
+    kl += dophy::common::kl_divergence_bits(id_counts_, deployed_id_counts_);
+  }
+  return kl;
+}
+
+ModelSet ProbModelManager::build_set(std::uint8_t version) const {
+  auto smoothed = [&](const std::vector<std::uint64_t>& counts) {
+    std::vector<std::uint64_t> out(counts.size());
+    const auto prior = static_cast<std::uint64_t>(std::max(0.0, config_.smoothing) * 16.0);
+    for (std::size_t i = 0; i < counts.size(); ++i) out[i] = counts[i] * 16 + prior;
+    return out;
+  };
+  const std::vector<std::uint64_t> id_src =
+      config_.update_id_model ? smoothed(id_counts_) : deployed_id_counts_;
+  const std::uint32_t precision =
+      std::max<std::uint32_t>(config_.model_precision,
+                              static_cast<std::uint32_t>(node_count_) * 2);
+  return ModelSet(version, dophy::coding::StaticModel(id_src, precision),
+                  dophy::coding::StaticModel(smoothed(retx_counts_), precision));
+}
+
+void ProbModelManager::publish_now() {
+  const auto next_version = static_cast<std::uint8_t>(version_ + 1);
+  ModelSet set = build_set(next_version);
+  stats_.last_model_bytes = static_cast<double>(set.wire_size());
+  version_ = next_version;
+  // Remember what distribution the deployed models encode for future KL.
+  if (config_.update_id_model) deployed_id_counts_ = id_counts_;
+  deployed_retx_counts_ = retx_counts_;
+  for (auto& c : deployed_id_counts_) c = std::max<std::uint64_t>(c, 1);
+  for (auto& c : deployed_retx_counts_) c = std::max<std::uint64_t>(c, 1);
+  ++stats_.updates_published;
+  publish_(set);
+  reset_window();
+}
+
+void ProbModelManager::reset_window() {
+  std::fill(id_counts_.begin(), id_counts_.end(), 0);
+  std::fill(retx_counts_.begin(), retx_counts_.end(), 0);
+  window_hops_ = 0;
+}
+
+void ProbModelManager::on_tick(dophy::net::SimTime now) {
+  ++stats_.ticks;
+  const dophy::net::SimTime window = now - window_start_;
+  last_tick_ = now;
+  stats_.last_kl_bits = current_kl_bits();
+
+  switch (config_.policy) {
+    case ModelUpdateConfig::Policy::kStatic:
+      return;
+    case ModelUpdateConfig::Policy::kPeriodic:
+      if (window_hops_ >= config_.min_hop_samples) {
+        publish_now();
+        window_start_ = now;
+      }
+      return;
+    case ModelUpdateConfig::Policy::kAdaptive: {
+      if (window_hops_ < config_.min_hop_samples || window <= 0) return;
+      const double hops_per_s =
+          static_cast<double>(window_hops_) / (static_cast<double>(window) / 1e6);
+      const double savings_bits =
+          hops_per_s * stats_.last_kl_bits * config_.adaptive_horizon_s;
+      // Projected flood cost of the candidate set.
+      const ModelSet candidate = build_set(static_cast<std::uint8_t>(version_ + 1));
+      const double cost_bits =
+          static_cast<double>(candidate.wire_size()) * 8.0 * static_cast<double>(node_count_);
+      if (savings_bits > cost_bits) {
+        publish_now();
+        window_start_ = now;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace dophy::tomo

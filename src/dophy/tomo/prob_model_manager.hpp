@@ -1,0 +1,92 @@
+#pragma once
+
+// Sink-side probability-model maintenance — Dophy's second optimization.
+//
+// The sink tallies the symbols it decodes, and periodically republishes
+// static models so in-packet encoding tracks the network's real symbol
+// distribution.  Publishing is not free: the model floods to every node, so
+// the adaptive policy triggers an update only when the projected coding
+// savings (symbol rate x KL(empirical || deployed) over the horizon) exceed
+// the dissemination cost.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/measurement.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::tomo {
+
+struct ModelUpdateConfig {
+  enum class Policy { kStatic, kPeriodic, kAdaptive };
+  Policy policy = Policy::kPeriodic;
+
+  double check_interval_s = 120.0;  ///< tick cadence (and period for kPeriodic)
+  std::uint64_t min_hop_samples = 300;  ///< don't publish from thin data
+  double adaptive_horizon_s = 1800.0;   ///< savings amortization window
+  double smoothing = 1.0;               ///< add-k prior when building models
+  bool update_id_model = true;          ///< also learn the hop-id distribution
+  /// Quantization total for published models.  Coarser (smaller) models cost
+  /// a few hundredths of a bit per symbol but flood much cheaper.
+  std::uint32_t model_precision = 4096;
+};
+
+struct ModelManagerStats {
+  std::uint64_t updates_published = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t hops_observed = 0;
+  double last_kl_bits = 0.0;       ///< per-hop KL at the last tick
+  double last_model_bytes = 0.0;   ///< wire size of the last published set
+};
+
+class ProbModelManager {
+ public:
+  /// `publish` receives each new ModelSet and is responsible for installing
+  /// it at the sink and flooding it (the pipeline wires this to
+  /// Network::flood_from_sink + DophyInstrumentation::install).
+  using PublishFn = std::function<void(const ModelSet&)>;
+
+  ProbModelManager(const ModelUpdateConfig& config, std::size_t node_count,
+                   const SymbolMapper& mapper, PublishFn publish);
+
+  /// Feeds one decoded packet path (tally id + retx symbols).
+  void observe(const DecodedPath& path);
+
+  /// Periodic tick; decides whether to publish under the configured policy.
+  void on_tick(dophy::net::SimTime now);
+
+  /// Unconditionally builds and publishes a model set from current tallies.
+  void publish_now();
+
+  /// Per-hop KL divergence (bits) between the empirical distribution since
+  /// the last publish and the currently deployed models.
+  [[nodiscard]] double current_kl_bits() const;
+
+  [[nodiscard]] const ModelManagerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint8_t deployed_version() const noexcept { return version_; }
+
+ private:
+  void reset_window();
+  [[nodiscard]] ModelSet build_set(std::uint8_t version) const;
+
+  ModelUpdateConfig config_;
+  std::size_t node_count_;
+  SymbolMapper mapper_;
+  PublishFn publish_;
+
+  std::vector<std::uint64_t> id_counts_;
+  std::vector<std::uint64_t> retx_counts_;
+  std::uint64_t window_hops_ = 0;
+  dophy::net::SimTime window_start_ = 0;
+  dophy::net::SimTime last_tick_ = 0;
+
+  std::uint8_t version_ = 0;
+  std::vector<std::uint64_t> deployed_id_counts_;    ///< counts behind deployed models
+  std::vector<std::uint64_t> deployed_retx_counts_;
+  ModelManagerStats stats_;
+};
+
+}  // namespace dophy::tomo

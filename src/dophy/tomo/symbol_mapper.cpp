@@ -1,0 +1,28 @@
+#include "dophy/tomo/symbol_mapper.hpp"
+
+#include <stdexcept>
+
+namespace dophy::tomo {
+
+SymbolMapper::SymbolMapper(std::uint32_t censor_threshold) : k_(censor_threshold) {
+  if (censor_threshold < 2) {
+    throw std::invalid_argument("SymbolMapper: censor threshold must be >= 2");
+  }
+}
+
+std::uint32_t SymbolMapper::to_symbol(std::uint32_t attempts) const {
+  if (attempts == 0) throw std::invalid_argument("SymbolMapper::to_symbol: attempts >= 1");
+  return attempts >= k_ ? k_ - 1 : attempts - 1;
+}
+
+bool SymbolMapper::is_censored(std::uint32_t symbol) const {
+  if (symbol >= k_) throw std::out_of_range("SymbolMapper::is_censored: bad symbol");
+  return symbol == k_ - 1;
+}
+
+std::uint32_t SymbolMapper::to_attempts(std::uint32_t symbol) const {
+  if (symbol >= k_) throw std::out_of_range("SymbolMapper::to_attempts: bad symbol");
+  return symbol + 1;  // censored symbol k_-1 maps to the lower bound K
+}
+
+}  // namespace dophy::tomo

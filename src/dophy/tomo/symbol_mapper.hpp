@@ -1,0 +1,46 @@
+#pragma once
+
+// Transmission-count -> symbol mapping with tail aggregation.
+//
+// Dophy's first optimization: per-hop transmission counts are Geometric, so
+// nearly all mass sits at 1-3 attempts; counts >= K are collapsed into a
+// single *censored* symbol.  This shrinks the coder's alphabet (cheaper
+// symbols, smaller disseminated models) and the sink compensates with a
+// right-censored geometric MLE instead of losing accuracy.
+
+#include <cstdint>
+
+namespace dophy::tomo {
+
+class SymbolMapper {
+ public:
+  /// `censor_threshold` K: counts in [1, K-1] map to exact symbols 0..K-2;
+  /// counts >= K map to the censored symbol K-1.  K must be >= 2.  Choosing
+  /// K > max MAC attempts effectively disables aggregation.
+  explicit SymbolMapper(std::uint32_t censor_threshold);
+
+  /// Alphabet size (== K).
+  [[nodiscard]] std::uint32_t alphabet_size() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t censor_threshold() const noexcept { return k_; }
+
+  /// Maps a transmission count (>= 1) to its symbol.
+  [[nodiscard]] std::uint32_t to_symbol(std::uint32_t attempts) const;
+
+  /// True if `symbol` is the aggregated ">= K" symbol.
+  [[nodiscard]] bool is_censored(std::uint32_t symbol) const;
+
+  /// Exact transmission count for an uncensored symbol; for the censored
+  /// symbol returns K (the lower bound).
+  [[nodiscard]] std::uint32_t to_attempts(std::uint32_t symbol) const;
+
+ private:
+  std::uint32_t k_;
+};
+
+/// One decoded per-hop observation at the sink.
+struct HopObservation {
+  std::uint32_t attempts = 1;  ///< exact, or the lower bound K if censored
+  bool censored = false;
+};
+
+}  // namespace dophy::tomo

@@ -1,0 +1,330 @@
+#include "dophy/coding/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+
+namespace dophy::coding {
+namespace {
+
+using dophy::common::BitWriter;
+using dophy::common::Rng;
+
+std::vector<std::uint32_t> random_stream(Rng& rng, const FrequencyModel& model,
+                                         std::size_t length) {
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    symbols.push_back(static_cast<std::uint32_t>(
+        model.find(static_cast<std::uint32_t>(rng.next_below(model.total())))));
+  }
+  return symbols;
+}
+
+TEST(ArithCoderState, SerializeRoundTrip) {
+  ArithCoderState st;
+  st.low = 0x12345678;
+  st.high = 0x9ABCDEF0;
+  st.pending = 777;
+  const auto bytes = st.serialize();
+  const ArithCoderState back = ArithCoderState::deserialize(bytes);
+  EXPECT_EQ(st, back);
+}
+
+TEST(ArithCoderState, DeserializeRejectsInvalid) {
+  EXPECT_THROW((void)ArithCoderState::deserialize(std::vector<std::uint8_t>(5, 0)),
+               std::runtime_error);
+  ArithCoderState st;
+  st.low = 10;
+  st.high = 5;  // low > high
+  const auto bytes = st.serialize();
+  EXPECT_THROW((void)ArithCoderState::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Arith, EmptyStreamFinishDecodesNothing) {
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  enc.finish();
+  EXPECT_GE(w.bit_count(), 1u);  // finish emits the disambiguating bits
+}
+
+TEST(Arith, SingleSymbolRoundTrip) {
+  StaticModel model(std::vector<std::uint64_t>{10, 1});
+  for (std::uint32_t s : {0u, 1u}) {
+    BitWriter w;
+    ArithmeticEncoder enc(w);
+    enc.encode(model, s);
+    enc.finish();
+    ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+    EXPECT_EQ(dec.decode(model), s);
+  }
+}
+
+TEST(Arith, RoundTripUniformModel) {
+  Rng rng(21);
+  StaticModel model(16);
+  const auto symbols = random_stream(rng, model, 2000);
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  for (const auto s : symbols) enc.encode(model, s);
+  enc.finish();
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (const auto s : symbols) EXPECT_EQ(dec.decode(model), s);
+}
+
+struct ArithSweepParam {
+  std::size_t alphabet;
+  std::size_t length;
+  std::uint64_t seed;
+};
+
+class ArithRoundTrip : public ::testing::TestWithParam<ArithSweepParam> {};
+
+TEST_P(ArithRoundTrip, SkewedStaticModel) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  // Geometric-ish skew resembling retransmission counts.
+  std::vector<std::uint64_t> counts(param.alphabet);
+  std::uint64_t c = 1 << 20;
+  for (auto& v : counts) {
+    v = c + rng.next_below(c / 2 + 1);
+    c = c / 3 + 1;
+  }
+  StaticModel model(counts);
+  const auto symbols = random_stream(rng, model, param.length);
+
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  for (const auto s : symbols) enc.encode(model, s);
+  enc.finish();
+
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    ASSERT_EQ(dec.decode(model), symbols[i]) << "position " << i;
+  }
+}
+
+TEST_P(ArithRoundTrip, AdaptiveModelSync) {
+  const auto param = GetParam();
+  Rng rng(param.seed ^ 0xABCD);
+  AdaptiveModel enc_model(param.alphabet);
+  AdaptiveModel dec_model(param.alphabet);
+  std::vector<std::uint32_t> symbols;
+  for (std::size_t i = 0; i < param.length; ++i) {
+    // Skewed source: symbol 0 with p=0.7, else uniform.
+    symbols.push_back(rng.bernoulli(0.7)
+                          ? 0u
+                          : 1u + static_cast<std::uint32_t>(
+                                     rng.next_below(param.alphabet - 1)));
+  }
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  for (const auto s : symbols) {
+    enc.encode(enc_model, s);
+    enc_model.update(s);
+  }
+  enc.finish();
+
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const auto s = dec.decode(dec_model);
+    dec_model.update(s);
+    ASSERT_EQ(s, symbols[i]) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArithRoundTrip,
+    ::testing::Values(ArithSweepParam{2, 100, 1}, ArithSweepParam{2, 5000, 2},
+                      ArithSweepParam{4, 1000, 3}, ArithSweepParam{8, 1000, 4},
+                      ArithSweepParam{16, 2000, 5}, ArithSweepParam{100, 3000, 6},
+                      ArithSweepParam{256, 1000, 7}, ArithSweepParam{3, 10000, 8}),
+    [](const auto& suite_info) {
+      return "a" + std::to_string(suite_info.param.alphabet) + "_n" +
+             std::to_string(suite_info.param.length) + "_s" + std::to_string(suite_info.param.seed);
+    });
+
+TEST(Arith, CompressionWithinEntropyMargin) {
+  Rng rng(33);
+  // Heavily skewed: H ~ 0.88 bits/symbol.
+  StaticModel model(std::vector<std::uint64_t>{800, 100, 60, 40});
+  const std::size_t n = 20000;
+  const auto symbols = random_stream(rng, model, n);
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  double ideal_bits = 0.0;
+  for (const auto s : symbols) {
+    ideal_bits += model.ideal_bits(s);
+    enc.encode(model, s);
+  }
+  enc.finish();
+  // Arithmetic coding overhead is O(1) bits for the whole stream.
+  EXPECT_LE(static_cast<double>(w.bit_count()), ideal_bits + 16.0);
+  EXPECT_GE(static_cast<double>(w.bit_count()), ideal_bits - 1.0);
+}
+
+TEST(Arith, ResumedEncoderMatchesOneShot) {
+  Rng rng(44);
+  StaticModel model(std::vector<std::uint64_t>{500, 200, 100, 50, 10});
+  const auto symbols = random_stream(rng, model, 300);
+
+  // One-shot.
+  BitWriter one;
+  ArithmeticEncoder enc_one(one);
+  for (const auto s : symbols) enc_one.encode(model, s);
+  enc_one.finish();
+
+  // Suspend/resume after every single symbol (the per-hop pattern).
+  BitWriter resumed;
+  ArithCoderState state;
+  for (const auto s : symbols) {
+    ArithmeticEncoder enc(resumed, state);
+    enc.encode(model, s);
+    state = enc.suspend();
+  }
+  {
+    ArithmeticEncoder enc(resumed, state);
+    enc.finish();
+  }
+
+  EXPECT_EQ(one.bit_count(), resumed.bit_count());
+  EXPECT_EQ(one.bytes(), resumed.bytes());
+}
+
+TEST(Arith, ResumeAcrossMixedModels) {
+  // Hops alternate between an id model and a retx model, as in Dophy.
+  Rng rng(55);
+  StaticModel ids(std::vector<std::uint64_t>{5, 10, 40, 5, 20});
+  StaticModel retx(std::vector<std::uint64_t>{70, 20, 7, 3});
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> hops;
+  for (int i = 0; i < 50; ++i) {
+    hops.emplace_back(static_cast<std::uint32_t>(rng.next_below(5)),
+                      static_cast<std::uint32_t>(rng.next_below(4)));
+  }
+  BitWriter w;
+  ArithCoderState state;
+  for (const auto& [id, r] : hops) {
+    ArithmeticEncoder enc(w, state);
+    enc.encode(ids, id);
+    enc.encode(retx, r);
+    state = enc.suspend();
+  }
+  {
+    ArithmeticEncoder enc(w, state);
+    enc.finish();
+  }
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (const auto& [id, r] : hops) {
+    EXPECT_EQ(dec.decode(ids), id);
+    EXPECT_EQ(dec.decode(retx), r);
+  }
+}
+
+TEST(Arith, DecoderStartBitOffset) {
+  StaticModel model(4);
+  BitWriter w;
+  w.put_bits(0b101, 3);  // unrelated prefix (e.g. header bits)
+  ArithmeticEncoder enc(w);
+  enc.encode(model, 2);
+  enc.encode(model, 1);
+  enc.finish();
+  ArithmeticDecoder dec(w.bytes(), 3, w.bit_count());
+  EXPECT_EQ(dec.decode(model), 2u);
+  EXPECT_EQ(dec.decode(model), 1u);
+}
+
+TEST(Arith, TruncatedStreamDoesNotCrash) {
+  Rng rng(66);
+  StaticModel model(8);
+  const auto symbols = random_stream(rng, model, 100);
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  for (const auto s : symbols) enc.encode(model, s);
+  enc.finish();
+
+  // Decode from a truncated buffer: must either produce symbols or throw,
+  // never crash / loop forever.
+  std::vector<std::uint8_t> truncated(w.bytes().begin(),
+                                      w.bytes().begin() +
+                                          static_cast<std::ptrdiff_t>(w.byte_count() / 2));
+  ArithmeticDecoder dec(truncated);
+  int decoded = 0;
+  try {
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      (void)dec.decode(model);
+      ++decoded;
+    }
+  } catch (const std::exception&) {
+    // acceptable
+  }
+  EXPECT_LE(decoded, static_cast<int>(symbols.size()));
+}
+
+TEST(Arith, EncodeAfterFinishThrows) {
+  StaticModel model(4);
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  enc.finish();
+  EXPECT_THROW(enc.encode(model, 0), std::logic_error);
+}
+
+TEST(Arith, ZeroLengthAlphabetSymbolRejected) {
+  // A model always has freq >= 1 by construction; verify encoder guards the
+  // contract anyway via a handcrafted adaptive model boundary.
+  StaticModel model(2);
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  EXPECT_THROW(enc.encode(model, 5), std::out_of_range);
+}
+
+TEST(Arith, LongSingleSymbolRunCompressesHard) {
+  StaticModel model(std::vector<std::uint64_t>{60000, 1});
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  const std::size_t n = 10000;
+  for (std::size_t i = 0; i < n; ++i) enc.encode(model, 0);
+  enc.finish();
+  // p(0) ~ 1 - 2^-16, so the whole run should cost well under 1 bit/symbol.
+  EXPECT_LT(w.bit_count(), n / 100);
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(dec.decode(model), 0u);
+}
+
+TEST(Arith, ModelAtCoderTotalBoundary) {
+  // A model whose total sits exactly at the coder's 2^16 cap must still
+  // round-trip, including its rarest symbol.
+  std::vector<std::uint64_t> counts{(1u << 16) - 3, 1, 1, 1};
+  StaticModel model(counts);
+  ASSERT_LE(model.total(), 1u << 16);
+  ASSERT_GT(model.total(), (1u << 16) - 16);  // quantization keeps it near the cap
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  const std::vector<std::size_t> symbols{0, 3, 0, 1, 0, 2, 0, 0, 3};
+  for (const auto s : symbols) enc.encode(model, s);
+  enc.finish();
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (const auto s : symbols) EXPECT_EQ(dec.decode(model), s);
+}
+
+TEST(Arith, BitsConsumedTracksReads) {
+  StaticModel model(4);
+  BitWriter w;
+  ArithmeticEncoder enc(w);
+  for (int i = 0; i < 50; ++i) enc.encode(model, static_cast<std::size_t>(i % 4));
+  enc.finish();
+  ArithmeticDecoder dec(w.bytes(), 0, w.bit_count());
+  for (int i = 0; i < 50; ++i) (void)dec.decode(model);
+  EXPECT_LE(dec.bits_consumed(), w.bit_count());
+  EXPECT_GT(dec.bits_consumed(), 50u);  // 2 bits/symbol alphabet
+}
+
+TEST(Arith, SuspendedStateIsCompact) {
+  EXPECT_EQ(ArithCoderState::kSerializedSize, 10u);
+}
+
+}  // namespace
+}  // namespace dophy::coding

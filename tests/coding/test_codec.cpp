@@ -1,0 +1,131 @@
+#include "dophy/coding/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+
+namespace dophy::coding {
+namespace {
+
+/// Geometric-like symbol stream resembling aggregated retransmission counts.
+std::vector<std::uint32_t> retx_stream(dophy::common::Rng& rng, std::uint32_t alphabet,
+                                       std::size_t n, double p_loss) {
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t attempts = rng.geometric_trials(1.0 - p_loss);
+    out.push_back(std::min(attempts - 1, alphabet - 1));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> count_symbols(const std::vector<std::uint32_t>& symbols,
+                                         std::uint32_t alphabet) {
+  std::vector<std::uint64_t> counts(alphabet, 0);
+  for (const auto s : symbols) ++counts[s];
+  return counts;
+}
+
+struct CodecCase {
+  std::string label;
+  std::function<std::unique_ptr<Codec>(const std::vector<std::uint64_t>&, std::uint32_t)> make;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, GeometricStreams) {
+  dophy::common::Rng rng(77);
+  for (const double p : {0.05, 0.2, 0.5}) {
+    for (const std::uint32_t alphabet : {2u, 4u, 8u}) {
+      const auto symbols = retx_stream(rng, alphabet, 2000, p);
+      const auto counts = count_symbols(symbols, alphabet);
+      auto codec = GetParam().make(counts, alphabet);
+      std::vector<std::uint8_t> bytes;
+      const std::size_t bits = codec->encode(symbols, bytes);
+      EXPECT_GT(bits, 0u);
+      EXPECT_LE((bits + 7) / 8, bytes.size() + 1);
+      const auto decoded = codec->decode(bytes, symbols.size());
+      ASSERT_EQ(decoded, symbols) << GetParam().label << " p=" << p
+                                  << " alphabet=" << alphabet;
+    }
+  }
+}
+
+TEST_P(CodecRoundTrip, EmptyStream) {
+  auto codec = GetParam().make({4, 3, 2, 1}, 4);
+  std::vector<std::uint8_t> bytes;
+  (void)codec->encode({}, bytes);
+  EXPECT_TRUE(codec->decode(bytes, 0).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTrip,
+    ::testing::Values(
+        CodecCase{"fixed", [](const auto&, std::uint32_t a) { return make_fixed_width_codec(a); }},
+        CodecCase{"gamma", [](const auto&, std::uint32_t) { return make_elias_gamma_codec(); }},
+        CodecCase{"rice0", [](const auto&, std::uint32_t) { return make_rice_codec(0); }},
+        CodecCase{"rice1", [](const auto&, std::uint32_t) { return make_rice_codec(1); }},
+        CodecCase{"huffman",
+                  [](const auto& c, std::uint32_t) { return make_huffman_codec(c); }},
+        CodecCase{"arith_static",
+                  [](const auto& c, std::uint32_t) { return make_static_arith_codec(c); }},
+        CodecCase{"arith_adaptive",
+                  [](const auto&, std::uint32_t a) { return make_adaptive_arith_codec(a); }}),
+    [](const auto& suite_info) { return suite_info.param.label; });
+
+TEST(CodecComparison, ArithmeticBeatsPrefixCodesOnSkewedData) {
+  dophy::common::Rng rng(88);
+  const std::uint32_t alphabet = 4;
+  const auto symbols = retx_stream(rng, alphabet, 20000, 0.1);  // ~90% symbol 0
+  const auto counts = count_symbols(symbols, alphabet);
+
+  auto measure = [&](Codec& codec) {
+    std::vector<std::uint8_t> bytes;
+    return static_cast<double>(codec.encode(symbols, bytes)) /
+           static_cast<double>(symbols.size());
+  };
+
+  const double arith = measure(*make_static_arith_codec(counts));
+  const double huffman = measure(*make_huffman_codec(counts));
+  const double fixed = measure(*make_fixed_width_codec(alphabet));
+  const double entropy = dophy::common::entropy_bits(counts);
+
+  // Arithmetic hugs the entropy; Huffman pays the >= 1 bit/symbol floor.
+  EXPECT_LT(arith, entropy + 0.05);
+  EXPECT_GE(huffman, 1.0);
+  EXPECT_LT(arith, huffman);
+  EXPECT_LT(huffman, fixed + 1e-9);
+}
+
+TEST(CodecComparison, AdaptiveApproachesStaticWithoutTraining) {
+  dophy::common::Rng rng(99);
+  const std::uint32_t alphabet = 4;
+  const auto symbols = retx_stream(rng, alphabet, 20000, 0.15);
+  const auto counts = count_symbols(symbols, alphabet);
+
+  std::vector<std::uint8_t> bytes;
+  const double adaptive =
+      static_cast<double>(make_adaptive_arith_codec(alphabet)->encode(symbols, bytes)) /
+      static_cast<double>(symbols.size());
+  const double trained =
+      static_cast<double>(make_static_arith_codec(counts)->encode(symbols, bytes)) /
+      static_cast<double>(symbols.size());
+  EXPECT_LT(adaptive, trained + 0.1);  // learns the distribution on the fly
+}
+
+TEST(CodecNames, Distinct) {
+  EXPECT_EQ(make_rice_codec(2)->name(), "rice-k2");
+  EXPECT_EQ(make_fixed_width_codec(8)->name(), "fixed3bit");
+  EXPECT_EQ(make_elias_gamma_codec()->name(), "elias-gamma");
+  EXPECT_EQ(make_huffman_codec({1, 1})->name(), "huffman");
+  EXPECT_EQ(make_static_arith_codec({1, 1})->name(), "arith-static");
+  EXPECT_EQ(make_adaptive_arith_codec(2)->name(), "arith-adaptive");
+}
+
+}  // namespace
+}  // namespace dophy::coding

@@ -1,0 +1,94 @@
+#include "dophy/coding/elias.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::coding {
+namespace {
+
+using dophy::common::BitReader;
+using dophy::common::BitWriter;
+
+TEST(EliasGamma, KnownCodewords) {
+  // gamma(1) = "1", gamma(2) = "010", gamma(3) = "011", gamma(4) = "00100".
+  BitWriter w;
+  elias_gamma_encode(w, 1);
+  EXPECT_EQ(w.bit_count(), 1u);
+  EXPECT_EQ(w.bytes()[0] >> 7, 1u);
+
+  BitWriter w2;
+  elias_gamma_encode(w2, 4);
+  EXPECT_EQ(w2.bit_count(), 5u);
+  EXPECT_EQ(w2.bytes()[0] >> 3, 0b00100u);
+}
+
+TEST(EliasGamma, BitLengthFormula) {
+  EXPECT_EQ(elias_gamma_bits(1), 1u);
+  EXPECT_EQ(elias_gamma_bits(2), 3u);
+  EXPECT_EQ(elias_gamma_bits(3), 3u);
+  EXPECT_EQ(elias_gamma_bits(4), 5u);
+  EXPECT_EQ(elias_gamma_bits(255), 15u);
+}
+
+TEST(EliasGamma, RoundTripRange) {
+  BitWriter w;
+  for (std::uint64_t v = 1; v <= 1000; ++v) elias_gamma_encode(w, v);
+  BitReader r(w.bytes(), w.bit_count());
+  for (std::uint64_t v = 1; v <= 1000; ++v) EXPECT_EQ(elias_gamma_decode(r), v);
+}
+
+TEST(EliasGamma, RoundTripLargeValues) {
+  dophy::common::Rng rng(1);
+  BitWriter w;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = 1 + (rng.next_u64() >> (1 + rng.next_below(60)));
+    values.push_back(v);
+    elias_gamma_encode(w, v);
+  }
+  BitReader r(w.bytes(), w.bit_count());
+  for (const auto v : values) EXPECT_EQ(elias_gamma_decode(r), v);
+}
+
+TEST(EliasGamma, ZeroRejected) {
+  BitWriter w;
+  EXPECT_THROW(elias_gamma_encode(w, 0), std::invalid_argument);
+  EXPECT_EQ(elias_gamma_bits(0), 0u);
+}
+
+TEST(EliasGamma, MalformedAllZerosThrows) {
+  const std::vector<std::uint8_t> zeros(10, 0);
+  BitReader r(zeros);
+  EXPECT_THROW((void)elias_gamma_decode(r), std::exception);
+}
+
+TEST(EliasDelta, RoundTripRange) {
+  BitWriter w;
+  for (std::uint64_t v = 1; v <= 1000; ++v) elias_delta_encode(w, v);
+  BitReader r(w.bytes(), w.bit_count());
+  for (std::uint64_t v = 1; v <= 1000; ++v) EXPECT_EQ(elias_delta_decode(r), v);
+}
+
+TEST(EliasDelta, ShorterThanGammaForLargeValues) {
+  EXPECT_LT(elias_delta_bits(1000000), elias_gamma_bits(1000000));
+}
+
+TEST(EliasDelta, BitLengthMatchesEncoding) {
+  for (std::uint64_t v : {1ull, 2ull, 17ull, 100ull, 65536ull}) {
+    BitWriter w;
+    elias_delta_encode(w, v);
+    EXPECT_EQ(w.bit_count(), elias_delta_bits(v));
+  }
+}
+
+TEST(EliasGamma, BitLengthMatchesEncoding) {
+  for (std::uint64_t v : {1ull, 2ull, 17ull, 100ull, 65536ull}) {
+    BitWriter w;
+    elias_gamma_encode(w, v);
+    EXPECT_EQ(w.bit_count(), elias_gamma_bits(v));
+  }
+}
+
+}  // namespace
+}  // namespace dophy::coding

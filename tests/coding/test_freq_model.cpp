@@ -1,0 +1,153 @@
+#include "dophy/coding/freq_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::coding {
+namespace {
+
+void check_model_invariants(const FrequencyModel& m) {
+  std::uint32_t cum = 0;
+  for (std::size_t s = 0; s < m.symbol_count(); ++s) {
+    EXPECT_EQ(m.cum(s), cum);
+    EXPECT_GE(m.freq(s), 1u) << "symbol " << s << " must stay codable";
+    cum += m.freq(s);
+  }
+  EXPECT_EQ(m.total(), cum);
+  EXPECT_LE(m.total(), kMaxModelTotal);
+  // find() inverts the cumulative mapping everywhere.
+  for (std::size_t s = 0; s < m.symbol_count(); ++s) {
+    EXPECT_EQ(m.find(m.cum(s)), s);
+    EXPECT_EQ(m.find(m.cum(s) + m.freq(s) - 1), s);
+  }
+}
+
+TEST(StaticModel, UniformConstruction) {
+  StaticModel m(8);
+  EXPECT_EQ(m.symbol_count(), 8u);
+  for (std::size_t s = 0; s < 8; ++s) EXPECT_EQ(m.freq(s), 1u);
+  check_model_invariants(m);
+}
+
+TEST(StaticModel, ProportionalToCounts) {
+  StaticModel m(std::vector<std::uint64_t>{100, 50, 25, 25});
+  EXPECT_GT(m.freq(0), m.freq(1));
+  EXPECT_GT(m.freq(1), m.freq(2));
+  EXPECT_NEAR(static_cast<double>(m.freq(0)) / m.freq(1), 2.0, 0.1);
+  check_model_invariants(m);
+}
+
+TEST(StaticModel, ZeroCountsGetFloorOne) {
+  StaticModel m(std::vector<std::uint64_t>{1000, 0, 0});
+  EXPECT_GE(m.freq(1), 1u);
+  EXPECT_GE(m.freq(2), 1u);
+  check_model_invariants(m);
+}
+
+TEST(StaticModel, AllZeroCountsUniform) {
+  StaticModel m(std::vector<std::uint64_t>{0, 0, 0, 0});
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(m.freq(s), 1u);
+}
+
+TEST(StaticModel, HugeCountsQuantized) {
+  StaticModel m(std::vector<std::uint64_t>{1ull << 50, 1ull << 49, 1});
+  EXPECT_LE(m.total(), kMaxModelTotal);
+  check_model_invariants(m);
+}
+
+TEST(StaticModel, SerializeRoundTrip) {
+  StaticModel m(std::vector<std::uint64_t>{7, 1, 300, 42, 0, 9});
+  const auto bytes = m.serialize();
+  const StaticModel back = StaticModel::deserialize(bytes);
+  EXPECT_EQ(m, back);
+  check_model_invariants(back);
+}
+
+TEST(StaticModel, DeserializeRejectsGarbage) {
+  EXPECT_THROW((void)StaticModel::deserialize({}), std::exception);
+  const std::vector<std::uint8_t> zero_symbols{0};
+  EXPECT_THROW((void)StaticModel::deserialize(zero_symbols), std::exception);
+}
+
+TEST(StaticModel, InvalidConstruction) {
+  EXPECT_THROW(StaticModel(0), std::invalid_argument);
+  EXPECT_THROW(StaticModel(static_cast<std::size_t>(kMaxModelTotal) + 1),
+               std::invalid_argument);
+}
+
+TEST(StaticModel, FindOutOfRangeThrows) {
+  StaticModel m(4);
+  EXPECT_THROW((void)m.find(m.total()), std::out_of_range);
+}
+
+TEST(AdaptiveModel, StartsUniform) {
+  AdaptiveModel m(10);
+  for (std::size_t s = 0; s < 10; ++s) EXPECT_EQ(m.freq(s), 1u);
+  check_model_invariants(m);
+}
+
+TEST(AdaptiveModel, UpdateIncreasesFrequency) {
+  AdaptiveModel m(4, 32);
+  const auto before = m.freq(2);
+  m.update(2);
+  EXPECT_EQ(m.freq(2), before + 32);
+  check_model_invariants(m);
+}
+
+TEST(AdaptiveModel, RescaleKeepsSymbolsCodable) {
+  AdaptiveModel m(4, 64);
+  for (int i = 0; i < 5000; ++i) m.update(0);
+  check_model_invariants(m);
+  EXPECT_GT(m.freq(0), m.freq(1));
+  EXPECT_GE(m.freq(3), 1u);
+  EXPECT_LE(m.total(), kMaxModelTotal);
+}
+
+TEST(AdaptiveModel, TracksDistributionShift) {
+  dophy::common::Rng rng(3);
+  AdaptiveModel m(4, 32);
+  for (int i = 0; i < 2000; ++i) m.update(0);
+  for (int i = 0; i < 6000; ++i) m.update(3);
+  EXPECT_GT(m.freq(3), m.freq(0));
+}
+
+TEST(AdaptiveModel, InvalidArgs) {
+  EXPECT_THROW(AdaptiveModel(0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveModel(4, 0), std::invalid_argument);
+  AdaptiveModel m(4);
+  EXPECT_THROW(m.update(4), std::out_of_range);
+}
+
+TEST(QuantizeCounts, PreservesTotalBound) {
+  dophy::common::Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(300));
+    std::vector<std::uint64_t> counts(n);
+    for (auto& c : counts) c = rng.next_below(1ull << rng.next_below(40));
+    const auto freqs = quantize_counts(counts, kMaxModelTotal);
+    const std::uint64_t total =
+        std::accumulate(freqs.begin(), freqs.end(), std::uint64_t{0});
+    EXPECT_LE(total, kMaxModelTotal);
+    for (const auto f : freqs) EXPECT_GE(f, 1u);
+  }
+}
+
+TEST(QuantizeCounts, RejectsImpossible) {
+  EXPECT_THROW((void)quantize_counts({}, 100), std::invalid_argument);
+  EXPECT_THROW((void)quantize_counts(std::vector<std::uint64_t>(10, 1), 5),
+               std::invalid_argument);
+}
+
+TEST(FrequencyModel, IdealBitsMatchesProbability) {
+  StaticModel m(std::vector<std::uint64_t>{3, 1});
+  // freq ratio 3:1 -> p(0)=0.75, p(1)=0.25 (approximately, post quantization)
+  EXPECT_NEAR(m.ideal_bits(0), -std::log2(0.75), 0.05);
+  EXPECT_NEAR(m.ideal_bits(1), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dophy::coding

@@ -1,0 +1,108 @@
+#include "dophy/coding/golomb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::coding {
+namespace {
+
+using dophy::common::BitReader;
+using dophy::common::BitWriter;
+
+TEST(Rice, KnownCodeword) {
+  // value=5, k=2: q=1, r=01 -> "10" + "01" = 4 bits.
+  BitWriter w;
+  rice_encode(w, 5, 2);
+  EXPECT_EQ(w.bit_count(), 4u);
+  EXPECT_EQ(w.bytes()[0] >> 4, 0b1001u);
+}
+
+TEST(Rice, RoundTripSweep) {
+  for (unsigned k = 0; k <= 6; ++k) {
+    BitWriter w;
+    for (std::uint64_t v = 0; v <= 200; ++v) rice_encode(w, v, k);
+    BitReader r(w.bytes(), w.bit_count());
+    for (std::uint64_t v = 0; v <= 200; ++v) {
+      EXPECT_EQ(rice_decode(r, k), v) << "k=" << k;
+    }
+  }
+}
+
+TEST(Rice, BitsFormula) {
+  EXPECT_EQ(rice_bits(0, 0), 1u);
+  EXPECT_EQ(rice_bits(3, 0), 4u);
+  EXPECT_EQ(rice_bits(5, 2), 4u);
+  for (unsigned k = 0; k <= 5; ++k) {
+    for (std::uint64_t v = 0; v < 50; ++v) {
+      BitWriter w;
+      rice_encode(w, v, k);
+      EXPECT_EQ(w.bit_count(), rice_bits(v, k));
+    }
+  }
+}
+
+TEST(Rice, OptimalParamMonotone) {
+  EXPECT_EQ(optimal_rice_param(0.5), 0u);
+  EXPECT_LE(optimal_rice_param(1.5), optimal_rice_param(10.0));
+  EXPECT_LE(optimal_rice_param(10.0), optimal_rice_param(1000.0));
+}
+
+TEST(Rice, GuardsMalformedUnary) {
+  const std::vector<std::uint8_t> ones(1024, 0xFF);
+  BitReader r(ones);
+  EXPECT_THROW((void)rice_decode(r, 0), std::runtime_error);
+}
+
+TEST(Rice, RejectsHugeParameters) {
+  BitWriter w;
+  EXPECT_THROW(rice_encode(w, 1, 40), std::invalid_argument);
+  EXPECT_THROW(rice_encode(w, 1ull << 40, 0), std::invalid_argument);
+}
+
+TEST(Golomb, RoundTripNonPowerOfTwo) {
+  for (std::uint64_t m : {1ull, 3ull, 5ull, 7ull, 10ull, 100ull}) {
+    BitWriter w;
+    for (std::uint64_t v = 0; v <= 150; ++v) golomb_encode(w, v, m);
+    BitReader r(w.bytes(), w.bit_count());
+    for (std::uint64_t v = 0; v <= 150; ++v) {
+      EXPECT_EQ(golomb_decode(r, m), v) << "m=" << m;
+    }
+  }
+}
+
+TEST(Golomb, TruncatedBinaryRemaindersTight) {
+  // m=5: remainders 0..2 use 2 bits, 3..4 use 3 bits.
+  EXPECT_EQ(golomb_bits(0, 5), 3u);   // q=0 (1 bit) + r=0 (2 bits)
+  EXPECT_EQ(golomb_bits(3, 5), 4u);   // q=0 + r=3 (3 bits)
+  EXPECT_EQ(golomb_bits(5, 5), 4u);   // q=1 (2 bits) + r=0 (2 bits)
+}
+
+TEST(Golomb, BitsFormulaMatchesEncoding) {
+  for (std::uint64_t m : {2ull, 3ull, 6ull, 9ull}) {
+    for (std::uint64_t v = 0; v < 60; ++v) {
+      BitWriter w;
+      golomb_encode(w, v, m);
+      EXPECT_EQ(w.bit_count(), golomb_bits(v, m)) << "m=" << m << " v=" << v;
+    }
+  }
+}
+
+TEST(Golomb, RiceEquivalenceForPowersOfTwo) {
+  dophy::common::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next_below(500);
+    EXPECT_EQ(golomb_bits(v, 8), rice_bits(v, 3));
+  }
+}
+
+TEST(Golomb, ZeroDivisorRejected) {
+  BitWriter w;
+  EXPECT_THROW(golomb_encode(w, 1, 0), std::invalid_argument);
+  const std::vector<std::uint8_t> buf{0};
+  BitReader r(buf);
+  EXPECT_THROW((void)golomb_decode(r, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dophy::coding

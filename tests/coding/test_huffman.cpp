@@ -1,0 +1,116 @@
+#include "dophy/coding/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+
+namespace dophy::coding {
+namespace {
+
+using dophy::common::BitReader;
+using dophy::common::BitWriter;
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  HuffmanCode code(std::vector<std::uint64_t>{42});
+  EXPECT_EQ(code.length(0), 1u);
+  BitWriter w;
+  code.encode(w, 0);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(code.decode(r), 0u);
+}
+
+TEST(Huffman, TwoSymbolsOneBitEach) {
+  HuffmanCode code(std::vector<std::uint64_t>{10, 90});
+  EXPECT_EQ(code.length(0), 1u);
+  EXPECT_EQ(code.length(1), 1u);
+}
+
+TEST(Huffman, SkewGivesShorterCodeToFrequent) {
+  HuffmanCode code(std::vector<std::uint64_t>{1000, 100, 10, 1});
+  EXPECT_LE(code.length(0), code.length(1));
+  EXPECT_LE(code.length(1), code.length(2));
+  EXPECT_LE(code.length(2), code.length(3));
+}
+
+TEST(Huffman, KraftEqualityHolds) {
+  dophy::common::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.next_below(64);
+    std::vector<std::uint64_t> counts(n);
+    for (auto& c : counts) c = rng.next_below(10000);
+    HuffmanCode code(counts);
+    double kraft = 0.0;
+    for (std::size_t s = 0; s < n; ++s) kraft += std::pow(2.0, -double(code.length(s)));
+    EXPECT_NEAR(kraft, 1.0, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Huffman, RoundTripRandomStreams) {
+  dophy::common::Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.next_below(40);
+    std::vector<std::uint64_t> counts(n);
+    for (auto& c : counts) c = 1 + rng.next_below(500);
+    HuffmanCode code(counts);
+    std::vector<std::size_t> symbols;
+    BitWriter w;
+    for (int i = 0; i < 500; ++i) {
+      const std::size_t s = rng.next_below(n);
+      symbols.push_back(s);
+      code.encode(w, s);
+    }
+    BitReader r(w.bytes(), w.bit_count());
+    for (const auto s : symbols) ASSERT_EQ(code.decode(r), s);
+  }
+}
+
+TEST(Huffman, WithinOneBitOfEntropy) {
+  // Huffman expected length is within 1 bit of the source entropy.
+  const std::vector<std::uint64_t> counts{700, 150, 100, 30, 15, 5};
+  HuffmanCode code(counts);
+  const double h = dophy::common::entropy_bits(counts);
+  const double el = code.expected_length(counts);
+  EXPECT_GE(el, h - 1e-9);
+  EXPECT_LE(el, h + 1.0);
+}
+
+TEST(Huffman, ZeroCountsStillCodable) {
+  HuffmanCode code(std::vector<std::uint64_t>{100, 0, 0});
+  for (std::size_t s = 0; s < 3; ++s) {
+    BitWriter w;
+    code.encode(w, s);
+    BitReader r(w.bytes(), w.bit_count());
+    EXPECT_EQ(code.decode(r), s);
+  }
+}
+
+TEST(Huffman, EmptyCountsRejected) {
+  EXPECT_THROW(HuffmanCode({}), std::invalid_argument);
+}
+
+TEST(Huffman, DecodeMalformedThrows) {
+  HuffmanCode code(std::vector<std::uint64_t>{1, 1, 1});  // max length 2
+  // A stream of bits that never matches a codeword within max length cannot
+  // exist for a complete code, but a truncated stream throws from BitReader.
+  const std::vector<std::uint8_t> empty;
+  BitReader r(empty);
+  EXPECT_THROW((void)code.decode(r), std::exception);
+}
+
+TEST(Huffman, ExpectedLengthSizeMismatchThrows) {
+  HuffmanCode code(std::vector<std::uint64_t>{1, 1});
+  EXPECT_THROW((void)code.expected_length({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Huffman, CanonicalDeterminism) {
+  const std::vector<std::uint64_t> counts{5, 5, 3, 3, 2};
+  HuffmanCode a(counts);
+  HuffmanCode b(counts);
+  EXPECT_EQ(a.lengths(), b.lengths());
+}
+
+}  // namespace
+}  // namespace dophy::coding

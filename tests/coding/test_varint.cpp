@@ -1,0 +1,75 @@
+#include "dophy/coding/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::coding {
+namespace {
+
+TEST(Varint, SmallValuesSingleByte) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull}) {
+    std::vector<std::uint8_t> buf;
+    write_varint(buf, v);
+    EXPECT_EQ(buf.size(), 1u);
+    std::size_t off = 0;
+    EXPECT_EQ(read_varint(buf, off), v);
+    EXPECT_EQ(off, 1u);
+  }
+}
+
+TEST(Varint, BoundaryValues) {
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           128, 16383, 16384, 1ull << 32, std::numeric_limits<std::uint64_t>::max()}) {
+    std::vector<std::uint8_t> buf;
+    write_varint(buf, v);
+    EXPECT_EQ(buf.size(), varint_size(v));
+    std::size_t off = 0;
+    EXPECT_EQ(read_varint(buf, off), v);
+  }
+}
+
+TEST(Varint, SizeMatchesEncoding) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Varint, SequencesRoundTrip) {
+  dophy::common::Rng rng(2);
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint8_t> buf;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> rng.next_below(64);
+    values.push_back(v);
+    write_varint(buf, v);
+  }
+  std::size_t off = 0;
+  for (const std::uint64_t v : values) EXPECT_EQ(read_varint(buf, off), v);
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(Varint, TruncatedThrows) {
+  std::vector<std::uint8_t> buf;
+  write_varint(buf, 1u << 20);
+  buf.pop_back();
+  std::size_t off = 0;
+  EXPECT_THROW((void)read_varint(buf, off), std::runtime_error);
+}
+
+TEST(Varint, OverlongThrows) {
+  const std::vector<std::uint8_t> buf(11, 0x80);
+  std::size_t off = 0;
+  EXPECT_THROW((void)read_varint(buf, off), std::runtime_error);
+}
+
+TEST(Varint, EmptyBufferThrows) {
+  std::size_t off = 0;
+  EXPECT_THROW((void)read_varint({}, off), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dophy::coding

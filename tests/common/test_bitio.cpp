@@ -1,0 +1,135 @@
+#include "dophy/common/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::common {
+namespace {
+
+TEST(BitWriter, EmptyWriter) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_EQ(w.byte_count(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitWriter, SingleBits) {
+  BitWriter w;
+  w.put_bit(true);
+  w.put_bit(false);
+  w.put_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  EXPECT_EQ(w.byte_count(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10100000);
+}
+
+TEST(BitWriter, MsbFirstWithinByte) {
+  BitWriter w;
+  w.put_bits(0xA5, 8);
+  EXPECT_EQ(w.bytes()[0], 0xA5);
+}
+
+TEST(BitWriter, MultiBytePattern) {
+  BitWriter w;
+  w.put_bits(0x1234, 16);
+  ASSERT_EQ(w.byte_count(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0x12);
+  EXPECT_EQ(w.bytes()[1], 0x34);
+}
+
+TEST(BitWriter, UnalignedSpill) {
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  w.put_bits(0b11111111, 8);
+  EXPECT_EQ(w.bit_count(), 11u);
+  EXPECT_EQ(w.bytes()[0], 0b10111111);
+  EXPECT_EQ(w.bytes()[1], 0b11100000);
+}
+
+TEST(BitWriter, ZeroCountIsNoop) {
+  BitWriter w;
+  w.put_bits(0xFFFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitWriter, RejectsOverlongCount) {
+  BitWriter w;
+  EXPECT_THROW(w.put_bits(0, 65), std::invalid_argument);
+}
+
+TEST(BitWriter, TakeResets) {
+  BitWriter w;
+  w.put_bits(0xAB, 8);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put_bit(true);
+  EXPECT_EQ(w.bytes()[0], 0x80);
+}
+
+TEST(BitReader, RoundTripAligned) {
+  BitWriter w;
+  w.put_bits(0xDEADBEEF, 32);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(32), 0xDEADBEEFu);
+}
+
+TEST(BitReader, RoundTripRandomChunks) {
+  Rng rng(99);
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, unsigned>> chunks;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned count = 1 + static_cast<unsigned>(rng.next_below(64));
+    const std::uint64_t value =
+        count == 64 ? rng.next_u64() : rng.next_u64() & ((1ull << count) - 1);
+    chunks.emplace_back(value, count);
+    w.put_bits(value, count);
+  }
+  BitReader r(w.bytes(), w.bit_count());
+  for (const auto& [value, count] : chunks) {
+    EXPECT_EQ(r.get_bits(count), value);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+  BitWriter w;
+  w.put_bits(0xFF, 8);
+  BitReader r(w.bytes());
+  (void)r.get_bits(8);
+  EXPECT_THROW((void)r.get_bit(), std::out_of_range);
+}
+
+TEST(BitReader, BitLimitTighterThanBuffer) {
+  BitWriter w;
+  w.put_bits(0xFFFF, 16);
+  BitReader r(w.bytes(), 10);
+  (void)r.get_bits(10);
+  EXPECT_THROW((void)r.get_bit(), std::out_of_range);
+}
+
+TEST(BitReader, PositionAndRemaining) {
+  BitWriter w;
+  w.put_bits(0, 20);
+  BitReader r(w.bytes(), 20);
+  EXPECT_EQ(r.remaining(), 20u);
+  (void)r.get_bits(7);
+  EXPECT_EQ(r.position(), 7u);
+  EXPECT_EQ(r.remaining(), 13u);
+}
+
+TEST(BitReader, EmptyStreamExhausted) {
+  BitReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW((void)r.get_bit(), std::out_of_range);
+}
+
+TEST(BitIo, PaddingBitsAreZero) {
+  BitWriter w;
+  w.put_bit(true);
+  EXPECT_EQ(w.bytes()[0], 0x80);
+}
+
+}  // namespace
+}  // namespace dophy::common

@@ -1,0 +1,116 @@
+#include "dophy/common/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::common {
+namespace {
+
+TEST(Fenwick, EmptyTree) {
+  FenwickTree t(0);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Fenwick, SingleSlot) {
+  FenwickTree t(1);
+  t.add(0, 5);
+  EXPECT_EQ(t.get(0), 5u);
+  EXPECT_EQ(t.total(), 5u);
+  EXPECT_EQ(t.find_by_cumulative(0), 0u);
+  EXPECT_EQ(t.find_by_cumulative(4), 0u);
+}
+
+TEST(Fenwick, PrefixSums) {
+  FenwickTree t(5);
+  for (std::size_t i = 0; i < 5; ++i) t.add(i, static_cast<std::int64_t>(i + 1));
+  // freqs: 1 2 3 4 5
+  EXPECT_EQ(t.prefix_sum(0), 0u);
+  EXPECT_EQ(t.prefix_sum(1), 1u);
+  EXPECT_EQ(t.prefix_sum(3), 6u);
+  EXPECT_EQ(t.prefix_sum(5), 15u);
+  EXPECT_EQ(t.total(), 15u);
+}
+
+TEST(Fenwick, GetSingle) {
+  FenwickTree t(8);
+  t.add(3, 7);
+  t.add(6, 2);
+  EXPECT_EQ(t.get(3), 7u);
+  EXPECT_EQ(t.get(6), 2u);
+  EXPECT_EQ(t.get(0), 0u);
+}
+
+TEST(Fenwick, NegativeDelta) {
+  FenwickTree t(4);
+  t.add(2, 10);
+  t.add(2, -4);
+  EXPECT_EQ(t.get(2), 6u);
+}
+
+TEST(Fenwick, FindByCumulativeBoundaries) {
+  FenwickTree t(4);
+  // freqs: 3 0 2 5 -> intervals [0,3) [3,3) [3,5) [5,10)
+  t.add(0, 3);
+  t.add(2, 2);
+  t.add(3, 5);
+  EXPECT_EQ(t.find_by_cumulative(0), 0u);
+  EXPECT_EQ(t.find_by_cumulative(2), 0u);
+  EXPECT_EQ(t.find_by_cumulative(3), 2u);  // zero-freq slot 1 skipped
+  EXPECT_EQ(t.find_by_cumulative(4), 2u);
+  EXPECT_EQ(t.find_by_cumulative(5), 3u);
+  EXPECT_EQ(t.find_by_cumulative(9), 3u);
+  EXPECT_THROW((void)t.find_by_cumulative(10), std::out_of_range);
+}
+
+TEST(Fenwick, OutOfRangeThrows) {
+  FenwickTree t(3);
+  EXPECT_THROW(t.add(3, 1), std::out_of_range);
+  EXPECT_THROW((void)t.prefix_sum(4), std::out_of_range);
+}
+
+TEST(Fenwick, ResetClears) {
+  FenwickTree t(3);
+  t.add(1, 9);
+  t.reset(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.total(), 0u);
+}
+
+TEST(Fenwick, RandomizedAgainstReference) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(60));
+    FenwickTree t(n);
+    std::vector<std::uint64_t> ref(n, 0);
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t idx = static_cast<std::size_t>(rng.next_below(n));
+      const std::int64_t delta = static_cast<std::int64_t>(rng.next_below(20));
+      t.add(idx, delta);
+      ref[idx] += static_cast<std::uint64_t>(delta);
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(t.prefix_sum(i), cum);
+      EXPECT_EQ(t.get(i), ref[i]);
+      cum += ref[i];
+    }
+    EXPECT_EQ(t.total(), cum);
+    // Every cumulative target maps to the slot whose interval contains it.
+    if (cum > 0) {
+      for (int probe = 0; probe < 50; ++probe) {
+        const std::uint64_t target = rng.next_below(cum);
+        const std::size_t slot = t.find_by_cumulative(target);
+        EXPECT_LE(t.prefix_sum(slot), target);
+        EXPECT_GT(t.prefix_sum(slot + 1), target);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dophy::common

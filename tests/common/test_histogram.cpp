@@ -1,0 +1,94 @@
+#include "dophy/common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::common {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  Histogram h(10);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.to_string(), "");
+}
+
+TEST(Histogram, BasicCounting) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  h.add(4);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(3);
+  h.add(4);
+  h.add(100);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.count(7), 2u);  // any out-of-range query reports overflow
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(5);
+  h.add(2, 10);
+  EXPECT_EQ(h.count(2), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, Mean) {
+  Histogram h(10);
+  h.add(1);
+  h.add(3);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, QuantileScan) {
+  Histogram h(10);
+  for (int i = 0; i < 90; ++i) h.add(1);
+  for (int i = 0; i < 10; ++i) h.add(8);
+  EXPECT_EQ(h.quantile(0.5), 1u);
+  EXPECT_EQ(h.quantile(0.95), 8u);
+}
+
+TEST(Histogram, MergeMatchingLayout) {
+  Histogram a(4), b(4);
+  a.add(1);
+  b.add(1);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.overflow_count(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeMismatchThrows) {
+  Histogram a(4), b(5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h(4);
+  h.add(2);
+  h.add(9);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+}
+
+TEST(Histogram, ToStringFormat) {
+  Histogram h(3);
+  h.add(0, 12);
+  h.add(2, 7);
+  h.add(9);
+  EXPECT_EQ(h.to_string(), "0:12 2:7 >3:1");
+}
+
+}  // namespace
+}  // namespace dophy::common

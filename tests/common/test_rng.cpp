@@ -1,0 +1,196 @@
+#include "dophy/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dophy::common {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitMixKnownValue) {
+  // Reference value of SplitMix64 from the canonical implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t v = splitmix64(state);
+  EXPECT_EQ(state, 0x9e3779b97f4a7c15ULL);
+  EXPECT_EQ(v, 0xe220a8397b1dcdafULL);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 33}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(7);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+  }
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, GeometricTrialsMean) {
+  Rng rng(9);
+  for (double p : {0.2, 0.5, 0.8}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.geometric_trials(p);
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.05 / p);
+  }
+}
+
+TEST(Rng, GeometricTrialsSupport) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.geometric_trials(0.3), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_trials(1.0), 1u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(13);
+  for (double lambda : {0.5, 5.0, 50.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, 0.05 * lambda + 0.05);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(14);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng forked = a.fork();
+  // Forked stream differs from the parent's continuation.
+  Rng b(42);
+  (void)b.next_u64();  // parent consumed one draw when forking
+  EXPECT_NE(forked.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleMovesElements) {
+  Rng rng(16);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(v);
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) displaced += v[static_cast<std::size_t>(i)] != i;
+  EXPECT_GT(displaced, 50);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace dophy::common

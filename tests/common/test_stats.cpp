@@ -1,0 +1,152 @@
+#include "dophy/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::common {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(1.0, 3.0);
+    whole.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Quantile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Ecdf, MonotoneAndComplete) {
+  const auto cdf = ecdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_EQ(pearson({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(pearson({1, 1, 1}, {2, 3, 4}), 0.0);  // zero variance
+  EXPECT_EQ(pearson({1, 2}, {1, 2, 3}), 0.0);     // size mismatch
+}
+
+TEST(Spearman, MonotoneNonlinear) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // monotone => rho = 1
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Entropy, UniformAndDegenerate) {
+  EXPECT_NEAR(entropy_bits({1, 1, 1, 1}), 2.0, 1e-12);
+  EXPECT_NEAR(entropy_bits({5, 0, 0, 0}), 0.0, 1e-12);
+  EXPECT_EQ(entropy_bits({0, 0}), 0.0);
+}
+
+TEST(Entropy, KnownSkewed) {
+  // p = (0.5, 0.25, 0.25) -> H = 1.5 bits.
+  EXPECT_NEAR(entropy_bits({2, 1, 1}), 1.5, 1e-12);
+}
+
+TEST(KlDivergence, ZeroForIdentical) {
+  EXPECT_NEAR(kl_divergence_bits({3, 2, 5}, {3, 2, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(kl_divergence_bits({6, 4, 10}, {3, 2, 5}), 0.0, 1e-12);  // scale-invariant
+}
+
+TEST(KlDivergence, PositiveAndAsymmetric) {
+  const double ab = kl_divergence_bits({9, 1}, {5, 5});
+  const double ba = kl_divergence_bits({5, 5}, {9, 1});
+  EXPECT_GT(ab, 0.0);
+  EXPECT_GT(ba, 0.0);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(KlDivergence, SizeMismatchThrows) {
+  EXPECT_THROW((void)kl_divergence_bits({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(6);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+}  // namespace
+}  // namespace dophy::common

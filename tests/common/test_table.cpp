@@ -1,0 +1,77 @@
+#include "dophy/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dophy::common {
+namespace {
+
+TEST(Table, BasicLayout) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1);
+  t.row().cell("b").cell(2.5, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(Table, TitlePrinted) {
+  Table t({"x"});
+  t.row().cell(1);
+  std::ostringstream os;
+  t.print(os, "My Title");
+  EXPECT_EQ(os.str().rfind("## My Title", 0), 0u);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("v"), std::logic_error);
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"x"});
+  t.row().cell(1);
+  EXPECT_THROW(t.cell(2), std::logic_error);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.row().cell("plain").cell("with,comma");
+  t.row().cell("with\"quote").cell("x");
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderRow) {
+  Table t({"h1", "h2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "h1,h2\n");
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t({"a"});
+  t.row().cell(std::size_t{7});
+  t.row().cell(std::int64_t{-3});
+  t.row().cell(std::uint16_t{9});
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace dophy::common

@@ -1,0 +1,70 @@
+#include "dophy/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dophy::common {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, WorkerCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, ResultsIndependentOfWorkerCount) {
+  auto compute = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(64);
+    parallel_for(pool, out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ParallelFor, SequentialReuse) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  parallel_for(pool, 10, [&](std::size_t) { total.fetch_add(1); });
+  parallel_for(pool, 20, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(GlobalPool, SingletonIdentity) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+}  // namespace
+}  // namespace dophy::common

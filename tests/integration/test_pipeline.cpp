@@ -1,0 +1,282 @@
+// Full-pipeline integration tests: network + in-packet encoding + sink
+// decoding + inference + baselines, scored against simulator ground truth.
+// Scenarios are kept small so the whole file runs in a few seconds.
+
+#include <gtest/gtest.h>
+
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+PipelineConfig small_config(std::uint64_t seed) {
+  auto cfg = dophy::eval::default_pipeline(40, seed);
+  cfg.warmup_s = 200.0;
+  cfg.measure_s = 900.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  return cfg;
+}
+
+TEST(Pipeline, DophyAccurateOnStaticNetwork) {
+  const auto result = run_pipeline(small_config(1));
+  const auto& dophy = result.method("dophy").summary;
+  EXPECT_GT(result.packets_measured, 3000u);
+  EXPECT_GT(result.active_links, 30u);
+  EXPECT_LT(dophy.mae, 0.03);
+  EXPECT_GT(dophy.spearman, 0.9);
+  EXPECT_GT(dophy.coverage, 0.8);
+}
+
+TEST(Pipeline, DophyBeatsAllBaselines) {
+  const auto result = run_pipeline(small_config(2));
+  const double dophy_mae = result.method("dophy").summary.mae;
+  for (const auto& name : {"delivery-ratio", "nnls", "em"}) {
+    EXPECT_LT(dophy_mae * 3.0, result.method(name).summary.mae)
+        << "baseline " << name << " unexpectedly competitive";
+  }
+}
+
+TEST(Pipeline, DophyRobustUnderDynamics) {
+  auto cfg = small_config(3);
+  dophy::eval::add_dynamics(cfg, 200.0, 0.15);
+  const auto result = run_pipeline(cfg);
+  EXPECT_GT(result.parent_changes_in_window, 50u);  // routing actually churned
+  EXPECT_LT(result.method("dophy").summary.mae, 0.05);
+  EXPECT_GT(result.method("dophy").summary.spearman, 0.85);
+}
+
+TEST(Pipeline, DecodeFailuresRare) {
+  const auto result = run_pipeline(small_config(4));
+  const auto& d = result.decoder_stats;
+  EXPECT_GT(d.packets_decoded, 1000u);
+  EXPECT_LT(static_cast<double>(d.decode_failures),
+            0.01 * static_cast<double>(d.packets_decoded));
+}
+
+TEST(Pipeline, OverheadIsAFewBitsPerHop) {
+  const auto result = run_pipeline(small_config(5));
+  const double bits_per_hop = result.encoder_stats.mean_bits_per_hop();
+  EXPECT_GT(bits_per_hop, 1.0);
+  EXPECT_LT(bits_per_hop, 12.0);  // well under the naive 6-bit id + 3-bit count
+  EXPECT_GT(result.mean_bits_per_packet, 0.0);
+}
+
+TEST(Pipeline, ModelUpdatesReduceEncodingCost) {
+  auto with_updates = small_config(6);
+  with_updates.dophy.update.policy = ModelUpdateConfig::Policy::kPeriodic;
+
+  auto without_updates = small_config(6);
+  without_updates.dophy.update.policy = ModelUpdateConfig::Policy::kStatic;
+
+  const auto updated = run_pipeline(with_updates);
+  const auto frozen = run_pipeline(without_updates);
+  EXPECT_GT(updated.manager_stats.updates_published, 0u);
+  EXPECT_EQ(frozen.manager_stats.updates_published, 0u);
+  EXPECT_LT(updated.mean_bits_per_packet, frozen.mean_bits_per_packet * 0.9);
+}
+
+TEST(Pipeline, DeterministicForSeed) {
+  const auto a = run_pipeline(small_config(7));
+  const auto b = run_pipeline(small_config(7));
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_DOUBLE_EQ(a.method("dophy").summary.mae, b.method("dophy").summary.mae);
+  EXPECT_DOUBLE_EQ(a.mean_bits_per_packet, b.mean_bits_per_packet);
+}
+
+TEST(Pipeline, BaselinesCanBeDisabled) {
+  auto cfg = small_config(8);
+  cfg.run_baselines = false;
+  cfg.measure_s = 300.0;
+  const auto result = run_pipeline(cfg);
+  EXPECT_EQ(result.methods.size(), 1u);
+  EXPECT_THROW((void)result.method("em"), std::out_of_range);
+}
+
+TEST(Pipeline, AggregationThresholdTradesOverheadForNothingMuch) {
+  // K=2 (1-bit symbols + censoring) must cost fewer bits than K=8 while the
+  // censored MLE keeps accuracy in the same ballpark.
+  auto k2 = small_config(9);
+  k2.dophy.censor_threshold = 2;
+  auto k8 = small_config(9);
+  k8.dophy.censor_threshold = 8;
+  const auto r2 = run_pipeline(k2);
+  const auto r8 = run_pipeline(k8);
+  EXPECT_LT(r2.encoder_stats.mean_bits_per_hop(), r8.encoder_stats.mean_bits_per_hop());
+  EXPECT_LT(r2.method("dophy").summary.mae, 0.06);
+}
+
+TEST(Pipeline, GroundTruthWindowingSane) {
+  const auto result = run_pipeline(small_config(10));
+  for (const auto& s : result.method("dophy").scores) {
+    EXPECT_GE(s.truth, 0.0);
+    EXPECT_LE(s.truth, 1.0);
+    EXPECT_GE(s.estimated, 0.0);
+    EXPECT_LE(s.estimated, 1.0);
+    EXPECT_GE(s.truth_attempts, 30u);  // min_truth_attempts enforced
+  }
+}
+
+TEST(Pipeline, SurvivesNodeChurn) {
+  auto cfg = small_config(12);
+  dophy::eval::add_churn(cfg, /*fraction=*/0.3, /*up_s=*/300.0, /*down_s=*/60.0);
+  const auto result = run_pipeline(cfg);
+  EXPECT_GT(result.net_stats.node_failures, 3u);
+  // Paths route around dead nodes; decoded paths stay exact, so accuracy
+  // holds on the links that carried traffic.
+  EXPECT_LT(result.method("dophy").summary.mae, 0.06);
+  EXPECT_GT(result.method("dophy").summary.spearman, 0.85);
+}
+
+TEST(Pipeline, BayesianPriorVariantRuns) {
+  auto cfg = small_config(13);
+  cfg.dophy.prior_successes = 2.0;
+  cfg.dophy.prior_failures = 0.4;
+  cfg.measure_s = 600.0;
+  cfg.run_baselines = false;
+  const auto result = run_pipeline(cfg);
+  EXPECT_LT(result.method("dophy").summary.mae, 0.05);
+}
+
+TEST(Pipeline, LatencyTracked) {
+  auto cfg = small_config(14);
+  cfg.measure_s = 600.0;
+  cfg.run_baselines = false;
+  // run_pipeline owns the network; verify via packets measured + sane means
+  // from a direct network run instead.
+  dophy::net::Network net(cfg.net);
+  net.run_for(600.0);
+  EXPECT_GT(net.traces().latency().count(), 100u);
+  EXPECT_GT(net.traces().latency().mean(), 0.0);
+  EXPECT_LT(net.traces().latency().mean(), 10.0);  // seconds
+  EXPECT_GE(net.traces().hop_count().mean(), 1.0);
+}
+
+TEST(Pipeline, AccurateUnderOpportunisticForwarding) {
+  // Per-packet forwarder randomization is the extreme of "dynamic path
+  // selection" — consecutive packets from one origin take different routes.
+  // Dophy decodes each packet's actual path, so accuracy must hold (and
+  // coverage even improves: more links carry traffic).
+  auto cfg = small_config(16);
+  dophy::eval::add_opportunism(cfg, 0.4);
+  const auto result = run_pipeline(cfg);
+  EXPECT_LT(result.method("dophy").summary.mae, 0.04);
+  EXPECT_GT(result.method("dophy").summary.spearman, 0.9);
+  EXPECT_GT(result.active_links, 40u);  // traffic spread over more links
+  const double dophy_mae = result.method("dophy").summary.mae;
+  EXPECT_LT(dophy_mae * 3.0, result.method("em").summary.mae);
+}
+
+TEST(Pipeline, HashPathModeWorksOnSmallNetworks) {
+  auto cfg = small_config(15);
+  cfg.dophy.path_mode = PathMode::kHashPath;
+  cfg.measure_s = 600.0;
+  cfg.run_baselines = false;
+  const auto result = run_pipeline(cfg);
+  EXPECT_GT(result.decoder_stats.packets_decoded, 500u);
+  // On a 40-node network nearly every packet resolves and accuracy matches
+  // id-coding territory.
+  EXPECT_LT(result.method("dophy").summary.mae, 0.06);
+  EXPECT_GT(result.hash_candidates_per_packet, 0.0);
+}
+
+TEST(Pipeline, DecodedPathsExactlyMatchGroundTruth) {
+  // The core exactness property, end to end: for every delivered packet the
+  // sink's decoded (path, counts) must equal the simulator's ground truth —
+  // across a real run with dynamics, not hand-built hops.
+  auto cfg = small_config(17);
+  dophy::eval::add_dynamics(cfg, 200.0, 0.15);
+  cfg.measure_s = 600.0;
+
+  const dophy::tomo::SymbolMapper mapper(cfg.dophy.censor_threshold);
+  DophyInstrumentation instr(cfg.net.topology.node_count, mapper);
+  dophy::net::Network net(cfg.net, &instr);
+  DophyDecoder decoder(instr.store(dophy::net::kSinkId), mapper);
+
+  std::uint64_t checked = 0;
+  net.set_delivery_handler([&](const dophy::net::Packet& packet, dophy::net::SimTime) {
+    const auto decoded = decoder.decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->hops.size(), packet.true_hops.size());
+    for (std::size_t i = 0; i < packet.true_hops.size(); ++i) {
+      const auto& truth = packet.true_hops[i];
+      const auto& got = decoded->hops[i];
+      ASSERT_EQ(got.sender, truth.sender);
+      ASSERT_EQ(got.receiver, truth.receiver);
+      const auto expected_attempts =
+          std::min(truth.attempts_to_first_rx, cfg.dophy.censor_threshold);
+      ASSERT_EQ(got.observation.attempts, expected_attempts);
+      ASSERT_EQ(got.observation.censored,
+                truth.attempts_to_first_rx >= cfg.dophy.censor_threshold);
+    }
+    ++checked;
+  });
+  net.run_for(900.0);
+  EXPECT_GT(checked, 2000u);
+}
+
+TEST(Pipeline, PayloadBudgetDropsOnlyLongPaths) {
+  auto cfg = small_config(18);
+  cfg.dophy.max_wire_bytes = 24;  // tight: deep paths will truncate
+  cfg.measure_s = 600.0;
+  cfg.run_baselines = false;
+  const auto result = run_pipeline(cfg);
+  // Some samples lost to the budget, but what decodes is still accurate.
+  EXPECT_GT(result.encoder_stats.truncated_hops, 0u);
+  EXPECT_GT(result.packets_measured, 500u);
+  EXPECT_LT(result.method("dophy").summary.mae, 0.05);
+}
+
+TEST(Pipeline, TruthTailScoringFavorsTrackerUnderShift) {
+  // With re-randomizing link qualities and recent-truth scoring, a tracking
+  // estimator must beat the cumulative MLE; with whole-window truth the
+  // ordering flips (the cumulative estimator matches the window average).
+  auto make = [](double decay, double tail) {
+    auto cfg = dophy::eval::default_pipeline(35, 44);
+    dophy::eval::add_dynamics(cfg, 250.0, 0.25);
+    cfg.warmup_s = 200.0;
+    cfg.measure_s = 1000.0;
+    cfg.net.traffic.data_interval_s = 5.0;
+    cfg.dophy.tracker_decay = decay;
+    cfg.truth_tail_fraction = tail;
+    cfg.run_baselines = false;
+    return run_pipeline(cfg).method("dophy").summary.mae;
+  };
+  const double cumulative_recent = make(1.0, 0.25);
+  const double tracker_recent = make(0.6, 0.25);
+  EXPECT_LT(tracker_recent, cumulative_recent);
+}
+
+TEST(Pipeline, EpochSeriesTracksConvergence) {
+  auto cfg = small_config(19);
+  cfg.measure_s = 600.0;
+  cfg.snapshot_interval_s = 60.0;
+  cfg.collect_epoch_series = true;
+  cfg.run_baselines = false;
+  const auto result = run_pipeline(cfg);
+  ASSERT_GE(result.epoch_series.size(), 8u);
+  // Time strictly increases; packets and scored links are non-decreasing.
+  for (std::size_t i = 1; i < result.epoch_series.size(); ++i) {
+    EXPECT_GT(result.epoch_series[i].t_s, result.epoch_series[i - 1].t_s);
+    EXPECT_GE(result.epoch_series[i].packets, result.epoch_series[i - 1].packets);
+  }
+  EXPECT_GE(result.epoch_series.back().links_scored, 20u);
+  // The last point's error is in the converged regime.
+  EXPECT_LT(result.epoch_series.back().mae, 0.05);
+  // Disabled by default.
+  auto plain = small_config(19);
+  plain.measure_s = 300.0;
+  plain.run_baselines = false;
+  EXPECT_TRUE(run_pipeline(plain).epoch_series.empty());
+}
+
+TEST(Pipeline, EndToEndDeliveryStaysHigh) {
+  const auto result = run_pipeline(small_config(11));
+  // ARQ keeps end-to-end delivery high — exactly why e2e tomography starves.
+  EXPECT_GT(result.delivery_ratio_in_window, 0.9);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

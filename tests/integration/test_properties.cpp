@@ -1,0 +1,108 @@
+// Parameterized cross-module property sweeps: invariants that must hold for
+// any seed / parameterization, run at small scale so the whole file stays
+// fast.
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+// --- Pipeline invariants across seeds ----------------------------------------
+
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, CoreInvariantsHold) {
+  auto cfg = dophy::eval::default_pipeline(35, GetParam());
+  cfg.warmup_s = 200.0;
+  cfg.measure_s = 700.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  const auto result = run_pipeline(cfg);
+
+  // Invariant 1: ARQ keeps end-to-end delivery high.
+  EXPECT_GT(result.delivery_ratio_in_window, 0.85);
+  // Invariant 2: decoding is exact — no decode failures in id mode with the
+  // abstract flood.
+  EXPECT_EQ(result.decoder_stats.decode_failures, 0u);
+  // Invariant 3: every estimate and truth is a probability.
+  for (const auto& method : result.methods) {
+    for (const auto& s : method.scores) {
+      EXPECT_GE(s.estimated, 0.0);
+      EXPECT_LE(s.estimated, 1.0);
+      EXPECT_GE(s.truth, 0.0);
+      EXPECT_LE(s.truth, 1.0);
+    }
+  }
+  // Invariant 4: Dophy beats every baseline on MAE.
+  const double dophy_mae = result.method("dophy").summary.mae;
+  for (const auto& name : {"delivery-ratio", "nnls", "em"}) {
+    const auto& summary = result.method(name).summary;
+    if (summary.links_scored == 0) continue;
+    EXPECT_LT(dophy_mae, summary.mae) << name << " seed " << GetParam();
+  }
+  // Invariant 5: overhead is bits-per-hop scale, not bytes.
+  EXPECT_LT(result.encoder_stats.mean_bits_per_hop(), 14.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u));
+
+// --- Censored-MLE consistency grid ---------------------------------------------
+
+struct MleCase {
+  double loss;
+  std::uint32_t k;
+};
+
+class CensoredMleGrid : public ::testing::TestWithParam<MleCase> {};
+
+TEST_P(CensoredMleGrid, ConvergesToTruth) {
+  const auto param = GetParam();
+  dophy::common::Rng rng(777 + param.k);
+  LinkLossEstimator est(param.k);
+  for (int i = 0; i < 60000; ++i) {
+    const std::uint32_t t = rng.geometric_trials(1.0 - param.loss);
+    est.observe(dophy::net::LinkKey{1, 2},
+                t >= param.k ? HopObservation{param.k, true} : HopObservation{t, false});
+  }
+  const auto e = est.estimate(dophy::net::LinkKey{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->loss, param.loss, 0.015)
+      << "p=" << param.loss << " K=" << param.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CensoredMleGrid,
+    ::testing::Values(MleCase{0.05, 2}, MleCase{0.05, 4}, MleCase{0.05, 8},
+                      MleCase{0.3, 2}, MleCase{0.3, 4}, MleCase{0.3, 8},
+                      MleCase{0.6, 2}, MleCase{0.6, 4}, MleCase{0.6, 8},
+                      MleCase{0.8, 3}, MleCase{0.8, 6}),
+    [](const auto& suite_info) {
+      return "p" + std::to_string(static_cast<int>(suite_info.param.loss * 100)) + "_K" +
+             std::to_string(suite_info.param.k);
+    });
+
+// --- Aggregation-threshold invariance of the pipeline ----------------------------
+
+class AggregationSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AggregationSweep, AccuracyRobustToK) {
+  auto cfg = dophy::eval::default_pipeline(30, 99);
+  cfg.dophy.censor_threshold = GetParam();
+  cfg.warmup_s = 200.0;
+  cfg.measure_s = 800.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  cfg.run_baselines = false;
+  const auto result = run_pipeline(cfg);
+  EXPECT_LT(result.method("dophy").summary.mae, 0.06) << "K=" << GetParam();
+  EXPECT_GT(result.method("dophy").summary.spearman, 0.9) << "K=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, AggregationSweep, ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace dophy::tomo

@@ -1,0 +1,108 @@
+// Scenario-preset and multi-trial-runner integration tests.
+
+#include <gtest/gtest.h>
+
+#include "dophy/eval/report.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::eval {
+namespace {
+
+TEST(Scenario, DefaultPipelineShape) {
+  const auto cfg = default_pipeline(100, 9);
+  EXPECT_EQ(cfg.net.topology.node_count, 100u);
+  EXPECT_GT(cfg.net.topology.field_size, 100.0);
+  EXPECT_EQ(cfg.net.mac.max_attempts, 8u);
+  EXPECT_EQ(cfg.dophy.censor_threshold, 4u);
+}
+
+TEST(Scenario, FieldScalesWithNodeCount) {
+  const auto small = default_pipeline(50, 1);
+  const auto large = default_pipeline(200, 1);
+  // Constant density: field area grows linearly with node count.
+  EXPECT_NEAR(large.net.topology.field_size / small.net.topology.field_size, 2.0, 0.05);
+}
+
+TEST(Scenario, SummaryScenariosDistinct) {
+  const auto scenarios = summary_scenarios(40, 3);
+  ASSERT_EQ(scenarios.size(), 6u);
+  EXPECT_EQ(scenarios[0].name, "static");
+  EXPECT_EQ(scenarios[0].config.net.loss.kind, dophy::net::LossConfig::Kind::kBernoulli);
+  EXPECT_EQ(scenarios[1].config.net.loss.kind, dophy::net::LossConfig::Kind::kDrifting);
+  EXPECT_GT(scenarios[1].config.net.loss.drift_shuffle_spread, 0.0);
+  EXPECT_EQ(scenarios[2].config.net.loss.kind,
+            dophy::net::LossConfig::Kind::kGilbertElliott);
+  EXPECT_GT(scenarios[3].config.net.loss.drift_amplitude, 0.0);
+  EXPECT_EQ(scenarios[4].name, "churn");
+  EXPECT_TRUE(scenarios[4].config.net.churn.enabled);
+  EXPECT_EQ(scenarios[5].name, "opportunistic");
+  EXPECT_GT(scenarios[5].config.net.routing.opportunistic_fraction, 0.0);
+}
+
+TEST(Runner, AggregatesTrials) {
+  auto cfg = default_pipeline(30, 0);
+  cfg.warmup_s = 150.0;
+  cfg.measure_s = 450.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  const auto result = run_trials(cfg, 3, /*base_seed=*/100);
+  EXPECT_EQ(result.method("dophy").mae.count(), 3u);
+  EXPECT_GT(result.bits_per_packet.mean(), 0.0);
+  EXPECT_GT(result.delivery_ratio.mean(), 0.8);
+  EXPECT_TRUE(result.runs.empty());
+}
+
+TEST(Runner, KeepRunsRetainsResults) {
+  auto cfg = default_pipeline(25, 0);
+  cfg.warmup_s = 100.0;
+  cfg.measure_s = 300.0;
+  cfg.run_baselines = false;
+  const auto result = run_trials(cfg, 2, 7, /*keep_runs=*/true);
+  EXPECT_EQ(result.runs.size(), 2u);
+  EXPECT_THROW((void)result.method("nope"), std::out_of_range);
+}
+
+TEST(Runner, SeedsProduceDistinctTrials) {
+  auto cfg = default_pipeline(25, 0);
+  cfg.warmup_s = 100.0;
+  cfg.measure_s = 300.0;
+  cfg.run_baselines = false;
+  const auto result = run_trials(cfg, 3, 50, true);
+  // Different seeds -> different packet counts (with overwhelming probability).
+  EXPECT_FALSE(result.runs[0].packets_measured == result.runs[1].packets_measured &&
+               result.runs[1].packets_measured == result.runs[2].packets_measured);
+}
+
+TEST(Report, MethodComparisonPrints) {
+  auto cfg = default_pipeline(25, 0);
+  cfg.warmup_s = 100.0;
+  cfg.measure_s = 300.0;
+  const auto result = run_trials(cfg, 2, 11);
+  std::ostringstream os;
+  print_method_comparison(os, "test", result);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("dophy"), std::string::npos);
+  EXPECT_NE(out.find("em"), std::string::npos);
+  EXPECT_NE(out.find("±"), std::string::npos);
+}
+
+TEST(Report, MethodOrderPrefersDophyFirst) {
+  auto cfg = default_pipeline(25, 0);
+  cfg.warmup_s = 100.0;
+  cfg.measure_s = 300.0;
+  const auto result = run_trials(cfg, 1, 13);
+  const auto order = method_order(result);
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), "dophy");
+}
+
+TEST(Report, FormatCiHasUncertainty) {
+  dophy::common::RunningStats s;
+  s.add(1.0);
+  EXPECT_EQ(format_ci(s, 2), "1.00");
+  s.add(2.0);
+  EXPECT_NE(format_ci(s, 2).find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dophy::eval

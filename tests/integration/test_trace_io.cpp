@@ -1,0 +1,88 @@
+#include "dophy/eval/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dophy/eval/scenario.hpp"
+#include "dophy/net/network.hpp"
+
+namespace dophy::eval {
+namespace {
+
+using dophy::net::PacketFate;
+using dophy::net::PacketOutcome;
+
+std::vector<PacketOutcome> simulated_outcomes(std::uint64_t seed) {
+  auto cfg = default_pipeline(30, seed);
+  dophy::net::Network net(cfg.net);
+  net.run_for(400.0);
+  return net.traces().outcomes();
+}
+
+TEST(TraceIo, RoundTripPreservesRecords) {
+  const auto outcomes = simulated_outcomes(1);
+  ASSERT_GT(outcomes.size(), 500u);
+
+  std::stringstream buffer;
+  EXPECT_EQ(write_trace(buffer, outcomes), outcomes.size());
+  const auto back = read_trace(buffer);
+  ASSERT_EQ(back.size(), outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(back[i].packet.origin, outcomes[i].packet.origin);
+    EXPECT_EQ(back[i].packet.seq, outcomes[i].packet.seq);
+    EXPECT_EQ(back[i].packet.created_at, outcomes[i].packet.created_at);
+    EXPECT_EQ(back[i].finished_at, outcomes[i].finished_at);
+    EXPECT_EQ(back[i].fate, outcomes[i].fate);
+    ASSERT_EQ(back[i].packet.true_hops.size(), outcomes[i].packet.true_hops.size());
+    for (std::size_t h = 0; h < outcomes[i].packet.true_hops.size(); ++h) {
+      EXPECT_EQ(back[i].packet.true_hops[h].sender,
+                outcomes[i].packet.true_hops[h].sender);
+      EXPECT_EQ(back[i].packet.true_hops[h].receiver,
+                outcomes[i].packet.true_hops[h].receiver);
+      EXPECT_EQ(back[i].packet.true_hops[h].attempts_to_first_rx,
+                outcomes[i].packet.true_hops[h].attempts_to_first_rx);
+    }
+  }
+}
+
+TEST(TraceIo, OfflineEstimatesMatchLiveData) {
+  const auto outcomes = simulated_outcomes(2);
+  std::stringstream buffer;
+  (void)write_trace(buffer, outcomes);
+  const auto back = read_trace(buffer);
+
+  const auto live = offline_link_estimates(outcomes, 4);
+  const auto offline = offline_link_estimates(back, 4);
+  ASSERT_EQ(live.size(), offline.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].first, offline[i].first);
+    EXPECT_DOUBLE_EQ(live[i].second, offline[i].second);
+  }
+  EXPECT_GT(live.size(), 20u);
+}
+
+TEST(TraceIo, MalformedInputThrows) {
+  std::stringstream bad1("1,2,3\n");
+  EXPECT_THROW((void)read_trace(bad1), std::runtime_error);
+  std::stringstream bad2("1,2,3,4,nonsense,\n");
+  EXPECT_THROW((void)read_trace(bad2), std::runtime_error);
+  std::stringstream bad3("1,2,3,4,delivered,brokenhop\n");
+  EXPECT_THROW((void)read_trace(bad3), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyAndCommentsSkipped) {
+  std::stringstream buffer("# header\n\n# more\n");
+  EXPECT_TRUE(read_trace(buffer).empty());
+}
+
+TEST(TraceIo, DroppedPacketsExcludedFromEstimates) {
+  PacketOutcome dropped;
+  dropped.fate = PacketFate::kDroppedRetries;
+  dropped.packet.true_hops.push_back({1, 2, 3, 3, 0});
+  const auto est = offline_link_estimates({dropped}, 4);
+  EXPECT_TRUE(est.empty());
+}
+
+}  // namespace
+}  // namespace dophy::eval

@@ -1,0 +1,28 @@
+// Compile-level test: the umbrella header must pull in the whole public API
+// cleanly (this TU fails to build if any header breaks self-containment).
+
+#include "dophy/dophy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicApiReachable) {
+  // Touch one symbol from each subsystem so linkage is exercised too.
+  dophy::common::Rng rng(1);
+  EXPECT_GE(rng.next_double(), 0.0);
+
+  dophy::coding::StaticModel model(4);
+  EXPECT_EQ(model.symbol_count(), 4u);
+
+  const auto cfg = dophy::eval::default_pipeline(25, 3);
+  EXPECT_EQ(cfg.net.topology.node_count, 25u);
+
+  const dophy::tomo::SymbolMapper mapper(cfg.dophy.censor_threshold);
+  EXPECT_EQ(mapper.alphabet_size(), 4u);
+
+  dophy::net::NetworkStats stats;
+  EXPECT_EQ(dophy::net::estimate_energy(stats).total_mj(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+#include "dophy/net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::net {
+namespace {
+
+NetworkStats sample_stats() {
+  NetworkStats s;
+  s.data_tx_attempts = 1000;
+  s.data_rx_frames = 800;
+  s.control_rx_frames = 1200;  // 800 ACK rx + 400 beacon rx
+  s.beacons_sent = 100;
+  s.control_flood_bytes = 6400;
+  s.measurement_air_bytes = 5000;
+  return s;
+}
+
+TEST(Energy, ZeroStatsZeroEnergy) {
+  const auto e = estimate_energy(NetworkStats{});
+  EXPECT_DOUBLE_EQ(e.total_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(e.measurement_fraction(), 0.0);
+}
+
+TEST(Energy, ComponentsScaleWithCounters) {
+  const EnergyModel m;
+  const auto base = estimate_energy(sample_stats(), m);
+  auto doubled_stats = sample_stats();
+  doubled_stats.data_tx_attempts *= 2;
+  const auto doubled = estimate_energy(doubled_stats, m);
+  EXPECT_DOUBLE_EQ(doubled.data_tx_uj, 2.0 * base.data_tx_uj);
+  EXPECT_DOUBLE_EQ(doubled.data_rx_uj, base.data_rx_uj);  // rx unchanged
+}
+
+TEST(Energy, KnownArithmetic) {
+  EnergyModel m;
+  m.tx_uj_per_frame = 10.0;
+  m.rx_uj_per_frame = 20.0;
+  m.tx_uj_per_byte = 1.0;
+  const auto e = estimate_energy(sample_stats(), m);
+  EXPECT_DOUBLE_EQ(e.data_tx_uj, 1000 * 10.0);
+  EXPECT_DOUBLE_EQ(e.data_rx_uj, 800 * 20.0);
+  EXPECT_DOUBLE_EQ(e.acks_uj, 800 * 30.0);
+  // 100 beacon tx + (1200 - 800) beacon rx.
+  EXPECT_DOUBLE_EQ(e.beacons_uj, 100 * 10.0 + 400 * 20.0);
+  EXPECT_DOUBLE_EQ(e.measurement_uj, 5000 * 1.0);
+  EXPECT_GT(e.flood_uj, 6400 * 1.0);  // bytes + frame overheads
+}
+
+TEST(Energy, MeasurementFractionBounded) {
+  const auto e = estimate_energy(sample_stats());
+  EXPECT_GT(e.measurement_fraction(), 0.0);
+  EXPECT_LT(e.measurement_fraction(), 1.0);
+}
+
+TEST(Energy, ControlRxNeverNegative) {
+  auto s = sample_stats();
+  s.control_rx_frames = 100;  // fewer than ACK receptions implies clamping
+  const auto e = estimate_energy(s);
+  EXPECT_GE(e.beacons_uj, 0.0);
+}
+
+}  // namespace
+}  // namespace dophy::net

@@ -1,0 +1,86 @@
+#include "dophy/net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::net {
+namespace {
+
+TEST(EventQueue, EmptyStateAndErrors) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimePeeksWithoutPopping) {
+  EventQueue q;
+  q.push(7, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedOrderingProperty) {
+  dophy::common::Rng rng(7);
+  EventQueue q;
+  std::vector<std::pair<SimTime, std::uint64_t>> popped;  // (time, seq)
+  std::uint64_t seq = 0;
+  std::vector<std::pair<SimTime, std::uint64_t>> pushed;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.next_below(100));
+    const std::uint64_t s = seq++;
+    pushed.emplace_back(t, s);
+    q.push(t, [&popped, t, s] { popped.emplace_back(t, s); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(popped.size(), pushed.size());
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    const bool ordered = popped[i - 1].first < popped[i].first ||
+                         (popped[i - 1].first == popped[i].first &&
+                          popped[i - 1].second < popped[i].second);
+    EXPECT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST(EventQueue, PushedCountMonotone) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  (void)q.pop();
+  EXPECT_EQ(q.pushed_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dophy::net

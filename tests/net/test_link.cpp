@@ -1,0 +1,79 @@
+#include "dophy/net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::net {
+namespace {
+
+Link make_link(double p, std::uint64_t seed = 1) {
+  return Link(LinkKey{1, 2}, std::make_unique<BernoulliLoss>(p),
+              dophy::common::Rng(seed));
+}
+
+TEST(Link, CountsAttemptsAndLosses) {
+  Link link = make_link(0.3);
+  for (int i = 0; i < 10000; ++i) (void)link.attempt_data(0);
+  EXPECT_EQ(link.data_attempts(), 10000u);
+  EXPECT_NEAR(static_cast<double>(link.data_losses()) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Link, EmpiricalLossMatchesCounters) {
+  Link link = make_link(0.5);
+  for (int i = 0; i < 5000; ++i) (void)link.attempt_data(0);
+  EXPECT_DOUBLE_EQ(link.empirical_loss(0),
+                   static_cast<double>(link.data_losses()) / 5000.0);
+}
+
+TEST(Link, NoAttemptsFallsBackToNominal) {
+  Link link = make_link(0.25);
+  EXPECT_DOUBLE_EQ(link.empirical_loss(0), 0.25);
+}
+
+TEST(Link, ControlAttemptsSeparate) {
+  Link link = make_link(0.4);
+  for (int i = 0; i < 100; ++i) (void)link.attempt_control(0);
+  EXPECT_EQ(link.data_attempts(), 0u);
+  EXPECT_EQ(link.control_attempts(), 100u);
+}
+
+TEST(Link, SnapshotWindowing) {
+  Link link = make_link(0.8, 2);
+  for (int i = 0; i < 1000; ++i) (void)link.attempt_data(0);
+  const auto snap = link.snapshot();
+  for (int i = 0; i < 5000; ++i) (void)link.attempt_data(0);
+  const double window = link.empirical_loss_since(snap, 0);
+  EXPECT_NEAR(window, 0.8, 0.03);
+  // Window with no new attempts falls back to nominal.
+  const auto snap2 = link.snapshot();
+  EXPECT_DOUBLE_EQ(link.empirical_loss_since(snap2, 0), 0.8);
+}
+
+TEST(Link, KeyPreserved) {
+  Link link = make_link(0.1);
+  EXPECT_EQ(link.key().from, 1);
+  EXPECT_EQ(link.key().to, 2);
+}
+
+TEST(Link, ReplaceLossProcessTakesEffect) {
+  Link link = make_link(0.01, 4);
+  for (int i = 0; i < 2000; ++i) (void)link.attempt_data(0);
+  const auto before = link.snapshot();
+  link.replace_loss_process(std::make_unique<BernoulliLoss>(0.7));
+  for (int i = 0; i < 5000; ++i) (void)link.attempt_data(0);
+  EXPECT_NEAR(link.empirical_loss_since(before, 0), 0.7, 0.03);
+  EXPECT_THROW(link.replace_loss_process(nullptr), std::invalid_argument);
+}
+
+TEST(Link, AttemptOutcomeConsistentWithCounters) {
+  Link link = make_link(0.5, 3);
+  std::uint64_t successes = 0;
+  for (int i = 0; i < 1000; ++i) successes += link.attempt_data(0);
+  EXPECT_EQ(successes + link.data_losses(), link.data_attempts());
+}
+
+}  // namespace
+}  // namespace dophy::net

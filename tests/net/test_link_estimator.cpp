@@ -1,0 +1,80 @@
+#include "dophy/net/link_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::net {
+namespace {
+
+TEST(LinkQualityEstimate, StartsAtPrior) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  EXPECT_DOUBLE_EQ(est.etx(), cfg.initial_etx);
+  EXPECT_LT(est.beacon_prr(), 0.0);
+}
+
+TEST(LinkQualityEstimate, DataSamplesDominate) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  for (int i = 0; i < 20; ++i) est.on_data_tx(2, true);
+  EXPECT_NEAR(est.etx(), 2.0, 0.2);
+}
+
+TEST(LinkQualityEstimate, FailureChargesPessimistic) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  for (int i = 0; i < 20; ++i) est.on_data_tx(8, false);
+  EXPECT_DOUBLE_EQ(est.etx(), cfg.max_etx);  // 2x8 clamped to max
+}
+
+TEST(LinkQualityEstimate, EwmaConverges) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  for (int i = 0; i < 10; ++i) est.on_data_tx(1, true);
+  const double good = est.etx();
+  for (int i = 0; i < 100; ++i) est.on_data_tx(5, true);
+  EXPECT_GT(est.etx(), good + 2.0);
+  EXPECT_NEAR(est.etx(), 5.0, 0.5);
+}
+
+TEST(LinkQualityEstimate, BeaconPrrFromSeqGaps) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  // Every beacon received: PRR -> 1.
+  for (std::uint16_t s = 0; s < 30; ++s) est.on_beacon(s);
+  EXPECT_NEAR(est.beacon_prr(), 1.0, 0.05);
+}
+
+TEST(LinkQualityEstimate, BeaconLossLowersPrr) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  // Receive every other beacon: PRR ~ 0.5.
+  for (std::uint16_t s = 0; s < 60; s = static_cast<std::uint16_t>(s + 2)) est.on_beacon(s);
+  EXPECT_NEAR(est.beacon_prr(), 0.5, 0.12);
+}
+
+TEST(LinkQualityEstimate, BeaconEtxUsedBeforeData) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  for (std::uint16_t s = 0; s < 40; s = static_cast<std::uint16_t>(s + 2)) est.on_beacon(s);
+  // PRR ~ 0.5 => ETX ~ 2 from beacons alone.
+  EXPECT_NEAR(est.etx(), 2.0, 0.6);
+}
+
+TEST(LinkQualityEstimate, SeqWraparoundResets) {
+  LinkEstimatorConfig cfg;
+  LinkQualityEstimate est(cfg);
+  est.on_beacon(65530);
+  est.on_beacon(200);  // looks like a >100 jump: restart
+  EXPECT_NEAR(est.beacon_prr(), 1.0, 1e-9);
+}
+
+TEST(LinkQualityEstimate, EtxCappedAtMax) {
+  LinkEstimatorConfig cfg;
+  cfg.max_etx = 10.0;
+  LinkQualityEstimate est(cfg);
+  for (int i = 0; i < 50; ++i) est.on_data_tx(30, true);
+  EXPECT_LE(est.etx(), 10.0);
+}
+
+}  // namespace
+}  // namespace dophy::net

@@ -1,0 +1,179 @@
+#include "dophy/net/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::net {
+namespace {
+
+TEST(BernoulliLoss, EmpiricalRateMatches) {
+  dophy::common::Rng rng(1);
+  for (const double p : {0.05, 0.3, 0.7}) {
+    BernoulliLoss loss(p);
+    int lost = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) lost += loss.attempt_lost(0, rng);
+    EXPECT_NEAR(static_cast<double>(lost) / n, p, 0.01);
+    EXPECT_DOUBLE_EQ(loss.nominal_loss(123456), p);
+  }
+}
+
+TEST(BernoulliLoss, RejectsOutOfRange) {
+  EXPECT_THROW(BernoulliLoss(-0.1), std::invalid_argument);
+  EXPECT_THROW(BernoulliLoss(1.1), std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryLossMatchesNominal) {
+  dophy::common::Rng seed_rng(2);
+  GilbertElliottLoss::Params params;
+  params.loss_good = 0.05;
+  params.loss_bad = 0.6;
+  params.mean_good_duration_s = 10.0;
+  params.mean_bad_duration_s = 5.0;
+  GilbertElliottLoss loss(params, seed_rng);
+
+  dophy::common::Rng rng(3);
+  int lost = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    // One attempt every 100ms: many sojourns are covered.
+    lost += loss.attempt_lost(static_cast<SimTime>(i) * 100 * kMillisecond, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, loss.nominal_loss(0), 0.03);
+}
+
+TEST(GilbertElliott, BurstsCorrelateLosses) {
+  dophy::common::Rng seed_rng(4);
+  GilbertElliottLoss::Params params;
+  params.loss_good = 0.01;
+  params.loss_bad = 0.9;
+  params.mean_good_duration_s = 50.0;
+  params.mean_bad_duration_s = 50.0;
+  GilbertElliottLoss loss(params, seed_rng);
+
+  dophy::common::Rng rng(5);
+  // Count P(loss | previous loss) vs unconditional P(loss): burstiness means
+  // the conditional is much larger.
+  int losses = 0, pairs_ll = 0, prev = 0, total = 0;
+  for (int i = 0; i < 300000; ++i) {
+    const int cur = loss.attempt_lost(static_cast<SimTime>(i) * 10 * kMillisecond, rng);
+    losses += cur;
+    pairs_ll += (cur && prev);
+    prev = cur;
+    ++total;
+  }
+  const double p_loss = static_cast<double>(losses) / total;
+  const double p_ll = losses > 0 ? static_cast<double>(pairs_ll) / losses : 0.0;
+  EXPECT_GT(p_ll, 1.5 * p_loss);
+}
+
+TEST(GilbertElliott, RejectsNonPositiveSojourns) {
+  dophy::common::Rng rng(6);
+  GilbertElliottLoss::Params params;
+  params.mean_good_duration_s = 0.0;
+  EXPECT_THROW(GilbertElliottLoss(params, rng), std::invalid_argument);
+}
+
+TEST(DriftingLoss, SinusoidMovesNominal) {
+  dophy::common::Rng rng(7);
+  DriftingLoss::Params params;
+  params.base = 0.3;
+  params.amplitude = 0.2;
+  params.period_s = 100.0;
+  params.phase = 0.0;
+  DriftingLoss loss(params, rng);
+  const double at_zero = loss.nominal_loss(0);
+  const double at_quarter = loss.nominal_loss(static_cast<SimTime>(25e6));
+  EXPECT_NEAR(at_zero, 0.3, 1e-9);
+  EXPECT_NEAR(at_quarter, 0.5, 1e-6);
+}
+
+TEST(DriftingLoss, NominalStaysClamped) {
+  dophy::common::Rng rng(8);
+  DriftingLoss::Params params;
+  params.base = 0.9;
+  params.amplitude = 0.5;
+  params.period_s = 10.0;
+  DriftingLoss loss(params, rng);
+  for (int i = 0; i < 100; ++i) {
+    const double p = loss.nominal_loss(static_cast<SimTime>(i) * kSecond);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 0.95);
+  }
+}
+
+TEST(DriftingLoss, ShuffleChangesBase) {
+  dophy::common::Rng seed_rng(9);
+  DriftingLoss::Params params;
+  params.base = 0.3;
+  params.amplitude = 0.0;
+  params.shuffle_interval_s = 10.0;
+  params.shuffle_spread = 0.25;
+  DriftingLoss loss(params, seed_rng);
+
+  dophy::common::Rng rng(10);
+  const double before = loss.nominal_loss(0);
+  // Force shuffles by attempting far in the future.
+  (void)loss.attempt_lost(static_cast<SimTime>(1000e6), rng);
+  const double after = loss.nominal_loss(static_cast<SimTime>(1000e6));
+  EXPECT_NE(before, after);
+}
+
+TEST(DriftingLoss, EmpiricalTracksNominal) {
+  dophy::common::Rng seed_rng(11);
+  DriftingLoss::Params params;
+  params.base = 0.4;
+  params.amplitude = 0.0;
+  DriftingLoss loss(params, seed_rng);
+  dophy::common::Rng rng(12);
+  int lost = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) lost += loss.attempt_lost(0, rng);
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.4, 0.01);
+}
+
+TEST(ScriptedLoss, FollowsSchedule) {
+  ScriptedLoss loss({{0, 0.1}, {10 * kSecond, 0.5}, {20 * kSecond, 0.2}});
+  EXPECT_NEAR(loss.nominal_loss(0), 0.1, 1e-12);
+  EXPECT_NEAR(loss.nominal_loss(9 * kSecond), 0.1, 1e-12);
+  EXPECT_NEAR(loss.nominal_loss(10 * kSecond), 0.5, 1e-12);
+  EXPECT_NEAR(loss.nominal_loss(15 * kSecond), 0.5, 1e-12);
+  EXPECT_NEAR(loss.nominal_loss(1000 * kSecond), 0.2, 1e-12);
+}
+
+TEST(ScriptedLoss, EmpiricalMatchesStep) {
+  ScriptedLoss loss({{0, 0.05}, {kSecond, 0.6}});
+  dophy::common::Rng rng(20);
+  int lost = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) lost += loss.attempt_lost(2 * kSecond, rng);
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.6, 0.02);
+}
+
+TEST(ScriptedLoss, RejectsBadSchedules) {
+  EXPECT_THROW(ScriptedLoss({}), std::invalid_argument);
+  EXPECT_THROW(ScriptedLoss({{10, 0.1}, {5, 0.2}}), std::invalid_argument);
+}
+
+TEST(DistanceLoss, MonotoneInDistance) {
+  double prev = 0.0;
+  for (double d = 0.0; d <= 50.0; d += 5.0) {
+    const double p = distance_loss(d, 40.0, 0.0);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(DistanceLoss, NearLinksGoodFarLinksBad) {
+  EXPECT_LT(distance_loss(5.0, 40.0, 0.0), 0.1);
+  EXPECT_GT(distance_loss(40.0, 40.0, 0.0), 0.35);
+}
+
+TEST(DistanceLoss, ClampedToValidRange) {
+  EXPECT_GE(distance_loss(0.0, 40.0, -1.0), 0.0);
+  EXPECT_LE(distance_loss(100.0, 40.0, 1.0), 0.95);
+}
+
+}  // namespace
+}  // namespace dophy::net

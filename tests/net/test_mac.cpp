@@ -1,0 +1,133 @@
+#include "dophy/net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+
+namespace dophy::net {
+namespace {
+
+Link make_link(double p, std::uint64_t seed) {
+  return Link(LinkKey{1, 2}, std::make_unique<BernoulliLoss>(p),
+              dophy::common::Rng(seed));
+}
+
+TEST(ArqMac, PerfectLinkOneAttempt) {
+  MacConfig cfg;
+  ArqMac mac(cfg);
+  Link fwd = make_link(0.0, 1);
+  dophy::common::Rng rng(2);
+  const auto out = mac.transmit(fwd, nullptr, 0, rng);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.attempts_to_first_rx, 1u);
+  EXPECT_EQ(out.total_attempts, 1u);
+  EXPECT_EQ(out.delay, cfg.attempt_duration);
+}
+
+TEST(ArqMac, DeadLinkExhaustsBudget) {
+  MacConfig cfg;
+  cfg.max_attempts = 5;
+  ArqMac mac(cfg);
+  Link fwd = make_link(1.0, 3);
+  dophy::common::Rng rng(4);
+  const auto out = mac.transmit(fwd, nullptr, 0, rng);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.total_attempts, 5u);
+  EXPECT_EQ(out.delay, 5 * cfg.attempt_duration);
+}
+
+TEST(ArqMac, AttemptsToFirstRxIsGeometric) {
+  // The distribution of attempts_to_first_rx must be Geometric(1-p)
+  // truncated at the budget — this is the statistical foundation of the
+  // whole tomography scheme.
+  MacConfig cfg;
+  cfg.max_attempts = 16;
+  cfg.model_ack_loss = false;
+  ArqMac mac(cfg);
+  const double p = 0.4;
+  Link fwd = make_link(p, 5);
+  dophy::common::Rng rng(6);
+
+  std::vector<std::uint64_t> hist(17, 0);
+  const int n = 100000;
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto out = mac.transmit(fwd, nullptr, 0, rng);
+    if (out.delivered) {
+      ++delivered;
+      ++hist[out.attempts_to_first_rx];
+    }
+  }
+  // P(T = t) = p^(t-1) (1-p); compare the first few mass points.
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    const double expected = std::pow(p, t - 1) * (1 - p);
+    const double observed = static_cast<double>(hist[t]) / delivered;
+    EXPECT_NEAR(observed, expected, 0.01) << "t=" << t;
+  }
+}
+
+TEST(ArqMac, AckLossCausesExtraAttemptsNotBias) {
+  MacConfig cfg;
+  cfg.max_attempts = 16;
+  cfg.model_ack_loss = true;
+  ArqMac mac(cfg);
+  const double p_fwd = 0.3;
+  Link fwd = make_link(p_fwd, 7);
+  Link rev = make_link(0.3, 8);  // lossy ACK channel
+  dophy::common::Rng rng(9);
+
+  dophy::common::RunningStats first_rx, total;
+  for (int i = 0; i < 50000; ++i) {
+    const auto out = mac.transmit(fwd, &rev, 0, rng);
+    if (!out.delivered) continue;
+    first_rx.add(out.attempts_to_first_rx);
+    total.add(out.total_attempts);
+  }
+  // attempts_to_first_rx stays geometric in the forward loss only...
+  EXPECT_NEAR(first_rx.mean(), 1.0 / (1.0 - p_fwd), 0.03);
+  // ...while the sender pays extra attempts for lost ACKs.
+  EXPECT_GT(total.mean(), first_rx.mean() + 0.1);
+}
+
+TEST(ArqMac, DeliveryProbabilityMatchesArqLaw) {
+  MacConfig cfg;
+  cfg.max_attempts = 4;
+  cfg.model_ack_loss = false;
+  ArqMac mac(cfg);
+  const double p = 0.5;
+  Link fwd = make_link(p, 10);
+  dophy::common::Rng rng(11);
+  int delivered = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) delivered += mac.transmit(fwd, nullptr, 0, rng).delivered;
+  // P(delivered) = 1 - p^m.
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 1.0 - std::pow(p, 4), 0.005);
+}
+
+TEST(ArqMac, ZeroAttemptBudgetRejected) {
+  MacConfig cfg;
+  cfg.max_attempts = 0;
+  EXPECT_THROW(ArqMac mac(cfg), std::invalid_argument);
+}
+
+TEST(ArqMac, DelayProportionalToAttempts) {
+  MacConfig cfg;
+  cfg.model_ack_loss = false;
+  ArqMac mac(cfg);
+  Link fwd = make_link(0.6, 12);
+  dophy::common::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = mac.transmit(fwd, nullptr, 0, rng);
+    if (out.delivered) {
+      EXPECT_EQ(out.delay,
+                static_cast<SimTime>(out.total_attempts) * cfg.attempt_duration);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dophy::net

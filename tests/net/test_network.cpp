@@ -1,0 +1,222 @@
+#include "dophy/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dophy::net {
+namespace {
+
+NetworkConfig small_config(std::uint64_t seed = 1) {
+  NetworkConfig cfg;
+  cfg.topology.node_count = 30;
+  cfg.topology.field_size = 100.0;
+  cfg.topology.comm_range = 40.0;
+  cfg.traffic.data_interval_s = 5.0;
+  cfg.traffic.start_delay_s = 20.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Network, BuildsLinksForEveryNeighborPair) {
+  Network net(small_config());
+  const auto& topo = net.topology();
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    for (const NodeId v : topo.neighbors(static_cast<NodeId>(u))) {
+      EXPECT_NE(net.find_link(static_cast<NodeId>(u), v), nullptr);
+      EXPECT_NE(net.find_link(v, static_cast<NodeId>(u)), nullptr);
+    }
+  }
+  EXPECT_THROW((void)net.link(0, 999), std::out_of_range);
+}
+
+TEST(Network, RoutingConvergesDuringWarmup) {
+  Network net(small_config(2));
+  net.run_for(120.0);
+  std::size_t routed = 0;
+  for (std::size_t i = 1; i < net.node_count(); ++i) {
+    routed += net.node(static_cast<NodeId>(i)).routing().has_route();
+  }
+  EXPECT_GE(routed, net.node_count() - 2);  // nearly everyone joined
+}
+
+TEST(Network, RoutingTreeIsLoopFreeAfterConvergence) {
+  Network net(small_config(3));
+  net.run_for(300.0);
+  // Follow parent pointers from every node; must reach the sink.
+  for (std::size_t i = 1; i < net.node_count(); ++i) {
+    NodeId cur = static_cast<NodeId>(i);
+    std::set<NodeId> visited;
+    while (cur != kSinkId) {
+      ASSERT_TRUE(visited.insert(cur).second) << "routing loop at node " << cur;
+      const NodeId parent = net.node(cur).routing().parent();
+      ASSERT_NE(parent, kInvalidNode) << "node " << cur << " routeless";
+      cur = parent;
+    }
+  }
+}
+
+TEST(Network, HighDeliveryWithArq) {
+  Network net(small_config(4));
+  net.run_for(600.0);
+  const auto stats = net.stats();
+  EXPECT_GT(stats.packets_generated, 1000u);
+  EXPECT_GT(stats.delivery_ratio(), 0.9);
+}
+
+TEST(Network, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    Network net(small_config(seed));
+    net.run_for(300.0);
+    return net.stats();
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.data_tx_attempts, b.data_tx_attempts);
+  EXPECT_EQ(a.parent_changes, b.parent_changes);
+  const auto c = run(8);
+  EXPECT_NE(a.data_tx_attempts, c.data_tx_attempts);
+}
+
+TEST(Network, TrueHopsChainFromOriginToSink) {
+  auto cfg = small_config(5);
+  Network net(cfg);
+  net.run_for(300.0);
+  std::size_t checked = 0;
+  for (const auto& outcome : net.traces().outcomes()) {
+    if (outcome.fate != PacketFate::kDelivered) continue;
+    const auto& hops = outcome.packet.true_hops;
+    ASSERT_FALSE(hops.empty());
+    EXPECT_EQ(hops.front().sender, outcome.packet.origin);
+    EXPECT_EQ(hops.back().receiver, kSinkId);
+    for (std::size_t h = 1; h < hops.size(); ++h) {
+      EXPECT_EQ(hops[h].sender, hops[h - 1].receiver);
+    }
+    for (const auto& hop : hops) {
+      EXPECT_GE(hop.attempts_to_first_rx, 1u);
+      EXPECT_LE(hop.attempts_to_first_rx, cfg.mac.max_attempts);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 500u);
+}
+
+TEST(Network, PerOriginTalliesConsistent) {
+  Network net(small_config(6));
+  net.run_for(400.0);
+  const auto& per_origin = net.traces().per_origin();
+  std::uint64_t generated = 0, delivered = 0;
+  for (const auto& [origin, tally] : per_origin) {
+    EXPECT_LE(tally.delivered, tally.generated);
+    generated += tally.generated;
+    delivered += tally.delivered;
+  }
+  // Packets still queued/in flight at run end have not finished, so the
+  // trace may lag the generation counter by at most the total queue capacity.
+  EXPECT_LE(generated, net.stats().packets_generated);
+  const std::uint64_t capacity =
+      net.node_count() * (net.config().traffic.queue_capacity + 1);
+  EXPECT_GE(generated + capacity, net.stats().packets_generated);
+  EXPECT_EQ(delivered, net.stats().packets_delivered);
+}
+
+TEST(Network, BeaconsFlow) {
+  Network net(small_config(7));
+  net.run_for(100.0);
+  EXPECT_GT(net.stats().beacons_sent, 100u);
+}
+
+TEST(Network, FloodReachesEveryNodeWithDepthDelay) {
+  Network net(small_config(8));
+  net.run_for(100.0);
+  std::set<NodeId> installed;
+  std::vector<SimTime> times;
+  net.flood_from_sink(40, [&](NodeId node, SimTime at) {
+    installed.insert(node);
+    times.push_back(at);
+  });
+  net.run_for(30.0);
+  EXPECT_EQ(installed.size(), net.node_count() - 1);
+  EXPECT_EQ(net.stats().control_flood_bytes, 40 * net.node_count());
+  for (const SimTime t : times) EXPECT_GT(t, 100.0 * 1e6);
+}
+
+TEST(Network, PeriodicHookFires) {
+  Network net(small_config(9));
+  int fires = 0;
+  net.add_periodic(10.0, [&](SimTime) { ++fires; });
+  net.run_for(95.0);
+  EXPECT_EQ(fires, 9);
+}
+
+TEST(Network, MeasurementAirBytesZeroWithoutInstrumentation) {
+  Network net(small_config(10));
+  net.run_for(200.0);
+  EXPECT_EQ(net.stats().measurement_air_bytes, 0u);
+}
+
+TEST(Network, GilbertElliottConfigRuns) {
+  auto cfg = small_config(11);
+  cfg.loss.kind = LossConfig::Kind::kGilbertElliott;
+  Network net(cfg);
+  net.run_for(900.0);
+  // Bursty bad states (loss up to 4x the base) legitimately dent delivery;
+  // the network must still move a majority of traffic once converged.
+  EXPECT_GT(net.stats().delivery_ratio(), 0.5);
+  EXPECT_GT(net.stats().packets_delivered, 1500u);
+}
+
+TEST(Network, ChurnKillsAndRevivesNodes) {
+  auto cfg = small_config(20);
+  cfg.churn.enabled = true;
+  cfg.churn.churn_fraction = 0.4;
+  cfg.churn.mean_up_s = 120.0;
+  cfg.churn.mean_down_s = 30.0;
+  Network net(cfg);
+  net.run_for(1200.0);
+  const auto stats = net.stats();
+  EXPECT_GT(stats.node_failures, 5u);
+  // Traffic keeps flowing around failures.
+  EXPECT_GT(stats.delivery_ratio(), 0.6);
+  EXPECT_GT(stats.packets_delivered, 1000u);
+}
+
+TEST(Network, ChurnDisabledByDefault) {
+  Network net(small_config(21));
+  net.run_for(600.0);
+  EXPECT_EQ(net.stats().node_failures, 0u);
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    EXPECT_TRUE(net.node(static_cast<NodeId>(i)).alive());
+  }
+}
+
+TEST(Network, TriggeredBeaconsCoalesce) {
+  Network net(small_config(22));
+  net.run_for(60.0);
+  const auto before = net.stats().beacons_sent;
+  // Many triggers in one instant must produce one extra beacon per node.
+  for (int i = 0; i < 10; ++i) net.trigger_beacon(5);
+  net.run_for(1.0);
+  const auto after = net.stats().beacons_sent;
+  EXPECT_LE(after - before, 3u);  // the coalesced trigger (+ maybe periodic)
+}
+
+TEST(Network, DriftingConfigCausesParentChurn) {
+  auto base = small_config(12);
+  Network net_static(base);
+  net_static.run_for(900.0);
+
+  auto dynamic_cfg = small_config(12);
+  dynamic_cfg.loss.kind = LossConfig::Kind::kDrifting;
+  dynamic_cfg.loss.drift_shuffle_interval_s = 120.0;
+  dynamic_cfg.loss.drift_shuffle_spread = 0.2;
+  Network net_dynamic(dynamic_cfg);
+  net_dynamic.run_for(900.0);
+
+  EXPECT_GT(net_dynamic.stats().parent_changes, net_static.stats().parent_changes);
+}
+
+}  // namespace
+}  // namespace dophy::net

@@ -1,0 +1,83 @@
+#include "dophy/net/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::net {
+namespace {
+
+Node make_node(NodeId id = 5, std::size_t queue_capacity = 4) {
+  return Node(id, id == kSinkId, RoutingConfig{}, dophy::common::Rng(7), queue_capacity);
+}
+
+TEST(Node, QueueFifoOrder) {
+  Node n = make_node();
+  for (std::uint16_t s = 0; s < 3; ++s) {
+    Packet p;
+    p.origin = 1;
+    p.seq = s;
+    ASSERT_TRUE(n.enqueue(std::move(p)));
+  }
+  EXPECT_EQ(n.queue_depth(), 3u);
+  for (std::uint16_t s = 0; s < 3; ++s) EXPECT_EQ(n.dequeue().seq, s);
+  EXPECT_TRUE(n.queue_empty());
+}
+
+TEST(Node, QueueCapacityEnforced) {
+  Node n = make_node(5, 2);
+  Packet a, b, c;
+  EXPECT_TRUE(n.enqueue(std::move(a)));
+  EXPECT_TRUE(n.enqueue(std::move(b)));
+  EXPECT_FALSE(n.enqueue(std::move(c)));
+  // Rejected packet was not moved from.
+  EXPECT_EQ(c.origin, kInvalidNode);
+}
+
+TEST(Node, DequeueEmptyThrows) {
+  Node n = make_node();
+  EXPECT_THROW((void)n.dequeue(), std::logic_error);
+}
+
+TEST(Node, DedupeKeySemantics) {
+  Node n = make_node();
+  EXPECT_FALSE(n.check_and_mark_seen(0xABCD0001));
+  EXPECT_TRUE(n.check_and_mark_seen(0xABCD0001));
+  // Same flow, different hop count (THL) is a distinct key -> not duplicate.
+  EXPECT_FALSE(n.check_and_mark_seen(0xABCD0002));
+}
+
+TEST(Node, SeenCacheEvictsOldEntries) {
+  Node n = make_node();
+  for (std::uint64_t k = 0; k < 5000; ++k) (void)n.check_and_mark_seen(k);
+  // Early keys were evicted from the bounded cache.
+  EXPECT_FALSE(n.check_and_mark_seen(0));
+  // Recent keys are still present.
+  EXPECT_TRUE(n.check_and_mark_seen(4999));
+}
+
+TEST(Node, SequenceNumbersIncrement) {
+  Node n = make_node();
+  EXPECT_EQ(n.next_data_seq(), 0);
+  EXPECT_EQ(n.next_data_seq(), 1);
+  EXPECT_EQ(n.next_beacon_seq(), 0);
+  EXPECT_EQ(n.next_beacon_seq(), 1);
+}
+
+TEST(Node, AliveAndBusyFlags) {
+  Node n = make_node();
+  EXPECT_TRUE(n.alive());
+  EXPECT_FALSE(n.tx_busy());
+  n.set_alive(false);
+  n.set_tx_busy(true);
+  EXPECT_FALSE(n.alive());
+  EXPECT_TRUE(n.tx_busy());
+}
+
+TEST(Node, SinkFlagWired) {
+  Node sink(kSinkId, true, RoutingConfig{}, dophy::common::Rng(1), 4);
+  EXPECT_TRUE(sink.is_sink());
+  EXPECT_TRUE(sink.routing().has_route());
+  EXPECT_DOUBLE_EQ(sink.routing().path_etx(), 0.0);
+}
+
+}  // namespace
+}  // namespace dophy::net

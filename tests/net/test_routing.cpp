@@ -1,0 +1,173 @@
+#include "dophy/net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::net {
+namespace {
+
+RoutingConfig default_cfg() { return RoutingConfig{}; }
+
+TEST(RoutingState, SinkHasZeroPathEtx) {
+  RoutingState sink(kSinkId, true, default_cfg());
+  EXPECT_DOUBLE_EQ(sink.path_etx(), 0.0);
+  EXPECT_TRUE(sink.has_route());
+  EXPECT_FALSE(sink.select_parent(0));
+}
+
+TEST(RoutingState, NoBeaconsNoRoute) {
+  RoutingState node(5, false, default_cfg());
+  EXPECT_FALSE(node.has_route());
+  EXPECT_EQ(node.path_etx(), kInfiniteEtx);
+  EXPECT_FALSE(node.select_parent(0));
+}
+
+TEST(RoutingState, AdoptsBeaconingNeighbor) {
+  RoutingState node(5, false, default_cfg());
+  node.on_beacon(1, 0.0, 0, 0);  // neighbor 1 advertises sink-adjacent
+  EXPECT_TRUE(node.select_parent(0));
+  EXPECT_EQ(node.parent(), 1);
+  EXPECT_TRUE(node.has_route());
+  EXPECT_LT(node.path_etx(), kInfiniteEtx);
+  EXPECT_EQ(node.parent_changes(), 1u);
+}
+
+TEST(RoutingState, PrefersLowerTotalMetric) {
+  RoutingState node(5, false, default_cfg());
+  node.on_beacon(1, 10.0, 0, 0);
+  node.on_beacon(2, 1.0, 0, 0);
+  (void)node.select_parent(0);
+  EXPECT_EQ(node.parent(), 2);
+}
+
+TEST(RoutingState, HysteresisPreventsFlapping) {
+  RoutingConfig cfg;
+  cfg.switch_hysteresis = 1.5;
+  RoutingState node(5, false, cfg);
+  node.on_beacon(1, 2.0, 0, 0);
+  (void)node.select_parent(0);
+  ASSERT_EQ(node.parent(), 1);
+  // Neighbor 2 is better by less than the hysteresis: keep the parent.
+  node.on_beacon(2, 1.2, 0, 0);
+  EXPECT_FALSE(node.select_parent(0));
+  EXPECT_EQ(node.parent(), 1);
+  // Much better candidate: switch.
+  node.on_beacon(3, 0.0, 0, 0);
+  EXPECT_TRUE(node.select_parent(0));
+  EXPECT_EQ(node.parent(), 3);
+  EXPECT_EQ(node.parent_changes(), 2u);
+}
+
+TEST(RoutingState, GradientRuleBlocksUphillParents) {
+  RoutingState node(5, false, default_cfg());
+  node.on_beacon(1, 3.0, 0, 0);
+  (void)node.select_parent(0);
+  const double own = node.path_etx();
+  ASSERT_LT(own, kInfiniteEtx);
+  // Neighbor advertising a worse path than our own position is not eligible,
+  // even if its link looks great.
+  node.on_beacon(2, own + 1.0, 0, 0);
+  (void)node.select_parent(0);
+  EXPECT_EQ(node.parent(), 1);
+}
+
+TEST(RoutingState, DataTxUpdatesPathEtx) {
+  RoutingState node(5, false, default_cfg());
+  node.on_beacon(1, 0.0, 0, 0);
+  (void)node.select_parent(0);
+  const double before = node.path_etx();
+  for (int i = 0; i < 10; ++i) node.on_data_tx(1, 6, true);  // expensive link
+  EXPECT_GT(node.path_etx(), before);
+}
+
+TEST(RoutingState, BadParentAbandonedForBetter) {
+  RoutingConfig cfg;
+  RoutingState node(5, false, cfg);
+  node.on_beacon(1, 1.0, 0, 0);
+  (void)node.select_parent(0);
+  ASSERT_EQ(node.parent(), 1);
+  // Parent's link deteriorates badly.
+  for (int i = 0; i < 20; ++i) node.on_data_tx(1, 8, false);
+  node.on_beacon(2, 1.0, 0, 0);
+  (void)node.select_parent(0);
+  EXPECT_EQ(node.parent(), 2);
+}
+
+TEST(RoutingState, StaleNeighborsExpire) {
+  RoutingConfig cfg;
+  cfg.neighbor_timeout_s = 10.0;
+  RoutingState node(5, false, cfg);
+  node.on_beacon(1, 0.0, 0, 0);
+  node.on_beacon(2, 0.0, 0, /*now=*/0);
+  (void)node.select_parent(0);
+  // 2 minutes later, neither has beaconed again; the non-parent is dropped.
+  (void)node.select_parent(static_cast<SimTime>(120e6));
+  const auto known = node.known_neighbors();
+  EXPECT_EQ(known.size(), 1u);
+  EXPECT_EQ(known[0], node.parent());
+}
+
+TEST(RoutingState, FallbackJoinWithoutGradientCandidate) {
+  // A node with no route must adopt *some* neighbor even when the gradient
+  // rule has no strict-progress candidate.
+  RoutingState node(5, false, default_cfg());
+  node.on_beacon(7, 42.0, 0, 0);  // terrible but the only option
+  EXPECT_TRUE(node.select_parent(0));
+  EXPECT_EQ(node.parent(), 7);
+}
+
+TEST(RoutingState, NeighborPathEtxQueries) {
+  RoutingState node(5, false, default_cfg());
+  EXPECT_EQ(node.neighbor_path_etx(3), kInfiniteEtx);
+  node.on_beacon(3, 4.5, 0, 0);
+  EXPECT_DOUBLE_EQ(node.neighbor_path_etx(3), 4.5);
+  EXPECT_DOUBLE_EQ(node.link_etx(99), default_cfg().estimator.initial_etx);
+}
+
+TEST(RoutingState, OpportunisticForwarderDefaultsToParent) {
+  RoutingState node(5, false, default_cfg());  // fraction 0
+  node.on_beacon(1, 0.0, 0, 0);
+  node.on_beacon(2, 0.0, 0, 0);
+  (void)node.select_parent(0);
+  dophy::common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(node.select_forwarder(rng), node.parent());
+}
+
+TEST(RoutingState, OpportunisticForwarderUsesAlternates) {
+  RoutingConfig cfg;
+  cfg.opportunistic_fraction = 0.5;
+  RoutingState node(5, false, cfg);
+  node.on_beacon(1, 0.0, 0, 0);
+  node.on_beacon(2, 0.1, 0, 0);  // near-equal alternate
+  (void)node.select_parent(0);
+  dophy::common::Rng rng(2);
+  int parent_hits = 0, alt_hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId f = node.select_forwarder(rng);
+    if (f == node.parent()) ++parent_hits;
+    else if (f == 1 || f == 2) ++alt_hits;
+    else FAIL() << "forwarder outside candidate set";
+  }
+  EXPECT_GT(alt_hits, 500);
+  EXPECT_GT(parent_hits, 500);
+}
+
+TEST(RoutingState, OpportunisticSkipsBadAlternates) {
+  RoutingConfig cfg;
+  cfg.opportunistic_fraction = 1.0;
+  RoutingState node(5, false, cfg);
+  node.on_beacon(1, 0.0, 0, 0);
+  (void)node.select_parent(0);
+  node.on_beacon(2, 40.0, 0, 0);  // way uphill: never a forwarder
+  dophy::common::Rng rng(3);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(node.select_forwarder(rng), 1);
+}
+
+TEST(RoutingState, IgnoresSelfBeacons) {
+  RoutingState node(5, false, default_cfg());
+  node.on_beacon(5, 0.0, 0, 0);
+  EXPECT_FALSE(node.select_parent(0));
+  EXPECT_TRUE(node.known_neighbors().empty());
+}
+
+}  // namespace
+}  // namespace dophy::net

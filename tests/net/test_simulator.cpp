@@ -1,0 +1,124 @@
+#include "dophy/net/simulator.hpp"
+
+#include "dophy/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace dophy::net {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, EventsSeeTheirOwnTimestamp) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(10, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(25, [&] { seen.push_back(sim.now()); });
+  sim.run_until(100);
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 25}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  sim.run_until(50);
+  SimTime fired = -1;
+  sim.schedule_in(10, [&] { fired = sim.now(); });
+  sim.run_until(100);
+  EXPECT_EQ(fired, 60);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.run_until(100);
+  EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.schedule_in(5, [&] { ++fired; });
+  });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(11, [&] { ++fired; });
+  sim.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);
+  sim.run_until(11);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StressManyEventsDeterministic) {
+  // 200k self-scheduling events: order and final state must be identical
+  // across runs (heap stability + deterministic tie-breaking).
+  auto run = [] {
+    Simulator sim;
+    dophy::common::Rng rng(99);
+    std::uint64_t checksum = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+      checksum = checksum * 31 + static_cast<std::uint64_t>(sim.now());
+      if (depth <= 0) return;
+      const int fanout = 1 + static_cast<int>(rng.next_below(2));
+      for (int i = 0; i < fanout; ++i) {
+        sim.schedule_in(static_cast<SimTime>(rng.next_below(1000)),
+                        [&spawn, depth] { spawn(depth - 1); });
+      }
+    };
+    for (int i = 0; i < 2000; ++i) {
+      sim.schedule_at(static_cast<SimTime>(rng.next_below(5000)), [&spawn] { spawn(6); });
+    }
+    sim.run_all();
+    return std::make_pair(checksum, sim.executed_count());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 50000u);
+}
+
+TEST(Simulator, RunAllDrains) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule_at(i, [&] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.executed_count(), 10u);
+}
+
+}  // namespace
+}  // namespace dophy::net

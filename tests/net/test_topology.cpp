@@ -1,0 +1,141 @@
+#include "dophy/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::net {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig cfg;
+  cfg.node_count = 50;
+  cfg.field_size = 120.0;
+  cfg.comm_range = 40.0;
+  return cfg;
+}
+
+TEST(Topology, GeneratedConnected) {
+  dophy::common::Rng rng(1);
+  const auto topo = Topology::generate(small_config(), rng);
+  EXPECT_TRUE(topo.is_connected());
+  EXPECT_EQ(topo.node_count(), 50u);
+}
+
+TEST(Topology, SinkPlacementCorner) {
+  dophy::common::Rng rng(2);
+  auto cfg = small_config();
+  cfg.sink_placement = SinkPlacement::kCorner;
+  const auto topo = Topology::generate(cfg, rng);
+  EXPECT_DOUBLE_EQ(topo.position(kSinkId).x, 0.0);
+  EXPECT_DOUBLE_EQ(topo.position(kSinkId).y, 0.0);
+}
+
+TEST(Topology, SinkPlacementCenter) {
+  dophy::common::Rng rng(3);
+  auto cfg = small_config();
+  cfg.sink_placement = SinkPlacement::kCenter;
+  const auto topo = Topology::generate(cfg, rng);
+  EXPECT_DOUBLE_EQ(topo.position(kSinkId).x, cfg.field_size / 2.0);
+}
+
+TEST(Topology, NeighborsWithinRange) {
+  dophy::common::Rng rng(4);
+  const auto topo = Topology::generate(small_config(), rng);
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    for (const NodeId v : topo.neighbors(static_cast<NodeId>(u))) {
+      EXPECT_LE(topo.distance(static_cast<NodeId>(u), v), topo.comm_range());
+      EXPECT_NE(static_cast<NodeId>(u), v);
+    }
+  }
+}
+
+TEST(Topology, NeighborSymmetry) {
+  dophy::common::Rng rng(5);
+  const auto topo = Topology::generate(small_config(), rng);
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    for (const NodeId v : topo.neighbors(static_cast<NodeId>(u))) {
+      EXPECT_TRUE(topo.are_neighbors(v, static_cast<NodeId>(u)));
+    }
+  }
+}
+
+TEST(Topology, HopsToSinkMonotoneAcrossEdges) {
+  dophy::common::Rng rng(6);
+  const auto topo = Topology::generate(small_config(), rng);
+  const auto hops = topo.hops_to_sink();
+  EXPECT_EQ(hops[kSinkId], 0);
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    for (const NodeId v : topo.neighbors(static_cast<NodeId>(u))) {
+      EXPECT_LE(static_cast<int>(hops[u]), hops[v] + 1);
+    }
+  }
+}
+
+TEST(Topology, DirectedLinksBothDirections) {
+  dophy::common::Rng rng(7);
+  const auto topo = Topology::generate(small_config(), rng);
+  const auto links = topo.directed_links();
+  std::size_t expected = 0;
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    expected += topo.neighbors(static_cast<NodeId>(u)).size();
+  }
+  EXPECT_EQ(links.size(), expected);
+  for (const auto& key : links) {
+    EXPECT_TRUE(topo.are_neighbors(key.from, key.to));
+  }
+}
+
+TEST(Topology, GridLayoutConnected) {
+  dophy::common::Rng rng(8);
+  auto cfg = small_config();
+  cfg.layout = Layout::kGrid;
+  cfg.node_count = 49;
+  const auto topo = Topology::generate(cfg, rng);
+  EXPECT_TRUE(topo.is_connected());
+}
+
+TEST(Topology, ImpossibleConfigThrows) {
+  dophy::common::Rng rng(9);
+  TopologyConfig cfg;
+  cfg.node_count = 100;
+  cfg.field_size = 10000.0;  // hopelessly sparse
+  cfg.comm_range = 5.0;
+  cfg.max_generation_attempts = 3;
+  EXPECT_THROW((void)Topology::generate(cfg, rng), std::runtime_error);
+}
+
+TEST(Topology, InvalidArgsRejected) {
+  dophy::common::Rng rng(10);
+  TopologyConfig cfg;
+  cfg.node_count = 1;
+  EXPECT_THROW((void)Topology::generate(cfg, rng), std::invalid_argument);
+  cfg = small_config();
+  cfg.comm_range = 0.0;
+  EXPECT_THROW((void)Topology::generate(cfg, rng), std::invalid_argument);
+}
+
+TEST(Topology, DeterministicForSeed) {
+  dophy::common::Rng rng_a(42), rng_b(42);
+  const auto a = Topology::generate(small_config(), rng_a);
+  const auto b = Topology::generate(small_config(), rng_b);
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.position(static_cast<NodeId>(i)).x,
+                     b.position(static_cast<NodeId>(i)).x);
+    EXPECT_DOUBLE_EQ(a.position(static_cast<NodeId>(i)).y,
+                     b.position(static_cast<NodeId>(i)).y);
+  }
+}
+
+TEST(LinkKey, PackedAndOrdering) {
+  const LinkKey a{1, 2};
+  const LinkKey b{1, 3};
+  const LinkKey c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.packed(), 0x00010002u);
+  EXPECT_EQ(LinkKeyHash{}(a), LinkKeyHash{}(LinkKey{1, 2}));
+}
+
+}  // namespace
+}  // namespace dophy::net

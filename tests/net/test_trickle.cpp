@@ -1,0 +1,131 @@
+#include "dophy/net/trickle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dophy::net {
+namespace {
+
+NetworkConfig trickle_net_config(std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology.node_count = 30;
+  cfg.topology.field_size = 100.0;
+  cfg.topology.comm_range = 40.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Trickle, PublishReachesEveryNode) {
+  Network net(trickle_net_config(1));
+  std::set<NodeId> installed;
+  TrickleDissemination trickle(net, TrickleConfig{},
+                               [&](NodeId node, std::uint8_t version, SimTime) {
+                                 if (version == 1) installed.insert(node);
+                               });
+  net.run_for(10.0);
+  trickle.publish(1, 100);
+  net.run_for(120.0);
+  EXPECT_EQ(installed.size(), net.node_count());
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    EXPECT_EQ(trickle.installed_version(static_cast<NodeId>(i)), 1);
+  }
+  EXPECT_GT(trickle.stats().transmissions, net.node_count() / 2);
+  EXPECT_GT(trickle.stats().install_latency_s.count(), 0u);
+}
+
+TEST(Trickle, NewerVersionSupersedes) {
+  Network net(trickle_net_config(2));
+  TrickleDissemination trickle(net, TrickleConfig{},
+                               [](NodeId, std::uint8_t, SimTime) {});
+  trickle.publish(1, 100);
+  net.run_for(120.0);
+  trickle.publish(2, 100);
+  net.run_for(120.0);
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    EXPECT_EQ(trickle.installed_version(static_cast<NodeId>(i)), 2);
+  }
+}
+
+TEST(Trickle, SuppressionLimitsSteadyStateTraffic) {
+  Network net(trickle_net_config(3));
+  TrickleConfig cfg;
+  cfg.redundancy_k = 1;  // aggressive suppression
+  TrickleDissemination trickle(net, cfg, [](NodeId, std::uint8_t, SimTime) {});
+  trickle.publish(1, 100);
+  net.run_for(120.0);
+  const auto after_spread = trickle.stats().transmissions;
+  net.run_for(600.0);
+  const auto later = trickle.stats().transmissions;
+  // Steady state: with I_max = 64s and k=1, dense neighborhoods suppress
+  // most transmissions — well under one per node per interval.
+  const double per_node_per_interval =
+      static_cast<double>(later - after_spread) /
+      (600.0 / cfg.i_max_s) / static_cast<double>(net.node_count());
+  EXPECT_LT(per_node_per_interval, 0.9);
+  EXPECT_GT(trickle.stats().suppressions, 0u);
+}
+
+TEST(Trickle, InstallLatencyScalesWithDepth) {
+  Network net(trickle_net_config(4));
+  dophy::common::RunningStats latency;
+  TrickleDissemination trickle(net, TrickleConfig{},
+                               [&](NodeId node, std::uint8_t, SimTime) {
+                                 if (node != kSinkId) latency.add(0.0);
+                               });
+  net.run_for(5.0);
+  trickle.publish(1, 64);
+  net.run_for(120.0);
+  const auto& stats = trickle.stats();
+  // Multi-hop spread cannot be instantaneous, and with i_min = 1s it should
+  // finish within a couple of minutes.
+  EXPECT_GT(stats.install_latency_s.mean(), 0.2);
+  EXPECT_LT(stats.install_latency_s.max(), 120.0);
+}
+
+TEST(Trickle, RevivedChurnNodesCatchUp) {
+  auto cfg = trickle_net_config(7);
+  cfg.churn.enabled = true;
+  cfg.churn.churn_fraction = 0.3;
+  cfg.churn.mean_up_s = 60.0;
+  cfg.churn.mean_down_s = 20.0;
+  Network net(cfg);
+  TrickleDissemination trickle(net, TrickleConfig{},
+                               [](NodeId, std::uint8_t, SimTime) {});
+  trickle.publish(1, 80);
+  net.run_for(600.0);
+  // Gossip keeps running, so even nodes that were down during the initial
+  // spread converge once they revive (they are alive most of the time).
+  std::size_t current = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    current += trickle.installed_version(static_cast<NodeId>(i)) == 1;
+  }
+  EXPECT_GE(current, net.node_count() - 3);
+}
+
+TEST(Trickle, RejectsBadConfig) {
+  Network net(trickle_net_config(5));
+  TrickleConfig bad;
+  bad.i_min_s = 0.0;
+  EXPECT_THROW(TrickleDissemination(net, bad, [](NodeId, std::uint8_t, SimTime) {}),
+               std::invalid_argument);
+  TrickleConfig inverted;
+  inverted.i_min_s = 10.0;
+  inverted.i_max_s = 1.0;
+  EXPECT_THROW(
+      TrickleDissemination(net, inverted, [](NodeId, std::uint8_t, SimTime) {}),
+      std::invalid_argument);
+  EXPECT_THROW(TrickleDissemination(net, TrickleConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST(Trickle, BytesAccounted) {
+  Network net(trickle_net_config(6));
+  TrickleDissemination trickle(net, TrickleConfig{},
+                               [](NodeId, std::uint8_t, SimTime) {});
+  trickle.publish(1, 77);
+  net.run_for(60.0);
+  EXPECT_EQ(trickle.stats().bytes_sent, trickle.stats().transmissions * 77);
+}
+
+}  // namespace
+}  // namespace dophy::net

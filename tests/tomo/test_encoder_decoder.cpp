@@ -1,0 +1,325 @@
+// End-to-end tests of the in-packet encoder + sink decoder pair, without the
+// network: hops are applied manually so every path/count combination can be
+// exercised deterministically.
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+
+struct Hop {
+  NodeId receiver;
+  std::uint32_t attempts;
+};
+
+/// Applies a hop sequence through the instrumentation as the simulator would.
+Packet make_packet(DophyInstrumentation& instr, NodeId origin, const std::vector<Hop>& hops) {
+  Packet packet;
+  packet.origin = origin;
+  packet.seq = 1;
+  instr.on_origin(packet, origin, 0);
+  NodeId sender = origin;
+  for (const Hop& hop : hops) {
+    instr.on_hop_received(packet, hop.receiver, sender, hop.attempts, 0);
+    sender = hop.receiver;
+  }
+  return packet;
+}
+
+TEST(EncoderDecoder, SingleHopRoundTrip) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  const Packet packet = make_packet(instr, 3, {{kSinkId, 2}});
+  const auto decoded = decoder.decode(packet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->origin, 3);
+  ASSERT_EQ(decoded->hops.size(), 1u);
+  EXPECT_EQ(decoded->hops[0].sender, 3);
+  EXPECT_EQ(decoded->hops[0].receiver, kSinkId);
+  EXPECT_EQ(decoded->hops[0].observation.attempts, 2u);
+  EXPECT_FALSE(decoded->hops[0].observation.censored);
+}
+
+TEST(EncoderDecoder, MultiHopPathReconstruction) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(20, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  const std::vector<Hop> hops{{7, 1}, {12, 3}, {4, 1}, {kSinkId, 2}};
+  const Packet packet = make_packet(instr, 15, hops);
+  const auto decoded = decoder.decode(packet);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->hops.size(), hops.size());
+  NodeId sender = 15;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(decoded->hops[i].sender, sender);
+    EXPECT_EQ(decoded->hops[i].receiver, hops[i].receiver);
+    EXPECT_EQ(decoded->hops[i].observation.attempts, hops[i].attempts);
+    sender = hops[i].receiver;
+  }
+}
+
+TEST(EncoderDecoder, CensoredCountsSurviveWithLowerBound) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  const Packet packet = make_packet(instr, 2, {{5, 9}, {kSinkId, 4}});
+  const auto decoded = decoder.decode(packet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->hops[0].observation.censored);
+  EXPECT_EQ(decoded->hops[0].observation.attempts, 4u);  // lower bound K
+  EXPECT_TRUE(decoded->hops[1].observation.censored);
+}
+
+TEST(EncoderDecoder, RandomizedPathsSweep) {
+  dophy::common::Rng rng(42);
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(50, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId origin = 1 + static_cast<NodeId>(rng.next_below(49));
+    std::vector<Hop> hops;
+    const std::size_t len = 1 + rng.next_below(10);
+    for (std::size_t i = 0; i + 1 < len; ++i) {
+      hops.push_back({static_cast<NodeId>(1 + rng.next_below(49)),
+                      1 + static_cast<std::uint32_t>(rng.next_below(8))});
+    }
+    hops.push_back({kSinkId, 1 + static_cast<std::uint32_t>(rng.next_below(8))});
+
+    const Packet packet = make_packet(instr, origin, hops);
+    const auto decoded = decoder.decode(packet);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    ASSERT_EQ(decoded->hops.size(), hops.size());
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      EXPECT_EQ(decoded->hops[i].receiver, hops[i].receiver);
+      const auto expect_attempts = std::min(hops[i].attempts, 4u);
+      EXPECT_EQ(decoded->hops[i].observation.attempts, expect_attempts);
+      EXPECT_EQ(decoded->hops[i].observation.censored, hops[i].attempts >= 4);
+    }
+  }
+  EXPECT_EQ(decoder.stats().decode_failures, 0u);
+  EXPECT_EQ(decoder.stats().packets_decoded, 500u);
+}
+
+TEST(EncoderDecoder, CompactEncoding) {
+  // With a learned skewed model, 6 hops of (id, count=1) must cost far less
+  // than the naive 6 * (6-bit id + 3-bit count) = 54 bits.
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(50, mapper);
+
+  // Teach a strongly skewed model: relay set {1..5}, counts mostly 1.
+  std::vector<std::uint64_t> id_counts(50, 1);
+  for (NodeId id = 1; id <= 5; ++id) id_counts[id] = 4000;
+  id_counts[kSinkId] = 4000;
+  ModelSet learned(1, dophy::coding::StaticModel(id_counts),
+                   dophy::coding::StaticModel(std::vector<std::uint64_t>{900, 70, 20, 10}));
+  for (NodeId n = 0; n < 50; ++n) instr.install(n, learned);
+
+  const Packet packet =
+      make_packet(instr, 9, {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {kSinkId, 1}});
+  EXPECT_LT(packet.blob.logical_bits, 40u);
+
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+  const auto decoded = decoder.decode(packet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->hops.size(), 6u);
+}
+
+TEST(EncoderDecoder, ModelVersionStampedAtOrigin) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  // Install v1 everywhere.
+  ModelSet v1(1, dophy::coding::StaticModel(10), dophy::coding::StaticModel(4));
+  for (NodeId n = 0; n < 10; ++n) instr.install(n, v1);
+
+  const Packet packet = make_packet(instr, 2, {{kSinkId, 1}});
+  EXPECT_EQ(packet.blob.model_version, 1);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+  EXPECT_TRUE(decoder.decode(packet).has_value());
+}
+
+TEST(EncoderDecoder, MixedVersionsInFlight) {
+  // Old-version packets decode with the old model even after an update.
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  const Packet old_packet = make_packet(instr, 2, {{5, 2}, {kSinkId, 1}});
+
+  ModelSet v1(1, dophy::coding::StaticModel(std::vector<std::uint64_t>{50, 9, 9, 9, 9, 1, 1, 1, 1, 1}),
+              dophy::coding::StaticModel(std::vector<std::uint64_t>{20, 4, 2, 1}));
+  for (NodeId n = 0; n < 10; ++n) instr.install(n, v1);
+
+  const Packet new_packet = make_packet(instr, 2, {{5, 2}, {kSinkId, 1}});
+  EXPECT_EQ(old_packet.blob.model_version, 0);
+  EXPECT_EQ(new_packet.blob.model_version, 1);
+
+  const auto old_decoded = decoder.decode(old_packet);
+  const auto new_decoded = decoder.decode(new_packet);
+  ASSERT_TRUE(old_decoded.has_value());
+  ASSERT_TRUE(new_decoded.has_value());
+  EXPECT_EQ(old_decoded->hops[0].observation.attempts, 2u);
+  EXPECT_EQ(new_decoded->hops[0].observation.attempts, 2u);
+}
+
+TEST(EncoderDecoder, UnknownVersionFailsCleanly) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  Packet packet = make_packet(instr, 2, {{kSinkId, 1}});
+  packet.blob.model_version = 99;
+  EXPECT_FALSE(decoder.decode(packet).has_value());
+  EXPECT_EQ(decoder.stats().decode_failures, 1u);
+}
+
+TEST(EncoderDecoder, UnfinalizedBlobRejected) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  // Path that never reaches the sink: state trailer still present.
+  const Packet packet = make_packet(instr, 2, {{5, 1}, {7, 2}});
+  EXPECT_NE(packet.blob.state_size, 0);
+  EXPECT_FALSE(decoder.decode(packet).has_value());
+}
+
+TEST(EncoderDecoder, CorruptStreamFailsCleanly) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper, /*max_hops=*/8);
+
+  Packet packet = make_packet(instr, 2, {{5, 1}, {kSinkId, 2}});
+  // Flip bits: decoding must terminate (failure or bounded-length path).
+  for (auto& b : packet.blob.bytes) b = static_cast<std::uint8_t>(~b);
+  const auto decoded = decoder.decode(packet);
+  if (decoded.has_value()) {
+    EXPECT_LE(decoded->hops.size(), 8u);
+  }
+}
+
+TEST(EncoderDecoder, EncoderStatsAccumulate) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  (void)make_packet(instr, 1, {{2, 1}, {kSinkId, 1}});
+  (void)make_packet(instr, 3, {{kSinkId, 2}});
+  EXPECT_EQ(instr.stats().packets_originated, 2u);
+  EXPECT_EQ(instr.stats().hops_encoded, 3u);
+  EXPECT_GT(instr.stats().total_bits_appended, 0u);
+  EXPECT_GT(instr.stats().mean_bits_per_hop(), 0.0);
+}
+
+TEST(EncoderDecoder, PayloadBudgetTruncatesLongPaths) {
+  const SymbolMapper mapper(4);
+  // Budget fits the 13-byte header + ~4 hops of stream.
+  DophyInstrumentation instr(30, mapper, /*max_wire_bytes=*/20);
+  DophyDecoder decoder(instr.store(kSinkId), mapper);
+
+  // A short path fits and decodes.
+  const Packet short_packet = make_packet(instr, 5, {{3, 1}, {kSinkId, 1}});
+  EXPECT_FALSE(short_packet.blob.truncated);
+  EXPECT_TRUE(decoder.decode(short_packet).has_value());
+
+  // A very long path exceeds the budget, gets flagged, and is rejected at
+  // the sink instead of decoding into a wrong path.
+  std::vector<Hop> long_hops;
+  for (NodeId n = 1; n <= 25; ++n) long_hops.push_back({n, 8});
+  long_hops.push_back({kSinkId, 8});
+  const Packet long_packet = make_packet(instr, 26, long_hops);
+  EXPECT_TRUE(long_packet.blob.truncated);
+  EXPECT_FALSE(decoder.decode(long_packet).has_value());
+  EXPECT_GT(instr.stats().truncated_hops, 0u);
+}
+
+TEST(EncoderDecoder, TruncationStopsAllLaterAppends) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(30, mapper, /*max_wire_bytes=*/16);
+  Packet packet;
+  packet.origin = 9;
+  instr.on_origin(packet, 9, 0);
+  // First hops fit; once the flag trips, the stream must stop growing.
+  std::uint32_t frozen_bits = 0;
+  for (NodeId n = 1; n <= 12; ++n) {
+    instr.on_hop_received(packet, n, static_cast<NodeId>(n - 1), 2, 0);
+    if (packet.blob.truncated && frozen_bits == 0) {
+      frozen_bits = packet.blob.logical_bits;
+    }
+    if (frozen_bits > 0) {
+      EXPECT_EQ(packet.blob.logical_bits, frozen_bits);
+    }
+  }
+  EXPECT_TRUE(packet.blob.truncated);
+}
+
+TEST(EncoderDecoder, UnlimitedBudgetNeverTruncates) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(30, mapper);
+  std::vector<Hop> hops;
+  for (NodeId n = 1; n <= 25; ++n) hops.push_back({n, 8});
+  hops.push_back({kSinkId, 1});
+  const Packet packet = make_packet(instr, 26, hops);
+  EXPECT_FALSE(packet.blob.truncated);
+  EXPECT_EQ(instr.stats().truncated_hops, 0u);
+}
+
+TEST(EncoderDecoder, DecoderFuzzNeverCrashes) {
+  // Random byte soup with random headers must either decode into a bounded
+  // path or fail cleanly — never crash, hang, or throw out of decode().
+  dophy::common::Rng rng(1234);
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(30, mapper);
+  DophyDecoder decoder(instr.store(kSinkId), mapper, /*max_hops=*/16);
+
+  std::uint64_t decoded_ok = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Packet packet;
+    packet.origin = static_cast<NodeId>(rng.next_below(30));
+    packet.blob.model_version = static_cast<std::uint8_t>(rng.next_below(3));
+    packet.blob.state_size = rng.bernoulli(0.1) ? 10 : 0;
+    const std::size_t len = rng.next_below(24);
+    packet.blob.bytes.resize(len);
+    for (auto& b : packet.blob.bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    packet.blob.logical_bits =
+        static_cast<std::uint32_t>(rng.next_below(8 * len + 16));
+    const auto decoded = decoder.decode(packet);
+    if (decoded) {
+      ++decoded_ok;
+      EXPECT_LE(decoded->hops.size(), 16u);
+      EXPECT_EQ(decoded->hops.back().receiver, kSinkId);
+    }
+  }
+  // Some random streams will happen to decode; most must not.
+  EXPECT_LT(decoded_ok, 1500u);
+}
+
+TEST(EncoderDecoder, UninstrumentedBlobCostsNothing) {
+  Packet packet;
+  EXPECT_EQ(packet.blob.wire_bytes(), 0u);
+}
+
+TEST(EncoderDecoder, WireBytesAccounting) {
+  const SymbolMapper mapper(4);
+  DophyInstrumentation instr(10, mapper);
+  Packet packet;
+  packet.origin = 1;
+  instr.on_origin(packet, 1, 0);
+  const auto origin_bytes = packet.blob.wire_bytes();
+  EXPECT_GE(origin_bytes, 13u);  // 10B state + version + bit count
+  instr.on_hop_received(packet, 5, 1, 1, 0);
+  EXPECT_GE(packet.blob.wire_bytes(), origin_bytes);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

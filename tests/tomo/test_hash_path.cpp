@@ -1,0 +1,194 @@
+// Hash-based path-recovery mode: instrumentation + graph-search decoder.
+
+#include <gtest/gtest.h>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/topology.hpp"
+#include "dophy/tomo/hash_path.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::net::Topology;
+using dophy::net::TopologyConfig;
+
+Topology test_topology(std::uint64_t seed = 1, std::size_t nodes = 40) {
+  TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.field_size = 120.0;
+  cfg.comm_range = 40.0;
+  dophy::common::Rng rng(seed);
+  return Topology::generate(cfg, rng);
+}
+
+/// Walks a real neighbor-graph path from `origin` toward the sink (greedy
+/// BFS-descent) and pushes it through the instrumentation.
+std::pair<Packet, std::vector<NodeId>> make_packet(HashPathInstrumentation& instr,
+                                                   const Topology& topo, NodeId origin,
+                                                   dophy::common::Rng& rng) {
+  const auto hops_to_sink = topo.hops_to_sink();
+  Packet packet;
+  packet.origin = origin;
+  instr.on_origin(packet, origin, 0);
+
+  std::vector<NodeId> path;
+  NodeId current = origin;
+  while (current != kSinkId) {
+    // Move to a neighbor strictly closer to the sink (always exists).
+    std::vector<NodeId> closer;
+    for (const NodeId n : topo.neighbors(current)) {
+      if (hops_to_sink[n] < hops_to_sink[current]) closer.push_back(n);
+    }
+    const NodeId next = closer[rng.next_below(closer.size())];
+    const auto attempts = 1 + static_cast<std::uint32_t>(rng.next_below(5));
+    ++packet.hop_count;  // the simulator increments before instrumenting
+    instr.on_hop_received(packet, next, current, attempts, 0);
+    path.push_back(next);
+    current = next;
+  }
+  return {std::move(packet), std::move(path)};
+}
+
+TEST(HashPathStep, OrderSensitive) {
+  const auto h1 = hash_path_step(hash_path_step(0, 3), 7);
+  const auto h2 = hash_path_step(hash_path_step(0, 7), 3);
+  EXPECT_NE(h1, h2);
+  EXPECT_LE(h1, kPathHashMask);
+}
+
+TEST(HashPath, RoundTripRecoversExactPaths) {
+  const auto topo = test_topology(2);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  HashPathDecoder decoder(instr.store(kSinkId), mapper, topo);
+  dophy::common::Rng rng(3);
+
+  int recovered = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId origin = static_cast<NodeId>(1 + rng.next_below(topo.node_count() - 1));
+    auto [packet, true_path] = make_packet(instr, topo, origin, rng);
+    const auto decoded = decoder.decode(packet);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    ASSERT_EQ(decoded->hops.size(), true_path.size());
+    bool exact = true;
+    for (std::size_t i = 0; i < true_path.size(); ++i) {
+      exact &= decoded->hops[i].receiver == true_path[i];
+    }
+    recovered += exact;
+  }
+  // 24-bit hashes may very occasionally collide onto a wrong path; nearly
+  // all must recover exactly.
+  EXPECT_GE(recovered, 297);
+  EXPECT_EQ(decoder.stats().search_failures, 0u);
+}
+
+TEST(HashPath, CountsSurviveWithCensoring) {
+  const auto topo = test_topology(4);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  HashPathDecoder decoder(instr.store(kSinkId), mapper, topo);
+  dophy::common::Rng rng(5);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId origin = static_cast<NodeId>(1 + rng.next_below(topo.node_count() - 1));
+    // Reimplement the walk but remember attempts.
+    const auto hops_to_sink = topo.hops_to_sink();
+    Packet packet;
+    packet.origin = origin;
+    instr.on_origin(packet, origin, 0);
+    std::vector<std::uint32_t> attempts_list;
+    NodeId current = origin;
+    while (current != kSinkId) {
+      std::vector<NodeId> closer;
+      for (const NodeId n : topo.neighbors(current)) {
+        if (hops_to_sink[n] < hops_to_sink[current]) closer.push_back(n);
+      }
+      const NodeId next = closer[rng.next_below(closer.size())];
+      const auto attempts = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+      attempts_list.push_back(attempts);
+      ++packet.hop_count;
+      instr.on_hop_received(packet, next, current, attempts, 0);
+      current = next;
+    }
+    const auto decoded = decoder.decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->hops.size(), attempts_list.size());
+    for (std::size_t i = 0; i < attempts_list.size(); ++i) {
+      EXPECT_EQ(decoded->hops[i].observation.attempts, std::min(attempts_list[i], 4u));
+      EXPECT_EQ(decoded->hops[i].observation.censored, attempts_list[i] >= 4);
+    }
+  }
+}
+
+TEST(HashPath, FixedOverheadIndependentOfIds) {
+  // The finalized blob is hash (3B) + count stream: for an L-hop path with
+  // mostly 1-attempt hops the whole field stays small and does NOT grow with
+  // the id alphabet.
+  const auto topo = test_topology(6, 40);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  dophy::common::Rng rng(7);
+  const auto [packet, path] = make_packet(instr, topo, static_cast<NodeId>(39), rng);
+  EXPECT_GE(packet.blob.logical_bits, kPathHashBits);
+  EXPECT_LT(packet.blob.logical_bits, kPathHashBits + 24u + 8u * path.size());
+}
+
+TEST(HashPath, UnknownVersionFails) {
+  const auto topo = test_topology(8);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  HashPathDecoder decoder(instr.store(kSinkId), mapper, topo);
+  dophy::common::Rng rng(9);
+  auto [packet, path] = make_packet(instr, topo, static_cast<NodeId>(5), rng);
+  packet.blob.model_version = 77;
+  EXPECT_FALSE(decoder.decode(packet).has_value());
+  EXPECT_EQ(decoder.stats().decode_failures, 1u);
+}
+
+TEST(HashPath, CorruptHashFailsSearch) {
+  const auto topo = test_topology(10);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  HashPathDecoder decoder(instr.store(kSinkId), mapper, topo);
+  dophy::common::Rng rng(11);
+  auto [packet, path] = make_packet(instr, topo, static_cast<NodeId>(7), rng);
+  packet.blob.bytes[0] ^= 0xFF;  // clobber the hash
+  const auto decoded = decoder.decode(packet);
+  // Either no path matches (search failure) or, astronomically rarely, a
+  // colliding path does; both are handled.
+  if (!decoded) {
+    EXPECT_GE(decoder.stats().search_failures, 1u);
+  }
+}
+
+TEST(HashPath, SearchBudgetBoundsWork) {
+  const auto topo = test_topology(12, 60);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  // A pathological 1-candidate budget must fail cleanly, never hang.
+  HashPathDecoder decoder(instr.store(kSinkId), mapper, topo, /*search_budget=*/1);
+  dophy::common::Rng rng(13);
+  auto [packet, path] = make_packet(instr, topo, static_cast<NodeId>(30), rng);
+  if (path.size() > 1) {
+    EXPECT_FALSE(decoder.decode(packet).has_value());
+    EXPECT_EQ(decoder.stats().search_failures, 1u);
+  }
+}
+
+TEST(HashPath, ZeroHopPacketRejected) {
+  const auto topo = test_topology(14);
+  const SymbolMapper mapper(4);
+  HashPathInstrumentation instr(topo.node_count(), mapper);
+  HashPathDecoder decoder(instr.store(kSinkId), mapper, topo);
+  Packet packet;
+  packet.origin = 3;
+  packet.hop_count = 0;
+  instr.on_origin(packet, 3, 0);
+  EXPECT_FALSE(decoder.decode(packet).has_value());
+}
+
+}  // namespace
+}  // namespace dophy::tomo

@@ -1,0 +1,239 @@
+#include "dophy/tomo/link_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+using dophy::net::LinkKey;
+
+HopObservation obs(std::uint32_t attempts, bool censored = false) {
+  return HopObservation{attempts, censored};
+}
+
+TEST(LinkLossEstimator, NoObservationsNoEstimate) {
+  LinkLossEstimator est(4);
+  EXPECT_FALSE(est.estimate(LinkKey{1, 2}).has_value());
+  EXPECT_TRUE(est.all_estimates().empty());
+}
+
+TEST(LinkLossEstimator, PerfectLinkZeroLoss) {
+  LinkLossEstimator est(4);
+  for (int i = 0; i < 100; ++i) est.observe(LinkKey{1, 2}, obs(1));
+  const auto e = est.estimate(LinkKey{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->loss, 0.0, 1e-6);
+}
+
+TEST(LinkLossEstimator, UncensoredMleMatchesGeometric) {
+  dophy::common::Rng rng(1);
+  for (const double p : {0.1, 0.3, 0.6}) {
+    LinkLossEstimator est(100);  // huge K: effectively no censoring
+    for (int i = 0; i < 50000; ++i) {
+      est.observe(LinkKey{1, 2}, obs(rng.geometric_trials(1.0 - p)));
+    }
+    const auto e = est.estimate(LinkKey{1, 2});
+    ASSERT_TRUE(e.has_value());
+    EXPECT_NEAR(e->loss, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(LinkLossEstimator, CensoredMleUnbiased) {
+  // The whole point of symbol aggregation: censoring at K=4 must NOT bias
+  // the estimate even for lossy links where censoring is common.
+  dophy::common::Rng rng(2);
+  const std::uint32_t k = 4;
+  for (const double p : {0.2, 0.5, 0.7}) {
+    LinkLossEstimator est(k);
+    for (int i = 0; i < 50000; ++i) {
+      const std::uint32_t t = rng.geometric_trials(1.0 - p);
+      est.observe(LinkKey{1, 2}, t >= k ? obs(k, true) : obs(t));
+    }
+    const auto e = est.estimate(LinkKey{1, 2});
+    ASSERT_TRUE(e.has_value());
+    EXPECT_NEAR(e->loss, p, 0.012) << "p=" << p;
+  }
+}
+
+TEST(LinkLossEstimator, AllCensoredGivesConservativeBound) {
+  LinkLossEstimator est(4);
+  for (int i = 0; i < 50; ++i) est.observe(LinkKey{3, 4}, obs(4, true));
+  const auto e = est.estimate(LinkKey{3, 4});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->loss, 0.75, 1e-9);  // 1 - 1/K
+  EXPECT_GE(e->stderr_, 0.5);
+}
+
+TEST(LinkLossEstimator, StderrShrinksWithSamples) {
+  dophy::common::Rng rng(3);
+  LinkLossEstimator small(4), large(4);
+  for (int i = 0; i < 20; ++i) {
+    small.observe(LinkKey{1, 2}, obs(rng.geometric_trials(0.7)));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    large.observe(LinkKey{1, 2}, obs(rng.geometric_trials(0.7)));
+  }
+  EXPECT_GT(small.estimate(LinkKey{1, 2})->stderr_,
+            10.0 * large.estimate(LinkKey{1, 2})->stderr_);
+}
+
+TEST(LinkLossEstimator, ObservePathFansOutToLinks) {
+  LinkLossEstimator est(4);
+  DecodedPath path;
+  path.origin = 1;
+  path.hops.push_back({1, 2, obs(1)});
+  path.hops.push_back({2, 3, obs(2)});
+  path.hops.push_back({3, 0, obs(1)});
+  est.observe_path(path);
+  EXPECT_EQ(est.link_count(), 3u);
+  EXPECT_TRUE(est.estimate(LinkKey{2, 3}).has_value());
+}
+
+TEST(LinkLossEstimator, DecayTracksShift) {
+  dophy::common::Rng rng(4);
+  LinkLossEstimator tracker(4, 0.5);
+  // Phase 1: excellent link.
+  for (int i = 0; i < 5000; ++i) {
+    tracker.observe(LinkKey{1, 2}, obs(rng.geometric_trials(0.98)));
+  }
+  // Phase 2: degraded to 50% loss, with epoch decay between batches.
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    tracker.end_epoch();
+    for (int i = 0; i < 500; ++i) {
+      const std::uint32_t t = rng.geometric_trials(0.5);
+      tracker.observe(LinkKey{1, 2}, t >= 4 ? obs(4, true) : obs(t));
+    }
+  }
+  const auto e = tracker.estimate(LinkKey{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->loss, 0.5, 0.05);
+
+  // A cumulative estimator stays anchored to the stale phase.
+  LinkLossEstimator cumulative(4, 1.0);
+  dophy::common::Rng rng2(4);
+  for (int i = 0; i < 5000; ++i) {
+    cumulative.observe(LinkKey{1, 2}, obs(rng2.geometric_trials(0.98)));
+  }
+  for (int i = 0; i < 6000; ++i) {
+    const std::uint32_t t = rng2.geometric_trials(0.5);
+    cumulative.observe(LinkKey{1, 2}, t >= 4 ? obs(4, true) : obs(t));
+  }
+  EXPECT_LT(cumulative.estimate(LinkKey{1, 2})->loss, 0.45);
+}
+
+TEST(LinkLossEstimator, AllEstimatesSortedByKey) {
+  LinkLossEstimator est(4);
+  est.observe(LinkKey{9, 1}, obs(1));
+  est.observe(LinkKey{2, 3}, obs(1));
+  est.observe(LinkKey{2, 1}, obs(1));
+  const auto all = est.all_estimates();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all[0].first < all[1].first && all[1].first < all[2].first);
+}
+
+TEST(LinkLossEstimator, InvalidConstruction) {
+  EXPECT_THROW(LinkLossEstimator(1), std::invalid_argument);
+  EXPECT_THROW(LinkLossEstimator(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(LinkLossEstimator(4, 1.5), std::invalid_argument);
+}
+
+TEST(LinkLossEstimator, BayesianPosteriorMeanConsistent) {
+  // With lots of data the posterior mean converges to the MLE / truth.
+  dophy::common::Rng rng(5);
+  LinkLossEstimator bayes(4);
+  bayes.set_beta_prior(2.0, 0.4);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t t = rng.geometric_trials(0.7);
+    bayes.observe(LinkKey{1, 2}, t >= 4 ? obs(4, true) : obs(t));
+  }
+  EXPECT_NEAR(bayes.estimate(LinkKey{1, 2})->loss, 0.3, 0.015);
+}
+
+TEST(LinkLossEstimator, BayesianPriorRegularizesThinLinks) {
+  // One censored observation: the MLE pegs at the boundary (1 - 1/K); the
+  // prior pulls toward its mean instead.
+  LinkLossEstimator mle(4);
+  LinkLossEstimator bayes(4);
+  bayes.set_beta_prior(4.0, 1.0);  // prior mean success 0.8 -> loss 0.2
+  mle.observe(LinkKey{1, 2}, obs(4, true));
+  bayes.observe(LinkKey{1, 2}, obs(4, true));
+  EXPECT_NEAR(mle.estimate(LinkKey{1, 2})->loss, 0.75, 1e-9);
+  EXPECT_LT(bayes.estimate(LinkKey{1, 2})->loss, 0.55);
+}
+
+TEST(LinkLossEstimator, BayesianPriorRejectsNegative) {
+  LinkLossEstimator est(4);
+  EXPECT_THROW(est.set_beta_prior(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LinkLossEstimator, WaldIntervalRoughlyCalibrated) {
+  // Property: the +-2 stderr interval should contain the true loss in
+  // roughly 95% of independent replications (allow a generous band).
+  dophy::common::Rng rng(6);
+  const double p = 0.35;
+  int covered = 0;
+  const int reps = 300;
+  for (int r = 0; r < reps; ++r) {
+    LinkLossEstimator est(4);
+    for (int i = 0; i < 400; ++i) {
+      const std::uint32_t t = rng.geometric_trials(1.0 - p);
+      est.observe(LinkKey{1, 2}, t >= 4 ? obs(4, true) : obs(t));
+    }
+    const auto e = est.estimate(LinkKey{1, 2});
+    covered += std::abs(e->loss - p) <= 2.0 * e->stderr_;
+  }
+  const double coverage = static_cast<double>(covered) / reps;
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(LinkLossEstimator, ClosedFormMatchesBruteForceLikelihood) {
+  // Golden check of the censored-geometric MLE: grid-search the
+  // log-likelihood and confirm the closed form lands on the maximum.
+  dophy::common::Rng rng(7);
+  const std::uint32_t k = 4;
+  std::vector<std::pair<std::uint32_t, bool>> data;  // (attempts, censored)
+  LinkLossEstimator est(k);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint32_t t = rng.geometric_trials(0.55);
+    const bool censored = t >= k;
+    data.emplace_back(censored ? k : t, censored);
+    est.observe(LinkKey{1, 2}, obs(censored ? k : t, censored));
+  }
+  auto log_lik = [&](double q) {
+    double ll = 0.0;
+    for (const auto& [t, censored] : data) {
+      if (censored) {
+        ll += static_cast<double>(k - 1) * std::log(1.0 - q);
+      } else {
+        ll += std::log(q) + static_cast<double>(t - 1) * std::log(1.0 - q);
+      }
+    }
+    return ll;
+  };
+  double best_q = 0.0, best_ll = -1e300;
+  for (double q = 0.001; q < 0.9995; q += 0.0005) {
+    const double ll = log_lik(q);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_q = q;
+    }
+  }
+  const auto e = est.estimate(LinkKey{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(1.0 - e->loss, best_q, 0.001);
+}
+
+TEST(LinkLossEstimator, ClearResets) {
+  LinkLossEstimator est(4);
+  est.observe(LinkKey{1, 2}, obs(1));
+  est.clear();
+  EXPECT_EQ(est.link_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

@@ -1,0 +1,93 @@
+#include "dophy/tomo/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::tomo {
+namespace {
+
+TEST(ModelSet, BootstrapUniform) {
+  const ModelSet set = ModelSet::bootstrap(10, 4);
+  EXPECT_EQ(set.version, 0);
+  EXPECT_EQ(set.id_model.symbol_count(), 10u);
+  EXPECT_EQ(set.retx_model.symbol_count(), 4u);
+  for (std::size_t s = 0; s < 10; ++s) EXPECT_EQ(set.id_model.freq(s), 1u);
+}
+
+TEST(ModelSet, SerializeRoundTrip) {
+  ModelSet set(7, dophy::coding::StaticModel(std::vector<std::uint64_t>{5, 2, 9}),
+               dophy::coding::StaticModel(std::vector<std::uint64_t>{100, 20, 5, 1}));
+  const auto bytes = set.serialize();
+  EXPECT_EQ(bytes.size(), set.wire_size());
+  const ModelSet back = ModelSet::deserialize(bytes);
+  EXPECT_EQ(back.version, 7);
+  EXPECT_EQ(back.id_model, set.id_model);
+  EXPECT_EQ(back.retx_model, set.retx_model);
+}
+
+TEST(ModelSet, DeserializeRejectsTruncation) {
+  ModelSet set = ModelSet::bootstrap(5, 4);
+  auto bytes = set.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)ModelSet::deserialize(bytes), std::exception);
+  EXPECT_THROW((void)ModelSet::deserialize({}), std::exception);
+}
+
+TEST(ModelSet, WireSizeSmall) {
+  // A 100-node model set must stay dissemination-friendly (one or two
+  // 802.15.4 frames).
+  const ModelSet set = ModelSet::bootstrap(100, 4);
+  EXPECT_LT(set.wire_size(), 250u);
+}
+
+TEST(ModelStore, InstallAndFind) {
+  ModelStore store;
+  store.install(ModelSet::bootstrap(5, 4));
+  EXPECT_EQ(store.current_version(), 0);
+  EXPECT_NE(store.find(0), nullptr);
+  EXPECT_EQ(store.find(3), nullptr);
+}
+
+TEST(ModelStore, CurrentVersionTracksLatestInstall) {
+  ModelStore store;
+  store.install(ModelSet::bootstrap(5, 4));
+  ModelSet v1(1, dophy::coding::StaticModel(5), dophy::coding::StaticModel(4));
+  store.install(v1);
+  EXPECT_EQ(store.current_version(), 1);
+  EXPECT_NE(store.find(0), nullptr);  // history retained
+}
+
+TEST(ModelStore, EvictsOldestBeyondCapacity) {
+  ModelStore store(3);
+  for (std::uint8_t v = 0; v < 5; ++v) {
+    store.install(ModelSet(v, dophy::coding::StaticModel(5), dophy::coding::StaticModel(4)));
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.find(0), nullptr);
+  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_NE(store.find(2), nullptr);
+  EXPECT_NE(store.find(4), nullptr);
+  EXPECT_EQ(store.current_version(), 4);
+}
+
+TEST(ModelStore, VersionWraparoundPrefersNewest) {
+  ModelStore store(4);
+  // Two installs with the same version tag (e.g. after uint8 wrap): find
+  // must return the newer one.
+  ModelSet old_v3(3, dophy::coding::StaticModel(5), dophy::coding::StaticModel(4));
+  ModelSet new_v3(3, dophy::coding::StaticModel(std::vector<std::uint64_t>{9, 1, 1, 1, 1}),
+                  dophy::coding::StaticModel(4));
+  store.install(old_v3);
+  store.install(new_v3);
+  const ModelSet* found = store.find(3);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id_model, new_v3.id_model);
+}
+
+TEST(ModelStore, EmptyStoreThrows) {
+  ModelStore store;
+  EXPECT_THROW((void)store.current_version(), std::logic_error);
+  EXPECT_THROW(ModelStore(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

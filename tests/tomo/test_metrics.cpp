@@ -1,0 +1,81 @@
+#include "dophy/tomo/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dophy::tomo {
+namespace {
+
+LinkScore score(double est, double truth, std::uint64_t attempts = 100) {
+  LinkScore s;
+  s.estimated = est;
+  s.truth = truth;
+  s.truth_attempts = attempts;
+  return s;
+}
+
+TEST(Metrics, EmptyScores) {
+  const auto s = summarize_scores({}, 10);
+  EXPECT_EQ(s.links_scored, 0u);
+  EXPECT_EQ(s.mae, 0.0);
+  EXPECT_EQ(s.coverage, 0.0);
+}
+
+TEST(Metrics, AbsError) {
+  EXPECT_DOUBLE_EQ(score(0.3, 0.1).abs_error(), 0.2);
+  EXPECT_DOUBLE_EQ(score(0.1, 0.3).abs_error(), 0.2);
+}
+
+TEST(Metrics, PerfectEstimates) {
+  std::vector<LinkScore> scores{score(0.1, 0.1), score(0.5, 0.5), score(0.9, 0.9)};
+  const auto s = summarize_scores(scores, 3);
+  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);
+  EXPECT_NEAR(s.spearman, 1.0, 1e-12);
+}
+
+TEST(Metrics, KnownErrors) {
+  std::vector<LinkScore> scores{score(0.2, 0.1), score(0.1, 0.4)};
+  const auto s = summarize_scores(scores, 4);
+  EXPECT_DOUBLE_EQ(s.mae, 0.2);  // (0.1 + 0.3) / 2
+  EXPECT_NEAR(s.rmse, std::sqrt((0.01 + 0.09) / 2), 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_abs, 0.3);
+  EXPECT_DOUBLE_EQ(s.coverage, 0.5);
+}
+
+TEST(Metrics, RelativeErrorSkipsZeroTruth) {
+  std::vector<LinkScore> scores{score(0.2, 0.0), score(0.2, 0.1)};
+  const auto s = summarize_scores(scores, 2);
+  EXPECT_DOUBLE_EQ(s.mean_rel, 0.5);  // only the second contributes: 0.1/0.1=1 -> /2
+}
+
+TEST(Metrics, QuantilesOrdered) {
+  std::vector<LinkScore> scores;
+  for (int i = 1; i <= 100; ++i) {
+    scores.push_back(score(0.0, static_cast<double>(i) / 100.0));
+  }
+  const auto s = summarize_scores(scores, 100);
+  EXPECT_LE(s.p50_abs, s.p90_abs);
+  EXPECT_LE(s.p90_abs, s.max_abs);
+  EXPECT_NEAR(s.p50_abs, 0.505, 0.02);
+}
+
+TEST(Metrics, AbsErrorsExtraction) {
+  std::vector<LinkScore> scores{score(0.2, 0.1), score(0.5, 0.9)};
+  const auto errs = abs_errors(scores);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_DOUBLE_EQ(errs[0], 0.1);
+  EXPECT_NEAR(errs[1], 0.4, 1e-12);
+}
+
+TEST(Metrics, SpearmanReflectsRankQuality) {
+  // Estimates that invert the ranking score negative correlation.
+  std::vector<LinkScore> scores{score(0.9, 0.1), score(0.5, 0.5), score(0.1, 0.9)};
+  const auto s = summarize_scores(scores, 3);
+  EXPECT_LT(s.spearman, -0.9);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

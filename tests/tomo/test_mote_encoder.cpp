@@ -1,0 +1,170 @@
+// Mote-constrained encoder: bit-exact equivalence with the host coder, RAM
+// bounds, and graceful budget behavior.
+
+#include "dophy/mote/mote_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/coding/freq_model.hpp"
+#include "dophy/common/bitio.hpp"
+#include "dophy/common/rng.hpp"
+
+namespace dophy::mote {
+namespace {
+
+using dophy::coding::ArithmeticDecoder;
+using dophy::coding::ArithmeticEncoder;
+using dophy::coding::StaticModel;
+using dophy::common::BitWriter;
+
+MoteModel load_mote(const StaticModel& host) {
+  const auto wire = host.serialize();
+  MoteModel model{};
+  EXPECT_EQ(model.load(wire.data(), wire.size()), Status::kOk);
+  return model;
+}
+
+TEST(MoteModel, LoadMatchesHostCumulatives) {
+  const StaticModel host(std::vector<std::uint64_t>{500, 120, 33, 7, 0, 90});
+  const MoteModel mote = load_mote(host);
+  ASSERT_EQ(mote.count, host.symbol_count());
+  EXPECT_EQ(mote.total(), host.total());
+  for (std::size_t s = 0; s < host.symbol_count(); ++s) {
+    EXPECT_EQ(mote.cum[s], host.cum(s)) << "symbol " << s;
+  }
+}
+
+TEST(MoteModel, LoadRejectsGarbage) {
+  MoteModel model{};
+  EXPECT_EQ(model.load(nullptr, 0), Status::kBadModel);
+  const std::uint8_t zero_count[] = {0x00};
+  EXPECT_EQ(model.load(zero_count, 1), Status::kBadModel);
+  const std::uint8_t truncated[] = {0x03, 0x05};  // promises 3 freqs, has 1
+  EXPECT_EQ(model.load(truncated, 2), Status::kBadModel);
+}
+
+TEST(MoteEncoder, BitExactWithHostEncoder) {
+  dophy::common::Rng rng(31);
+  const StaticModel ids(std::vector<std::uint64_t>{40, 10, 30, 5, 5, 20, 1, 9});
+  const StaticModel retx(std::vector<std::uint64_t>{85, 10, 3, 2});
+  const MoteModel mote_ids = load_mote(ids);
+  const MoteModel mote_retx = load_mote(retx);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t hops = 1 + rng.next_below(8);
+
+    MotePacketState state{};
+    mote_on_origin(state, 3);
+    BitWriter host_bits;
+    ArithmeticEncoder host(host_bits);
+
+    for (std::size_t h = 0; h < hops; ++h) {
+      const auto id = static_cast<std::uint16_t>(rng.next_below(8));
+      const auto r = static_cast<std::uint16_t>(rng.next_below(4));
+      ASSERT_EQ(mote_append_hop(state, mote_ids, mote_retx, id, r), Status::kOk);
+      host.encode(ids, id);
+      host.encode(retx, r);
+    }
+    ASSERT_EQ(mote_finish(state), Status::kOk);
+    host.finish();
+
+    ASSERT_EQ(state.bit_len, host_bits.bit_count()) << "trial " << trial;
+    for (std::size_t b = 0; b < host_bits.byte_count(); ++b) {
+      ASSERT_EQ(state.stream[b], host_bits.bytes()[b])
+          << "trial " << trial << " byte " << b;
+    }
+  }
+}
+
+TEST(MoteEncoder, StreamDecodableByStandardSinkDecoder) {
+  dophy::common::Rng rng(32);
+  const StaticModel retx(std::vector<std::uint64_t>{70, 20, 7, 3});
+  const MoteModel mote_retx = load_mote(retx);
+
+  MotePacketState state{};
+  mote_on_origin(state, 1);
+  std::vector<std::uint16_t> symbols;
+  for (int i = 0; i < 20; ++i) {
+    const auto s = static_cast<std::uint16_t>(rng.next_below(4));
+    symbols.push_back(s);
+    ASSERT_EQ(mote_encode_symbol(state, mote_retx, s), Status::kOk);
+  }
+  ASSERT_EQ(mote_finish(state), Status::kOk);
+
+  const std::vector<std::uint8_t> bytes(state.stream,
+                                        state.stream + (state.bit_len + 7) / 8);
+  ArithmeticDecoder dec(bytes, 0, state.bit_len);
+  for (const auto s : symbols) EXPECT_EQ(dec.decode(retx), s);
+}
+
+TEST(MoteEncoder, BudgetExhaustionPoisonsState) {
+  // A nearly uniform model costs ~3 bits/symbol; kMaxStreamBytes * 8 bits
+  // fill after ~100 symbols, and the state must flag truncation cleanly.
+  const StaticModel model(std::vector<std::uint64_t>{1, 1, 1, 1, 1, 1, 1, 1});
+  const MoteModel mote = load_mote(model);
+  MotePacketState state{};
+  mote_on_origin(state, 0);
+  dophy::common::Rng rng(33);
+  Status status = Status::kOk;
+  int encoded = 0;
+  for (int i = 0; i < 400 && status == Status::kOk; ++i) {
+    status = mote_encode_symbol(state, mote, static_cast<std::uint16_t>(rng.next_below(8)));
+    if (status == Status::kOk) ++encoded;
+  }
+  EXPECT_EQ(status, Status::kBudget);
+  EXPECT_TRUE(state.truncated);
+  EXPECT_GT(encoded, 80);
+  // Once poisoned, everything is refused.
+  EXPECT_EQ(mote_encode_symbol(state, mote, 0), Status::kTruncated);
+  EXPECT_EQ(mote_finish(state), Status::kTruncated);
+}
+
+TEST(MoteEncoder, BadSymbolRejectedWithoutStateChange) {
+  const StaticModel model(std::vector<std::uint64_t>{3, 1});
+  const MoteModel mote = load_mote(model);
+  MotePacketState state{};
+  mote_on_origin(state, 0);
+  ASSERT_EQ(mote_encode_symbol(state, mote, 0), Status::kOk);
+  const std::uint16_t bits_before = state.bit_len;
+  EXPECT_EQ(mote_encode_symbol(state, mote, 7), Status::kBadSymbol);
+  EXPECT_EQ(state.bit_len, bits_before);
+}
+
+TEST(MoteModel, LoadFuzzNeverCrashes) {
+  dophy::common::Rng rng(34);
+  MoteModel model{};
+  int loaded_ok = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::uint8_t bytes[32];
+    const std::size_t size = rng.next_below(sizeof bytes);
+    for (std::size_t i = 0; i < size; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    if (model.load(bytes, size) == Status::kOk) {
+      ++loaded_ok;
+      // Whatever loaded must be internally consistent.
+      EXPECT_GE(model.count, 1u);
+      EXPECT_LE(model.count, kMaxModelSymbols);
+      for (std::uint16_t s = 0; s < model.count; ++s) {
+        EXPECT_LT(model.cum[s], model.cum[s + 1]);
+      }
+    }
+  }
+  // Random bytes occasionally form a valid model; most must not.
+  EXPECT_LT(loaded_ok, 3000);
+}
+
+TEST(MoteEncoder, RamBudgetIsMoteSized) {
+  // Packet state rides in the packet buffer; model tables are the dominant
+  // static cost.  For a 100-node deployment: id model + retx model must fit
+  // comfortably in TelosB-class RAM next to the OS and the network stack.
+  EXPECT_LE(sizeof(MotePacketState), 64u);
+  EXPECT_LE(sizeof(MoteModel), (kMaxModelSymbols + 1) * 4 + 8);
+  // Two models (256-symbol ids + counts, upper bounds): ~2 KB of the ~10 KB
+  // a TelosB offers — comfortably deployable.
+  EXPECT_LE(2 * sizeof(MoteModel), 4200u);
+}
+
+}  // namespace
+}  // namespace dophy::mote

@@ -1,0 +1,185 @@
+#include "dophy/tomo/prob_model_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+DecodedPath skewed_path(dophy::common::Rng& rng, std::size_t node_count) {
+  DecodedPath path;
+  path.origin = 5;
+  // Relays concentrate on low ids; counts mostly 1.
+  const std::size_t len = 1 + rng.next_below(4);
+  dophy::net::NodeId sender = path.origin;
+  for (std::size_t i = 0; i < len; ++i) {
+    DecodedHop hop;
+    hop.sender = sender;
+    hop.receiver = static_cast<dophy::net::NodeId>(
+        i + 1 == len ? 0 : 1 + rng.next_below(node_count / 4));
+    hop.observation.attempts = rng.bernoulli(0.8) ? 1u : 2u;
+    hop.observation.censored = false;
+    path.hops.push_back(hop);
+    sender = hop.receiver;
+  }
+  return path;
+}
+
+struct Harness {
+  SymbolMapper mapper{4};
+  std::vector<ModelSet> published;
+  ModelUpdateConfig config;
+  std::unique_ptr<ProbModelManager> manager;
+
+  explicit Harness(ModelUpdateConfig cfg) : config(cfg) {
+    manager = std::make_unique<ProbModelManager>(
+        config, 20, mapper, [this](const ModelSet& set) { published.push_back(set); });
+  }
+};
+
+TEST(ProbModelManager, StaticPolicyNeverPublishes) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kStatic;
+  Harness h(cfg);
+  dophy::common::Rng rng(1);
+  for (int i = 0; i < 500; ++i) h.manager->observe(skewed_path(rng, 20));
+  for (int t = 1; t <= 10; ++t) h.manager->on_tick(t * 1000000);
+  EXPECT_TRUE(h.published.empty());
+  EXPECT_EQ(h.manager->deployed_version(), 0);
+}
+
+TEST(ProbModelManager, PeriodicPublishesWithEnoughSamples) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kPeriodic;
+  cfg.min_hop_samples = 100;
+  Harness h(cfg);
+  dophy::common::Rng rng(2);
+  for (int i = 0; i < 200; ++i) h.manager->observe(skewed_path(rng, 20));
+  h.manager->on_tick(1000000);
+  EXPECT_EQ(h.published.size(), 1u);
+  EXPECT_EQ(h.published[0].version, 1);
+  EXPECT_EQ(h.manager->deployed_version(), 1);
+}
+
+TEST(ProbModelManager, PeriodicSkipsThinWindows) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kPeriodic;
+  cfg.min_hop_samples = 1000;
+  Harness h(cfg);
+  dophy::common::Rng rng(3);
+  for (int i = 0; i < 10; ++i) h.manager->observe(skewed_path(rng, 20));
+  h.manager->on_tick(1000000);
+  EXPECT_TRUE(h.published.empty());
+}
+
+TEST(ProbModelManager, PublishedModelReflectsObservations) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kPeriodic;
+  cfg.min_hop_samples = 10;
+  Harness h(cfg);
+  dophy::common::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) h.manager->observe(skewed_path(rng, 20));
+  h.manager->on_tick(1000000);
+  ASSERT_EQ(h.published.size(), 1u);
+  const auto& retx = h.published[0].retx_model;
+  // Counts are ~80% ones: symbol 0 must dominate symbol 3.
+  EXPECT_GT(retx.freq(0), 10u * retx.freq(3));
+  // Ids concentrate below node_count/4.
+  const auto& ids = h.published[0].id_model;
+  EXPECT_GT(ids.freq(1), ids.freq(15));
+}
+
+TEST(ProbModelManager, KlDropsAfterPublish) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kPeriodic;
+  cfg.min_hop_samples = 10;
+  Harness h(cfg);
+  dophy::common::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.manager->observe(skewed_path(rng, 20));
+  const double kl_before = h.manager->current_kl_bits();
+  EXPECT_GT(kl_before, 0.3);  // skewed vs uniform bootstrap
+  h.manager->on_tick(1000000);
+  // New window under the freshly fitted model: KL near zero.
+  dophy::common::Rng rng2(5);
+  for (int i = 0; i < 1000; ++i) h.manager->observe(skewed_path(rng2, 20));
+  EXPECT_LT(h.manager->current_kl_bits(), 0.2 * kl_before);
+}
+
+TEST(ProbModelManager, AdaptivePublishesOnlyWhenWorthwhile) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kAdaptive;
+  cfg.min_hop_samples = 50;
+  cfg.adaptive_horizon_s = 600.0;
+
+  // Case 1: skewed traffic at high rate -> savings dwarf the flood cost.
+  Harness busy(cfg);
+  dophy::common::Rng rng(6);
+  for (int i = 0; i < 5000; ++i) busy.manager->observe(skewed_path(rng, 20));
+  busy.manager->on_tick(10 * 1000000);  // 10s window -> high hop rate
+  EXPECT_EQ(busy.published.size(), 1u);
+
+  // Case 2: same distribution as deployed (uniform-ish) -> KL ~ 0, no update.
+  Harness idle(cfg);
+  dophy::common::Rng rng2(7);
+  for (int i = 0; i < 200; ++i) {
+    DecodedPath p;
+    p.origin = 3;
+    DecodedHop hop;
+    hop.sender = 3;
+    // Uniform receiver ids and uniform-ish symbols match the bootstrap.
+    hop.receiver = static_cast<dophy::net::NodeId>(rng2.next_below(20));
+    hop.observation.attempts = 1 + static_cast<std::uint32_t>(rng2.next_below(3));
+    p.hops.push_back(hop);
+    idle.manager->observe(p);
+  }
+  idle.manager->on_tick(600 * 1000000);  // low rate, tiny KL
+  EXPECT_TRUE(idle.published.empty());
+}
+
+TEST(ProbModelManager, VersionsIncrementAcrossUpdates) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kPeriodic;
+  cfg.min_hop_samples = 10;
+  Harness h(cfg);
+  dophy::common::Rng rng(8);
+  for (int round = 1; round <= 3; ++round) {
+    for (int i = 0; i < 100; ++i) h.manager->observe(skewed_path(rng, 20));
+    h.manager->on_tick(round * 1000000);
+  }
+  ASSERT_EQ(h.published.size(), 3u);
+  EXPECT_EQ(h.published[0].version, 1);
+  EXPECT_EQ(h.published[1].version, 2);
+  EXPECT_EQ(h.published[2].version, 3);
+  EXPECT_EQ(h.manager->stats().updates_published, 3u);
+}
+
+TEST(ProbModelManager, IdModelFrozenWhenDisabled) {
+  ModelUpdateConfig cfg;
+  cfg.policy = ModelUpdateConfig::Policy::kPeriodic;
+  cfg.min_hop_samples = 10;
+  cfg.update_id_model = false;
+  Harness h(cfg);
+  dophy::common::Rng rng(9);
+  for (int i = 0; i < 500; ++i) h.manager->observe(skewed_path(rng, 20));
+  h.manager->on_tick(1000000);
+  ASSERT_EQ(h.published.size(), 1u);
+  // Id model stays uniform (deployed counts all 1).
+  const auto& ids = h.published[0].id_model;
+  for (std::size_t s = 1; s < ids.symbol_count(); ++s) {
+    EXPECT_EQ(ids.freq(s), ids.freq(0));
+  }
+}
+
+TEST(ProbModelManager, RejectsBadConstruction) {
+  const SymbolMapper mapper(4);
+  ModelUpdateConfig cfg;
+  EXPECT_THROW(ProbModelManager(cfg, 1, mapper, [](const ModelSet&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(ProbModelManager(cfg, 20, mapper, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

@@ -1,0 +1,58 @@
+#include "dophy/tomo/symbol_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::tomo {
+namespace {
+
+TEST(SymbolMapper, ExactSymbolsBelowThreshold) {
+  SymbolMapper m(4);
+  EXPECT_EQ(m.to_symbol(1), 0u);
+  EXPECT_EQ(m.to_symbol(2), 1u);
+  EXPECT_EQ(m.to_symbol(3), 2u);
+  EXPECT_FALSE(m.is_censored(0));
+  EXPECT_FALSE(m.is_censored(2));
+}
+
+TEST(SymbolMapper, CensoredAtAndAboveThreshold) {
+  SymbolMapper m(4);
+  EXPECT_EQ(m.to_symbol(4), 3u);
+  EXPECT_EQ(m.to_symbol(5), 3u);
+  EXPECT_EQ(m.to_symbol(100), 3u);
+  EXPECT_TRUE(m.is_censored(3));
+}
+
+TEST(SymbolMapper, AlphabetSizeEqualsThreshold) {
+  for (std::uint32_t k = 2; k <= 16; ++k) {
+    SymbolMapper m(k);
+    EXPECT_EQ(m.alphabet_size(), k);
+  }
+}
+
+TEST(SymbolMapper, ToAttemptsInvertsUncensored) {
+  SymbolMapper m(6);
+  for (std::uint32_t attempts = 1; attempts < 6; ++attempts) {
+    EXPECT_EQ(m.to_attempts(m.to_symbol(attempts)), attempts);
+  }
+  // Censored symbol returns the lower bound K.
+  EXPECT_EQ(m.to_attempts(5), 6u);
+}
+
+TEST(SymbolMapper, MinimalThreshold) {
+  SymbolMapper m(2);  // symbols: {exactly 1, >= 2}
+  EXPECT_EQ(m.to_symbol(1), 0u);
+  EXPECT_EQ(m.to_symbol(2), 1u);
+  EXPECT_TRUE(m.is_censored(1));
+}
+
+TEST(SymbolMapper, InvalidInputs) {
+  EXPECT_THROW(SymbolMapper(0), std::invalid_argument);
+  EXPECT_THROW(SymbolMapper(1), std::invalid_argument);
+  SymbolMapper m(4);
+  EXPECT_THROW((void)m.to_symbol(0), std::invalid_argument);
+  EXPECT_THROW((void)m.is_censored(4), std::out_of_range);
+  EXPECT_THROW((void)m.to_attempts(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dophy::tomo
