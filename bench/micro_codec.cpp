@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "bench_util.hpp"
 #include "dophy/coding/arith.hpp"
 #include "dophy/coding/codec.hpp"
 #include "dophy/common/rng.hpp"
@@ -122,4 +123,29 @@ BENCHMARK(PerHopResumeAppendSuspend);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but accepts --metrics-json (which the benchmark
+// arg parser would reject) and writes an obs::RunReport when given.
+int main(int argc, char** argv) {
+  const std::string report_path = dophy::bench::extract_metrics_json(argc, argv);
+  const std::string bench_name = dophy::bench::detail::basename_of(argc > 0 ? argv[0] : nullptr);
+  // Without --metrics-json this binary measures the codecs, not the
+  // instrumentation: turn metric recording off (call sites become a relaxed
+  // load + branch).
+  if (report_path.empty()) dophy::obs::Registry::global().set_enabled(false);
+  const auto baseline = dophy::obs::Registry::global().snapshot();
+  const auto start = std::chrono::steady_clock::now();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!report_path.empty()) {
+    const double total_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (!dophy::bench::write_micro_report(report_path, bench_name, baseline, total_s)) {
+      return 1;
+    }
+  }
+  return 0;
+}

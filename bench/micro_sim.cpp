@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "dophy/net/event_queue.hpp"
 #include "dophy/net/network.hpp"
 #include "dophy/tomo/dophy_encoder.hpp"
@@ -66,4 +67,29 @@ BENCHMARK(NetworkSimulatedSecondsWithDophy)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but accepts --metrics-json (which the benchmark
+// arg parser would reject) and writes an obs::RunReport when given.
+int main(int argc, char** argv) {
+  const std::string report_path = dophy::bench::extract_metrics_json(argc, argv);
+  const std::string bench_name = dophy::bench::detail::basename_of(argc > 0 ? argv[0] : nullptr);
+  // Without --metrics-json this binary measures the simulator, not the
+  // instrumentation: turn metric recording off (call sites become a relaxed
+  // load + branch).
+  if (report_path.empty()) dophy::obs::Registry::global().set_enabled(false);
+  const auto baseline = dophy::obs::Registry::global().snapshot();
+  const auto start = std::chrono::steady_clock::now();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!report_path.empty()) {
+    const double total_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (!dophy::bench::write_micro_report(report_path, bench_name, baseline, total_s)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates every reproduced figure/table into results/ (text + CSV).
+# Regenerates every reproduced figure/table into results/ (text + CSV +
+# machine-readable JSON run reports).
 # Usage: scripts/run_all_benches.sh [build_dir] [--quick]
 set -euo pipefail
 
@@ -13,15 +14,35 @@ fi
 out_dir="results"
 mkdir -p "$out_dir"
 
+# Fails the run if a report is missing, empty, or unparseable JSON.
+check_report() {
+  local path="$1"
+  if [[ ! -s "$path" ]]; then
+    echo "error: $path missing or empty" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$path" >/dev/null || {
+      echo "error: $path is not valid JSON" >&2
+      exit 1
+    }
+  fi
+}
+
 for bench in "$build_dir"/bench/fig_* "$build_dir"/bench/table_summary; do
   name="$(basename "$bench")"
   echo ">>> $name"
-  "$bench" $quick_flag | tee "$out_dir/$name.txt"
+  "$bench" $quick_flag --metrics-json "$out_dir/$name.json" | tee "$out_dir/$name.txt"
+  check_report "$out_dir/$name.json"
   "$bench" $quick_flag --csv > "$out_dir/$name.csv"
 done
 
 echo ">>> micro benchmarks"
-"$build_dir"/bench/micro_codec | tee "$out_dir/micro_codec.txt"
-"$build_dir"/bench/micro_sim | tee "$out_dir/micro_sim.txt"
+"$build_dir"/bench/micro_codec --metrics-json "$out_dir/micro_codec.json" \
+  | tee "$out_dir/micro_codec.txt"
+check_report "$out_dir/micro_codec.json"
+"$build_dir"/bench/micro_sim --metrics-json "$out_dir/micro_sim.json" \
+  | tee "$out_dir/micro_sim.txt"
+check_report "$out_dir/micro_sim.json"
 
 echo "All outputs in $out_dir/"

@@ -1,7 +1,6 @@
 #include "dophy/common/logging.hpp"
 
 #include <cstdio>
-#include <mutex>
 
 namespace dophy::common {
 
@@ -18,10 +17,8 @@ std::string_view to_string(LogLevel level) noexcept {
 }
 
 namespace {
-std::mutex g_log_mutex;
-
+// Invoked under sink_mutex_, so no extra lock is needed here.
 void default_sink(LogLevel level, std::string_view message) {
-  const std::lock_guard<std::mutex> lock(g_log_mutex);
   std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
                to_string(level).data(), static_cast<int>(message.size()), message.data());
 }
@@ -34,20 +31,26 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_sink(Sink sink) { sink_ = sink ? std::move(sink) : Sink(default_sink); }
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = sink ? std::move(sink) : Sink(default_sink);
+}
 
 void Logger::log(LogLevel level, std::string_view message) {
   if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_(level, message);
 }
 
 void Logger::logf(LogLevel level, const char* fmt, ...) {
   if (!enabled(level)) return;
+  // Format outside the lock so slow formatting never serializes threads.
   char buffer[1024];
   std::va_list args;
   va_start(args, fmt);
   std::vsnprintf(buffer, sizeof buffer, fmt, args);
   va_end(args);
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_(level, buffer);
 }
 

@@ -4,9 +4,16 @@
 // silence it; tests can capture it.  Not a general-purpose logging framework
 // by design — a single global sink with a level threshold is all the project
 // needs.
+//
+// Thread-safety: the level is an atomic (trials on the pool read it
+// constantly), and the sink is swapped and invoked under a mutex, so a
+// concurrent set_sink never races a log call and sink invocations are
+// serialized.  Consequently a sink must not call back into the logger.
 
+#include <atomic>
 #include <cstdarg>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -23,15 +30,20 @@ class Logger {
   /// Process-wide logger instance.
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
 
   /// Replaces the sink (default writes to stderr). Passing nullptr restores
-  /// the default sink.
+  /// the default sink.  Safe to call while other threads are logging; any
+  /// in-flight log call completes with the old sink first.
   void set_sink(Sink sink);
 
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
   }
 
   void log(LogLevel level, std::string_view message);
@@ -42,7 +54,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex sink_mutex_;  ///< guards sink_ swap and invocation
   Sink sink_;
 };
 

@@ -29,6 +29,10 @@ class Table {
   }
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
 
   /// Writes the table with padded columns, a header rule, and an optional
   /// title line.

@@ -15,10 +15,18 @@ const MethodAggregate& MultiTrialResult::method(const std::string& name) const {
 }
 
 MultiTrialResult run_trials(const dophy::tomo::PipelineConfig& base, std::size_t trials,
-                            std::uint64_t base_seed, bool keep_runs) {
+                            std::uint64_t base_seed, bool keep_runs,
+                            dophy::common::ThreadPool* pool) {
+  // Registry delta across the batch: counters/histograms only accumulate
+  // (per-trial increments are seed-determined), so the delta is independent
+  // of which worker ran which trial.
+  const dophy::obs::MetricsSnapshot metrics_before =
+      dophy::obs::Registry::global().snapshot();
+
   std::vector<dophy::tomo::PipelineResult> results(trials);
   dophy::common::parallel_for(
-      dophy::common::global_pool(), trials, [&](std::size_t i) {
+      pool != nullptr ? *pool : dophy::common::global_pool(), trials,
+      [&](std::size_t i) {
         dophy::tomo::PipelineConfig cfg = base;
         cfg.net.seed = base_seed + i + 1;
         results[i] = dophy::tomo::run_pipeline(cfg);
@@ -50,7 +58,15 @@ MultiTrialResult run_trials(const dophy::tomo::PipelineConfig& base, std::size_t
     const double decoded = static_cast<double>(r.decoder_stats.packets_decoded);
     const double failed = static_cast<double>(r.decoder_stats.decode_failures);
     agg.decode_failure_rate.add(decoded + failed > 0.0 ? failed / (decoded + failed) : 0.0);
+    for (const auto& [phase, seconds] : r.phase_seconds) {
+      agg.phase_seconds[phase].add(seconds);
+    }
   }
+  {
+    static const auto c_trials = dophy::obs::Registry::global().counter("eval.trials");
+    c_trials.inc(trials);
+  }
+  agg.metrics = dophy::obs::Registry::global().snapshot().delta_since(metrics_before);
   if (keep_runs) agg.runs = std::move(results);
   return agg;
 }

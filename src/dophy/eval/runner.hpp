@@ -9,7 +9,12 @@
 #include <vector>
 
 #include "dophy/common/stats.hpp"
+#include "dophy/obs/metrics.hpp"
 #include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::common {
+class ThreadPool;
+}
 
 namespace dophy::eval {
 
@@ -36,13 +41,23 @@ struct MultiTrialResult {
   dophy::common::RunningStats decode_failure_rate;
   std::vector<dophy::tomo::PipelineResult> runs;  ///< kept when requested
 
+  /// Delta of the global metrics registry across the batch.  Counters and
+  /// histograms are sums of per-trial increments, so for a fixed base seed
+  /// the snapshot is identical regardless of pool size or scheduling.
+  dophy::obs::MetricsSnapshot metrics;
+
+  /// Per-phase wall-clock distribution across trials (one sample per trial).
+  std::map<std::string, dophy::common::RunningStats> phase_seconds;
+
   [[nodiscard]] const MethodAggregate& method(const std::string& name) const;
 };
 
 /// Runs `trials` pipelines with seeds base_seed+1..base_seed+trials across
-/// the global thread pool; deterministic regardless of scheduling.
+/// `pool` (the global thread pool when null); deterministic regardless of
+/// scheduling.
 [[nodiscard]] MultiTrialResult run_trials(const dophy::tomo::PipelineConfig& base,
                                           std::size_t trials, std::uint64_t base_seed,
-                                          bool keep_runs = false);
+                                          bool keep_runs = false,
+                                          dophy::common::ThreadPool* pool = nullptr);
 
 }  // namespace dophy::eval

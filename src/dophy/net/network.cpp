@@ -5,11 +5,43 @@
 #include <stdexcept>
 
 #include "dophy/common/logging.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/trace.hpp"
 
 namespace dophy::net {
 
 namespace {
 constexpr SimTime kFloodHopDelay = 50 * kMillisecond;
+
+/// Interned once; every Network instance shares these registry handles.
+struct NetMetrics {
+  dophy::obs::Counter generated, delivered;
+  dophy::obs::Counter drop_retries, drop_noroute, drop_ttl, drop_queue;
+  dophy::obs::Counter beacons, churn_transitions, flood_bytes, air_bytes;
+  dophy::obs::HistogramHandle hop_attempts, path_hops;
+
+  static const NetMetrics& get() {
+    static const NetMetrics m;
+    return m;
+  }
+
+ private:
+  NetMetrics() {
+    auto& r = dophy::obs::Registry::global();
+    generated = r.counter("sim.packets.generated");
+    delivered = r.counter("sim.packets.delivered");
+    drop_retries = r.counter("sim.drop.retries");
+    drop_noroute = r.counter("sim.drop.noroute");
+    drop_ttl = r.counter("sim.drop.ttl");
+    drop_queue = r.counter("sim.drop.queue");
+    beacons = r.counter("sim.beacons.sent");
+    churn_transitions = r.counter("sim.churn.transitions");
+    flood_bytes = r.counter("sim.flood.bytes");
+    air_bytes = r.counter("sim.air.bytes");
+    hop_attempts = r.histogram("sim.hop.attempts", {1, 2, 3, 4, 6, 8, 12, 16});
+    path_hops = r.histogram("sim.path.hops", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+  }
+};
 }
 
 Network::Network(const NetworkConfig& config, PacketInstrumentation* instrumentation)
@@ -54,6 +86,16 @@ void Network::schedule_churn_transition(NodeId id) {
     Node& target = node(id);
     const bool going_down = target.alive();
     target.set_alive(!going_down);
+    NetMetrics::get().churn_transitions.inc();
+    DOPHY_DEBUG("churn: node %u %s at t=%llu us", static_cast<unsigned>(id),
+                going_down ? "down" : "up",
+                static_cast<unsigned long long>(sim_.now()));
+    auto& tr = dophy::obs::EventTrace::global();
+    if (tr.enabled(dophy::obs::EventKind::kNodeChurn)) {
+      tr.event(dophy::obs::EventKind::kNodeChurn, static_cast<std::uint64_t>(sim_.now()))
+          .u64("node", id)
+          .boolean("up", !going_down);
+    }
     if (going_down) {
       ++node_failures_;
       // Packets held in the dead node's queue are lost with it.
@@ -176,6 +218,7 @@ void Network::broadcast_beacon(NodeId id) {
   const std::uint16_t seq = n.next_beacon_seq();
   const double advertised = n.routing().advertise_etx();
   ++beacons_sent_;
+  NetMetrics::get().beacons.inc();
   for (const NodeId w : topology_.neighbors(id)) {
     Link& l = link(id, w);
     if (l.attempt_control(sim_.now())) {
@@ -219,6 +262,7 @@ void Network::generate_packet(NodeId id) {
   }
   ++packets_generated_;
   ++n.stats().generated;
+  NetMetrics::get().generated.inc();
 
   Packet packet;
   packet.origin = id;
@@ -227,9 +271,11 @@ void Network::generate_packet(NodeId id) {
   if (instrumentation_ != nullptr) instrumentation_->on_origin(packet, id, sim_.now());
 
   if (!n.routing().has_route()) {
+    DOPHY_DEBUG("drop: node %u generated packet with no route", static_cast<unsigned>(id));
     finish_packet(std::move(packet), PacketFate::kDroppedNoRoute);
   } else if (!n.enqueue(std::move(packet))) {
     // enqueue only moves from the packet on success.
+    note_queue_overflow(id);
     finish_packet(std::move(packet), PacketFate::kDroppedQueue);
   } else {
     try_send(id);
@@ -245,6 +291,7 @@ void Network::try_send(NodeId id) {
   // inconsistency), not per packet — per-packet re-evaluation would let
   // ETX-sample noise through the hysteresis. Only bail if routeless.
   if (!n.routing().has_route()) {
+    DOPHY_DEBUG("drop: node %u lost its route with packets queued", static_cast<unsigned>(id));
     finish_packet(n.dequeue(), PacketFate::kDroppedNoRoute);
     try_send(id);
     return;
@@ -267,8 +314,10 @@ void Network::try_send(NodeId id) {
         static_cast<SimTime>(config_.mac.max_attempts) * config_.mac.attempt_duration;
   }
   n.routing().on_data_tx(parent, outcome.total_attempts, outcome.delivered);
-  measurement_air_bytes_ +=
+  const std::uint64_t air =
       packet.blob.wire_bytes() * static_cast<std::uint64_t>(outcome.total_attempts);
+  measurement_air_bytes_ += air;
+  if (air != 0) NetMetrics::get().air_bytes.inc(air);
 
   n.set_tx_busy(true);
   const SimTime done_at = sim_.now() + outcome.delay + config_.mac.queue_service_delay;
@@ -281,6 +330,15 @@ void Network::try_send(NodeId id) {
       ++sender.stats().forwarded;
       handle_arrival(parent, id, std::move(*pkt), outcome.attempts_to_first_rx);
     } else {
+      auto& tr = dophy::obs::EventTrace::global();
+      if (tr.enabled(dophy::obs::EventKind::kArqExhausted)) {
+        tr.event(dophy::obs::EventKind::kArqExhausted,
+                 static_cast<std::uint64_t>(sim_.now()))
+            .u64("from", id)
+            .u64("to", parent)
+            .u64("attempts", outcome.total_attempts)
+            .u64("origin", pkt->origin);
+      }
       finish_packet(std::move(*pkt), PacketFate::kDroppedRetries);
     }
     try_send(id);
@@ -313,31 +371,54 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
 
   packet.true_hops.push_back(
       HopRecord{sender, receiver, attempts, attempts, sim_.now()});
+  NetMetrics::get().hop_attempts.observe(attempts);
   if (instrumentation_ != nullptr) {
     instrumentation_->on_hop_received(packet, receiver, sender, attempts, sim_.now());
   }
 
   if (receiver == kSinkId) {
     ++packets_delivered_;
+    NetMetrics::get().delivered.inc();
+    NetMetrics::get().path_hops.observe(packet.true_hops.size());
     if (delivery_handler_) delivery_handler_(packet, sim_.now());
     finish_packet(std::move(packet), PacketFate::kDelivered);
     return;
   }
 
   if (!r.enqueue(std::move(packet))) {
+    note_queue_overflow(receiver);
     finish_packet(std::move(packet), PacketFate::kDroppedQueue);
     return;
   }
   try_send(receiver);
 }
 
+void Network::note_queue_overflow(NodeId id) {
+  DOPHY_DEBUG("drop: node %u forwarding queue overflow", static_cast<unsigned>(id));
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kQueueOverflow)) {
+    tr.event(dophy::obs::EventKind::kQueueOverflow, static_cast<std::uint64_t>(sim_.now()))
+        .u64("node", id);
+  }
+}
+
 void Network::finish_packet(Packet&& packet, PacketFate fate) {
+  const NetMetrics& metrics = NetMetrics::get();
   switch (fate) {
     case PacketFate::kDelivered: break;
-    case PacketFate::kDroppedRetries: ++dropped_retries_; break;
-    case PacketFate::kDroppedNoRoute: ++dropped_noroute_; break;
-    case PacketFate::kDroppedTtl: ++dropped_ttl_; break;
-    case PacketFate::kDroppedQueue: ++dropped_queue_; break;
+    case PacketFate::kDroppedRetries: ++dropped_retries_; metrics.drop_retries.inc(); break;
+    case PacketFate::kDroppedNoRoute: ++dropped_noroute_; metrics.drop_noroute.inc(); break;
+    case PacketFate::kDroppedTtl: ++dropped_ttl_; metrics.drop_ttl.inc(); break;
+    case PacketFate::kDroppedQueue: ++dropped_queue_; metrics.drop_queue.inc(); break;
+  }
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kPacketFate)) {
+    tr.event(dophy::obs::EventKind::kPacketFate, static_cast<std::uint64_t>(sim_.now()))
+        .u64("origin", packet.origin)
+        .u64("seq", packet.seq)
+        .str("fate", to_string(fate))
+        .u64("hops", packet.true_hops.size())
+        .u64("created", static_cast<std::uint64_t>(packet.created_at));
   }
   PacketOutcome outcome;
   outcome.fate = fate;
@@ -372,6 +453,7 @@ void Network::flood_from_sink(std::size_t payload_bytes,
   // Epidemic flood: every node rebroadcasts once, so the byte cost is
   // payload * node_count; installs land with per-depth latency.
   control_flood_bytes_ += payload_bytes * nodes_.size();
+  NetMetrics::get().flood_bytes.inc(payload_bytes * nodes_.size());
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     const NodeId id = static_cast<NodeId>(i);
     const std::uint16_t depth =

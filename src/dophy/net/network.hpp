@@ -157,6 +157,7 @@ class Network {
   void try_send(NodeId id);
   void handle_arrival(NodeId receiver, NodeId sender, Packet packet, std::uint32_t attempts);
   void finish_packet(Packet&& packet, PacketFate fate);
+  void note_queue_overflow(NodeId id);
 
   NetworkConfig config_;
   PacketInstrumentation* instrumentation_;

@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "dophy/common/logging.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/trace.hpp"
+
 namespace dophy::net {
+
+namespace {
+/// Emits the parent-change counter + trace event shared by both adoption
+/// paths in select_parent.
+void note_parent_change(NodeId self, NodeId old_parent, NodeId new_parent, double metric,
+                        SimTime now) {
+  static const auto c_changes =
+      dophy::obs::Registry::global().counter("net.parent.changes");
+  c_changes.inc();
+  DOPHY_DEBUG("routing: node %u parent %u -> %u (metric %.2f)",
+              static_cast<unsigned>(self), static_cast<unsigned>(old_parent),
+              static_cast<unsigned>(new_parent), metric);
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kParentChange)) {
+    tr.event(dophy::obs::EventKind::kParentChange, static_cast<std::uint64_t>(now))
+        .u64("node", self)
+        .u64("old", old_parent)
+        .u64("new", new_parent)
+        .f64("metric", metric);
+  }
+}
+}  // namespace
 
 RoutingState::RoutingState(NodeId self, bool is_sink, const RoutingConfig& config)
     : self_(self), is_sink_(is_sink), config_(config),
@@ -74,6 +100,7 @@ bool RoutingState::select_parent(SimTime now) {
         }
       }
       if (best == kInvalidNode) return false;
+      note_parent_change(self_, parent_, best, best_metric, now);
       parent_ = best;
       ++parent_changes_;
       refresh_path_etx();
@@ -96,6 +123,7 @@ bool RoutingState::select_parent(SimTime now) {
   }
 
   if (best_metric + config_.switch_hysteresis <= current_metric) {
+    note_parent_change(self_, parent_, best, best_metric, now);
     parent_ = best;
     ++parent_changes_;
     refresh_path_etx();

@@ -1,6 +1,9 @@
 #include "dophy/net/simulator.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "dophy/obs/metrics.hpp"
 
 namespace dophy::net {
 
@@ -15,6 +18,8 @@ void Simulator::schedule_in(SimTime delay, EventQueue::Callback cb) {
 }
 
 void Simulator::run_until(SimTime until) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t executed_start = executed_;
   while (!queue_.empty() && queue_.next_time() <= until) {
     now_ = queue_.next_time();
     auto cb = queue_.pop();
@@ -22,6 +27,12 @@ void Simulator::run_until(SimTime until) {
     ++executed_;
   }
   if (now_ < until) now_ = until;
+  busy_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  // One batched add per run_until call keeps the per-event path untouched.
+  static const auto c_executed =
+      dophy::obs::Registry::global().counter("sim.events.executed");
+  c_executed.inc(executed_ - executed_start);
 }
 
 void Simulator::run_all() {

@@ -32,10 +32,15 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
   [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 
+  /// Wall-clock seconds spent inside run_until dispatch loops (event-loop
+  /// profiling; step()/run_all() are not accounted).
+  [[nodiscard]] double busy_seconds() const noexcept { return busy_seconds_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
+  double busy_seconds_ = 0.0;
 };
 
 }  // namespace dophy::net

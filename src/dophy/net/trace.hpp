@@ -4,6 +4,7 @@
 // layer consumes.
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,17 @@ enum class PacketFate : std::uint8_t {
   kDroppedTtl,       ///< hop-count guard (routing loop)
   kDroppedQueue,     ///< forwarding queue overflow
 };
+
+[[nodiscard]] constexpr std::string_view to_string(PacketFate fate) noexcept {
+  switch (fate) {
+    case PacketFate::kDelivered: return "delivered";
+    case PacketFate::kDroppedRetries: return "dropped_retries";
+    case PacketFate::kDroppedNoRoute: return "dropped_noroute";
+    case PacketFate::kDroppedTtl: return "dropped_ttl";
+    case PacketFate::kDroppedQueue: return "dropped_queue";
+  }
+  return "?";
+}
 
 struct PacketOutcome {
   Packet packet;          ///< blob + ground-truth hops at end of life

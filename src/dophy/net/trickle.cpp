@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dophy/common/logging.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/trace.hpp"
+
 namespace dophy::net {
+
+namespace {
+struct TrickleMetrics {
+  dophy::obs::Counter tx, suppressions, resets, bytes;
+
+  static const TrickleMetrics& get() {
+    static const TrickleMetrics m;
+    return m;
+  }
+
+ private:
+  TrickleMetrics() {
+    auto& r = dophy::obs::Registry::global();
+    tx = r.counter("trickle.tx");
+    suppressions = r.counter("trickle.suppressions");
+    resets = r.counter("trickle.resets");
+    bytes = r.counter("trickle.bytes");
+  }
+};
+}  // namespace
 
 TrickleDissemination::TrickleDissemination(Network& network, const TrickleConfig& config,
                                            InstallFn install)
@@ -59,6 +83,7 @@ void TrickleDissemination::on_timer(NodeId id, std::uint64_t epoch) {
   if (!net_->node(id).alive()) return;
   if (s.heard_consistent >= config_.redundancy_k) {
     ++stats_.suppressions;
+    TrickleMetrics::get().suppressions.inc();
     return;
   }
   broadcast(id);
@@ -68,6 +93,16 @@ void TrickleDissemination::broadcast(NodeId id) {
   NodeState& s = states_[id];
   ++stats_.transmissions;
   stats_.bytes_sent += s.payload_bytes;
+  TrickleMetrics::get().tx.inc();
+  TrickleMetrics::get().bytes.inc(s.payload_bytes);
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kTrickleTx)) {
+    tr.event(dophy::obs::EventKind::kTrickleTx,
+             static_cast<std::uint64_t>(net_->sim().now()))
+        .u64("node", id)
+        .u64("version", s.version)
+        .u64("bytes", s.payload_bytes);
+  }
   for (const NodeId w : net_->topology().neighbors(id)) {
     Link& l = net_->link(id, w);
     if (l.attempt_control(net_->sim().now()) && net_->node(w).alive()) {
@@ -98,6 +133,18 @@ void TrickleDissemination::receive(NodeId receiver, NodeId /*sender*/, std::uint
   }
   // Either direction of inconsistency resets the interval so the gossip
   // burst propagates fast.
+  TrickleMetrics::get().resets.inc();
+  DOPHY_DEBUG("trickle: node %u inconsistency reset (heard v%u, adopted=%d)",
+              static_cast<unsigned>(receiver), static_cast<unsigned>(version),
+              newer ? 1 : 0);
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kTrickleReset)) {
+    tr.event(dophy::obs::EventKind::kTrickleReset,
+             static_cast<std::uint64_t>(net_->sim().now()))
+        .u64("node", receiver)
+        .u64("version", version)
+        .boolean("adopted", newer);
+  }
   start_interval(receiver, /*reset_to_min=*/true);
 }
 

@@ -1,0 +1,217 @@
+#include "dophy/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dophy::obs {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!first_in_scope_.empty()) first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!first_in_scope_.empty()) first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  json_escape_into(out_, name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += '"';
+  json_escape_into(out_, s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+namespace {
+
+void skip_ws(std::string_view text, std::size_t& i) {
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' || text[i] == '\r')) {
+    ++i;
+  }
+}
+
+/// Parses a JSON string starting at the opening quote; advances `i` past the
+/// closing quote.  Returns nullopt on malformed escapes / missing quote.
+std::optional<std::string> parse_string(std::string_view text, std::size_t& i) {
+  if (i >= text.size() || text[i] != '"') return std::nullopt;
+  ++i;
+  std::string out;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      ++i;
+      return out;
+    }
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return std::nullopt;
+      const char esc = text[i + 1];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 5 >= text.size()) return std::nullopt;
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(std::string(text.substr(i + 2, 4)), nullptr, 16));
+          if (code > 0x7F) return std::nullopt;  // flat parser: ASCII escapes only
+          out += static_cast<char>(code);
+          i += 4;
+          break;
+        }
+        default: return std::nullopt;
+      }
+      i += 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, std::string>> parse_flat_json_object(std::string_view text) {
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') return std::nullopt;
+  ++i;
+  std::map<std::string, std::string> out;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    skip_ws(text, i);
+    return i == text.size() ? std::make_optional(out) : std::nullopt;
+  }
+  while (true) {
+    skip_ws(text, i);
+    auto k = parse_string(text, i);
+    if (!k) return std::nullopt;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws(text, i);
+    if (i >= text.size()) return std::nullopt;
+    if (text[i] == '"') {
+      auto v = parse_string(text, i);
+      if (!v) return std::nullopt;
+      out.emplace(std::move(*k), std::move(*v));
+    } else if (text[i] == '{' || text[i] == '[') {
+      return std::nullopt;  // nested: out of scope for the flat parser
+    } else {
+      const std::size_t start = i;
+      while (i < text.size() && text[i] != ',' && text[i] != '}') ++i;
+      std::string literal(text.substr(start, i - start));
+      while (!literal.empty() && (literal.back() == ' ' || literal.back() == '\t')) {
+        literal.pop_back();
+      }
+      if (literal.empty()) return std::nullopt;
+      out.emplace(std::move(*k), std::move(literal));
+    }
+    skip_ws(text, i);
+    if (i >= text.size()) return std::nullopt;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      skip_ws(text, i);
+      return i == text.size() ? std::make_optional(out) : std::nullopt;
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace dophy::obs

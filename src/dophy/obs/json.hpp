@@ -1,0 +1,60 @@
+#pragma once
+
+// Minimal JSON emission (and a flat-object parser for tests/tooling) used by
+// the observability layer.  Deliberately not a general JSON library: the
+// writer is a streaming string builder with correct escaping, the parser
+// only handles one-level-deep objects (which is exactly what the JSONL event
+// trace emits).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dophy::obs {
+
+/// Appends `s` to `out` with JSON string escaping (quotes not included).
+void json_escape_into(std::string& out, std::string_view s);
+
+/// Streaming JSON writer.  Call sequence is the caller's responsibility
+/// (keys only inside objects, matched begin/end); commas and escaping are
+/// handled here.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes `"name":` inside the current object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void separate();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Parses a flat (non-nested) JSON object such as an event-trace line into
+/// key -> raw value text.  String values are unescaped; numbers/bools keep
+/// their literal spelling.  Returns nullopt on malformed or nested input.
+[[nodiscard]] std::optional<std::map<std::string, std::string>> parse_flat_json_object(
+    std::string_view text);
+
+}  // namespace dophy::obs

@@ -1,0 +1,253 @@
+#include "dophy/obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dophy/obs/json.hpp"
+
+namespace dophy::obs {
+
+// --- snapshot ---------------------------------------------------------------
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& base) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, value] : out.counters) {
+    const auto it = base.counters.find(name);
+    if (it != base.counters.end()) value -= std::min(value, it->second);
+  }
+  for (auto& [name, hist] : out.histograms) {
+    const auto it = base.histograms.find(name);
+    if (it == base.histograms.end() || it->second.bounds != hist.bounds) continue;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      hist.counts[i] -= std::min(hist.counts[i], it->second.counts[i]);
+    }
+    hist.total -= std::min(hist.total, it->second.total);
+    hist.sum -= std::min(hist.sum, it->second.sum);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.key(name).value(value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : histograms) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const std::uint64_t b : hist.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : hist.counts) w.value(c);
+    w.end_array();
+    w.key("total").value(hist.total);
+    w.key("sum").value(hist.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+// --- shard ------------------------------------------------------------------
+
+std::atomic<std::uint64_t>& Registry::Shard::cell(std::uint32_t slot) {
+  const std::size_t chunk_idx = slot / kChunkSlots;
+  auto* chunk = chunks[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // Single writer per shard: no CAS needed, just publish for the reader.
+    chunk = new std::atomic<std::uint64_t>[kChunkSlots]();
+    chunks[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  return chunk[slot % kChunkSlots];
+}
+
+std::uint64_t Registry::Shard::read(std::uint32_t slot) const noexcept {
+  const auto* chunk = chunks[slot / kChunkSlots].load(std::memory_order_acquire);
+  if (chunk == nullptr) return 0;
+  return chunk[slot % kChunkSlots].load(std::memory_order_relaxed);
+}
+
+void Registry::Shard::zero() noexcept {
+  for (auto& slot : chunks) {
+    auto* chunk = slot.load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (std::size_t i = 0; i < kChunkSlots; ++i) chunk[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry::Shard::~Shard() {
+  for (auto& slot : chunks) delete[] slot.load(std::memory_order_acquire);
+}
+
+// --- registry ---------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_registry_ids{1};
+}  // namespace
+
+Registry::Registry() : id_(g_registry_ids.fetch_add(1, std::memory_order_relaxed)) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Shard& Registry::local_shard() {
+  // Caches are keyed by process-unique registry id rather than `this`, so a
+  // stale entry for a destroyed registry can never alias a new one at the
+  // same address.  The single-entry cache keeps the common case (every hot
+  // call site hits the global registry) to one integer compare; the map only
+  // serves tests that juggle several registries on one thread.
+  thread_local std::uint64_t last_id = 0;  // ids start at 1
+  thread_local Shard* last_shard = nullptr;
+  if (last_id == id_) return *last_shard;
+
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  Shard* shard;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) {
+    shard = it->second;
+  } else {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+    cache.emplace(id_, shard);
+  }
+  last_id = id_;
+  last_shard = shard;
+  return *shard;
+}
+
+std::uint32_t Registry::intern(std::string_view name, MetricKind kind, std::uint32_t width,
+                               std::vector<std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    const Def& def = defs_[it->second];
+    if (def.kind != kind) {
+      throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                             "' re-registered as a different kind");
+    }
+    return it->second;
+  }
+  Def def;
+  def.name = std::string(name);
+  def.kind = kind;
+  def.width = width;
+  def.bounds = std::move(bounds);
+  if (kind == MetricKind::kGauge) {
+    def.slot = static_cast<std::uint32_t>(gauges_.size());
+    gauges_.emplace_back(0.0);
+  } else {
+    if (next_slot_ + width > Shard::kChunkSlots * Shard::kMaxChunks) {
+      throw std::logic_error("obs::Registry: slot space exhausted");
+    }
+    // A metric never straddles a chunk boundary, so histogram buckets stay
+    // within one allocation.
+    const std::uint32_t room = Shard::kChunkSlots - (next_slot_ % Shard::kChunkSlots);
+    if (width > room) next_slot_ += room;
+    def.slot = next_slot_;
+    next_slot_ += width;
+  }
+  defs_.push_back(std::move(def));
+  const auto idx = static_cast<std::uint32_t>(defs_.size() - 1);
+  by_name_.emplace(std::string(name), idx);
+  return idx;
+}
+
+Counter Registry::counter(std::string_view name) {
+  const std::uint32_t idx = intern(name, MetricKind::kCounter, 1, {});
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Counter(this, defs_[idx].slot);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  const std::uint32_t idx = intern(name, MetricKind::kGauge, 0, {});
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Gauge(&gauges_[defs_[idx].slot]);
+}
+
+HistogramHandle Registry::histogram(std::string_view name, std::vector<std::uint64_t> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw std::invalid_argument("obs::Registry::histogram: bounds must be strictly increasing");
+  }
+  // Buckets + overflow + value-sum.
+  const auto width = static_cast<std::uint32_t>(bounds.size() + 2);
+  const std::uint32_t idx = intern(name, MetricKind::kHistogram, width, std::move(bounds));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return HistogramHandle(this, defs_[idx].slot, &defs_[idx].bounds);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  auto sum_slot = [&](std::uint32_t slot) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->read(slot);
+    return total;
+  };
+  for (const Def& def : defs_) {
+    switch (def.kind) {
+      case MetricKind::kCounter:
+        out.counters.emplace(def.name, sum_slot(def.slot));
+        break;
+      case MetricKind::kGauge:
+        out.gauges.emplace(def.name, gauges_[def.slot].load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        HistogramSnapshot h;
+        h.bounds = def.bounds;
+        h.counts.resize(def.bounds.size() + 1);
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          h.counts[i] = sum_slot(def.slot + static_cast<std::uint32_t>(i));
+          h.total += h.counts[i];
+        }
+        h.sum = sum_slot(def.slot + def.width - 1);
+        out.histograms.emplace(def.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) shard->zero();
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+}
+
+// --- handles ----------------------------------------------------------------
+
+void Counter::inc(std::uint64_t n) const noexcept {
+  if (reg_ == nullptr || !reg_->metrics_enabled()) return;
+  reg_->local_shard().cell(slot_).fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) const noexcept {
+  if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return cell_ == nullptr ? 0.0 : cell_->load(std::memory_order_relaxed);
+}
+
+void HistogramHandle::observe(std::uint64_t value) const noexcept {
+  if (reg_ == nullptr || !reg_->metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_->begin(), bounds_->end(), value);
+  const auto bucket = static_cast<std::uint32_t>(it - bounds_->begin());
+  Registry::Shard& shard = reg_->local_shard();
+  shard.cell(slot_ + bucket).fetch_add(1, std::memory_order_relaxed);
+  shard.cell(slot_ + static_cast<std::uint32_t>(bounds_->size()) + 1)
+      .fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace dophy::obs

@@ -1,0 +1,179 @@
+#pragma once
+
+// Low-overhead metrics registry: counters, gauges, and fixed-bucket
+// histograms.  Counter/histogram updates land in thread-local shards (one
+// relaxed atomic add on an uncontended cache line), so simulation code can
+// count freely from the trial thread pool; `snapshot()` sums the shards.
+// Because every sharded metric is additive, the sum is independent of thread
+// scheduling — `eval::run_trials` relies on this for deterministic
+// aggregation.
+//
+// Handles are cheap POD-ish values safe to stash in function-local statics:
+//
+//   static const auto c = obs::Registry::global().counter("sim.drop.noroute");
+//   c.inc();
+//
+// Gauges are process-global (not sharded): last store wins, which is only
+// meaningful when a single thread owns the gauge.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dophy::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time view of one histogram.  `counts` has `bounds.size() + 1`
+/// entries; bucket i counts values <= bounds[i], the final bucket is the
+/// overflow tail.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;  ///< sum of counts
+  std::uint64_t sum = 0;    ///< sum of observed values
+
+  [[nodiscard]] double mean() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(total);
+  }
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time view of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counters and histograms become the difference vs `base` (metrics absent
+  /// from `base` keep their value); gauges keep their current reading.
+  [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& base) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Registry;
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const noexcept;
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const noexcept;
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  void observe(std::uint64_t value) const noexcept;
+
+ private:
+  friend class Registry;
+  HistogramHandle(Registry* reg, std::uint32_t slot, const std::vector<std::uint64_t>* bounds)
+      : reg_(reg), slot_(slot), bounds_(bounds) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;                           ///< first bucket slot
+  const std::vector<std::uint64_t>* bounds_ = nullptr;  ///< stable (deque-backed)
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry used by the sim/tomo/eval instrumentation.
+  static Registry& global();
+
+  /// Interns `name` (idempotent: same name -> same metric).  Throws
+  /// std::logic_error if the name is already registered as another kind.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  /// `bounds` are inclusive upper bucket bounds, strictly increasing,
+  /// non-empty.  Re-interning an existing histogram ignores `bounds`.
+  [[nodiscard]] HistogramHandle histogram(std::string_view name,
+                                          std::vector<std::uint64_t> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Turns recording on/off (on by default).  While disabled, counter and
+  /// histogram updates are a relaxed load + branch — microbenchmarks that
+  /// must not measure instrumentation flip this off.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every shard slot and gauge.  Only safe while no other thread is
+  /// updating metrics (e.g. between bench sections).
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class HistogramHandle;
+
+  struct Def {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t slot = 0;   ///< first slot (counter/histogram) or gauge index
+    std::uint32_t width = 0;  ///< number of slots
+    std::vector<std::uint64_t> bounds;  ///< histogram only
+  };
+
+  /// Per-thread slot storage.  Chunked so the arrays never reallocate:
+  /// writers publish chunks with release stores, the snapshot thread loads
+  /// with acquire, and slot updates are relaxed atomics (single writer).
+  struct Shard {
+    static constexpr std::size_t kChunkSlots = 512;
+    static constexpr std::size_t kMaxChunks = 64;  ///< 32k slots, plenty
+    std::array<std::atomic<std::atomic<std::uint64_t>*>, kMaxChunks> chunks{};
+
+    std::atomic<std::uint64_t>& cell(std::uint32_t slot);
+    [[nodiscard]] std::uint64_t read(std::uint32_t slot) const noexcept;
+    void zero() noexcept;
+    ~Shard();
+  };
+
+  [[nodiscard]] Shard& local_shard();
+  [[nodiscard]] std::uint32_t intern(std::string_view name, MetricKind kind,
+                                     std::uint32_t width, std::vector<std::uint64_t> bounds);
+
+  mutable std::mutex mutex_;
+  std::deque<Def> defs_;  ///< stable addresses (HistogramHandle::bounds_)
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::deque<std::unique_ptr<Shard>> shards_;
+  std::deque<std::atomic<double>> gauges_;
+  std::atomic<bool> enabled_{true};
+  std::uint32_t next_slot_ = 0;
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local shard cache
+};
+
+}  // namespace dophy::obs

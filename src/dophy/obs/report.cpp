@@ -1,0 +1,62 @@
+#include "dophy/obs/report.hpp"
+
+#include <fstream>
+
+#include "dophy/obs/json.hpp"
+
+namespace dophy::obs {
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(std::uint64_t{1});
+  w.key("bench").value(bench);
+  w.key("title").value(title);
+  w.key("git").value(git_describe());
+  w.key("config").begin_object();
+  for (const auto& [key, value] : config) w.key(key).value(value);
+  w.end_object();
+  w.key("tables").begin_array();
+  for (const TableSection& table : tables) {
+    w.begin_object();
+    w.key("title").value(table.title);
+    w.key("columns").begin_array();
+    for (const auto& c : table.columns) w.value(c);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : table.rows) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("phase_seconds").begin_object();
+  for (const auto& [name, s] : phase_seconds) w.key(name).value(s);
+  w.end_object();
+  // metrics.to_json() is itself a JSON object; splice it in verbatim.
+  w.key("metrics");
+  std::string out = w.take();
+  out += metrics.to_json();
+  out += '}';
+  return out;
+}
+
+std::string_view git_describe() noexcept {
+#ifdef DOPHY_GIT_DESCRIBE
+  return DOPHY_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+bool write_report_file(const RunReport& report, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << report.to_json() << '\n';
+  return file.good();
+}
+
+}  // namespace dophy::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+// Machine-readable run reports.  Every bench binary can emit one of these
+// (--metrics-json) so scripts/run_all_benches.sh and CI collect a
+// schema-stable record per run: what was run (bench, git revision, config),
+// what came out (result tables), where the wall time went (phase timings),
+// and the full metrics snapshot.
+//
+// Schema (version 1, keys always present):
+//   {
+//     "schema_version": 1,
+//     "bench":   "<binary name>",
+//     "title":   "<last table title>",
+//     "git":     "<git describe at configure time>",
+//     "config":  { "<key>": "<value>", ... },
+//     "tables":  [ {"title": ..., "columns": [...], "rows": [[...], ...]} ],
+//     "phase_seconds": { "<phase>": <seconds>, ... },
+//     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//   }
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dophy/obs/metrics.hpp"
+
+namespace dophy::obs {
+
+struct TableSection {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct RunReport {
+  std::string bench;
+  std::string title;
+  std::map<std::string, std::string> config;
+  std::vector<TableSection> tables;
+  std::map<std::string, double> phase_seconds;
+  MetricsSnapshot metrics;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Revision the build was configured from (git describe --always --dirty),
+/// or "unknown" outside a git checkout.
+[[nodiscard]] std::string_view git_describe() noexcept;
+
+/// Writes `report.to_json()` to `path`; returns false on I/O failure.
+bool write_report_file(const RunReport& report, const std::string& path);
+
+}  // namespace dophy::obs

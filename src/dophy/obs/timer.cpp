@@ -1,0 +1,30 @@
+#include "dophy/obs/timer.hpp"
+
+#include <mutex>
+
+namespace dophy::obs {
+
+namespace {
+std::mutex g_phase_mutex;
+PhaseProfile& global_profile_unlocked() {
+  static PhaseProfile profile;
+  return profile;
+}
+}  // namespace
+
+void merge_global_phases(const PhaseProfile& profile) {
+  const std::lock_guard<std::mutex> lock(g_phase_mutex);
+  global_profile_unlocked().merge(profile);
+}
+
+PhaseProfile global_phases() {
+  const std::lock_guard<std::mutex> lock(g_phase_mutex);
+  return global_profile_unlocked();
+}
+
+void reset_global_phases() {
+  const std::lock_guard<std::mutex> lock(g_phase_mutex);
+  global_profile_unlocked() = PhaseProfile();
+}
+
+}  // namespace dophy::obs

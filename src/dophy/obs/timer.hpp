@@ -1,0 +1,84 @@
+#pragma once
+
+// Scoped wall-clock timers for phase profiling.  Timings are kept out of the
+// metrics Registry on purpose: registry contents must stay deterministic for
+// a fixed seed (eval::run_trials asserts this), and wall time is not.
+// Phase durations instead accumulate in PhaseProfile objects — one per
+// pipeline run — and in a process-global profile that the bench report
+// writer snapshots.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dophy::obs {
+
+/// Accumulated wall-clock seconds (and call counts) per named phase.
+class PhaseProfile {
+ public:
+  void add(const std::string& name, double seconds) {
+    seconds_[name] += seconds;
+    ++calls_[name];
+  }
+
+  void merge(const PhaseProfile& other) {
+    for (const auto& [name, s] : other.seconds_) seconds_[name] += s;
+    for (const auto& [name, n] : other.calls_) calls_[name] += n;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& seconds() const noexcept {
+    return seconds_;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& calls() const noexcept {
+    return calls_;
+  }
+
+ private:
+  std::map<std::string, double> seconds_;
+  std::map<std::string, std::uint64_t> calls_;
+};
+
+/// RAII phase timer: records elapsed wall time into a PhaseProfile when it
+/// goes out of scope (or at an explicit stop()).
+class ObsTimer {
+ public:
+  ObsTimer(PhaseProfile& profile, std::string name)
+      : profile_(&profile), name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+
+  ~ObsTimer() { stop(); }
+
+  /// Seconds since construction; monotonically non-decreasing, never negative.
+  [[nodiscard]] double elapsed_s() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  /// Records the elapsed time now; idempotent (the destructor becomes a
+  /// no-op afterwards).
+  void stop() {
+    if (profile_ == nullptr) return;
+    profile_->add(name_, elapsed_s());
+    profile_ = nullptr;
+  }
+
+ private:
+  PhaseProfile* profile_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Merges `profile` into the process-global phase profile (thread-safe).
+void merge_global_phases(const PhaseProfile& profile);
+
+/// Copy of the process-global phase profile (thread-safe).
+[[nodiscard]] PhaseProfile global_phases();
+
+/// Clears the process-global phase profile (thread-safe).
+void reset_global_phases();
+
+}  // namespace dophy::obs

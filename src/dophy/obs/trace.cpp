@@ -1,0 +1,120 @@
+#include "dophy/obs/trace.hpp"
+
+namespace dophy::obs {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kPacketFate: return "packet_fate";
+    case EventKind::kArqExhausted: return "arq_exhausted";
+    case EventKind::kParentChange: return "parent_change";
+    case EventKind::kQueueOverflow: return "queue_overflow";
+    case EventKind::kNodeChurn: return "node_churn";
+    case EventKind::kTrickleTx: return "trickle_tx";
+    case EventKind::kTrickleReset: return "trickle_reset";
+    case EventKind::kModelUpdate: return "model_update";
+    case EventKind::kDecodeFailure: return "decode_failure";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+thread_local std::uint64_t t_run_context = 0;
+constexpr std::uint32_t kAllMask =
+    (1u << static_cast<std::uint32_t>(EventKind::kCount)) - 1;
+}  // namespace
+
+void EventTrace::set_run_context(std::uint64_t run_id) noexcept { t_run_context = run_id; }
+std::uint64_t EventTrace::run_context() noexcept { return t_run_context; }
+
+EventTrace& EventTrace::global() {
+  static EventTrace trace;
+  return trace;
+}
+
+void EventTrace::enable(EventKind kind) noexcept {
+  mask_.fetch_or(1u << static_cast<std::uint32_t>(kind), std::memory_order_relaxed);
+}
+
+void EventTrace::enable_all() noexcept { set_mask(kAllMask); }
+void EventTrace::disable_all() noexcept { set_mask(0); }
+
+bool EventTrace::open_file(const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  file_ = std::move(file);
+  sink_ = nullptr;
+  return true;
+}
+
+void EventTrace::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.is_open()) file_.close();
+  sink_ = std::move(sink);
+}
+
+void EventTrace::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+  sink_ = nullptr;
+}
+
+EventBuilder EventTrace::event(EventKind kind, std::uint64_t t_us) {
+  return EventBuilder(this, kind, t_us);
+}
+
+void EventTrace::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_.is_open()) {
+    file_ << line << '\n';
+  } else if (sink_) {
+    sink_(line);
+  } else {
+    return;  // no destination: drop silently (still counts as not emitted)
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+EventBuilder::EventBuilder(EventTrace* trace, EventKind kind, std::uint64_t t_us)
+    : trace_(trace) {
+  writer_.begin_object();
+  writer_.key("ev").value(to_string(kind));
+  writer_.key("t").value(t_us);
+  writer_.key("run").value(EventTrace::run_context());
+}
+
+EventBuilder::~EventBuilder() {
+  writer_.end_object();
+  trace_->write_line(writer_.str());
+}
+
+EventBuilder& EventBuilder::u64(std::string_view key, std::uint64_t v) {
+  writer_.key(key).value(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::i64(std::string_view key, std::int64_t v) {
+  writer_.key(key).value(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::f64(std::string_view key, double v) {
+  writer_.key(key).value(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::str(std::string_view key, std::string_view v) {
+  writer_.key(key).value(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::boolean(std::string_view key, bool v) {
+  writer_.key(key).value(v);
+  return *this;
+}
+
+}  // namespace dophy::obs

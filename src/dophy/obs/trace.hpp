@@ -1,0 +1,138 @@
+#pragma once
+
+// Structured simulation event trace.  Runtime-toggleable per event kind;
+// when a kind is disabled the call-site cost is one relaxed atomic load and
+// a branch.  Enabled events are emitted as one JSON object per line (JSONL)
+// to a file or a test sink.
+//
+// Call-site pattern (the enabled() check keeps the builder off the fast
+// path entirely):
+//
+//   auto& tr = obs::EventTrace::global();
+//   if (tr.enabled(obs::EventKind::kPacketFate)) {
+//     tr.event(obs::EventKind::kPacketFate, now_us)
+//         .u64("origin", origin).str("fate", "delivered");
+//   }
+//
+// The builder emits on destruction (end of the full expression).  Every line
+// carries the event name ("ev"), simulation time in microseconds ("t"), and
+// the thread's run context ("run", normally the trial seed) so traces from
+// concurrent trials can be demultiplexed.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "dophy/obs/json.hpp"
+
+namespace dophy::obs {
+
+enum class EventKind : std::uint32_t {
+  kPacketFate = 0,    ///< terminal packet outcome (delivered / dropped-*)
+  kArqExhausted,      ///< one hop burned the whole retry budget
+  kParentChange,      ///< routing adopted a new parent
+  kQueueOverflow,     ///< forwarding queue rejected a packet
+  kNodeChurn,         ///< node went down / came back up
+  kTrickleTx,         ///< Trickle broadcast a model version
+  kTrickleReset,      ///< Trickle inconsistency reset an interval
+  kModelUpdate,       ///< sink published a new probability-model set
+  kDecodeFailure,     ///< sink failed to decode a measurement blob
+  kCount
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+class EventTrace;
+
+/// Builds one JSONL record; emits it via the owning trace on destruction.
+class EventBuilder {
+ public:
+  EventBuilder(const EventBuilder&) = delete;
+  EventBuilder& operator=(const EventBuilder&) = delete;
+  ~EventBuilder();
+
+  EventBuilder& u64(std::string_view key, std::uint64_t v);
+  EventBuilder& i64(std::string_view key, std::int64_t v);
+  EventBuilder& f64(std::string_view key, double v);
+  EventBuilder& str(std::string_view key, std::string_view v);
+  EventBuilder& boolean(std::string_view key, bool v);
+
+ private:
+  friend class EventTrace;
+  EventBuilder(EventTrace* trace, EventKind kind, std::uint64_t t_us);
+  EventTrace* trace_;
+  JsonWriter writer_;
+};
+
+class EventTrace {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  /// Process-wide trace used by the sim/tomo instrumentation.
+  static EventTrace& global();
+
+  [[nodiscard]] bool enabled(EventKind kind) const noexcept {
+    return (mask_.load(std::memory_order_relaxed) &
+            (1u << static_cast<std::uint32_t>(kind))) != 0;
+  }
+
+  void enable(EventKind kind) noexcept;
+  void enable_all() noexcept;
+  void disable_all() noexcept;
+  void set_mask(std::uint32_t mask) noexcept { mask_.store(mask, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint32_t mask() const noexcept {
+    return mask_.load(std::memory_order_relaxed);
+  }
+
+  /// Routes events to a JSONL file; returns false (and leaves the previous
+  /// sink) if the file cannot be opened.
+  bool open_file(const std::string& path);
+  /// Routes events to an arbitrary sink (tests).  nullptr discards events.
+  void set_sink(Sink sink);
+  /// Flushes and drops the current file/sink.
+  void close();
+
+  /// Starts one event record at simulation time `t_us`; finish it by adding
+  /// fields and letting the temporary die.
+  [[nodiscard]] EventBuilder event(EventKind kind, std::uint64_t t_us);
+
+  [[nodiscard]] std::uint64_t emitted_count() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Thread-local run context stamped into every event ("run"); pipelines
+  /// set this to the trial seed.
+  static void set_run_context(std::uint64_t run_id) noexcept;
+  [[nodiscard]] static std::uint64_t run_context() noexcept;
+
+ private:
+  friend class EventBuilder;
+  void write_line(const std::string& line);
+
+  std::atomic<std::uint32_t> mask_{0};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::mutex mutex_;
+  std::ofstream file_;
+  Sink sink_;
+};
+
+/// RAII run-context setter (restores the previous context on destruction).
+class ScopedRunContext {
+ public:
+  explicit ScopedRunContext(std::uint64_t run_id) noexcept
+      : prev_(EventTrace::run_context()) {
+    EventTrace::set_run_context(run_id);
+  }
+  ScopedRunContext(const ScopedRunContext&) = delete;
+  ScopedRunContext& operator=(const ScopedRunContext&) = delete;
+  ~ScopedRunContext() { EventTrace::set_run_context(prev_); }
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace dophy::obs

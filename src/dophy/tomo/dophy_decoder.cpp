@@ -1,11 +1,36 @@
 #include "dophy/tomo/dophy_decoder.hpp"
 
 #include "dophy/coding/arith.hpp"
+#include "dophy/common/logging.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/trace.hpp"
 
 namespace dophy::tomo {
 
 using dophy::net::kSinkId;
 using dophy::net::NodeId;
+
+namespace {
+
+/// Accounts one decode failure: registry counter, debug log, trace event.
+void note_decode_failure(const dophy::net::Packet& packet, const char* reason) {
+  static const auto c_fail = dophy::obs::Registry::global().counter("tomo.decode.failures");
+  c_fail.inc();
+  DOPHY_DEBUG("decode failure: origin %u seq %u (%s, model v%u)",
+              static_cast<unsigned>(packet.origin), static_cast<unsigned>(packet.seq), reason,
+              static_cast<unsigned>(packet.blob.model_version));
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kDecodeFailure)) {
+    tr.event(dophy::obs::EventKind::kDecodeFailure,
+             static_cast<std::uint64_t>(packet.created_at))
+        .u64("origin", packet.origin)
+        .u64("seq", packet.seq)
+        .str("reason", reason)
+        .u64("model_version", packet.blob.model_version);
+  }
+}
+
+}  // namespace
 
 DophyDecoder::DophyDecoder(const ModelStore& sink_store, const SymbolMapper& mapper,
                            std::uint16_t max_hops)
@@ -15,12 +40,14 @@ std::optional<DecodedPath> DophyDecoder::decode(const dophy::net::Packet& packet
   const ModelSet* models = store_->find(packet.blob.model_version);
   if (models == nullptr) {
     ++stats_.decode_failures;
+    note_decode_failure(packet, "unknown_model_version");
     return std::nullopt;
   }
   if (packet.blob.state_size != 0 || packet.blob.truncated) {
     // Blob was never finalized (a forwarder skipped encoding) or ran out of
     // payload budget mid-path; the stream cannot be decoded soundly.
     ++stats_.decode_failures;
+    note_decode_failure(packet, packet.blob.truncated ? "truncated" : "unfinalized");
     return std::nullopt;
   }
 
@@ -41,13 +68,18 @@ std::optional<DecodedPath> DophyDecoder::decode(const dophy::net::Packet& packet
       prev = receiver;
       if (receiver == kSinkId) {
         ++stats_.packets_decoded;
+        static const auto c_ok = dophy::obs::Registry::global().counter("tomo.decode.ok");
+        c_ok.inc();
         return path;
       }
     }
   } catch (const std::exception&) {
-    // fall through to failure accounting
+    ++stats_.decode_failures;
+    note_decode_failure(packet, "stream_error");
+    return std::nullopt;
   }
   ++stats_.decode_failures;
+  note_decode_failure(packet, "no_sink_terminal");
   return std::nullopt;
 }
 

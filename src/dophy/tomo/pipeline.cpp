@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "dophy/obs/timer.hpp"
+#include "dophy/obs/trace.hpp"
 #include "dophy/tomo/baseline/delivery_ratio.hpp"
 #include "dophy/tomo/baseline/em_tomography.hpp"
 #include "dophy/tomo/baseline/inputs.hpp"
@@ -56,6 +58,11 @@ std::vector<LinkScore> score_map(
 }  // namespace
 
 PipelineResult run_pipeline(const PipelineConfig& config) {
+  // Stamp every trace event emitted by this run with its seed so concurrent
+  // trials writing to one JSONL sink can be demultiplexed.
+  const dophy::obs::ScopedRunContext run_ctx(config.net.seed);
+  dophy::obs::PhaseProfile profile;
+
   const SymbolMapper mapper(config.dophy.censor_threshold);
   const bool hash_mode = config.dophy.path_mode == PathMode::kHashPath;
 
@@ -128,6 +135,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
 
   std::vector<std::uint32_t> attempt_stream;
   net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime) {
+    const dophy::obs::ObsTimer decode_timer(profile, "decode");
     const auto decoded = decode(packet);
     if (!decoded) return;
     manager.observe(*decoded);
@@ -194,7 +202,10 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   });
 
   // --- Warm-up --------------------------------------------------------------
-  net.run_for(config.warmup_s);
+  {
+    dophy::obs::ObsTimer t(profile, "warmup");
+    net.run_for(config.warmup_s);
+  }
   take_snapshot(net.sim().now());  // guarantee a snapshot at window start
 
   // Ground-truth window starts here; with a tail fraction < 1 the counters
@@ -221,11 +232,15 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   in_measure = true;
 
   // --- Measurement window ----------------------------------------------------
-  net.run_for(config.measure_s);
+  {
+    dophy::obs::ObsTimer t(profile, "measure");
+    net.run_for(config.measure_s);
+  }
   in_measure = false;
   const SimTime measure_end = net.sim().now();
 
   // --- Ground truth -----------------------------------------------------------
+  dophy::obs::ObsTimer truth_timer(profile, "ground_truth");
   std::unordered_map<LinkKey, std::pair<double, std::uint64_t>, LinkKeyHash> truth;
   std::size_t active_links = 0;
   for (const LinkKey key : net.link_keys()) {
@@ -237,6 +252,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     truth.emplace(key, std::make_pair(loss, attempts));
     ++active_links;
   }
+  truth_timer.stop();
 
   PipelineResult result;
   result.net_stats = net.stats();
@@ -282,8 +298,16 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   result.attempt_stream = std::move(attempt_stream);
   result.epoch_series = std::move(epoch_series);
 
+  // Publishes the per-run phase timings into the result and the process
+  // global profile; called on every return path.
+  const auto finalize_phases = [&] {
+    result.phase_seconds = profile.seconds();
+    dophy::obs::merge_global_phases(profile);
+  };
+
   // --- Dophy scores -----------------------------------------------------------
   {
+    dophy::obs::ObsTimer t(profile, "score");
     MethodResult m;
     m.name = "dophy";
     std::unordered_map<LinkKey, double, LinkKeyHash> est_map;
@@ -293,7 +317,11 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     result.methods.push_back(std::move(m));
   }
 
-  if (!config.run_baselines) return result;
+  if (!config.run_baselines) {
+    finalize_phases();
+    return result;
+  }
+  dophy::obs::ObsTimer baselines_timer(profile, "baselines");
 
   // --- Baseline inputs from traces ---------------------------------------------
   // Snapshot index covering time t: the latest snapshot taken at or before t.
@@ -395,6 +423,8 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     result.methods.push_back(std::move(m));
   }
 
+  baselines_timer.stop();
+  finalize_phases();
   return result;
 }
 

@@ -6,6 +6,7 @@
 // every method against the same empirical ground truth.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,11 @@ struct PipelineResult {
 
   /// Dophy accuracy over time (only when collect_epoch_series is set).
   std::vector<EpochPoint> epoch_series;
+
+  /// Wall-clock seconds per pipeline phase (warmup, measure, decode,
+  /// ground_truth, score, baselines).  Also merged into
+  /// dophy::obs::global_phases() for the bench report writer.
+  std::map<std::string, double> phase_seconds;
 
   /// Convenience lookup; throws if the method was not run.
   [[nodiscard]] const MethodResult& method(const std::string& name) const;

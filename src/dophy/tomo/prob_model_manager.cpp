@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dophy/common/logging.hpp"
 #include "dophy/common/stats.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/trace.hpp"
 
 namespace dophy::tomo {
 
@@ -65,6 +68,24 @@ void ProbModelManager::publish_now() {
   for (auto& c : deployed_id_counts_) c = std::max<std::uint64_t>(c, 1);
   for (auto& c : deployed_retx_counts_) c = std::max<std::uint64_t>(c, 1);
   ++stats_.updates_published;
+  {
+    auto& r = dophy::obs::Registry::global();
+    static const auto c_updates = r.counter("tomo.model.updates");
+    static const auto c_bytes = r.counter("tomo.model.bytes");
+    c_updates.inc();
+    c_bytes.inc(set.wire_size());
+  }
+  DOPHY_INFO("model update: published v%u (%zu bytes, kl=%.3f bits, %llu window hops)",
+             static_cast<unsigned>(next_version), set.wire_size(), stats_.last_kl_bits,
+             static_cast<unsigned long long>(window_hops_));
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kModelUpdate)) {
+    tr.event(dophy::obs::EventKind::kModelUpdate, static_cast<std::uint64_t>(last_tick_))
+        .u64("version", next_version)
+        .u64("bytes", set.wire_size())
+        .f64("kl_bits", stats_.last_kl_bits)
+        .u64("window_hops", window_hops_);
+  }
   publish_(set);
   reset_window();
 }

@@ -1,0 +1,328 @@
+// dophy::obs unit tests: metrics registry (interning, cross-thread merge,
+// histogram bucketing, deltas), phase timers, the JSON writer/parser, and
+// the JSONL event trace round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dophy/obs/json.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/timer.hpp"
+#include "dophy/obs/trace.hpp"
+
+namespace dophy::obs {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, CounterInterningIsIdempotent) {
+  Registry reg;
+  const auto a = reg.counter("x");
+  const auto b = reg.counter("x");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(reg.snapshot().counters.at("x"), 5u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  (void)reg.counter("metric");
+  EXPECT_THROW((void)reg.gauge("metric"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("metric", {1, 2}), std::logic_error);
+}
+
+TEST(Registry, BadHistogramBoundsThrow) {
+  Registry reg;
+  EXPECT_THROW((void)reg.histogram("empty", {}), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("nonmono", {1, 1}), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("decreasing", {4, 2}), std::logic_error);
+}
+
+TEST(Registry, CountersMergeAcrossThreads) {
+  Registry reg;
+  const auto c = reg.counter("threads.total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.snapshot().counters.at("threads.total"), kThreads * kPerThread);
+}
+
+TEST(Registry, HistogramBucketing) {
+  Registry reg;
+  const auto h = reg.histogram("h", {1, 2, 4});
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 9u}) h.observe(v);
+
+  const auto snap = reg.snapshot().histograms.at("h");
+  ASSERT_EQ(snap.bounds, (std::vector<std::uint64_t>{1, 2, 4}));
+  // Buckets are inclusive upper bounds: {0,1} | {2} | {3,4} | overflow {9}.
+  ASSERT_EQ(snap.counts, (std::vector<std::uint64_t>{2, 1, 2, 1}));
+  EXPECT_EQ(snap.total, 6u);
+  EXPECT_EQ(snap.sum, 19u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 19.0 / 6.0);
+}
+
+TEST(Registry, GaugeLastWriteWins) {
+  Registry reg;
+  const auto g = reg.gauge("g");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("g"), -2.25);
+}
+
+TEST(Registry, DeltaSince) {
+  Registry reg;
+  const auto c = reg.counter("c");
+  const auto h = reg.histogram("h", {10});
+  const auto g = reg.gauge("g");
+  c.inc(5);
+  h.observe(3);
+  g.set(1.0);
+
+  const auto base = reg.snapshot();
+  c.inc(3);
+  h.observe(20);
+  g.set(7.0);
+  const auto delta = reg.snapshot().delta_since(base);
+
+  EXPECT_EQ(delta.counters.at("c"), 3u);
+  EXPECT_EQ(delta.histograms.at("h").counts, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(delta.histograms.at("h").total, 1u);
+  EXPECT_EQ(delta.histograms.at("h").sum, 20u);
+  // Gauges are point-in-time readings, not accumulators.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("g"), 7.0);
+}
+
+TEST(Registry, DisableDropsUpdates) {
+  Registry reg;
+  const auto c = reg.counter("c");
+  const auto h = reg.histogram("h", {1});
+  EXPECT_TRUE(reg.metrics_enabled());
+  c.inc(2);
+  reg.set_enabled(false);
+  c.inc(100);
+  h.observe(5);
+  reg.set_enabled(true);
+  c.inc(3);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 5u);
+  EXPECT_EQ(snap.histograms.at("h").total, 0u);
+}
+
+TEST(Registry, ResetZeroes) {
+  Registry reg;
+  const auto c = reg.counter("c");
+  const auto h = reg.histogram("h", {1});
+  c.inc(4);
+  h.observe(1);
+  reg.reset();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").total, 0u);
+  // Handles stay valid after a reset.
+  c.inc();
+  EXPECT_EQ(reg.snapshot().counters.at("c"), 1u);
+}
+
+TEST(Registry, ManyMetricsSpanChunks) {
+  // More slots than one 512-slot chunk to exercise chunk allocation.
+  Registry reg;
+  std::vector<Counter> counters;
+  counters.reserve(700);
+  for (int i = 0; i < 700; ++i) {
+    counters.push_back(reg.counter("c" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    counters[i].inc(static_cast<std::uint64_t>(i));
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c0"), 0u);
+  EXPECT_EQ(snap.counters.at("c511"), 511u);
+  EXPECT_EQ(snap.counters.at("c512"), 512u);
+  EXPECT_EQ(snap.counters.at("c699"), 699u);
+}
+
+TEST(Registry, SnapshotToJsonIsFlatlyParseableSections) {
+  Registry reg;
+  reg.counter("a").inc(2);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\":2"), std::string::npos);
+}
+
+// --- Timers -----------------------------------------------------------------
+
+TEST(Timer, RecordsElapsedIntoProfile) {
+  PhaseProfile profile;
+  {
+    ObsTimer t(profile, "phase");
+    EXPECT_GE(t.elapsed_s(), 0.0);
+  }
+  ASSERT_EQ(profile.calls().at("phase"), 1u);
+  EXPECT_GE(profile.seconds().at("phase"), 0.0);
+}
+
+TEST(Timer, StopIsIdempotent) {
+  PhaseProfile profile;
+  {
+    ObsTimer t(profile, "p");
+    t.stop();
+    t.stop();  // second stop and the destructor must not double-record
+  }
+  EXPECT_EQ(profile.calls().at("p"), 1u);
+}
+
+TEST(Timer, ElapsedIsMonotonic) {
+  PhaseProfile profile;
+  ObsTimer t(profile, "p");
+  const double a = t.elapsed_s();
+  const double b = t.elapsed_s();
+  EXPECT_GE(b, a);
+  t.stop();
+}
+
+TEST(Timer, ProfileMergeSums) {
+  PhaseProfile a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds().at("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds().at("y"), 3.0);
+  EXPECT_EQ(a.calls().at("x"), 2u);
+}
+
+TEST(Timer, GlobalPhasesMergeAndReset) {
+  reset_global_phases();
+  PhaseProfile p;
+  p.add("g", 0.5);
+  merge_global_phases(p);
+  merge_global_phases(p);
+  EXPECT_DOUBLE_EQ(global_phases().seconds().at("g"), 1.0);
+  reset_global_phases();
+  EXPECT_TRUE(global_phases().seconds().empty());
+}
+
+// --- JSON -------------------------------------------------------------------
+
+TEST(Json, WriterProducesNestedJson) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("do\"phy\n");
+  w.key("n").value(std::uint64_t{42});
+  w.key("neg").value(std::int64_t{-7});
+  w.key("ok").value(true);
+  w.key("list").begin_array().value(std::uint64_t{1}).value(std::uint64_t{2}).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"do\\\"phy\\n\",\"n\":42,\"neg\":-7,\"ok\":true,\"list\":[1,2]}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bad").value(std::numeric_limits<double>::quiet_NaN());
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"bad\":null}");
+}
+
+TEST(Json, ParseFlatObjectRoundTrip) {
+  const auto parsed =
+      parse_flat_json_object(R"({"ev":"packet_fate","t":123,"pi":3.5,"up":true,"s":"a\"b"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("ev"), "packet_fate");
+  EXPECT_EQ(parsed->at("t"), "123");
+  EXPECT_EQ(parsed->at("pi"), "3.5");
+  EXPECT_EQ(parsed->at("up"), "true");
+  EXPECT_EQ(parsed->at("s"), "a\"b");
+}
+
+TEST(Json, ParseRejectsNestedAndMalformed) {
+  EXPECT_FALSE(parse_flat_json_object(R"({"a":{"b":1}})").has_value());
+  EXPECT_FALSE(parse_flat_json_object(R"({"a":[1]})").has_value());
+  EXPECT_FALSE(parse_flat_json_object("not json").has_value());
+  EXPECT_FALSE(parse_flat_json_object(R"({"a":1)").has_value());
+}
+
+// --- Event trace ------------------------------------------------------------
+
+TEST(Trace, JsonlRoundTripThroughSink) {
+  EventTrace trace;
+  std::vector<std::string> lines;
+  trace.set_sink([&](std::string_view line) { lines.emplace_back(line); });
+  trace.enable(EventKind::kPacketFate);
+
+  const ScopedRunContext ctx(77);
+  trace.event(EventKind::kPacketFate, 123456)
+      .u64("origin", 9)
+      .str("fate", "delivered")
+      .f64("x", 1.5)
+      .boolean("late", false);
+
+  ASSERT_EQ(lines.size(), 1u);
+  const auto parsed = parse_flat_json_object(lines[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("ev"), "packet_fate");
+  EXPECT_EQ(parsed->at("t"), "123456");
+  EXPECT_EQ(parsed->at("run"), "77");
+  EXPECT_EQ(parsed->at("origin"), "9");
+  EXPECT_EQ(parsed->at("fate"), "delivered");
+  EXPECT_EQ(parsed->at("late"), "false");
+  EXPECT_EQ(trace.emitted_count(), 1u);
+}
+
+TEST(Trace, MaskTogglesKinds) {
+  EventTrace trace;
+  EXPECT_FALSE(trace.enabled(EventKind::kParentChange));
+  trace.enable(EventKind::kParentChange);
+  EXPECT_TRUE(trace.enabled(EventKind::kParentChange));
+  EXPECT_FALSE(trace.enabled(EventKind::kTrickleTx));
+  trace.enable_all();
+  for (std::uint32_t k = 0; k < static_cast<std::uint32_t>(EventKind::kCount); ++k) {
+    EXPECT_TRUE(trace.enabled(static_cast<EventKind>(k)));
+  }
+  trace.disable_all();
+  EXPECT_FALSE(trace.enabled(EventKind::kParentChange));
+}
+
+TEST(Trace, EventKindNames) {
+  EXPECT_EQ(to_string(EventKind::kPacketFate), "packet_fate");
+  EXPECT_EQ(to_string(EventKind::kArqExhausted), "arq_exhausted");
+  EXPECT_EQ(to_string(EventKind::kParentChange), "parent_change");
+  EXPECT_EQ(to_string(EventKind::kQueueOverflow), "queue_overflow");
+  EXPECT_EQ(to_string(EventKind::kNodeChurn), "node_churn");
+  EXPECT_EQ(to_string(EventKind::kTrickleTx), "trickle_tx");
+  EXPECT_EQ(to_string(EventKind::kTrickleReset), "trickle_reset");
+  EXPECT_EQ(to_string(EventKind::kModelUpdate), "model_update");
+  EXPECT_EQ(to_string(EventKind::kDecodeFailure), "decode_failure");
+}
+
+TEST(Trace, RunContextRestoredByScope) {
+  EventTrace::set_run_context(1);
+  {
+    const ScopedRunContext ctx(42);
+    EXPECT_EQ(EventTrace::run_context(), 42u);
+    {
+      const ScopedRunContext inner(43);
+      EXPECT_EQ(EventTrace::run_context(), 43u);
+    }
+    EXPECT_EQ(EventTrace::run_context(), 42u);
+  }
+  EXPECT_EQ(EventTrace::run_context(), 1u);
+}
+
+}  // namespace
+}  // namespace dophy::obs

@@ -1,0 +1,155 @@
+// Observability integration: the pipeline's structured event trace, the
+// deterministic metric aggregation of eval::run_trials across different
+// thread-pool sizes, and the machine-readable run report.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dophy/common/thread_pool.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/obs/report.hpp"
+#include "dophy/obs/trace.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::obs {
+namespace {
+
+dophy::tomo::PipelineConfig tiny_config(std::uint64_t seed) {
+  auto cfg = dophy::eval::default_pipeline(30, seed);
+  cfg.warmup_s = 100.0;
+  cfg.measure_s = 400.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  cfg.dophy.update.check_interval_s = 60.0;
+  cfg.dophy.update.min_hop_samples = 100;
+  cfg.run_baselines = false;
+  return cfg;
+}
+
+TEST(ObsReport, RunTrialsMetricsDeterministicAcrossPoolSizes) {
+  const auto cfg = tiny_config(10);
+  dophy::common::ThreadPool serial(1);
+  dophy::common::ThreadPool wide(3);
+
+  const auto a = dophy::eval::run_trials(cfg, 3, 99, /*keep_runs=*/false, &serial);
+  const auto b = dophy::eval::run_trials(cfg, 3, 99, /*keep_runs=*/false, &wide);
+
+  // Counters and histograms in the batch delta are sums of per-trial
+  // (seed-determined) increments, so scheduling must not change them.
+  EXPECT_EQ(a.metrics.counters, b.metrics.counters);
+  EXPECT_EQ(a.metrics.histograms, b.metrics.histograms);
+
+  EXPECT_EQ(a.metrics.counters.at("eval.trials"), 3u);
+  EXPECT_GT(a.metrics.counters.at("sim.packets.generated"), 0u);
+  EXPECT_GT(a.metrics.counters.at("sim.packets.delivered"), 0u);
+  EXPECT_GT(a.metrics.counters.at("tomo.model.updates"), 0u);
+  EXPECT_GT(a.metrics.histograms.at("sim.path.hops").total, 0u);
+
+  // Phase wall-clock timings exist per trial even though they are (rightly)
+  // not part of the deterministic registry.
+  EXPECT_EQ(a.phase_seconds.at("warmup").count(), 3u);
+  EXPECT_EQ(a.phase_seconds.at("measure").count(), 3u);
+}
+
+TEST(ObsReport, PipelineTraceProducesParseableJsonl) {
+  auto& trace = EventTrace::global();
+  std::vector<std::string> lines;
+  std::mutex lines_mutex;
+  trace.set_sink([&](std::string_view line) {
+    const std::lock_guard<std::mutex> lock(lines_mutex);
+    lines.emplace_back(line);
+  });
+  trace.enable_all();
+
+  const std::uint64_t seed = 21;
+  const auto result = dophy::tomo::run_pipeline(tiny_config(seed));
+
+  trace.disable_all();
+  trace.set_sink(nullptr);
+
+  ASSERT_FALSE(lines.empty());
+  std::set<std::string> kinds;
+  for (const auto& line : lines) {
+    const auto parsed = parse_flat_json_object(line);
+    ASSERT_TRUE(parsed.has_value()) << "unparseable trace line: " << line;
+    ASSERT_TRUE(parsed->count("ev"));
+    ASSERT_TRUE(parsed->count("t"));
+    ASSERT_TRUE(parsed->count("run"));
+    EXPECT_EQ(parsed->at("run"), std::to_string(seed));
+    kinds.insert(parsed->at("ev"));
+  }
+  EXPECT_TRUE(kinds.count("packet_fate"));
+  EXPECT_TRUE(kinds.count("parent_change"));
+  EXPECT_TRUE(kinds.count("model_update"));
+
+  // The pipeline also reports where its wall time went.
+  EXPECT_TRUE(result.phase_seconds.count("warmup"));
+  EXPECT_TRUE(result.phase_seconds.count("measure"));
+  EXPECT_TRUE(result.phase_seconds.count("decode"));
+  EXPECT_TRUE(result.phase_seconds.count("score"));
+}
+
+TEST(ObsReport, TraceFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "dophy_trace_test.jsonl";
+  auto& trace = EventTrace::global();
+  ASSERT_TRUE(trace.open_file(path));
+  trace.enable(EventKind::kModelUpdate);
+  trace.event(EventKind::kModelUpdate, 42).u64("version", 1);
+  trace.disable_all();
+  trace.close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto parsed = parse_flat_json_object(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("ev"), "model_update");
+  EXPECT_EQ(parsed->at("version"), "1");
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, RunReportWritesSchemaStableJson) {
+  RunReport report;
+  report.bench = "test_bench";
+  report.title = "A \"quoted\" title";
+  report.config["trials"] = "3";
+  TableSection section;
+  section.title = "t";
+  section.columns = {"a", "b"};
+  section.rows = {{"1", "2"}, {"3", "4"}};
+  report.tables.push_back(section);
+  report.phase_seconds["warmup"] = 1.25;
+  report.metrics.counters["c"] = 7;
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"A \\\"quoted\\\" title\""), std::string::npos);
+  EXPECT_NE(json.find("\"git\":"), std::string::npos);
+  EXPECT_NE(json.find("\"warmup\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":7"), std::string::npos);
+  EXPECT_NE(json.find("[\"1\",\"2\"]"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  const std::string path = ::testing::TempDir() + "dophy_report_test.json";
+  ASSERT_TRUE(write_report_file(report, path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json + "\n");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(git_describe().empty());
+}
+
+}  // namespace
+}  // namespace dophy::obs
