@@ -116,7 +116,10 @@ ArithmeticDecoder::ArithmeticDecoder(std::span<const std::uint8_t> data, std::si
 }
 
 bool ArithmeticDecoder::next_bit() noexcept {
-  if (reader_.exhausted()) return false;  // zero-fill past the logical end
+  if (reader_.exhausted()) {
+    ++fill_;  // zero-fill past the logical end (see likely_truncated())
+    return false;
+  }
   ++consumed_;
   return reader_.get_bit();
 }

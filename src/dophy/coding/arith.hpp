@@ -77,6 +77,16 @@ class ArithmeticDecoder {
   /// Bits consumed from the underlying stream (excludes virtual zero-fill).
   [[nodiscard]] std::size_t bits_consumed() const noexcept { return consumed_; }
 
+  /// Virtual zero bits consumed past the logical end of the stream.
+  [[nodiscard]] std::size_t fill_bits() const noexcept { return fill_; }
+
+  /// Truncation heuristic.  Decoding a properly finish()ed stream to its
+  /// exact symbol count reads at most 32 + renormalization-shift bits, and
+  /// the encoder emitted at least shifts + 1 bits — so legitimate zero-fill
+  /// is bounded by 31 bits.  Reaching 32 fill bits means the stream ended
+  /// earlier than a complete encoding could have: the buffer was cut.
+  [[nodiscard]] bool likely_truncated() const noexcept { return fill_ >= 32; }
+
  private:
   [[nodiscard]] bool next_bit() noexcept;
 
@@ -85,6 +95,7 @@ class ArithmeticDecoder {
   std::uint64_t high_ = 0xFFFFFFFFull;
   std::uint64_t value_ = 0;
   std::size_t consumed_ = 0;
+  std::size_t fill_ = 0;
 };
 
 }  // namespace dophy::coding

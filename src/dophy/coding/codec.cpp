@@ -9,6 +9,31 @@
 
 namespace dophy::coding {
 
+std::string_view to_string(CodecError error) noexcept {
+  switch (error) {
+    case CodecError::kNone: return "none";
+    case CodecError::kTruncated: return "truncated";
+    case CodecError::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+// Default hardening: the bit-oriented codecs (fixed/Elias/Rice/Huffman)
+// already guard every read — running off the buffer throws std::out_of_range
+// (BitReader) and an impossible codeword throws logic/runtime errors — so
+// mapping exceptions to the typed error is sufficient.
+DecodeOutcome Codec::try_decode(const std::vector<std::uint8_t>& bytes, std::size_t count) {
+  DecodeOutcome out;
+  try {
+    out.symbols = decode(bytes, count);
+  } catch (const std::out_of_range&) {
+    out.error = CodecError::kTruncated;
+  } catch (const std::exception&) {
+    out.error = CodecError::kMalformed;
+  }
+  return out;
+}
+
 namespace {
 
 using dophy::common::BitReader;
@@ -162,6 +187,27 @@ class StaticArithCodec final : public Codec {
     return symbols;
   }
 
+  // Arithmetic streams happily decode a cut buffer into in-alphabet garbage
+  // (the zero-fill tail is indistinguishable from data), so the exception
+  // mapping alone is not enough: also reject streams whose decode leaned on
+  // more virtual fill than any complete encoding could need.
+  [[nodiscard]] DecodeOutcome try_decode(const std::vector<std::uint8_t>& bytes,
+                                         std::size_t count) override {
+    DecodeOutcome out;
+    ArithmeticDecoder dec(bytes);
+    try {
+      out.symbols.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        out.symbols.push_back(static_cast<std::uint32_t>(dec.decode(model_)));
+      }
+    } catch (const std::exception&) {
+      out.error = CodecError::kMalformed;
+      return out;
+    }
+    if (dec.likely_truncated()) out.error = CodecError::kTruncated;
+    return out;
+  }
+
  private:
   StaticModel model_;
 };
@@ -199,6 +245,27 @@ class AdaptiveArithCodec final : public Codec {
       symbols.push_back(static_cast<std::uint32_t>(s));
     }
     return symbols;
+  }
+
+  // Same truncation rationale as StaticArithCodec::try_decode.
+  [[nodiscard]] DecodeOutcome try_decode(const std::vector<std::uint8_t>& bytes,
+                                         std::size_t count) override {
+    DecodeOutcome out;
+    AdaptiveModel model(alphabet_size_);
+    ArithmeticDecoder dec(bytes);
+    try {
+      out.symbols.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t s = dec.decode(model);
+        model.update(s);
+        out.symbols.push_back(static_cast<std::uint32_t>(s));
+      }
+    } catch (const std::exception&) {
+      out.error = CodecError::kMalformed;
+      return out;
+    }
+    if (dec.likely_truncated()) out.error = CodecError::kTruncated;
+    return out;
   }
 
  private:

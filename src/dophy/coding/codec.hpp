@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dophy/coding/arith.hpp"
@@ -20,6 +21,26 @@
 #include "dophy/coding/huffman.hpp"
 
 namespace dophy::coding {
+
+/// Typed decode failure.  Hostile (truncated / bit-flipped) buffers must
+/// surface as one of these — never as UB, a crash, or silent garbage.
+enum class CodecError : std::uint8_t {
+  kNone = 0,
+  kTruncated,  ///< stream ended before `count` symbols were produced
+  kMalformed,  ///< codeword/stream structure invalid (bit flips, bad state)
+};
+
+[[nodiscard]] std::string_view to_string(CodecError error) noexcept;
+
+/// Result of a hardened decode: either `count` symbols, or a typed error
+/// (on failure `symbols` is unspecified — empty or a partial prefix).
+struct DecodeOutcome {
+  std::vector<std::uint32_t> symbols;
+  CodecError error = CodecError::kNone;
+
+  [[nodiscard]] bool ok() const noexcept { return error == CodecError::kNone; }
+  explicit operator bool() const noexcept { return ok(); }
+};
 
 class Codec {
  public:
@@ -32,9 +53,17 @@ class Codec {
   virtual std::size_t encode(const std::vector<std::uint32_t>& symbols,
                              std::vector<std::uint8_t>& out) = 0;
 
-  /// Decodes exactly `count` symbols.
+  /// Decodes exactly `count` symbols.  Throws on malformed input (see
+  /// try_decode for the non-throwing contract).
   [[nodiscard]] virtual std::vector<std::uint32_t> decode(
       const std::vector<std::uint8_t>& bytes, std::size_t count) = 0;
+
+  /// Hardened decode for untrusted buffers: never throws on bad input,
+  /// returns a typed error instead.  The arithmetic codecs additionally run
+  /// a truncation check (their streams otherwise decode any prefix to
+  /// plausible in-alphabet garbage).
+  [[nodiscard]] virtual DecodeOutcome try_decode(const std::vector<std::uint8_t>& bytes,
+                                                 std::size_t count);
 };
 
 /// Fixed-width binary packing (the "no compression" reference; width chosen

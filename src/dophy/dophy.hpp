@@ -12,6 +12,9 @@
 #include "dophy/coding/codec.hpp"
 #include "dophy/coding/freq_model.hpp"
 
+#include "dophy/fault/fault_plan.hpp"
+#include "dophy/fault/injector.hpp"
+
 #include "dophy/net/energy.hpp"
 #include "dophy/net/network.hpp"
 #include "dophy/net/trickle.hpp"

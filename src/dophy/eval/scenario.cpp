@@ -68,6 +68,26 @@ void add_opportunism(PipelineConfig& config, double fraction) {
   config.net.routing.opportunistic_fraction = fraction;
 }
 
+void add_faults(PipelineConfig& config, double intensity) {
+  auto& f = config.faults;
+  f.enabled = intensity > 0.0;
+  if (!f.enabled) return;
+  f.seed = config.net.seed ^ 0xf417ULL;
+  f.start_s = config.warmup_s;  // let routing converge before the storm
+  f.horizon_s = config.measure_s;
+  f.node_crashes_per_hour = 6.0 * intensity;
+  f.crash_duration_s = 60.0;
+  f.sink_outages_per_hour = 1.0 * intensity;
+  f.sink_outage_duration_s = 15.0;
+  f.link_blackouts_per_hour = 8.0 * intensity;
+  f.blackout_duration_s = 30.0;
+  f.clock_skews_per_hour = 4.0 * intensity;
+  f.clock_skew_max = 0.05;
+  f.report_corrupt_prob = 0.02 * intensity;
+  f.report_truncate_prob = 0.02 * intensity;
+  f.report_drop_prob = 0.02 * intensity;
+}
+
 std::vector<NamedScenario> summary_scenarios(std::size_t node_count, std::uint64_t seed) {
   std::vector<NamedScenario> scenarios;
 

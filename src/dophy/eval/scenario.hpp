@@ -36,6 +36,12 @@ void add_churn(dophy::tomo::PipelineConfig& config, double churn_fraction,
 /// dynamics: even consecutive packets from one origin take different paths).
 void add_opportunism(dophy::tomo::PipelineConfig& config, double fraction);
 
+/// Enables chaos fault injection at `intensity` in [0, 1]: 0 disables,
+/// 1 is the full F9 storm (node crashes + sink outages + link blackouts +
+/// clock skew + report corruption/truncation/drop, rates scaled linearly).
+/// Faults start after warm-up so routing converges first.
+void add_faults(dophy::tomo::PipelineConfig& config, double intensity);
+
 struct NamedScenario {
   std::string name;
   dophy::tomo::PipelineConfig config;

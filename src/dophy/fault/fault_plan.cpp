@@ -1,0 +1,131 @@
+#include "dophy/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dophy/common/rng.hpp"
+
+namespace dophy::fault {
+
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kSinkOutage: return "sink_outage";
+    case FaultKind::kLinkBlackout: return "link_blackout";
+    case FaultKind::kClockSkew: return "clock_skew";
+    case FaultKind::kReportCorrupt: return "report_corrupt";
+    case FaultKind::kReportTruncate: return "report_truncate";
+    case FaultKind::kReportDrop: return "report_drop";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  events_.push_back(event);
+  finalized_ = false;
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_node_crash(double at_s, NodeId node, double down_s) {
+  return add({at_s, FaultKind::kNodeCrash, node, dophy::net::kInvalidNode, down_s, 0.0});
+}
+
+FaultPlan& FaultPlan::add_sink_outage(double at_s, double down_s) {
+  return add({at_s, FaultKind::kSinkOutage, kSinkId, dophy::net::kInvalidNode, down_s, 0.0});
+}
+
+FaultPlan& FaultPlan::add_link_blackout(double at_s, NodeId from, NodeId to,
+                                        double duration_s) {
+  return add({at_s, FaultKind::kLinkBlackout, from, to, duration_s, 0.0});
+}
+
+FaultPlan& FaultPlan::add_clock_skew(double at_s, NodeId node, double factor) {
+  return add({at_s, FaultKind::kClockSkew, node, dophy::net::kInvalidNode, 0.0, factor});
+}
+
+FaultPlan& FaultPlan::add_report_fault(double at_s, FaultKind kind, double probability,
+                                       double duration_s) {
+  return add({at_s, kind, dophy::net::kInvalidNode, dophy::net::kInvalidNode, duration_s,
+              probability});
+}
+
+void FaultPlan::finalize() {
+  if (finalized_) return;
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at_s != b.at_s) return a.at_s < b.at_s;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.peer < b.peer;
+                   });
+  finalized_ = true;
+}
+
+FaultPlan FaultPlan::generate(const FaultPlanConfig& config, std::size_t node_count) {
+  FaultPlan plan;
+  if (!config.enabled || node_count < 2) {
+    plan.finalize();
+    return plan;
+  }
+  dophy::common::Rng rng(config.seed ^ 0x6661756c74ULL);  // "fault"
+  const double hours = std::max(0.0, config.horizon_s) / 3600.0;
+
+  // Each category draws its count, then its event parameters, from the same
+  // stream in a fixed order — the plan is a pure function of (config, N).
+  const auto draw_count = [&](double per_hour) -> std::uint32_t {
+    const double mean = per_hour * hours;
+    return mean <= 0.0 ? 0u : rng.poisson(mean);
+  };
+  const auto draw_time = [&] {
+    return config.start_s + rng.uniform(0.0, std::max(1e-9, config.horizon_s));
+  };
+  const auto draw_node = [&]() -> NodeId {
+    return static_cast<NodeId>(1 + rng.next_below(node_count - 1));
+  };
+
+  const std::uint32_t crashes = draw_count(config.node_crashes_per_hour);
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    plan.add_node_crash(draw_time(), draw_node(), config.crash_duration_s);
+  }
+
+  const std::uint32_t outages = draw_count(config.sink_outages_per_hour);
+  for (std::uint32_t i = 0; i < outages; ++i) {
+    plan.add_sink_outage(draw_time(), config.sink_outage_duration_s);
+  }
+
+  const std::uint32_t blackouts = draw_count(config.link_blackouts_per_hour);
+  for (std::uint32_t i = 0; i < blackouts; ++i) {
+    // Directed pair; the injector resolves it to the nearest real radio edge.
+    const NodeId from = static_cast<NodeId>(rng.next_below(node_count));
+    NodeId to = static_cast<NodeId>(rng.next_below(node_count));
+    if (to == from) to = static_cast<NodeId>((to + 1) % node_count);
+    plan.add_link_blackout(draw_time(), from, to, config.blackout_duration_s);
+  }
+
+  const std::uint32_t skews = draw_count(config.clock_skews_per_hour);
+  for (std::uint32_t i = 0; i < skews; ++i) {
+    const double offset = rng.uniform(-config.clock_skew_max, config.clock_skew_max);
+    plan.add_clock_skew(draw_time(), draw_node(), 1.0 + offset);
+  }
+
+  if (config.report_corrupt_prob > 0.0) {
+    plan.add_report_fault(config.start_s, FaultKind::kReportCorrupt,
+                          config.report_corrupt_prob, config.horizon_s);
+  }
+  if (config.report_truncate_prob > 0.0) {
+    plan.add_report_fault(config.start_s, FaultKind::kReportTruncate,
+                          config.report_truncate_prob, config.horizon_s);
+  }
+  if (config.report_drop_prob > 0.0) {
+    plan.add_report_fault(config.start_s, FaultKind::kReportDrop,
+                          config.report_drop_prob, config.horizon_s);
+  }
+
+  plan.finalize();
+  return plan;
+}
+
+}  // namespace dophy::fault

@@ -1,0 +1,108 @@
+#pragma once
+
+// Deterministic fault schedules.  A FaultPlan is a time-sorted list of fault
+// events — node crash/reboot, sink outage, link blackout bursts, clock skew,
+// and report corruption/truncation/drop windows — either scripted by hand
+// (the builder API) or generated from rate parameters and a seed.  Plans are
+// pure data: generating the same config with the same seed yields the same
+// events bit-for-bit, independent of any simulator state, so a faulty run is
+// exactly as reproducible as a benign one.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,      ///< node goes down for `duration_s`, then reboots
+  kSinkOutage,     ///< the sink goes deaf for `duration_s`
+  kLinkBlackout,   ///< directed link loses every frame for `duration_s`
+  kClockSkew,      ///< node's periodic activity stretches by `magnitude`
+  kReportCorrupt,  ///< window: delivered reports get `magnitude` prob bit flips
+  kReportTruncate, ///< window: delivered reports lose their tail bytes
+  kReportDrop,     ///< window: delivered reports are stripped entirely
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One scheduled fault.  `at_s` is seconds from simulation start; faults with
+/// a duration implicitly schedule their own recovery.
+struct FaultEvent {
+  double at_s = 0.0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  dophy::net::NodeId node = dophy::net::kInvalidNode;  ///< crash/skew target
+  dophy::net::NodeId peer = dophy::net::kInvalidNode;  ///< blackout: link node->peer
+  double duration_s = 0.0;   ///< outage/blackout/window length (0 = permanent)
+  /// Kind-specific intensity: clock skew factor (e.g. 1.02 = 2% slow),
+  /// report corrupt/truncate/drop probability per delivered report.
+  double magnitude = 0.0;
+
+  [[nodiscard]] bool operator==(const FaultEvent&) const noexcept = default;
+};
+
+/// Rates for generated chaos plans.  All rates are per simulated hour of the
+/// plan horizon; the generator draws event times uniformly over the horizon
+/// (after `start_s`) from its own seeded Rng.
+struct FaultPlanConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;        ///< plan stream; independent of the sim seed
+  double start_s = 0.0;          ///< no faults before this time (e.g. warm-up)
+  double horizon_s = 3600.0;     ///< plan covers [start_s, start_s + horizon_s)
+
+  double node_crashes_per_hour = 0.0;
+  double crash_duration_s = 60.0;
+
+  double sink_outages_per_hour = 0.0;
+  double sink_outage_duration_s = 20.0;
+
+  double link_blackouts_per_hour = 0.0;
+  double blackout_duration_s = 30.0;
+
+  double clock_skews_per_hour = 0.0;
+  double clock_skew_max = 0.05;  ///< |factor - 1| drawn uniformly up to this
+
+  /// One window each covering the whole horizon when the probability is > 0.
+  double report_corrupt_prob = 0.0;   ///< per delivered report
+  double report_truncate_prob = 0.0;
+  double report_drop_prob = 0.0;
+};
+
+/// A complete, validated fault schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Scripted plans: append events in any order, then `finalize()`.
+  FaultPlan& add(FaultEvent event);
+  FaultPlan& add_node_crash(double at_s, dophy::net::NodeId node, double down_s);
+  FaultPlan& add_sink_outage(double at_s, double down_s);
+  FaultPlan& add_link_blackout(double at_s, dophy::net::NodeId from, dophy::net::NodeId to,
+                               double duration_s);
+  FaultPlan& add_clock_skew(double at_s, dophy::net::NodeId node, double factor);
+  FaultPlan& add_report_fault(double at_s, FaultKind kind, double probability,
+                              double duration_s = 0.0);
+
+  /// Sorts events by (time, kind, node, peer) — the injector requires a
+  /// deterministic execution order.  Idempotent.
+  void finalize();
+
+  /// Generates a chaos plan from rates.  Node targets are drawn uniformly
+  /// from [1, node_count); blackout links from the node id space (the
+  /// injector skips pairs with no radio edge).  Deterministic in
+  /// (config, node_count).
+  [[nodiscard]] static FaultPlan generate(const FaultPlanConfig& config,
+                                          std::size_t node_count);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+  bool finalized_ = false;
+};
+
+}  // namespace dophy::fault

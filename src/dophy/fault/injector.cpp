@@ -1,0 +1,233 @@
+#include "dophy/fault/injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dophy/common/logging.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/trace.hpp"
+
+namespace dophy::fault {
+
+using dophy::net::kInvalidNode;
+using dophy::net::kSecond;
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::net::SimTime;
+
+namespace {
+
+constexpr SimTime kOpenEnded = std::numeric_limits<SimTime>::max();
+
+/// Interned once; all injectors share these registry handles.
+struct FaultMetrics {
+  dophy::obs::Counter events;
+  dophy::obs::Counter node_crashes, node_reboots, sink_outages;
+  dophy::obs::Counter link_blackouts, clock_skews;
+  dophy::obs::Counter reports_corrupted, reports_truncated, reports_dropped;
+
+  static const FaultMetrics& get() {
+    static const FaultMetrics m;
+    return m;
+  }
+
+ private:
+  FaultMetrics() {
+    auto& r = dophy::obs::Registry::global();
+    events = r.counter("fault.events");
+    node_crashes = r.counter("fault.node.crashes");
+    node_reboots = r.counter("fault.node.reboots");
+    sink_outages = r.counter("fault.sink.outages");
+    link_blackouts = r.counter("fault.link.blackouts");
+    clock_skews = r.counter("fault.clock.skews");
+    reports_corrupted = r.counter("fault.report.corrupted");
+    reports_truncated = r.counter("fault.report.truncated");
+    reports_dropped = r.counter("fault.report.dropped");
+  }
+};
+
+[[nodiscard]] SimTime seconds_to_ticks(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] bool is_report_fault(FaultKind kind) noexcept {
+  return kind == FaultKind::kReportCorrupt || kind == FaultKind::kReportTruncate ||
+         kind == FaultKind::kReportDrop;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(dophy::net::Network& net, FaultPlan plan,
+                             std::uint64_t mutation_seed)
+    : net_(&net), plan_(std::move(plan)), rng_(mutation_seed ^ 0x6d757461746fULL) {
+  plan_.finalize();
+}
+
+void FaultInjector::arm() {
+  if (armed_ || plan_.empty()) return;
+  armed_ = true;
+  const SimTime base = net_->sim().now();
+  bool has_report_faults = false;
+  for (const FaultEvent& event : plan_.events()) {
+    has_report_faults = has_report_faults || is_report_fault(event.kind);
+    const SimTime at = std::max(base, base + seconds_to_ticks(event.at_s));
+    // The plan outlives the queue (same owner as the injector), so capturing
+    // a reference to the event is safe; FaultPlan never reallocates post-arm.
+    net_->sim().schedule_at(at, [this, &event] { execute(event); });
+  }
+  if (has_report_faults) {
+    net_->set_report_mutator(
+        [this](Packet& packet, SimTime now) { mutate_report(packet, now); });
+  }
+}
+
+void FaultInjector::trace_event(const FaultEvent& event) const {
+  auto& tr = dophy::obs::EventTrace::global();
+  if (!tr.enabled(dophy::obs::EventKind::kFaultInject)) return;
+  auto builder = tr.event(dophy::obs::EventKind::kFaultInject,
+                          static_cast<std::uint64_t>(net_->sim().now()));
+  builder.str("kind", to_string(event.kind));
+  if (event.node != kInvalidNode) builder.u64("node", event.node);
+  if (event.peer != kInvalidNode) builder.u64("peer", event.peer);
+  if (event.duration_s > 0.0) builder.f64("duration_s", event.duration_s);
+  if (event.magnitude != 0.0) builder.f64("magnitude", event.magnitude);
+}
+
+void FaultInjector::execute(const FaultEvent& event) {
+  const auto& m = FaultMetrics::get();
+  const SimTime now = net_->sim().now();
+  const SimTime recovery =
+      event.duration_s > 0.0 ? now + seconds_to_ticks(event.duration_s) : kOpenEnded;
+
+  switch (event.kind) {
+    case FaultKind::kNodeCrash: {
+      if (event.node == kInvalidNode || event.node >= net_->node_count() ||
+          event.node == kSinkId) {
+        return;  // plan targets a node this topology does not have
+      }
+      net_->set_node_alive(event.node, false);
+      ++stats_.node_crashes;
+      m.node_crashes.inc();
+      if (recovery != kOpenEnded) {
+        const NodeId node = event.node;
+        net_->sim().schedule_at(recovery, [this, node] {
+          net_->set_node_alive(node, true);
+          ++stats_.node_reboots;
+          FaultMetrics::get().node_reboots.inc();
+        });
+      }
+      break;
+    }
+    case FaultKind::kSinkOutage: {
+      net_->set_node_alive(kSinkId, false);
+      ++stats_.sink_outages;
+      m.sink_outages.inc();
+      if (recovery != kOpenEnded) {
+        net_->sim().schedule_at(recovery,
+                                [this] { net_->set_node_alive(kSinkId, true); });
+      }
+      break;
+    }
+    case FaultKind::kLinkBlackout: {
+      apply_blackout(event.node, event.peer, true);
+      ++stats_.link_blackouts;
+      m.link_blackouts.inc();
+      if (recovery != kOpenEnded) {
+        const NodeId from = event.node;
+        const NodeId to = event.peer;
+        net_->sim().schedule_at(
+            recovery, [this, from, to] { apply_blackout(from, to, false); });
+      }
+      break;
+    }
+    case FaultKind::kClockSkew: {
+      if (event.node == kInvalidNode || event.node >= net_->node_count()) return;
+      net_->set_clock_factor(event.node, event.magnitude);
+      ++stats_.clock_skews;
+      m.clock_skews.inc();
+      break;
+    }
+    case FaultKind::kReportCorrupt:
+    case FaultKind::kReportTruncate:
+    case FaultKind::kReportDrop: {
+      windows_.push_back({event.kind, event.magnitude, recovery});
+      break;
+    }
+  }
+
+  ++stats_.events_executed;
+  m.events.inc();
+  trace_event(event);
+  DOPHY_DEBUG("fault %s executed at t=%llu us",
+              std::string(to_string(event.kind)).c_str(),
+              static_cast<unsigned long long>(now));
+}
+
+void FaultInjector::apply_blackout(NodeId from, NodeId to, bool active) {
+  if (from == kInvalidNode || from >= net_->node_count()) return;
+  // The plan draws (from, to) from the raw id space; resolve it to a real
+  // radio edge so generated chaos always lands on an existing link.
+  if (net_->find_link(from, to) == nullptr) {
+    const auto neighbors = net_->topology().neighbors(from);
+    if (neighbors.empty()) return;
+    to = neighbors[to % neighbors.size()];
+  }
+  net_->link(from, to).set_blackout(active);
+  if (net_->find_link(to, from) != nullptr) {
+    net_->link(to, from).set_blackout(active);  // jam the reverse path too
+  }
+}
+
+void FaultInjector::mutate_report(Packet& packet, SimTime now) {
+  if (packet.blob.wire_bytes() == 0) return;  // no measurement layer riding
+  const auto& m = FaultMetrics::get();
+  auto& tr = dophy::obs::EventTrace::global();
+  const auto note = [&](const char* what, dophy::obs::Counter counter,
+                        std::uint64_t& stat) {
+    ++stat;
+    counter.inc();
+    if (tr.enabled(dophy::obs::EventKind::kFaultInject)) {
+      tr.event(dophy::obs::EventKind::kFaultInject, static_cast<std::uint64_t>(now))
+          .str("kind", what)
+          .u64("origin", packet.origin)
+          .u64("seq", packet.seq);
+    }
+  };
+
+  for (const ReportWindow& window : windows_) {
+    if (now >= window.until) continue;
+    if (!rng_.bernoulli(window.probability)) continue;
+    switch (window.kind) {
+      case FaultKind::kReportDrop:
+        if (packet.blob.dropped) break;
+        packet.blob.bytes.clear();
+        packet.blob.logical_bits = 0;
+        packet.blob.state_size = 0;
+        packet.blob.dropped = true;
+        note("report_drop", m.reports_dropped, stats_.reports_dropped);
+        break;
+      case FaultKind::kReportTruncate: {
+        if (packet.blob.bytes.empty()) break;
+        const std::size_t cut = 1 + rng_.next_below(packet.blob.bytes.size());
+        packet.blob.bytes.resize(packet.blob.bytes.size() - cut);
+        note("report_truncate", m.reports_truncated, stats_.reports_truncated);
+        break;
+      }
+      case FaultKind::kReportCorrupt: {
+        if (packet.blob.bytes.empty()) break;
+        const std::size_t flips = 1 + rng_.next_below(3);
+        for (std::size_t i = 0; i < flips; ++i) {
+          const std::size_t bit = rng_.next_below(packet.blob.bytes.size() * 8);
+          packet.blob.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        note("report_corrupt", m.reports_corrupted, stats_.reports_corrupted);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace dophy::fault

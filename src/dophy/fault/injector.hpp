@@ -1,0 +1,74 @@
+#pragma once
+
+// Executes a FaultPlan against a live Network: schedules every event on the
+// simulator clock, flips the corresponding injection hooks (node liveness,
+// link blackout, clock factor, report mutation), and emits obs::trace events
+// plus registry counters so every injected fault is visible in run reports.
+//
+// The injector owns its own Rng (seeded from the plan config) for report
+// mutations, which are drawn in simulation order — a fixed (plan, sim seed)
+// pair reproduces the same faulted run bit-for-bit on any thread-pool size,
+// because each pipeline's simulation is single-threaded.
+
+#include <cstdint>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/fault/fault_plan.hpp"
+#include "dophy/net/network.hpp"
+
+namespace dophy::fault {
+
+struct FaultStats {
+  std::uint64_t events_executed = 0;   ///< plan events fired (recoveries excluded)
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_reboots = 0;
+  std::uint64_t sink_outages = 0;
+  std::uint64_t link_blackouts = 0;
+  std::uint64_t clock_skews = 0;
+  std::uint64_t reports_corrupted = 0;
+  std::uint64_t reports_truncated = 0;
+  std::uint64_t reports_dropped = 0;
+
+  [[nodiscard]] std::uint64_t reports_mutated() const noexcept {
+    return reports_corrupted + reports_truncated + reports_dropped;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Binds `plan` to `net`.  Event times are relative to the simulator clock
+  /// at `arm()` time.  The injector must outlive the network's event queue
+  /// (scheduled callbacks capture `this`).
+  FaultInjector(dophy::net::Network& net, FaultPlan plan, std::uint64_t mutation_seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every plan event and, when the plan contains report faults,
+  /// installs the network's report mutator.  Call once.
+  void arm();
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void execute(const FaultEvent& event);
+  void trace_event(const FaultEvent& event) const;
+  void apply_blackout(dophy::net::NodeId from, dophy::net::NodeId to, bool active);
+  void mutate_report(dophy::net::Packet& packet, dophy::net::SimTime now);
+
+  struct ReportWindow {
+    FaultKind kind;
+    double probability;
+    dophy::net::SimTime until;  ///< exclusive; max() = open-ended
+  };
+
+  dophy::net::Network* net_;
+  FaultPlan plan_;
+  dophy::common::Rng rng_;
+  std::vector<ReportWindow> windows_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace dophy::fault

@@ -9,6 +9,11 @@ Link::Link(LinkKey key, std::unique_ptr<LossProcess> loss, dophy::common::Rng rn
 
 bool Link::attempt_data(SimTime now) {
   ++data_attempts_;
+  if (blackout_) {
+    ++data_losses_;
+    ++blackout_losses_;
+    return false;
+  }
   const bool lost = loss_->attempt_lost(now, rng_);
   if (lost) ++data_losses_;
   return !lost;
@@ -16,6 +21,11 @@ bool Link::attempt_data(SimTime now) {
 
 bool Link::attempt_control(SimTime now) {
   ++control_attempts_;
+  if (blackout_) {
+    ++control_losses_;
+    ++blackout_losses_;
+    return false;
+  }
   const bool lost = loss_->attempt_lost(now, rng_);
   if (lost) ++control_losses_;
   return !lost;

@@ -56,14 +56,24 @@ class Link {
   /// are untouched.
   void replace_loss_process(std::unique_ptr<LossProcess> process);
 
+  /// Fault-injection blackout: while active every attempt is lost without
+  /// consulting the loss process.  Losses still land in the empirical
+  /// counters — a jammed channel genuinely loses frames, so ground truth
+  /// stays honest.
+  void set_blackout(bool active) noexcept { blackout_ = active; }
+  [[nodiscard]] bool blackout() const noexcept { return blackout_; }
+  [[nodiscard]] std::uint64_t blackout_losses() const noexcept { return blackout_losses_; }
+
  private:
   LinkKey key_;
   std::unique_ptr<LossProcess> loss_;
   dophy::common::Rng rng_;
+  bool blackout_ = false;
   std::uint64_t data_attempts_ = 0;
   std::uint64_t data_losses_ = 0;
   std::uint64_t control_attempts_ = 0;
   std::uint64_t control_losses_ = 0;
+  std::uint64_t blackout_losses_ = 0;
 };
 
 }  // namespace dophy::net

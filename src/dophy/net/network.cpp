@@ -83,32 +83,35 @@ void Network::schedule_churn_transition(NodeId id) {
   const SimTime delay =
       static_cast<SimTime>(std::max(1.0, n.rng().exponential(1.0 / mean_s)) * 1e6);
   sim_.schedule_in(delay, [this, id] {
-    Node& target = node(id);
-    const bool going_down = target.alive();
-    target.set_alive(!going_down);
     NetMetrics::get().churn_transitions.inc();
-    DOPHY_DEBUG("churn: node %u %s at t=%llu us", static_cast<unsigned>(id),
-                going_down ? "down" : "up",
-                static_cast<unsigned long long>(sim_.now()));
-    auto& tr = dophy::obs::EventTrace::global();
-    if (tr.enabled(dophy::obs::EventKind::kNodeChurn)) {
-      tr.event(dophy::obs::EventKind::kNodeChurn, static_cast<std::uint64_t>(sim_.now()))
-          .u64("node", id)
-          .boolean("up", !going_down);
-    }
-    if (going_down) {
-      ++node_failures_;
-      // Packets held in the dead node's queue are lost with it.
-      while (!target.queue_empty()) {
-        finish_packet(target.dequeue(), PacketFate::kDroppedNoRoute);
-      }
-    } else {
-      // Rejoin: stale table entries will be refreshed by beacons; announce
-      // ourselves quickly.
-      trigger_beacon(id);
-    }
+    set_node_alive(id, !node(id).alive());
     schedule_churn_transition(id);
   });
+}
+
+void Network::set_node_alive(NodeId id, bool alive) {
+  Node& target = node(id);
+  if (target.alive() == alive) return;
+  target.set_alive(alive);
+  DOPHY_DEBUG("node %u %s at t=%llu us", static_cast<unsigned>(id), alive ? "up" : "down",
+              static_cast<unsigned long long>(sim_.now()));
+  auto& tr = dophy::obs::EventTrace::global();
+  if (tr.enabled(dophy::obs::EventKind::kNodeChurn)) {
+    tr.event(dophy::obs::EventKind::kNodeChurn, static_cast<std::uint64_t>(sim_.now()))
+        .u64("node", id)
+        .boolean("up", alive);
+  }
+  if (!alive) {
+    ++node_failures_;
+    // Packets held in the dead node's queue are lost with it.
+    while (!target.queue_empty()) {
+      finish_packet(target.dequeue(), PacketFate::kDroppedNoRoute);
+    }
+  } else {
+    // Rejoin: stale table entries will be refreshed by beacons; announce
+    // ourselves quickly.
+    trigger_beacon(id);
+  }
 }
 
 void Network::build_links(dophy::common::Rng& rng) {
@@ -202,8 +205,9 @@ void Network::schedule_beacon(NodeId id, bool initial) {
   Node& n = node(id);
   const double interval = config_.routing.beacon_interval_s;
   const double jitter = config_.routing.beacon_jitter;
-  const double delay_s = initial ? n.rng().uniform(0.0, interval)
-                                 : interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter);
+  const double delay_s = (initial ? n.rng().uniform(0.0, interval)
+                                  : interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter)) *
+                         n.clock_factor();
   sim_.schedule_in(static_cast<SimTime>(delay_s * 1e6), [this, id] { send_beacon(id); });
 }
 
@@ -249,8 +253,9 @@ void Network::schedule_generation(NodeId id, bool initial) {
   const double interval = config_.traffic.data_interval_s;
   const double jitter = config_.traffic.jitter;
   const double delay_s =
-      (initial ? config_.traffic.start_delay_s : 0.0) +
-      interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter);
+      ((initial ? config_.traffic.start_delay_s : 0.0) +
+       interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter)) *
+      n.clock_factor();
   sim_.schedule_in(static_cast<SimTime>(delay_s * 1e6), [this, id] { generate_packet(id); });
 }
 
@@ -380,6 +385,7 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
     ++packets_delivered_;
     NetMetrics::get().delivered.inc();
     NetMetrics::get().path_hops.observe(packet.true_hops.size());
+    if (report_mutator_) report_mutator_(packet, sim_.now());
     if (delivery_handler_) delivery_handler_(packet, sim_.now());
     finish_packet(std::move(packet), PacketFate::kDelivered);
     return;

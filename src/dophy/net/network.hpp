@@ -127,6 +127,20 @@ class Network {
   using DeliveryHandler = std::function<void(const Packet&, SimTime)>;
   void set_delivery_handler(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
 
+  /// Fault-injection hook: runs at the sink after instrumentation finalizes
+  /// the measurement blob and before the delivery handler sees the packet,
+  /// so it can corrupt/truncate/strip the report the decoder will read.
+  using ReportMutator = std::function<void(Packet&, SimTime)>;
+  void set_report_mutator(ReportMutator mutator) { report_mutator_ = std::move(mutator); }
+
+  /// Forces a node up or down (fault injection; also the churn primitive).
+  /// Going down drops the node's queued packets; coming back up announces
+  /// itself with a triggered beacon.  No-op when already in that state.
+  void set_node_alive(NodeId id, bool alive);
+
+  /// Sets a node's clock-rate factor (fault injection; see Node).
+  void set_clock_factor(NodeId id, double factor) { node(id).set_clock_factor(factor); }
+
   /// Periodic hook (e.g. tomography epoch boundaries).  Runs every
   /// `interval_s` simulated seconds starting one interval from now.
   void add_periodic(double interval_s, std::function<void(SimTime)> fn);
@@ -168,6 +182,7 @@ class Network {
   std::unordered_map<LinkKey, std::unique_ptr<Link>, LinkKeyHash> links_;
   TraceCollector traces_;
   DeliveryHandler delivery_handler_;
+  ReportMutator report_mutator_;
   std::vector<std::uint16_t> hops_to_sink_;
   /// Owns add_periodic closures (their scheduled events hold raw pointers).
   std::vector<std::shared_ptr<std::function<void()>>> periodic_fns_;

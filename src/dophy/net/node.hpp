@@ -58,6 +58,14 @@ class Node {
   [[nodiscard]] bool alive() const noexcept { return alive_; }
   void set_alive(bool alive) noexcept { alive_ = alive; }
 
+  /// Clock-rate factor (fault injection): 1.0 is nominal; a skewed node's
+  /// periodic activities (data generation, beacons) stretch or shrink by
+  /// this factor, modeling oscillator drift.
+  [[nodiscard]] double clock_factor() const noexcept { return clock_factor_; }
+  void set_clock_factor(double factor) noexcept {
+    clock_factor_ = factor > 0.0 ? factor : 1.0;
+  }
+
   [[nodiscard]] std::uint16_t next_data_seq() noexcept { return data_seq_++; }
   [[nodiscard]] std::uint16_t next_beacon_seq() noexcept { return beacon_seq_++; }
 
@@ -76,6 +84,7 @@ class Node {
   std::uint16_t beacon_seq_ = 0;
   bool beacon_pending_ = false;
   bool alive_ = true;
+  double clock_factor_ = 1.0;
   std::unordered_set<std::uint64_t> seen_;
   std::deque<std::uint64_t> seen_order_;
   NodeStats stats_;

@@ -26,6 +26,9 @@ struct MeasurementBlob {
   /// Set when a hop could not append (payload budget exhausted); the sink
   /// must not trust the stream to describe the whole path.
   bool truncated = false;
+  /// Set by fault injection when the measurement field was stripped in
+  /// transit: the data packet arrived but its report is gone.
+  bool dropped = false;
 
   /// Bytes this field occupies on the air for one transmission; zero when
   /// no measurement layer initialized the packet.

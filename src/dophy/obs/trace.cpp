@@ -13,6 +13,7 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kTrickleReset: return "trickle_reset";
     case EventKind::kModelUpdate: return "model_update";
     case EventKind::kDecodeFailure: return "decode_failure";
+    case EventKind::kFaultInject: return "fault_inject";
     case EventKind::kCount: break;
   }
   return "?";

@@ -41,6 +41,7 @@ enum class EventKind : std::uint32_t {
   kTrickleReset,      ///< Trickle inconsistency reset an interval
   kModelUpdate,       ///< sink published a new probability-model set
   kDecodeFailure,     ///< sink failed to decode a measurement blob
+  kFaultInject,       ///< fault-injection event executed (dophy::fault)
   kCount
 };
 

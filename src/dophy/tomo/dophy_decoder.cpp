@@ -10,14 +10,45 @@ namespace dophy::tomo {
 using dophy::net::kSinkId;
 using dophy::net::NodeId;
 
+std::string_view to_string(DecodeError error) noexcept {
+  switch (error) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kReportLost: return "report_lost";
+    case DecodeError::kUnknownModelVersion: return "unknown_model_version";
+    case DecodeError::kUnfinalized: return "unfinalized";
+    case DecodeError::kPathTruncated: return "truncated";
+    case DecodeError::kWireTruncated: return "wire_truncated";
+    case DecodeError::kMalformedStream: return "stream_error";
+    case DecodeError::kInvalidHop: return "invalid_hop";
+    case DecodeError::kNoSinkTerminal: return "no_sink_terminal";
+  }
+  return "?";
+}
+
 namespace {
 
+std::uint64_t& stat_for(DophyDecoderStats& stats, DecodeError error) {
+  switch (error) {
+    case DecodeError::kReportLost: return stats.reports_lost;
+    case DecodeError::kUnknownModelVersion: return stats.unknown_model_version;
+    case DecodeError::kUnfinalized: return stats.unfinalized;
+    case DecodeError::kPathTruncated: return stats.path_truncated;
+    case DecodeError::kWireTruncated: return stats.wire_truncated;
+    case DecodeError::kMalformedStream: return stats.malformed_stream;
+    case DecodeError::kInvalidHop: return stats.invalid_hop;
+    case DecodeError::kNoSinkTerminal: return stats.no_sink_terminal;
+    case DecodeError::kNone: break;
+  }
+  return stats.decode_failures;  // unreachable for real errors
+}
+
 /// Accounts one decode failure: registry counter, debug log, trace event.
-void note_decode_failure(const dophy::net::Packet& packet, const char* reason) {
+void note_decode_failure(const dophy::net::Packet& packet, std::string_view reason) {
   static const auto c_fail = dophy::obs::Registry::global().counter("tomo.decode.failures");
   c_fail.inc();
-  DOPHY_DEBUG("decode failure: origin %u seq %u (%s, model v%u)",
-              static_cast<unsigned>(packet.origin), static_cast<unsigned>(packet.seq), reason,
+  DOPHY_DEBUG("decode failure: origin %u seq %u (%.*s, model v%u)",
+              static_cast<unsigned>(packet.origin), static_cast<unsigned>(packet.seq),
+              static_cast<int>(reason.size()), reason.data(),
               static_cast<unsigned>(packet.blob.model_version));
   auto& tr = dophy::obs::EventTrace::global();
   if (tr.enabled(dophy::obs::EventKind::kDecodeFailure)) {
@@ -36,19 +67,32 @@ DophyDecoder::DophyDecoder(const ModelStore& sink_store, const SymbolMapper& map
                            std::uint16_t max_hops)
     : store_(&sink_store), mapper_(mapper), max_hops_(max_hops) {}
 
-std::optional<DecodedPath> DophyDecoder::decode(const dophy::net::Packet& packet) {
+DecodeResult DophyDecoder::fail(const dophy::net::Packet& packet, DecodeError error) {
+  ++stats_.decode_failures;
+  ++stat_for(stats_, error);
+  note_decode_failure(packet, to_string(error));
+  return error;
+}
+
+DecodeResult DophyDecoder::decode(const dophy::net::Packet& packet) {
+  if (packet.blob.dropped) {
+    return fail(packet, DecodeError::kReportLost);
+  }
   const ModelSet* models = store_->find(packet.blob.model_version);
   if (models == nullptr) {
-    ++stats_.decode_failures;
-    note_decode_failure(packet, "unknown_model_version");
-    return std::nullopt;
+    return fail(packet, DecodeError::kUnknownModelVersion);
   }
   if (packet.blob.state_size != 0 || packet.blob.truncated) {
     // Blob was never finalized (a forwarder skipped encoding) or ran out of
     // payload budget mid-path; the stream cannot be decoded soundly.
-    ++stats_.decode_failures;
-    note_decode_failure(packet, packet.blob.truncated ? "truncated" : "unfinalized");
-    return std::nullopt;
+    return fail(packet, packet.blob.truncated ? DecodeError::kPathTruncated
+                                              : DecodeError::kUnfinalized);
+  }
+  if (packet.blob.logical_bits > packet.blob.bytes.size() * 8) {
+    // Buffer shorter than its declared bit length: the report lost bytes in
+    // transit.  BitReader clamps to the buffer so decoding would not read
+    // out of bounds, but the zero tail would decode to plausible garbage.
+    return fail(packet, DecodeError::kWireTruncated);
   }
 
   DecodedPath path;
@@ -59,6 +103,9 @@ std::optional<DecodedPath> DophyDecoder::decode(const dophy::net::Packet& packet
     for (std::uint16_t hop = 0; hop < max_hops_; ++hop) {
       const auto receiver = static_cast<NodeId>(dec.decode(models->id_model));
       const auto symbol = static_cast<std::uint32_t>(dec.decode(models->retx_model));
+      if (validator_ && !validator_(prev, receiver)) {
+        return fail(packet, DecodeError::kInvalidHop);
+      }
       DecodedHop decoded;
       decoded.sender = prev;
       decoded.receiver = receiver;
@@ -74,13 +121,9 @@ std::optional<DecodedPath> DophyDecoder::decode(const dophy::net::Packet& packet
       }
     }
   } catch (const std::exception&) {
-    ++stats_.decode_failures;
-    note_decode_failure(packet, "stream_error");
-    return std::nullopt;
+    return fail(packet, DecodeError::kMalformedStream);
   }
-  ++stats_.decode_failures;
-  note_decode_failure(packet, "no_sink_terminal");
-  return std::nullopt;
+  return fail(packet, DecodeError::kNoSinkTerminal);
 }
 
 }  // namespace dophy::tomo

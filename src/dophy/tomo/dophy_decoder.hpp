@@ -3,9 +3,17 @@
 // Sink-side Dophy decoder: reconstructs the exact per-packet path and the
 // per-hop (possibly censored) transmission counts from the finalized
 // arithmetic stream.
+//
+// Delivered reports are untrusted input — fault injection (and a real
+// deployment's radio) can truncate, bit-flip, or strip them — so decode
+// returns a typed DecodeResult: a path, or a classified error.  A hostile
+// blob must never crash the sink or leak garbage hops into the estimators.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dophy/net/packet.hpp"
@@ -27,9 +35,59 @@ struct DecodedPath {
   std::vector<DecodedHop> hops;
 };
 
+/// Why a delivered report failed to decode.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kReportLost,           ///< measurement field stripped in transit (blob.dropped)
+  kUnknownModelVersion,  ///< sink has no model for the blob's version
+  kUnfinalized,          ///< suspended coder state still attached
+  kPathTruncated,        ///< a hop ran out of payload budget (blob.truncated)
+  kWireTruncated,        ///< buffer shorter than the declared bit length
+  kMalformedStream,      ///< arithmetic stream decoded to an impossible state
+  kInvalidHop,           ///< decoded a hop the topology cannot carry
+  kNoSinkTerminal,       ///< path never reached the sink within max_hops
+};
+
+[[nodiscard]] std::string_view to_string(DecodeError error) noexcept;
+
+/// Either a DecodedPath or a DecodeError.  Mirrors the std::optional surface
+/// (has_value / operator bool / operator* / operator->) so existing callers
+/// that only care about success keep working unchanged.
+class DecodeResult {
+ public:
+  DecodeResult(DecodedPath path)  // NOLINT(google-explicit-constructor)
+      : path_(std::move(path)) {}
+  DecodeResult(DecodeError error)  // NOLINT(google-explicit-constructor)
+      : error_(error) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return path_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const DecodedPath& operator*() const noexcept { return *path_; }
+  [[nodiscard]] DecodedPath& operator*() noexcept { return *path_; }
+  [[nodiscard]] const DecodedPath* operator->() const noexcept { return &*path_; }
+  [[nodiscard]] DecodedPath* operator->() noexcept { return &*path_; }
+  [[nodiscard]] const DecodedPath& value() const { return path_.value(); }
+
+  /// kNone iff has_value().
+  [[nodiscard]] DecodeError error() const noexcept { return error_; }
+
+ private:
+  std::optional<DecodedPath> path_;
+  DecodeError error_ = DecodeError::kNone;
+};
+
 struct DophyDecoderStats {
   std::uint64_t packets_decoded = 0;
-  std::uint64_t decode_failures = 0;  ///< unknown version / corrupt / overlong
+  std::uint64_t decode_failures = 0;  ///< sum of the per-kind counts below
+  std::uint64_t reports_lost = 0;
+  std::uint64_t unknown_model_version = 0;
+  std::uint64_t unfinalized = 0;
+  std::uint64_t path_truncated = 0;
+  std::uint64_t wire_truncated = 0;
+  std::uint64_t malformed_stream = 0;
+  std::uint64_t invalid_hop = 0;
+  std::uint64_t no_sink_terminal = 0;
 };
 
 class DophyDecoder {
@@ -39,16 +97,25 @@ class DophyDecoder {
   DophyDecoder(const ModelStore& sink_store, const SymbolMapper& mapper,
                std::uint16_t max_hops = 64);
 
-  /// Decodes a delivered packet's blob; nullopt on any failure (missing
-  /// model version, corrupt stream, runaway path).
-  [[nodiscard]] std::optional<DecodedPath> decode(const dophy::net::Packet& packet);
+  /// Optional structural check on decoded hops: return false when the
+  /// topology cannot carry (sender -> receiver) and the decode fails with
+  /// kInvalidHop.  Catches bit-flipped streams that still parse.
+  using HopValidator = std::function<bool(dophy::net::NodeId sender,
+                                          dophy::net::NodeId receiver)>;
+  void set_hop_validator(HopValidator validator) { validator_ = std::move(validator); }
+
+  /// Decodes a delivered packet's blob; a typed error on any failure.
+  [[nodiscard]] DecodeResult decode(const dophy::net::Packet& packet);
 
   [[nodiscard]] const DophyDecoderStats& stats() const noexcept { return stats_; }
 
  private:
+  [[nodiscard]] DecodeResult fail(const dophy::net::Packet& packet, DecodeError error);
+
   const ModelStore* store_;
   SymbolMapper mapper_;
   std::uint16_t max_hops_;
+  HopValidator validator_;
   DophyDecoderStats stats_;
 };
 

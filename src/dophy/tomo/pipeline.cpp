@@ -90,6 +90,19 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   Network net(config.net, instr_ptr);
   const std::size_t node_count = net.node_count();
 
+  // --- Fault injection -----------------------------------------------------
+  // The injector outlives the event queue (both die with this scope) and the
+  // plan is generated before any sim activity, so a fixed (faults, net.seed)
+  // pair reproduces the same chaos bit-for-bit.
+  std::optional<dophy::fault::FaultInjector> injector;
+  {
+    auto plan = dophy::fault::FaultPlan::generate(config.faults, node_count);
+    if (!plan.empty()) {
+      injector.emplace(net, std::move(plan), config.faults.seed ^ config.net.seed);
+      injector->arm();
+    }
+  }
+
   // --- Sink-side machinery -------------------------------------------------
   // Trickle mode keeps a version-indexed registry of published sets so the
   // install callback (which only carries the version) can materialize them.
@@ -119,9 +132,18 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
       });
   DophyDecoder id_decoder(sink_store, mapper,
                           static_cast<std::uint16_t>(config.net.traffic.max_hops + 2));
+  if (config.validate_decoded_hops) {
+    id_decoder.set_hop_validator([&net](NodeId sender, NodeId receiver) {
+      return net.topology().are_neighbors(sender, receiver);
+    });
+  }
   HashPathDecoder hash_decoder(sink_store, mapper, net.topology());
-  auto decode = [&](const dophy::net::Packet& packet) {
-    return hash_mode ? hash_decoder.decode(packet) : id_decoder.decode(packet);
+  auto decode = [&](const dophy::net::Packet& packet) -> DecodeResult {
+    if (!hash_mode) return id_decoder.decode(packet);
+    if (packet.blob.dropped) return DecodeError::kReportLost;
+    auto decoded = hash_decoder.decode(packet);
+    if (decoded.has_value()) return std::move(*decoded);
+    return DecodeError::kMalformedStream;  // hash decoder keeps its own stats
   };
   LinkLossEstimator dophy_estimator(config.dophy.censor_threshold, config.dophy.tracker_decay);
   if (config.dophy.prior_successes > 0.0 || config.dophy.prior_failures > 0.0) {
@@ -260,6 +282,10 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   result.decoder_stats = id_decoder.stats();
   result.manager_stats = manager.stats();
   if (trickle) result.trickle_stats = trickle->stats();
+  if (injector) {
+    result.fault_stats = injector->stats();
+    result.fault_events_planned = injector->plan().size();
+  }
   if (hash_mode) {
     const auto& hs = hash_decoder.stats();
     result.decoder_stats.packets_decoded = hs.packets_decoded;

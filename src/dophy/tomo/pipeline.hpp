@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "dophy/fault/fault_plan.hpp"
+#include "dophy/fault/injector.hpp"
 #include "dophy/net/network.hpp"
 #include "dophy/net/trickle.hpp"
 #include "dophy/tomo/dophy_decoder.hpp"
@@ -56,6 +58,14 @@ struct PipelineConfig {
   /// drifting links and tracking estimators.
   double truth_tail_fraction = 1.0;
   bool run_baselines = true;
+  /// Chaos plan generated from these rates and executed against the network
+  /// (disabled by default).  Fault times are relative to simulation start,
+  /// so set faults.start_s >= warmup_s to spare routing convergence.
+  dophy::fault::FaultPlanConfig faults;
+  /// Reject decoded hops the topology cannot carry (catches bit-flipped
+  /// streams that still parse).  A deployment would validate against
+  /// neighborhood reports; the simulator uses the true neighbor graph.
+  bool validate_decoded_hops = true;
   /// Record the raw per-hop transmission counts of delivered packets (ground
   /// truth, uncensored) — used by the offline codec-comparison benches.
   bool collect_attempt_stream = false;
@@ -93,6 +103,10 @@ struct PipelineResult {
 
   /// Trickle counters (zero-filled unless use_trickle_dissemination).
   dophy::net::TrickleStats trickle_stats;
+
+  /// Fault-injection counters (zero-filled when no faults were configured).
+  dophy::fault::FaultStats fault_stats;
+  std::size_t fault_events_planned = 0;
 
   std::uint64_t packets_measured = 0;     ///< delivered inside the window
   double mean_bits_per_packet = 0.0;      ///< finalized measurement stream

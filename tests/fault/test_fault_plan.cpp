@@ -1,0 +1,318 @@
+// dophy::fault unit tests: plan generation determinism, and the injector's
+// end-to-end effect on a live network (crash/reboot, sink outage, link
+// blackout, clock skew, report mutation windows, trace/metrics emission).
+
+#include "dophy/fault/fault_plan.hpp"
+#include "dophy/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dophy/net/network.hpp"
+#include "dophy/obs/trace.hpp"
+
+namespace dophy::fault {
+namespace {
+
+using dophy::net::kSinkId;
+using dophy::net::Network;
+using dophy::net::NetworkConfig;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::net::SimTime;
+
+FaultPlanConfig storm_config(std::uint64_t seed = 7) {
+  FaultPlanConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = seed;
+  cfg.start_s = 100.0;
+  cfg.horizon_s = 3600.0;
+  cfg.node_crashes_per_hour = 5.0;
+  cfg.sink_outages_per_hour = 1.0;
+  cfg.link_blackouts_per_hour = 6.0;
+  cfg.clock_skews_per_hour = 3.0;
+  cfg.report_corrupt_prob = 0.05;
+  cfg.report_truncate_prob = 0.05;
+  cfg.report_drop_prob = 0.05;
+  return cfg;
+}
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  const auto a = FaultPlan::generate(storm_config(), 50);
+  const auto b = FaultPlan::generate(storm_config(), 50);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.events(), b.events());
+  // A different seed yields a different storm.
+  const auto c = FaultPlan::generate(storm_config(99), 50);
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(FaultPlan, DisabledOrDegenerateIsEmpty) {
+  FaultPlanConfig cfg = storm_config();
+  cfg.enabled = false;
+  EXPECT_TRUE(FaultPlan::generate(cfg, 50).empty());
+  EXPECT_TRUE(FaultPlan::generate(storm_config(), 1).empty());
+  FaultPlanConfig zero;
+  zero.enabled = true;  // enabled but all rates zero
+  EXPECT_TRUE(FaultPlan::generate(zero, 50).empty());
+}
+
+TEST(FaultPlan, GeneratedEventsAreSane) {
+  const auto cfg = storm_config();
+  const auto plan = FaultPlan::generate(cfg, 40);
+  ASSERT_FALSE(plan.empty());
+  int report_windows = 0;
+  double prev_time = -1.0;
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.at_s, cfg.start_s);
+    EXPECT_LE(e.at_s, cfg.start_s + cfg.horizon_s);
+    EXPECT_GE(e.at_s, prev_time);  // finalize() sorted by time
+    prev_time = e.at_s;
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        EXPECT_GE(e.node, 1);  // never the sink
+        EXPECT_LT(e.node, 40);
+        break;
+      case FaultKind::kSinkOutage:
+        EXPECT_EQ(e.node, kSinkId);
+        break;
+      case FaultKind::kClockSkew:
+        EXPECT_GT(e.magnitude, 1.0 - cfg.clock_skew_max - 1e-9);
+        EXPECT_LT(e.magnitude, 1.0 + cfg.clock_skew_max + 1e-9);
+        break;
+      case FaultKind::kReportCorrupt:
+      case FaultKind::kReportTruncate:
+      case FaultKind::kReportDrop:
+        ++report_windows;
+        EXPECT_GT(e.magnitude, 0.0);
+        break;
+      case FaultKind::kLinkBlackout:
+        EXPECT_NE(e.node, e.peer);
+        break;
+    }
+  }
+  EXPECT_EQ(report_windows, 3);  // one window per configured probability
+}
+
+TEST(FaultPlan, BuilderFinalizeSortsByTime) {
+  FaultPlan plan;
+  plan.add_clock_skew(50.0, 3, 1.02)
+      .add_node_crash(10.0, 2, 30.0)
+      .add_sink_outage(30.0, 5.0);
+  plan.finalize();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kSinkOutage);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kClockSkew);
+}
+
+TEST(FaultKindNames, Distinct) {
+  EXPECT_EQ(to_string(FaultKind::kNodeCrash), "node_crash");
+  EXPECT_EQ(to_string(FaultKind::kSinkOutage), "sink_outage");
+  EXPECT_EQ(to_string(FaultKind::kLinkBlackout), "link_blackout");
+  EXPECT_EQ(to_string(FaultKind::kClockSkew), "clock_skew");
+  EXPECT_EQ(to_string(FaultKind::kReportCorrupt), "report_corrupt");
+  EXPECT_EQ(to_string(FaultKind::kReportTruncate), "report_truncate");
+  EXPECT_EQ(to_string(FaultKind::kReportDrop), "report_drop");
+}
+
+// --- Injector against a live network ----------------------------------------
+
+NetworkConfig small_net(std::uint64_t seed = 1) {
+  NetworkConfig cfg;
+  cfg.topology.node_count = 30;
+  cfg.topology.field_size = 100.0;
+  cfg.topology.comm_range = 40.0;
+  cfg.traffic.data_interval_s = 5.0;
+  cfg.traffic.start_delay_s = 20.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FaultInjector, CrashAndRebootToggleLiveness) {
+  Network net(small_net());
+  FaultPlan plan;
+  plan.add_node_crash(10.0, 5, 30.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  net.run_for(15.0);
+  EXPECT_FALSE(net.node(5).alive());
+  net.run_for(30.0);  // t=45 > 10+30
+  EXPECT_TRUE(net.node(5).alive());
+  EXPECT_EQ(injector.stats().node_crashes, 1u);
+  EXPECT_EQ(injector.stats().node_reboots, 1u);
+  EXPECT_EQ(injector.stats().events_executed, 1u);
+}
+
+TEST(FaultInjector, SinkOutageAndRecovery) {
+  Network net(small_net());
+  FaultPlan plan;
+  plan.add_sink_outage(10.0, 20.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  net.run_for(15.0);
+  EXPECT_FALSE(net.node(kSinkId).alive());
+  net.run_for(20.0);
+  EXPECT_TRUE(net.node(kSinkId).alive());
+  EXPECT_EQ(injector.stats().sink_outages, 1u);
+}
+
+TEST(FaultInjector, BlackoutOpensAndClosesARealLink) {
+  Network net(small_net());
+  // Pick a real radio edge so the blackout needs no resolution.
+  const auto neighbors = net.topology().neighbors(1);
+  ASSERT_FALSE(neighbors.empty());
+  const NodeId peer = neighbors[0];
+
+  FaultPlan plan;
+  plan.add_link_blackout(10.0, 1, peer, 25.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  net.run_for(15.0);
+  EXPECT_TRUE(net.link(1, peer).blackout());
+  EXPECT_TRUE(net.link(peer, 1).blackout());  // reverse path jammed too
+  net.run_for(30.0);
+  EXPECT_FALSE(net.link(1, peer).blackout());
+  EXPECT_FALSE(net.link(peer, 1).blackout());
+  EXPECT_EQ(injector.stats().link_blackouts, 1u);
+}
+
+TEST(FaultInjector, BlackoutResolvesNonEdgePairsToARealLink) {
+  Network net(small_net());
+  // Find a pair with no radio edge.
+  NodeId from = dophy::net::kInvalidNode;
+  NodeId to = dophy::net::kInvalidNode;
+  for (NodeId a = 1; a < 30 && from == dophy::net::kInvalidNode; ++a) {
+    for (NodeId b = 1; b < 30; ++b) {
+      if (a != b && net.find_link(a, b) == nullptr) {
+        from = a;
+        to = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(from, dophy::net::kInvalidNode) << "topology is a clique?";
+
+  FaultPlan plan;
+  plan.add_link_blackout(10.0, from, to, 20.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+  net.run_for(15.0);
+
+  // Some real edge out of `from` must be blacked out.
+  bool any = false;
+  for (const NodeId n : net.topology().neighbors(from)) {
+    any = any || net.link(from, n).blackout();
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(FaultInjector, ClockSkewSetsNodeFactor) {
+  Network net(small_net());
+  FaultPlan plan;
+  plan.add_clock_skew(10.0, 7, 1.04);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+  net.run_for(15.0);
+  EXPECT_DOUBLE_EQ(net.node(7).clock_factor(), 1.04);
+  EXPECT_EQ(injector.stats().clock_skews, 1u);
+}
+
+/// Minimal measurement layer so delivered packets carry a non-empty blob
+/// for the report-mutation windows to chew on.
+class StubInstrumentation final : public dophy::net::PacketInstrumentation {
+ public:
+  void on_origin(Packet& packet, NodeId, SimTime) override {
+    packet.blob.bytes = {0xAB, 0xCD, 0xEF, 0x12};
+    packet.blob.logical_bits = 32;
+  }
+  void on_hop_received(Packet&, NodeId, NodeId, std::uint32_t, SimTime) override {}
+};
+
+TEST(FaultInjector, ReportDropWindowStripsEveryDeliveredBlob) {
+  StubInstrumentation instr;
+  Network net(small_net(), &instr);
+  FaultPlan plan;
+  plan.add_report_fault(0.0, FaultKind::kReportDrop, 1.0);  // open-ended window
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  net.set_delivery_handler([&](const Packet& packet, SimTime) {
+    ++delivered;
+    dropped += packet.blob.dropped ? 1 : 0;
+    EXPECT_TRUE(packet.blob.bytes.empty());
+  });
+  net.run_for(300.0);
+  ASSERT_GT(delivered, 100u);
+  EXPECT_EQ(dropped, delivered);
+  EXPECT_EQ(injector.stats().reports_dropped, delivered);
+}
+
+TEST(FaultInjector, TruncateWindowShortensBuffersButKeepsBitLength) {
+  StubInstrumentation instr;
+  Network net(small_net(), &instr);
+  FaultPlan plan;
+  plan.add_report_fault(0.0, FaultKind::kReportTruncate, 1.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  std::uint64_t delivered = 0;
+  net.set_delivery_handler([&](const Packet& packet, SimTime) {
+    ++delivered;
+    EXPECT_LT(packet.blob.bytes.size(), 4u);
+    EXPECT_EQ(packet.blob.logical_bits, 32u);  // wire-truncation is detectable
+  });
+  net.run_for(300.0);
+  ASSERT_GT(delivered, 100u);
+  EXPECT_EQ(injector.stats().reports_truncated, delivered);
+}
+
+TEST(FaultInjector, EmitsTraceEventsAndIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    auto& tr = dophy::obs::EventTrace::global();
+    std::vector<std::string> lines;
+    tr.set_sink([&lines](std::string_view line) { lines.emplace_back(line); });
+    tr.enable(dophy::obs::EventKind::kFaultInject);
+
+    StubInstrumentation instr;
+    Network net(small_net(seed), &instr);
+    FaultPlanConfig cfg = storm_config();
+    cfg.start_s = 0.0;
+    cfg.horizon_s = 400.0;
+    cfg.node_crashes_per_hour = 40.0;
+    cfg.link_blackouts_per_hour = 40.0;
+    FaultInjector injector(net, FaultPlan::generate(cfg, net.node_count()), seed);
+    injector.arm();
+    net.run_for(400.0);
+
+    tr.disable_all();
+    tr.close();
+    struct Out {
+      FaultStats stats;
+      std::vector<std::string> lines;
+      std::uint64_t delivered;
+    };
+    return Out{injector.stats(), std::move(lines), net.stats().packets_delivered};
+  };
+
+  const auto a = run_once(3);
+  const auto b = run_once(3);
+  EXPECT_GT(a.stats.events_executed, 0u);
+  EXPECT_FALSE(a.lines.empty());
+  EXPECT_NE(a.lines.front().find("fault_inject"), std::string::npos);
+  // Bit-reproducible: same seeds, same chaos, same outcomes, same trace.
+  EXPECT_EQ(a.stats.events_executed, b.stats.events_executed);
+  EXPECT_EQ(a.stats.reports_mutated(), b.stats.reports_mutated());
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.lines, b.lines);
+}
+
+}  // namespace
+}  // namespace dophy::fault

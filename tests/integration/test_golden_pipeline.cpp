@@ -1,0 +1,186 @@
+// Golden-trace regression tests: fixed-seed pipeline runs pinned to known
+// results.  These are change detectors — any edit to the simulator, codec,
+// decoder, or fault layer that shifts end-to-end behavior shows up here as a
+// precise diff rather than a vague "accuracy got worse somewhere".
+//
+// Tolerances are deliberately loose (a few percent) so a compiler or libm
+// swap does not trip them, while real regressions (delivery collapse, decode
+// failures, accuracy loss, fault accounting drift) land far outside the band.
+//
+// To regenerate after an *intentional* behavior change:
+//   DOPHY_GOLDEN_CAPTURE=1 ./test_integration --gtest_filter='Golden*'
+// and paste the printed block over the golden constants below.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dophy/common/thread_pool.hpp"
+#include "dophy/eval/runner.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 90;
+
+PipelineConfig golden_config() {
+  auto cfg = dophy::eval::default_pipeline(40, kGoldenSeed);
+  cfg.warmup_s = 200.0;
+  cfg.measure_s = 900.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  return cfg;
+}
+
+PipelineConfig faulted_config() {
+  auto cfg = golden_config();
+  dophy::eval::add_faults(cfg, 0.6);
+  return cfg;
+}
+
+bool capture_mode() { return std::getenv("DOPHY_GOLDEN_CAPTURE") != nullptr; }
+
+/// Checks `actual` against the pinned value within a relative band (plus a
+/// small absolute floor for near-zero goldens).
+void expect_close(double actual, double golden, double rel_tol, const char* what) {
+  if (capture_mode()) {
+    std::printf("  %-28s %.6f\n", what, actual);
+    return;
+  }
+  const double tol = std::max(1e-4, rel_tol * std::abs(golden));
+  EXPECT_NEAR(actual, golden, tol) << what;
+}
+
+void expect_count(std::uint64_t actual, double golden, double rel_tol, const char* what) {
+  expect_close(static_cast<double>(actual), golden, rel_tol, what);
+}
+
+// --- Golden constants (captured with the recipe above) ----------------------
+
+// Benign fixed-seed run: default 40-node pipeline, 900 s window.
+constexpr double kGoldPacketsMeasured = 6810;
+constexpr double kGoldDeliveryRatio = 0.970085;
+constexpr double kGoldMeanBitsPerPacket = 38.037445;
+constexpr double kGoldMeanPathLength = 6.949927;
+constexpr double kGoldActiveLinks = 66;
+constexpr double kGoldPacketsDecoded = 7470;
+constexpr double kGoldDophyMae = 0.013158;
+constexpr double kGoldDeliveryRatioMae = 0.224160;
+constexpr double kGoldEmMae = 0.232305;
+
+// Faulted run: same seed, add_faults(intensity=0.6).
+constexpr double kGoldFaultEventsPlanned = 5;
+constexpr double kGoldFaultEventsExecuted = 5;
+constexpr double kGoldReportsMutated = 260;
+constexpr double kGoldFaultDecodeFailures = 253;
+constexpr double kGoldFaultDeliveryRatio = 0.964684;
+constexpr double kGoldFaultDophyMae = 0.014697;
+
+TEST(GoldenPipeline, BenignRunMatchesPinnedResults) {
+  const auto result = run_pipeline(golden_config());
+  if (capture_mode()) std::printf("golden: benign seed=%llu\n", (unsigned long long)kGoldenSeed);
+
+  expect_count(result.packets_measured, kGoldPacketsMeasured, 0.03, "packets_measured");
+  expect_close(result.delivery_ratio_in_window, kGoldDeliveryRatio, 0.02, "delivery_ratio");
+  expect_close(result.mean_bits_per_packet, kGoldMeanBitsPerPacket, 0.05,
+               "mean_bits_per_packet");
+  expect_close(result.mean_path_length, kGoldMeanPathLength, 0.05, "mean_path_length");
+  expect_count(result.active_links, kGoldActiveLinks, 0.05, "active_links");
+  expect_count(result.decoder_stats.packets_decoded, kGoldPacketsDecoded, 0.03,
+               "packets_decoded");
+  expect_close(result.method("dophy").summary.mae, kGoldDophyMae, 0.25, "dophy_mae");
+  expect_close(result.method("delivery-ratio").summary.mae, kGoldDeliveryRatioMae, 0.25,
+               "delivery_ratio_mae");
+  expect_close(result.method("em").summary.mae, kGoldEmMae, 0.25, "em_mae");
+
+  // Structural invariants that hold regardless of the pinned numbers.
+  EXPECT_EQ(result.decoder_stats.decode_failures, 0u);
+  EXPECT_EQ(result.fault_stats.events_executed, 0u);
+  EXPECT_EQ(result.fault_events_planned, 0u);
+}
+
+TEST(GoldenPipeline, FaultedRunMatchesPinnedResults) {
+  const auto result = run_pipeline(faulted_config());
+  if (capture_mode()) std::printf("golden: faulted seed=%llu\n", (unsigned long long)kGoldenSeed);
+
+  expect_count(result.fault_events_planned, kGoldFaultEventsPlanned, 0.01,
+               "fault_events_planned");
+  expect_count(result.fault_stats.events_executed, kGoldFaultEventsExecuted, 0.05,
+               "fault_events_executed");
+  expect_count(result.fault_stats.reports_mutated(), kGoldReportsMutated, 0.15,
+               "reports_mutated");
+  expect_count(result.decoder_stats.decode_failures, kGoldFaultDecodeFailures, 0.15,
+               "decode_failures");
+  expect_close(result.delivery_ratio_in_window, kGoldFaultDeliveryRatio, 0.05,
+               "delivery_ratio");
+  expect_close(result.method("dophy").summary.mae, kGoldFaultDophyMae, 0.3, "dophy_mae");
+
+  if (capture_mode()) return;
+  // Every mutated report must be accounted for: either it decoded anyway
+  // (corruption can land in dead bits) or it is a typed decode failure —
+  // never a crash, never an unexplained disappearance.
+  const auto& d = result.decoder_stats;
+  EXPECT_EQ(d.decode_failures, d.reports_lost + d.unknown_model_version + d.unfinalized +
+                                   d.path_truncated + d.wire_truncated + d.malformed_stream +
+                                   d.invalid_hop + d.no_sink_terminal);
+  EXPECT_GT(d.reports_lost, 0u);  // the drop window fired
+  // Chaos degrades delivery below the benign run's level.
+  EXPECT_LT(result.delivery_ratio_in_window, kGoldDeliveryRatio);
+}
+
+TEST(GoldenPipeline, MetricsSnapshotCarriesExpectedSchemaKeys) {
+  // The --metrics-json surface: eval::run_trials aggregates the registry
+  // delta; downstream tooling depends on these key names.
+  auto cfg = faulted_config();
+  cfg.measure_s = 400.0;
+  cfg.run_baselines = false;
+  const auto agg = dophy::eval::run_trials(cfg, 1, kGoldenSeed);
+
+  for (const char* key :
+       {"eval.trials", "sim.packets.generated", "sim.packets.delivered",
+        "tomo.decode.ok", "fault.events", "fault.node.crashes", "fault.link.blackouts",
+        "fault.report.dropped"}) {
+    EXPECT_TRUE(agg.metrics.counters.count(key)) << "missing metrics key: " << key;
+  }
+  EXPECT_GT(agg.metrics.counters.at("fault.events"), 0u);
+  // Decode failures under chaos surface in the aggregate too.
+  EXPECT_GT(agg.decode_failure_rate.mean(), 0.0);
+}
+
+TEST(GoldenPipeline, FaultedRunIsBitReproducible) {
+  // The acceptance bar for the fault subsystem: a fixed-seed faulted run is
+  // exactly reproducible — same plan, same executions, same mutations, same
+  // decode outcomes, same estimates.
+  auto cfg = faulted_config();
+  cfg.measure_s = 500.0;
+  cfg.run_baselines = false;
+  const auto a = run_pipeline(cfg);
+  const auto b = run_pipeline(cfg);
+  EXPECT_EQ(a.fault_events_planned, b.fault_events_planned);
+  EXPECT_EQ(a.fault_stats.events_executed, b.fault_stats.events_executed);
+  EXPECT_EQ(a.fault_stats.reports_mutated(), b.fault_stats.reports_mutated());
+  EXPECT_EQ(a.decoder_stats.decode_failures, b.decoder_stats.decode_failures);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_DOUBLE_EQ(a.method("dophy").summary.mae, b.method("dophy").summary.mae);
+}
+
+TEST(GoldenPipeline, FaultMetricsDeterministicAcrossPoolSizes) {
+  // Scheduling must not touch fault accounting: the aggregated fault.*
+  // counter delta from a faulted trial batch is identical whether trials run
+  // serially or on a wide pool.
+  auto cfg = faulted_config();
+  cfg.measure_s = 400.0;
+  cfg.run_baselines = false;
+  dophy::common::ThreadPool serial(1);
+  dophy::common::ThreadPool wide(3);
+  const auto a = dophy::eval::run_trials(cfg, 3, 77, /*keep_runs=*/false, &serial);
+  const auto b = dophy::eval::run_trials(cfg, 3, 77, /*keep_runs=*/false, &wide);
+  EXPECT_EQ(a.metrics.counters, b.metrics.counters);
+  EXPECT_GT(a.metrics.counters.at("fault.events"), 0u);
+}
+
+}  // namespace
+}  // namespace dophy::tomo

@@ -104,5 +104,71 @@ TEST_P(AggregationSweep, AccuracyRobustToK) {
 
 INSTANTIATE_TEST_SUITE_P(Ks, AggregationSweep, ::testing::Values(2u, 3u, 4u, 6u, 8u));
 
+// --- Fault-plan sweeps: chaos must degrade gracefully, never break invariants --
+
+class FaultSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSeedSweep, InvariantsHoldUnderChaos) {
+  auto cfg = dophy::eval::default_pipeline(35, GetParam());
+  cfg.warmup_s = 200.0;
+  cfg.measure_s = 700.0;
+  cfg.net.traffic.data_interval_s = 5.0;
+  dophy::eval::add_faults(cfg, 1.0);  // full storm
+  const auto result = run_pipeline(cfg);
+
+  // Invariant 1: the storm actually happened and is fully accounted.
+  EXPECT_GT(result.fault_stats.events_executed, 0u);
+  EXPECT_LE(result.fault_stats.events_executed, result.fault_events_planned);
+  // Invariant 2: no decode ever produced garbage — failures are typed and the
+  // per-kind counters sum exactly to the total.
+  const auto& d = result.decoder_stats;
+  EXPECT_EQ(d.decode_failures, d.reports_lost + d.unknown_model_version + d.unfinalized +
+                                   d.path_truncated + d.wire_truncated + d.malformed_stream +
+                                   d.invalid_hop + d.no_sink_terminal);
+  // Invariant 3: every surviving estimate is still a probability.
+  for (const auto& method : result.methods) {
+    for (const auto& s : method.scores) {
+      EXPECT_GE(s.estimated, 0.0);
+      EXPECT_LE(s.estimated, 1.0);
+      EXPECT_GE(s.truth, 0.0);
+      EXPECT_LE(s.truth, 1.0);
+    }
+  }
+  // Invariant 4: accuracy degrades gracefully — Dophy loses samples to
+  // mutated reports, not correctness on the paths it still decodes.
+  EXPECT_LT(result.method("dophy").summary.mae, 0.12) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSeedSweep, ::testing::Values(5u, 17u, 43u));
+
+TEST(FaultIntensitySweep, DeliveryDegradesMonotonically) {
+  // At a fixed seed, cranking the chaos dial must not *improve* the network:
+  // delivery at each intensity stays within a hair of the previous level or
+  // below it (exact monotonicity is too strict — rerouting around a crashed
+  // node can incidentally dodge a lossy link).
+  double prev = 1.0;
+  std::uint64_t prev_mutations = 0;
+  for (const double intensity : {0.0, 0.5, 1.0}) {
+    auto cfg = dophy::eval::default_pipeline(35, 7);
+    cfg.warmup_s = 200.0;
+    cfg.measure_s = 700.0;
+    cfg.net.traffic.data_interval_s = 5.0;
+    cfg.run_baselines = false;
+    dophy::eval::add_faults(cfg, intensity);
+    const auto result = run_pipeline(cfg);
+    EXPECT_LT(result.delivery_ratio_in_window, prev + 0.02)
+        << "delivery improved at intensity " << intensity;
+    prev = result.delivery_ratio_in_window;
+    // Report mutations scale with the dial (strictly, since probs scale).
+    EXPECT_GE(result.fault_stats.reports_mutated(), prev_mutations);
+    prev_mutations = result.fault_stats.reports_mutated();
+    if (intensity == 0.0) {
+      EXPECT_EQ(result.fault_events_planned, 0u);
+    } else {
+      EXPECT_GT(result.fault_events_planned, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dophy::tomo
