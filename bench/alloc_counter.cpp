@@ -1,0 +1,85 @@
+// Interposed global operator new/delete: counts every heap allocation in
+// the process.  Linked only into benchmark binaries — the library proper
+// never depends on this TU.
+
+#include "alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void counted_free(void* ptr) noexcept {
+  if (ptr != nullptr) g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+}  // namespace
+
+namespace dophy::bench {
+
+AllocSnapshot alloc_snapshot() noexcept {
+  AllocSnapshot s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dophy::bench
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* ptr) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}

@@ -1,0 +1,31 @@
+#pragma once
+
+// Process-wide heap-allocation counters, fed by the interposed global
+// operator new/delete in alloc_counter.cpp.  Link that TU into a benchmark
+// binary and every heap allocation in the process is counted (lock-free,
+// relaxed atomics — negligible overhead next to the allocation itself).
+//
+// Intended use: snapshot around a measured region and report the delta.
+// The simulator hot path is designed to reach a zero-allocation steady
+// state; these counters are how the benchmarks prove it.
+
+#include <cstdint>
+
+namespace dophy::bench {
+
+struct AllocSnapshot {
+  std::uint64_t allocs = 0;  ///< operator new calls
+  std::uint64_t frees = 0;   ///< operator delete calls
+  std::uint64_t bytes = 0;   ///< total bytes requested from operator new
+};
+
+/// Current process-wide totals since start.
+[[nodiscard]] AllocSnapshot alloc_snapshot() noexcept;
+
+/// Allocations made between two snapshots (a taken before b).
+[[nodiscard]] inline std::uint64_t allocs_between(const AllocSnapshot& a,
+                                                  const AllocSnapshot& b) noexcept {
+  return b.allocs - a.allocs;
+}
+
+}  // namespace dophy::bench

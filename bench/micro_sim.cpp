@@ -1,9 +1,14 @@
 // T2b — Simulator microbenchmarks (google-benchmark): raw event-queue
-// throughput and whole-network simulation rate with/without Dophy
-// instrumentation.
+// throughput (typed events and the slab-backed callback escape hatch),
+// whole-network simulation rate with/without Dophy instrumentation, and
+// heap-allocation counts from the interposed counting allocator
+// (alloc_counter.cpp) proving the zero-allocation steady state.
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
+#include "alloc_counter.hpp"
 #include "bench_util.hpp"
 #include "dophy/net/event_queue.hpp"
 #include "dophy/net/network.hpp"
@@ -11,19 +16,62 @@
 
 namespace {
 
+// Pseudo-random schedule times, generated OUTSIDE the timed region: a
+// 64-bit modulo costs ~20 cycles, which is pure harness noise next to a
+// ~20 ns push/pop pair.
+std::array<dophy::net::SimTime, 4096> make_times() {
+  std::array<dophy::net::SimTime, 4096> times;
+  for (std::uint64_t t = 0; t < times.size(); ++t) {
+    times[t] = static_cast<dophy::net::SimTime>((t * 2654435761u) % 100000);
+  }
+  return times;
+}
+
+// The engine hot path: trivially-copyable typed events through the 4-ary
+// heap.  Zero allocations per push/pop once the heap vector reaches its
+// high-water mark.
 void EventQueuePushPop(benchmark::State& state) {
   dophy::net::EventQueue q;
-  std::uint64_t t = 0;
+  const auto noop = [](void*, const dophy::net::Event&) {};
+  const auto times = make_times();
+  const auto ev = dophy::net::Event::node_event(dophy::net::EventKind::kBeaconSend,
+                                                noop, nullptr, 0);
+  std::size_t t = 0;
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
+    const auto before = dophy::bench::alloc_snapshot();
     for (int i = 0; i < 64; ++i) {
-      q.push(static_cast<dophy::net::SimTime>((t * 2654435761u) % 100000), [] {});
-      ++t;
+      q.push_event(times[t], ev);
+      t = (t + 1) % times.size();
     }
     for (int i = 0; i < 64; ++i) (void)q.pop();
+    allocs += dophy::bench::allocs_between(before, dophy::bench::alloc_snapshot());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) * 64.0));
+}
+BENCHMARK(EventQueuePushPop);
+
+// The escape hatch: std::function callbacks parked in the free-listed slab.
+void EventQueuePushPopCallback(benchmark::State& state) {
+  dophy::net::EventQueue q;
+  const auto times = make_times();
+  std::size_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(times[t], [] {});
+      t = (t + 1) % times.size();
+    }
+    for (int i = 0; i < 64; ++i) {
+      const auto entry = q.pop();
+      q.run_callback(entry.event);
+    }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
-BENCHMARK(EventQueuePushPop);
+BENCHMARK(EventQueuePushPopCallback);
 
 dophy::net::NetworkConfig bench_net_config(std::uint64_t seed) {
   dophy::net::NetworkConfig cfg;
@@ -38,14 +86,26 @@ dophy::net::NetworkConfig bench_net_config(std::uint64_t seed) {
 
 void NetworkSimulatedSecondsPlain(benchmark::State& state) {
   std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
+    const auto before = dophy::bench::alloc_snapshot();
     dophy::net::Network net(bench_net_config(seed++));
     net.run_for(120.0);
     benchmark::DoNotOptimize(net.stats().packets_delivered);
+    events += net.sim().executed_count();
+    allocs += dophy::bench::allocs_between(before, dophy::bench::alloc_snapshot());
   }
   state.counters["sim_s_per_s"] =
       benchmark::Counter(static_cast<double>(state.iterations()) * 120.0,
                          benchmark::Counter::kIsRate);
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  // Whole-run figure (construction included); the steady-state benchmark
+  // below isolates the post-warmup rate.
+  state.counters["allocs_per_sim_s"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) * 120.0));
 }
 BENCHMARK(NetworkSimulatedSecondsPlain)->Unit(benchmark::kMillisecond);
 
@@ -64,6 +124,33 @@ void NetworkSimulatedSecondsWithDophy(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(NetworkSimulatedSecondsWithDophy)->Unit(benchmark::kMillisecond);
+
+// Steady-state allocation audit: run the 60-node network past its warm-up
+// (every pool, slab, ring and heap at high-water mark), then count heap
+// allocations across a further simulated minute.  The engine contract is
+// zero allocations per event in steady state.
+void NetworkSteadyStateAllocs(benchmark::State& state) {
+  std::uint64_t allocs = 0;
+  std::uint64_t events = 0;
+  double sim_s = 0.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    dophy::net::Network net(bench_net_config(seed++));
+    net.run_for(300.0);  // warm-up: reach capacity high-water everywhere
+    const std::uint64_t events_before = net.sim().executed_count();
+    const auto before = dophy::bench::alloc_snapshot();
+    net.run_for(60.0);
+    allocs += dophy::bench::allocs_between(before, dophy::bench::alloc_snapshot());
+    events += net.sim().executed_count() - events_before;
+    sim_s += 60.0;
+  }
+  state.counters["steady_allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(events == 0 ? 1 : events));
+  state.counters["steady_allocs_per_sim_s"] =
+      benchmark::Counter(static_cast<double>(allocs) / sim_s);
+}
+BENCHMARK(NetworkSteadyStateAllocs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Perf-regression harness for the simulator/codec microbenchmarks.
+
+Runs `micro_sim` and `micro_codec` (google-benchmark binaries), collects
+throughput counters plus peak RSS and the counting-allocator metrics, writes
+the combined `BENCH_sim.json`, and compares against the committed baseline
+(`bench/BENCH_sim.json` by default).  Exits non-zero when any gated metric
+regresses by more than the threshold (10 % by default).
+
+Noise protocol: CI boxes and shared dev machines jitter by tens of percent,
+and the jitter only ever makes code look *slower*.  Each benchmark binary is
+run `--rounds` times; a gate run keeps the per-metric **best** value (max for
+rates, min for allocation/RSS metrics — best-of-N converges on the machine's
+capability), while `--update-baseline` stores the **median** round (the
+typical value a healthy re-run comfortably beats).  Comparing best-of against
+a best-of baseline false-fails whenever the baseline run got lucky; best
+against median trips only on real regressions.  See docs/PERFORMANCE.md for
+the full methodology, including how the committed baseline was measured
+against the pre-engine tree.
+
+Usage:
+  scripts/bench_compare.py                       # run, write, gate
+  scripts/bench_compare.py --quick               # short benchmark time (CI)
+  scripts/bench_compare.py --update-baseline     # refresh committed baseline
+  scripts/bench_compare.py --skip-gate           # measure only, never fail
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BINARIES = ("micro_sim", "micro_codec")
+
+# google-benchmark entry fields / counters worth tracking.  Anything matching
+# LOWER_IS_BETTER gates in the "must not grow" direction; everything else is
+# a rate ("must not shrink").
+RATE_FIELDS = ("items_per_second",)
+COUNTER_PREFIXES_LOWER = ("alloc", "steady_alloc", "peak_rss")
+
+
+def is_lower_better(metric: str) -> bool:
+    return any(p in metric for p in COUNTER_PREFIXES_LOWER)
+
+
+def run_binary(path: str, min_time: float):
+    """Run one benchmark binary; return (parsed benchmark JSON, peak_rss_kb).
+
+    Peak RSS comes from the child's rusage via os.wait4 — the whole-process
+    high-water mark, which is what the zero-allocation engine work is trying
+    to keep flat.
+    """
+    cmd = [
+        path,
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+    out = proc.stdout.read()
+    _, status, rusage = os.wait4(proc.pid, 0)
+    proc.returncode = os.waitstatus_to_exitcode(status)
+    if proc.returncode != 0:
+        raise RuntimeError(f"{path} exited with {proc.returncode}")
+    return json.loads(out), rusage.ru_maxrss  # ru_maxrss is KiB on Linux
+
+
+def collect_round(build_dir: str, min_time: float):
+    """One measurement round: {binary: {bench: {metric: value}, peak_rss_kb}}."""
+    result = {}
+    for name in BINARIES:
+        path = os.path.join(build_dir, "bench", name)
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"{path} not found — build with -DDOPHY_BUILD_BENCH=ON first")
+        data, peak_rss_kb = run_binary(path, min_time)
+        benches = {}
+        for entry in data.get("benchmarks", []):
+            metrics = {}
+            for field in RATE_FIELDS:
+                if field in entry:
+                    metrics[field] = float(entry[field])
+            for key, value in entry.items():
+                # Custom counters appear as plain numeric fields.
+                if key.endswith("_per_s") or key.endswith("_per_item") or \
+                        key.endswith("_per_event") or key.endswith("_per_sim_s"):
+                    metrics[key] = float(value)
+            if metrics:
+                benches[entry["name"]] = metrics
+        result[name] = {"benchmarks": benches, "peak_rss_kb": float(peak_rss_kb)}
+    return result
+
+
+def _median(values):
+    vs = sorted(values)
+    mid = len(vs) // 2
+    return vs[mid] if len(vs) % 2 else 0.5 * (vs[mid - 1] + vs[mid])
+
+
+def merge_rounds(rounds, policy):
+    """Fold rounds into one result set.
+
+    policy "best": max for rates, min for cost metrics — estimates the
+    machine's capability high-water (noise only ever lowers a rate).
+    policy "median": the typical round — what a re-run should comfortably
+    beat.  Baselines are stored as medians and gate runs measured as
+    best-of, so the gate trips only when best-effort capability falls
+    more than the threshold below the recorded *typical* value; comparing
+    best against best false-fails whenever the baseline run got lucky.
+    """
+    acc = {}
+    for rnd in rounds:
+        for binary, payload in rnd.items():
+            slot = acc.setdefault(binary, {"benchmarks": {}, "peak_rss_kb": []})
+            slot["peak_rss_kb"].append(payload["peak_rss_kb"])
+            for bench, metrics in payload["benchmarks"].items():
+                dst = slot["benchmarks"].setdefault(bench, {})
+                for metric, value in metrics.items():
+                    dst.setdefault(metric, []).append(value)
+
+    def reduce(metric, values):
+        if policy == "median":
+            return _median(values)
+        return min(values) if is_lower_better(metric) else max(values)
+
+    merged = {}
+    for binary, payload in acc.items():
+        merged[binary] = {
+            "peak_rss_kb": reduce("peak_rss_kb", payload["peak_rss_kb"]),
+            "benchmarks": {
+                bench: {m: reduce(m, vs) for m, vs in metrics.items()}
+                for bench, metrics in payload["benchmarks"].items()
+            },
+        }
+    return merged
+
+
+def flatten(results):
+    """{binary: ...} -> {"binary/bench/metric": value} for gating."""
+    flat = {}
+    for binary, payload in results.items():
+        flat[f"{binary}/peak_rss_kb"] = payload["peak_rss_kb"]
+        for bench, metrics in payload["benchmarks"].items():
+            for metric, value in metrics.items():
+                flat[f"{binary}/{bench}/{metric}"] = value
+    return flat
+
+
+def gate(current, baseline, threshold):
+    """Return a list of human-readable regression strings (empty = green)."""
+    failures = []
+    cur = flatten(current)
+    base = flatten(baseline)
+    for key, base_val in sorted(base.items()):
+        if key not in cur:
+            failures.append(f"{key}: present in baseline but missing from this run")
+            continue
+        cur_val = cur[key]
+        if is_lower_better(key):
+            # Absolute slack of 1.0 keeps zero-baseline alloc metrics gateable
+            # without tripping on a single stray allocation miscount.
+            limit = base_val * (1.0 + threshold) + 1.0
+            if cur_val > limit:
+                failures.append(
+                    f"{key}: {cur_val:.3f} exceeds baseline {base_val:.3f} "
+                    f"(limit {limit:.3f})")
+        else:
+            limit = base_val * (1.0 - threshold)
+            if cur_val < limit:
+                failures.append(
+                    f"{key}: {cur_val:.3e} below baseline {base_val:.3e} "
+                    f"(-{(1.0 - cur_val / base_val) * 100.0:.1f} %, "
+                    f"limit -{threshold * 100.0:.0f} %)")
+    return failures
+
+
+def speedups_vs_reference(current, reference):
+    """Ratios of headline current metrics against the pre-engine reference."""
+    out = {}
+    sim = current.get("micro_sim", {}).get("benchmarks", {})
+    mapping = {
+        "EventQueuePushPop_items_per_second":
+            sim.get("EventQueuePushPop", {}).get("items_per_second"),
+        "NetworkSimulatedSecondsPlain_sim_s_per_s":
+            sim.get("NetworkSimulatedSecondsPlain", {}).get("sim_s_per_s"),
+        "NetworkSimulatedSecondsWithDophy_sim_s_per_s":
+            sim.get("NetworkSimulatedSecondsWithDophy", {}).get("sim_s_per_s"),
+    }
+    for key, cur_val in mapping.items():
+        ref_val = reference.get(key)
+        if cur_val and ref_val:
+            out[key] = round(cur_val / ref_val, 2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--baseline",
+                    default=os.path.join(REPO_ROOT, "bench", "BENCH_sim.json"))
+    ap.add_argument("--output",
+                    default=os.path.join(REPO_ROOT, "results", "BENCH_sim.json"))
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="measurement rounds; best-of-N per metric (default 3)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression gate (default 0.10 = 10%%)")
+    ap.add_argument("--quick", action="store_true",
+                    help="short per-benchmark time (CI smoke / gate)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="write this run's results over the committed baseline")
+    ap.add_argument("--skip-gate", action="store_true",
+                    help="measure and write output, never fail")
+    args = ap.parse_args()
+
+    # 0.25 s quick windows: 0.1 s proved too short on a loaded 1-core box —
+    # single-bench swings exceeded 20 %, which no best-of-3 can absorb.
+    min_time = 0.25 if args.quick else 0.5
+    rounds = []
+    for i in range(max(1, args.rounds)):
+        print(f">>> measurement round {i + 1}/{args.rounds}", flush=True)
+        rounds.append(collect_round(args.build_dir, min_time))
+    current = merge_rounds(rounds, policy="best")
+
+    baseline = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+
+    report = {
+        "schema": "dophy-bench-sim/1",
+        "generated_by": "scripts/bench_compare.py",
+        "rounds": len(rounds),
+        "quick": args.quick,
+        "host": {"machine": platform.machine(), "system": platform.system()},
+        "results": current,
+    }
+    if baseline and "pre_engine_reference" in baseline:
+        report["pre_engine_reference"] = baseline["pre_engine_reference"]
+        report["speedup_vs_pre_engine"] = speedups_vs_reference(
+            current, baseline["pre_engine_reference"]["metrics"])
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        # The committed baseline stores the MEDIAN round (see merge_rounds):
+        # gate runs measure best-of, so the stored value must be the typical
+        # round a healthy re-run beats, not a lucky high-water mark.
+        base_report = dict(report)
+        base_report["results"] = merge_rounds(rounds, policy="median")
+        base_report["baseline_policy"] = "median-of-rounds"
+        with open(args.baseline, "w") as fh:
+            json.dump(base_report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if baseline is None:
+        print(f"note: no baseline at {args.baseline}; gate skipped "
+              "(run with --update-baseline to create one)")
+        return 0
+
+    failures = gate(current, baseline.get("results", {}), args.threshold)
+    if "speedup_vs_pre_engine" in report:
+        for key, ratio in sorted(report["speedup_vs_pre_engine"].items()):
+            print(f"  speedup vs pre-engine {key}: {ratio}x")
+    if failures:
+        print(f"PERF GATE: {len(failures)} regression(s) beyond "
+              f"{args.threshold * 100.0:.0f} %:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        if args.skip_gate:
+            print("(--skip-gate: reporting only, exit 0)")
+            return 0
+        return 1
+    print(f"PERF GATE: green ({args.threshold * 100.0:.0f} % threshold, "
+          f"best of {len(rounds)} round(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,11 +38,20 @@ for bench in "$build_dir"/bench/fig_* "$build_dir"/bench/table_summary; do
 done
 
 echo ">>> micro benchmarks"
-"$build_dir"/bench/micro_codec --metrics-json "$out_dir/micro_codec.json" \
-  | tee "$out_dir/micro_codec.txt"
+# --quick shortens the per-benchmark measurement window; this is the mode the
+# CI perf gate uses (see .github/workflows/ci.yml and scripts/bench_compare.py).
+micro_args=()
+[[ -n "$quick_flag" ]] && micro_args+=(--benchmark_min_time=0.1)
+"$build_dir"/bench/micro_codec "${micro_args[@]}" \
+  --metrics-json "$out_dir/micro_codec.json" | tee "$out_dir/micro_codec.txt"
 check_report "$out_dir/micro_codec.json"
-"$build_dir"/bench/micro_sim --metrics-json "$out_dir/micro_sim.json" \
-  | tee "$out_dir/micro_sim.txt"
+"$build_dir"/bench/micro_sim "${micro_args[@]}" \
+  --metrics-json "$out_dir/micro_sim.json" | tee "$out_dir/micro_sim.txt"
 check_report "$out_dir/micro_sim.json"
+
+echo ">>> perf-regression gate (BENCH_sim.json)"
+python3 "$(dirname "$0")/bench_compare.py" --build-dir "$build_dir" \
+  $quick_flag --output "$out_dir/BENCH_sim.json"
+check_report "$out_dir/BENCH_sim.json"
 
 echo "All outputs in $out_dir/"

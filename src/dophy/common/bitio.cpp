@@ -4,23 +4,6 @@
 
 namespace dophy::common {
 
-void BitWriter::put_bit(bool bit) {
-  const std::size_t byte_index = bit_count_ / 8;
-  if (byte_index >= bytes_.size()) bytes_.push_back(0);
-  if (bit) {
-    const unsigned shift = 7u - static_cast<unsigned>(bit_count_ % 8);
-    bytes_[byte_index] = static_cast<std::uint8_t>(bytes_[byte_index] | (1u << shift));
-  }
-  ++bit_count_;
-}
-
-void BitWriter::put_bits(std::uint64_t value, unsigned count) {
-  if (count > 64) throw std::invalid_argument("BitWriter::put_bits: count > 64");
-  for (unsigned i = count; i-- > 0;) {
-    put_bit(((value >> i) & 1u) != 0);
-  }
-}
-
 std::vector<std::uint8_t> BitWriter::take() {
   std::vector<std::uint8_t> out = std::move(bytes_);
   clear();
@@ -34,22 +17,5 @@ void BitWriter::clear() noexcept {
 
 BitReader::BitReader(std::span<const std::uint8_t> data, std::size_t bit_limit) noexcept
     : data_(data), limit_(std::min(bit_limit, data.size() * 8)) {}
-
-bool BitReader::get_bit() {
-  if (pos_ >= limit_) throw std::out_of_range("BitReader: read past end of stream");
-  const std::size_t byte_index = pos_ / 8;
-  const unsigned shift = 7u - static_cast<unsigned>(pos_ % 8);
-  ++pos_;
-  return ((data_[byte_index] >> shift) & 1u) != 0;
-}
-
-std::uint64_t BitReader::get_bits(unsigned count) {
-  if (count > 64) throw std::invalid_argument("BitReader::get_bits: count > 64");
-  std::uint64_t value = 0;
-  for (unsigned i = 0; i < count; ++i) {
-    value = (value << 1) | static_cast<std::uint64_t>(get_bit());
-  }
-  return value;
-}
 
 }  // namespace dophy::common

@@ -23,7 +23,7 @@ class BitWriter {
   void put_bit(bool bit);
 
   /// Appends the low `count` bits of `value`, most significant first.
-  /// `count` must be <= 64.
+  /// `count` must be <= 64.  Writes a byte at a time, not a bit at a time.
   void put_bits(std::uint64_t value, unsigned count);
 
   /// Appends a whole byte (8 bits).
@@ -60,6 +60,8 @@ class BitReader {
   [[nodiscard]] bool get_bit();
 
   /// Reads `count` (<= 64) bits, MSB-first, into the low bits of the result.
+  /// Validates the whole read up front: on a too-short stream it throws
+  /// without consuming anything.
   [[nodiscard]] std::uint64_t get_bits(unsigned count);
 
   /// Bits consumed so far.
@@ -75,5 +77,59 @@ class BitReader {
   std::size_t pos_ = 0;
   std::size_t limit_;
 };
+
+// The four bit-transfer functions below are the inner loop of every entropy
+// coder (the arithmetic coder emits one renormalization bit at a time, the
+// header fields move through put_bits/get_bits), so they are defined inline
+// and the multi-bit forms move up to a whole byte per step instead of
+// looping over put_bit/get_bit.
+
+inline void BitWriter::put_bit(bool bit) {
+  const unsigned off = static_cast<unsigned>(bit_count_ % 8);
+  if (off == 0) bytes_.push_back(0);
+  bytes_.back() =
+      static_cast<std::uint8_t>(bytes_.back() | (static_cast<unsigned>(bit) << (7u - off)));
+  ++bit_count_;
+}
+
+inline void BitWriter::put_bits(std::uint64_t value, unsigned count) {
+  if (count > 64) throw std::invalid_argument("BitWriter::put_bits: count > 64");
+  while (count > 0) {
+    const unsigned off = static_cast<unsigned>(bit_count_ % 8);
+    if (off == 0) bytes_.push_back(0);
+    const unsigned room = 8u - off;
+    const unsigned n = count < room ? count : room;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((value >> (count - n)) & ((1u << n) - 1u));
+    bytes_.back() = static_cast<std::uint8_t>(bytes_.back() | (chunk << (room - n)));
+    bit_count_ += n;
+    count -= n;
+  }
+}
+
+inline bool BitReader::get_bit() {
+  if (pos_ >= limit_) throw std::out_of_range("BitReader: read past end of stream");
+  const std::uint8_t byte = data_[pos_ / 8];
+  const unsigned shift = 7u - static_cast<unsigned>(pos_ % 8);
+  ++pos_;
+  return ((byte >> shift) & 1u) != 0;
+}
+
+inline std::uint64_t BitReader::get_bits(unsigned count) {
+  if (count > 64) throw std::invalid_argument("BitReader::get_bits: count > 64");
+  if (count > limit_ - pos_) throw std::out_of_range("BitReader: read past end of stream");
+  std::uint64_t value = 0;
+  while (count > 0) {
+    const unsigned off = static_cast<unsigned>(pos_ % 8);
+    const unsigned avail = 8u - off;
+    const unsigned n = count < avail ? count : avail;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((data_[pos_ / 8] >> (avail - n)) & ((1u << n) - 1u));
+    value = (value << n) | chunk;
+    pos_ += n;
+    count -= n;
+  }
+  return value;
+}
 
 }  // namespace dophy::common

@@ -1,0 +1,118 @@
+#pragma once
+
+// Sliding-window duplicate detector: remembers the last `window` distinct
+// keys and answers "seen before?" in O(1) with zero steady-state heap
+// allocations.  Replaces the classic unordered_set + FIFO-deque pair, whose
+// per-key node allocations and hashing dominated the simulator's packet
+// arrival path.
+//
+// Implementation: open-addressed linear-probe table (load factor <= 0.5)
+// over a fixed power-of-2 slot array, plus a ring of insertion order for
+// FIFO eviction.  Eviction uses backward-shift deletion, so there are no
+// tombstones and probe chains stay short forever.  Exactly the same answers
+// as the set-based version: membership over the most recent `window` keys.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dophy/common/ring_buffer.hpp"
+
+namespace dophy::common {
+
+class DedupeWindow {
+ public:
+  /// Keys equal to kReservedKey must never be inserted (it marks empty
+  /// slots).  Callers pack keys into < 64 bits, so the all-ones value is
+  /// naturally unreachable.
+  static constexpr std::uint64_t kReservedKey = ~0ull;
+
+  /// The table starts tiny and doubles as distinct keys accumulate (same
+  /// membership answers either way), so constructing one per node is cheap
+  /// and memory tracks the actual working set, not the window bound.
+  explicit DedupeWindow(std::size_t window) : window_(window) {
+    slots_.assign(kInitialSlots, kReservedKey);
+    mask_ = kInitialSlots - 1;
+  }
+
+  /// Returns true when `key` is already inside the window; records it (and
+  /// evicts the oldest key past capacity) otherwise.
+  bool check_and_insert(std::uint64_t key) {
+    if ((order_.size() + 1) * 2 > slots_.size()) grow();  // load factor <= 0.5
+    std::size_t p = mix(key) & mask_;
+    while (slots_[p] != kReservedKey) {
+      if (slots_[p] == key) return true;
+      p = (p + 1) & mask_;
+    }
+    slots_[p] = key;
+    order_.push_back(key);
+    if (order_.size() > window_) erase(order_.take_front());
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+  void clear() noexcept {
+    for (auto& s : slots_) s = kReservedKey;
+    order_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 16;
+
+  /// Doubles the slot array and rehashes.  Eviction caps order_ at window_,
+  /// so capacity tops out at the first power of two >= 2 * window.
+  void grow() {
+    const std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kReservedKey);
+    mask_ = slots_.size() - 1;
+    for (const std::uint64_t k : old) {
+      if (k == kReservedKey) continue;
+      std::size_t p = mix(k) & mask_;
+      while (slots_[p] != kReservedKey) p = (p + 1) & mask_;
+      slots_[p] = k;
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    // splitmix64 finalizer: full-avalanche, cheap enough to inline.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// Backward-shift deletion for linear probing: close the gap by sliding
+  /// back any later chain member whose ideal slot lies at or before the gap.
+  void erase(std::uint64_t key) {
+    std::size_t i = mix(key) & mask_;
+    while (slots_[i] != key) {
+      if (slots_[i] == kReservedKey) return;  // not present (cannot happen)
+      i = (i + 1) & mask_;
+    }
+    std::size_t j = i;
+    while (true) {
+      slots_[i] = kReservedKey;
+      while (true) {
+        j = (j + 1) & mask_;
+        if (slots_[j] == kReservedKey) return;
+        const std::size_t ideal = mix(slots_[j]) & mask_;
+        // Movable iff ideal is cyclically outside (i, j].
+        const bool stuck = i <= j ? (i < ideal && ideal <= j)
+                                  : (i < ideal || ideal <= j);
+        if (!stuck) break;
+      }
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t window_;
+  RingBuffer<std::uint64_t> order_;
+};
+
+}  // namespace dophy::common

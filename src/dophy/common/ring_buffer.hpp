@@ -1,0 +1,80 @@
+#pragma once
+
+// Growable circular FIFO over contiguous storage.  std::deque allocates and
+// frees fixed-size chunk nodes as the window slides, so a steady
+// push_back/pop_front workload — exactly what per-node forwarding queues and
+// dedupe windows do — churns the allocator forever.  This ring doubles its
+// power-of-two backing store on overflow and then never touches the heap
+// again, which is what the simulator's zero-allocation steady state needs.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dophy::common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Pre-grows the backing store to at least `n` slots.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) grow(ceil_pow2(n));
+  }
+
+  void push_back(T&& value) {
+    if (size_ == buf_.size()) grow(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  void push_back(const T& value) { push_back(T(value)); }
+
+  [[nodiscard]] T& front() noexcept { return buf_[head_]; }
+  [[nodiscard]] const T& front() const noexcept { return buf_[head_]; }
+
+  /// Moves the front element out and advances; container must be non-empty.
+  [[nodiscard]] T take_front() {
+    T value = std::move(buf_[head_]);
+    pop_front();
+    return value;
+  }
+
+  void pop_front() noexcept {
+    buf_[head_] = T{};  // release any resources held by the vacated slot
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  void clear() noexcept {
+    while (!empty()) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  [[nodiscard]] static std::size_t ceil_pow2(std::size_t n) noexcept {
+    std::size_t p = kMinCapacity;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void grow(std::size_t new_capacity) {
+    std::vector<T> next(new_capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dophy::common

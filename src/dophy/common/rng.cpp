@@ -21,18 +21,6 @@ Rng::Rng(std::uint64_t seed) noexcept {
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }
 
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = std::rotl(state_[3], 45);
-  return result;
-}
-
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
   if (bound <= 1) return 0;
   // Lemire-style rejection-free-in-expectation bounded draw.
@@ -43,18 +31,8 @@ std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
   }
 }
 
-double Rng::next_double() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
 double Rng::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * next_double();
-}
-
-bool Rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
 }
 
 std::uint32_t Rng::geometric_trials(double p) noexcept {

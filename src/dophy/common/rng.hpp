@@ -9,6 +9,7 @@
 // exactly-specified distribution helpers.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -24,20 +25,38 @@ class Rng {
   /// Seeds all 256 bits of state from `seed` via SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
-  /// Next raw 64-bit value.
-  [[nodiscard]] std::uint64_t next_u64() noexcept;
+  /// Next raw 64-bit value.  Inline: this and the two helpers below are the
+  /// simulator's per-transmission draws (loss trials, jitter), hot enough
+  /// that the call overhead was visible in whole-run profiles.
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, bound). `bound` must be > 0. Unbiased (rejection).
   [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
 
   /// Uniform double in [0, 1) with 53 bits of entropy.
-  [[nodiscard]] double next_double() noexcept;
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) noexcept;
 
   /// Bernoulli trial with success probability `p` (clamped to [0,1]).
-  [[nodiscard]] bool bernoulli(double p) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Geometric "number of trials until first success" (support {1,2,...})
   /// with success probability `p` in (0,1].  Draws one uniform and inverts

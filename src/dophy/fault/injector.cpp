@@ -72,13 +72,55 @@ void FaultInjector::arm() {
   for (const FaultEvent& event : plan_.events()) {
     has_report_faults = has_report_faults || is_report_fault(event.kind);
     const SimTime at = std::max(base, base + seconds_to_ticks(event.at_s));
-    // The plan outlives the queue (same owner as the injector), so capturing
-    // a reference to the event is safe; FaultPlan never reallocates post-arm.
-    net_->sim().schedule_at(at, [this, &event] { execute(event); });
+    // The plan outlives the queue (same owner as the injector), so the event
+    // payload holds a raw pointer; FaultPlan never reallocates post-arm.
+    dophy::net::Event ev;
+    ev.fn = &event_trampoline;
+    ev.target = this;
+    ev.kind = dophy::net::EventKind::kFaultAction;
+    ev.payload.fault.plan_event = &event;
+    net_->sim().schedule_event_at(at, ev);
   }
   if (has_report_faults) {
     net_->set_report_mutator(
         [this](Packet& packet, SimTime now) { mutate_report(packet, now); });
+  }
+}
+
+void FaultInjector::event_trampoline(void* target, const dophy::net::Event& ev) {
+  auto* self = static_cast<FaultInjector*>(target);
+  if (ev.kind == dophy::net::EventKind::kFaultAction) {
+    self->execute(*static_cast<const FaultEvent*>(ev.payload.fault.plan_event));
+  } else {
+    self->recover(static_cast<RecoveryOp>(ev.payload.fault_recovery.op),
+                  ev.payload.fault_recovery.a, ev.payload.fault_recovery.b);
+  }
+}
+
+void FaultInjector::schedule_recovery(SimTime at, RecoveryOp op, NodeId a, NodeId b) {
+  dophy::net::Event ev;
+  ev.fn = &event_trampoline;
+  ev.target = this;
+  ev.kind = dophy::net::EventKind::kFaultRecovery;
+  ev.payload.fault_recovery.a = a;
+  ev.payload.fault_recovery.b = b;
+  ev.payload.fault_recovery.op = static_cast<std::uint8_t>(op);
+  net_->sim().schedule_event_at(at, ev);
+}
+
+void FaultInjector::recover(RecoveryOp op, NodeId a, NodeId b) {
+  switch (op) {
+    case RecoveryOp::kNodeReboot:
+      net_->set_node_alive(a, true);
+      ++stats_.node_reboots;
+      FaultMetrics::get().node_reboots.inc();
+      break;
+    case RecoveryOp::kSinkRestore:
+      net_->set_node_alive(kSinkId, true);
+      break;
+    case RecoveryOp::kBlackoutLift:
+      apply_blackout(a, b, false);
+      break;
   }
 }
 
@@ -110,12 +152,7 @@ void FaultInjector::execute(const FaultEvent& event) {
       ++stats_.node_crashes;
       m.node_crashes.inc();
       if (recovery != kOpenEnded) {
-        const NodeId node = event.node;
-        net_->sim().schedule_at(recovery, [this, node] {
-          net_->set_node_alive(node, true);
-          ++stats_.node_reboots;
-          FaultMetrics::get().node_reboots.inc();
-        });
+        schedule_recovery(recovery, RecoveryOp::kNodeReboot, event.node, kInvalidNode);
       }
       break;
     }
@@ -124,8 +161,7 @@ void FaultInjector::execute(const FaultEvent& event) {
       ++stats_.sink_outages;
       m.sink_outages.inc();
       if (recovery != kOpenEnded) {
-        net_->sim().schedule_at(recovery,
-                                [this] { net_->set_node_alive(kSinkId, true); });
+        schedule_recovery(recovery, RecoveryOp::kSinkRestore, kSinkId, kInvalidNode);
       }
       break;
     }
@@ -134,10 +170,7 @@ void FaultInjector::execute(const FaultEvent& event) {
       ++stats_.link_blackouts;
       m.link_blackouts.inc();
       if (recovery != kOpenEnded) {
-        const NodeId from = event.node;
-        const NodeId to = event.peer;
-        net_->sim().schedule_at(
-            recovery, [this, from, to] { apply_blackout(from, to, false); });
+        schedule_recovery(recovery, RecoveryOp::kBlackoutLift, event.node, event.peer);
       }
       break;
     }

@@ -52,6 +52,16 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
  private:
+  /// Timed recovery variants carried in a kFaultRecovery event payload.
+  enum class RecoveryOp : std::uint8_t { kNodeReboot, kSinkRestore, kBlackoutLift };
+
+  /// Plan actions and recoveries ride the simulator as typed
+  /// kFaultAction/kFaultRecovery records — no captured lambdas.
+  static void event_trampoline(void* target, const dophy::net::Event& ev);
+  void schedule_recovery(dophy::net::SimTime at, RecoveryOp op, dophy::net::NodeId a,
+                         dophy::net::NodeId b);
+  void recover(RecoveryOp op, dophy::net::NodeId a, dophy::net::NodeId b);
+
   void execute(const FaultEvent& event);
   void trace_event(const FaultEvent& event) const;
   void apply_blackout(dophy::net::NodeId from, dophy::net::NodeId to, bool active);

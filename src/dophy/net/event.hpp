@@ -1,0 +1,89 @@
+#pragma once
+
+// Typed event record for the discrete-event engine.  The simulator's hot
+// path schedules these flat, trivially-copyable records instead of captured
+// lambdas: a kind tag + a small payload union + a static dispatch thunk.
+// Pushing one performs zero heap allocations; subsystems (Network, Trickle,
+// FaultInjector) register themselves as the `target` and switch on `kind`
+// inside their trampoline.  The type-erased std::function escape hatch
+// (EventKind::kCallback, slab-backed inside EventQueue) remains for rare,
+// cold scheduling such as tests, sink floods, and pipeline snapshots.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+enum class EventKind : std::uint8_t {
+  kCallback = 0,      ///< escape hatch: std::function stored in the queue slab
+  kBeaconSend,        ///< periodic routing beacon (payload: node)
+  kBeaconTrigger,     ///< coalesced triggered beacon (payload: node)
+  kPacketGenerate,    ///< application-layer packet generation (payload: node)
+  kTxDone,            ///< unicast ARQ exchange completed (payload: tx)
+  kChurnTransition,   ///< node up/down flip (payload: node)
+  kPeriodic,          ///< registered periodic hook (payload: periodic)
+  kTrickleTimer,      ///< Trickle transmission point (payload: trickle)
+  kTrickleInterval,   ///< Trickle end-of-interval (payload: trickle)
+  kFaultAction,       ///< fault-plan event firing (payload: fault)
+  kFaultRecovery,     ///< timed fault recovery (payload: fault_recovery)
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kCallback: return "callback";
+    case EventKind::kBeaconSend: return "beacon_send";
+    case EventKind::kBeaconTrigger: return "beacon_trigger";
+    case EventKind::kPacketGenerate: return "packet_generate";
+    case EventKind::kTxDone: return "tx_done";
+    case EventKind::kChurnTransition: return "churn_transition";
+    case EventKind::kPeriodic: return "periodic";
+    case EventKind::kTrickleTimer: return "trickle_timer";
+    case EventKind::kTrickleInterval: return "trickle_interval";
+    case EventKind::kFaultAction: return "fault_action";
+    case EventKind::kFaultRecovery: return "fault_recovery";
+  }
+  return "unknown";
+}
+
+struct Event;
+
+/// Static dispatch thunk: `target` is the subsystem object the event was
+/// scheduled by; the thunk switches on `ev.kind`.
+using EventFn = void (*)(void* target, const Event& ev);
+
+struct Event {
+  union Payload {
+    std::uint64_t raw[2];                           ///< default-initialized member
+    struct { NodeId node; } node_ev;                ///< beacon/generate/churn
+    struct { std::uint32_t slot; NodeId node; } tx; ///< in-flight slab slot + sender
+    struct { std::uint32_t index; } periodic;       ///< periodic-hook index
+    struct { NodeId node; std::uint64_t epoch; } trickle;
+    struct { const void* plan_event; } fault;       ///< const FaultEvent*
+    struct { NodeId a; NodeId b; std::uint8_t op; } fault_recovery;
+    struct { std::uint32_t slot; } callback;        ///< queue-internal slab slot
+  };
+
+  EventFn fn = nullptr;     ///< null only for kCallback (queue runs the slab entry)
+  void* target = nullptr;
+  Payload payload{};
+  EventKind kind = EventKind::kCallback;
+
+  /// Convenience maker for the common single-node payload kinds.
+  [[nodiscard]] static Event node_event(EventKind kind, EventFn fn, void* target,
+                                        NodeId node) noexcept {
+    Event ev;
+    ev.fn = fn;
+    ev.target = target;
+    ev.kind = kind;
+    ev.payload.node_ev.node = node;
+    return ev;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event must stay trivially copyable: the queue relocates records "
+              "during heap sifts with plain moves");
+
+}  // namespace dophy::net

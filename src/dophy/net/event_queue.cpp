@@ -1,28 +1,59 @@
 #include "dophy/net/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace dophy::net {
 
+std::uint32_t EventQueue::acquire_callback_slot(Callback&& cb) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    callback_slab_[slot] = std::move(cb);
+    return slot;
+  }
+  callback_slab_.push_back(std::move(cb));
+  return static_cast<std::uint32_t>(callback_slab_.size() - 1);
+}
+
 void EventQueue::push(SimTime at, Callback cb) {
-  heap_.push_back(Entry{at, next_seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
+  Event ev;
+  ev.kind = EventKind::kCallback;
+  ev.payload.callback.slot = acquire_callback_slot(std::move(cb));
+  push_entry(at, ev);
 }
 
-SimTime EventQueue::next_time() const {
-  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty queue");
-  return heap_.front().time;
+EventQueue::Scheduled EventQueue::peek() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::peek: empty queue");
+  const HeapEntry& top = heap_.front();
+  return Scheduled{top.time, top.seq, event_slab_[top.slot]};
 }
 
-EventQueue::Callback EventQueue::pop() {
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Callback cb = std::move(heap_.back().cb);
-  heap_.pop_back();
-  return cb;
+void EventQueue::run_callback(const Event& ev) {
+  const std::uint32_t slot = ev.payload.callback.slot;
+  // Move the callable out before invoking: the callback may push new events
+  // and recycle this very slot.
+  Callback cb = std::move(callback_slab_[slot]);
+  callback_slab_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  cb();
 }
 
-void EventQueue::clear() noexcept { heap_.clear(); }
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  event_slab_.clear();
+  event_free_.clear();
+  callback_slab_.clear();
+  free_slots_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::shrink_to_fit() {
+  heap_.shrink_to_fit();
+  event_slab_.shrink_to_fit();
+  event_free_.shrink_to_fit();
+  callback_slab_.shrink_to_fit();
+  free_slots_.shrink_to_fit();
+}
 
 }  // namespace dophy::net

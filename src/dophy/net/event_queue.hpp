@@ -3,11 +3,29 @@
 // Discrete-event priority queue.  Events at equal timestamps execute in
 // scheduling order (a monotonically increasing sequence number breaks ties),
 // which makes whole-simulation runs bit-reproducible.
+//
+// The queue is a 4-ary implicit min-heap of compact 24-byte (time, seq,
+// slot) records; the Event payloads themselves sit in a free-listed slab and
+// never move during sifts, so each heap level costs one 16-byte key compare
+// and one small copy.  Typed events (push_event) cost zero heap allocations
+// on the steady-state path once the heap vector and slab have warmed up to
+// their peak occupancy.  Type-erased callbacks (push) are the escape hatch
+// for cold call sites: the std::function lives in a second free-listed slab
+// and the event record carries only its slot, so even escape-hatch traffic
+// never churns per-entry callback storage.
+//
+// Capacity policy: pop() never releases memory — the heap vector and the
+// callback slab keep their high-water capacity so long bursty runs do not
+// oscillate between shrink and regrow.  clear() likewise keeps capacity (and
+// resets pushed_count to zero); call shrink_to_fit() to return memory after
+// an exceptional burst.
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
+#include "dophy/net/event.hpp"
 #include "dophy/net/types.hpp"
 
 namespace dophy::net {
@@ -16,37 +34,169 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `cb` at absolute time `at`.
+  /// One queue entry: dispatch record plus its total-order key.
+  struct Scheduled {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Event event;
+  };
+
+  /// Schedules a typed event at absolute time `at`.  Never allocates once
+  /// the heap has reached steady-state capacity.
+  void push_event(SimTime at, const Event& ev);
+
+  /// Escape hatch: schedules a type-erased callback at absolute time `at`.
+  /// The callable is stored in the internal slab (slot recycled on pop).
   void push(SimTime at, Callback cb);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
-  /// Timestamp of the earliest event; queue must be non-empty.
-  [[nodiscard]] SimTime next_time() const;
+  /// Timestamp of the earliest event; queue must be non-empty.  Inline: the
+  /// dispatch loop consults this before every pop.
+  [[nodiscard]] SimTime next_time() const {
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty queue");
+    return heap_.front().time;
+  }
 
-  /// Removes and returns the earliest event's callback (FIFO among equal
-  /// times); queue must be non-empty.
-  [[nodiscard]] Callback pop();
+  /// Earliest entry without removing it; queue must be non-empty.
+  [[nodiscard]] Scheduled peek() const;
 
+  /// Removes and returns the earliest entry (FIFO among equal times); queue
+  /// must be non-empty.  Keeps heap capacity (see header comment).
+  [[nodiscard]] Scheduled pop();
+
+  /// Runs and releases a kCallback event's slab entry.  Must be called
+  /// exactly once for every popped kCallback event (the simulator does).
+  void run_callback(const Event& ev);
+
+  /// Drops all pending entries and releases their callback slab slots.
+  /// Resets pushed_count() to zero so a reused queue (e.g. a fresh Network
+  /// sharing a Simulator) starts counting from scratch; capacity is kept.
   void clear() noexcept;
 
-  /// Total events ever pushed (for throughput metrics).
+  /// Releases heap and slab high-water capacity back to the allocator.
+  void shrink_to_fit();
+
+  /// Events pushed since construction or the last clear() (throughput
+  /// metrics; also the source of tie-breaking sequence numbers).
   [[nodiscard]] std::uint64_t pushed_count() const noexcept { return next_seq_; }
 
  private:
-  struct Entry {
+  static constexpr std::size_t kArity = 4;
+
+  /// What actually moves during sifts: the total-order key plus the slab
+  /// slot holding the Event.  24 bytes, trivially copyable.
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
   };
-  // Min-heap ordering (std::push_heap builds a max-heap, so invert).
-  static bool later(const Entry& a, const Entry& b) noexcept {
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+
+  /// Min-heap order: earlier time first, then earlier sequence number.
+  /// Written with short-circuit || (not if/else on time) — it compiles to
+  /// straight-line compare/setcc code that mispredicts far less on random
+  /// keys than the two-branch form.
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }
 
-  std::vector<Entry> heap_;
+  void push_entry(SimTime at, const Event& ev);
+  void sift_up(std::size_t idx) noexcept;
+  [[nodiscard]] std::uint32_t acquire_callback_slot(Callback&& cb);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Event> event_slab_;
+  std::vector<std::uint32_t> event_free_;
+  std::vector<Callback> callback_slab_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
+
+// The push/pop/sift quartet is defined inline: these run a few million times
+// per simulated minute, and keeping them visible to callers (Simulator's
+// dispatch loop, benchmarks) is worth several ns per event over out-of-line
+// calls.
+
+inline void EventQueue::push_entry(SimTime at, const Event& ev) {
+  std::uint32_t slot;
+  if (!event_free_.empty()) {
+    slot = event_free_.back();
+    event_free_.pop_back();
+    event_slab_[slot] = ev;
+  } else {
+    slot = static_cast<std::uint32_t>(event_slab_.size());
+    event_slab_.push_back(ev);
+  }
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+inline void EventQueue::push_event(SimTime at, const Event& ev) { push_entry(at, ev); }
+
+inline EventQueue::Scheduled EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
+  const HeapEntry top = heap_.front();
+  const std::size_t n = heap_.size() - 1;
+  if (n != 0) {
+    // Bottom-up deletion (Wegener): walk the root hole down along the
+    // min-child path without comparing against the displaced last element
+    // (3 compares per full fan instead of 4), then sift that element up
+    // from the leaf hole.  It came from the bottom of the heap, so the
+    // upward pass almost always stops immediately.  Any heap arrangement
+    // pops the same (time, seq) order — seq makes the key a total order.
+    const HeapEntry moving = heap_[n];
+    heap_.pop_back();
+    HeapEntry* const h = heap_.data();
+    std::size_t idx = 0;
+    for (;;) {
+      const std::size_t first_child = idx * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best;
+      if (first_child + kArity <= n) {
+        const std::size_t b01 = before(h[first_child + 1], h[first_child])
+                                    ? first_child + 1
+                                    : first_child;
+        const std::size_t b23 = before(h[first_child + 3], h[first_child + 2])
+                                    ? first_child + 3
+                                    : first_child + 2;
+        best = before(h[b23], h[b01]) ? b23 : b01;
+      } else {
+        // Ternary, not if: conditional-select compiles branch-free, and a
+        // partial fan's winner is data-dependent (mispredict-prone).
+        best = first_child;
+        for (std::size_t c = first_child + 1; c < n; ++c) {
+          best = before(h[c], h[best]) ? c : best;
+        }
+      }
+      h[idx] = h[best];
+      idx = best;
+    }
+    while (idx != 0) {
+      const std::size_t parent = (idx - 1) / kArity;
+      if (!before(moving, h[parent])) break;
+      h[idx] = h[parent];
+      idx = parent;
+    }
+    h[idx] = moving;
+  } else {
+    heap_.pop_back();
+  }
+  Scheduled out{top.time, top.seq, event_slab_[top.slot]};
+  event_free_.push_back(top.slot);
+  return out;
+}
+
+inline void EventQueue::sift_up(std::size_t idx) noexcept {
+  HeapEntry* const h = heap_.data();
+  const HeapEntry moving = h[idx];
+  while (idx != 0) {
+    const std::size_t parent = (idx - 1) / kArity;
+    if (!before(moving, h[parent])) break;
+    h[idx] = h[parent];
+    idx = parent;
+  }
+  h[idx] = moving;
+}
 
 }  // namespace dophy::net

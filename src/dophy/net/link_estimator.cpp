@@ -16,9 +16,11 @@ void LinkQualityEstimate::on_data_tx(std::uint32_t total_attempts, bool delivere
   }
   ++data_samples_;
   data_etx_ = std::min(data_etx_, config_->max_etx);
+  etx_dirty_ = true;
 }
 
 void LinkQualityEstimate::on_beacon(std::uint16_t seq) noexcept {
+  etx_dirty_ = true;
   if (!have_beacon_) {
     have_beacon_ = true;
     last_beacon_seq_ = seq;
@@ -39,7 +41,7 @@ void LinkQualityEstimate::on_beacon(std::uint16_t seq) noexcept {
   beacon_prr_ = config_->beacon_alpha * beacon_prr_ + (1.0 - config_->beacon_alpha);
 }
 
-double LinkQualityEstimate::etx() const noexcept {
+double LinkQualityEstimate::compute_etx() const noexcept {
   if (data_samples_ >= config_->min_data_samples) return data_etx_;
   if (beacon_prr_ > 0.0) {
     // Beacon PRR measures the inbound direction; use it as a symmetric

@@ -33,8 +33,15 @@ class LinkQualityEstimate {
   /// sequence number count as losses.
   void on_beacon(std::uint16_t seq) noexcept;
 
-  /// Current ETX estimate for this link.
-  [[nodiscard]] double etx() const noexcept;
+  /// Current ETX estimate for this link.  Memoized: parent selection reads
+  /// this once per neighbor per beacon, far more often than samples arrive.
+  [[nodiscard]] double etx() const noexcept {
+    if (etx_dirty_) {
+      etx_cache_ = compute_etx();
+      etx_dirty_ = false;
+    }
+    return etx_cache_;
+  }
 
   /// Inferred inbound beacon PRR (negative when no beacon seen yet).
   [[nodiscard]] double beacon_prr() const noexcept { return beacon_prr_; }
@@ -42,12 +49,16 @@ class LinkQualityEstimate {
   [[nodiscard]] std::uint32_t data_samples() const noexcept { return data_samples_; }
 
  private:
+  [[nodiscard]] double compute_etx() const noexcept;
+
   const LinkEstimatorConfig* config_;
   double data_etx_ = 0.0;
   std::uint32_t data_samples_ = 0;
   double beacon_prr_ = -1.0;
+  mutable double etx_cache_ = 0.0;
   std::uint16_t last_beacon_seq_ = 0;
   bool have_beacon_ = false;
+  mutable bool etx_dirty_ = true;
 };
 
 }  // namespace dophy::net

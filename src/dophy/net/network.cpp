@@ -12,6 +12,12 @@ namespace dophy::net {
 
 namespace {
 constexpr SimTime kFloodHopDelay = 50 * kMillisecond;
+/// Typical delivery paths are a handful of hops; reserving this up front
+/// keeps true_hops off the allocator for the common case.
+constexpr std::size_t kTrueHopsReserve = 8;
+/// Upper bound on pooled finished packets (pool occupancy is naturally
+/// bounded by concurrent in-flight + queued packets; the cap is a backstop).
+constexpr std::size_t kPacketPoolCap = 1024;
 
 /// Interned once; every Network instance shares these registry handles.
 struct NetMetrics {
@@ -53,7 +59,9 @@ Network::Network(const NetworkConfig& config, PacketInstrumentation* instrumenta
       }()),
       mac_(config.mac) {
   dophy::common::Rng master(config_.seed);
+  traces_.set_store_outcomes(config_.collect_outcomes);
   build_links(master);
+  build_adjacency();
 
   nodes_.reserve(topology_.node_count());
   for (std::size_t i = 0; i < topology_.node_count(); ++i) {
@@ -77,16 +85,92 @@ Network::Network(const NetworkConfig& config, PacketInstrumentation* instrumenta
   }
 }
 
+// ---------------------------------------------------------------------------
+// Typed event dispatch
+
+void Network::event_trampoline(void* target, const Event& ev) {
+  static_cast<Network*>(target)->on_event(ev);
+}
+
+void Network::on_event(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kBeaconSend:
+      send_beacon(ev.payload.node_ev.node);
+      break;
+    case EventKind::kBeaconTrigger: {
+      const NodeId id = ev.payload.node_ev.node;
+      node(id).set_beacon_trigger_pending(false);
+      broadcast_beacon(id);
+      break;
+    }
+    case EventKind::kPacketGenerate:
+      generate_packet(ev.payload.node_ev.node);
+      break;
+    case EventKind::kTxDone:
+      complete_transmission(ev.payload.tx.node, ev.payload.tx.slot);
+      break;
+    case EventKind::kChurnTransition: {
+      const NodeId id = ev.payload.node_ev.node;
+      NetMetrics::get().churn_transitions.inc();
+      set_node_alive(id, !node(id).alive());
+      schedule_churn_transition(id);
+      break;
+    }
+    case EventKind::kPeriodic:
+      run_periodic(ev.payload.periodic.index);
+      break;
+    default:
+      throw std::logic_error("Network::on_event: unexpected event kind");
+  }
+}
+
+void Network::schedule_node_event(EventKind kind, NodeId id, SimTime delay) {
+  sim_.schedule_event_in(delay, Event::node_event(kind, &event_trampoline, this, id));
+}
+
+// ---------------------------------------------------------------------------
+// Slabs and pools
+
+std::uint32_t Network::acquire_inflight() {
+  if (!inflight_free_.empty()) {
+    const std::uint32_t slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    return slot;
+  }
+  inflight_.emplace_back();
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
+}
+
+void Network::release_inflight(std::uint32_t slot) noexcept {
+  inflight_free_.push_back(slot);
+}
+
+Packet Network::acquire_packet() {
+  if (packet_pool_.empty()) {
+    Packet p;
+    p.true_hops.reserve(kTrueHopsReserve);
+    return p;
+  }
+  Packet p = std::move(packet_pool_.back());
+  packet_pool_.pop_back();
+  return p;
+}
+
+void Network::recycle_packet(Packet&& packet) {
+  if (packet_pool_.size() >= kPacketPoolCap) return;
+  packet.reset();
+  packet_pool_.push_back(std::move(packet));
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+
 void Network::schedule_churn_transition(NodeId id) {
   Node& n = node(id);
   const double mean_s = n.alive() ? config_.churn.mean_up_s : config_.churn.mean_down_s;
   const SimTime delay =
       static_cast<SimTime>(std::max(1.0, n.rng().exponential(1.0 / mean_s)) * 1e6);
-  sim_.schedule_in(delay, [this, id] {
-    NetMetrics::get().churn_transitions.inc();
-    set_node_alive(id, !node(id).alive());
-    schedule_churn_transition(id);
-  });
+  schedule_node_event(EventKind::kChurnTransition, id, delay);
 }
 
 void Network::set_node_alive(NodeId id, bool alive) {
@@ -114,6 +198,9 @@ void Network::set_node_alive(NodeId id, bool alive) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Topology materialization
+
 void Network::build_links(dophy::common::Rng& rng) {
   // Iterate undirected pairs so forward/reverse loss levels correlate.
   for (std::size_t u = 0; u < topology_.node_count(); ++u) {
@@ -137,6 +224,32 @@ void Network::build_links(dophy::common::Rng& rng) {
                                                  rng.fork()));
     }
   }
+}
+
+void Network::build_adjacency() {
+  adjacency_.resize(topology_.node_count());
+  for (std::size_t u = 0; u < topology_.node_count(); ++u) {
+    const NodeId id = static_cast<NodeId>(u);
+    const auto neighbors = topology_.neighbors(id);
+    adjacency_[u].reserve(neighbors.size());
+    for (const NodeId w : neighbors) {
+      NeighborLink nl;
+      nl.peer = w;
+      nl.forward = links_.at(LinkKey{id, w}).get();
+      const auto rev = links_.find(LinkKey{w, id});
+      nl.reverse = rev == links_.end() ? nullptr : rev->second.get();
+      adjacency_[u].push_back(nl);
+    }
+  }
+}
+
+const Network::NeighborLink& Network::neighbor_link(NodeId from, NodeId to) const {
+  // Neighbor lists are short (radio degree); a linear scan over the flat
+  // array beats hashing into links_ on the per-transmission path.
+  for (const NeighborLink& nl : adjacency_[from]) {
+    if (nl.peer == to) return nl;
+  }
+  throw std::out_of_range("Network::neighbor_link: no such edge");
 }
 
 std::unique_ptr<LossProcess> Network::make_loss_process(double base,
@@ -201,6 +314,9 @@ std::vector<LinkKey> Network::link_keys() const {
   return keys;
 }
 
+// ---------------------------------------------------------------------------
+// Control plane: beacons
+
 void Network::schedule_beacon(NodeId id, bool initial) {
   Node& n = node(id);
   const double interval = config_.routing.beacon_interval_s;
@@ -208,7 +324,7 @@ void Network::schedule_beacon(NodeId id, bool initial) {
   const double delay_s = (initial ? n.rng().uniform(0.0, interval)
                                   : interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter)) *
                          n.clock_factor();
-  sim_.schedule_in(static_cast<SimTime>(delay_s * 1e6), [this, id] { send_beacon(id); });
+  schedule_node_event(EventKind::kBeaconSend, id, static_cast<SimTime>(delay_s * 1e6));
 }
 
 void Network::send_beacon(NodeId id) {
@@ -223,13 +339,12 @@ void Network::broadcast_beacon(NodeId id) {
   const double advertised = n.routing().advertise_etx();
   ++beacons_sent_;
   NetMetrics::get().beacons.inc();
-  for (const NodeId w : topology_.neighbors(id)) {
-    Link& l = link(id, w);
-    if (l.attempt_control(sim_.now())) {
-      Node& receiver = node(w);
+  for (const NeighborLink& nl : adjacency_[id]) {
+    if (nl.forward->attempt_control(sim_.now())) {
+      Node& receiver = node(nl.peer);
       if (!receiver.alive()) continue;
       receiver.routing().on_beacon(id, advertised, seq, sim_.now());
-      if (receiver.routing().select_parent(sim_.now())) trigger_beacon(w);
+      if (receiver.routing().select_parent(sim_.now())) trigger_beacon(nl.peer);
     }
   }
   if (n.routing().select_parent(sim_.now())) trigger_beacon(id);
@@ -242,11 +357,11 @@ void Network::trigger_beacon(NodeId id) {
   // Short jittered delay so simultaneous triggers don't synchronize.
   const SimTime delay =
       50 * kMillisecond + static_cast<SimTime>(n.rng().next_below(100)) * kMillisecond;
-  sim_.schedule_in(delay, [this, id] {
-    node(id).set_beacon_trigger_pending(false);
-    broadcast_beacon(id);
-  });
+  schedule_node_event(EventKind::kBeaconTrigger, id, delay);
 }
+
+// ---------------------------------------------------------------------------
+// Data plane
 
 void Network::schedule_generation(NodeId id, bool initial) {
   Node& n = node(id);
@@ -256,7 +371,7 @@ void Network::schedule_generation(NodeId id, bool initial) {
       ((initial ? config_.traffic.start_delay_s : 0.0) +
        interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter)) *
       n.clock_factor();
-  sim_.schedule_in(static_cast<SimTime>(delay_s * 1e6), [this, id] { generate_packet(id); });
+  schedule_node_event(EventKind::kPacketGenerate, id, static_cast<SimTime>(delay_s * 1e6));
 }
 
 void Network::generate_packet(NodeId id) {
@@ -269,7 +384,7 @@ void Network::generate_packet(NodeId id) {
   ++n.stats().generated;
   NetMetrics::get().generated.inc();
 
-  Packet packet;
+  Packet packet = acquire_packet();
   packet.origin = id;
   packet.seq = n.next_data_seq();
   packet.created_at = sim_.now();
@@ -303,13 +418,11 @@ void Network::try_send(NodeId id) {
   }
 
   const NodeId parent = n.routing().select_forwarder(n.rng());
-  Packet packet = n.dequeue();
-  Link& forward = link(id, parent);
-  Link* reverse = const_cast<Link*>(find_link(parent, id));
+  const NeighborLink& nl = neighbor_link(id, parent);
 
   TxOutcome outcome;
   if (node(parent).alive()) {
-    outcome = mac_.transmit(forward, reverse, sim_.now(), n.rng());
+    outcome = mac_.transmit(*nl.forward, nl.reverse, sim_.now(), n.rng());
   } else {
     // Dead receiver: the whole ARQ budget burns with no channel involvement,
     // so the link's loss ground truth is not polluted by churn.
@@ -319,35 +432,55 @@ void Network::try_send(NodeId id) {
         static_cast<SimTime>(config_.mac.max_attempts) * config_.mac.attempt_duration;
   }
   n.routing().on_data_tx(parent, outcome.total_attempts, outcome.delivered);
+
+  // Park the packet in the in-flight slab; the kTxDone event carries only
+  // the slot index, so scheduling a transmission allocates nothing.
+  const std::uint32_t slot = acquire_inflight();
+  InFlightTx& fl = inflight_[slot];
+  fl.packet = n.dequeue();
+  fl.outcome = outcome;
+  fl.parent = parent;
+
   const std::uint64_t air =
-      packet.blob.wire_bytes() * static_cast<std::uint64_t>(outcome.total_attempts);
+      fl.packet.blob.wire_bytes() * static_cast<std::uint64_t>(outcome.total_attempts);
   measurement_air_bytes_ += air;
   if (air != 0) NetMetrics::get().air_bytes.inc(air);
 
   n.set_tx_busy(true);
   const SimTime done_at = sim_.now() + outcome.delay + config_.mac.queue_service_delay;
-  // Move the packet into the completion event.
-  sim_.schedule_at(done_at, [this, id, parent, outcome,
-                             pkt = std::make_shared<Packet>(std::move(packet))]() mutable {
-    Node& sender = node(id);
-    sender.set_tx_busy(false);
-    if (outcome.delivered) {
-      ++sender.stats().forwarded;
-      handle_arrival(parent, id, std::move(*pkt), outcome.attempts_to_first_rx);
-    } else {
-      auto& tr = dophy::obs::EventTrace::global();
-      if (tr.enabled(dophy::obs::EventKind::kArqExhausted)) {
-        tr.event(dophy::obs::EventKind::kArqExhausted,
-                 static_cast<std::uint64_t>(sim_.now()))
-            .u64("from", id)
-            .u64("to", parent)
-            .u64("attempts", outcome.total_attempts)
-            .u64("origin", pkt->origin);
-      }
-      finish_packet(std::move(*pkt), PacketFate::kDroppedRetries);
+  Event ev;
+  ev.fn = &event_trampoline;
+  ev.target = this;
+  ev.kind = EventKind::kTxDone;
+  ev.payload.tx.slot = slot;
+  ev.payload.tx.node = id;
+  sim_.schedule_event_at(done_at, ev);
+}
+
+void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
+  InFlightTx& fl = inflight_[slot];
+  const TxOutcome outcome = fl.outcome;
+  const NodeId parent = fl.parent;
+  Packet packet = std::move(fl.packet);
+  release_inflight(slot);
+
+  Node& sender = node(sender_id);
+  sender.set_tx_busy(false);
+  if (outcome.delivered) {
+    ++sender.stats().forwarded;
+    handle_arrival(parent, sender_id, std::move(packet), outcome.attempts_to_first_rx);
+  } else {
+    auto& tr = dophy::obs::EventTrace::global();
+    if (tr.enabled(dophy::obs::EventKind::kArqExhausted)) {
+      tr.event(dophy::obs::EventKind::kArqExhausted, static_cast<std::uint64_t>(sim_.now()))
+          .u64("from", sender_id)
+          .u64("to", parent)
+          .u64("attempts", outcome.total_attempts)
+          .u64("origin", packet.origin);
     }
-    try_send(id);
-  });
+    finish_packet(std::move(packet), PacketFate::kDroppedRetries);
+  }
+  try_send(sender_id);
 }
 
 void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
@@ -357,6 +490,7 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
       (static_cast<std::uint64_t>(packet.flow_key()) << 16) | packet.hop_count;
   if (r.check_and_mark_seen(dedupe_key)) {
     ++r.stats().duplicates_discarded;
+    recycle_packet(std::move(packet));
     return;
   }
 
@@ -433,31 +567,51 @@ void Network::finish_packet(Packet&& packet, PacketFate fate) {
     outcome.packet = std::move(packet);
     traces_.record(std::move(outcome));
   } else {
+    // Memory-light mode: the collector keeps tallies and running stats only
+    // (store_outcomes is off), so carry just the scalar fields they need.
     outcome.packet.origin = packet.origin;
     outcome.packet.seq = packet.seq;
+    outcome.packet.created_at = packet.created_at;
+    outcome.packet.hop_count = packet.hop_count;
     traces_.record(std::move(outcome));
+    recycle_packet(std::move(packet));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Periodic hooks and floods
+
+void Network::run_periodic(std::uint32_t index) {
+  // Invoke first, then re-arm: the hook's own scheduling must receive
+  // earlier sequence numbers than the re-arm (matches the legacy closure
+  // engine's event order exactly).  Index again after the call — the hook
+  // may add_periodic and reallocate the vector.
+  periodic_hooks_[index].fn(sim_.now());
+  Event ev;
+  ev.fn = &event_trampoline;
+  ev.target = this;
+  ev.kind = EventKind::kPeriodic;
+  ev.payload.periodic.index = index;
+  sim_.schedule_event_in(periodic_hooks_[index].interval, ev);
 }
 
 void Network::add_periodic(double interval_s, std::function<void(SimTime)> fn) {
   const SimTime interval = static_cast<SimTime>(interval_s * 1e6);
   if (interval <= 0) throw std::invalid_argument("Network::add_periodic: bad interval");
-  // The re-arming closure references itself through a raw pointer into
-  // periodic_fns_ (which outlives the event queue) — a self-holding
-  // shared_ptr would be a reference cycle and leak.
-  auto rearm = std::make_shared<std::function<void()>>();
-  *rearm = [this, interval, hook = std::move(fn), self = rearm.get()]() {
-    hook(sim_.now());
-    sim_.schedule_in(interval, *self);
-  };
-  periodic_fns_.push_back(rearm);
-  sim_.schedule_in(interval, *rearm);
+  periodic_hooks_.push_back(PeriodicHook{std::move(fn), interval});
+  Event ev;
+  ev.fn = &event_trampoline;
+  ev.target = this;
+  ev.kind = EventKind::kPeriodic;
+  ev.payload.periodic.index = static_cast<std::uint32_t>(periodic_hooks_.size() - 1);
+  sim_.schedule_event_in(interval, ev);
 }
 
 void Network::flood_from_sink(std::size_t payload_bytes,
                               const std::function<void(NodeId, SimTime)>& install) {
   // Epidemic flood: every node rebroadcasts once, so the byte cost is
-  // payload * node_count; installs land with per-depth latency.
+  // payload * node_count; installs land with per-depth latency.  Cold path:
+  // uses the callback escape hatch (one slab entry per node per flood).
   control_flood_bytes_ += payload_bytes * nodes_.size();
   NetMetrics::get().flood_bytes.inc(payload_bytes * nodes_.size());
   for (std::size_t i = 1; i < nodes_.size(); ++i) {

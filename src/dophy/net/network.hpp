@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dophy/common/rng.hpp"
+#include "dophy/net/event.hpp"
 #include "dophy/net/link.hpp"
 #include "dophy/net/mac.hpp"
 #include "dophy/net/node.hpp"
@@ -142,7 +143,9 @@ class Network {
   void set_clock_factor(NodeId id, double factor) { node(id).set_clock_factor(factor); }
 
   /// Periodic hook (e.g. tomography epoch boundaries).  Runs every
-  /// `interval_s` simulated seconds starting one interval from now.
+  /// `interval_s` simulated seconds starting one interval from now.  The
+  /// hook is stored once and re-armed through a typed kPeriodic event — no
+  /// per-cycle closure materialization.
   void add_periodic(double interval_s, std::function<void(SimTime)> fn);
 
   /// Control-plane flood from the sink: delivers an install callback to
@@ -159,7 +162,37 @@ class Network {
   void trigger_beacon(NodeId id);
 
  private:
+  /// One directed radio edge as seen from its sender, resolved once at
+  /// construction so the data/control hot paths never hash into links_.
+  struct NeighborLink {
+    NodeId peer = kInvalidNode;
+    Link* forward = nullptr;  ///< this node -> peer
+    Link* reverse = nullptr;  ///< peer -> this node (acks); null if absent
+  };
+
+  /// A unicast exchange parked between MAC completion scheduling and its
+  /// kTxDone event; slots are free-listed so steady-state transmissions
+  /// recycle Packet buffers instead of allocating per hop.
+  struct InFlightTx {
+    Packet packet;
+    TxOutcome outcome;
+    NodeId parent = kInvalidNode;
+  };
+
+  struct PeriodicHook {
+    std::function<void(SimTime)> fn;
+    SimTime interval = 0;
+  };
+
+  static void event_trampoline(void* target, const Event& ev);
+  void on_event(const Event& ev);
+  /// The one re-arm helper behind every recurring per-node activity
+  /// (beacons, generation, churn, triggered beacons).
+  void schedule_node_event(EventKind kind, NodeId id, SimTime delay);
+
   void build_links(dophy::common::Rng& rng);
+  void build_adjacency();
+  [[nodiscard]] const NeighborLink& neighbor_link(NodeId from, NodeId to) const;
   [[nodiscard]] std::unique_ptr<LossProcess> make_loss_process(double base,
                                                                dophy::common::Rng& rng) const;
   void schedule_beacon(NodeId id, bool initial);
@@ -169,9 +202,16 @@ class Network {
   void generate_packet(NodeId id);
   void schedule_churn_transition(NodeId id);
   void try_send(NodeId id);
+  void complete_transmission(NodeId sender, std::uint32_t slot);
+  void run_periodic(std::uint32_t index);
   void handle_arrival(NodeId receiver, NodeId sender, Packet packet, std::uint32_t attempts);
   void finish_packet(Packet&& packet, PacketFate fate);
   void note_queue_overflow(NodeId id);
+
+  [[nodiscard]] std::uint32_t acquire_inflight();
+  void release_inflight(std::uint32_t slot) noexcept;
+  [[nodiscard]] Packet acquire_packet();
+  void recycle_packet(Packet&& packet);
 
   NetworkConfig config_;
   PacketInstrumentation* instrumentation_;
@@ -180,12 +220,18 @@ class Network {
   ArqMac mac_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<LinkKey, std::unique_ptr<Link>, LinkKeyHash> links_;
+  /// Per-node resolved neighbor links in topology-neighbor order.
+  std::vector<std::vector<NeighborLink>> adjacency_;
   TraceCollector traces_;
   DeliveryHandler delivery_handler_;
   ReportMutator report_mutator_;
   std::vector<std::uint16_t> hops_to_sink_;
-  /// Owns add_periodic closures (their scheduled events hold raw pointers).
-  std::vector<std::shared_ptr<std::function<void()>>> periodic_fns_;
+  std::vector<PeriodicHook> periodic_hooks_;
+  std::vector<InFlightTx> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
+  /// Finished packets waiting to be reused (only fed when outcomes are not
+  /// collected — collection moves packets into the trace instead).
+  std::vector<Packet> packet_pool_;
 
   std::uint64_t beacons_sent_ = 0;
   std::uint64_t node_failures_ = 0;

@@ -14,30 +14,7 @@ Node::Node(NodeId id, bool is_sink, const RoutingConfig& routing_config,
       is_sink_(is_sink),
       rng_(rng),
       routing_(id, is_sink, routing_config),
-      queue_capacity_(queue_capacity) {}
-
-bool Node::enqueue(Packet&& packet) {
-  if (queue_.size() >= queue_capacity_) return false;
-  queue_.push_back(std::move(packet));
-  return true;
-}
-
-Packet Node::dequeue() {
-  if (queue_.empty()) throw std::logic_error("Node::dequeue: empty queue");
-  Packet p = std::move(queue_.front());
-  queue_.pop_front();
-  return p;
-}
-
-bool Node::check_and_mark_seen(std::uint64_t dedupe_key) {
-  if (seen_.contains(dedupe_key)) return true;
-  seen_.insert(dedupe_key);
-  seen_order_.push_back(dedupe_key);
-  if (seen_order_.size() > kSeenCacheCapacity) {
-    seen_.erase(seen_order_.front());
-    seen_order_.pop_front();
-  }
-  return false;
-}
+      queue_capacity_(queue_capacity),
+      seen_(kSeenCacheCapacity) {}
 
 }  // namespace dophy::net

@@ -5,9 +5,10 @@
 // Network, which owns all nodes and the event loop.
 
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
+#include <stdexcept>
 
+#include "dophy/common/dedupe_window.hpp"
+#include "dophy/common/ring_buffer.hpp"
 #include "dophy/common/rng.hpp"
 #include "dophy/net/packet.hpp"
 #include "dophy/net/routing.hpp"
@@ -34,10 +35,17 @@ class Node {
   [[nodiscard]] dophy::common::Rng& rng() noexcept { return rng_; }
 
   /// Forwarding queue; returns false (packet rejected) when full.
-  [[nodiscard]] bool enqueue(Packet&& packet);
+  [[nodiscard]] bool enqueue(Packet&& packet) {
+    if (queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(packet));
+    return true;
+  }
   [[nodiscard]] bool queue_empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
-  [[nodiscard]] Packet dequeue();
+  [[nodiscard]] Packet dequeue() {
+    if (queue_.empty()) throw std::logic_error("Node::dequeue: empty queue");
+    return queue_.take_front();
+  }
 
   /// Radio busy flag (one outstanding unicast at a time).
   [[nodiscard]] bool tx_busy() const noexcept { return tx_busy_; }
@@ -47,7 +55,10 @@ class Node {
   /// convention: a looped packet returns with a higher hop count and is NOT
   /// a duplicate, so it keeps forwarding until routes heal or the TTL kills
   /// it visibly.  Returns true if already seen (records it otherwise).
-  [[nodiscard]] bool check_and_mark_seen(std::uint64_t dedupe_key);
+  /// Inline: runs once per packet reception.
+  [[nodiscard]] bool check_and_mark_seen(std::uint64_t dedupe_key) {
+    return seen_.check_and_insert(dedupe_key);
+  }
 
   /// At most one pending triggered beacon at a time (Trickle-style reset).
   [[nodiscard]] bool beacon_trigger_pending() const noexcept { return beacon_pending_; }
@@ -77,7 +88,10 @@ class Node {
   bool is_sink_;
   dophy::common::Rng rng_;
   RoutingState routing_;
-  std::deque<Packet> queue_;
+  /// Ring buffers instead of std::deque: a sliding FIFO window in a deque
+  /// allocates/frees chunk nodes forever; these reach a fixed capacity and
+  /// stay heap-silent (the event loop's zero-allocation steady state).
+  dophy::common::RingBuffer<Packet> queue_;
   std::size_t queue_capacity_;
   bool tx_busy_ = false;
   std::uint16_t data_seq_ = 0;
@@ -85,8 +99,9 @@ class Node {
   bool beacon_pending_ = false;
   bool alive_ = true;
   double clock_factor_ = 1.0;
-  std::unordered_set<std::uint64_t> seen_;
-  std::deque<std::uint64_t> seen_order_;
+  /// Open-addressed sliding-window dedupe: fixed storage, zero allocations
+  /// in steady state, no per-key nodes to hash through.
+  dophy::common::DedupeWindow seen_;
   NodeStats stats_;
 };
 

@@ -36,6 +36,18 @@ struct MeasurementBlob {
     if (logical_bits == 0 && state_size == 0 && bytes.empty()) return 0;
     return (logical_bits + 7) / 8 + state_size + /*version*/ 1 + /*bit count*/ 2;
   }
+
+  /// Returns the blob to its freshly-constructed state while keeping the
+  /// byte buffer's capacity (packet-pool recycling).
+  void reset() noexcept {
+    bytes.clear();
+    logical_bits = 0;
+    state.fill(0);
+    state_size = 0;
+    model_version = 0;
+    truncated = false;
+    dropped = false;
+  }
 };
 
 /// Ground-truth record of one completed hop (simulator-side only; a real
@@ -60,6 +72,18 @@ struct Packet {
 
   [[nodiscard]] std::uint32_t flow_key() const noexcept {
     return (static_cast<std::uint32_t>(origin) << 16) | seq;
+  }
+
+  /// Returns the packet to its freshly-constructed state while keeping
+  /// vector capacities (packet-pool recycling): a recycled packet is
+  /// indistinguishable from `Packet{}` except for reserved storage.
+  void reset() noexcept {
+    origin = kInvalidNode;
+    seq = 0;
+    hop_count = 0;
+    created_at = 0;
+    blob.reset();
+    true_hops.clear();
   }
 };
 

@@ -32,14 +32,27 @@ void note_parent_change(NodeId self, NodeId old_parent, NodeId new_parent, doubl
 
 RoutingState::RoutingState(NodeId self, bool is_sink, const RoutingConfig& config)
     : self_(self), is_sink_(is_sink), config_(config),
-      path_etx_(is_sink ? 0.0 : kInfiniteEtx) {}
+      path_etx_(is_sink ? 0.0 : kInfiniteEtx) {
+  table_.reserve(16);  // typical radio degree; avoids early growth churn
+}
+
+RoutingState::NeighborEntry* RoutingState::find(NodeId neighbor) noexcept {
+  for (auto& e : table_) {
+    if (e.id == neighbor) return &e;
+  }
+  return nullptr;
+}
+
+const RoutingState::NeighborEntry* RoutingState::find(NodeId neighbor) const noexcept {
+  for (const auto& e : table_) {
+    if (e.id == neighbor) return &e;
+  }
+  return nullptr;
+}
 
 RoutingState::NeighborEntry& RoutingState::entry(NodeId neighbor) {
-  auto it = table_.find(neighbor);
-  if (it == table_.end()) {
-    it = table_.emplace(neighbor, NeighborEntry(config_.estimator)).first;
-  }
-  return it->second;
+  if (NeighborEntry* e = find(neighbor)) return *e;
+  return table_.emplace_back(neighbor, config_.estimator);
 }
 
 void RoutingState::on_beacon(NodeId from, double path_etx, std::uint16_t beacon_seq,
@@ -58,45 +71,51 @@ void RoutingState::on_data_tx(NodeId to, std::uint32_t total_attempts, bool deli
 
 void RoutingState::expire_stale(SimTime now) {
   const SimTime timeout = static_cast<SimTime>(config_.neighbor_timeout_s * 1e6);
-  for (auto it = table_.begin(); it != table_.end();) {
-    if (it->second.last_heard + timeout < now && it->first != parent_) {
-      it = table_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  std::erase_if(table_, [&](const NeighborEntry& e) {
+    return e.last_heard + timeout < now && e.id != parent_;
+  });
 }
 
 bool RoutingState::select_parent(SimTime now) {
   if (is_sink_) return false;
-  expire_stale(now);
 
+  // One fused pass: expire stale neighbors by compacting in place (same
+  // survivors, same order as expire_stale) while scoring the keepers — this
+  // runs on every beacon reception, and two scans over the table showed up
+  // in whole-run profiles.
+  const SimTime timeout = static_cast<SimTime>(config_.neighbor_timeout_s * 1e6);
   NodeId best = kInvalidNode;
   double best_metric = kInfiniteEtx;
-  for (auto& [id, e] : table_) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < table_.size(); ++r) {
+    if (table_[r].last_heard + timeout < now && table_[r].id != parent_) continue;
+    if (w != r) table_[w] = std::move(table_[r]);
+    NeighborEntry& e = table_[w];
+    ++w;
     if (e.advertised_path_etx == kInfiniteEtx) continue;
     // Gradient rule: only consider neighbors strictly closer to the sink
     // than our own current position; prevents mutual-parent loops under
     // consistent views (stale views are caught by the datapath TTL).
     if (path_etx_ != kInfiniteEtx && e.advertised_path_etx >= path_etx_) continue;
     const double metric = e.quality.etx() + e.advertised_path_etx;
-    // Tie-break on id so the choice never depends on hash-map order.
-    if (metric < best_metric || (metric == best_metric && id < best)) {
+    // Tie-break on id so the choice never depends on storage order.
+    if (metric < best_metric || (metric == best_metric && e.id < best)) {
       best_metric = metric;
-      best = id;
+      best = e.id;
     }
   }
+  table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(w), table_.end());
 
   if (best == kInvalidNode) {
     // No feasible candidate under the gradient rule; if we also have no
     // working parent, fall back to the global minimum so nodes (re)join.
     if (parent_ == kInvalidNode) {
-      for (auto& [id, e] : table_) {
+      for (auto& e : table_) {
         if (e.advertised_path_etx == kInfiniteEtx) continue;
         const double metric = e.quality.etx() + e.advertised_path_etx;
-        if (metric < best_metric || (metric == best_metric && id < best)) {
+        if (metric < best_metric || (metric == best_metric && e.id < best)) {
           best_metric = metric;
-          best = id;
+          best = e.id;
         }
       }
       if (best == kInvalidNode) return false;
@@ -116,9 +135,9 @@ bool RoutingState::select_parent(SimTime now) {
 
   double current_metric = kInfiniteEtx;
   if (parent_ != kInvalidNode) {
-    const auto it = table_.find(parent_);
-    if (it != table_.end() && it->second.advertised_path_etx != kInfiniteEtx) {
-      current_metric = it->second.quality.etx() + it->second.advertised_path_etx;
+    const NeighborEntry* e = find(parent_);
+    if (e != nullptr && e->advertised_path_etx != kInfiniteEtx) {
+      current_metric = e->quality.etx() + e->advertised_path_etx;
     }
   }
 
@@ -142,13 +161,13 @@ void RoutingState::refresh_path_etx() {
     path_etx_ = kInfiniteEtx;
     return;
   }
-  const auto it = table_.find(parent_);
-  if (it == table_.end() || it->second.advertised_path_etx == kInfiniteEtx) {
+  const NeighborEntry* e = find(parent_);
+  if (e == nullptr || e->advertised_path_etx == kInfiniteEtx) {
     path_etx_ = kInfiniteEtx;
     parent_ = kInvalidNode;
     return;
   }
-  path_etx_ = it->second.quality.etx() + it->second.advertised_path_etx;
+  path_etx_ = e->quality.etx() + e->advertised_path_etx;
 }
 
 NodeId RoutingState::select_forwarder(dophy::common::Rng& rng) const {
@@ -160,14 +179,14 @@ NodeId RoutingState::select_forwarder(dophy::common::Rng& rng) const {
   // with a bounded metric handicap so we never detour through junk links.
   std::vector<NodeId> alternates;
   const double parent_metric = path_etx_;
-  for (const auto& [id, e] : table_) {
-    if (id == parent_ || e.advertised_path_etx == kInfiniteEtx) continue;
+  for (const auto& e : table_) {
+    if (e.id == parent_ || e.advertised_path_etx == kInfiniteEtx) continue;
     if (path_etx_ != kInfiniteEtx && e.advertised_path_etx >= path_etx_) continue;
     const double metric = e.quality.etx() + e.advertised_path_etx;
-    if (metric <= parent_metric + 2.0) alternates.push_back(id);
+    if (metric <= parent_metric + 2.0) alternates.push_back(e.id);
   }
   if (alternates.empty()) return parent_;
-  // Sorted so the draw never depends on hash-map iteration order.
+  // Sorted so the draw never depends on storage order.
   std::sort(alternates.begin(), alternates.end());
   return alternates[rng.next_below(alternates.size())];
 }
@@ -188,21 +207,21 @@ double RoutingState::advertise_etx() {
 }
 
 double RoutingState::link_etx(NodeId neighbor) const {
-  const auto it = table_.find(neighbor);
-  return it == table_.end() ? config_.estimator.initial_etx : it->second.quality.etx();
+  const NeighborEntry* e = find(neighbor);
+  return e == nullptr ? config_.estimator.initial_etx : e->quality.etx();
 }
 
 std::vector<NodeId> RoutingState::known_neighbors() const {
   std::vector<NodeId> out;
   out.reserve(table_.size());
-  for (const auto& [id, e] : table_) out.push_back(id);
+  for (const auto& e : table_) out.push_back(e.id);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 double RoutingState::neighbor_path_etx(NodeId neighbor) const {
-  const auto it = table_.find(neighbor);
-  return it == table_.end() ? kInfiniteEtx : it->second.advertised_path_etx;
+  const NeighborEntry* e = find(neighbor);
+  return e == nullptr ? kInfiniteEtx : e->advertised_path_etx;
 }
 
 }  // namespace dophy::net

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "dophy/common/rng.hpp"
@@ -83,17 +82,24 @@ class RoutingState {
     LinkQualityEstimate quality;
     double advertised_path_etx = kInfiniteEtx;
     SimTime last_heard = 0;
-    explicit NeighborEntry(const LinkEstimatorConfig& cfg) : quality(cfg) {}
+    NodeId id = kInvalidNode;
+    NeighborEntry(NodeId node, const LinkEstimatorConfig& cfg)
+        : quality(cfg), id(node) {}
   };
 
   NeighborEntry& entry(NodeId neighbor);
+  [[nodiscard]] NeighborEntry* find(NodeId neighbor) noexcept;
+  [[nodiscard]] const NeighborEntry* find(NodeId neighbor) const noexcept;
   void refresh_path_etx();
   void expire_stale(SimTime now);
 
   NodeId self_;
   bool is_sink_;
   RoutingConfig config_;
-  std::unordered_map<NodeId, NeighborEntry> table_;
+  /// Flat neighbor table: radio degree is small (< 20), so a linear scan
+  /// beats hashing — and every consumer already tie-breaks on id, so the
+  /// result never depends on storage order.
+  std::vector<NeighborEntry> table_;
   NodeId parent_ = kInvalidNode;
   double path_etx_;
   double advertised_etx_ = kInfiniteEtx;

@@ -17,13 +17,24 @@ void Simulator::schedule_in(SimTime delay, EventQueue::Callback cb) {
   queue_.push(now_ + delay, std::move(cb));
 }
 
+void Simulator::dispatch(const EventQueue::Scheduled& entry) {
+  if (trace_hook_ != nullptr) {
+    trace_hook_(trace_ctx_, entry.time, entry.seq, entry.event.kind);
+  }
+  if (entry.event.kind == EventKind::kCallback) {
+    queue_.run_callback(entry.event);
+  } else {
+    entry.event.fn(entry.event.target, entry.event);
+  }
+}
+
 void Simulator::run_until(SimTime until) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t executed_start = executed_;
   while (!queue_.empty() && queue_.next_time() <= until) {
-    now_ = queue_.next_time();
-    auto cb = queue_.pop();
-    cb();
+    const EventQueue::Scheduled entry = queue_.pop();
+    now_ = entry.time;
+    dispatch(entry);
     ++executed_;
   }
   if (now_ < until) now_ = until;
@@ -42,9 +53,9 @@ void Simulator::run_all() {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  now_ = queue_.next_time();
-  auto cb = queue_.pop();
-  cb();
+  const EventQueue::Scheduled entry = queue_.pop();
+  now_ = entry.time;
+  dispatch(entry);
   ++executed_;
   return true;
 }

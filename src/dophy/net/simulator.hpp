@@ -1,10 +1,14 @@
 #pragma once
 
 // Simulation clock + event loop.  Owns the queue; everything in dophy::net
-// schedules through this.
+// schedules through this.  Typed events (schedule_event_*) dispatch through
+// their static thunk with zero allocations; std::function callbacks remain
+// as a slab-backed escape hatch for cold call sites.
 
 #include <cstdint>
+#include <stdexcept>
 
+#include "dophy/net/event.hpp"
 #include "dophy/net/event_queue.hpp"
 #include "dophy/net/types.hpp"
 
@@ -14,10 +18,24 @@ class Simulator {
  public:
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Schedules at absolute simulation time (must be >= now).
+  /// Schedules a typed event at absolute simulation time (must be >= now).
+  /// Inline along with the `in` variant: one of these runs for every event
+  /// the simulation ever executes.
+  void schedule_event_at(SimTime at, const Event& ev) {
+    if (at < now_) throw std::invalid_argument("Simulator::schedule_event_at: time in the past");
+    queue_.push_event(at, ev);
+  }
+
+  /// Schedules a typed event `delay` microseconds from now (delay >= 0).
+  void schedule_event_in(SimTime delay, const Event& ev) {
+    if (delay < 0) throw std::invalid_argument("Simulator::schedule_event_in: negative delay");
+    queue_.push_event(now_ + delay, ev);
+  }
+
+  /// Escape hatch: schedules a callback at absolute time (must be >= now).
   void schedule_at(SimTime at, EventQueue::Callback cb);
 
-  /// Schedules `delay` microseconds from now (delay >= 0).
+  /// Escape hatch: schedules a callback `delay` microseconds from now.
   void schedule_in(SimTime delay, EventQueue::Callback cb);
 
   /// Runs events with time <= `until`, then advances the clock to `until`.
@@ -36,11 +54,24 @@ class Simulator {
   /// profiling; step()/run_all() are not accounted).
   [[nodiscard]] double busy_seconds() const noexcept { return busy_seconds_; }
 
+  /// Observer invoked before every dispatched event with its total-order key
+  /// and kind (determinism tests, replay debugging).  Pass nullptr to
+  /// disable; costs one predictable branch per event when unset.
+  using TraceHook = void (*)(void* ctx, SimTime time, std::uint64_t seq, EventKind kind);
+  void set_trace_hook(TraceHook hook, void* ctx) noexcept {
+    trace_hook_ = hook;
+    trace_ctx_ = ctx;
+  }
+
  private:
+  void dispatch(const EventQueue::Scheduled& entry);
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   double busy_seconds_ = 0.0;
+  TraceHook trace_hook_ = nullptr;
+  void* trace_ctx_ = nullptr;
 };
 
 }  // namespace dophy::net

@@ -3,6 +3,9 @@
 namespace dophy::net {
 
 void TraceCollector::record(PacketOutcome outcome) {
+  if (outcome.packet.origin >= per_origin_.size()) {
+    per_origin_.resize(outcome.packet.origin + std::size_t{1});
+  }
   auto& tally = per_origin_[outcome.packet.origin];
   ++tally.generated;
   if (outcome.fate == PacketFate::kDelivered) {
@@ -13,7 +16,7 @@ void TraceCollector::record(PacketOutcome outcome) {
   } else {
     ++dropped_;
   }
-  outcomes_.push_back(std::move(outcome));
+  if (store_outcomes_) outcomes_.push_back(std::move(outcome));
 }
 
 double TraceCollector::delivery_ratio() const noexcept {

@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "dophy/common/stats.hpp"
@@ -45,6 +44,13 @@ class TraceCollector {
  public:
   void record(PacketOutcome outcome);
 
+  /// When disabled, record() still maintains every tally and running stat
+  /// but drops the outcome record itself — outcomes() stays empty and the
+  /// collector's memory footprint is O(1) regardless of run length (the
+  /// zero-allocation steady state of long memory-light runs).  Enabled by
+  /// default.
+  void set_store_outcomes(bool store) noexcept { store_outcomes_ = store; }
+
   [[nodiscard]] const std::vector<PacketOutcome>& outcomes() const noexcept {
     return outcomes_;
   }
@@ -62,12 +68,15 @@ class TraceCollector {
     return hops_;
   }
 
-  /// Per-origin delivery tallies (what end-to-end tomography baselines see).
+  /// Per-origin delivery tallies (what end-to-end tomography baselines see),
+  /// indexed by origin NodeId.  Flat array instead of a hash map: record()
+  /// runs once per finished packet, and node ids are small and dense.
+  /// Origins that never finished a packet have all-zero tallies.
   struct OriginTally {
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
   };
-  [[nodiscard]] const std::unordered_map<NodeId, OriginTally>& per_origin() const noexcept {
+  [[nodiscard]] const std::vector<OriginTally>& per_origin() const noexcept {
     return per_origin_;
   }
 
@@ -75,11 +84,12 @@ class TraceCollector {
 
  private:
   std::vector<PacketOutcome> outcomes_;
-  std::unordered_map<NodeId, OriginTally> per_origin_;
+  std::vector<OriginTally> per_origin_;
   dophy::common::RunningStats latency_;
   dophy::common::RunningStats hops_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  bool store_outcomes_ = true;
 };
 
 }  // namespace dophy::net

@@ -56,6 +56,28 @@ void TrickleDissemination::publish(std::uint8_t version, std::size_t payload_byt
   start_interval(kSinkId, /*reset_to_min=*/true);
 }
 
+void TrickleDissemination::event_trampoline(void* target, const Event& ev) {
+  auto* self = static_cast<TrickleDissemination*>(target);
+  const NodeId id = ev.payload.trickle.node;
+  const std::uint64_t epoch = ev.payload.trickle.epoch;
+  switch (ev.kind) {
+    case EventKind::kTrickleTimer: self->on_timer(id, epoch); break;
+    case EventKind::kTrickleInterval: self->on_interval_end(id, epoch); break;
+    default: break;
+  }
+}
+
+void TrickleDissemination::schedule_trickle_event(EventKind kind, NodeId id,
+                                                  std::uint64_t epoch, SimTime delay) {
+  Event ev;
+  ev.fn = &event_trampoline;
+  ev.target = this;
+  ev.kind = kind;
+  ev.payload.trickle.node = id;
+  ev.payload.trickle.epoch = epoch;
+  net_->sim().schedule_event_in(delay, ev);
+}
+
 void TrickleDissemination::start_interval(NodeId id, bool reset_to_min) {
   NodeState& s = states_[id];
   if (reset_to_min) {
@@ -67,13 +89,16 @@ void TrickleDissemination::start_interval(NodeId id, bool reset_to_min) {
   const std::uint64_t epoch = ++s.epoch;
   // Transmission point uniform in [I/2, I).
   const double t = s.interval_s * net_->node(id).rng().uniform(0.5, 1.0);
-  net_->sim().schedule_in(static_cast<SimTime>(t * 1e6),
-                          [this, id, epoch] { on_timer(id, epoch); });
+  schedule_trickle_event(EventKind::kTrickleTimer, id, epoch,
+                         static_cast<SimTime>(t * 1e6));
   // End-of-interval event doubles I and starts the next round.
-  net_->sim().schedule_in(static_cast<SimTime>(s.interval_s * 1e6), [this, id, epoch] {
-    if (states_[id].epoch != epoch) return;  // interval was reset meanwhile
-    start_interval(id, /*reset_to_min=*/false);
-  });
+  schedule_trickle_event(EventKind::kTrickleInterval, id, epoch,
+                         static_cast<SimTime>(s.interval_s * 1e6));
+}
+
+void TrickleDissemination::on_interval_end(NodeId id, std::uint64_t epoch) {
+  if (states_[id].epoch != epoch) return;  // interval was reset meanwhile
+  start_interval(id, /*reset_to_min=*/false);
 }
 
 void TrickleDissemination::on_timer(NodeId id, std::uint64_t epoch) {

@@ -62,8 +62,16 @@ class TrickleDissemination {
     std::uint64_t epoch = 0;  ///< invalidates stale timer events
   };
 
+  /// Typed-event dispatch: timers ride the simulator as flat
+  /// kTrickleTimer/kTrickleInterval records (node + epoch payload), so the
+  /// Trickle state machine schedules with zero allocations.
+  static void event_trampoline(void* target, const Event& ev);
+  void schedule_trickle_event(EventKind kind, NodeId id, std::uint64_t epoch,
+                              SimTime delay);
+
   void start_interval(NodeId id, bool reset_to_min);
   void on_timer(NodeId id, std::uint64_t epoch);
+  void on_interval_end(NodeId id, std::uint64_t epoch);
   void broadcast(NodeId id);
   void receive(NodeId receiver, NodeId sender, std::uint16_t version,
                std::size_t payload_bytes);

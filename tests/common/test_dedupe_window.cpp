@@ -1,0 +1,100 @@
+// DedupeWindow: open-addressed sliding-window duplicate detector.  The
+// reference model is the classic unordered_set + FIFO queue; the table must
+// give identical membership answers through growth, eviction
+// (backward-shift deletion), and clear().
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "dophy/common/dedupe_window.hpp"
+#include "dophy/common/rng.hpp"
+
+namespace {
+
+using dophy::common::DedupeWindow;
+
+// Reference implementation: membership over the most recent `window` keys.
+class ModelWindow {
+ public:
+  explicit ModelWindow(std::size_t window) : window_(window) {}
+
+  bool check_and_insert(std::uint64_t key) {
+    if (set_.count(key) != 0) return true;
+    set_.insert(key);
+    order_.push_back(key);
+    if (order_.size() > window_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+    return false;
+  }
+
+ private:
+  std::size_t window_;
+  std::unordered_set<std::uint64_t> set_;
+  std::deque<std::uint64_t> order_;
+};
+
+TEST(DedupeWindowTest, FirstInsertThenDuplicate) {
+  DedupeWindow w(8);
+  EXPECT_FALSE(w.check_and_insert(42));
+  EXPECT_TRUE(w.check_and_insert(42));
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(DedupeWindowTest, EvictsOldestPastCapacity) {
+  DedupeWindow w(3);
+  EXPECT_FALSE(w.check_and_insert(1));
+  EXPECT_FALSE(w.check_and_insert(2));
+  EXPECT_FALSE(w.check_and_insert(3));
+  EXPECT_FALSE(w.check_and_insert(4));  // evicts 1
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_FALSE(w.check_and_insert(1));  // 1 forgotten — inserts again
+  EXPECT_TRUE(w.check_and_insert(3));
+  EXPECT_TRUE(w.check_and_insert(4));
+}
+
+// Growth preserves membership: insert far more distinct keys than the
+// initial 16-slot table holds and confirm every in-window key still answers
+// "seen" while all evicted keys answer "new".
+TEST(DedupeWindowTest, MembershipSurvivesGrowth) {
+  constexpr std::size_t kWindow = 600;  // several doublings past 16 slots
+  DedupeWindow w(kWindow);
+  for (std::uint64_t k = 0; k < kWindow; ++k) {
+    EXPECT_FALSE(w.check_and_insert(k * 2654435761u));
+  }
+  EXPECT_EQ(w.size(), kWindow);
+  for (std::uint64_t k = 0; k < kWindow; ++k) {
+    EXPECT_TRUE(w.check_and_insert(k * 2654435761u)) << "lost key " << k;
+  }
+}
+
+TEST(DedupeWindowTest, ClearForgetsEverything) {
+  DedupeWindow w(16);
+  for (std::uint64_t k = 0; k < 10; ++k) ASSERT_FALSE(w.check_and_insert(k));
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  for (std::uint64_t k = 0; k < 10; ++k) EXPECT_FALSE(w.check_and_insert(k));
+}
+
+// Randomized differential test against the set+deque model: duplicates and
+// evictions interleave across multiple growth boundaries.
+TEST(DedupeWindowTest, MatchesReferenceModelUnderRandomTraffic) {
+  for (const std::size_t window : {1u, 2u, 7u, 64u, 300u}) {
+    DedupeWindow w(window);
+    ModelWindow model(window);
+    dophy::common::Rng rng(0x5eedu + window);
+    for (int i = 0; i < 20000; ++i) {
+      // Narrow key range forces frequent duplicates and re-insertions of
+      // previously evicted keys.
+      const std::uint64_t key = rng.next_u64() % (4 * window + 3);
+      ASSERT_EQ(w.check_and_insert(key), model.check_and_insert(key))
+          << "window=" << window << " step=" << i << " key=" << key;
+    }
+  }
+}
+
+}  // namespace

@@ -9,11 +9,19 @@
 namespace dophy::net {
 namespace {
 
+/// Pops the earliest entry and runs it (callback entries only).
+void pop_and_run(EventQueue& q) {
+  const EventQueue::Scheduled entry = q.pop();
+  ASSERT_EQ(entry.event.kind, EventKind::kCallback);
+  q.run_callback(entry.event);
+}
+
 TEST(EventQueue, EmptyStateAndErrors) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
   EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.peek(), std::logic_error);
   EXPECT_THROW((void)q.pop(), std::logic_error);
 }
 
@@ -23,7 +31,7 @@ TEST(EventQueue, OrdersByTime) {
   q.push(30, [&] { order.push_back(3); });
   q.push(10, [&] { order.push_back(1); });
   q.push(20, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) pop_and_run(q);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -33,7 +41,7 @@ TEST(EventQueue, FifoAmongEqualTimes) {
   for (int i = 0; i < 10; ++i) {
     q.push(5, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) pop_and_run(q);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -41,15 +49,61 @@ TEST(EventQueue, NextTimePeeksWithoutPopping) {
   EventQueue q;
   q.push(7, [] {});
   EXPECT_EQ(q.next_time(), 7);
+  EXPECT_EQ(q.peek().time, 7);
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, ClearEmpties) {
+TEST(EventQueue, ClearEmptiesAndResetsPushedCount) {
   EventQueue q;
   q.push(1, [] {});
   q.push(2, [] {});
+  EXPECT_EQ(q.pushed_count(), 2u);
   q.clear();
   EXPECT_TRUE(q.empty());
+  // Network reuse semantics: a cleared queue counts (and numbers sequence
+  // tie-breakers) from scratch.
+  EXPECT_EQ(q.pushed_count(), 0u);
+  q.push(3, [] {});
+  EXPECT_EQ(q.pushed_count(), 1u);
+  EXPECT_EQ(q.peek().seq, 0u);
+}
+
+TEST(EventQueue, TypedEventsCarryPayloadAndOrder) {
+  EventQueue q;
+  std::vector<NodeId> order;
+  const auto record = [](void* target, const Event& ev) {
+    static_cast<std::vector<NodeId>*>(target)->push_back(ev.payload.node_ev.node);
+  };
+  q.push_event(20, Event::node_event(EventKind::kBeaconSend, record, &order, 2));
+  q.push_event(10, Event::node_event(EventKind::kPacketGenerate, record, &order, 1));
+  q.push_event(10, Event::node_event(EventKind::kBeaconTrigger, record, &order, 3));
+  while (!q.empty()) {
+    const EventQueue::Scheduled entry = q.pop();
+    entry.event.fn(entry.event.target, entry.event);
+  }
+  EXPECT_EQ(order, (std::vector<NodeId>{1, 3, 2}));
+}
+
+TEST(EventQueue, MixedTypedAndCallbackPreserveGlobalFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto record = [](void* target, const Event& ev) {
+    static_cast<std::vector<int>*>(target)->push_back(
+        static_cast<int>(ev.payload.node_ev.node));
+  };
+  q.push_event(5, Event::node_event(EventKind::kBeaconSend, record, &order, 0));
+  q.push(5, [&order] { order.push_back(1); });
+  q.push_event(5, Event::node_event(EventKind::kBeaconSend, record, &order, 2));
+  q.push(5, [&order] { order.push_back(3); });
+  while (!q.empty()) {
+    const EventQueue::Scheduled entry = q.pop();
+    if (entry.event.kind == EventKind::kCallback) {
+      q.run_callback(entry.event);
+    } else {
+      entry.event.fn(entry.event.target, entry.event);
+    }
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(EventQueue, RandomizedOrderingProperty) {
@@ -64,7 +118,7 @@ TEST(EventQueue, RandomizedOrderingProperty) {
     pushed.emplace_back(t, s);
     q.push(t, [&popped, t, s] { popped.emplace_back(t, s); });
   }
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) pop_and_run(q);
   ASSERT_EQ(popped.size(), pushed.size());
   for (std::size_t i = 1; i < popped.size(); ++i) {
     const bool ordered = popped[i - 1].first < popped[i].first ||
@@ -74,12 +128,63 @@ TEST(EventQueue, RandomizedOrderingProperty) {
   }
 }
 
+// Equal-timestamp FIFO must survive arbitrary interleavings of pushes and
+// pops — the sequence tie-breaker is assigned at push time, so later pushes
+// at the same timestamp always pop after earlier ones even when pops happen
+// in between.
+TEST(EventQueue, EqualTimestampFifoUnderInterleavedPushPop) {
+  dophy::common::Rng rng(99);
+  EventQueue q;
+  std::vector<std::uint64_t> popped_seq;
+  std::uint64_t pushed = 0;
+  constexpr SimTime kT = 42;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t burst = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < burst; ++i) {
+      const std::uint64_t tag = pushed++;
+      q.push(kT, [&popped_seq, tag] { popped_seq.push_back(tag); });
+    }
+    const std::size_t drains = rng.next_below(burst + 2);
+    for (std::size_t i = 0; i < drains && !q.empty(); ++i) pop_and_run(q);
+  }
+  while (!q.empty()) pop_and_run(q);
+  ASSERT_EQ(popped_seq.size(), pushed);
+  for (std::size_t i = 0; i < popped_seq.size(); ++i) {
+    EXPECT_EQ(popped_seq[i], i) << "FIFO violated at pop " << i;
+  }
+}
+
 TEST(EventQueue, PushedCountMonotone) {
   EventQueue q;
   q.push(1, [] {});
   q.push(2, [] {});
-  (void)q.pop();
+  { const auto entry = q.pop(); q.run_callback(entry.event); }
   EXPECT_EQ(q.pushed_count(), 2u);
+}
+
+TEST(EventQueue, CallbackSlabSlotsAreRecycled) {
+  EventQueue q;
+  int fired = 0;
+  // Interleave pushes and pops at increasing times; the slab should stay at
+  // its high-water mark (slot indices recycle through the free list).
+  for (int i = 0; i < 100; ++i) {
+    q.push(i, [&fired] { ++fired; });
+    pop_and_run(q);
+  }
+  EXPECT_EQ(fired, 100);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pushed_count(), 100u);
+}
+
+TEST(EventQueue, ShrinkToFitAfterClearKeepsWorking) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) q.push(i, [] {});
+  q.clear();
+  q.shrink_to_fit();
+  int fired = 0;
+  q.push(1, [&fired] { ++fired; });
+  pop_and_run(q);
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace

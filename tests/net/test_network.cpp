@@ -108,7 +108,7 @@ TEST(Network, PerOriginTalliesConsistent) {
   net.run_for(400.0);
   const auto& per_origin = net.traces().per_origin();
   std::uint64_t generated = 0, delivered = 0;
-  for (const auto& [origin, tally] : per_origin) {
+  for (const auto& tally : per_origin) {
     EXPECT_LE(tally.delivered, tally.generated);
     generated += tally.generated;
     delivered += tally.delivered;
