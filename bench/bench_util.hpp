@@ -8,13 +8,19 @@
 //   --csv                 emit CSV instead of the aligned table
 //   --metrics-json PATH   write a machine-readable run report (obs::RunReport)
 //   --trace-jsonl PATH    stream structured simulation events to a JSONL file
+//   --check               arm the dophy::check invariant oracle in every
+//                         pipeline run (slower; aborts-free but exits 2 if a
+//                         run reports violations via the pipeline result)
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "dophy/check/check.hpp"
 #include "dophy/common/table.hpp"
 #include "dophy/obs/report.hpp"
 #include "dophy/obs/timer.hpp"
@@ -53,6 +59,7 @@ struct BenchArgs {
   std::size_t nodes = 100;
   bool quick = false;
   bool csv = false;
+  bool check = false;  ///< invariant oracle armed process-wide
   std::string bench_name = "bench";
   std::string metrics_json;  ///< empty = no report
   std::string trace_jsonl;   ///< empty = no event trace
@@ -83,12 +90,24 @@ struct BenchArgs {
         args.quick = true;
       } else if (a == "--csv") {
         args.csv = true;
+      } else if (a == "--check") {
+        args.check = true;
+        dophy::check::set_global_enabled(true);
+        // Bench mains only print tables; make a failed oracle fatal at
+        // process end (the pipeline already printed each FAIL summary).
+        std::atexit([] {
+          if (const auto failures = dophy::check::global_failure_count()) {
+            std::fprintf(stderr, "--check: %llu pipeline run(s) failed invariant checks\n",
+                         static_cast<unsigned long long>(failures));
+            std::_Exit(1);
+          }
+        });
       } else if (a == "--metrics-json") {
         args.metrics_json = next_arg();
       } else if (a == "--trace-jsonl") {
         args.trace_jsonl = next_arg();
       } else if (a == "--help" || a == "-h") {
-        std::cout << "usage: bench [--trials N] [--nodes N] [--quick] [--csv]\n"
+        std::cout << "usage: bench [--trials N] [--nodes N] [--quick] [--csv] [--check]\n"
                      "             [--metrics-json PATH] [--trace-jsonl PATH]\n";
         std::exit(0);
       } else {

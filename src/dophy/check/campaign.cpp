@@ -1,0 +1,191 @@
+#include "dophy/check/campaign.hpp"
+
+#include <cmath>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv_mix_str(std::uint64_t hash, const std::string& text) noexcept {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+bool outcome_failed(const ScenarioOutcome& outcome, const CampaignOptions& options) {
+  if (!outcome.passed) return true;
+  return options.fail_predicate && options.fail_predicate(outcome);
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const CampaignOptions& options) {
+  ScenarioOutcome outcome;
+  outcome.spec = spec;
+
+  dophy::tomo::PipelineConfig config = make_config(spec);
+  config.check = options.check;
+  config.check.enabled = true;
+  config.check.strict_decode = options.check.strict_decode && spec.benign();
+
+  try {
+    const dophy::tomo::PipelineResult result = dophy::tomo::run_pipeline(config);
+    const CheckReport& report = result.check_report;
+    outcome.passed = report.passed();
+    outcome.violation_count = report.violation_count;
+    if (!report.violations.empty()) {
+      outcome.first_violation =
+          "[" + report.violations.front().kind + "] " + report.violations.front().message;
+    }
+    outcome.packets_measured = result.packets_measured;
+    outcome.packets_generated = result.net_stats.packets_generated;
+
+    std::uint64_t digest = fnv_mix_str(kFnvOffset, to_string(spec));
+    digest = fnv_mix(digest, report.violation_count);
+    digest = fnv_mix(digest, result.packets_measured);
+    digest = fnv_mix(digest, result.net_stats.packets_generated);
+    digest = fnv_mix(digest, result.net_stats.packets_delivered);
+    digest = fnv_mix(digest, result.net_stats.parent_changes);
+    digest = fnv_mix(digest, result.decoder_stats.packets_decoded);
+    digest = fnv_mix(digest, result.decoder_stats.decode_failures);
+    for (const auto& method : result.methods) {
+      if (method.name == "dophy") {
+        outcome.mae = method.summary.mae;
+        // Fixed-seed runs are bit-identical, so hashing the scaled MAE is
+        // stable; llround avoids platform printf differences.
+        digest = fnv_mix(digest,
+                         static_cast<std::uint64_t>(std::llround(method.summary.mae * 1e9)));
+      }
+    }
+    outcome.digest = digest;
+  } catch (const std::exception& e) {
+    outcome.passed = false;
+    outcome.violation_count = 1;
+    outcome.first_violation = std::string("[exception] ") + e.what();
+    outcome.digest = fnv_mix_str(fnv_mix_str(kFnvOffset, to_string(spec)), e.what());
+  }
+  return outcome;
+}
+
+ScenarioSpec shrink_failure(const ScenarioSpec& spec, const CampaignOptions& options,
+                            std::size_t& runs_used) {
+  // Ordered simplification transforms; each returns false when it cannot
+  // simplify the spec further.
+  using Transform = bool (*)(ScenarioSpec&);
+  static constexpr Transform kTransforms[] = {
+      [](ScenarioSpec& s) { return std::exchange(s.trickle, false); },
+      [](ScenarioSpec& s) { return std::exchange(s.hash_mode, false); },
+      [](ScenarioSpec& s) {
+        return std::exchange(s.max_wire_bytes, 0U) != 0;
+      },
+      [](ScenarioSpec& s) {
+        return std::exchange(s.fault_level, static_cast<std::uint8_t>(0)) != 0;
+      },
+      [](ScenarioSpec& s) { return std::exchange(s.opportunism, false); },
+      [](ScenarioSpec& s) { return std::exchange(s.churn, false); },
+      [](ScenarioSpec& s) { return std::exchange(s.dynamics, false); },
+      [](ScenarioSpec& s) {
+        return std::exchange(s.loss_kind, static_cast<std::uint8_t>(0)) != 0;
+      },
+      [](ScenarioSpec& s) {
+        if (s.censor_k == 4) return false;
+        s.censor_k = 4;
+        return true;
+      },
+      [](ScenarioSpec& s) {
+        if (s.measure_s <= 120) return false;
+        s.measure_s = 120;
+        return true;
+      },
+      [](ScenarioSpec& s) {
+        if (s.nodes <= 20) return false;
+        s.nodes = 20;
+        return true;
+      },
+      [](ScenarioSpec& s) {
+        if (s.nodes <= 12) return false;
+        s.nodes = 12;
+        return true;
+      },
+      [](ScenarioSpec& s) {
+        if (s.warmup_s <= 60) return false;
+        s.warmup_s = 60;
+        return true;
+      },
+  };
+
+  ScenarioSpec best = spec;
+  runs_used = 0;
+  bool progressed = true;
+  while (progressed && runs_used < options.max_shrink_runs) {
+    progressed = false;
+    for (const Transform transform : kTransforms) {
+      if (runs_used >= options.max_shrink_runs) break;
+      ScenarioSpec candidate = best;
+      if (!transform(candidate)) continue;
+      ++runs_used;
+      const ScenarioOutcome outcome = run_scenario(candidate, options);
+      if (outcome_failed(outcome, options)) {
+        best = candidate;
+        progressed = true;
+        if (options.log) {
+          options.log("shrink: kept " + to_string(best));
+        }
+      }
+    }
+  }
+  return best;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  result.digest = kFnvOffset;
+  for (std::size_t i = 0; i < options.num_seeds; ++i) {
+    const std::uint64_t seed = options.start_seed + i;
+    const ScenarioSpec spec = generate_scenario(seed);
+    const ScenarioOutcome outcome = run_scenario(spec, options);
+    ++result.scenarios_run;
+    result.digest = fnv_mix(result.digest, outcome.digest);
+
+    if (outcome_failed(outcome, options)) {
+      ++result.failures;
+      FailureRepro repro;
+      repro.original = spec;
+      repro.first_violation = outcome.first_violation;
+      if (options.log) {
+        options.log("FAIL seed=" + std::to_string(seed) + " " + outcome.first_violation);
+      }
+      if (options.shrink) {
+        repro.shrunk = shrink_failure(spec, options, repro.shrink_runs);
+      } else {
+        repro.shrunk = spec;
+      }
+      result.repros.push_back(std::move(repro));
+    } else if (options.log && (i + 1) % 25 == 0) {
+      std::ostringstream os;
+      os << "ok " << (i + 1) << "/" << options.num_seeds;
+      options.log(os.str());
+    }
+  }
+  return result;
+}
+
+}  // namespace dophy::check

@@ -1,0 +1,76 @@
+#pragma once
+
+// Campaign driver: runs N seeded scenarios through the full pipeline with
+// the invariant oracle armed, shrinks any failure to a minimal spec, and
+// folds every run into one deterministic digest (so a "golden campaign"
+// test can pin the exact behavior of the whole stack across refactors).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dophy/check/check.hpp"
+#include "dophy/check/scenario_gen.hpp"
+
+namespace dophy::check {
+
+/// Result of one scenario run (pipeline + oracle verdict).
+struct ScenarioOutcome {
+  ScenarioSpec spec;
+  bool passed = false;
+  std::uint64_t violation_count = 0;
+  std::string first_violation;  ///< "[kind] message", or the exception text
+  std::uint64_t digest = 0;     ///< FNV-1a over spec + stable run counters
+  std::uint64_t packets_measured = 0;
+  std::uint64_t packets_generated = 0;
+  double mae = 0.0;
+};
+
+/// A failure plus its shrunk minimal form.
+struct FailureRepro {
+  ScenarioSpec original;
+  ScenarioSpec shrunk;
+  std::string first_violation;
+  std::size_t shrink_runs = 0;  ///< pipeline runs the shrinker spent
+};
+
+struct CampaignOptions {
+  std::uint64_t start_seed = 1;
+  std::size_t num_seeds = 50;
+  bool shrink = true;
+  std::size_t max_shrink_runs = 40;
+  /// Per-run checker knobs (strict_decode, max_violations, debug_retx_bias
+  /// for the oracle self-test).  `enabled` is forced on.
+  CheckConfig check;
+  /// Test hook: extra failure verdict OR-ed with the oracle's.  Used by the
+  /// shrinker tests to make "failure" a function of the spec alone.
+  std::function<bool(const ScenarioOutcome&)> fail_predicate;
+  /// Progress/diagnostic sink (one line per call); null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+struct CampaignResult {
+  std::size_t scenarios_run = 0;
+  std::size_t failures = 0;
+  std::uint64_t digest = 0;  ///< combined over all scenarios, order-sensitive
+  std::vector<FailureRepro> repros;
+
+  [[nodiscard]] bool passed() const noexcept { return failures == 0; }
+};
+
+/// Runs one spec end to end.  Never throws: pipeline exceptions become a
+/// failed outcome with the exception text as the violation.
+[[nodiscard]] ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                                           const CampaignOptions& options);
+
+/// Greedily simplifies a failing spec (drop trickle, hash, faults, churn,
+/// dynamics, shrink topology and windows...) while the failure persists.
+/// `runs_used` returns the pipeline runs spent.
+[[nodiscard]] ScenarioSpec shrink_failure(const ScenarioSpec& spec,
+                                          const CampaignOptions& options,
+                                          std::size_t& runs_used);
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace dophy::check

@@ -1,0 +1,42 @@
+#include "dophy/check/check.hpp"
+
+#include <sstream>
+
+namespace dophy::check {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_failures{0};
+}  // namespace
+
+void set_global_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool global_enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void note_global_failure() noexcept {
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t global_failure_count() noexcept {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  if (passed()) {
+    os << "check: PASS (" << transmissions << " tx, " << arrivals << " arrivals, "
+       << links_audited << " links, " << decoded_paths_verified << " decoded paths audited)";
+  } else {
+    os << "check: FAIL (" << violation_count << " violation"
+       << (violation_count == 1 ? "" : "s");
+    if (!violations.empty()) {
+      os << ", first: [" << violations.front().kind << "] " << violations.front().message;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace dophy::check

@@ -1,0 +1,84 @@
+#pragma once
+
+// dophy::check — runtime-toggleable correctness oracle.
+//
+// The simulator owns the ground truth (every loss draw, every queue, every
+// routing decision), so conservation identities between what the network did
+// and what the tomography layer reports are *exactly* checkable.  This
+// module records the authoritative tallies into a GroundTruth ledger
+// (ground_truth.hpp), validates invariants as the run progresses and at
+// end-of-run (invariants.hpp), and drives randomized metamorphic campaigns
+// over generated scenarios (scenario_gen.hpp, campaign.hpp).
+//
+// Everything here is passive and off by default: with checks disabled the
+// only cost is one null-pointer branch per observer hook site.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dophy::check {
+
+struct CheckConfig {
+  /// Master switch; a disabled config never installs an observer.
+  bool enabled = false;
+  /// Compare decoded paths bit-exactly against the ledger when the run is
+  /// benign (no faults, id-coding, unlimited wire budget).
+  bool strict_decode = true;
+  /// Violations recorded verbatim before the report switches to counting
+  /// only (a broken identity tends to fire once per packet).
+  std::size_t max_violations = 32;
+  /// Oracle self-test: bias added to every observed attempt count, modeling
+  /// a retx-accounting off-by-one.  The checker *must* flag a nonzero bias —
+  /// `dophy_check --selftest` and the campaign tests rely on it.
+  std::int32_t debug_retx_bias = 0;
+};
+
+/// One failed invariant.  `kind` is a stable dotted identifier (e.g.
+/// "link.attempts.mismatch"), `message` the human-readable detail.
+struct Violation {
+  std::string kind;
+  std::string message;
+  std::int64_t at_us = 0;  ///< simulation time when detected
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;    ///< first max_violations, verbatim
+  std::uint64_t violation_count = 0;    ///< total, including unrecorded
+
+  // Audit volume (how much work the oracle actually did).
+  std::uint64_t events_traced = 0;      ///< simulator events seen by the hook
+  std::uint64_t packets_generated = 0;
+  std::uint64_t packets_finished = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t dedupe_window_misses = 0;  ///< window expiry re-admissions (legal)
+  std::uint64_t parent_changes = 0;
+  std::uint64_t routing_cycles_seen = 0;   ///< transient loops (expected, not violations)
+  std::uint64_t decoded_paths_verified = 0;
+  std::uint64_t links_audited = 0;
+  bool finalized = false;
+
+  [[nodiscard]] bool passed() const noexcept { return violation_count == 0; }
+
+  /// One-line human summary ("check: PASS, 1234 tx / 56 links audited" or
+  /// "check: FAIL (3 violations, first: ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Process-wide enable, so a CLI flag (bench `--check`) can arm the checker
+/// inside every pipeline it runs without threading config through each
+/// call site.  OR-ed with PipelineConfig::check.enabled.
+void set_global_enabled(bool enabled) noexcept;
+[[nodiscard]] bool global_enabled() noexcept;
+
+/// Process-wide failure tally for globally-armed runs: the pipeline bumps
+/// it for every finalized report with violations, and bench `--check`
+/// turns a nonzero count into a nonzero exit at process end (the result
+/// tables alone would hide a failed oracle).
+void note_global_failure() noexcept;
+[[nodiscard]] std::uint64_t global_failure_count() noexcept;
+
+}  // namespace dophy::check

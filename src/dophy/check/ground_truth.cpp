@@ -1,0 +1,41 @@
+#include "dophy/check/ground_truth.hpp"
+
+namespace dophy::check {
+
+void GroundTruth::record_exchange(dophy::net::LinkKey link, std::uint32_t attempts,
+                                  std::uint32_t first_rx, bool delivered) {
+  LinkTally& tally = links_[link];
+  tally.attempts += attempts;
+  total_attempts_ += attempts;
+  ++tally.exchanges;
+  if (delivered) {
+    // Frames before the first reception were lost; duplicates after it are
+    // individually unknowable from the sender side.
+    tally.min_losses += first_rx > 0 ? first_rx - 1 : 0;
+    tally.max_losses += attempts > 0 ? attempts - 1 : 0;
+  } else {
+    ++tally.failed_exchanges;
+    tally.min_losses += attempts;
+    tally.max_losses += attempts;
+  }
+}
+
+bool GroundTruth::record_arrival(dophy::net::NodeId receiver, std::uint64_t dedupe_key) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(receiver) << 48) | dedupe_key;
+  return !seen_.insert(key).second;
+}
+
+bool GroundTruth::record_finished(dophy::net::PacketFate fate) noexcept {
+  ++finished_;
+  ++fates_[static_cast<std::size_t>(fate)];
+  if (live_packets_ == 0) return false;
+  --live_packets_;
+  return true;
+}
+
+const LinkTally* GroundTruth::find_link(dophy::net::LinkKey key) const noexcept {
+  const auto it = links_.find(key);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dophy::check

@@ -1,0 +1,89 @@
+#pragma once
+
+// Authoritative per-run ledger maintained from the simulator's observer
+// hooks.  The ledger is pure bookkeeping — it accumulates what the network
+// *actually did* (per-link ARQ tallies with exact loss bounds, packet fate
+// counts, the exact set of dedupe keys ever admitted) so the InvariantChecker
+// can compare it against the network's own counters and the decoder's output.
+//
+// Loss accounting is interval arithmetic, not a point estimate: a delivered
+// exchange whose winning frame carried attempt counter `f` out of `n` frames
+// lost exactly `f - 1` of the first `f` frames, while the `n - f` duplicate
+// frames after the first reception may each have been lost or heard (the
+// receiver ACKs every copy; the sender retries only on ACK loss).  So the
+// true per-link loss count lies in [f - 1, n - 1] for delivered exchanges and
+// equals `n` for failed ones — bounds the checker can hold the Link's
+// empirical counters to *exactly*.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dophy/net/trace.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::check {
+
+/// Per-directed-link ARQ tallies.
+struct LinkTally {
+  std::uint64_t attempts = 0;          ///< data frames put on the air
+  std::uint64_t exchanges = 0;         ///< ARQ exchanges resolved
+  std::uint64_t failed_exchanges = 0;  ///< budget exhausted, nothing heard
+  std::uint64_t min_losses = 0;        ///< lower bound on frames lost
+  std::uint64_t max_losses = 0;        ///< upper bound on frames lost
+};
+
+class GroundTruth {
+ public:
+  /// A packet entered the network at its origin.
+  void record_generated() noexcept { ++generated_; ++live_packets_; }
+
+  /// Mid-run installs: packets already queued or in flight at install time
+  /// are live without ever being record_generated() here, so the checker
+  /// seeds the live count with the network's snapshot.
+  void set_initial_live(std::uint64_t live) noexcept { live_packets_ = live; }
+
+  /// A channel-using ARQ exchange was resolved.  `first_rx` is the attempt
+  /// index of the first frame the receiver heard (0 when !delivered).
+  void record_exchange(dophy::net::LinkKey link, std::uint32_t attempts,
+                       std::uint32_t first_rx, bool delivered);
+
+  /// A packet copy was admitted at `receiver` under `dedupe_key`.  Returns
+  /// true when the exact set had already admitted this (receiver, key) pair —
+  /// i.e. the node's bounded DedupeWindow *should* have flagged a duplicate
+  /// (it may legally miss one after window expiry; it must never invent one).
+  bool record_arrival(dophy::net::NodeId receiver, std::uint64_t dedupe_key);
+
+  /// A packet's life ended.  Returns false on conservation underflow (more
+  /// packets finished than were ever generated).
+  bool record_finished(dophy::net::PacketFate fate) noexcept;
+
+  [[nodiscard]] const LinkTally* find_link(dophy::net::LinkKey key) const noexcept;
+  [[nodiscard]] const std::unordered_map<dophy::net::LinkKey, LinkTally,
+                                         dophy::net::LinkKeyHash>&
+  links() const noexcept {
+    return links_;
+  }
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  [[nodiscard]] std::uint64_t finished() const noexcept { return finished_; }
+  /// Packets generated but not yet finished (must equal queued + in-flight).
+  [[nodiscard]] std::uint64_t live_packets() const noexcept { return live_packets_; }
+  [[nodiscard]] std::uint64_t fate_count(dophy::net::PacketFate fate) const noexcept {
+    return fates_[static_cast<std::size_t>(fate)];
+  }
+  [[nodiscard]] std::uint64_t total_attempts() const noexcept { return total_attempts_; }
+
+ private:
+  std::unordered_map<dophy::net::LinkKey, LinkTally, dophy::net::LinkKeyHash> links_;
+  /// Exact dedupe-key set: (receiver << 48) | dedupe_key; dedupe_key itself
+  /// is (flow_key << 16) | hop_count = 48 bits, so the pack is lossless.
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t fates_[5] = {0, 0, 0, 0, 0};
+  std::uint64_t generated_ = 0;
+  std::uint64_t finished_ = 0;
+  std::uint64_t live_packets_ = 0;
+  std::uint64_t total_attempts_ = 0;
+};
+
+}  // namespace dophy::check

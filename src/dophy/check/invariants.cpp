@@ -1,0 +1,434 @@
+#include "dophy/check/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dophy::check {
+
+using dophy::net::kInvalidNode;
+using dophy::net::kSinkId;
+using dophy::net::LinkKey;
+using dophy::net::Network;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::net::PacketFate;
+using dophy::net::SimTime;
+
+InvariantChecker::InvariantChecker(const CheckConfig& config) : config_(config) {}
+
+InvariantChecker::~InvariantChecker() { uninstall(); }
+
+void InvariantChecker::install(Network& net) {
+  net_ = &net;
+  link_start_.clear();
+  for (const LinkKey key : net.link_keys()) {
+    link_start_.emplace(key, net.link(key.from, key.to).snapshot());
+  }
+  stats_start_ = net.stats();
+  duplicates_start_ = 0;
+  std::uint64_t queued_now = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& node = net.node(static_cast<NodeId>(i));
+    duplicates_start_ += node.stats().duplicates_discarded;
+    queued_now += node.queue_depth();
+  }
+  // Mid-run install: packets already live and transmissions already in the
+  // air predate the ledger; seed conservation and arrival pairing with the
+  // network's exact snapshot so the audit covers only the observed window.
+  ledger_.set_initial_live(queued_now + net.inflight_count());
+  grace_arrivals_ = net.inflight_count();
+  pending_.assign(net.node_count(), PendingTx{});
+  max_attempts_ = net.config().mac.max_attempts;
+  max_hops_ = net.config().traffic.max_hops;
+  last_event_time_ = -1;
+  last_event_seq_ = 0;
+  net.set_observer(this);
+  net.sim().set_trace_hook(&InvariantChecker::trace_hook, this);
+}
+
+void InvariantChecker::uninstall() noexcept {
+  if (net_ == nullptr) return;
+  net_->set_observer(nullptr);
+  net_->sim().set_trace_hook(nullptr, nullptr);
+  net_ = nullptr;
+}
+
+void InvariantChecker::add_violation(std::string kind, std::string message) {
+  ++report_.violation_count;
+  if (report_.violations.size() < config_.max_violations) {
+    Violation v;
+    v.kind = std::move(kind);
+    v.message = std::move(message);
+    v.at_us = net_ != nullptr ? net_->sim().now() : 0;
+    report_.violations.push_back(std::move(v));
+  }
+}
+
+void InvariantChecker::trace_hook(void* ctx, SimTime time, std::uint64_t seq,
+                                  dophy::net::EventKind /*kind*/) {
+  auto* self = static_cast<InvariantChecker*>(ctx);
+  ++self->report_.events_traced;
+  if (time < self->last_event_time_ ||
+      (time == self->last_event_time_ && seq <= self->last_event_seq_)) {
+    std::ostringstream os;
+    os << "event (t=" << time << ", seq=" << seq << ") dispatched after (t="
+       << self->last_event_time_ << ", seq=" << self->last_event_seq_ << ")";
+    self->add_violation("events.order", os.str());
+  }
+  self->last_event_time_ = time;
+  self->last_event_seq_ = seq;
+}
+
+void InvariantChecker::on_generated(const Packet& packet, SimTime /*now*/) {
+  ledger_.record_generated();
+  ++report_.packets_generated;
+  if (packet.origin == kInvalidNode || packet.hop_count != 0 || !packet.true_hops.empty()) {
+    std::ostringstream os;
+    os << "fresh packet malformed: origin=" << packet.origin
+       << " hop_count=" << packet.hop_count << " true_hops=" << packet.true_hops.size();
+    add_violation("generated.malformed", os.str());
+  }
+}
+
+void InvariantChecker::on_transmission(NodeId sender, NodeId receiver,
+                                       std::uint32_t attempts,
+                                       std::uint32_t attempts_to_first_rx, bool delivered,
+                                       bool channel_used, SimTime /*now*/) {
+  ++report_.transmissions;
+  if (!net_->topology().are_neighbors(sender, receiver)) {
+    std::ostringstream os;
+    os << "exchange " << sender << "->" << receiver << " has no radio edge";
+    add_violation("tx.not_neighbor", os.str());
+  }
+  if (channel_used) {
+    if (attempts < 1 || attempts > max_attempts_) {
+      std::ostringstream os;
+      os << "exchange " << sender << "->" << receiver << " used " << attempts
+         << " attempts (budget " << max_attempts_ << ")";
+      add_violation("tx.attempts.range", os.str());
+    }
+    if (delivered && (attempts_to_first_rx < 1 || attempts_to_first_rx > attempts)) {
+      std::ostringstream os;
+      os << "delivered exchange " << sender << "->" << receiver << " first_rx="
+         << attempts_to_first_rx << " outside [1, " << attempts << "]";
+      add_violation("tx.first_rx.range", os.str());
+    }
+    if (!delivered && attempts_to_first_rx != 0) {
+      std::ostringstream os;
+      os << "failed exchange " << sender << "->" << receiver
+         << " carries first_rx=" << attempts_to_first_rx;
+      add_violation("tx.first_rx.nonzero", os.str());
+    }
+    // debug_retx_bias models a retx-accounting off-by-one inside the oracle
+    // itself; the link-counter cross-check in finalize() must catch it.
+    const std::int64_t biased =
+        static_cast<std::int64_t>(attempts) + config_.debug_retx_bias;
+    ledger_.record_exchange(LinkKey{sender, receiver},
+                            static_cast<std::uint32_t>(std::max<std::int64_t>(biased, 0)),
+                            attempts_to_first_rx, delivered);
+  } else {
+    // Dead receiver: the ARQ budget burns without touching the channel.
+    if (delivered || attempts != max_attempts_) {
+      std::ostringstream os;
+      os << "dead-receiver exchange " << sender << "->" << receiver
+         << " delivered=" << delivered << " attempts=" << attempts;
+      add_violation("tx.dead_receiver", os.str());
+    }
+  }
+  pending_[sender] = PendingTx{receiver, delivered, false};
+}
+
+void InvariantChecker::on_arrival(const Packet& packet, NodeId receiver, NodeId sender,
+                                  std::uint64_t dedupe_key, bool duplicate,
+                                  SimTime /*now*/) {
+  ++report_.arrivals;
+  const std::uint64_t expected_key =
+      (static_cast<std::uint64_t>(packet.flow_key()) << 16) | packet.hop_count;
+  if (dedupe_key != expected_key) {
+    std::ostringstream os;
+    os << "dedupe key " << dedupe_key << " != (flow_key << 16 | hop_count) = "
+       << expected_key;
+    add_violation("arrival.dedupe_key", os.str());
+  }
+  PendingTx& pending = pending_[sender];
+  if (!pending.delivered || pending.receiver != receiver || pending.consumed) {
+    // Senders are half-duplex, so an exchange in flight at install time is
+    // exactly one legitimately unobserved arrival per sender.
+    if (grace_arrivals_ > 0) {
+      --grace_arrivals_;
+    } else {
+      std::ostringstream os;
+      os << "arrival " << sender << "->" << receiver
+         << " does not pair with the sender's last exchange (receiver="
+         << pending.receiver << " delivered=" << pending.delivered
+         << " consumed=" << pending.consumed << ")";
+      add_violation("arrival.unpaired", os.str());
+    }
+  }
+  pending.consumed = true;
+
+  const bool exact_duplicate = ledger_.record_arrival(receiver, dedupe_key);
+  if (duplicate) {
+    ++report_.duplicates;
+    // The bounded window may forget (expiry), but a duplicate verdict for a
+    // key the exact set never admitted means dedupe dropped a unique packet.
+    if (!exact_duplicate) {
+      std::ostringstream os;
+      os << "node " << receiver << " flagged never-seen key " << dedupe_key
+         << " as duplicate (unique packet dropped)";
+      add_violation("dedupe.false_positive", os.str());
+    }
+  } else if (exact_duplicate) {
+    ++report_.dedupe_window_misses;
+  }
+}
+
+void InvariantChecker::on_parent_change(NodeId node, SimTime /*now*/) {
+  ++report_.parent_changes;
+  if (node == kSinkId) {
+    add_violation("routing.sink_parent", "the sink re-selected a parent");
+    return;
+  }
+  const NodeId parent = net_->node(node).routing().parent();
+  if (parent == node) {
+    std::ostringstream os;
+    os << "node " << node << " selected itself as parent";
+    add_violation("routing.self_parent", os.str());
+  } else if (parent != kInvalidNode && !net_->topology().are_neighbors(node, parent)) {
+    std::ostringstream os;
+    os << "node " << node << " selected non-neighbor parent " << parent;
+    add_violation("routing.non_neighbor_parent", os.str());
+  }
+  audit_parent_chain(node);
+}
+
+void InvariantChecker::audit_parent_chain(NodeId node) {
+  // Transient loops are legal CTP behavior (stale advertisements); they are
+  // counted so campaigns can report dynamics, never flagged.
+  NodeId cursor = node;
+  for (std::size_t steps = 0; steps <= net_->node_count(); ++steps) {
+    const NodeId parent = net_->node(cursor).routing().parent();
+    if (parent == kInvalidNode || parent == kSinkId) return;
+    cursor = parent;
+  }
+  ++report_.routing_cycles_seen;
+}
+
+void InvariantChecker::on_finished(const Packet& packet, PacketFate fate,
+                                   SimTime /*now*/) {
+  ++report_.packets_finished;
+  if (!ledger_.record_finished(fate)) {
+    add_violation("conservation.finish_underflow",
+                  "more packets finished than were generated");
+  }
+
+  const auto& hops = packet.true_hops;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& hop = hops[i];
+    if (hop.attempts_to_first_rx < 1 || hop.attempts_to_first_rx > hop.total_attempts ||
+        hop.total_attempts > max_attempts_) {
+      std::ostringstream os;
+      os << "hop " << i << " (" << hop.sender << "->" << hop.receiver
+         << ") first_rx=" << hop.attempts_to_first_rx
+         << " total=" << hop.total_attempts << " budget=" << max_attempts_;
+      add_violation("hops.attempt_fields", os.str());
+    }
+    if (i == 0 && hop.sender != packet.origin) {
+      std::ostringstream os;
+      os << "first hop sender " << hop.sender << " != origin " << packet.origin;
+      add_violation("hops.chain", os.str());
+    }
+    if (i > 0 && hop.sender != hops[i - 1].receiver) {
+      std::ostringstream os;
+      os << "hop " << i << " sender " << hop.sender << " != previous receiver "
+         << hops[i - 1].receiver;
+      add_violation("hops.chain", os.str());
+    }
+    if (i > 0 && hop.at < hops[i - 1].at) {
+      std::ostringstream os;
+      os << "hop " << i << " time " << hop.at << " precedes hop " << i - 1 << " time "
+         << hops[i - 1].at;
+      add_violation("hops.time", os.str());
+    }
+    if (hop.at < packet.created_at) {
+      std::ostringstream os;
+      os << "hop " << i << " time " << hop.at << " precedes creation "
+         << packet.created_at;
+      add_violation("hops.time", os.str());
+    }
+    if (hop.receiver == kSinkId && i + 1 != hops.size()) {
+      add_violation("hops.sink_mid", "packet passed through the sink mid-path");
+    }
+  }
+
+  bool shape_ok = true;
+  switch (fate) {
+    case PacketFate::kDelivered:
+      shape_ok = !hops.empty() && hops.back().receiver == kSinkId &&
+                 packet.hop_count == hops.size();
+      break;
+    case PacketFate::kDroppedTtl:
+      // The TTL guard fires on the increment *before* the hop is recorded.
+      shape_ok = packet.hop_count == static_cast<std::uint16_t>(max_hops_ + 1) &&
+                 hops.size() == max_hops_;
+      break;
+    case PacketFate::kDroppedRetries:
+    case PacketFate::kDroppedNoRoute:
+    case PacketFate::kDroppedQueue:
+      shape_ok = packet.hop_count == hops.size();
+      break;
+  }
+  if (!shape_ok) {
+    std::ostringstream os;
+    os << "fate " << to_string(fate) << " with hop_count=" << packet.hop_count
+       << " true_hops=" << hops.size();
+    add_violation("hops.fate_shape", os.str());
+  }
+}
+
+void InvariantChecker::verify_decoded_path(const Packet& packet, NodeId decoded_origin,
+                                           std::span<const DecodedHopView> hops,
+                                           std::uint32_t censor_k) {
+  ++report_.decoded_paths_verified;
+  if (decoded_origin != packet.origin) {
+    std::ostringstream os;
+    os << "decoded origin " << decoded_origin << " != true origin " << packet.origin;
+    add_violation("decode.origin", os.str());
+    return;
+  }
+  if (hops.size() != packet.true_hops.size()) {
+    std::ostringstream os;
+    os << "decoded " << hops.size() << " hops, ground truth has "
+       << packet.true_hops.size();
+    add_violation("decode.path_length", os.str());
+    return;
+  }
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& truth = packet.true_hops[i];
+    const auto& decoded = hops[i];
+    if (decoded.sender != truth.sender || decoded.receiver != truth.receiver) {
+      std::ostringstream os;
+      os << "hop " << i << " decoded " << decoded.sender << "->" << decoded.receiver
+         << ", truth " << truth.sender << "->" << truth.receiver;
+      add_violation("decode.hop_endpoints", os.str());
+      continue;
+    }
+    const std::uint32_t true_first = truth.attempts_to_first_rx;
+    if (true_first >= censor_k) {
+      if (!decoded.censored || decoded.attempts != censor_k) {
+        std::ostringstream os;
+        os << "hop " << i << " true first_rx=" << true_first << " (>= K=" << censor_k
+           << ") decoded as attempts=" << decoded.attempts
+           << " censored=" << decoded.censored;
+        add_violation("decode.retx", os.str());
+      }
+    } else if (decoded.censored || decoded.attempts != true_first) {
+      std::ostringstream os;
+      os << "hop " << i << " true first_rx=" << true_first
+         << " decoded as attempts=" << decoded.attempts
+         << " censored=" << decoded.censored;
+      add_violation("decode.retx", os.str());
+    }
+  }
+}
+
+void InvariantChecker::verify_decoder_stats(std::uint64_t decode_failures,
+                                            std::uint64_t path_truncated,
+                                            std::uint64_t missing_model_hops) {
+  if (decode_failures != path_truncated) {
+    std::ostringstream os;
+    os << decode_failures - std::min(decode_failures, path_truncated)
+       << " benign-run decode failures are not path truncations (failures="
+       << decode_failures << " truncated=" << path_truncated << ")";
+    add_violation("decode.benign_failures", os.str());
+  }
+  if (path_truncated > 0 && missing_model_hops == 0) {
+    std::ostringstream os;
+    os << path_truncated
+       << " truncated paths but the encoder never lacked a model version";
+    add_violation("decode.unexplained_truncation", os.str());
+  }
+}
+
+CheckReport InvariantChecker::finalize() {
+  if (net_ != nullptr && !report_.finalized) {
+    // Per-link accounting: attempts must match the Link's counter delta
+    // exactly; the loss delta must sit inside the ledger's bounds.
+    for (const auto& [key, start] : link_start_) {
+      const auto& link = net_->link(key.from, key.to);
+      const std::uint64_t delta_attempts = link.data_attempts() - start.attempts;
+      const std::uint64_t delta_losses = link.data_losses() - start.losses;
+      const LinkTally* tally = ledger_.find_link(key);
+      const LinkTally zero{};
+      const LinkTally& t = tally != nullptr ? *tally : zero;
+      if (delta_attempts != 0 || t.attempts != 0) ++report_.links_audited;
+      if (delta_attempts != t.attempts) {
+        std::ostringstream os;
+        os << "link " << key.from << "->" << key.to << " counted " << delta_attempts
+           << " data attempts, ledger recorded " << t.attempts;
+        add_violation("link.attempts.mismatch", os.str());
+      }
+      if (delta_losses < t.min_losses || delta_losses > t.max_losses) {
+        std::ostringstream os;
+        os << "link " << key.from << "->" << key.to << " counted " << delta_losses
+           << " losses outside ledger bounds [" << t.min_losses << ", " << t.max_losses
+           << "]";
+        add_violation("link.losses.bounds", os.str());
+      }
+    }
+
+    // Packet conservation: whatever was generated and has not finished must
+    // be sitting in a forwarding queue or the in-flight slab right now.
+    std::uint64_t queued = 0;
+    std::uint64_t duplicates_now = 0;
+    for (std::size_t i = 0; i < net_->node_count(); ++i) {
+      const auto& node = net_->node(static_cast<NodeId>(i));
+      queued += node.queue_depth();
+      duplicates_now += node.stats().duplicates_discarded;
+    }
+    const std::uint64_t live_expected =
+        queued + static_cast<std::uint64_t>(net_->inflight_count());
+    if (ledger_.live_packets() != live_expected) {
+      std::ostringstream os;
+      os << "ledger holds " << ledger_.live_packets() << " live packets; network holds "
+         << queued << " queued + " << net_->inflight_count() << " in flight";
+      add_violation("conservation.live", os.str());
+    }
+
+    // NetworkStats deltas vs the ledger (both sides observed independently).
+    const dophy::net::NetworkStats stats = net_->stats();
+    const auto check_stat = [&](const char* kind, std::uint64_t got,
+                                std::uint64_t expected) {
+      if (got != expected) {
+        std::ostringstream os;
+        os << "network counted " << got << ", ledger recorded " << expected;
+        add_violation(kind, os.str());
+      }
+    };
+    check_stat("stats.generated", stats.packets_generated - stats_start_.packets_generated,
+               ledger_.generated());
+    check_stat("stats.delivered", stats.packets_delivered - stats_start_.packets_delivered,
+               ledger_.fate_count(PacketFate::kDelivered));
+    check_stat("stats.dropped_retries",
+               stats.dropped_retries - stats_start_.dropped_retries,
+               ledger_.fate_count(PacketFate::kDroppedRetries));
+    check_stat("stats.dropped_noroute",
+               stats.dropped_noroute - stats_start_.dropped_noroute,
+               ledger_.fate_count(PacketFate::kDroppedNoRoute));
+    check_stat("stats.dropped_ttl", stats.dropped_ttl - stats_start_.dropped_ttl,
+               ledger_.fate_count(PacketFate::kDroppedTtl));
+    check_stat("stats.dropped_queue", stats.dropped_queue - stats_start_.dropped_queue,
+               ledger_.fate_count(PacketFate::kDroppedQueue));
+    check_stat("stats.parent_changes", stats.parent_changes - stats_start_.parent_changes,
+               report_.parent_changes);
+    check_stat("stats.duplicates", duplicates_now - duplicates_start_,
+               report_.duplicates);
+    check_stat("stats.data_attempts",
+               stats.data_tx_attempts - stats_start_.data_tx_attempts,
+               ledger_.total_attempts());
+  }
+  report_.finalized = true;
+  return report_;
+}
+
+}  // namespace dophy::check

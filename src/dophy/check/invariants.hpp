@@ -1,0 +1,142 @@
+#pragma once
+
+// InvariantChecker: the active half of the oracle.  Installs itself as the
+// Network's passive observer plus the Simulator's event-trace hook, feeds a
+// GroundTruth ledger, validates per-event invariants as the run progresses,
+// and audits the end-of-run conservation identities in finalize().
+//
+// What is checked (and why it is *exact*, not statistical):
+//  - event dispatch order: (time, seq) strictly increasing — the engine's
+//    total-order contract;
+//  - every ARQ exchange: attempt counts within the MAC budget, first-rx
+//    index consistent with delivery, dead-receiver exchanges never touch
+//    the channel, endpoints are radio neighbors;
+//  - per-link accounting: the ledger's attempt sum equals the Link's own
+//    data_attempts counter delta exactly, and the Link's loss counter delta
+//    lies inside the ledger's [min, max] loss interval;
+//  - dedupe: the bounded DedupeWindow may forget (window expiry) but must
+//    never invent a duplicate — checked against an exact key set;
+//  - packet conservation: generated == finished + live, and live equals
+//    queued + in-flight at finalize;
+//  - fate/stat cross-checks: NetworkStats deltas equal the ledger's tallies;
+//  - hop traces: every finished packet's true_hops form a connected path
+//    with monotone timestamps and fate-consistent shape;
+//  - routing sanity: a re-selected parent is never self, always a topology
+//    neighbor, and the sink never selects one.  Transient routing *loops*
+//    are expected CTP behavior (the datapath TTL + inconsistency detection
+//    handle them), so cycles are counted, not flagged;
+//  - decoded paths (fed by the pipeline in benign runs): bit-exact match
+//    against the packet's ground-truth hops under K-censoring semantics.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/check/check.hpp"
+#include "dophy/check/ground_truth.hpp"
+#include "dophy/net/network.hpp"
+
+namespace dophy::check {
+
+class InvariantChecker final : public dophy::net::NetworkObserver {
+ public:
+  explicit InvariantChecker(const CheckConfig& config = {});
+  ~InvariantChecker() override;
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Hooks into `net` (observer + simulator trace hook) and snapshots every
+  /// counter the finalize() identities difference against, so installing
+  /// mid-run audits only the remainder.  The checker must outlive the
+  /// network or be uninstall()ed first.
+  void install(dophy::net::Network& net);
+  void uninstall() noexcept;
+
+  // NetworkObserver ----------------------------------------------------------
+  void on_generated(const dophy::net::Packet& packet, dophy::net::SimTime now) override;
+  void on_transmission(dophy::net::NodeId sender, dophy::net::NodeId receiver,
+                       std::uint32_t attempts, std::uint32_t attempts_to_first_rx,
+                       bool delivered, bool channel_used,
+                       dophy::net::SimTime now) override;
+  void on_arrival(const dophy::net::Packet& packet, dophy::net::NodeId receiver,
+                  dophy::net::NodeId sender, std::uint64_t dedupe_key, bool duplicate,
+                  dophy::net::SimTime now) override;
+  void on_parent_change(dophy::net::NodeId node, dophy::net::SimTime now) override;
+  void on_finished(const dophy::net::Packet& packet, dophy::net::PacketFate fate,
+                   dophy::net::SimTime now) override;
+
+  // Decode-side oracle -------------------------------------------------------
+  /// Plain-data view of one decoded hop (keeps this library independent of
+  /// dophy::tomo; the pipeline adapts its DecodedHop into this).
+  struct DecodedHopView {
+    dophy::net::NodeId sender = dophy::net::kInvalidNode;
+    dophy::net::NodeId receiver = dophy::net::kInvalidNode;
+    std::uint32_t attempts = 0;
+    bool censored = false;
+  };
+
+  /// Compares a successfully decoded path against the packet's ground-truth
+  /// hops: same origin, same hop sequence, and per-hop K-censoring semantics
+  /// (attempts < K decode exactly; attempts >= K decode as censored-at-K).
+  /// Only meaningful for benign id-coding runs — the caller gates on that.
+  void verify_decoded_path(const dophy::net::Packet& packet,
+                           dophy::net::NodeId decoded_origin,
+                           std::span<const DecodedHopView> hops, std::uint32_t censor_k);
+
+  /// End-of-run decoder audit for benign runs: every decode failure must be
+  /// a path truncation, and truncations are only legal when the encoder
+  /// reported hops without the stamped model (missing_model_hops > 0).
+  void verify_decoder_stats(std::uint64_t decode_failures, std::uint64_t path_truncated,
+                            std::uint64_t missing_model_hops);
+
+  /// Runs the end-of-run identities and returns the sealed report.
+  [[nodiscard]] CheckReport finalize();
+
+  [[nodiscard]] const CheckReport& report() const noexcept { return report_; }
+  [[nodiscard]] const GroundTruth& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const CheckConfig& config() const noexcept { return config_; }
+
+  void add_violation(std::string kind, std::string message);
+
+ private:
+  struct PendingTx {
+    dophy::net::NodeId receiver = dophy::net::kInvalidNode;
+    bool delivered = false;
+    bool consumed = false;
+  };
+
+  static void trace_hook(void* ctx, dophy::net::SimTime time, std::uint64_t seq,
+                         dophy::net::EventKind kind);
+
+  /// Walks the parent chain from `node`; counts a transient cycle when the
+  /// sink is unreachable within node_count steps.
+  void audit_parent_chain(dophy::net::NodeId node);
+
+  CheckConfig config_;
+  dophy::net::Network* net_ = nullptr;
+  GroundTruth ledger_;
+  CheckReport report_;
+
+  // Install-time snapshots (identities audit the installed window only).
+  std::unordered_map<dophy::net::LinkKey, dophy::net::Link::Snapshot,
+                     dophy::net::LinkKeyHash>
+      link_start_;
+  dophy::net::NetworkStats stats_start_;
+  std::uint64_t duplicates_start_ = 0;
+
+  /// One outstanding unicast per sender (radio is half-duplex), so arrivals
+  /// pair with transmissions through a per-sender slot.
+  std::vector<PendingTx> pending_;
+
+  dophy::net::SimTime last_event_time_ = -1;
+  std::uint64_t last_event_seq_ = 0;
+  /// Transmissions already in flight at install time: each may land one
+  /// arrival that legitimately has no observed sending exchange.
+  std::uint64_t grace_arrivals_ = 0;
+  std::uint32_t max_attempts_ = 0;
+  std::uint16_t max_hops_ = 0;
+};
+
+}  // namespace dophy::check

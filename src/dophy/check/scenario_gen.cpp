@@ -1,0 +1,171 @@
+#include "dophy/check/scenario_gen.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::check {
+
+namespace {
+
+constexpr std::uint64_t kSpecStream = 0x5ec5'7e41'9c0f'feedULL;
+
+const char* loss_name(std::uint8_t kind) {
+  switch (kind) {
+    case 1: return "ge";
+    case 2: return "drift";
+    default: return "bern";
+  }
+}
+
+bool parse_loss(std::string_view value, std::uint8_t& out) {
+  if (value == "bern") { out = 0; return true; }
+  if (value == "ge") { out = 1; return true; }
+  if (value == "drift") { out = 2; return true; }
+  return false;
+}
+
+bool parse_u64(std::string_view value, std::uint64_t& out) {
+  const auto* end = value.data() + value.size();
+  const auto res = std::from_chars(value.data(), end, out);
+  return res.ec == std::errc{} && res.ptr == end;
+}
+
+bool parse_bool(std::string_view value, bool& out) {
+  if (value == "0") { out = false; return true; }
+  if (value == "1") { out = true; return true; }
+  return false;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed) {
+  dophy::common::Rng rng(seed ^ kSpecStream);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.nodes = 20 + static_cast<std::uint32_t>(rng.next_below(21));  // [20, 40]
+  spec.loss_kind = static_cast<std::uint8_t>(rng.next_below(3));
+  spec.dynamics = rng.bernoulli(0.35);
+  spec.churn = rng.bernoulli(0.30);
+  spec.opportunism = rng.bernoulli(0.25);
+  const double fault_draw = rng.next_double();
+  spec.fault_level = fault_draw < 0.5 ? 0 : (fault_draw < 0.8 ? 1 : 2);
+  spec.censor_k = 2 + static_cast<std::uint32_t>(rng.next_below(7));  // [2, 8]
+  spec.hash_mode = rng.bernoulli(0.20);
+  spec.trickle = rng.bernoulli(0.20);
+  spec.max_wire_bytes =
+      rng.bernoulli(0.20) ? 24 + static_cast<std::uint32_t>(rng.next_below(41)) : 0;
+  spec.warmup_s = 90;
+  spec.measure_s = 120 + static_cast<std::uint32_t>(rng.next_below(3)) * 60;  // 120..240
+  return spec;
+}
+
+dophy::tomo::PipelineConfig make_config(const ScenarioSpec& spec) {
+  auto config = dophy::eval::default_pipeline(spec.nodes, spec.seed);
+  config.warmup_s = spec.warmup_s;
+  config.measure_s = spec.measure_s;
+  config.snapshot_interval_s = 60.0;
+  config.run_baselines = false;  // the oracle audits the pipeline, not MAE races
+  config.min_truth_attempts = 10;
+
+  switch (spec.loss_kind) {
+    case 1: dophy::eval::make_bursty(config); break;
+    case 2: dophy::eval::make_drifting(config, 0.05, 300.0); break;
+    default: break;
+  }
+  // Dynamics after the loss kind: it switches the process to kDrifting with
+  // shuffle enabled, which is exactly the parent-churn generator we want.
+  if (spec.dynamics) dophy::eval::add_dynamics(config, 90.0, 0.15);
+  if (spec.churn) dophy::eval::add_churn(config, 0.15, 240.0, 45.0);
+  if (spec.opportunism) dophy::eval::add_opportunism(config, 0.15);
+  if (spec.fault_level > 0) {
+    dophy::eval::add_faults(config, spec.fault_level == 1 ? 0.3 : 1.0);
+  }
+
+  config.dophy.censor_threshold = spec.censor_k;
+  config.dophy.path_mode = spec.hash_mode ? dophy::tomo::PathMode::kHashPath
+                                          : dophy::tomo::PathMode::kIdCoding;
+  config.dophy.max_wire_bytes = spec.max_wire_bytes;
+  config.dophy.use_trickle_dissemination = spec.trickle;
+
+  config.check.enabled = true;
+  config.check.strict_decode = spec.benign();
+  return config;
+}
+
+std::string to_string(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed << ",nodes=" << spec.nodes
+     << ",loss=" << loss_name(spec.loss_kind) << ",dyn=" << spec.dynamics
+     << ",churn=" << spec.churn << ",opp=" << spec.opportunism
+     << ",faults=" << static_cast<unsigned>(spec.fault_level)
+     << ",k=" << spec.censor_k << ",hash=" << spec.hash_mode
+     << ",trickle=" << spec.trickle << ",wire=" << spec.max_wire_bytes
+     << ",warmup=" << spec.warmup_s << ",measure=" << spec.measure_s;
+  return os.str();
+}
+
+bool parse_spec(std::string_view text, ScenarioSpec& spec) {
+  ScenarioSpec out;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+
+    std::uint64_t u = 0;
+    bool b = false;
+    if (key == "seed") {
+      if (!parse_u64(value, u)) return false;
+      out.seed = u;
+    } else if (key == "nodes") {
+      if (!parse_u64(value, u) || u < 4 || u > 10000) return false;
+      out.nodes = static_cast<std::uint32_t>(u);
+    } else if (key == "loss") {
+      if (!parse_loss(value, out.loss_kind)) return false;
+    } else if (key == "dyn") {
+      if (!parse_bool(value, b)) return false;
+      out.dynamics = b;
+    } else if (key == "churn") {
+      if (!parse_bool(value, b)) return false;
+      out.churn = b;
+    } else if (key == "opp") {
+      if (!parse_bool(value, b)) return false;
+      out.opportunism = b;
+    } else if (key == "faults") {
+      if (!parse_u64(value, u) || u > 2) return false;
+      out.fault_level = static_cast<std::uint8_t>(u);
+    } else if (key == "k") {
+      if (!parse_u64(value, u) || u < 2 || u > 64) return false;
+      out.censor_k = static_cast<std::uint32_t>(u);
+    } else if (key == "hash") {
+      if (!parse_bool(value, b)) return false;
+      out.hash_mode = b;
+    } else if (key == "trickle") {
+      if (!parse_bool(value, b)) return false;
+      out.trickle = b;
+    } else if (key == "wire") {
+      if (!parse_u64(value, u) || u > 65535) return false;
+      out.max_wire_bytes = static_cast<std::uint32_t>(u);
+    } else if (key == "warmup") {
+      if (!parse_u64(value, u) || u == 0 || u > 86400) return false;
+      out.warmup_s = static_cast<std::uint32_t>(u);
+    } else if (key == "measure") {
+      if (!parse_u64(value, u) || u == 0 || u > 86400) return false;
+      out.measure_s = static_cast<std::uint32_t>(u);
+    } else {
+      return false;
+    }
+  }
+  spec = out;
+  return true;
+}
+
+}  // namespace dophy::check

@@ -1,0 +1,60 @@
+#pragma once
+
+// Randomized scenario generation for check campaigns.  A ScenarioSpec is a
+// small, fully-explicit description of one pipeline run — every knob the
+// fuzzer varies is a spec field, so a failing scenario reproduces from its
+// printed spec string alone (shrinking mutates specs beyond what any single
+// seed generates, so the seed by itself is not a sufficient repro).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::check {
+
+struct ScenarioSpec {
+  std::uint64_t seed = 1;        ///< pipeline/net seed
+  std::uint32_t nodes = 30;      ///< topology size (incl. sink)
+  std::uint8_t loss_kind = 0;    ///< 0 bernoulli, 1 gilbert-elliott, 2 drifting
+  bool dynamics = false;         ///< link-quality re-randomization
+  bool churn = false;            ///< node failure/recovery process
+  bool opportunism = false;      ///< per-packet forwarder selection
+  std::uint8_t fault_level = 0;  ///< 0 none, 1 mild chaos, 2 full storm
+  std::uint32_t censor_k = 4;    ///< symbol-aggregation K
+  bool hash_mode = false;        ///< kHashPath instead of kIdCoding
+  bool trickle = false;          ///< real Trickle dissemination
+  std::uint32_t max_wire_bytes = 0;  ///< per-frame measurement budget (0 = unlimited)
+  std::uint32_t warmup_s = 90;
+  std::uint32_t measure_s = 240;
+
+  [[nodiscard]] bool operator==(const ScenarioSpec&) const noexcept = default;
+
+  /// True when every strict-oracle precondition holds: id-coding, no faults,
+  /// unlimited wire budget, abstract dissemination.  The campaign only arms
+  /// bit-exact decode comparison on benign specs.
+  [[nodiscard]] bool benign() const noexcept {
+    return fault_level == 0 && !hash_mode && !trickle && max_wire_bytes == 0;
+  }
+};
+
+/// Derives a spec deterministically from `seed` (which also becomes the
+/// pipeline seed).  Field distributions are weighted so roughly half the
+/// scenarios are benign enough for strict decode checking while the rest
+/// exercise faults, hash paths, wire budgets, and Trickle.
+[[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// Materializes the spec into a runnable pipeline config (baselines off,
+/// checker armed).
+[[nodiscard]] dophy::tomo::PipelineConfig make_config(const ScenarioSpec& spec);
+
+/// Compact one-line form, e.g. "seed=7,nodes=24,loss=ge,dyn=1,...".  The
+/// exact string `dophy_check --repro` accepts.
+[[nodiscard]] std::string to_string(const ScenarioSpec& spec);
+
+/// Parses the to_string form; returns false (spec untouched) on malformed
+/// input or unknown keys.
+[[nodiscard]] bool parse_spec(std::string_view text, ScenarioSpec& spec);
+
+}  // namespace dophy::check

@@ -344,10 +344,16 @@ void Network::broadcast_beacon(NodeId id) {
       Node& receiver = node(nl.peer);
       if (!receiver.alive()) continue;
       receiver.routing().on_beacon(id, advertised, seq, sim_.now());
-      if (receiver.routing().select_parent(sim_.now())) trigger_beacon(nl.peer);
+      if (receiver.routing().select_parent(sim_.now())) {
+        if (observer_ != nullptr) observer_->on_parent_change(nl.peer, sim_.now());
+        trigger_beacon(nl.peer);
+      }
     }
   }
-  if (n.routing().select_parent(sim_.now())) trigger_beacon(id);
+  if (n.routing().select_parent(sim_.now())) {
+    if (observer_ != nullptr) observer_->on_parent_change(id, sim_.now());
+    trigger_beacon(id);
+  }
 }
 
 void Network::trigger_beacon(NodeId id) {
@@ -389,6 +395,7 @@ void Network::generate_packet(NodeId id) {
   packet.seq = n.next_data_seq();
   packet.created_at = sim_.now();
   if (instrumentation_ != nullptr) instrumentation_->on_origin(packet, id, sim_.now());
+  if (observer_ != nullptr) observer_->on_generated(packet, sim_.now());
 
   if (!n.routing().has_route()) {
     DOPHY_DEBUG("drop: node %u generated packet with no route", static_cast<unsigned>(id));
@@ -421,7 +428,8 @@ void Network::try_send(NodeId id) {
   const NeighborLink& nl = neighbor_link(id, parent);
 
   TxOutcome outcome;
-  if (node(parent).alive()) {
+  const bool channel_used = node(parent).alive();
+  if (channel_used) {
     outcome = mac_.transmit(*nl.forward, nl.reverse, sim_.now(), n.rng());
   } else {
     // Dead receiver: the whole ARQ budget burns with no channel involvement,
@@ -432,6 +440,11 @@ void Network::try_send(NodeId id) {
         static_cast<SimTime>(config_.mac.max_attempts) * config_.mac.attempt_duration;
   }
   n.routing().on_data_tx(parent, outcome.total_attempts, outcome.delivered);
+  if (observer_ != nullptr) {
+    observer_->on_transmission(id, parent, outcome.total_attempts,
+                               outcome.attempts_to_first_rx, outcome.delivered,
+                               channel_used, sim_.now());
+  }
 
   // Park the packet in the in-flight slab; the kTxDone event carries only
   // the slot index, so scheduling a transmission allocates nothing.
@@ -468,7 +481,8 @@ void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
   sender.set_tx_busy(false);
   if (outcome.delivered) {
     ++sender.stats().forwarded;
-    handle_arrival(parent, sender_id, std::move(packet), outcome.attempts_to_first_rx);
+    handle_arrival(parent, sender_id, std::move(packet), outcome.attempts_to_first_rx,
+                   outcome.total_attempts);
   } else {
     auto& tr = dophy::obs::EventTrace::global();
     if (tr.enabled(dophy::obs::EventKind::kArqExhausted)) {
@@ -484,11 +498,15 @@ void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
 }
 
 void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
-                             std::uint32_t attempts) {
+                             std::uint32_t attempts, std::uint32_t total_attempts) {
   Node& r = node(receiver);
   const std::uint64_t dedupe_key =
       (static_cast<std::uint64_t>(packet.flow_key()) << 16) | packet.hop_count;
-  if (r.check_and_mark_seen(dedupe_key)) {
+  const bool duplicate = r.check_and_mark_seen(dedupe_key);
+  if (observer_ != nullptr) {
+    observer_->on_arrival(packet, receiver, sender, dedupe_key, duplicate, sim_.now());
+  }
+  if (duplicate) {
     ++r.stats().duplicates_discarded;
     recycle_packet(std::move(packet));
     return;
@@ -498,7 +516,9 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
   // us means somebody's route advertisement is stale — re-select and push a
   // triggered beacon so the loop collapses quickly.
   if (sender == r.routing().parent()) {
-    (void)r.routing().select_parent(sim_.now());
+    if (r.routing().select_parent(sim_.now()) && observer_ != nullptr) {
+      observer_->on_parent_change(receiver, sim_.now());
+    }
     trigger_beacon(receiver);
   }
 
@@ -509,7 +529,7 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
   }
 
   packet.true_hops.push_back(
-      HopRecord{sender, receiver, attempts, attempts, sim_.now()});
+      HopRecord{sender, receiver, attempts, total_attempts, sim_.now()});
   NetMetrics::get().hop_attempts.observe(attempts);
   if (instrumentation_ != nullptr) {
     instrumentation_->on_hop_received(packet, receiver, sender, attempts, sim_.now());
@@ -543,6 +563,7 @@ void Network::note_queue_overflow(NodeId id) {
 }
 
 void Network::finish_packet(Packet&& packet, PacketFate fate) {
+  if (observer_ != nullptr) observer_->on_finished(packet, fate, sim_.now());
   const NetMetrics& metrics = NetMetrics::get();
   switch (fate) {
     case PacketFate::kDelivered: break;

@@ -14,6 +14,7 @@
 #include "dophy/net/link.hpp"
 #include "dophy/net/mac.hpp"
 #include "dophy/net/node.hpp"
+#include "dophy/net/observer.hpp"
 #include "dophy/net/packet.hpp"
 #include "dophy/net/simulator.hpp"
 #include "dophy/net/topology.hpp"
@@ -142,6 +143,17 @@ class Network {
   /// Sets a node's clock-rate factor (fault injection; see Node).
   void set_clock_factor(NodeId id, double factor) { node(id).set_clock_factor(factor); }
 
+  /// Installs a passive observer (dophy::check's ground-truth oracle).  May
+  /// be null (the default); must outlive the Network while installed.  Each
+  /// hook site costs one null-check branch when unset.
+  void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
+
+  /// Packets currently parked between MAC completion scheduling and their
+  /// kTxDone event (conservation accounting for dophy::check).
+  [[nodiscard]] std::size_t inflight_count() const noexcept {
+    return inflight_.size() - inflight_free_.size();
+  }
+
   /// Periodic hook (e.g. tomography epoch boundaries).  Runs every
   /// `interval_s` simulated seconds starting one interval from now.  The
   /// hook is stored once and re-armed through a typed kPeriodic event — no
@@ -204,7 +216,8 @@ class Network {
   void try_send(NodeId id);
   void complete_transmission(NodeId sender, std::uint32_t slot);
   void run_periodic(std::uint32_t index);
-  void handle_arrival(NodeId receiver, NodeId sender, Packet packet, std::uint32_t attempts);
+  void handle_arrival(NodeId receiver, NodeId sender, Packet packet, std::uint32_t attempts,
+                      std::uint32_t total_attempts);
   void finish_packet(Packet&& packet, PacketFate fate);
   void note_queue_overflow(NodeId id);
 
@@ -215,6 +228,7 @@ class Network {
 
   NetworkConfig config_;
   PacketInstrumentation* instrumentation_;
+  NetworkObserver* observer_ = nullptr;
   Simulator sim_;
   Topology topology_;
   ArqMac mac_;

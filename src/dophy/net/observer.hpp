@@ -1,0 +1,49 @@
+#pragma once
+
+// Passive simulation observer: a second instrumentation surface next to
+// PacketInstrumentation, used by dophy::check's ground-truth oracle.  The
+// observer sees the authoritative simulator-side events (generation,
+// ARQ exchanges, arrivals, parent changes, packet fates) without being able
+// to perturb them.  Null by default; every call site in Network is a single
+// predictable null-check branch, so an unset observer costs nothing on the
+// hot path.
+
+#include <cstdint>
+
+#include "dophy/net/packet.hpp"
+#include "dophy/net/trace.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net {
+
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+
+  /// A packet entered the network at its origin (after instrumentation
+  /// initialized the blob, before any routing decision — packets that are
+  /// dropped immediately still count as generated).
+  virtual void on_generated(const Packet& packet, SimTime now) = 0;
+
+  /// A unicast ARQ exchange toward `receiver` was resolved.  `attempts` is
+  /// the sender-side frame count; `channel_used` is false when the receiver
+  /// was dead (the budget burned without touching the link's loss process or
+  /// counters).  `attempts_to_first_rx` is 0 unless `delivered`.
+  virtual void on_transmission(NodeId sender, NodeId receiver, std::uint32_t attempts,
+                               std::uint32_t attempts_to_first_rx, bool delivered,
+                               bool channel_used, SimTime now) = 0;
+
+  /// A copy of `packet` arrived at `receiver` from `sender`.  `duplicate`
+  /// mirrors the node's dedupe verdict for `dedupe_key`; duplicate copies
+  /// are discarded, non-duplicates continue into forwarding/delivery.
+  virtual void on_arrival(const Packet& packet, NodeId receiver, NodeId sender,
+                          std::uint64_t dedupe_key, bool duplicate, SimTime now) = 0;
+
+  /// `node` re-selected its routing parent (select_parent returned true).
+  virtual void on_parent_change(NodeId node, SimTime now) = 0;
+
+  /// The packet's life ended (delivered at the sink or dropped).
+  virtual void on_finished(const Packet& packet, PacketFate fate, SimTime now) = 0;
+};
+
+}  // namespace dophy::net

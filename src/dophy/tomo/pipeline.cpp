@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "dophy/check/invariants.hpp"
 #include "dophy/obs/timer.hpp"
 #include "dophy/obs/trace.hpp"
 #include "dophy/tomo/baseline/delivery_ratio.hpp"
@@ -90,6 +92,17 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   Network net(config.net, instr_ptr);
   const std::size_t node_count = net.node_count();
 
+  // --- Invariant oracle ----------------------------------------------------
+  // Installed before any event runs so its counter baselines match the
+  // pristine network.  Armed per-run (config.check) or process-wide
+  // (bench --check).  When off, the network keeps null observer/trace-hook
+  // pointers and the hot path pays nothing.
+  std::optional<dophy::check::InvariantChecker> checker;
+  if (config.check.enabled || dophy::check::global_enabled()) {
+    checker.emplace(config.check);
+    checker->install(net);
+  }
+
   // --- Fault injection -----------------------------------------------------
   // The injector outlives the event queue (both die with this scope) and the
   // plan is generated before any sim activity, so a fixed (faults, net.seed)
@@ -155,11 +168,28 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   std::uint64_t measured_bits = 0;
   std::uint64_t measured_hops = 0;
 
+  // Strict per-packet decode comparison needs bit-exact semantics: id-coding
+  // (the hash decoder reconstructs plausible, not recorded, paths) and no
+  // fault injection (corrupted reports legitimately decode to garbage).
+  const bool faults_active = injector.has_value();
+  const bool strict_paths = checker.has_value() && checker->config().strict_decode &&
+                            !hash_mode && !faults_active;
+
   std::vector<std::uint32_t> attempt_stream;
   net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime) {
     const dophy::obs::ObsTimer decode_timer(profile, "decode");
     const auto decoded = decode(packet);
     if (!decoded) return;
+    if (strict_paths) {
+      std::vector<dophy::check::InvariantChecker::DecodedHopView> views;
+      views.reserve(decoded->hops.size());
+      for (const auto& hop : decoded->hops) {
+        views.push_back({hop.sender, hop.receiver, hop.observation.attempts,
+                         hop.observation.censored});
+      }
+      checker->verify_decoded_path(packet, decoded->origin, views,
+                                   config.dophy.censor_threshold);
+    }
     manager.observe(*decoded);
     if (in_measure) {
       dophy_estimator.observe_path(*decoded);
@@ -323,6 +353,26 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   }
   result.attempt_stream = std::move(attempt_stream);
   result.epoch_series = std::move(epoch_series);
+
+  if (checker) {
+    // The decoder-stats audit additionally requires a full pipeline (no wire
+    // budget truncating reports, no Trickle leaving stale forwarder models).
+    if (strict_paths && config.dophy.max_wire_bytes == 0 &&
+        !config.dophy.use_trickle_dissemination) {
+      checker->verify_decoder_stats(result.decoder_stats.decode_failures,
+                                    result.decoder_stats.path_truncated,
+                                    result.encoder_stats.missing_model_hops);
+    }
+    result.check_report = checker->finalize();
+    checker->uninstall();
+    // Globally-armed runs (bench --check) have no caller inspecting the
+    // report, so a failed oracle must speak up here and flip the
+    // process-wide tally that bench_util turns into a nonzero exit.
+    if (!result.check_report.passed() && dophy::check::global_enabled()) {
+      std::fprintf(stderr, "%s\n", result.check_report.summary().c_str());
+      dophy::check::note_global_failure();
+    }
+  }
 
   // Publishes the per-run phase timings into the result and the process
   // global profile; called on every return path.

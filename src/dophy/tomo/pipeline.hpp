@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "dophy/check/check.hpp"
 #include "dophy/fault/fault_plan.hpp"
 #include "dophy/fault/injector.hpp"
 #include "dophy/net/network.hpp"
@@ -72,6 +73,9 @@ struct PipelineConfig {
   /// Record a Dophy accuracy-vs-time series, one point per snapshot
   /// interval (convergence-after-deployment view).
   bool collect_epoch_series = false;
+  /// Invariant oracle (dophy::check).  Disabled by default: the pipeline
+  /// also arms it when dophy::check::global_enabled() is set (bench --check).
+  dophy::check::CheckConfig check;
 };
 
 /// One point of the within-run convergence series.
@@ -107,6 +111,9 @@ struct PipelineResult {
   /// Fault-injection counters (zero-filled when no faults were configured).
   dophy::fault::FaultStats fault_stats;
   std::size_t fault_events_planned = 0;
+
+  /// Invariant-oracle verdict (finalized == false when checks were off).
+  dophy::check::CheckReport check_report;
 
   std::uint64_t packets_measured = 0;     ///< delivered inside the window
   double mean_bits_per_packet = 0.0;      ///< finalized measurement stream

@@ -1,0 +1,126 @@
+// Campaign driver tests: scenario runs are deterministic and digest-stable,
+// the planted retx bias turns into caught-and-shrunk failures, and the
+// shrinker minimizes against an arbitrary failure predicate.
+
+#include "dophy/check/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dophy::check {
+namespace {
+
+ScenarioSpec quick_benign_spec(std::uint64_t seed = 3) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.nodes = 20;
+  spec.warmup_s = 60;
+  spec.measure_s = 120;
+  return spec;  // defaults: benign, k=4, bernoulli loss
+}
+
+TEST(Campaign, BenignScenarioPasses) {
+  const ScenarioOutcome outcome = run_scenario(quick_benign_spec(), {});
+  EXPECT_TRUE(outcome.passed) << outcome.first_violation;
+  EXPECT_EQ(outcome.violation_count, 0u);
+  EXPECT_GT(outcome.packets_measured, 100u);
+  EXPECT_GT(outcome.packets_generated, outcome.packets_measured);
+  EXPECT_NE(outcome.digest, 0u);
+}
+
+TEST(Campaign, OutcomeDigestIsDeterministic) {
+  const ScenarioOutcome a = run_scenario(quick_benign_spec(), {});
+  const ScenarioOutcome b = run_scenario(quick_benign_spec(), {});
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_DOUBLE_EQ(a.mae, b.mae);
+  const ScenarioOutcome c = run_scenario(quick_benign_spec(4), {});
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(Campaign, PlantedBiasIsCaughtAndShrunk) {
+  CampaignOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 1;
+  options.check.debug_retx_bias = 1;
+  options.max_shrink_runs = 12;
+  const CampaignResult result = run_campaign(options);
+  EXPECT_EQ(result.scenarios_run, 1u);
+  EXPECT_EQ(result.failures, 1u);
+  EXPECT_FALSE(result.passed());
+  ASSERT_EQ(result.repros.size(), 1u);
+  const FailureRepro& repro = result.repros.front();
+  EXPECT_NE(repro.first_violation.find("link.attempts.mismatch"), std::string::npos)
+      << repro.first_violation;
+  // The bias fires in every configuration, so the shrinker reaches the
+  // fixed-point minimum while the failure persists.
+  EXPECT_EQ(repro.shrunk.nodes, 12u);
+  EXPECT_EQ(repro.shrunk.measure_s, 120u);
+  EXPECT_EQ(repro.shrunk.warmup_s, 60u);
+  EXPECT_FALSE(repro.shrunk.trickle);
+  EXPECT_FALSE(repro.shrunk.hash_mode);
+  EXPECT_EQ(repro.shrunk.fault_level, 0);
+  EXPECT_GT(repro.shrink_runs, 0u);
+  EXPECT_LE(repro.shrink_runs, options.max_shrink_runs);
+}
+
+TEST(Campaign, ShrinkerMinimizesAgainstFailPredicate) {
+  CampaignOptions options;
+  // "Failure" = topology at least the shrinker's floor; independent of the
+  // oracle, and still failing at the minimum so the floor itself is kept.
+  options.fail_predicate = [](const ScenarioOutcome& outcome) {
+    return outcome.spec.nodes >= 12;
+  };
+  ScenarioSpec spec = generate_scenario(1);
+  ASSERT_GT(spec.nodes, 12u);
+  std::size_t runs = 0;
+  const ScenarioSpec shrunk = shrink_failure(spec, options, runs);
+  EXPECT_EQ(shrunk.nodes, 12u);
+  EXPECT_EQ(shrunk.loss_kind, 0);
+  EXPECT_FALSE(shrunk.dynamics);
+  EXPECT_EQ(shrunk.censor_k, 4u);
+  EXPECT_EQ(shrunk.seed, spec.seed);  // the seed itself is never mutated
+  EXPECT_GT(runs, 0u);
+}
+
+TEST(Campaign, ShrinkRespectsRunBudget) {
+  CampaignOptions options;
+  options.fail_predicate = [](const ScenarioOutcome&) { return true; };
+  options.max_shrink_runs = 3;
+  std::size_t runs = 0;
+  (void)shrink_failure(generate_scenario(2), options, runs);
+  EXPECT_LE(runs, 3u);
+}
+
+TEST(Campaign, GloballyArmedFailuresBumpTheProcessTally) {
+  // bench --check relies on this chain: global switch installs the checker,
+  // a failed finalize bumps the process tally, the bench exits nonzero.
+  auto config = make_config(quick_benign_spec(5));
+  config.check.enabled = false;      // only the global switch arms it
+  config.check.debug_retx_bias = 1;  // planted failure
+  set_global_enabled(true);
+  const auto before = global_failure_count();
+  const auto result = dophy::tomo::run_pipeline(config);
+  set_global_enabled(false);
+  EXPECT_FALSE(result.check_report.passed());
+  EXPECT_EQ(global_failure_count(), before + 1);
+}
+
+TEST(Campaign, SmallCampaignDigestStableAcrossRuns) {
+  CampaignOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 3;
+  const CampaignResult a = run_campaign(options);
+  const CampaignResult b = run_campaign(options);
+  EXPECT_TRUE(a.passed()) << (a.repros.empty() ? "" : a.repros.front().first_violation);
+  EXPECT_EQ(a.scenarios_run, 3u);
+  EXPECT_EQ(a.digest, b.digest);
+
+  CampaignOptions shifted = options;
+  shifted.start_seed = 100;
+  EXPECT_NE(run_campaign(shifted).digest, a.digest);
+}
+
+}  // namespace
+}  // namespace dophy::check

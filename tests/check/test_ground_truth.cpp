@@ -1,0 +1,99 @@
+// GroundTruth ledger unit tests: loss-interval arithmetic, the exact dedupe
+// set, fate counting, and conservation underflow detection.
+
+#include "dophy/check/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dophy::check {
+namespace {
+
+using dophy::net::LinkKey;
+using dophy::net::PacketFate;
+
+TEST(GroundTruth, DeliveredExchangeBoundsLossesByFirstRx) {
+  GroundTruth ledger;
+  // 5 frames on the air, receiver first heard frame 3: frames 1-2 were lost
+  // for sure, frames 4-5 (post-first-reception duplicates) are ambiguous.
+  ledger.record_exchange(LinkKey{1, 2}, /*attempts=*/5, /*first_rx=*/3,
+                         /*delivered=*/true);
+  const LinkTally* tally = ledger.find_link(LinkKey{1, 2});
+  ASSERT_NE(tally, nullptr);
+  EXPECT_EQ(tally->attempts, 5u);
+  EXPECT_EQ(tally->exchanges, 1u);
+  EXPECT_EQ(tally->failed_exchanges, 0u);
+  EXPECT_EQ(tally->min_losses, 2u);  // f - 1
+  EXPECT_EQ(tally->max_losses, 4u);  // n - 1
+  EXPECT_EQ(ledger.total_attempts(), 5u);
+}
+
+TEST(GroundTruth, FirstFrameHeardHasZeroGuaranteedLosses) {
+  GroundTruth ledger;
+  ledger.record_exchange(LinkKey{1, 2}, 1, 1, true);
+  const LinkTally* tally = ledger.find_link(LinkKey{1, 2});
+  ASSERT_NE(tally, nullptr);
+  EXPECT_EQ(tally->min_losses, 0u);
+  EXPECT_EQ(tally->max_losses, 0u);  // single frame, heard: nothing lost
+}
+
+TEST(GroundTruth, FailedExchangeLosesEveryFrame) {
+  GroundTruth ledger;
+  ledger.record_exchange(LinkKey{3, 4}, 8, 0, false);
+  const LinkTally* tally = ledger.find_link(LinkKey{3, 4});
+  ASSERT_NE(tally, nullptr);
+  EXPECT_EQ(tally->failed_exchanges, 1u);
+  EXPECT_EQ(tally->min_losses, 8u);
+  EXPECT_EQ(tally->max_losses, 8u);
+}
+
+TEST(GroundTruth, TalliesAccumulatePerDirectedLink) {
+  GroundTruth ledger;
+  ledger.record_exchange(LinkKey{1, 2}, 3, 1, true);
+  ledger.record_exchange(LinkKey{1, 2}, 2, 2, true);
+  ledger.record_exchange(LinkKey{2, 1}, 4, 0, false);  // reverse direction
+  const LinkTally* fwd = ledger.find_link(LinkKey{1, 2});
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->attempts, 5u);
+  EXPECT_EQ(fwd->exchanges, 2u);
+  EXPECT_EQ(fwd->min_losses, 1u);  // 0 + 1
+  EXPECT_EQ(fwd->max_losses, 3u);  // 2 + 1
+  const LinkTally* rev = ledger.find_link(LinkKey{2, 1});
+  ASSERT_NE(rev, nullptr);
+  EXPECT_EQ(rev->attempts, 4u);
+  EXPECT_EQ(ledger.total_attempts(), 9u);
+  EXPECT_EQ(ledger.find_link(LinkKey{5, 6}), nullptr);
+}
+
+TEST(GroundTruth, ExactDedupeSetDetectsRepeats) {
+  GroundTruth ledger;
+  EXPECT_FALSE(ledger.record_arrival(2, 0xABCDu));  // first admission
+  EXPECT_TRUE(ledger.record_arrival(2, 0xABCDu));   // exact repeat
+  EXPECT_FALSE(ledger.record_arrival(3, 0xABCDu));  // same key, other node
+  EXPECT_FALSE(ledger.record_arrival(2, 0xABCEu));  // other key, same node
+}
+
+TEST(GroundTruth, ConservationTracksLivePackets) {
+  GroundTruth ledger;
+  ledger.record_generated();
+  ledger.record_generated();
+  EXPECT_EQ(ledger.generated(), 2u);
+  EXPECT_EQ(ledger.live_packets(), 2u);
+  EXPECT_TRUE(ledger.record_finished(PacketFate::kDelivered));
+  EXPECT_TRUE(ledger.record_finished(PacketFate::kDroppedTtl));
+  EXPECT_EQ(ledger.finished(), 2u);
+  EXPECT_EQ(ledger.live_packets(), 0u);
+  EXPECT_EQ(ledger.fate_count(PacketFate::kDelivered), 1u);
+  EXPECT_EQ(ledger.fate_count(PacketFate::kDroppedTtl), 1u);
+  EXPECT_EQ(ledger.fate_count(PacketFate::kDroppedQueue), 0u);
+}
+
+TEST(GroundTruth, FinishUnderflowReturnsFalse) {
+  GroundTruth ledger;
+  EXPECT_FALSE(ledger.record_finished(PacketFate::kDelivered));
+  ledger.record_generated();
+  EXPECT_TRUE(ledger.record_finished(PacketFate::kDroppedRetries));
+  EXPECT_FALSE(ledger.record_finished(PacketFate::kDroppedRetries));
+}
+
+}  // namespace
+}  // namespace dophy::check

@@ -1,0 +1,172 @@
+// InvariantChecker tests against live networks: clean runs pass, the
+// planted retx-accounting bias is caught by the link-counter cross-check,
+// violation recording caps, mid-run install, and install/uninstall hygiene.
+
+#include "dophy/check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dophy/net/network.hpp"
+
+namespace dophy::check {
+namespace {
+
+using dophy::net::Network;
+using dophy::net::NetworkConfig;
+using dophy::net::NodeId;
+
+NetworkConfig small_config(std::uint64_t seed = 1) {
+  NetworkConfig cfg;
+  cfg.topology.node_count = 30;
+  cfg.topology.field_size = 100.0;
+  cfg.topology.comm_range = 40.0;
+  cfg.traffic.data_interval_s = 5.0;
+  cfg.traffic.start_delay_s = 20.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+bool has_kind(const CheckReport& report, const std::string& kind) {
+  for (const auto& v : report.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(InvariantChecker, CleanRunPasses) {
+  Network net(small_config(1));
+  InvariantChecker checker;
+  checker.install(net);
+  net.run_for(300.0);
+  const CheckReport report = checker.finalize();
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_TRUE(report.finalized);
+  EXPECT_GT(report.events_traced, 1000u);
+  EXPECT_GT(report.packets_generated, 1000u);
+  EXPECT_GT(report.transmissions, 1000u);
+  EXPECT_GT(report.arrivals, 1000u);
+  EXPECT_GT(report.links_audited, 10u);
+  EXPECT_NE(report.summary().find("PASS"), std::string::npos);
+}
+
+TEST(InvariantChecker, PlantedRetxBiasIsCaughtByLinkAudit) {
+  Network net(small_config(2));
+  CheckConfig config;
+  config.debug_retx_bias = 1;  // every exchange over-counts by one frame
+  InvariantChecker checker(config);
+  checker.install(net);
+  net.run_for(200.0);
+  const CheckReport report = checker.finalize();
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(has_kind(report, "link.attempts.mismatch")) << report.summary();
+  EXPECT_NE(report.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(InvariantChecker, NegativeBiasAlsoCaught) {
+  Network net(small_config(3));
+  CheckConfig config;
+  config.debug_retx_bias = -1;
+  InvariantChecker checker(config);
+  checker.install(net);
+  net.run_for(200.0);
+  EXPECT_FALSE(checker.finalize().passed());
+}
+
+TEST(InvariantChecker, MaxViolationsCapsRecordingNotCounting) {
+  Network net(small_config(4));
+  CheckConfig config;
+  config.debug_retx_bias = 1;
+  config.max_violations = 2;
+  InvariantChecker checker(config);
+  checker.install(net);
+  net.run_for(300.0);
+  const CheckReport report = checker.finalize();
+  EXPECT_LE(report.violations.size(), 2u);
+  // One mismatch per audited link, far more than the recording cap.
+  EXPECT_GT(report.violation_count, report.violations.size());
+}
+
+TEST(InvariantChecker, ChurnRunStillConserves) {
+  auto cfg = small_config(5);
+  cfg.churn.enabled = true;
+  cfg.churn.churn_fraction = 0.4;
+  cfg.churn.mean_up_s = 120.0;
+  cfg.churn.mean_down_s = 30.0;
+  Network net(cfg);
+  InvariantChecker checker;
+  checker.install(net);
+  net.run_for(900.0);
+  const CheckReport report = checker.finalize();
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(net.stats().node_failures, 0u);
+}
+
+TEST(InvariantChecker, MidRunInstallAuditsOnlyTheRemainder) {
+  Network net(small_config(6));
+  net.run_for(150.0);  // unobserved prefix
+  InvariantChecker checker;
+  checker.install(net);
+  net.run_for(300.0);
+  const CheckReport report = checker.finalize();
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_GT(report.transmissions, 0u);
+  // The ledger only saw the observed window, not the prefix.
+  EXPECT_LT(report.packets_generated, net.stats().packets_generated);
+}
+
+TEST(InvariantChecker, UninstallDetachesCleanly) {
+  Network net(small_config(7));
+  {
+    InvariantChecker checker;
+    checker.install(net);
+    net.run_for(60.0);
+    checker.uninstall();
+    checker.uninstall();  // idempotent
+  }
+  // Checker destroyed; the network must keep running without hooks.
+  net.run_for(60.0);
+  EXPECT_GT(net.stats().packets_generated, 0u);
+}
+
+TEST(InvariantChecker, DestructorUninstallsWhileNetworkLives) {
+  Network net(small_config(8));
+  {
+    InvariantChecker checker;
+    checker.install(net);
+    net.run_for(30.0);
+  }  // dtor must clear the observer + trace hook
+  net.run_for(30.0);
+  EXPECT_GT(net.stats().packets_generated, 0u);
+}
+
+TEST(InvariantChecker, GlobalToggleRoundTrips) {
+  EXPECT_FALSE(global_enabled());
+  set_global_enabled(true);
+  EXPECT_TRUE(global_enabled());
+  set_global_enabled(false);
+  EXPECT_FALSE(global_enabled());
+}
+
+TEST(InvariantChecker, VerifyDecoderStatsFlagsBenignFailures) {
+  CheckConfig config;
+  InvariantChecker checker(config);
+  checker.verify_decoder_stats(/*decode_failures=*/3, /*path_truncated=*/1,
+                               /*missing_model_hops=*/2);
+  EXPECT_EQ(checker.report().violation_count, 1u);
+  EXPECT_EQ(checker.report().violations.front().kind, "decode.benign_failures");
+
+  InvariantChecker ok(config);
+  ok.verify_decoder_stats(0, 0, 0);
+  ok.verify_decoder_stats(2, 2, 5);  // truncations explained by missing models
+  EXPECT_EQ(ok.report().violation_count, 0u);
+
+  InvariantChecker unexplained(config);
+  unexplained.verify_decoder_stats(2, 2, 0);
+  EXPECT_EQ(unexplained.report().violations.front().kind,
+            "decode.unexplained_truncation");
+}
+
+}  // namespace
+}  // namespace dophy::check

@@ -1,0 +1,225 @@
+// Metamorphic properties of the tomography stack: transformations of the
+// input with a known effect on the output (relabeling, reordering, adding
+// data, coarsening the symbol alphabet) checked against synthetic streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dophy/coding/codec.hpp"
+#include "dophy/common/rng.hpp"
+#include "dophy/net/types.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::check {
+namespace {
+
+using dophy::common::Rng;
+using dophy::net::LinkKey;
+using dophy::net::NodeId;
+using dophy::tomo::HopObservation;
+using dophy::tomo::LinkLossEstimator;
+using dophy::tomo::SymbolMapper;
+
+/// Geometric(1 - p) attempt count, capped at the MAC budget.
+std::uint32_t draw_attempts(Rng& rng, double loss, std::uint32_t max_attempts) {
+  std::uint32_t attempts = 1;
+  while (attempts < max_attempts && rng.next_double() < loss) ++attempts;
+  return attempts;
+}
+
+struct Sample {
+  LinkKey link;
+  HopObservation obs;
+};
+
+std::vector<Sample> synthetic_samples(std::uint64_t seed, std::uint32_t k,
+                                      std::size_t count) {
+  Rng rng(seed);
+  const LinkKey links[] = {{1, 2}, {2, 3}, {3, 0}, {4, 2}, {5, 3}};
+  const double losses[] = {0.1, 0.3, 0.05, 0.5, 0.2};
+  std::vector<Sample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t which = rng.next_below(5);
+    const std::uint32_t attempts = draw_attempts(rng, losses[which], 8);
+    HopObservation obs;
+    obs.censored = attempts >= k;
+    obs.attempts = obs.censored ? k : attempts;
+    samples.push_back({links[which], obs});
+  }
+  return samples;
+}
+
+TEST(Metamorphic, NodeIdPermutationLeavesEstimatesUnchanged) {
+  const auto samples = synthetic_samples(7, 4, 5000);
+  // An arbitrary relabeling of the node-id space.
+  const auto perm = [](NodeId id) { return static_cast<NodeId>(id * 7 + 3); };
+
+  LinkLossEstimator base(4);
+  LinkLossEstimator relabeled(4);
+  for (const Sample& s : samples) {
+    base.observe(s.link, s.obs);
+    relabeled.observe(LinkKey{perm(s.link.from), perm(s.link.to)}, s.obs);
+  }
+  ASSERT_EQ(base.link_count(), relabeled.link_count());
+  for (const auto& [key, est] : base.all_estimates()) {
+    const auto other = relabeled.estimate(LinkKey{perm(key.from), perm(key.to)});
+    ASSERT_TRUE(other.has_value());
+    EXPECT_DOUBLE_EQ(est.loss, other->loss);
+    EXPECT_DOUBLE_EQ(est.stderr_, other->stderr_);
+    EXPECT_DOUBLE_EQ(est.samples, other->samples);
+  }
+}
+
+TEST(Metamorphic, ObservationOrderIsIrrelevant) {
+  auto samples = synthetic_samples(11, 4, 3000);
+  LinkLossEstimator forward(4);
+  for (const Sample& s : samples) forward.observe(s.link, s.obs);
+  std::reverse(samples.begin(), samples.end());
+  LinkLossEstimator backward(4);
+  for (const Sample& s : samples) backward.observe(s.link, s.obs);
+  // Counts are small integers accumulated into doubles — exactly associative.
+  for (const auto& [key, est] : forward.all_estimates()) {
+    const auto other = backward.estimate(key);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_DOUBLE_EQ(est.loss, other->loss);
+  }
+}
+
+TEST(Metamorphic, AddingObservationsNeverShrinksTheEstimatorsWorld) {
+  const auto samples = synthetic_samples(13, 4, 2000);
+  LinkLossEstimator est(4);
+  std::size_t prev_links = 0;
+  double prev_samples = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    est.observe(samples[i].link, samples[i].obs);
+    EXPECT_GE(est.link_count(), prev_links);
+    prev_links = est.link_count();
+    const auto e = est.estimate(samples[i].link);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_GE(e->loss, 0.0);
+    EXPECT_LE(e->loss, 1.0);
+    if (i % 100 == 0) {
+      double total = 0.0;
+      for (const auto& [key, le] : est.all_estimates()) total += le.samples;
+      EXPECT_GE(total, prev_samples);
+      prev_samples = total;
+    }
+  }
+}
+
+TEST(Metamorphic, SymbolMapperCoarseningIsMonotone) {
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    const SymbolMapper mapper(k);
+    EXPECT_EQ(mapper.alphabet_size(), k);
+    std::uint32_t prev_symbol = 0;
+    for (std::uint32_t attempts = 1; attempts <= 12; ++attempts) {
+      const std::uint32_t symbol = mapper.to_symbol(attempts);
+      EXPECT_GE(symbol, prev_symbol);  // monotone in attempts
+      prev_symbol = symbol;
+      if (attempts < k) {
+        EXPECT_FALSE(mapper.is_censored(symbol));
+        EXPECT_EQ(mapper.to_attempts(symbol), attempts);  // exact roundtrip
+      } else {
+        EXPECT_TRUE(mapper.is_censored(symbol));
+        EXPECT_EQ(mapper.to_attempts(symbol), k);  // lower bound
+      }
+    }
+  }
+}
+
+/// Empirical Shannon entropy (bits/symbol) of the K-mapped attempt stream.
+double symbol_entropy(const std::vector<std::uint32_t>& attempts, std::uint32_t k) {
+  const SymbolMapper mapper(k);
+  std::map<std::uint32_t, std::size_t> histogram;
+  for (const std::uint32_t a : attempts) ++histogram[mapper.to_symbol(a)];
+  double entropy = 0.0;
+  for (const auto& [symbol, count] : histogram) {
+    const double p = static_cast<double>(count) / static_cast<double>(attempts.size());
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+TEST(Metamorphic, LargerKTradesBitsForInformation) {
+  Rng rng(17);
+  std::vector<std::uint32_t> attempts;
+  for (int i = 0; i < 20000; ++i) attempts.push_back(draw_attempts(rng, 0.35, 8));
+
+  // The K-symbol stream is a deterministic coarsening of the (K+1)-symbol
+  // stream, so its empirical entropy (the count-bits cost) never increases
+  // as K shrinks...
+  double prev_entropy = -1.0;
+  std::size_t prev_censored = attempts.size() + 1;
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    const double entropy = symbol_entropy(attempts, k);
+    EXPECT_GE(entropy + 1e-12, prev_entropy) << "k=" << k;
+    prev_entropy = entropy;
+    const SymbolMapper mapper(k);
+    std::size_t censored = 0;
+    for (const std::uint32_t a : attempts) {
+      censored += mapper.is_censored(mapper.to_symbol(a));
+    }
+    EXPECT_LT(censored, prev_censored) << "k=" << k;  // strictly fewer at 0.35 loss
+    prev_censored = censored;
+  }
+
+  // ...and the censored-MLE recovered from the richer alphabet is at least
+  // as close to the truth (generous slack: both are consistent, the coarse
+  // one just throws information away).
+  const double true_loss = 0.35;
+  auto recovered_error = [&](std::uint32_t k) {
+    const SymbolMapper mapper(k);
+    LinkLossEstimator est(k);
+    for (const std::uint32_t a : attempts) {
+      HopObservation obs;
+      obs.censored = a >= k;
+      obs.attempts = obs.censored ? k : a;
+      est.observe(LinkKey{1, 2}, obs);
+    }
+    return std::abs(est.estimate(LinkKey{1, 2})->loss - true_loss);
+  };
+  EXPECT_LE(recovered_error(8), recovered_error(2) + 0.02);
+}
+
+TEST(Metamorphic, CodecsRoundTripEveryGeneratedStream) {
+  Rng rng(23);
+  const std::uint32_t k = 4;
+  const SymbolMapper mapper(k);
+  std::vector<std::uint64_t> counts(k, 1);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> symbols;
+    const std::size_t length = 1 + rng.next_below(64);
+    for (std::size_t i = 0; i < length; ++i) {
+      const std::uint32_t symbol =
+          mapper.to_symbol(draw_attempts(rng, 0.3, 8));
+      symbols.push_back(symbol);
+      ++counts[symbol];
+    }
+    std::vector<std::unique_ptr<dophy::coding::Codec>> codecs;
+    codecs.push_back(dophy::coding::make_fixed_width_codec(k));
+    codecs.push_back(dophy::coding::make_elias_gamma_codec());
+    codecs.push_back(dophy::coding::make_rice_codec(1));
+    codecs.push_back(dophy::coding::make_huffman_codec(counts));
+    codecs.push_back(dophy::coding::make_static_arith_codec(counts));
+    codecs.push_back(dophy::coding::make_adaptive_arith_codec(k));
+    for (const auto& codec : codecs) {
+      std::vector<std::uint8_t> bytes;
+      codec->encode(symbols, bytes);
+      const auto outcome = codec->try_decode(bytes, symbols.size());
+      ASSERT_TRUE(outcome.ok())
+          << codec->name() << " trial " << trial << ": " << to_string(outcome.error);
+      EXPECT_EQ(outcome.symbols, symbols) << codec->name() << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dophy::check

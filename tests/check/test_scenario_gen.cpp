@@ -1,0 +1,121 @@
+// Scenario generator tests: determinism, spec-string round-trip (the repro
+// contract), config materialization, and distribution sanity.
+
+#include "dophy/check/scenario_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dophy::check {
+namespace {
+
+TEST(ScenarioGen, DeterministicPerSeed) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(generate_scenario(seed), generate_scenario(seed));
+  }
+  EXPECT_NE(generate_scenario(1), generate_scenario(2));
+}
+
+TEST(ScenarioGen, FieldsStayInRange) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    EXPECT_EQ(spec.seed, seed);
+    EXPECT_GE(spec.nodes, 20u);
+    EXPECT_LE(spec.nodes, 40u);
+    EXPECT_LE(spec.loss_kind, 2);
+    EXPECT_LE(spec.fault_level, 2);
+    EXPECT_GE(spec.censor_k, 2u);
+    EXPECT_LE(spec.censor_k, 8u);
+    EXPECT_GE(spec.measure_s, 120u);
+    EXPECT_LE(spec.measure_s, 240u);
+    if (spec.max_wire_bytes != 0) {
+      EXPECT_GE(spec.max_wire_bytes, 24u);
+      EXPECT_LE(spec.max_wire_bytes, 64u);
+    }
+  }
+}
+
+TEST(ScenarioGen, CampaignMixesBenignAndAdversarial) {
+  std::size_t benign = 0;
+  std::set<std::string> distinct;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    benign += spec.benign();
+    distinct.insert(to_string(spec));
+  }
+  // Roughly half the scenarios must keep strict decode checking armed, and
+  // the generator must not collapse onto a handful of shapes.
+  EXPECT_GE(benign, 20u);
+  EXPECT_LE(benign, 80u);
+  EXPECT_GE(distinct.size(), 95u);
+}
+
+TEST(ScenarioGen, ToStringParsesBackExactly) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    ScenarioSpec parsed;
+    ASSERT_TRUE(parse_spec(to_string(spec), parsed)) << to_string(spec);
+    EXPECT_EQ(parsed, spec) << to_string(spec);
+  }
+}
+
+TEST(ScenarioGen, ParseRejectsMalformedSpecs) {
+  ScenarioSpec spec = generate_scenario(7);
+  const ScenarioSpec before = spec;
+  EXPECT_FALSE(parse_spec("seed", spec));       // no '='
+  EXPECT_FALSE(parse_spec("bogus=1", spec));    // unknown key
+  EXPECT_FALSE(parse_spec("seed=abc", spec));   // non-numeric
+  EXPECT_FALSE(parse_spec("nodes=2", spec));    // out of range
+  EXPECT_FALSE(parse_spec("loss=nope", spec));  // bad enum
+  EXPECT_FALSE(parse_spec("dyn=2", spec));      // bad bool
+  EXPECT_FALSE(parse_spec("seed=1,,nodes=30", spec));
+  EXPECT_EQ(spec, before);  // failures leave the spec untouched
+}
+
+TEST(ScenarioGen, ParseAcceptsPartialSpecsOverDefaults) {
+  ScenarioSpec spec;
+  ASSERT_TRUE(parse_spec("seed=42,nodes=25,loss=ge", spec));
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.nodes, 25u);
+  EXPECT_EQ(spec.loss_kind, 1);
+  EXPECT_EQ(spec.censor_k, 4u);  // untouched default
+}
+
+TEST(ScenarioGen, MakeConfigMatchesSpec) {
+  ScenarioSpec spec = generate_scenario(11);
+  spec.censor_k = 6;
+  spec.hash_mode = true;
+  spec.trickle = true;
+  spec.max_wire_bytes = 40;
+  spec.fault_level = 2;
+  const auto config = make_config(spec);
+  EXPECT_EQ(config.net.topology.node_count, spec.nodes);
+  EXPECT_EQ(config.net.seed, spec.seed);
+  EXPECT_DOUBLE_EQ(config.warmup_s, static_cast<double>(spec.warmup_s));
+  EXPECT_DOUBLE_EQ(config.measure_s, static_cast<double>(spec.measure_s));
+  EXPECT_EQ(config.dophy.censor_threshold, 6u);
+  EXPECT_EQ(config.dophy.path_mode, dophy::tomo::PathMode::kHashPath);
+  EXPECT_TRUE(config.dophy.use_trickle_dissemination);
+  EXPECT_EQ(config.dophy.max_wire_bytes, 40u);
+  EXPECT_TRUE(config.faults.enabled);
+  EXPECT_FALSE(config.run_baselines);
+  EXPECT_TRUE(config.check.enabled);
+  EXPECT_FALSE(config.check.strict_decode);  // non-benign spec
+}
+
+TEST(ScenarioGen, BenignSpecArmsStrictDecode) {
+  ScenarioSpec spec = generate_scenario(11);
+  spec.fault_level = 0;
+  spec.hash_mode = false;
+  spec.trickle = false;
+  spec.max_wire_bytes = 0;
+  ASSERT_TRUE(spec.benign());
+  const auto config = make_config(spec);
+  EXPECT_TRUE(config.check.strict_decode);
+  EXPECT_FALSE(config.faults.enabled);
+}
+
+}  // namespace
+}  // namespace dophy::check

@@ -1,0 +1,160 @@
+// Injector scheduling tests against scripted (non-generated) plans: ordering
+// of overlapping crash/reboot pairs, sequential sink-outage windows, exact
+// counting of report corruption inside a bounded window, and the
+// events-executed accounting contract (recoveries excluded).
+
+#include "dophy/fault/fault_plan.hpp"
+#include "dophy/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dophy/net/network.hpp"
+
+namespace dophy::fault {
+namespace {
+
+using dophy::net::kSecond;
+using dophy::net::kSinkId;
+using dophy::net::Network;
+using dophy::net::NetworkConfig;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::net::SimTime;
+
+NetworkConfig small_net(std::uint64_t seed = 1) {
+  NetworkConfig cfg;
+  cfg.topology.node_count = 30;
+  cfg.topology.field_size = 100.0;
+  cfg.topology.comm_range = 40.0;
+  cfg.traffic.data_interval_s = 5.0;
+  cfg.traffic.start_delay_s = 20.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FaultInjectorScript, OverlappingCrashesRebootInScriptedOrder) {
+  Network net(small_net());
+  FaultPlan plan;
+  // Node 5 is down over [10, 50); node 6's crash nests inside it, [20, 30).
+  plan.add_node_crash(10.0, 5, 40.0).add_node_crash(20.0, 6, 10.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  net.run_for(15.0);  // t=15: only the outer crash has fired
+  EXPECT_FALSE(net.node(5).alive());
+  EXPECT_TRUE(net.node(6).alive());
+  net.run_for(10.0);  // t=25: both down
+  EXPECT_FALSE(net.node(5).alive());
+  EXPECT_FALSE(net.node(6).alive());
+  net.run_for(10.0);  // t=35: the nested crash rebooted first
+  EXPECT_FALSE(net.node(5).alive());
+  EXPECT_TRUE(net.node(6).alive());
+  net.run_for(20.0);  // t=55: both back
+  EXPECT_TRUE(net.node(5).alive());
+  EXPECT_TRUE(net.node(6).alive());
+
+  EXPECT_EQ(injector.stats().node_crashes, 2u);
+  EXPECT_EQ(injector.stats().node_reboots, 2u);
+  EXPECT_EQ(injector.stats().events_executed, 2u);
+}
+
+TEST(FaultInjectorScript, SequentialSinkOutageWindows) {
+  Network net(small_net());
+  FaultPlan plan;
+  plan.add_sink_outage(10.0, 10.0).add_sink_outage(40.0, 10.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  net.run_for(15.0);  // inside window 1
+  EXPECT_FALSE(net.node(kSinkId).alive());
+  net.run_for(10.0);  // t=25: between the windows
+  EXPECT_TRUE(net.node(kSinkId).alive());
+  net.run_for(20.0);  // t=45: inside window 2
+  EXPECT_FALSE(net.node(kSinkId).alive());
+  net.run_for(10.0);  // t=55: recovered for good
+  EXPECT_TRUE(net.node(kSinkId).alive());
+
+  EXPECT_EQ(injector.stats().sink_outages, 2u);
+  EXPECT_EQ(injector.stats().events_executed, 2u);
+}
+
+TEST(FaultInjectorScript, EventsExecutedMatchesScriptedPlanSize) {
+  Network net(small_net());
+  const auto neighbors = net.topology().neighbors(1);
+  ASSERT_FALSE(neighbors.empty());
+
+  FaultPlan plan;
+  plan.add_node_crash(10.0, 3, 20.0)
+      .add_sink_outage(15.0, 5.0)
+      .add_link_blackout(20.0, 1, neighbors[0], 10.0)
+      .add_clock_skew(25.0, 7, 1.03);
+  const std::size_t scripted = 4;
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+  net.run_for(60.0);
+
+  // Every scripted action fired exactly once; timed recoveries (reboot,
+  // sink restore, blackout lift) are not counted as executed events.
+  EXPECT_EQ(injector.stats().events_executed, scripted);
+  EXPECT_EQ(injector.stats().node_crashes, 1u);
+  EXPECT_EQ(injector.stats().node_reboots, 1u);
+  EXPECT_EQ(injector.stats().sink_outages, 1u);
+  EXPECT_EQ(injector.stats().link_blackouts, 1u);
+  EXPECT_EQ(injector.stats().clock_skews, 1u);
+}
+
+/// Minimal measurement layer so delivered packets carry a non-empty blob
+/// for the corruption window to chew on.
+class StubInstrumentation final : public dophy::net::PacketInstrumentation {
+ public:
+  void on_origin(Packet& packet, NodeId, SimTime) override {
+    packet.blob.bytes = {0xAB, 0xCD, 0xEF, 0x12};
+    packet.blob.logical_bits = 32;
+  }
+  void on_hop_received(Packet&, NodeId, NodeId, std::uint32_t, SimTime) override {}
+};
+
+TEST(FaultInjectorScript, CorruptWindowCountsExactlyTheDeliveriesInside) {
+  StubInstrumentation instr;
+  Network net(small_net(), &instr);
+  FaultPlan plan;
+  // Corrupt every report delivered in [100 s, 200 s); exclusive upper edge.
+  plan.add_report_fault(100.0, FaultKind::kReportCorrupt, 1.0, 100.0);
+  FaultInjector injector(net, std::move(plan), 1);
+  injector.arm();
+
+  const std::vector<std::uint8_t> pristine = {0xAB, 0xCD, 0xEF, 0x12};
+  const SimTime window_open = static_cast<SimTime>(100) * kSecond;
+  const SimTime window_close = static_cast<SimTime>(200) * kSecond;
+  std::uint64_t in_window = 0;
+  std::uint64_t outside = 0;
+  std::uint64_t mutated = 0;
+  net.set_delivery_handler([&](const Packet& packet, SimTime now) {
+    // Corruption flips bits in place: length and the logical bit count
+    // survive either way.
+    EXPECT_EQ(packet.blob.bytes.size(), pristine.size());
+    EXPECT_EQ(packet.blob.logical_bits, 32u);
+    const bool inside = now >= window_open && now < window_close;
+    ++(inside ? in_window : outside);
+    mutated += packet.blob.bytes != pristine ? 1 : 0;
+    if (!inside) {
+      // Outside the window the blob must arrive untouched.
+      EXPECT_EQ(packet.blob.bytes, pristine);
+    }
+  });
+  net.run_for(300.0);
+
+  ASSERT_GT(in_window, 50u);
+  ASSERT_GT(outside, 50u);
+  EXPECT_EQ(injector.stats().reports_corrupted, in_window);
+  // An even number of flips can theoretically cancel out, so `mutated` may
+  // fall a hair short of `in_window` — but never exceed it.
+  EXPECT_LE(mutated, in_window);
+  EXPECT_GT(mutated, in_window / 2);
+  EXPECT_EQ(injector.stats().events_executed, 1u);
+}
+
+}  // namespace
+}  // namespace dophy::fault

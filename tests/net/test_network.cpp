@@ -218,5 +218,27 @@ TEST(Network, DriftingConfigCausesParentChurn) {
   EXPECT_GT(net_dynamic.stats().parent_changes, net_static.stats().parent_changes);
 }
 
+// Regression: HopRecord::total_attempts once copied attempts_to_first_rx,
+// erasing every retransmission that followed a lost ACK.  Pin the repaired
+// semantics: total >= first-rx always, with strict inequality occurring on
+// real lossy runs (the receiver heard an early frame but the ACK was lost,
+// so the sender kept retrying).
+TEST(Network, HopRecordsCountRetriesPastFirstReception) {
+  Network net(small_config(5));
+  std::uint64_t hops_seen = 0;
+  std::uint64_t retries_past_first = 0;
+  net.set_delivery_handler([&](const Packet& packet, SimTime) {
+    for (const HopRecord& hop : packet.true_hops) {
+      ++hops_seen;
+      ASSERT_GE(hop.attempts_to_first_rx, 1u);
+      ASSERT_GE(hop.total_attempts, hop.attempts_to_first_rx);
+      retries_past_first += hop.total_attempts > hop.attempts_to_first_rx;
+    }
+  });
+  net.run_for(600.0);
+  ASSERT_GT(hops_seen, 1000u);
+  EXPECT_GT(retries_past_first, 0u);
+}
+
 }  // namespace
 }  // namespace dophy::net
