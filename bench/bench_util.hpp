@@ -1,49 +1,18 @@
 #pragma once
 
-// Shared helpers for the figure/table harness binaries.  Every binary
-// supports:
-//   --trials N            Monte-Carlo trials per sweep point (default per-bench)
-//   --nodes N             network size where applicable
-//   --quick               cut simulated durations ~4x for smoke runs
-//   --csv                 emit CSV instead of the aligned table
-//   --metrics-json PATH   write a machine-readable run report (obs::RunReport)
-//   --trace-jsonl PATH    stream structured simulation events to a JSONL file
-//   --check               arm the dophy::check invariant oracle in every
-//                         pipeline run (slower; aborts-free but exits 2 if a
-//                         run reports violations via the pipeline result)
+// Shared helpers for the google-benchmark micro binaries (micro_codec,
+// micro_sim).  The figure/table sweeps that used to live next to them are now
+// declarative specs in src/dophy/eval/experiments/ driven by tools/dophy_bench.
 
-#include <chrono>
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <string>
 
-#include "dophy/check/check.hpp"
-#include "dophy/common/table.hpp"
 #include "dophy/obs/report.hpp"
 #include "dophy/obs/timer.hpp"
-#include "dophy/obs/trace.hpp"
 
 namespace dophy::bench {
 
 namespace detail {
-
-/// Report accumulated across emit() calls; rewritten to disk on each call so
-/// a partially-completed sweep still leaves a valid (truncated) report.
-struct ReportState {
-  bool active = false;
-  std::string path;
-  dophy::obs::RunReport report;
-  dophy::obs::MetricsSnapshot baseline;  ///< registry state at parse time
-  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
-};
-
-inline ReportState& report_state() {
-  static ReportState state;
-  return state;
-}
 
 inline std::string basename_of(const char* argv0) {
   std::string name = argv0 == nullptr ? "bench" : argv0;
@@ -53,122 +22,6 @@ inline std::string basename_of(const char* argv0) {
 }
 
 }  // namespace detail
-
-struct BenchArgs {
-  std::size_t trials = 3;
-  std::size_t nodes = 100;
-  bool quick = false;
-  bool csv = false;
-  bool check = false;  ///< invariant oracle armed process-wide
-  std::string bench_name = "bench";
-  std::string metrics_json;  ///< empty = no report
-  std::string trace_jsonl;   ///< empty = no event trace
-
-  static BenchArgs parse(int argc, char** argv, std::size_t default_trials = 3,
-                         std::size_t default_nodes = 100) {
-    BenchArgs args;
-    args.trials = default_trials;
-    args.nodes = default_nodes;
-    args.bench_name = detail::basename_of(argc > 0 ? argv[0] : nullptr);
-    for (int i = 1; i < argc; ++i) {
-      const std::string a = argv[i];
-      auto next_arg = [&]() -> const char* {
-        if (i + 1 >= argc) {
-          std::cerr << "missing value for " << a << "\n";
-          std::exit(2);
-        }
-        return argv[++i];
-      };
-      auto next_value = [&]() -> std::uint64_t {
-        return std::strtoull(next_arg(), nullptr, 10);
-      };
-      if (a == "--trials") {
-        args.trials = static_cast<std::size_t>(next_value());
-      } else if (a == "--nodes") {
-        args.nodes = static_cast<std::size_t>(next_value());
-      } else if (a == "--quick") {
-        args.quick = true;
-      } else if (a == "--csv") {
-        args.csv = true;
-      } else if (a == "--check") {
-        args.check = true;
-        dophy::check::set_global_enabled(true);
-        // Bench mains only print tables; make a failed oracle fatal at
-        // process end (the pipeline already printed each FAIL summary).
-        std::atexit([] {
-          if (const auto failures = dophy::check::global_failure_count()) {
-            std::fprintf(stderr, "--check: %llu pipeline run(s) failed invariant checks\n",
-                         static_cast<unsigned long long>(failures));
-            std::_Exit(1);
-          }
-        });
-      } else if (a == "--metrics-json") {
-        args.metrics_json = next_arg();
-      } else if (a == "--trace-jsonl") {
-        args.trace_jsonl = next_arg();
-      } else if (a == "--help" || a == "-h") {
-        std::cout << "usage: bench [--trials N] [--nodes N] [--quick] [--csv] [--check]\n"
-                     "             [--metrics-json PATH] [--trace-jsonl PATH]\n";
-        std::exit(0);
-      } else {
-        std::cerr << "unknown argument: " << a << "\n";
-        std::exit(2);
-      }
-    }
-
-    if (!args.trace_jsonl.empty()) {
-      auto& trace = dophy::obs::EventTrace::global();
-      if (!trace.open_file(args.trace_jsonl)) {
-        std::cerr << "cannot open trace file: " << args.trace_jsonl << "\n";
-        std::exit(2);
-      }
-      trace.enable_all();
-    }
-
-    if (!args.metrics_json.empty()) {
-      auto& state = detail::report_state();
-      state.active = true;
-      state.path = args.metrics_json;
-      state.baseline = dophy::obs::Registry::global().snapshot();
-      state.start = std::chrono::steady_clock::now();
-      state.report.bench = args.bench_name;
-      state.report.config["trials"] = std::to_string(args.trials);
-      state.report.config["nodes"] = std::to_string(args.nodes);
-      state.report.config["quick"] = args.quick ? "1" : "0";
-      dophy::obs::reset_global_phases();
-    }
-    return args;
-  }
-};
-
-/// Prints the table and, when --metrics-json was given, folds it into the
-/// run report and rewrites the report file.
-inline void emit(const dophy::common::Table& table, const BenchArgs& args,
-                 const std::string& title) {
-  if (args.csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout, title);
-  }
-
-  auto& state = detail::report_state();
-  if (!state.active) return;
-  dophy::obs::TableSection section;
-  section.title = title;
-  section.columns = table.headers();
-  section.rows = table.rows();
-  state.report.tables.push_back(std::move(section));
-  state.report.title = title;
-  state.report.phase_seconds = dophy::obs::global_phases().seconds();
-  state.report.phase_seconds["bench.total"] =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - state.start).count();
-  state.report.metrics =
-      dophy::obs::Registry::global().snapshot().delta_since(state.baseline);
-  if (!dophy::obs::write_report_file(state.report, state.path)) {
-    std::cerr << "cannot write report: " << state.path << "\n";
-    std::exit(2);
-  }
-}
 
 /// For google-benchmark binaries: removes `--metrics-json PATH` (which the
 /// benchmark arg parser would reject) from argv and returns the path.

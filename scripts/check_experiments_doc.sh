@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fails if the committed experiment catalog in EXPERIMENTS.md has drifted from
+# the registry (`dophy_bench list --markdown`).  Run after a build; CI wires
+# this into the build-test job.
+# Usage: scripts/check_experiments_doc.sh [build_dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$repo_root/EXPERIMENTS.md"
+bench="$build_dir/tools/dophy_bench"
+
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not built (run cmake --build $build_dir first)" >&2
+  exit 1
+fi
+
+committed="$(sed -n '/<!-- BEGIN dophy_bench catalog -->/,/<!-- END dophy_bench catalog -->/p' "$doc" |
+  sed '1d;$d')"
+if [[ -z "$committed" ]]; then
+  echo "error: no '<!-- BEGIN dophy_bench catalog -->' section in $doc" >&2
+  exit 1
+fi
+
+generated="$("$bench" list --markdown)"
+
+if ! diff_out="$(diff -u <(printf '%s\n' "$committed") <(printf '%s\n' "$generated"))"; then
+  echo "error: EXPERIMENTS.md catalog is stale; regenerate the marked section with:" >&2
+  echo "  $bench list --markdown" >&2
+  echo "$diff_out" >&2
+  exit 1
+fi
+
+echo "EXPERIMENTS.md catalog matches the registry."

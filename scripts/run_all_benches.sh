@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates every reproduced figure/table into results/ (text + CSV +
-# machine-readable JSON run reports).
+# machine-readable JSON run reports) via the dophy_bench sweep driver, then
+# runs the micro benchmarks and the perf-regression gate.
+#
+# Sweep cells are cached content-addressed in .dophy-cache/, so re-runs after
+# an interrupted sweep (or with an unchanged tree) replay instantly.
 # Usage: scripts/run_all_benches.sh [build_dir] [--quick]
 set -euo pipefail
 
@@ -29,13 +33,13 @@ check_report() {
   fi
 }
 
-for bench in "$build_dir"/bench/fig_* "$build_dir"/bench/table_summary; do
-  name="$(basename "$bench")"
-  echo ">>> $name"
-  "$bench" $quick_flag --metrics-json "$out_dir/$name.json" | tee "$out_dir/$name.txt"
-  check_report "$out_dir/$name.json"
-  "$bench" $quick_flag --csv > "$out_dir/$name.csv"
-done
+echo ">>> figure/table sweeps (dophy_bench run --all)"
+"$build_dir"/tools/dophy_bench run --all $quick_flag \
+  --out-dir "$out_dir" --manifest "$out_dir/manifest.json"
+check_report "$out_dir/manifest.json"
+while read -r report; do
+  check_report "$report"
+done < <(find "$out_dir" -maxdepth 1 \( -name 'fig_*.json' -o -name 'table_*.json' \))
 
 echo ">>> micro benchmarks"
 # --quick shortens the per-benchmark measurement window; this is the mode the

@@ -25,6 +25,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {  // inline pool: no worker will ever drain the queue
+    task();
+    return;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
@@ -59,6 +63,10 @@ void ThreadPool::worker_loop() {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  if (pool.worker_count() == 0) {  // inline pool: chunking would compute 0 chunks
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   // Chunk so tiny bodies don't drown in queue traffic.
   const std::size_t chunks = std::min(count, pool.worker_count() * 4);
   std::atomic<std::size_t> next{0};
@@ -76,6 +84,11 @@ void parallel_for(ThreadPool& pool, std::size_t count,
 
 ThreadPool& global_pool() {
   static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool& inline_executor() {
+  static ThreadPool pool{ThreadPool::inline_t{}};
   return pool;
 }
 

@@ -16,8 +16,16 @@ namespace dophy::common {
 
 class ThreadPool {
  public:
+  /// Tag selecting the inline (workerless) pool; see inline_executor().
+  struct inline_t {};
+
   /// `worker_count` of 0 means hardware_concurrency (minimum 1).
   explicit ThreadPool(std::size_t worker_count = 0);
+  /// Builds a pool with no workers: submit() runs tasks on the calling
+  /// thread.  Lets pool-shaped code degrade to serial execution without a
+  /// second code path (and without deadlocking when nested inside another
+  /// pool's worker).
+  explicit ThreadPool(inline_t) {}
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -25,7 +33,8 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task.  Tasks must not throw; wrap fallible work yourself.
+  /// Enqueues a task (runs it inline on a workerless pool).  Tasks must not
+  /// throw; wrap fallible work yourself.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
@@ -50,5 +59,10 @@ void parallel_for(ThreadPool& pool, std::size_t count,
 
 /// Convenience: shared process-wide pool sized to the machine.
 ThreadPool& global_pool();
+
+/// Shared workerless pool: submit()/parallel_for run on the calling thread.
+/// Pass where a ThreadPool* is expected to force serial execution — e.g. for
+/// trial batches inside code that already runs on a pool worker.
+ThreadPool& inline_executor();
 
 }  // namespace dophy::common

@@ -1,0 +1,453 @@
+#include "dophy/eval/cache.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dophy/obs/json.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/report.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::eval {
+
+namespace {
+
+constexpr int kCacheFormatVersion = 1;
+
+// Shared handles so every ResultCache instance feeds the same metrics.
+const dophy::obs::Counter& hit_counter() {
+  static const auto c = dophy::obs::Registry::global().counter("eval.cache.hit");
+  return c;
+}
+const dophy::obs::Counter& miss_counter() {
+  static const auto c = dophy::obs::Registry::global().counter("eval.cache.miss");
+  return c;
+}
+const dophy::obs::Counter& store_counter() {
+  static const auto c = dophy::obs::Registry::global().counter("eval.cache.store");
+  return c;
+}
+const dophy::obs::Counter& corrupt_counter() {
+  static const auto c = dophy::obs::Registry::global().counter("eval.cache.corrupt");
+  return c;
+}
+
+std::string format_double_field(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON reader for cache entries.  Deliberately local: the obs
+// JSON parser is flat-object-only, and cache entries nest one array level.
+// Any deviation from the expected shape makes the entry "corrupt".
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] bool read_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Cache entries only escape control characters; encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool read_number(double& out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return false;
+    try {
+      out = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses one cache entry; nullopt means corrupt.  The expected canonical
+/// string is compared so an FNV collision (or a hand-edited file) can never
+/// serve a result for different inputs.
+std::optional<CachedCell> parse_entry(std::string_view text,
+                                      std::string_view expected_canonical,
+                                      std::string_view expected_version) {
+  JsonReader r(text);
+  if (!r.consume('{')) return std::nullopt;
+
+  CachedCell cell;
+  double format = 0.0;
+  std::string canonical;
+  std::string version;
+  bool have_rows = false;
+
+  bool first = true;
+  while (!r.peek_is('}')) {
+    if (!first && !r.consume(',')) return std::nullopt;
+    first = false;
+    std::string name;
+    if (!r.read_string(name) || !r.consume(':')) return std::nullopt;
+    if (name == "format") {
+      if (!r.read_number(format)) return std::nullopt;
+    } else if (name == "canonical") {
+      if (!r.read_string(canonical)) return std::nullopt;
+    } else if (name == "version") {
+      if (!r.read_string(version)) return std::nullopt;
+    } else if (name == "experiment") {
+      if (!r.read_string(cell.experiment)) return std::nullopt;
+    } else if (name == "cell") {
+      if (!r.read_string(cell.cell)) return std::nullopt;
+    } else if (name == "wall_seconds") {
+      if (!r.read_number(cell.wall_seconds)) return std::nullopt;
+    } else if (name == "rows") {
+      if (!r.consume('[')) return std::nullopt;
+      while (!r.peek_is(']')) {
+        if (!cell.rows.empty() && !r.consume(',')) return std::nullopt;
+        if (!r.consume('[')) return std::nullopt;
+        std::vector<std::string> row;
+        while (!r.peek_is(']')) {
+          if (!row.empty() && !r.consume(',')) return std::nullopt;
+          std::string value;
+          if (!r.read_string(value)) return std::nullopt;
+          row.push_back(std::move(value));
+        }
+        if (!r.consume(']')) return std::nullopt;
+        cell.rows.push_back(std::move(row));
+      }
+      if (!r.consume(']')) return std::nullopt;
+      have_rows = true;
+    } else {
+      return std::nullopt;  // unknown key: treat as corrupt (strict format)
+    }
+  }
+  if (!r.consume('}') || !r.at_end()) return std::nullopt;
+
+  if (format != kCacheFormatVersion || !have_rows) return std::nullopt;
+  if (canonical != expected_canonical || version != expected_version) return std::nullopt;
+  return cell;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t state) noexcept {
+  for (const char c : data) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+CanonicalKey& CanonicalKey::set(std::string_view field, std::string_view value) {
+  fields_.insert_or_assign(std::string(field), std::string(value));
+  return *this;
+}
+
+CanonicalKey& CanonicalKey::set(std::string_view field, double value) {
+  return set(field, std::string_view(format_double_field(value)));
+}
+
+CanonicalKey& CanonicalKey::set(std::string_view field, bool value) {
+  return set(field, std::string_view(value ? "1" : "0"));
+}
+
+CanonicalKey& CanonicalKey::set(std::string_view field, std::uint64_t value) {
+  return set(field, std::string_view(std::to_string(value)));
+}
+
+CanonicalKey& CanonicalKey::set(std::string_view field, std::int64_t value) {
+  return set(field, std::string_view(std::to_string(value)));
+}
+
+std::string CanonicalKey::canonical() const {
+  std::string out;
+  for (const auto& [field, value] : fields_) {
+    out += field;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t CanonicalKey::hash() const { return fnv1a64(canonical()); }
+
+void canonicalize_into(const dophy::tomo::PipelineConfig& config, CanonicalKey& key) {
+  const auto& net = config.net;
+  key.set("cfg.net.topology.node_count", static_cast<std::uint64_t>(net.topology.node_count))
+      .set("cfg.net.topology.field_size", net.topology.field_size)
+      .set("cfg.net.topology.comm_range", net.topology.comm_range)
+      .set("cfg.net.topology.layout", static_cast<std::int64_t>(net.topology.layout))
+      .set("cfg.net.topology.sink_placement",
+           static_cast<std::int64_t>(net.topology.sink_placement))
+      .set("cfg.net.topology.max_generation_attempts",
+           net.topology.max_generation_attempts);
+  key.set("cfg.net.mac.max_attempts", net.mac.max_attempts)
+      .set("cfg.net.mac.model_ack_loss", net.mac.model_ack_loss)
+      .set("cfg.net.mac.attempt_duration",
+           static_cast<std::uint64_t>(net.mac.attempt_duration))
+      .set("cfg.net.mac.queue_service_delay",
+           static_cast<std::uint64_t>(net.mac.queue_service_delay));
+  const auto& est = net.routing.estimator;
+  key.set("cfg.net.routing.estimator.data_alpha", est.data_alpha)
+      .set("cfg.net.routing.estimator.beacon_alpha", est.beacon_alpha)
+      .set("cfg.net.routing.estimator.min_data_samples", est.min_data_samples)
+      .set("cfg.net.routing.estimator.initial_etx", est.initial_etx)
+      .set("cfg.net.routing.estimator.max_etx", est.max_etx)
+      .set("cfg.net.routing.switch_hysteresis", net.routing.switch_hysteresis)
+      .set("cfg.net.routing.beacon_interval_s", net.routing.beacon_interval_s)
+      .set("cfg.net.routing.beacon_jitter", net.routing.beacon_jitter)
+      .set("cfg.net.routing.neighbor_timeout_s", net.routing.neighbor_timeout_s)
+      .set("cfg.net.routing.advertise_alpha", net.routing.advertise_alpha)
+      .set("cfg.net.routing.opportunistic_fraction", net.routing.opportunistic_fraction);
+  key.set("cfg.net.loss.kind", static_cast<std::int64_t>(net.loss.kind))
+      .set("cfg.net.loss.noise_spread", net.loss.noise_spread)
+      .set("cfg.net.loss.reverse_noise", net.loss.reverse_noise)
+      .set("cfg.net.loss.loss_scale", net.loss.loss_scale)
+      .set("cfg.net.loss.ge_bad_multiplier", net.loss.ge_bad_multiplier)
+      .set("cfg.net.loss.ge_mean_good_s", net.loss.ge_mean_good_s)
+      .set("cfg.net.loss.ge_mean_bad_s", net.loss.ge_mean_bad_s)
+      .set("cfg.net.loss.drift_amplitude", net.loss.drift_amplitude)
+      .set("cfg.net.loss.drift_period_s", net.loss.drift_period_s)
+      .set("cfg.net.loss.drift_shuffle_interval_s", net.loss.drift_shuffle_interval_s)
+      .set("cfg.net.loss.drift_shuffle_spread", net.loss.drift_shuffle_spread);
+  key.set("cfg.net.traffic.data_interval_s", net.traffic.data_interval_s)
+      .set("cfg.net.traffic.jitter", net.traffic.jitter)
+      .set("cfg.net.traffic.start_delay_s", net.traffic.start_delay_s)
+      .set("cfg.net.traffic.queue_capacity",
+           static_cast<std::uint64_t>(net.traffic.queue_capacity))
+      .set("cfg.net.traffic.max_hops", static_cast<std::uint64_t>(net.traffic.max_hops));
+  key.set("cfg.net.churn.enabled", net.churn.enabled)
+      .set("cfg.net.churn.churn_fraction", net.churn.churn_fraction)
+      .set("cfg.net.churn.mean_up_s", net.churn.mean_up_s)
+      .set("cfg.net.churn.mean_down_s", net.churn.mean_down_s);
+  key.set("cfg.net.seed", net.seed).set("cfg.net.collect_outcomes", net.collect_outcomes);
+
+  const auto& dophy = config.dophy;
+  key.set("cfg.dophy.censor_threshold", dophy.censor_threshold)
+      .set("cfg.dophy.update.policy", static_cast<std::int64_t>(dophy.update.policy))
+      .set("cfg.dophy.update.check_interval_s", dophy.update.check_interval_s)
+      .set("cfg.dophy.update.min_hop_samples", dophy.update.min_hop_samples)
+      .set("cfg.dophy.update.adaptive_horizon_s", dophy.update.adaptive_horizon_s)
+      .set("cfg.dophy.update.smoothing", dophy.update.smoothing)
+      .set("cfg.dophy.update.update_id_model", dophy.update.update_id_model)
+      .set("cfg.dophy.update.model_precision", dophy.update.model_precision)
+      .set("cfg.dophy.tracker_decay", dophy.tracker_decay)
+      .set("cfg.dophy.prior_successes", dophy.prior_successes)
+      .set("cfg.dophy.prior_failures", dophy.prior_failures)
+      .set("cfg.dophy.path_mode", static_cast<std::int64_t>(dophy.path_mode))
+      .set("cfg.dophy.max_wire_bytes", static_cast<std::uint64_t>(dophy.max_wire_bytes))
+      .set("cfg.dophy.use_trickle_dissemination", dophy.use_trickle_dissemination)
+      .set("cfg.dophy.trickle.i_min_s", dophy.trickle.i_min_s)
+      .set("cfg.dophy.trickle.i_max_s", dophy.trickle.i_max_s)
+      .set("cfg.dophy.trickle.redundancy_k", dophy.trickle.redundancy_k);
+
+  key.set("cfg.warmup_s", config.warmup_s)
+      .set("cfg.measure_s", config.measure_s)
+      .set("cfg.snapshot_interval_s", config.snapshot_interval_s)
+      .set("cfg.min_truth_attempts", config.min_truth_attempts)
+      .set("cfg.truth_tail_fraction", config.truth_tail_fraction)
+      .set("cfg.run_baselines", config.run_baselines)
+      .set("cfg.validate_decoded_hops", config.validate_decoded_hops)
+      .set("cfg.collect_attempt_stream", config.collect_attempt_stream)
+      .set("cfg.collect_epoch_series", config.collect_epoch_series);
+
+  const auto& faults = config.faults;
+  key.set("cfg.faults.enabled", faults.enabled)
+      .set("cfg.faults.seed", faults.seed)
+      .set("cfg.faults.start_s", faults.start_s)
+      .set("cfg.faults.horizon_s", faults.horizon_s)
+      .set("cfg.faults.node_crashes_per_hour", faults.node_crashes_per_hour)
+      .set("cfg.faults.crash_duration_s", faults.crash_duration_s)
+      .set("cfg.faults.sink_outages_per_hour", faults.sink_outages_per_hour)
+      .set("cfg.faults.sink_outage_duration_s", faults.sink_outage_duration_s)
+      .set("cfg.faults.link_blackouts_per_hour", faults.link_blackouts_per_hour)
+      .set("cfg.faults.blackout_duration_s", faults.blackout_duration_s)
+      .set("cfg.faults.clock_skews_per_hour", faults.clock_skews_per_hour)
+      .set("cfg.faults.clock_skew_max", faults.clock_skew_max)
+      .set("cfg.faults.report_corrupt_prob", faults.report_corrupt_prob)
+      .set("cfg.faults.report_truncate_prob", faults.report_truncate_prob)
+      .set("cfg.faults.report_drop_prob", faults.report_drop_prob);
+
+  key.set("cfg.check.enabled", config.check.enabled)
+      .set("cfg.check.strict_decode", config.check.strict_decode)
+      .set("cfg.check.max_violations",
+           static_cast<std::uint64_t>(config.check.max_violations))
+      .set("cfg.check.debug_retx_bias",
+           static_cast<std::int64_t>(config.check.debug_retx_bias));
+}
+
+ResultCache::ResultCache(std::string dir, std::string version_tag)
+    : dir_(std::move(dir)), version_tag_(std::move(version_tag)) {}
+
+std::string ResultCache::default_version_tag() {
+  return std::string(dophy::obs::git_describe()) + ";cache-format=" +
+         std::to_string(kCacheFormatVersion);
+}
+
+std::uint64_t ResultCache::key_of(const CanonicalKey& key) const {
+  return fnv1a64("version=" + version_tag_ + "\n", key.hash());
+}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  char name[24];
+  std::snprintf(name, sizeof name, "%016llx", static_cast<unsigned long long>(key));
+  return dir_ + "/" + name + ".json";
+}
+
+std::optional<CachedCell> ResultCache::load(const CanonicalKey& key) {
+  const auto path = entry_path(key_of(key));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    miss_counter().inc();
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto cell = parse_entry(buf.str(), key.canonical(), version_tag_);
+  if (!cell) {
+    ++stats_.misses;
+    ++stats_.corrupt;
+    miss_counter().inc();
+    corrupt_counter().inc();
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  hit_counter().inc();
+  return cell;
+}
+
+bool ResultCache::store(const CanonicalKey& key, const CachedCell& cell) {
+  if (!ensure_dir()) return false;
+  dophy::obs::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(std::int64_t{kCacheFormatVersion});
+  w.key("canonical").value(key.canonical());
+  w.key("version").value(version_tag_);
+  w.key("experiment").value(cell.experiment);
+  w.key("cell").value(cell.cell);
+  w.key("wall_seconds").value(cell.wall_seconds);
+  w.key("rows").begin_array();
+  for (const auto& row : cell.rows) {
+    w.begin_array();
+    for (const auto& value : row) w.value(value);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+
+  const auto path = entry_path(key_of(key));
+  const auto tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << w.str();
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  ++stats_.stores;
+  store_counter().inc();
+  return true;
+}
+
+bool ResultCache::ensure_dir() {
+  if (dir_ready_) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  dir_ready_ = !ec || std::filesystem::is_directory(dir_);
+  return dir_ready_;
+}
+
+}  // namespace dophy::eval

@@ -1,0 +1,151 @@
+#pragma once
+
+// Content-addressed result cache for the experiment sweep engine.
+//
+// Every grid cell of an experiment is identified by a *canonical key*: the
+// full set of behavior-affecting inputs (pipeline configuration, seed range,
+// trial count, experiment/cell identity) serialized as sorted `field=value`
+// lines, hashed with FNV-1a together with a code-version tag.  Completed
+// cells are stored as one JSON file per key under the cache directory, so
+// re-runs, interrupted sweeps (`--resume`) and sharded sweeps (`--shard`)
+// skip cells whose result already exists.  A changed config field, seed
+// range, trial count, or code version changes the key and therefore misses.
+//
+// The store is crash-safe (entries are written to a temp file and renamed
+// into place) and corruption-tolerant (an unparseable or mismatching entry
+// counts as a miss and the cell is recomputed).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dophy::tomo {
+struct PipelineConfig;
+}
+
+namespace dophy::eval {
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+/// FNV-1a 64-bit prime.
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Hashes `data` with 64-bit FNV-1a, continuing from `state` (pass the
+/// default to start a fresh hash; pass a previous result to chain).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t state = kFnvOffsetBasis) noexcept;
+
+/// Order-independent key builder.  Fields are serialized sorted by name, so
+/// the canonical form (and hash) is identical regardless of the order in
+/// which `set` was called — only the *content* addresses the cache.
+class CanonicalKey {
+ public:
+  /// Sets a string field; the last write to a name wins.
+  CanonicalKey& set(std::string_view field, std::string_view value);
+  /// Sets a string-literal field (disambiguates from the bool overload).
+  CanonicalKey& set(std::string_view field, const char* value) {
+    return set(field, std::string_view(value));
+  }
+  /// Sets a floating-point field (shortest round-trippable decimal form).
+  CanonicalKey& set(std::string_view field, double value);
+  /// Sets a boolean field (serialized as 0/1).
+  CanonicalKey& set(std::string_view field, bool value);
+  /// Sets an unsigned integer field.
+  CanonicalKey& set(std::string_view field, std::uint64_t value);
+  /// Sets a signed integer field.
+  CanonicalKey& set(std::string_view field, std::int64_t value);
+  /// Sets any other integer field via the fixed-width overloads.
+  CanonicalKey& set(std::string_view field, std::uint32_t value) {
+    return set(field, static_cast<std::uint64_t>(value));
+  }
+  /// Sets a size-typed field.
+  CanonicalKey& set(std::string_view field, int value) {
+    return set(field, static_cast<std::int64_t>(value));
+  }
+
+  /// Sorted `field=value` lines, one per field, `\n`-terminated.
+  [[nodiscard]] std::string canonical() const;
+
+  /// FNV-1a hash of `canonical()`.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Number of fields set so far.
+  [[nodiscard]] std::size_t field_count() const noexcept { return fields_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> fields_;
+};
+
+/// Serializes every behavior-affecting field of `config` into `key`
+/// (prefixed `cfg.`).  Any new PipelineConfig/NetworkConfig field that
+/// changes simulation results MUST be added here, or stale cache entries
+/// will be returned for configs that differ in that field.
+void canonicalize_into(const dophy::tomo::PipelineConfig& config, CanonicalKey& key);
+
+/// Cache traffic counters for one ResultCache instance.  The same events
+/// are also published as `eval.cache.*` metrics on the global registry.
+struct CacheStats {
+  std::uint64_t hits = 0;     ///< lookups answered from the store
+  std::uint64_t misses = 0;   ///< lookups with no (valid) entry
+  std::uint64_t stores = 0;   ///< entries written
+  std::uint64_t corrupt = 0;  ///< entries rejected as unparseable/mismatching
+};
+
+/// One cached grid-cell result: the table rows the cell contributed, plus
+/// bookkeeping for humans inspecting the store.
+struct CachedCell {
+  std::string experiment;                           ///< owning experiment id
+  std::string cell;                                 ///< cell label (axis point)
+  std::vector<std::vector<std::string>> rows;       ///< formatted table rows
+  double wall_seconds = 0.0;                        ///< compute cost when stored
+};
+
+/// Content-addressed store: one JSON file per key under `dir`.
+class ResultCache {
+ public:
+  /// Opens (and lazily creates) the store at `dir`.  `version_tag` is mixed
+  /// into every key so results never survive a code-version change; the
+  /// default tag derives from the build's `git describe`.
+  explicit ResultCache(std::string dir, std::string version_tag = default_version_tag());
+
+  /// The code-version tag new builds mix into keys (git describe + cache
+  /// format version).
+  [[nodiscard]] static std::string default_version_tag();
+
+  /// Final cache key for `key`: FNV-1a over its canonical form plus this
+  /// store's version tag.
+  [[nodiscard]] std::uint64_t key_of(const CanonicalKey& key) const;
+
+  /// Returns the stored cell for `key`, or nullopt on miss.  A present but
+  /// corrupt or mismatching entry counts as a miss (and bumps `corrupt`).
+  [[nodiscard]] std::optional<CachedCell> load(const CanonicalKey& key);
+
+  /// Writes `cell` under `key` (temp file + atomic rename).  Returns false
+  /// on I/O failure — the sweep continues, the cell just stays uncached.
+  bool store(const CanonicalKey& key, const CachedCell& cell);
+
+  /// Path of the entry file for `key` (exists only after a store).
+  [[nodiscard]] std::string entry_path(std::uint64_t key) const;
+
+  /// Traffic counters accumulated by this instance.
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Store directory as given at construction.
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Version tag as given at construction.
+  [[nodiscard]] const std::string& version_tag() const noexcept { return version_tag_; }
+
+ private:
+  [[nodiscard]] bool ensure_dir();
+
+  std::string dir_;
+  std::string version_tag_;
+  CacheStats stats_;
+  bool dir_ready_ = false;
+};
+
+}  // namespace dophy::eval

@@ -1,0 +1,97 @@
+#include "dophy/eval/experiment.hpp"
+
+#include <stdexcept>
+
+#include "dophy/common/thread_pool.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::eval {
+
+RowSet::RowRef& RowSet::RowRef::cell(const std::string& value) {
+  row_->push_back(value);
+  return *this;
+}
+
+RowSet::RowRef& RowSet::RowRef::cell(const char* value) {
+  row_->push_back(value);
+  return *this;
+}
+
+RowSet::RowRef& RowSet::RowRef::cell(double value, int precision) {
+  row_->push_back(dophy::common::format_double(value, precision));
+  return *this;
+}
+
+RowSet::RowRef RowSet::row() {
+  rows_.emplace_back();
+  return RowRef(rows_.back());
+}
+
+MultiTrialResult CellContext::run_trials(const dophy::tomo::PipelineConfig& base,
+                                         std::size_t trials, std::uint64_t base_seed,
+                                         bool keep_runs) const {
+  return dophy::eval::run_trials(base, trials, base_seed, keep_runs, trial_pool_);
+}
+
+ExperimentRegistry& ExperimentRegistry::builtin() {
+  static ExperimentRegistry registry = [] {
+    ExperimentRegistry r;
+    register_builtin_experiments(r);
+    return r;
+  }();
+  return registry;
+}
+
+void ExperimentRegistry::add(ExperimentSpec spec) {
+  if (spec.id.empty() || !spec.make_cells) {
+    throw std::invalid_argument("ExperimentRegistry::add: spec needs an id and make_cells");
+  }
+  for (const auto& existing : specs_) {
+    if (existing.id == spec.id || existing.output_stem == spec.output_stem) {
+      throw std::invalid_argument("ExperimentRegistry::add: duplicate experiment " +
+                                  spec.id);
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ExperimentSpec* ExperimentRegistry::find(std::string_view id_or_stem) const {
+  for (const auto& spec : specs_) {
+    if (spec.id == id_or_stem || spec.output_stem == id_or_stem) return &spec;
+  }
+  return nullptr;
+}
+
+void register_builtin_experiments(ExperimentRegistry& registry) {
+  experiments::register_f1_overhead_pathlen(registry);
+  experiments::register_f2_overhead_loss(registry);
+  experiments::register_f3_aggregation(registry);
+  experiments::register_f4_model_update(registry);
+  experiments::register_f5_accuracy_packets(registry);
+  experiments::register_f5b_convergence(registry);
+  experiments::register_f6_accuracy_dynamics(registry);
+  experiments::register_f7_accuracy_scale(registry);
+  experiments::register_f8_error_cdf(registry);
+  experiments::register_f9_faults(registry);
+  experiments::register_t1_summary(registry);
+  experiments::register_a1_estimator_ablation(registry);
+  experiments::register_a2_cost(registry);
+  experiments::register_a3_pathmode(registry);
+  experiments::register_a4_dissemination(registry);
+  experiments::register_a5_detection(registry);
+}
+
+CanonicalKey pipeline_cell_key(std::string_view experiment_id, std::string_view cell_label,
+                               const dophy::tomo::PipelineConfig& config,
+                               std::size_t trials, std::uint64_t base_seed) {
+  CanonicalKey key;
+  key.set("experiment", experiment_id)
+      .set("cell", cell_label)
+      .set("trials", static_cast<std::uint64_t>(trials))
+      .set("seed.base", base_seed);
+  canonicalize_into(config, key);
+  return key;
+}
+
+}  // namespace dophy::eval

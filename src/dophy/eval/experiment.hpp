@@ -1,0 +1,161 @@
+#pragma once
+
+// Declarative experiment registry.
+//
+// Every reproduced figure/table is an ExperimentSpec: an id, the paper claim
+// it tests, a grid of cells (one per sweep point, each a config mutation +
+// a compute function that renders its table rows), and the legacy output
+// naming.  Specs are registered in src/dophy/eval/experiments/*.cpp and
+// executed by the sweep engine (sweep.hpp) through the `dophy_bench` CLI —
+// this replaces the per-figure bench/fig_* binaries with one driver that
+// shares sharding, caching and report emission.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dophy/common/table.hpp"
+#include "dophy/eval/cache.hpp"
+#include "dophy/eval/runner.hpp"
+
+namespace dophy::common {
+class ThreadPool;
+}
+
+namespace dophy::eval {
+
+/// Resolved sweep-wide parameters handed to ExperimentSpec::make_cells.
+struct SweepContext {
+  std::size_t trials = 3;   ///< Monte-Carlo trials per cell
+  std::size_t nodes = 80;   ///< network size where applicable
+  bool quick = false;       ///< cut simulated durations ~4x for smoke runs
+};
+
+/// Rows a cell contributes to the experiment's table, built with the same
+/// formatting as dophy::common::Table so cached and fresh output are
+/// byte-identical.
+class RowSet {
+ public:
+  /// Fluent single-row builder appended to by `cell` calls.
+  class RowRef {
+   public:
+    /// Appends a preformatted cell.
+    RowRef& cell(const std::string& value);
+    /// Appends a string-literal cell.
+    RowRef& cell(const char* value);
+    /// Appends a fixed-precision floating-point cell.
+    RowRef& cell(double value, int precision = 4);
+    /// Appends an integer cell.
+    template <typename T>
+      requires std::integral<T>
+    RowRef& cell(T value) {
+      return cell(std::to_string(value));
+    }
+
+   private:
+    friend class RowSet;
+    explicit RowRef(std::vector<std::string>& row) : row_(&row) {}
+    std::vector<std::string>* row_;
+  };
+
+  /// Starts a new row.
+  RowRef row();
+
+  /// All rows built so far, in insertion order.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+  /// Moves the rows out (the RowSet is empty afterwards).
+  [[nodiscard]] std::vector<std::vector<std::string>> take_rows() {
+    return std::move(rows_);
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Execution-time services handed to a cell's compute function.
+class CellContext {
+ public:
+  /// Builds a context whose trial batches run on `trial_pool` (null = the
+  /// process-global pool).  The sweep engine passes the inline executor when
+  /// the cell itself already runs on a pool worker.
+  explicit CellContext(dophy::common::ThreadPool* trial_pool = nullptr)
+      : trial_pool_(trial_pool) {}
+
+  /// Monte-Carlo batch runner; same contract as eval::run_trials but routed
+  /// through this cell's trial pool.
+  [[nodiscard]] MultiTrialResult run_trials(const dophy::tomo::PipelineConfig& base,
+                                            std::size_t trials, std::uint64_t base_seed,
+                                            bool keep_runs = false) const;
+
+  /// Pool trial batches execute on (null = global pool).
+  [[nodiscard]] dophy::common::ThreadPool* trial_pool() const noexcept {
+    return trial_pool_;
+  }
+
+ private:
+  dophy::common::ThreadPool* trial_pool_;
+};
+
+/// One grid cell: a sweep point with its content-address and compute.
+struct Cell {
+  std::string label;   ///< axis point, e.g. "measure_s=1200"
+  CanonicalKey key;    ///< content-address material (config + seeds + identity)
+  std::function<RowSet(const CellContext&)> compute;  ///< renders the cell's rows
+};
+
+/// One declarative experiment (a reproduced figure/table).
+struct ExperimentSpec {
+  std::string id;           ///< stable id, e.g. "f5-accuracy-packets"
+  std::string figure;       ///< paper figure/table tag: F1..F9, T1, A1..A5
+  std::string claim;        ///< the abstract's claim (or ablation question)
+  std::string axes;         ///< human-readable sweep axes for the catalog
+  std::string title;        ///< table title (kept identical to the legacy binary)
+  std::string output_stem;  ///< legacy output basename, e.g. "fig_accuracy_packets"
+  std::size_t default_trials = 3;  ///< trials when the CLI gives no --trials
+  std::size_t default_nodes = 80;  ///< nodes when the CLI gives no --nodes
+  std::vector<std::string> columns;  ///< table header
+  std::string expected;     ///< "Expected shape" trailer printed after the table
+  /// Builds the sweep grid for the resolved context.  Must be cheap and
+  /// deterministic: it runs for `--list`, key computation and sharding.
+  std::function<std::vector<Cell>(const SweepContext&)> make_cells;
+};
+
+/// Keyed collection of ExperimentSpecs in registration order.
+class ExperimentRegistry {
+ public:
+  /// The process-wide registry with every built-in experiment registered.
+  [[nodiscard]] static ExperimentRegistry& builtin();
+
+  /// Registers `spec`; throws std::invalid_argument on a duplicate id or
+  /// output stem, or on a spec without make_cells.
+  void add(ExperimentSpec spec);
+
+  /// Finds a spec by id or by legacy output stem; null when absent.
+  [[nodiscard]] const ExperimentSpec* find(std::string_view id_or_stem) const;
+
+  /// Every spec in registration (catalog) order.
+  [[nodiscard]] const std::vector<ExperimentSpec>& all() const noexcept { return specs_; }
+
+  /// Number of registered specs.
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+ private:
+  std::vector<ExperimentSpec> specs_;
+};
+
+/// Registers the built-in F1–F9 / T1 / A1–A5 experiments into `registry`
+/// (used by ExperimentRegistry::builtin; callable directly in tests).
+void register_builtin_experiments(ExperimentRegistry& registry);
+
+/// Canonical key for a cell that runs pipeline trials: the full canonical
+/// config plus experiment/cell identity, trial count and seed range.
+[[nodiscard]] CanonicalKey pipeline_cell_key(std::string_view experiment_id,
+                                             std::string_view cell_label,
+                                             const dophy::tomo::PipelineConfig& config,
+                                             std::size_t trials, std::uint64_t base_seed);
+
+}  // namespace dophy::eval

@@ -1,0 +1,114 @@
+// A1 — Sink-estimator design ablation (DESIGN.md design-choice bench).
+//
+// Compares the cumulative censored-geometric MLE, the count-decay tracker at
+// two decay levels, and the Beta-prior Bayesian posterior mean, on a static
+// network and on a drifting one.  Shows why the library defaults to the
+// plain MLE for stationary links and decay ~0.85 for moving ones.
+
+#include <string>
+#include <vector>
+
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+struct Variant {
+  std::string label;
+  double decay;
+  double prior_a;
+  double prior_b;
+};
+
+const std::vector<Variant>& variants() {
+  static const std::vector<Variant> list = {
+      {"mle-cumulative", 1.0, 0.0, 0.0},
+      {"tracker-d0.85", 0.85, 0.0, 0.0},
+      {"tracker-d0.60", 0.60, 0.0, 0.0},
+      {"bayes-beta(2,0.4)", 1.0, 2.0, 0.4},
+      {"bayes+track-d0.85", 0.85, 2.0, 0.4},
+  };
+  return list;
+}
+
+dophy::tomo::PipelineConfig cell_config(std::size_t nodes, const Variant& v,
+                                        bool drifting, bool quick) {
+  auto cfg = dophy::eval::default_pipeline(nodes, 140);
+  if (drifting) {
+    // Re-randomizing link qualities plus RECENT-truth scoring: the fair
+    // target for a tracker is what the link does now, not the window
+    // average (which would structurally favor the cumulative MLE).
+    dophy::eval::add_dynamics(cfg, 600.0, 0.2);
+    cfg.truth_tail_fraction = 0.25;
+  }
+  cfg.dophy.tracker_decay = v.decay;
+  cfg.dophy.prior_successes = v.prior_a;
+  cfg.dophy.prior_failures = v.prior_b;
+  cfg.warmup_s = quick ? 150.0 : 300.0;
+  cfg.measure_s = quick ? 900.0 : 2400.0;
+  cfg.run_baselines = false;
+  return cfg;
+}
+
+}  // namespace
+
+void register_a1_estimator_ablation(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "a1-estimator-ablation";
+  spec.figure = "A1";
+  spec.claim =
+      "Ablation: cumulative MLE wins on stationary links, decay ~0.85 tracks "
+      "moving ones, the Beta prior tightens thin links";
+  spec.axes = "estimator variant x {static, drifting}";
+  spec.title = "A1: sink estimator variants, static vs drifting links";
+  spec.output_stem = "fig_estimator_ablation";
+  spec.columns = {"estimator", "static_mae", "static_p90", "drift_mae",
+                  "drift_p90", "drift_spearman"};
+  spec.expected =
+      "\nExpected shape: the cumulative MLE wins on static links (uses all\n"
+      "data) but anchors to stale history when link qualities re-randomize\n"
+      "and truth is scored on the recent window; moderate decay trades a\n"
+      "little static accuracy for tracking; the Beta prior mainly tightens\n"
+      "thin links (tail/p90).\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (std::size_t i = 0; i < variants().size(); ++i) {
+      const auto& grid_variant = variants()[i];
+      Cell cell;
+      cell.label = "estimator=" + grid_variant.label;
+      // The cell runs two pipelines (static and drifting); the drifting
+      // config is folded into the key as a nested canonical hash.
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   cell_config(ctx.nodes, grid_variant, false, ctx.quick),
+                                   ctx.trials, /*base_seed=*/1400);
+      CanonicalKey drift_key;
+      canonicalize_into(cell_config(ctx.nodes, grid_variant, true, ctx.quick), drift_key);
+      cell.key.set("drift.canonical_hash", drift_key.hash());
+      cell.compute = [nodes = ctx.nodes, i, quick = ctx.quick,
+                      trials = ctx.trials](const CellContext& cc) {
+        const auto& v = variants()[i];
+        const auto st =
+            cc.run_trials(cell_config(nodes, v, false, quick), trials, 1400);
+        const auto dr =
+            cc.run_trials(cell_config(nodes, v, true, quick), trials, 1400);
+        RowSet rows;
+        rows.row()
+            .cell(v.label)
+            .cell(st.method("dophy").mae.mean(), 4)
+            .cell(st.method("dophy").p90_abs.mean(), 4)
+            .cell(dr.method("dophy").mae.mean(), 4)
+            .cell(dr.method("dophy").p90_abs.mean(), 4)
+            .cell(dr.method("dophy").spearman.mean(), 3);
+        return rows;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

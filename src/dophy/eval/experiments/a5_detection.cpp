@@ -6,22 +6,26 @@
 // the midpoint between old and new loss).  Swept over the tracker's epoch
 // decay to show the responsiveness/steady-noise trade-off.
 
-#include <iostream>
+#include <algorithm>
+#include <memory>
+#include <vector>
 
-#include "bench_util.hpp"
 #include "dophy/common/stats.hpp"
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
 #include "dophy/eval/scenario.hpp"
 #include "dophy/net/network.hpp"
 #include "dophy/tomo/dophy_decoder.hpp"
 #include "dophy/tomo/dophy_encoder.hpp"
 #include "dophy/tomo/link_inference.hpp"
 
-using dophy::net::kSinkId;
-using dophy::net::LinkKey;
-using dophy::net::NodeId;
-using dophy::net::SimTime;
+namespace dophy::eval::experiments {
 
 namespace {
+
+using dophy::net::kSinkId;
+using dophy::net::LinkKey;
+using dophy::net::SimTime;
 
 constexpr double kDegradeAt = 900.0;   // seconds (after warm-up)
 constexpr double kDegradedLoss = 0.5;
@@ -88,40 +92,73 @@ TrialResult run_trial(std::size_t nodes, std::uint64_t seed, double decay) {
   return result;
 }
 
+RowSet compute_cell(std::size_t nodes, double decay, std::size_t trials) {
+  dophy::common::RunningStats latency, before;
+  std::vector<double> latencies;
+  int detected = 0, attempted = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto r = run_trial(nodes, 180 + t, decay);
+    ++attempted;
+    if (!r.ok) continue;
+    ++detected;
+    latency.add(r.latency_s);
+    latencies.push_back(r.latency_s);
+    before.add(r.before);
+  }
+  RowSet rows;
+  rows.row()
+      .cell(decay, 2)
+      .cell(latency.count() ? latency.mean() : -1.0, 1)
+      .cell(latencies.size() ? dophy::common::quantile(latencies, 0.9) : -1.0, 1)
+      .cell(before.mean(), 3)
+      .cell(100.0 * detected / std::max(1, attempted), 0);
+  return rows;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto args = dophy::bench::BenchArgs::parse(argc, argv, /*trials=*/5, /*nodes=*/60);
-
-  dophy::common::Table table({"tracker_decay", "detect_latency_s_mean", "p90_s",
-                              "pre_change_loss", "detected_pct"});
-  for (const double decay : {1.0, 0.85, 0.6, 0.4}) {
-    dophy::common::RunningStats latency, before;
-    std::vector<double> latencies;
-    int detected = 0, attempted = 0;
-    for (std::size_t t = 0; t < args.trials; ++t) {
-      const auto r = run_trial(args.nodes, 180 + t, decay);
-      ++attempted;
-      if (!r.ok) continue;
-      ++detected;
-      latency.add(r.latency_s);
-      latencies.push_back(r.latency_s);
-      before.add(r.before);
+void register_a5_detection(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "a5-detection";
+  spec.figure = "A5";
+  spec.claim =
+      "Fine-grained is also timely: stronger tracker decay detects a scripted "
+      "link degradation within a few epochs";
+  spec.axes = "tracker_decay in {1.0, 0.85, 0.6, 0.4}";
+  spec.title = "A5: link-degradation detection latency vs tracker decay";
+  spec.output_stem = "fig_detection";
+  spec.default_trials = 5;
+  spec.default_nodes = 60;
+  spec.columns = {"tracker_decay", "detect_latency_s_mean", "p90_s",
+                  "pre_change_loss", "detected_pct"};
+  spec.expected =
+      "\nExpected shape: the cumulative estimator (decay 1.0) is slowest and\n"
+      "may miss entirely — old evidence anchors it, and once routing switches\n"
+      "away from the degraded link the sample stream dries up (you cannot\n"
+      "measure a link you stopped using — a fundamental limit of passive\n"
+      "retransmission-based tomography).  Stronger decay detects within a few\n"
+      "epochs, at the cost of noisier steady-state estimates (see A1).\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (const double decay : {1.0, 0.85, 0.6, 0.4}) {
+      Cell cell;
+      cell.label = "tracker_decay=" + dophy::common::format_double(decay, 2);
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   dophy::eval::default_pipeline(ctx.nodes, 180),
+                                   ctx.trials, /*base_seed=*/180);
+      cell.key.set("seed.formula", "180+trial")
+          .set("tracker_decay", decay)
+          .set("degrade_at_s", kDegradeAt)
+          .set("degraded_loss", kDegradedLoss)
+          .set("epoch_s", kEpoch);
+      cell.compute = [nodes = ctx.nodes, decay, trials = ctx.trials](const CellContext&) {
+        return compute_cell(nodes, decay, trials);
+      };
+      cells.push_back(std::move(cell));
     }
-    table.row()
-        .cell(decay, 2)
-        .cell(latency.count() ? latency.mean() : -1.0, 1)
-        .cell(latencies.size() ? dophy::common::quantile(latencies, 0.9) : -1.0, 1)
-        .cell(before.mean(), 3)
-        .cell(100.0 * detected / std::max(1, attempted), 0);
-  }
-
-  dophy::bench::emit(table, args, "A5: link-degradation detection latency vs tracker decay");
-  std::cout << "\nExpected shape: the cumulative estimator (decay 1.0) is slowest and\n"
-               "may miss entirely — old evidence anchors it, and once routing switches\n"
-               "away from the degraded link the sample stream dries up (you cannot\n"
-               "measure a link you stopped using — a fundamental limit of passive\n"
-               "retransmission-based tomography).  Stronger decay detects within a few\n"
-               "epochs, at the cost of noisier steady-state estimates (see A1).\n";
-  return 0;
+    return cells;
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace dophy::eval::experiments

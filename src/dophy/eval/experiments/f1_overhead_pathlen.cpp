@@ -1,0 +1,141 @@
+// F1 — Encoding overhead vs. path length.
+//
+// Claim (abstract): "Dophy employs arithmetic encoding to compactly encode
+// the number of retransmissions along the paths ... reducing the encoding
+// overhead significantly."
+//
+// Setup: synthetic multi-hop paths whose per-hop transmission counts are
+// Geometric in heterogeneous per-link losses (drawn from the same
+// distance-curve regime the simulator produces).  Each scheme encodes the
+// per-packet count sequence (aggregated at K=4); node ids cost the same for
+// every scheme and are excluded.  Reported: mean measurement bytes/packet.
+
+#include <algorithm>
+#include <vector>
+
+#include "dophy/coding/codec.hpp"
+#include "dophy/common/rng.hpp"
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+using dophy::common::Rng;
+
+constexpr std::uint32_t kCensorK = 4;
+constexpr std::uint32_t kMaxAttempts = 8;
+
+/// Per-hop losses for a path: mixture of mostly-good and some bad links.
+std::vector<double> draw_path_losses(Rng& rng, std::size_t hops) {
+  std::vector<double> losses(hops);
+  for (auto& p : losses) {
+    p = rng.bernoulli(0.25) ? rng.uniform(0.2, 0.5) : rng.uniform(0.02, 0.15);
+  }
+  return losses;
+}
+
+std::vector<std::uint32_t> draw_packet_symbols(Rng& rng, const std::vector<double>& losses,
+                                               const dophy::tomo::SymbolMapper& mapper) {
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(losses.size());
+  for (const double p : losses) {
+    const std::uint32_t attempts = std::min(rng.geometric_trials(1.0 - p), kMaxAttempts);
+    symbols.push_back(mapper.to_symbol(attempts));
+  }
+  return symbols;
+}
+
+RowSet compute_cell(std::size_t hops, std::size_t trials, std::size_t packets) {
+  const dophy::tomo::SymbolMapper mapper(kCensorK);
+  dophy::common::RunningStats raw8, fixed2, gamma, rice0, huffman, arith, entropy;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(1000 + trial * 77 + hops);
+    // Train Huffman/arithmetic on a training corpus from the same regime.
+    std::vector<std::uint64_t> counts(kCensorK, 0);
+    for (int i = 0; i < 5000; ++i) {
+      const auto losses = draw_path_losses(rng, hops);
+      for (const auto s : draw_packet_symbols(rng, losses, mapper)) ++counts[s];
+    }
+    auto huffman_codec = dophy::coding::make_huffman_codec(counts);
+    auto arith_codec = dophy::coding::make_static_arith_codec(counts);
+    auto fixed_codec = dophy::coding::make_fixed_width_codec(kCensorK);
+    auto gamma_codec = dophy::coding::make_elias_gamma_codec();
+    auto rice_codec = dophy::coding::make_rice_codec(0);
+    const double h_bits = dophy::common::entropy_bits(counts);
+
+    std::vector<std::uint8_t> buf;
+    for (std::size_t pkt = 0; pkt < packets; ++pkt) {
+      const auto losses = draw_path_losses(rng, hops);
+      const auto symbols = draw_packet_symbols(rng, losses, mapper);
+      raw8.add(static_cast<double>(symbols.size()));  // 1 byte/hop baseline
+      fixed2.add(static_cast<double>(fixed_codec->encode(symbols, buf)) / 8.0);
+      gamma.add(static_cast<double>(gamma_codec->encode(symbols, buf)) / 8.0);
+      rice0.add(static_cast<double>(rice_codec->encode(symbols, buf)) / 8.0);
+      huffman.add(static_cast<double>(huffman_codec->encode(symbols, buf)) / 8.0);
+      arith.add(static_cast<double>(arith_codec->encode(symbols, buf)) / 8.0);
+      entropy.add(h_bits * static_cast<double>(hops) / 8.0);
+    }
+  }
+  RowSet rows;
+  rows.row()
+      .cell(hops)
+      .cell(raw8.mean(), 3)
+      .cell(fixed2.mean(), 3)
+      .cell(gamma.mean(), 3)
+      .cell(rice0.mean(), 3)
+      .cell(huffman.mean(), 3)
+      .cell(arith.mean(), 3)
+      .cell(entropy.mean(), 3);
+  return rows;
+}
+
+}  // namespace
+
+void register_f1_overhead_pathlen(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "f1-overhead-pathlen";
+  spec.figure = "F1";
+  spec.claim =
+      "Arithmetic encoding compactly encodes per-path retransmission counts, "
+      "reducing the encoding overhead significantly";
+  spec.axes = "path_len in {1,2,4,6,8,10,12}";
+  spec.title = "F1: measurement bytes/packet vs path length (retx counts, K=4)";
+  spec.output_stem = "fig_overhead_pathlen";
+  spec.default_trials = 5;
+  spec.default_nodes = 100;
+  spec.columns = {"path_len", "raw8bit_B", "fixed2bit_B", "gamma_B",
+                  "rice0_B",  "huffman_B", "dophy_arith_B", "entropy_B"};
+  spec.expected =
+      "\nExpected shape: dophy_arith tracks the entropy bound and undercuts\n"
+      "every prefix code; the gap widens with path length because arithmetic\n"
+      "coding amortizes sub-bit symbols while Huffman/Rice pay >= 1 bit/hop.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    const std::size_t packets = ctx.quick ? 2000 : 10000;
+    std::vector<Cell> cells;
+    for (const std::size_t hops : {1u, 2u, 4u, 6u, 8u, 10u, 12u}) {
+      Cell cell;
+      cell.label = "path_len=" + std::to_string(hops);
+      cell.key.set("experiment", id)
+          .set("cell", cell.label)
+          .set("trials", static_cast<std::uint64_t>(ctx.trials))
+          .set("packets", static_cast<std::uint64_t>(packets))
+          .set("hops", static_cast<std::uint64_t>(hops))
+          .set("censor_k", kCensorK)
+          .set("max_attempts", kMaxAttempts)
+          .set("seed.formula", "1000+trial*77+hops")
+          .set("training_paths", std::uint64_t{5000});
+      cell.compute = [hops, trials = ctx.trials, packets](const CellContext&) {
+        return compute_cell(hops, trials, packets);
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

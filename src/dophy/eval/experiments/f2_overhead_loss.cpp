@@ -1,0 +1,124 @@
+// F2 — Encoding overhead vs. network loss level.
+//
+// Setup: full simulation pipelines with the distance-derived link losses
+// scaled by a sweep factor.  As links get lossier, retransmission counts
+// spread out, the symbol distribution flattens, and every scheme pays more —
+// but Dophy's trained arithmetic model pays the least.  Offline codecs are
+// evaluated on the *actual* per-hop attempt streams harvested from the
+// simulation ground truth, so all schemes see identical data.
+
+#include <vector>
+
+#include "dophy/coding/codec.hpp"
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/pipeline.hpp"
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+dophy::tomo::PipelineConfig cell_config(std::size_t nodes, double scale, bool quick,
+                                        std::uint64_t seed) {
+  auto cfg = dophy::eval::default_pipeline(nodes, seed);
+  cfg.net.loss.loss_scale = scale;
+  cfg.warmup_s = quick ? 150.0 : 300.0;
+  cfg.measure_s = quick ? 450.0 : 1200.0;
+  cfg.run_baselines = false;
+  cfg.collect_attempt_stream = true;
+  return cfg;
+}
+
+RowSet compute_cell(std::size_t nodes, double scale, bool quick, std::size_t trials) {
+  dophy::common::RunningStats link_loss, attempts_mean, dophy_retx_bph, dophy_id_bph,
+      huffman_bph, rice_bph, fixed_bph, dophy_bpp;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto cfg = cell_config(nodes, scale, quick, 40 + trial);
+    const auto result = dophy::tomo::run_pipeline(cfg);
+
+    dophy_retx_bph.add(result.encoder_stats.mean_retx_bits_per_hop());
+    dophy_id_bph.add(result.encoder_stats.mean_id_bits_per_hop());
+    dophy_bpp.add(result.mean_bits_per_packet / 8.0);
+    for (const auto& s : result.method("dophy").scores) link_loss.add(s.truth);
+
+    // Re-encode the genuine per-hop attempt stream with the alternatives.
+    const dophy::tomo::SymbolMapper mapper(cfg.dophy.censor_threshold);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(result.attempt_stream.size());
+    for (const auto attempts : result.attempt_stream) {
+      symbols.push_back(mapper.to_symbol(attempts));
+      attempts_mean.add(attempts);
+    }
+    if (symbols.empty()) continue;
+    std::vector<std::uint64_t> counts(mapper.alphabet_size(), 0);
+    for (const auto s : symbols) ++counts[s];
+    std::vector<std::uint8_t> buf;
+    const double n = static_cast<double>(symbols.size());
+    huffman_bph.add(static_cast<double>(
+                        dophy::coding::make_huffman_codec(counts)->encode(symbols, buf)) /
+                    n);
+    rice_bph.add(
+        static_cast<double>(dophy::coding::make_rice_codec(0)->encode(symbols, buf)) / n);
+    fixed_bph.add(static_cast<double>(
+                      dophy::coding::make_fixed_width_codec(8)->encode(symbols, buf)) /
+                  n);
+  }
+  RowSet rows;
+  rows.row()
+      .cell(scale, 2)
+      .cell(link_loss.mean(), 3)
+      .cell(attempts_mean.mean(), 3)
+      .cell(dophy_retx_bph.mean(), 2)
+      .cell(huffman_bph.mean(), 2)
+      .cell(rice_bph.mean(), 2)
+      .cell(fixed_bph.mean(), 2)
+      .cell(dophy_id_bph.mean(), 2)
+      .cell(dophy_bpp.mean(), 2);
+  return rows;
+}
+
+}  // namespace
+
+void register_f2_overhead_loss(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "f2-overhead-loss";
+  spec.figure = "F2";
+  spec.claim =
+      "Dophy's trained arithmetic model pays the least as links get lossier "
+      "and the symbol distribution flattens";
+  spec.axes = "loss_scale in {0.25,0.5,1,1.5,2,3}";
+  spec.title = "F2: encoding overhead vs network loss level";
+  spec.output_stem = "fig_overhead_loss";
+  spec.columns = {"loss_scale", "mean_link_loss", "mean_attempts",
+                  "dophy_count_bits", "huffman_count_bits", "rice0_count_bits",
+                  "fixed3bit_count_bits", "dophy_id_bits", "dophy_bytes_per_pkt"};
+  spec.expected =
+      "\nExpected shape: per-hop count-coding cost grows with loss for every\n"
+      "scheme (counts spread out); dophy's arithmetic coding stays below the\n"
+      ">= 1 bit/hop floor the prefix codes pay on clean networks, and the gap\n"
+      "narrows only as the network becomes very lossy.  (dophy_id_bits is the\n"
+      "path-recording cost the other schemes would also have to pay.)\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (const double scale : {0.25, 0.5, 1.0, 1.5, 2.0, 3.0}) {
+      Cell cell;
+      cell.label = "loss_scale=" + dophy::common::format_double(scale, 2);
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   cell_config(ctx.nodes, scale, ctx.quick, 40),
+                                   ctx.trials, /*base_seed=*/40);
+      cell.key.set("seed.formula", "40+trial");
+      cell.compute = [nodes = ctx.nodes, scale, quick = ctx.quick,
+                      trials = ctx.trials](const CellContext&) {
+        return compute_cell(nodes, scale, quick, trials);
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

@@ -1,0 +1,107 @@
+// F4 — Probability-model update-policy ablation.
+//
+// Claim (abstract): "Dophy periodically updates the probability model to
+// minimize the overall transmission overhead."
+//
+// A drifting network shifts the symbol distribution over time.  We compare:
+// never updating (bootstrap model forever), periodic updates at several
+// cadences, and the KL-triggered adaptive policy.  "Total overhead" counts
+// both the measurement bytes carried in data packets over the air and the
+// bytes flooded to disseminate models.
+
+#include <string>
+#include <vector>
+
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+struct Policy {
+  std::string label;
+  dophy::tomo::ModelUpdateConfig::Policy policy;
+  double interval_s;
+};
+
+const std::vector<Policy>& policies() {
+  static const std::vector<Policy> list = {
+      {"static(never)", dophy::tomo::ModelUpdateConfig::Policy::kStatic, 120.0},
+      {"periodic-60s", dophy::tomo::ModelUpdateConfig::Policy::kPeriodic, 60.0},
+      {"periodic-240s", dophy::tomo::ModelUpdateConfig::Policy::kPeriodic, 240.0},
+      {"periodic-960s", dophy::tomo::ModelUpdateConfig::Policy::kPeriodic, 960.0},
+      {"adaptive-kl", dophy::tomo::ModelUpdateConfig::Policy::kAdaptive, 120.0},
+  };
+  return list;
+}
+
+dophy::tomo::PipelineConfig cell_config(std::size_t nodes, const Policy& policy,
+                                        bool quick) {
+  auto cfg = dophy::eval::default_pipeline(nodes, 70);
+  dophy::eval::make_drifting(cfg, 0.08, 900.0);
+  cfg.net.traffic.data_interval_s = 5.0;  // busier network: updates matter
+  cfg.dophy.update.policy = policy.policy;
+  cfg.dophy.update.check_interval_s = policy.interval_s;
+  cfg.warmup_s = quick ? 150.0 : 300.0;
+  cfg.measure_s = quick ? 900.0 : 3600.0;
+  cfg.run_baselines = false;
+  return cfg;
+}
+
+}  // namespace
+
+void register_f4_model_update(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "f4-model-update";
+  spec.figure = "F4";
+  spec.claim =
+      "Periodically updating the probability model minimizes the overall "
+      "transmission overhead under drift";
+  spec.axes = "update policy in {static, periodic-60s/240s/960s, adaptive-kl}";
+  spec.title = "F4: model-update policy vs total transmission overhead";
+  spec.output_stem = "fig_model_update";
+  spec.columns = {"policy", "updates", "bits_per_hop", "data_overhead_kb",
+                  "flood_kb", "total_kb", "mae"};
+  spec.expected =
+      "\nExpected shape: never updating leaves bits/hop at the bootstrap-model\n"
+      "ceiling; very frequent updates buy little extra coding efficiency but\n"
+      "pay a growing flood bill; the adaptive policy lands near the best total\n"
+      "overhead without hand-tuning the period.  MAE is identical by design:\n"
+      "decoding is exact under every model, so updates trade overhead only.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (std::size_t i = 0; i < policies().size(); ++i) {
+      const auto& grid_policy = policies()[i];
+      Cell cell;
+      cell.label = "policy=" + grid_policy.label;
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   cell_config(ctx.nodes, grid_policy, ctx.quick),
+                                   ctx.trials, /*base_seed=*/700);
+      cell.compute = [nodes = ctx.nodes, i, quick = ctx.quick,
+                      trials = ctx.trials](const CellContext& cc) {
+        const auto& policy = policies()[i];
+        const auto cfg = cell_config(nodes, policy, quick);
+        const auto agg = cc.run_trials(cfg, trials, 700);
+        const double data_kb = agg.measurement_air_kb.mean();
+        const double flood_kb = agg.control_flood_kb.mean();
+        RowSet rows;
+        rows.row()
+            .cell(policy.label)
+            .cell(agg.model_updates.mean(), 1)
+            .cell(agg.bits_per_hop.mean(), 2)
+            .cell(data_kb, 1)
+            .cell(flood_kb, 1)
+            .cell(data_kb + flood_kb, 1)
+            .cell(agg.method("dophy").mae.mean(), 4);
+        return rows;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

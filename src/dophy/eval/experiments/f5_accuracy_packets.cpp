@@ -1,0 +1,80 @@
+// F5 — Estimation accuracy vs. number of collected packets.
+//
+// Claim (abstract): "Dophy achieves ... high estimation accuracy."
+//
+// The measurement window is swept so the sink decodes progressively more
+// packets; per-link MAE for every method is reported against the packets
+// actually measured.  Dophy's error falls like a parametric estimator
+// (each hop is a full geometric observation); the end-to-end baselines
+// starve because ARQ leaves almost no signal in delivery outcomes.
+
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/report.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+dophy::tomo::PipelineConfig cell_config(std::size_t nodes, double measure_s, bool quick) {
+  auto cfg = dophy::eval::default_pipeline(nodes, 80);
+  cfg.warmup_s = 300.0;
+  cfg.measure_s = quick ? measure_s / 4.0 : measure_s;
+  return cfg;
+}
+
+}  // namespace
+
+void register_f5_accuracy_packets(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "f5-accuracy-packets";
+  spec.figure = "F5";
+  spec.claim = "Dophy achieves high estimation accuracy from few collected packets";
+  spec.axes = "measure_s in {300,600,1200,2400,4800}";
+  spec.title = "F5: per-link MAE vs collected packets";
+  spec.output_stem = "fig_accuracy_packets";
+  spec.columns = {"measure_s", "packets", "dophy_mae", "delivery_ratio_mae",
+                  "nnls_mae", "em_mae", "dophy_spearman", "em_spearman"};
+  spec.expected =
+      "\nExpected shape: dophy's MAE shrinks steadily with more packets\n"
+      "(roughly 1/sqrt(n) per link) and sits ~10x below every baseline at\n"
+      "every budget; baselines barely improve because end-to-end outcomes\n"
+      "carry almost no per-attempt information under ARQ.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (const double measure_s : {300.0, 600.0, 1200.0, 2400.0, 4800.0}) {
+      Cell cell;
+      cell.label = "measure_s=" + dophy::common::format_double(measure_s, 0);
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   cell_config(ctx.nodes, measure_s, ctx.quick),
+                                   ctx.trials, /*base_seed=*/800);
+      cell.compute = [nodes = ctx.nodes, measure_s, quick = ctx.quick,
+                      trials = ctx.trials](const CellContext& cc) {
+        const auto cfg = cell_config(nodes, measure_s, quick);
+        const auto agg = cc.run_trials(cfg, trials, 800, /*keep_runs=*/true);
+        dophy::common::RunningStats packets;
+        for (const auto& run : agg.runs) {
+          packets.add(static_cast<double>(run.packets_measured));
+        }
+        RowSet rows;
+        rows.row()
+            .cell(cfg.measure_s, 0)
+            .cell(packets.mean(), 0)
+            .cell(agg.method("dophy").mae.mean(), 4)
+            .cell(agg.method("delivery-ratio").mae.mean(), 4)
+            .cell(agg.method("nnls").mae.mean(), 4)
+            .cell(agg.method("em").mae.mean(), 4)
+            .cell(agg.method("dophy").spearman.mean(), 3)
+            .cell(agg.method("em").spearman.mean(), 3);
+        return rows;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

@@ -1,0 +1,108 @@
+// F6 — THE headline comparison: accuracy vs. routing dynamics.
+//
+// Claim (abstract): "Comparative studies show that Dophy significantly
+// outperforms traditional loss tomography approaches in terms of accuracy"
+// — in dynamic WSNs "where each node dynamically selects the forwarding
+// nodes towards the sink".
+//
+// Link qualities re-randomize with increasing intensity, driving parent
+// churn from near-zero to many changes per node-hour.  Dophy decodes the
+// exact per-packet path, so churn barely touches it; the baselines' snapshot
+// paths go stale and their error climbs.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+struct Level {
+  std::string label;
+  double interval_s;  // 0 = static
+  double spread;
+};
+
+const std::vector<Level>& levels() {
+  static const std::vector<Level> list = {
+      {"static", 0.0, 0.0},        {"mild", 600.0, 0.08},  {"moderate", 300.0, 0.12},
+      {"high", 150.0, 0.18},       {"extreme", 60.0, 0.25},
+  };
+  return list;
+}
+
+dophy::tomo::PipelineConfig cell_config(std::size_t nodes, const Level& level,
+                                        bool quick) {
+  auto cfg = dophy::eval::default_pipeline(nodes, 90);
+  if (level.interval_s > 0.0) {
+    dophy::eval::add_dynamics(cfg, level.interval_s, level.spread);
+    cfg.dophy.tracker_decay = 0.85;  // track moving link qualities
+  }
+  cfg.warmup_s = quick ? 150.0 : 300.0;
+  cfg.measure_s = quick ? 900.0 : 3600.0;
+  return cfg;
+}
+
+}  // namespace
+
+void register_f6_accuracy_dynamics(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "f6-accuracy-dynamics";
+  spec.figure = "F6";
+  spec.claim =
+      "Dophy significantly outperforms traditional loss tomography approaches "
+      "in accuracy when nodes dynamically select forwarding nodes";
+  spec.axes = "dynamics in {static, mild, moderate, high, extreme}";
+  spec.title = "F6: accuracy vs routing dynamics (headline comparison)";
+  spec.output_stem = "fig_accuracy_dynamics";
+  spec.columns = {"dynamics", "parent_chg_per_node_h", "dophy_mae",
+                  "delivery_ratio_mae", "nnls_mae", "em_mae",
+                  "dophy_spearman", "best_baseline_spearman"};
+  spec.expected =
+      "\nExpected shape: dophy stays flat and accurate across the whole sweep\n"
+      "(it never assumes a path); every traditional method is already poor on\n"
+      "the static network (ARQ masks loss from end-to-end outcomes) and\n"
+      "degrades further as parent churn invalidates its snapshot paths.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (std::size_t i = 0; i < levels().size(); ++i) {
+      const auto& grid_level = levels()[i];
+      Cell cell;
+      cell.label = "dynamics=" + grid_level.label;
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   cell_config(ctx.nodes, grid_level, ctx.quick),
+                                   ctx.trials, /*base_seed=*/900);
+      cell.compute = [nodes = ctx.nodes, i, quick = ctx.quick,
+                      trials = ctx.trials](const CellContext& cc) {
+        const auto& level = levels()[i];
+        const auto cfg = cell_config(nodes, level, quick);
+        const auto agg = cc.run_trials(cfg, trials, 900);
+        const double best_baseline_rho =
+            std::max({agg.method("delivery-ratio").spearman.mean(),
+                      agg.method("nnls").spearman.mean(),
+                      agg.method("em").spearman.mean()});
+        RowSet rows;
+        rows.row()
+            .cell(level.label)
+            .cell(agg.parent_changes_per_node_hour.mean(), 2)
+            .cell(agg.method("dophy").mae.mean(), 4)
+            .cell(agg.method("delivery-ratio").mae.mean(), 4)
+            .cell(agg.method("nnls").mae.mean(), 4)
+            .cell(agg.method("em").mae.mean(), 4)
+            .cell(agg.method("dophy").spearman.mean(), 3)
+            .cell(best_baseline_rho, 3);
+        return rows;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

@@ -1,0 +1,88 @@
+// F8 — CDF of per-link absolute estimation error.
+//
+// One moderately dynamic scenario; all four estimators' per-link absolute
+// errors are pooled across trials and tabulated at fixed CDF levels.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/metrics.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+dophy::tomo::PipelineConfig cell_config(std::size_t nodes, bool quick) {
+  auto cfg = dophy::eval::default_pipeline(nodes, 120);
+  dophy::eval::add_dynamics(cfg, 300.0, 0.12);
+  cfg.dophy.tracker_decay = 0.85;
+  cfg.warmup_s = quick ? 150.0 : 300.0;
+  cfg.measure_s = quick ? 900.0 : 3600.0;
+  return cfg;
+}
+
+}  // namespace
+
+void register_f8_error_cdf(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "f8-error-cdf";
+  spec.figure = "F8";
+  spec.claim =
+      "Fine-grained per-hop counts improve worst-case links too: dophy's "
+      "error distribution leads across all quantiles";
+  spec.axes = "CDF levels {0.1,0.25,0.5,0.75,0.9,0.95,0.99} on one scenario";
+  spec.title = "F8: abs-error CDF quantiles per method (dynamic, 80 nodes)";
+  spec.output_stem = "fig_error_cdf";
+  spec.columns = {"cdf_level", "dophy", "delivery-ratio", "nnls", "em"};
+  spec.expected =
+      "\nExpected shape: dophy's error curve is an order of magnitude to the\n"
+      "left of every baseline across the entire distribution, not just at the\n"
+      "median — fine-grained per-hop counts help worst-case links too.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    Cell cell;
+    cell.label = "all";
+    cell.key = pipeline_cell_key(id, cell.label, cell_config(ctx.nodes, ctx.quick),
+                                 ctx.trials, /*base_seed=*/1200);
+    cell.compute = [nodes = ctx.nodes, quick = ctx.quick,
+                    trials = ctx.trials](const CellContext& cc) {
+      const auto cfg = cell_config(nodes, quick);
+      const auto agg = cc.run_trials(cfg, trials, 1200, /*keep_runs=*/true);
+
+      std::map<std::string, std::vector<double>> errors;
+      for (const auto& run : agg.runs) {
+        for (const auto& method : run.methods) {
+          const auto errs = dophy::tomo::abs_errors(method.scores);
+          auto& pool = errors[method.name];
+          pool.insert(pool.end(), errs.begin(), errs.end());
+        }
+      }
+
+      RowSet rows;
+      for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+        auto row_cell = [&](const std::string& name) {
+          const auto it = errors.find(name);
+          return (it == errors.end() || it->second.empty())
+                     ? std::string("-")
+                     : dophy::common::format_double(
+                           dophy::common::quantile(it->second, q), 4);
+        };
+        rows.row()
+            .cell(q, 2)
+            .cell(row_cell("dophy"))
+            .cell(row_cell("delivery-ratio"))
+            .cell(row_cell("nnls"))
+            .cell(row_cell("em"));
+      }
+      return rows;
+    };
+    return std::vector<Cell>{std::move(cell)};
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

@@ -1,0 +1,48 @@
+#pragma once
+
+// Internal: one registrar per built-in experiment, implemented in the
+// sibling .cpp files and called (in catalog order) by
+// eval::register_builtin_experiments.  Explicit calls instead of
+// static-initializer self-registration: static libraries drop unreferenced
+// translation units, and the catalog order must be deterministic.
+
+namespace dophy::eval {
+class ExperimentRegistry;
+}
+
+namespace dophy::eval::experiments {
+
+/// Registers F1 (encoding overhead vs path length).
+void register_f1_overhead_pathlen(ExperimentRegistry& registry);
+/// Registers F2 (encoding overhead vs network loss level).
+void register_f2_overhead_loss(ExperimentRegistry& registry);
+/// Registers F3 (symbol-aggregation threshold ablation).
+void register_f3_aggregation(ExperimentRegistry& registry);
+/// Registers F4 (model-update policy vs total overhead).
+void register_f4_model_update(ExperimentRegistry& registry);
+/// Registers F5 (accuracy vs collected packets).
+void register_f5_accuracy_packets(ExperimentRegistry& registry);
+/// Registers F5b (within-run convergence over time).
+void register_f5b_convergence(ExperimentRegistry& registry);
+/// Registers F6 (accuracy vs routing dynamics — the headline comparison).
+void register_f6_accuracy_dynamics(ExperimentRegistry& registry);
+/// Registers F7 (scaling with network size).
+void register_f7_accuracy_scale(ExperimentRegistry& registry);
+/// Registers F8 (per-link absolute-error CDF).
+void register_f8_error_cdf(ExperimentRegistry& registry);
+/// Registers F9 (accuracy under injected faults).
+void register_f9_faults(ExperimentRegistry& registry);
+/// Registers T1 (summary table across canonical scenarios).
+void register_t1_summary(ExperimentRegistry& registry);
+/// Registers A1 (sink-estimator design ablation).
+void register_a1_estimator_ablation(ExperimentRegistry& registry);
+/// Registers A2 (network cost of the measurement plane).
+void register_a2_cost(ExperimentRegistry& registry);
+/// Registers A3 (id-coding vs path-hash recording).
+void register_a3_pathmode(ExperimentRegistry& registry);
+/// Registers A4 (abstract flood vs Trickle dissemination).
+void register_a4_dissemination(ExperimentRegistry& registry);
+/// Registers A5 (link-degradation detection latency).
+void register_a5_detection(ExperimentRegistry& registry);
+
+}  // namespace dophy::eval::experiments

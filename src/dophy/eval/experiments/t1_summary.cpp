@@ -1,0 +1,89 @@
+// T1 — Summary table across the four canonical scenarios
+// (static / dynamic / bursty / drifting).
+//
+// For each scenario: accuracy of every method, Dophy's wire overhead, the
+// window delivery ratio (shows ARQ masking), and routing churn.
+
+#include <string>
+
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/report.hpp"
+#include "dophy/eval/scenario.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+dophy::tomo::PipelineConfig cell_config(const dophy::tomo::PipelineConfig& scenario,
+                                        bool quick) {
+  auto cfg = scenario;
+  cfg.warmup_s = quick ? 150.0 : 300.0;
+  cfg.measure_s = quick ? 900.0 : 3600.0;
+  return cfg;
+}
+
+}  // namespace
+
+void register_t1_summary(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "t1-summary";
+  spec.figure = "T1";
+  spec.claim =
+      "Across static/dynamic/bursty/drifting scenarios Dophy's accuracy leads "
+      "every traditional method at a small, bounded wire cost";
+  spec.axes =
+      "scenario in {static, dynamic, bursty, drifting, churn, opportunistic}";
+  spec.title = "T1: summary across scenarios (80 nodes, 1h windows)";
+  spec.output_stem = "table_summary";
+  spec.columns = {"scenario", "method", "mae", "p90_abs_err", "spearman",
+                  "coverage", "bytes_per_pkt", "delivery", "parent_chg_per_node_h",
+                  "model_updates"};
+  spec.expected =
+      "\nExpected shape: dophy's MAE stays in the low hundredths and its rank\n"
+      "correlation above ~0.9 in every scenario; traditional methods sit an\n"
+      "order of magnitude worse even on the static network, and churn/burst\n"
+      "scenarios widen the gap.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (auto& scenario : dophy::eval::summary_scenarios(ctx.nodes, 130)) {
+      Cell cell;
+      cell.label = "scenario=" + scenario.name;
+      const auto cfg = cell_config(scenario.config, ctx.quick);
+      cell.key = pipeline_cell_key(id, cell.label, cfg, ctx.trials, /*base_seed=*/1300);
+      cell.compute = [cfg, name = scenario.name,
+                      trials = ctx.trials](const CellContext& cc) {
+        const auto agg = cc.run_trials(cfg, trials, 1300);
+        RowSet rows;
+        bool first = true;
+        for (const auto& method_name : dophy::eval::method_order(agg)) {
+          const auto& m = agg.method(method_name);
+          rows.row()
+              .cell(first ? name : "")
+              .cell(method_name)
+              .cell(m.mae.mean(), 4)
+              .cell(m.p90_abs.mean(), 4)
+              .cell(m.spearman.mean(), 3)
+              .cell(m.coverage.mean(), 3)
+              .cell(first ? dophy::common::format_double(
+                                agg.bits_per_packet.mean() / 8.0, 2)
+                          : std::string(""))
+              .cell(first ? dophy::common::format_double(agg.delivery_ratio.mean(), 3)
+                          : std::string(""))
+              .cell(first ? dophy::common::format_double(
+                                agg.parent_changes_per_node_hour.mean(), 2)
+                          : std::string(""))
+              .cell(first ? dophy::common::format_double(agg.model_updates.mean(), 1)
+                          : std::string(""));
+          first = false;
+        }
+        return rows;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

@@ -18,27 +18,33 @@ class ThreadPool;
 
 namespace dophy::eval {
 
+/// Accuracy statistics for one estimation method, aggregated across trials
+/// (each RunningStats holds one sample per trial).
 struct MethodAggregate {
-  dophy::common::RunningStats mae;
-  dophy::common::RunningStats rmse;
-  dophy::common::RunningStats p90_abs;
-  dophy::common::RunningStats spearman;
-  dophy::common::RunningStats coverage;
+  dophy::common::RunningStats mae;       ///< mean absolute error vs ground truth
+  dophy::common::RunningStats rmse;      ///< root-mean-square error
+  dophy::common::RunningStats p90_abs;   ///< 90th-percentile absolute error
+  dophy::common::RunningStats spearman;  ///< rank correlation with ground truth
+  dophy::common::RunningStats coverage;  ///< fraction of active links scored
 };
 
+/// Everything a figure needs from a Monte-Carlo batch: per-method accuracy,
+/// wire/energy overhead, and routing-dynamics statistics, each aggregated
+/// across trials with confidence intervals.
 struct MultiTrialResult {
+  /// Per-method accuracy aggregates, keyed by method name ("dophy", "em", ...).
   std::map<std::string, MethodAggregate> methods;
-  dophy::common::RunningStats bits_per_packet;
-  dophy::common::RunningStats bits_per_hop;
-  dophy::common::RunningStats id_bits_per_hop;
-  dophy::common::RunningStats retx_bits_per_hop;
-  dophy::common::RunningStats path_length;
-  dophy::common::RunningStats parent_changes_per_node_hour;
-  dophy::common::RunningStats delivery_ratio;
-  dophy::common::RunningStats control_flood_kb;
-  dophy::common::RunningStats measurement_air_kb;
-  dophy::common::RunningStats model_updates;
-  dophy::common::RunningStats decode_failure_rate;
+  dophy::common::RunningStats bits_per_packet;  ///< total measurement bits per packet
+  dophy::common::RunningStats bits_per_hop;     ///< total measurement bits per hop
+  dophy::common::RunningStats id_bits_per_hop;    ///< path-recording share
+  dophy::common::RunningStats retx_bits_per_hop;  ///< retx-count share
+  dophy::common::RunningStats path_length;        ///< mean delivered-path hops
+  dophy::common::RunningStats parent_changes_per_node_hour;  ///< routing churn rate
+  dophy::common::RunningStats delivery_ratio;     ///< end-to-end delivery fraction
+  dophy::common::RunningStats control_flood_kb;   ///< model-dissemination bytes
+  dophy::common::RunningStats measurement_air_kb;  ///< measurement bytes on the air
+  dophy::common::RunningStats model_updates;       ///< probability-model updates
+  dophy::common::RunningStats decode_failure_rate;  ///< reports rejected at the sink
   std::vector<dophy::tomo::PipelineResult> runs;  ///< kept when requested
 
   /// Delta of the global metrics registry across the batch.  Counters and
@@ -49,6 +55,7 @@ struct MultiTrialResult {
   /// Per-phase wall-clock distribution across trials (one sample per trial).
   std::map<std::string, dophy::common::RunningStats> phase_seconds;
 
+  /// Looks up a method's aggregate; throws std::out_of_range if absent.
   [[nodiscard]] const MethodAggregate& method(const std::string& name) const;
 };
 

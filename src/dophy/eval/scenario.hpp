@@ -42,13 +42,14 @@ void add_opportunism(dophy::tomo::PipelineConfig& config, double fraction);
 /// Faults start after warm-up so routing converges first.
 void add_faults(dophy::tomo::PipelineConfig& config, double intensity);
 
+/// A labelled pipeline configuration, as listed in the summary table.
 struct NamedScenario {
-  std::string name;
-  dophy::tomo::PipelineConfig config;
+  std::string name;                    ///< row label (e.g. "bursty")
+  dophy::tomo::PipelineConfig config;  ///< full pipeline parameterization
 };
 
-/// The four scenarios of the summary table (T1): static / dynamic / bursty /
-/// drifting, all at `node_count` nodes.
+/// The six scenarios of the summary table (T1): static / dynamic / bursty /
+/// drifting / churn / opportunistic, all at `node_count` nodes.
 [[nodiscard]] std::vector<NamedScenario> summary_scenarios(std::size_t node_count,
                                                            std::uint64_t seed);
 

@@ -1,0 +1,228 @@
+#include "dophy/eval/sweep.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dophy/common/table.hpp"
+#include "dophy/common/thread_pool.hpp"
+#include "dophy/obs/json.hpp"
+#include "dophy/obs/metrics.hpp"
+
+namespace dophy::eval {
+
+namespace {
+
+struct CellOutcome {
+  bool owned = false;
+  bool hit = false;
+  std::vector<std::vector<std::string>> rows;
+  double wall_seconds = 0.0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opts) {
+  if (opts.shard_count == 0 || opts.shard_index >= opts.shard_count) {
+    throw std::invalid_argument("run_experiment: shard index must be < shard count");
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  ExperimentRun run;
+  run.spec = &spec;
+  run.context.trials = opts.trials != 0 ? opts.trials : spec.default_trials;
+  run.context.nodes = opts.nodes != 0 ? opts.nodes : spec.default_nodes;
+  run.context.quick = opts.quick;
+
+  auto cells = spec.make_cells(run.context);
+  run.cells_total = cells.size();
+  run.spec_hash = fnv1a64(spec.id);
+  for (const auto& cell : cells) {
+    run.spec_hash = fnv1a64(cell.key.canonical(), run.spec_hash);
+  }
+
+  std::vector<CellOutcome> outcomes(cells.size());
+  std::vector<std::size_t> to_compute;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i % opts.shard_count != opts.shard_index) continue;
+    outcomes[i].owned = true;
+    ++run.cells_owned;
+    if (opts.cache != nullptr && !opts.force) {
+      if (auto cached = opts.cache->load(cells[i].key)) {
+        outcomes[i].hit = true;
+        outcomes[i].rows = std::move(cached->rows);
+        ++run.cache_hits;
+        continue;
+      }
+    }
+    to_compute.push_back(i);
+  }
+
+  static const auto computed_counter =
+      dophy::obs::Registry::global().counter("eval.cells.computed");
+  static const auto cell_wall_ms = dophy::obs::Registry::global().histogram(
+      "eval.cell.wall_ms", {10, 100, 1000, 10000, 100000, 600000});
+
+  auto compute_cell = [&](std::size_t index, dophy::common::ThreadPool* trial_pool) {
+    const auto start = std::chrono::steady_clock::now();
+    auto rows = cells[index].compute(CellContext(trial_pool)).take_rows();
+    outcomes[index].wall_seconds = seconds_since(start);
+    outcomes[index].rows = std::move(rows);
+    computed_counter.inc();
+    cell_wall_ms.observe(
+        static_cast<std::uint64_t>(outcomes[index].wall_seconds * 1000.0));
+  };
+
+  if (to_compute.size() == 1) {
+    // A single miss: keep the legacy binaries' trial-level parallelism.
+    compute_cell(to_compute.front(), nullptr);
+  } else if (!to_compute.empty()) {
+    // Many misses: parallelize across cells, trials inline — nesting a trial
+    // parallel_for inside a cell task on the same pool would deadlock.
+    auto& pool = opts.pool != nullptr ? *opts.pool : dophy::common::global_pool();
+    dophy::common::parallel_for(pool, to_compute.size(), [&](std::size_t j) {
+      compute_cell(to_compute[j], &dophy::common::inline_executor());
+    });
+  }
+  run.cells_computed = to_compute.size();
+
+  if (opts.cache != nullptr) {
+    for (const std::size_t i : to_compute) {
+      CachedCell entry;
+      entry.experiment = spec.id;
+      entry.cell = cells[i].label;
+      entry.rows = outcomes[i].rows;
+      entry.wall_seconds = outcomes[i].wall_seconds;
+      opts.cache->store(cells[i].key, entry);
+    }
+  }
+
+  for (auto& outcome : outcomes) {
+    if (!outcome.owned) continue;
+    for (auto& row : outcome.rows) run.rows.push_back(std::move(row));
+  }
+  run.wall_seconds = seconds_since(sweep_start);
+  return run;
+}
+
+void print_run(std::ostream& os, const ExperimentRun& run, bool csv) {
+  dophy::common::Table table(run.spec->columns);
+  for (const auto& row : run.rows) {
+    table.row();
+    for (const auto& cell : row) table.cell(cell);
+  }
+  if (csv) {
+    table.write_csv(os);
+  } else {
+    table.print(os, run.spec->title);
+  }
+  os << run.spec->expected;
+}
+
+dophy::obs::RunReport make_run_report(const ExperimentRun& run) {
+  dophy::obs::RunReport report;
+  report.bench = run.spec->output_stem;
+  report.title = run.spec->title;
+  report.config["trials"] = std::to_string(run.context.trials);
+  report.config["nodes"] = std::to_string(run.context.nodes);
+  report.config["quick"] = run.context.quick ? "1" : "0";
+  dophy::obs::TableSection section;
+  section.title = run.spec->title;
+  section.columns = run.spec->columns;
+  section.rows = run.rows;
+  report.tables.push_back(std::move(section));
+  return report;
+}
+
+std::string catalog_markdown(const ExperimentRegistry& registry) {
+  std::string out;
+  out += "| id | figure | axes | trials | nodes | output | paper claim |\n";
+  out += "|---|---|---|---|---|---|---|\n";
+  for (const auto& spec : registry.all()) {
+    out += "| `" + spec.id + "` | " + spec.figure + " | " + spec.axes + " | " +
+           std::to_string(spec.default_trials) + " | " + std::to_string(spec.default_nodes) +
+           " | `" + spec.output_stem + ".{txt,csv,json}` | " + spec.claim + " |\n";
+  }
+  return out;
+}
+
+std::string catalog_text(const ExperimentRegistry& registry) {
+  dophy::common::Table table({"id", "figure", "cells-axes", "trials", "nodes", "output"});
+  for (const auto& spec : registry.all()) {
+    table.row()
+        .cell(spec.id)
+        .cell(spec.figure)
+        .cell(spec.axes)
+        .cell(spec.default_trials)
+        .cell(spec.default_nodes)
+        .cell(spec.output_stem);
+  }
+  std::string out;
+  {
+    std::ostringstream os;
+    table.print(os, "Registered experiments (" + std::to_string(registry.size()) + ")");
+    out = os.str();
+  }
+  return out;
+}
+
+std::string manifest_json(const std::vector<ExperimentRun>& runs,
+                          const SweepOptions& opts,
+                          const dophy::obs::MetricsSnapshot& metrics,
+                          double wall_seconds) {
+  dophy::obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(std::uint64_t{1});
+  w.key("git").value(dophy::obs::git_describe());
+  w.key("version_tag")
+      .value(opts.cache != nullptr ? std::string_view(opts.cache->version_tag())
+                                   : std::string_view("uncached"));
+  w.key("quick").value(opts.quick);
+  w.key("force").value(opts.force);
+  w.key("shard_index").value(static_cast<std::uint64_t>(opts.shard_index));
+  w.key("shard_count").value(static_cast<std::uint64_t>(opts.shard_count));
+  w.key("wall_seconds").value(wall_seconds);
+
+  w.key("experiments").begin_array();
+  for (const auto& run : runs) {
+    w.begin_object();
+    w.key("id").value(run.spec->id);
+    w.key("spec_hash").value(run.spec_hash);
+    w.key("trials").value(static_cast<std::uint64_t>(run.context.trials));
+    w.key("nodes").value(static_cast<std::uint64_t>(run.context.nodes));
+    w.key("cells_total").value(static_cast<std::uint64_t>(run.cells_total));
+    w.key("cells_owned").value(static_cast<std::uint64_t>(run.cells_owned));
+    w.key("cache_hits").value(static_cast<std::uint64_t>(run.cache_hits));
+    w.key("cells_computed").value(static_cast<std::uint64_t>(run.cells_computed));
+    w.key("wall_seconds").value(run.wall_seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (opts.cache != nullptr) {
+    const auto& stats = opts.cache->stats();
+    w.key("cache").begin_object();
+    w.key("dir").value(opts.cache->dir());
+    w.key("hits").value(stats.hits);
+    w.key("misses").value(stats.misses);
+    w.key("stores").value(stats.stores);
+    w.key("corrupt").value(stats.corrupt);
+    w.end_object();
+  }
+
+  w.end_object();
+
+  // The snapshot is already JSON; splice it in verbatim before the root's
+  // closing brace.
+  std::string out = w.take();
+  out.pop_back();  // root '}'
+  out += ",\"metrics\":" + metrics.to_json() + "}\n";
+  return out;
+}
+
+}  // namespace dophy::eval

@@ -1,0 +1,85 @@
+#pragma once
+
+// Experiment sweep engine: executes an ExperimentSpec's grid of cells with
+// content-addressed caching (cache.hpp), optional process-level sharding
+// (`--shard i/N`), and thread-level parallelism across cells.  The engine
+// owns the orchestration that used to be copy-pasted across the bench/fig_*
+// binaries; dophy_bench (tools/) is its CLI.
+//
+// Execution model: cells whose key hits the cache are replayed from the
+// stored rows; the remaining cells run concurrently on the sweep pool, each
+// with its Monte-Carlo trials executed inline (nesting a trial parallel_for
+// inside a cell task on the same pool would deadlock).  A single miss keeps
+// the trial-level parallelism of the legacy binaries instead.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dophy/eval/experiment.hpp"
+#include "dophy/obs/report.hpp"
+
+namespace dophy::common {
+class ThreadPool;
+}
+
+namespace dophy::eval {
+
+/// Sweep-wide execution options resolved by the CLI.
+struct SweepOptions {
+  std::size_t trials = 0;       ///< 0 = the spec's default_trials
+  std::size_t nodes = 0;        ///< 0 = the spec's default_nodes
+  bool quick = false;           ///< cut simulated durations ~4x
+  std::size_t shard_index = 0;  ///< this process owns cells with index % shard_count == shard_index
+  std::size_t shard_count = 1;  ///< 1 = unsharded
+  ResultCache* cache = nullptr; ///< null = always compute, never store
+  bool force = false;           ///< bypass cache reads (still stores results)
+  dophy::common::ThreadPool* pool = nullptr;  ///< null = the process-global pool
+};
+
+/// Outcome of one experiment sweep: the assembled table rows (grid order,
+/// owned cells only when sharded) plus cache/compute accounting for the
+/// run manifest.
+struct ExperimentRun {
+  const ExperimentSpec* spec = nullptr;         ///< the spec that was executed
+  SweepContext context;                         ///< resolved trials/nodes/quick
+  std::vector<std::vector<std::string>> rows;   ///< table rows in grid order
+  std::uint64_t spec_hash = 0;    ///< FNV over id + every cell's canonical form
+  std::size_t cells_total = 0;    ///< grid size before sharding
+  std::size_t cells_owned = 0;    ///< cells this shard executed or replayed
+  std::size_t cache_hits = 0;     ///< owned cells replayed from the cache
+  std::size_t cells_computed = 0; ///< owned cells computed this run
+  double wall_seconds = 0.0;      ///< wall clock of the whole sweep
+};
+
+/// Executes `spec` under `opts`; see the file comment for the execution
+/// model.  Throws std::invalid_argument on an inconsistent shard spec.
+[[nodiscard]] ExperimentRun run_experiment(const ExperimentSpec& spec,
+                                           const SweepOptions& opts);
+
+/// Prints the run the way the legacy fig_* binary did: aligned table (or CSV
+/// with `csv`) followed by the spec's "Expected shape" trailer.
+void print_run(std::ostream& os, const ExperimentRun& run, bool csv);
+
+/// Builds the legacy-compatible obs::RunReport skeleton for the run (bench
+/// name, title, config, the result table).  phase_seconds and metrics are
+/// global-state snapshots the caller fills in.
+[[nodiscard]] dophy::obs::RunReport make_run_report(const ExperimentRun& run);
+
+/// Markdown experiment catalog (id, figure, axes, defaults, outputs, claim)
+/// — the generated section of EXPERIMENTS.md; CI diffs this against the
+/// committed copy.
+[[nodiscard]] std::string catalog_markdown(const ExperimentRegistry& registry);
+
+/// Plain-text catalog for `dophy_bench list` on a terminal.
+[[nodiscard]] std::string catalog_text(const ExperimentRegistry& registry);
+
+/// JSON run manifest: spec hashes, per-experiment cache traffic, code
+/// version, wall clock, and the metrics delta accumulated over the sweep.
+[[nodiscard]] std::string manifest_json(const std::vector<ExperimentRun>& runs,
+                                        const SweepOptions& opts,
+                                        const dophy::obs::MetricsSnapshot& metrics,
+                                        double wall_seconds);
+
+}  // namespace dophy::eval

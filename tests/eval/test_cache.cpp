@@ -1,0 +1,193 @@
+// Unit tests for the content-addressed result cache: FNV vectors, canonical
+// key order-independence, config/seed/version invalidation, store/load
+// round-trips, and corrupt-entry fallback.
+
+#include "dophy/eval/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace {
+
+using dophy::eval::CachedCell;
+using dophy::eval::CanonicalKey;
+using dophy::eval::ResultCache;
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / ("dophy-cache-" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(dophy::eval::fnv1a64(""), dophy::eval::kFnvOffsetBasis);
+  EXPECT_EQ(dophy::eval::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(dophy::eval::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, ChainsAcrossCalls) {
+  const auto once = dophy::eval::fnv1a64("foobar");
+  const auto chained = dophy::eval::fnv1a64("bar", dophy::eval::fnv1a64("foo"));
+  EXPECT_EQ(once, chained);
+}
+
+TEST(CanonicalKey, OrderIndependent) {
+  CanonicalKey a;
+  a.set("alpha", 1.5).set("beta", std::uint64_t{7}).set("gamma", "x");
+  CanonicalKey b;
+  b.set("gamma", "x").set("beta", std::uint64_t{7}).set("alpha", 1.5);
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(CanonicalKey, LastWriteWins) {
+  CanonicalKey key;
+  key.set("field", "old").set("field", "new");
+  EXPECT_EQ(key.field_count(), 1u);
+  EXPECT_NE(key.canonical().find("field=new"), std::string::npos);
+}
+
+TEST(CanonicalKey, DistinguishesValueTypesAndValues) {
+  CanonicalKey a;
+  a.set("x", true);
+  CanonicalKey b;
+  b.set("x", false);
+  EXPECT_NE(a.hash(), b.hash());
+
+  CanonicalKey c;
+  c.set("x", 0.25);
+  CanonicalKey d;
+  d.set("x", 0.250001);
+  EXPECT_NE(c.hash(), d.hash());
+}
+
+TEST(Canonicalize, ConfigFieldChangesInvalidate) {
+  const auto base = dophy::eval::default_pipeline(40, 7);
+  CanonicalKey base_key;
+  dophy::eval::canonicalize_into(base, base_key);
+  ASSERT_GT(base_key.field_count(), 30u);  // the whole config is enumerated
+
+  auto mutate = [&](auto&& fn) {
+    auto cfg = dophy::eval::default_pipeline(40, 7);
+    fn(cfg);
+    CanonicalKey key;
+    dophy::eval::canonicalize_into(cfg, key);
+    return key.hash();
+  };
+
+  EXPECT_NE(base_key.hash(), mutate([](auto& c) { c.net.seed += 1; }));
+  EXPECT_NE(base_key.hash(), mutate([](auto& c) { c.measure_s += 1.0; }));
+  EXPECT_NE(base_key.hash(), mutate([](auto& c) { c.dophy.censor_threshold += 1; }));
+  EXPECT_NE(base_key.hash(), mutate([](auto& c) { c.net.loss.loss_scale *= 2.0; }));
+  EXPECT_NE(base_key.hash(), mutate([](auto& c) { c.run_baselines = !c.run_baselines; }));
+  EXPECT_NE(base_key.hash(), mutate([](auto& c) { c.truth_tail_fraction = 0.125; }));
+
+  // And an untouched rebuild matches exactly.
+  EXPECT_EQ(base_key.hash(), mutate([](auto&) {}));
+}
+
+TEST(Canonicalize, CellKeySeedAndTrialChangesInvalidate) {
+  const auto cfg = dophy::eval::default_pipeline(40, 7);
+  const auto base = dophy::eval::pipeline_cell_key("exp", "cell", cfg, 3, 100);
+  EXPECT_NE(base.hash(),
+            dophy::eval::pipeline_cell_key("exp", "cell", cfg, 4, 100).hash());
+  EXPECT_NE(base.hash(),
+            dophy::eval::pipeline_cell_key("exp", "cell", cfg, 3, 101).hash());
+  EXPECT_NE(base.hash(),
+            dophy::eval::pipeline_cell_key("exp", "other", cfg, 3, 100).hash());
+  EXPECT_EQ(base.hash(),
+            dophy::eval::pipeline_cell_key("exp", "cell", cfg, 3, 100).hash());
+}
+
+TEST(ResultCache, StoreLoadRoundTrip) {
+  ResultCache cache(fresh_dir("roundtrip"), "v1");
+  CanonicalKey key;
+  key.set("experiment", "e").set("cell", "c");
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  CachedCell cell;
+  cell.experiment = "e";
+  cell.cell = "c";
+  cell.rows = {{"1", "2.5", "label"}, {"4", "-", "with \"quotes\" and ,comma"}};
+  cell.wall_seconds = 1.25;
+  ASSERT_TRUE(cache.store(key, cell));
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->experiment, "e");
+  EXPECT_EQ(loaded->cell, "c");
+  EXPECT_EQ(loaded->rows, cell.rows);
+  EXPECT_DOUBLE_EQ(loaded->wall_seconds, 1.25);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCache, VersionTagInvalidates) {
+  const auto dir = fresh_dir("version");
+  CanonicalKey key;
+  key.set("experiment", "e").set("cell", "c");
+  CachedCell cell;
+  cell.rows = {{"1"}};
+  {
+    ResultCache cache(dir, "build-A");
+    ASSERT_TRUE(cache.store(key, cell));
+    EXPECT_TRUE(cache.load(key).has_value());
+  }
+  ResultCache newer(dir, "build-B");
+  EXPECT_FALSE(newer.load(key).has_value());
+  EXPECT_EQ(newer.stats().hits, 0u);
+}
+
+TEST(ResultCache, CorruptEntryFallsBackToMiss) {
+  ResultCache cache(fresh_dir("corrupt"), "v1");
+  CanonicalKey key;
+  key.set("experiment", "e").set("cell", "c");
+  CachedCell cell;
+  cell.rows = {{"1", "2"}};
+  ASSERT_TRUE(cache.store(key, cell));
+
+  // Truncate/garble the entry on disk.
+  {
+    std::ofstream out(cache.entry_path(cache.key_of(key)));
+    out << "{\"schema\": \"not a cache entry";
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+
+  // Recompute-and-store heals the entry.
+  ASSERT_TRUE(cache.store(key, cell));
+  const auto healed = cache.load(key);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->rows, cell.rows);
+}
+
+TEST(ResultCache, MismatchedCanonicalIsRejected) {
+  // A hash collision (or hand-edited file) must not replay the wrong cell:
+  // entries embed the full canonical form and are verified on load.
+  ResultCache cache(fresh_dir("collision"), "v1");
+  CanonicalKey a;
+  a.set("experiment", "e").set("cell", "a");
+  CachedCell cell;
+  cell.rows = {{"1"}};
+  ASSERT_TRUE(cache.store(a, cell));
+
+  CanonicalKey b;
+  b.set("experiment", "e").set("cell", "b");
+  // Simulate a collision by copying a's entry file onto b's path.
+  std::filesystem::copy_file(cache.entry_path(cache.key_of(a)),
+                             cache.entry_path(cache.key_of(b)));
+  EXPECT_FALSE(cache.load(b).has_value());
+  EXPECT_GE(cache.stats().corrupt, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Unit tests for the experiment registry: the built-in catalog is complete
+// and well-formed, lookups work by id and legacy stem, and every spec's grid
+// has distinct, fully-keyed cells.
+
+#include "dophy/eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dophy/eval/sweep.hpp"
+
+namespace {
+
+using dophy::eval::ExperimentRegistry;
+using dophy::eval::ExperimentSpec;
+using dophy::eval::SweepContext;
+
+TEST(Registry, BuiltinCatalogIsComplete) {
+  const auto& registry = ExperimentRegistry::builtin();
+  EXPECT_EQ(registry.size(), 16u);
+
+  std::set<std::string> ids, stems, figures;
+  for (const auto& spec : registry.all()) {
+    EXPECT_FALSE(spec.id.empty());
+    EXPECT_FALSE(spec.figure.empty());
+    EXPECT_FALSE(spec.claim.empty());
+    EXPECT_FALSE(spec.axes.empty());
+    EXPECT_FALSE(spec.title.empty());
+    EXPECT_FALSE(spec.output_stem.empty());
+    EXPECT_FALSE(spec.columns.empty());
+    EXPECT_FALSE(spec.expected.empty());
+    EXPECT_GT(spec.default_trials, 0u);
+    EXPECT_GT(spec.default_nodes, 0u);
+    EXPECT_TRUE(spec.make_cells != nullptr);
+    ids.insert(spec.id);
+    stems.insert(spec.output_stem);
+    figures.insert(spec.figure);
+  }
+  EXPECT_EQ(ids.size(), registry.size());    // ids unique
+  EXPECT_EQ(stems.size(), registry.size());  // stems unique
+  EXPECT_TRUE(figures.count("F1"));
+  EXPECT_TRUE(figures.count("F6"));
+  EXPECT_TRUE(figures.count("T1"));
+  EXPECT_TRUE(figures.count("A5"));
+}
+
+TEST(Registry, FindsByIdAndByLegacyStem) {
+  const auto& registry = ExperimentRegistry::builtin();
+  const auto* by_id = registry.find("f6-accuracy-dynamics");
+  ASSERT_NE(by_id, nullptr);
+  const auto* by_stem = registry.find("fig_accuracy_dynamics");
+  EXPECT_EQ(by_id, by_stem);
+  EXPECT_EQ(registry.find("no-such-experiment"), nullptr);
+}
+
+TEST(Registry, RejectsDuplicatesAndIncompleteSpecs) {
+  ExperimentRegistry registry;
+  ExperimentSpec spec;
+  spec.id = "dup";
+  spec.output_stem = "dup_out";
+  spec.make_cells = [](const SweepContext&) { return std::vector<dophy::eval::Cell>{}; };
+  registry.add(spec);
+  EXPECT_THROW(registry.add(spec), std::invalid_argument);
+
+  ExperimentSpec no_cells;
+  no_cells.id = "no-cells";
+  EXPECT_THROW(registry.add(no_cells), std::invalid_argument);
+}
+
+TEST(Registry, EveryGridCellIsDistinctAndKeyed) {
+  const SweepContext ctx{.trials = 2, .nodes = 40, .quick = true};
+  for (const auto& spec : ExperimentRegistry::builtin().all()) {
+    const auto cells = spec.make_cells(ctx);
+    ASSERT_FALSE(cells.empty()) << spec.id;
+    std::set<std::string> labels;
+    std::set<std::uint64_t> hashes;
+    for (const auto& cell : cells) {
+      EXPECT_FALSE(cell.label.empty()) << spec.id;
+      EXPECT_TRUE(cell.compute != nullptr) << spec.id;
+      EXPECT_GT(cell.key.field_count(), 3u) << spec.id << "/" << cell.label;
+      labels.insert(cell.label);
+      hashes.insert(cell.key.hash());
+    }
+    EXPECT_EQ(labels.size(), cells.size()) << spec.id << ": duplicate cell labels";
+    EXPECT_EQ(hashes.size(), cells.size()) << spec.id << ": duplicate cell keys";
+  }
+}
+
+TEST(Registry, GridKeysAreDeterministicAndParamSensitive) {
+  const auto* spec = ExperimentRegistry::builtin().find("f6-accuracy-dynamics");
+  ASSERT_NE(spec, nullptr);
+  const SweepContext ctx{.trials = 2, .nodes = 40, .quick = true};
+  const auto a = spec->make_cells(ctx);
+  const auto b = spec->make_cells(ctx);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key.hash(), b[i].key.hash());
+  }
+  SweepContext more_trials = ctx;
+  more_trials.trials = 3;
+  const auto c = spec->make_cells(more_trials);
+  EXPECT_NE(a[0].key.hash(), c[0].key.hash());
+  SweepContext quick_off = ctx;
+  quick_off.quick = false;
+  const auto d = spec->make_cells(quick_off);
+  EXPECT_NE(a[0].key.hash(), d[0].key.hash());
+}
+
+TEST(Catalog, MarkdownListsEveryExperiment) {
+  const auto& registry = ExperimentRegistry::builtin();
+  const auto markdown = dophy::eval::catalog_markdown(registry);
+  const auto text = dophy::eval::catalog_text(registry);
+  for (const auto& spec : registry.all()) {
+    EXPECT_NE(markdown.find("`" + spec.id + "`"), std::string::npos) << spec.id;
+    EXPECT_NE(markdown.find(spec.output_stem), std::string::npos) << spec.id;
+    EXPECT_NE(text.find(spec.id), std::string::npos) << spec.id;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Integration tests for the sweep engine, run against a synthetic (cheap)
+// experiment: cold/warm cache behavior, --force, shard union/disjointness,
+// and resume-after-kill (a deleted cache entry recomputes exactly one cell).
+
+#include "dophy/eval/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "dophy/eval/cache.hpp"
+#include "dophy/eval/experiment.hpp"
+
+namespace {
+
+using dophy::eval::Cell;
+using dophy::eval::ExperimentRun;
+using dophy::eval::ExperimentSpec;
+using dophy::eval::ResultCache;
+using dophy::eval::SweepContext;
+using dophy::eval::SweepOptions;
+
+std::atomic<int>& compute_count() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+/// A 6-cell synthetic experiment whose compute is deterministic in the cell
+/// label and counts invocations.
+ExperimentSpec synthetic_spec() {
+  ExperimentSpec spec;
+  spec.id = "synthetic";
+  spec.figure = "S1";
+  spec.claim = "test fixture";
+  spec.axes = "k in {0..5}";
+  spec.title = "synthetic sweep";
+  spec.output_stem = "synthetic_out";
+  spec.default_trials = 2;
+  spec.default_nodes = 10;
+  spec.columns = {"k", "twice"};
+  spec.expected = "\nExpected shape: monotone.\n";
+  spec.make_cells = [](const SweepContext& ctx) {
+    std::vector<Cell> cells;
+    for (int k = 0; k < 6; ++k) {
+      Cell cell;
+      cell.label = "k=" + std::to_string(k);
+      cell.key.set("experiment", "synthetic")
+          .set("cell", cell.label)
+          .set("k", k)
+          .set("trials", static_cast<std::uint64_t>(ctx.trials))
+          .set("quick", ctx.quick);
+      cell.compute = [k](const dophy::eval::CellContext&) {
+        compute_count().fetch_add(1);
+        dophy::eval::RowSet rows;
+        rows.row().cell(k).cell(2 * k);
+        return rows;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  return spec;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / ("dophy-sweep-" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<std::vector<std::string>> expected_rows() {
+  std::vector<std::vector<std::string>> rows;
+  for (int k = 0; k < 6; ++k) rows.push_back({std::to_string(k), std::to_string(2 * k)});
+  return rows;
+}
+
+TEST(Sweep, UncachedComputesEveryCellInGridOrder) {
+  const auto spec = synthetic_spec();
+  compute_count().store(0);
+  const auto run = dophy::eval::run_experiment(spec, SweepOptions{});
+  EXPECT_EQ(compute_count().load(), 6);
+  EXPECT_EQ(run.cells_total, 6u);
+  EXPECT_EQ(run.cells_owned, 6u);
+  EXPECT_EQ(run.cells_computed, 6u);
+  EXPECT_EQ(run.cache_hits, 0u);
+  EXPECT_EQ(run.rows, expected_rows());
+  EXPECT_NE(run.spec_hash, 0u);
+}
+
+TEST(Sweep, WarmRunIsAllHitsAndIdentical) {
+  const auto spec = synthetic_spec();
+  ResultCache cache(fresh_dir("warm"), "v1");
+  SweepOptions opts;
+  opts.cache = &cache;
+
+  compute_count().store(0);
+  const auto cold = dophy::eval::run_experiment(spec, opts);
+  EXPECT_EQ(cold.cells_computed, 6u);
+  EXPECT_EQ(compute_count().load(), 6);
+
+  const auto warm = dophy::eval::run_experiment(spec, opts);
+  EXPECT_EQ(compute_count().load(), 6) << "warm run must not recompute";
+  EXPECT_EQ(warm.cache_hits, 6u);
+  EXPECT_EQ(warm.cells_computed, 0u);
+  EXPECT_EQ(warm.rows, cold.rows);
+  EXPECT_EQ(warm.spec_hash, cold.spec_hash);
+}
+
+TEST(Sweep, ContextChangesMissTheCache) {
+  const auto spec = synthetic_spec();
+  ResultCache cache(fresh_dir("ctx"), "v1");
+  SweepOptions opts;
+  opts.cache = &cache;
+  (void)dophy::eval::run_experiment(spec, opts);
+
+  SweepOptions more_trials = opts;
+  more_trials.trials = 5;
+  const auto rerun = dophy::eval::run_experiment(spec, more_trials);
+  EXPECT_EQ(rerun.cache_hits, 0u);
+  EXPECT_EQ(rerun.cells_computed, 6u);
+}
+
+TEST(Sweep, ForceRecomputesButRefreshesTheStore) {
+  const auto spec = synthetic_spec();
+  ResultCache cache(fresh_dir("force"), "v1");
+  SweepOptions opts;
+  opts.cache = &cache;
+  (void)dophy::eval::run_experiment(spec, opts);
+
+  compute_count().store(0);
+  SweepOptions force = opts;
+  force.force = true;
+  const auto forced = dophy::eval::run_experiment(spec, force);
+  EXPECT_EQ(compute_count().load(), 6);
+  EXPECT_EQ(forced.cache_hits, 0u);
+
+  // The forced results were stored: a plain run is warm again.
+  const auto warm = dophy::eval::run_experiment(spec, opts);
+  EXPECT_EQ(warm.cache_hits, 6u);
+}
+
+TEST(Sweep, ShardUnionEqualsUnshardedAndIsDisjoint) {
+  const auto spec = synthetic_spec();
+  SweepOptions s0;
+  s0.shard_index = 0;
+  s0.shard_count = 2;
+  SweepOptions s1;
+  s1.shard_index = 1;
+  s1.shard_count = 2;
+
+  const auto r0 = dophy::eval::run_experiment(spec, s0);
+  const auto r1 = dophy::eval::run_experiment(spec, s1);
+  EXPECT_EQ(r0.cells_owned + r1.cells_owned, 6u);
+
+  std::set<std::vector<std::string>> seen;
+  for (const auto& row : r0.rows) EXPECT_TRUE(seen.insert(row).second);
+  for (const auto& row : r1.rows) EXPECT_TRUE(seen.insert(row).second) << "overlap";
+  std::set<std::vector<std::string>> want;
+  for (const auto& row : expected_rows()) want.insert(row);
+  EXPECT_EQ(seen, want);
+
+  EXPECT_THROW(
+      {
+        SweepOptions bad;
+        bad.shard_index = 2;
+        bad.shard_count = 2;
+        (void)dophy::eval::run_experiment(spec, bad);
+      },
+      std::invalid_argument);
+}
+
+TEST(Sweep, ResumeAfterKillRecomputesOnlyTheMissingCell) {
+  // Simulates an interrupted sweep: one cache entry vanishes (the cell that
+  // was mid-flight when the process died); the re-run must recompute exactly
+  // that cell and replay the rest.
+  const auto spec = synthetic_spec();
+  ResultCache cache(fresh_dir("resume"), "v1");
+  SweepOptions opts;
+  opts.cache = &cache;
+  const auto cold = dophy::eval::run_experiment(spec, opts);
+  ASSERT_EQ(cold.cells_computed, 6u);
+
+  const auto cells = spec.make_cells(SweepContext{.trials = spec.default_trials,
+                                                  .nodes = spec.default_nodes,
+                                                  .quick = false});
+  ASSERT_TRUE(std::filesystem::remove(cache.entry_path(cache.key_of(cells[3].key))));
+
+  compute_count().store(0);
+  const auto resumed = dophy::eval::run_experiment(spec, opts);
+  EXPECT_EQ(compute_count().load(), 1);
+  EXPECT_EQ(resumed.cache_hits, 5u);
+  EXPECT_EQ(resumed.cells_computed, 1u);
+  EXPECT_EQ(resumed.rows, cold.rows);
+}
+
+TEST(Sweep, PrintRunMatchesLegacyShape) {
+  const auto spec = synthetic_spec();
+  const auto run = dophy::eval::run_experiment(spec, SweepOptions{});
+  std::ostringstream table;
+  dophy::eval::print_run(table, run, /*csv=*/false);
+  EXPECT_NE(table.str().find(spec.title), std::string::npos);
+  EXPECT_NE(table.str().find("Expected shape: monotone."), std::string::npos);
+
+  std::ostringstream csv;
+  dophy::eval::print_run(csv, run, /*csv=*/true);
+  EXPECT_NE(csv.str().find("k,twice"), std::string::npos);
+  EXPECT_NE(csv.str().find("5,10"), std::string::npos);
+}
+
+TEST(Sweep, RunReportAndManifestCarryTheAccounting) {
+  const auto spec = synthetic_spec();
+  ResultCache cache(fresh_dir("manifest"), "v1");
+  SweepOptions opts;
+  opts.cache = &cache;
+  auto run = dophy::eval::run_experiment(spec, opts);
+
+  const auto report = dophy::eval::make_run_report(run);
+  EXPECT_EQ(report.bench, "synthetic_out");
+  EXPECT_EQ(report.title, spec.title);
+  ASSERT_EQ(report.tables.size(), 1u);
+  EXPECT_EQ(report.tables[0].rows, run.rows);
+  EXPECT_EQ(report.config.at("trials"), "2");
+
+  std::vector<ExperimentRun> runs;
+  runs.push_back(std::move(run));
+  const auto manifest =
+      dophy::eval::manifest_json(runs, opts, dophy::obs::MetricsSnapshot{}, 1.5);
+  EXPECT_NE(manifest.find("\"id\":\"synthetic\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"cells_computed\":6"), std::string::npos);
+  EXPECT_NE(manifest.find("\"stores\":6"), std::string::npos);
+  EXPECT_NE(manifest.find("\"metrics\":"), std::string::npos);
+
+  // The manifest must be one well-formed JSON document: balanced braces and
+  // brackets outside string literals, nothing after the root object.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    const char c = manifest[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+      if (depth == 0) {
+        EXPECT_EQ(manifest.substr(i + 1), "\n") << "content after root object";
+      }
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace

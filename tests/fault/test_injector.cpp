@@ -138,7 +138,7 @@ TEST(FaultInjectorScript, CorruptWindowCountsExactlyTheDeliveriesInside) {
     EXPECT_EQ(packet.blob.logical_bits, 32u);
     const bool inside = now >= window_open && now < window_close;
     ++(inside ? in_window : outside);
-    mutated += packet.blob.bytes != pristine ? 1 : 0;
+    mutated += packet.blob.bytes != pristine ? 1u : 0u;
     if (!inside) {
       // Outside the window the blob must arrive untouched.
       EXPECT_EQ(packet.blob.bytes, pristine);

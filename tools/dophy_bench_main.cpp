@@ -1,0 +1,324 @@
+// dophy_bench — one driver for every reproduced figure/table.
+//
+//   dophy_bench list [--markdown]
+//   dophy_bench run [ID...] [--all] [options]
+//
+// `run` executes the selected experiments through the sweep engine
+// (src/dophy/eval/sweep.hpp): grid cells are content-address cached under
+// --cache-dir, sharded across processes with --shard i/N, and parallelized
+// across the thread pool.  A single experiment with no --out-dir prints to
+// stdout exactly what the legacy bench/fig_* binary printed; multi-experiment
+// runs write <output_stem>.{txt|csv} plus a <output_stem>.json run report and
+// a manifest.json into --out-dir.
+//
+// Options (run):
+//   --trials N            Monte-Carlo trials per sweep point (default per-spec)
+//   --nodes N             network size where applicable (default per-spec)
+//   --quick               cut simulated durations ~4x for smoke runs
+//   --csv                 emit CSV instead of the aligned table
+//   --out-dir DIR         write per-experiment files instead of stdout
+//   --cache-dir DIR       content-addressed result store (default .dophy-cache)
+//   --no-cache            compute everything; do not read or write the store
+//   --force               ignore cached results but refresh the store
+//   --resume              explicit alias for the default cache-reuse behavior
+//   --shard I/N           own only grid cells with index % N == I
+//   --manifest PATH       write the run manifest (default <out-dir>/manifest.json)
+//   --metrics-json PATH   single-experiment run report (legacy --metrics-json)
+//   --trace-jsonl PATH    stream simulation events to JSONL (implies --force)
+//   --check               arm the invariant oracle in every run (implies --force)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dophy/check/check.hpp"
+#include "dophy/common/table.hpp"
+#include "dophy/eval/sweep.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/timer.hpp"
+#include "dophy/obs/trace.hpp"
+
+namespace {
+
+using dophy::eval::ExperimentRegistry;
+
+int usage(int code) {
+  auto& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: dophy_bench list [--markdown]\n"
+        "       dophy_bench run [ID...] [--all] [--trials N] [--nodes N] [--quick]\n"
+        "                       [--csv] [--out-dir DIR] [--cache-dir DIR] [--no-cache]\n"
+        "                       [--force] [--resume] [--shard I/N] [--manifest PATH]\n"
+        "                       [--metrics-json PATH] [--trace-jsonl PATH] [--check]\n"
+        "\n"
+        "Experiments are addressed by id (e.g. f6-accuracy-dynamics) or by the\n"
+        "legacy output stem (e.g. fig_accuracy_dynamics).  `dophy_bench list`\n"
+        "prints the catalog.\n";
+  return code;
+}
+
+struct CliOptions {
+  std::vector<std::string> ids;
+  bool all = false;
+  std::size_t trials = 0;
+  std::size_t nodes = 0;
+  bool quick = false;
+  bool csv = false;
+  bool check = false;
+  bool no_cache = false;
+  bool force = false;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string out_dir;
+  std::string cache_dir = ".dophy-cache";
+  std::string manifest_path;
+  std::string metrics_json;
+  std::string trace_jsonl;
+};
+
+bool parse_shard(const std::string& value, CliOptions& opts) {
+  const auto slash = value.find('/');
+  if (slash == std::string::npos) return false;
+  char* end = nullptr;
+  opts.shard_index = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + slash) return false;
+  opts.shard_count = std::strtoull(value.c_str() + slash + 1, &end, 10);
+  if (*end != '\0') return false;
+  return opts.shard_count > 0 && opts.shard_index < opts.shard_count;
+}
+
+int run_command(const CliOptions& opts) {
+  const auto& registry = ExperimentRegistry::builtin();
+
+  std::vector<const dophy::eval::ExperimentSpec*> selected;
+  if (opts.all) {
+    for (const auto& spec : registry.all()) selected.push_back(&spec);
+  } else {
+    for (const auto& id : opts.ids) {
+      const auto* spec = registry.find(id);
+      if (spec == nullptr) {
+        std::cerr << "unknown experiment: " << id << " (see `dophy_bench list`)\n";
+        return 2;
+      }
+      selected.push_back(spec);
+    }
+  }
+  if (selected.empty()) {
+    std::cerr << "no experiments selected (pass ids or --all)\n";
+    return 2;
+  }
+
+  // Cached cells skip the oracle and emit no events, so checking/tracing
+  // forces fresh computes (results are still stored for later reuse).
+  const bool force = opts.force || opts.check || !opts.trace_jsonl.empty();
+
+  std::optional<dophy::eval::ResultCache> cache;
+  if (!opts.no_cache) cache.emplace(opts.cache_dir);
+
+  dophy::eval::SweepOptions sweep;
+  sweep.trials = opts.trials;
+  sweep.nodes = opts.nodes;
+  sweep.quick = opts.quick;
+  sweep.shard_index = opts.shard_index;
+  sweep.shard_count = opts.shard_count;
+  sweep.cache = cache ? &*cache : nullptr;
+  sweep.force = force;
+
+  const bool to_files = !opts.out_dir.empty() || selected.size() > 1;
+  const std::string out_dir = opts.out_dir.empty() ? "results" : opts.out_dir;
+  if (to_files) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create out dir: " << out_dir << "\n";
+      return 2;
+    }
+  }
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto metrics_baseline = dophy::obs::Registry::global().snapshot();
+  std::vector<dophy::eval::ExperimentRun> runs;
+
+  for (const auto* spec : selected) {
+    const auto baseline = dophy::obs::Registry::global().snapshot();
+    dophy::obs::reset_global_phases();
+    const auto run_start = std::chrono::steady_clock::now();
+
+    auto run = dophy::eval::run_experiment(*spec, sweep);
+
+    auto report = dophy::eval::make_run_report(run);
+    report.phase_seconds = dophy::obs::global_phases().seconds();
+    report.phase_seconds["bench.total"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+            .count();
+    report.metrics = dophy::obs::Registry::global().snapshot().delta_since(baseline);
+
+    if (to_files) {
+      const auto stem = out_dir + "/" + spec->output_stem;
+      const auto table_path = stem + (opts.csv ? ".csv" : ".txt");
+      std::ofstream out(table_path);
+      dophy::eval::print_run(out, run, opts.csv);
+      if (!out) {
+        std::cerr << "cannot write " << table_path << "\n";
+        return 2;
+      }
+      if (!dophy::obs::write_report_file(report, stem + ".json")) {
+        std::cerr << "cannot write report: " << stem << ".json\n";
+        return 2;
+      }
+      std::cerr << spec->id << ": " << run.cells_owned << " cells ("
+                << run.cache_hits << " cached, " << run.cells_computed
+                << " computed) in " << dophy::common::format_double(run.wall_seconds, 1)
+                << "s -> " << table_path << "\n";
+    } else {
+      dophy::eval::print_run(std::cout, run, opts.csv);
+      if (!opts.metrics_json.empty() &&
+          !dophy::obs::write_report_file(report, opts.metrics_json)) {
+        std::cerr << "cannot write report: " << opts.metrics_json << "\n";
+        return 2;
+      }
+    }
+    runs.push_back(std::move(run));
+  }
+
+  std::string manifest_path = opts.manifest_path;
+  if (manifest_path.empty() && to_files) manifest_path = out_dir + "/manifest.json";
+  if (!manifest_path.empty()) {
+    const auto metrics =
+        dophy::obs::Registry::global().snapshot().delta_since(metrics_baseline);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+            .count();
+    std::ofstream out(manifest_path);
+    out << dophy::eval::manifest_json(runs, sweep, metrics, wall);
+    if (!out) {
+      std::cerr << "cannot write manifest: " << manifest_path << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+
+  std::string command = argv[1];
+  int first_arg = 2;
+  // `--list` is accepted as a command alias for scripts.
+  if (command == "--list") command = "list";
+  if (command == "--help" || command == "-h" || command == "help") return usage(0);
+  if (command != "list" && command != "run") {
+    // Allow `dophy_bench <id>` as shorthand for `dophy_bench run <id>`.
+    if (ExperimentRegistry::builtin().find(command) != nullptr) {
+      command = "run";
+      first_arg = 1;
+    } else {
+      std::cerr << "unknown command: " << command << "\n";
+      return usage(2);
+    }
+  }
+
+  if (command == "list") {
+    bool markdown = false;
+    for (int i = first_arg; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--markdown") {
+        markdown = true;
+      } else {
+        std::cerr << "unknown argument: " << a << "\n";
+        return usage(2);
+      }
+    }
+    const auto& registry = ExperimentRegistry::builtin();
+    std::cout << (markdown ? dophy::eval::catalog_markdown(registry)
+                           : dophy::eval::catalog_text(registry));
+    return 0;
+  }
+
+  CliOptions opts;
+  for (int i = first_arg; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next_arg = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_value = [&]() -> std::size_t {
+      return static_cast<std::size_t>(std::strtoull(next_arg(), nullptr, 10));
+    };
+    if (a == "--all") {
+      opts.all = true;
+    } else if (a == "--trials") {
+      opts.trials = next_value();
+    } else if (a == "--nodes") {
+      opts.nodes = next_value();
+    } else if (a == "--quick") {
+      opts.quick = true;
+    } else if (a == "--csv") {
+      opts.csv = true;
+    } else if (a == "--out-dir") {
+      opts.out_dir = next_arg();
+    } else if (a == "--cache-dir") {
+      opts.cache_dir = next_arg();
+    } else if (a == "--no-cache") {
+      opts.no_cache = true;
+    } else if (a == "--force") {
+      opts.force = true;
+    } else if (a == "--resume") {
+      // Cache reuse is the default; the flag documents intent in scripts.
+    } else if (a == "--shard") {
+      if (!parse_shard(next_arg(), opts)) {
+        std::cerr << "bad --shard value (want I/N with I < N)\n";
+        return 2;
+      }
+    } else if (a == "--manifest") {
+      opts.manifest_path = next_arg();
+    } else if (a == "--metrics-json") {
+      opts.metrics_json = next_arg();
+    } else if (a == "--trace-jsonl") {
+      opts.trace_jsonl = next_arg();
+    } else if (a == "--check") {
+      opts.check = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else if (!a.empty() && a.front() == '-') {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage(2);
+    } else {
+      opts.ids.push_back(a);
+    }
+  }
+
+  if (!opts.trace_jsonl.empty()) {
+    auto& trace = dophy::obs::EventTrace::global();
+    if (!trace.open_file(opts.trace_jsonl)) {
+      std::cerr << "cannot open trace file: " << opts.trace_jsonl << "\n";
+      return 2;
+    }
+    trace.enable_all();
+  }
+  if (opts.check) {
+    dophy::check::set_global_enabled(true);
+    // The pipeline prints each FAIL summary; make a failed oracle fatal at
+    // process end.
+    std::atexit([] {
+      if (const auto failures = dophy::check::global_failure_count()) {
+        std::fprintf(stderr, "--check: %llu pipeline run(s) failed invariant checks\n",
+                     static_cast<unsigned long long>(failures));
+        std::_Exit(1);
+      }
+    });
+  }
+
+  return run_command(opts);
+}
