@@ -41,6 +41,18 @@ while read -r report; do
   check_report "$report"
 done < <(find "$out_dir" -maxdepth 1 \( -name 'fig_*.json' -o -name 'table_*.json' \))
 
+echo ">>> traced smoke sweep (Perfetto + latency summary)"
+# One sim-backed sweep re-run with lifecycle spans enabled: produces a
+# Perfetto/Chrome trace loadable at ui.perfetto.dev plus the dophy_trace
+# latency/drop-cause summary.  Spans force recomputation (cached cells emit
+# no events), so this stays a small dedicated run.
+"$build_dir"/tools/dophy_bench run t1-summary $quick_flag --trials 1 --nodes 30 \
+  --cache-dir .dophy-cache --out-dir "$out_dir/traced" \
+  --perfetto "$out_dir/traced/t1.perfetto.json"
+check_report "$out_dir/traced/t1.perfetto.json"
+"$build_dir"/tools/dophy_trace summary "$out_dir/traced/t1.perfetto.json.jsonl" \
+  | tee "$out_dir/traced/t1.summary.txt"
+
 echo ">>> micro benchmarks"
 # --quick shortens the per-benchmark measurement window; this is the mode the
 # CI perf gate uses (see .github/workflows/ci.yml and scripts/bench_compare.py).

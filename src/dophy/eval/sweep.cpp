@@ -9,6 +9,7 @@
 #include "dophy/common/thread_pool.hpp"
 #include "dophy/obs/json.hpp"
 #include "dophy/obs/metrics.hpp"
+#include "dophy/obs/span.hpp"
 
 namespace dophy::eval {
 
@@ -65,8 +66,10 @@ ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opt
 
   static const auto computed_counter =
       dophy::obs::Registry::global().counter("eval.cells.computed");
-  static const auto cell_wall_ms = dophy::obs::Registry::global().histogram(
-      "eval.cell.wall_ms", {10, 100, 1000, 10000, 100000, 600000});
+  // Log2 buckets up to ~2^24 ms (~4.6 h per cell) so manifests can report
+  // meaningful cell-time percentiles instead of decade-wide bins.
+  static const auto cell_wall_ms =
+      dophy::obs::Registry::global().latency_histogram("eval.cell.wall_ms", 25);
 
   auto compute_cell = [&](std::size_t index, dophy::common::ThreadPool* trial_pool) {
     const auto start = std::chrono::steady_clock::now();
@@ -74,8 +77,16 @@ ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opt
     outcomes[index].wall_seconds = seconds_since(start);
     outcomes[index].rows = std::move(rows);
     computed_counter.inc();
-    cell_wall_ms.observe(
-        static_cast<std::uint64_t>(outcomes[index].wall_seconds * 1000.0));
+    const auto wall_ms = static_cast<std::uint64_t>(outcomes[index].wall_seconds * 1000.0);
+    cell_wall_ms.observe(wall_ms);
+    auto& spans = dophy::obs::SpanTrace::global();
+    if (spans.enabled()) {
+      // Cells run on wall time, not simulation time; the interval records
+      // the duration with a zero origin rather than faking a sim timestamp.
+      spans.interval("cell", 0, wall_ms * 1000, [&](dophy::obs::EventBuilder& b) {
+        b.str("experiment", spec.id).str("cell", cells[index].label);
+      });
+    }
   };
 
   if (to_compute.size() == 1) {
@@ -212,6 +223,18 @@ std::string manifest_json(const std::vector<ExperimentRun>& runs,
     w.key("misses").value(stats.misses);
     w.key("stores").value(stats.stores);
     w.key("corrupt").value(stats.corrupt);
+    w.end_object();
+  }
+
+  // Cell-time percentiles from the log2 histogram (computed cells only).
+  const auto cell_wall = metrics.histograms.find("eval.cell.wall_ms");
+  if (cell_wall != metrics.histograms.end() && cell_wall->second.total > 0) {
+    w.key("cell_wall_ms").begin_object();
+    w.key("count").value(cell_wall->second.total);
+    w.key("mean").value(cell_wall->second.mean());
+    w.key("p50").value(cell_wall->second.quantile(0.50));
+    w.key("p90").value(cell_wall->second.quantile(0.90));
+    w.key("p99").value(cell_wall->second.quantile(0.99));
     w.end_object();
   }
 

@@ -6,6 +6,7 @@
 
 #include "dophy/common/logging.hpp"
 #include "dophy/obs/metrics.hpp"
+#include "dophy/obs/span.hpp"
 #include "dophy/obs/trace.hpp"
 
 namespace dophy::net {
@@ -25,6 +26,7 @@ struct NetMetrics {
   dophy::obs::Counter drop_retries, drop_noroute, drop_ttl, drop_queue;
   dophy::obs::Counter beacons, churn_transitions, flood_bytes, air_bytes;
   dophy::obs::HistogramHandle hop_attempts, path_hops;
+  dophy::obs::LatencyHistogram e2e_latency, retry_delay;
 
   static const NetMetrics& get() {
     static const NetMetrics m;
@@ -46,6 +48,8 @@ struct NetMetrics {
     air_bytes = r.counter("sim.air.bytes");
     hop_attempts = r.histogram("sim.hop.attempts", {1, 2, 3, 4, 6, 8, 12, 16});
     path_hops = r.histogram("sim.path.hops", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+    e2e_latency = r.latency_histogram("sim.e2e.latency_us");
+    retry_delay = r.latency_histogram("sim.hop.retry_delay_us");
   }
 };
 }
@@ -394,6 +398,13 @@ void Network::generate_packet(NodeId id) {
   packet.origin = id;
   packet.seq = n.next_data_seq();
   packet.created_at = sim_.now();
+  auto& spans = dophy::obs::SpanTrace::global();
+  if (spans.enabled()) {
+    packet.span = spans.begin("pkt", static_cast<std::uint64_t>(sim_.now()),
+                              [&](dophy::obs::EventBuilder& b) {
+                                b.u64("origin", id).u64("seq", packet.seq);
+                              });
+  }
   if (instrumentation_ != nullptr) instrumentation_->on_origin(packet, id, sim_.now());
   if (observer_ != nullptr) observer_->on_generated(packet, sim_.now());
 
@@ -479,6 +490,23 @@ void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
 
   Node& sender = node(sender_id);
   sender.set_tx_busy(false);
+  // One completed ARQ exchange: outcome.delay covers first attempt + retries.
+  NetMetrics::get().retry_delay.observe(static_cast<std::uint64_t>(outcome.delay));
+  auto& spans = dophy::obs::SpanTrace::global();
+  if (spans.enabled()) {
+    // The exchange occupied [done - service - delay, done - service].
+    const auto start = static_cast<std::uint64_t>(
+        sim_.now() - config_.mac.queue_service_delay - outcome.delay);
+    const dophy::obs::SpanId hop = spans.interval(
+        "hop", start, static_cast<std::uint64_t>(outcome.delay),
+        [&](dophy::obs::EventBuilder& b) {
+          b.u64("from", sender_id)
+              .u64("to", parent)
+              .u64("attempts", outcome.total_attempts)
+              .boolean("ok", outcome.delivered);
+        });
+    spans.link(packet.span, hop, static_cast<std::uint64_t>(sim_.now()));
+  }
   if (outcome.delivered) {
     ++sender.stats().forwarded;
     handle_arrival(parent, sender_id, std::move(packet), outcome.attempts_to_first_rx,
@@ -539,6 +567,8 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
     ++packets_delivered_;
     NetMetrics::get().delivered.inc();
     NetMetrics::get().path_hops.observe(packet.true_hops.size());
+    NetMetrics::get().e2e_latency.observe(
+        static_cast<std::uint64_t>(sim_.now() - packet.created_at));
     if (report_mutator_) report_mutator_(packet, sim_.now());
     if (delivery_handler_) delivery_handler_(packet, sim_.now());
     finish_packet(std::move(packet), PacketFate::kDelivered);
@@ -580,6 +610,13 @@ void Network::finish_packet(Packet&& packet, PacketFate fate) {
         .str("fate", to_string(fate))
         .u64("hops", packet.true_hops.size())
         .u64("created", static_cast<std::uint64_t>(packet.created_at));
+  }
+  auto& spans = dophy::obs::SpanTrace::global();
+  if (spans.enabled()) {
+    spans.end(packet.span, static_cast<std::uint64_t>(sim_.now()),
+              [&](dophy::obs::EventBuilder& b) {
+                b.str("fate", to_string(fate)).u64("hops", packet.true_hops.size());
+              });
   }
   PacketOutcome outcome;
   outcome.fate = fate;

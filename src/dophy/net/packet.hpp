@@ -65,6 +65,9 @@ struct Packet {
   std::uint16_t seq = 0;
   std::uint16_t hop_count = 0;
   SimTime created_at = 0;
+  /// obs::SpanTrace lifecycle span id (0 = tracing off); threaded through to
+  /// the sink so the decode span can link back to the packet's lifetime.
+  std::uint64_t span = 0;
   MeasurementBlob blob;
 
   /// Ground truth, appended by the simulator as the packet moves.
@@ -82,6 +85,7 @@ struct Packet {
     seq = 0;
     hop_count = 0;
     created_at = 0;
+    span = 0;
     blob.reset();
     true_hops.clear();
   }

@@ -1,7 +1,9 @@
 #include "dophy/obs/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dophy::obs {
 
@@ -212,6 +214,138 @@ std::optional<std::map<std::string, std::string>> parse_flat_json_object(std::st
     }
     return std::nullopt;
   }
+}
+
+// --- recursive parser -------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+constexpr int kMaxJsonDepth = 64;
+
+std::optional<JsonValue> parse_value(std::string_view text, std::size_t& i, int depth);
+
+std::optional<JsonValue> parse_object(std::string_view text, std::size_t& i, int depth) {
+  ++i;  // past '{'
+  JsonValue out;
+  out.type = JsonValue::Type::kObject;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    return out;
+  }
+  while (true) {
+    skip_ws(text, i);
+    auto key = parse_string(text, i);
+    if (!key) return std::nullopt;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') return std::nullopt;
+    ++i;
+    auto value = parse_value(text, i, depth);
+    if (!value) return std::nullopt;
+    out.object.insert_or_assign(std::move(*key), std::move(*value));
+    skip_ws(text, i);
+    if (i >= text.size()) return std::nullopt;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      return out;
+    }
+    return std::nullopt;
+  }
+}
+
+std::optional<JsonValue> parse_array(std::string_view text, std::size_t& i, int depth) {
+  ++i;  // past '['
+  JsonValue out;
+  out.type = JsonValue::Type::kArray;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == ']') {
+    ++i;
+    return out;
+  }
+  while (true) {
+    auto value = parse_value(text, i, depth);
+    if (!value) return std::nullopt;
+    out.array.push_back(std::move(*value));
+    skip_ws(text, i);
+    if (i >= text.size()) return std::nullopt;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == ']') {
+      ++i;
+      return out;
+    }
+    return std::nullopt;
+  }
+}
+
+std::optional<JsonValue> parse_value(std::string_view text, std::size_t& i, int depth) {
+  if (depth >= kMaxJsonDepth) return std::nullopt;
+  skip_ws(text, i);
+  if (i >= text.size()) return std::nullopt;
+  JsonValue out;
+  const char c = text[i];
+  if (c == '{') return parse_object(text, i, depth + 1);
+  if (c == '[') return parse_array(text, i, depth + 1);
+  if (c == '"') {
+    auto s = parse_string(text, i);
+    if (!s) return std::nullopt;
+    out.type = JsonValue::Type::kString;
+    out.string = std::move(*s);
+    return out;
+  }
+  if (text.substr(i, 4) == "true") {
+    i += 4;
+    out.type = JsonValue::Type::kBool;
+    out.boolean = true;
+    return out;
+  }
+  if (text.substr(i, 5) == "false") {
+    i += 5;
+    out.type = JsonValue::Type::kBool;
+    out.boolean = false;
+    return out;
+  }
+  if (text.substr(i, 4) == "null") {
+    i += 4;
+    return out;  // kNull
+  }
+  // Number: delegate validation to strtod over the literal span.
+  const std::size_t start = i;
+  while (i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+                             text[i] == '-' || text[i] == '+' || text[i] == '.' ||
+                             text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+  }
+  if (i == start) return std::nullopt;
+  const std::string literal(text.substr(start, i - start));
+  char* end = nullptr;
+  out.number = std::strtod(literal.c_str(), &end);
+  if (end != literal.c_str() + literal.size()) return std::nullopt;
+  out.type = JsonValue::Type::kNumber;
+  return out;
+}
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  std::size_t i = 0;
+  auto value = parse_value(text, i, 0);
+  if (!value) return std::nullopt;
+  skip_ws(text, i);
+  if (i != text.size()) return std::nullopt;  // trailing garbage
+  return value;
 }
 
 }  // namespace dophy::obs

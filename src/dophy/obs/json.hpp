@@ -57,4 +57,33 @@ class JsonWriter {
 [[nodiscard]] std::optional<std::map<std::string, std::string>> parse_flat_json_object(
     std::string_view text);
 
+/// Fully parsed JSON value for offline tooling (run-report diffs, Perfetto
+/// schema validation).  A plain tagged struct, not a performance-sensitive
+/// DOM: traces are parsed line-by-line with parse_flat_json_object; this is
+/// for the nested documents (run reports, trace-event files).
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Recursive-descent parse of one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).  Nesting is capped at 64 levels.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
 }  // namespace dophy::obs

@@ -1,6 +1,7 @@
 #include "dophy/obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "dophy/obs/json.hpp"
@@ -8,6 +9,36 @@
 namespace dophy::obs {
 
 // --- snapshot ---------------------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 picks the first sample.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Bucket i spans (lo, hi]; interpolate by the rank's position in it.
+    const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double hi = i < bounds.size() ? static_cast<double>(bounds[i])
+                                        : 2.0 * static_cast<double>(bounds.back());
+    const double frac = (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(bounds.back());  // unreachable: cumulative == total
+}
+
+std::vector<std::uint64_t> log2_bounds(std::uint32_t buckets) {
+  if (buckets == 0 || buckets > 64) {
+    throw std::invalid_argument("obs::log2_bounds: buckets must be in [1, 64]");
+  }
+  std::vector<std::uint64_t> bounds(buckets);
+  for (std::uint32_t i = 0; i < buckets; ++i) bounds[i] = std::uint64_t{1} << i;
+  return bounds;
+}
 
 MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& base) const {
   MetricsSnapshot out = *this;
@@ -186,6 +217,19 @@ HistogramHandle Registry::histogram(std::string_view name, std::vector<std::uint
   return HistogramHandle(this, defs_[idx].slot, &defs_[idx].bounds);
 }
 
+LatencyHistogram Registry::latency_histogram(std::string_view name, std::uint32_t buckets) {
+  auto bounds = log2_bounds(buckets);
+  const auto width = static_cast<std::uint32_t>(bounds.size() + 2);
+  const std::uint32_t idx = intern(name, MetricKind::kHistogram, width, std::move(bounds));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (defs_[idx].bounds != log2_bounds(buckets)) {
+    throw std::logic_error("obs::Registry: latency histogram '" + std::string(name) +
+                           "' re-registered with different bucket count");
+  }
+  return LatencyHistogram(this, defs_[idx].slot,
+                          static_cast<std::uint32_t>(defs_[idx].bounds.size()));
+}
+
 MetricsSnapshot Registry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
@@ -248,6 +292,19 @@ void HistogramHandle::observe(std::uint64_t value) const noexcept {
   shard.cell(slot_ + bucket).fetch_add(1, std::memory_order_relaxed);
   shard.cell(slot_ + static_cast<std::uint32_t>(bounds_->size()) + 1)
       .fetch_add(value, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::observe(std::uint64_t value) const noexcept {
+  if (reg_ == nullptr || !reg_->metrics_enabled()) return;
+  // Matches lower_bound over {1,2,4,...}: value v>1 lands in the bucket whose
+  // bound is the smallest power of two >= v, i.e. bit_width(v-1); values above
+  // the last bound fall into the overflow bucket `buckets_`.
+  const std::uint32_t bucket =
+      value <= 1 ? 0
+                 : std::min(static_cast<std::uint32_t>(std::bit_width(value - 1)), buckets_);
+  Registry::Shard& shard = reg_->local_shard();
+  shard.cell(slot_ + bucket).fetch_add(1, std::memory_order_relaxed);
+  shard.cell(slot_ + buckets_ + 1).fetch_add(value, std::memory_order_relaxed);
 }
 
 }  // namespace dophy::obs

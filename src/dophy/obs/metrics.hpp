@@ -44,8 +44,19 @@ struct HistogramSnapshot {
   [[nodiscard]] double mean() const noexcept {
     return total == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(total);
   }
+
+  /// Estimates the q-quantile (q in [0, 1]) by locating the bucket holding
+  /// rank q*total and interpolating linearly inside it.  The estimate is
+  /// always within the true quantile's bucket, so for log2 bounds the value
+  /// is within a factor of 2 of the exact quantile.  Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
   bool operator==(const HistogramSnapshot&) const = default;
 };
+
+/// Strictly increasing powers of two {1, 2, 4, ..., 2^(buckets-1)} — the
+/// bound vector behind every latency histogram.
+[[nodiscard]] std::vector<std::uint64_t> log2_bounds(std::uint32_t buckets);
 
 /// Point-in-time view of a whole registry.
 struct MetricsSnapshot {
@@ -101,6 +112,24 @@ class HistogramHandle {
   const std::vector<std::uint64_t>* bounds_ = nullptr;  ///< stable (deque-backed)
 };
 
+/// Histogram specialized for log2 bounds: `observe` replaces the binary
+/// search with a bit_width computation (a few ns), which matters on the
+/// per-packet latency paths.  Registered as an ordinary histogram, so
+/// sharding, snapshots, and the deterministic delta are unchanged.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  void observe(std::uint64_t value) const noexcept;
+
+ private:
+  friend class Registry;
+  LatencyHistogram(Registry* reg, std::uint32_t slot, std::uint32_t buckets)
+      : reg_(reg), slot_(slot), buckets_(buckets) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;     ///< first bucket slot
+  std::uint32_t buckets_ = 0;  ///< == bounds.size(); overflow is bucket `buckets_`
+};
+
 class Registry {
  public:
   Registry();
@@ -119,6 +148,10 @@ class Registry {
   /// non-empty.  Re-interning an existing histogram ignores `bounds`.
   [[nodiscard]] HistogramHandle histogram(std::string_view name,
                                           std::vector<std::uint64_t> bounds);
+  /// Log2-bucketed histogram with bounds {1, 2, ..., 2^(buckets-1)}.  The
+  /// default 40 buckets cover ~6.4 days at microsecond resolution.
+  [[nodiscard]] LatencyHistogram latency_histogram(std::string_view name,
+                                                  std::uint32_t buckets = 40);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -139,6 +172,7 @@ class Registry {
  private:
   friend class Counter;
   friend class HistogramHandle;
+  friend class LatencyHistogram;
 
   struct Def {
     std::string name;

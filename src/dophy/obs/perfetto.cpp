@@ -1,0 +1,190 @@
+#include "dophy/obs/perfetto.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dophy/obs/json.hpp"
+
+namespace dophy::obs {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// Emits one trace event object.  `args` receives every field of the source
+/// line not consumed by the envelope, so nothing in the trace is lost.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {}
+
+  /// Begins {"ph":ph,"name":name,"ts":ts,"pid":pid,"tid":tid, ...
+  JsonWriter& open(std::string_view ph, std::string_view name, std::uint64_t ts,
+                   std::uint64_t pid, std::uint64_t tid) {
+    writer_ = JsonWriter();
+    writer_.begin_object();
+    writer_.key("ph").value(ph);
+    writer_.key("name").value(name);
+    writer_.key("ts").value(ts);
+    writer_.key("pid").value(pid);
+    writer_.key("tid").value(tid);
+    return writer_;
+  }
+
+  /// Finishes the object opened by open() and writes it into the array.
+  void commit() {
+    writer_.end_object();
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << writer_.str();
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::ostream& out_;
+  JsonWriter writer_;
+  bool first_ = true;
+  std::size_t count_ = 0;
+};
+
+/// Copies every field of `fields` not in the envelope into an "args" object.
+void write_args(JsonWriter& w, const std::map<std::string, std::string>& fields,
+                std::initializer_list<std::string_view> consumed) {
+  auto is_consumed = [&](const std::string& key) {
+    for (const auto c : consumed) {
+      if (key == c) return true;
+    }
+    return false;
+  };
+  w.key("args").begin_object();
+  for (const auto& [key, value] : fields) {
+    if (is_consumed(key)) continue;
+    w.key(key).value(value);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::size_t export_perfetto(std::istream& jsonl, std::ostream& out,
+                            const PhaseProfile* phases) {
+  out << "{\"traceEvents\":[\n";
+  EventWriter events(out);
+
+  // Async begin/end pairs must repeat the begin's cat/name; remember them.
+  std::unordered_map<std::uint64_t, std::string> span_kind;
+  std::unordered_set<std::uint64_t> runs_seen;
+
+  std::string line;
+  while (std::getline(jsonl, line)) {
+    if (line.empty()) continue;
+    const auto parsed = parse_flat_json_object(line);
+    if (!parsed) continue;  // count()-based callers see skipped lines as missing
+    const auto field = [&](std::string_view key) -> std::string {
+      const auto it = parsed->find(std::string(key));
+      return it == parsed->end() ? std::string() : it->second;
+    };
+    const std::string ev = field("ev");
+    if (ev.empty()) continue;
+    const std::uint64_t ts = parse_u64(field("t"));
+    const std::uint64_t pid = parse_u64(field("run"));
+    runs_seen.insert(pid);
+
+    if (ev == "span") {
+      const std::string op = field("op");
+      const std::uint64_t id = parse_u64(field("id"));
+      const std::string kind = field("kind");
+      if (op == "b") {
+        span_kind[id] = kind;
+        auto& w = events.open("b", kind, ts, pid, 0);
+        w.key("cat").value(kind);
+        w.key("id").value(id);
+        write_args(w, *parsed, {"ev", "t", "run", "op", "id", "kind"});
+        events.commit();
+      } else if (op == "e") {
+        const auto it = span_kind.find(id);
+        const std::string name = it == span_kind.end() ? std::string("span") : it->second;
+        auto& w = events.open("e", name, ts, pid, 0);
+        w.key("cat").value(name);
+        w.key("id").value(id);
+        write_args(w, *parsed, {"ev", "t", "run", "op", "id"});
+        events.commit();
+      } else if (op == "x") {
+        const std::uint64_t dur = parse_u64(field("dur"));
+        // Hop intervals carry the transmitting node in "from"; use it as the
+        // tid so per-node activity lines up in the UI.
+        const std::string from = field("from");
+        auto& w = events.open("X", kind, ts, pid, from.empty() ? 0 : parse_u64(from));
+        w.key("dur").value(dur);
+        write_args(w, *parsed, {"ev", "t", "run", "op", "id", "kind", "dur"});
+        events.commit();
+      } else if (op == "i") {
+        auto& w = events.open("i", kind, ts, pid, 0);
+        w.key("s").value("p");  // process-scoped instant
+        write_args(w, *parsed, {"ev", "t", "run", "op", "id", "kind"});
+        events.commit();
+      } else if (op == "l") {
+        auto& w = events.open("i", "link", ts, pid, 0);
+        w.key("s").value("p");
+        write_args(w, *parsed, {"ev", "t", "run", "op"});
+        events.commit();
+      }
+      continue;
+    }
+
+    // Ordinary event kinds render as process-scoped instants.
+    auto& w = events.open("i", ev, ts, pid, 0);
+    w.key("s").value("p");
+    write_args(w, *parsed, {"ev", "t", "run"});
+    events.commit();
+  }
+
+  // Wall-clock phases: back-to-back slices on a dedicated pid 0 track (phase
+  // timers have no simulation timestamps, so a synthetic timeline is the
+  // honest rendering).
+  if (phases != nullptr) {
+    std::uint64_t cursor = 0;
+    for (const auto& [name, seconds] : phases->seconds()) {
+      const auto dur = static_cast<std::uint64_t>(seconds * 1e6);
+      auto& w = events.open("X", name, cursor, 0, 0);
+      w.key("dur").value(dur);
+      w.key("cat").value("phase");
+      events.commit();
+      cursor += dur;
+    }
+    runs_seen.insert(0);
+  }
+
+  // Name each run's process track.
+  for (const std::uint64_t run : runs_seen) {
+    auto& w = events.open("M", "process_name", 0, run, 0);
+    w.key("args").begin_object();
+    w.key("name").value(run == 0 ? std::string("phases")
+                                 : "run " + std::to_string(run));
+    w.end_object();
+    events.commit();
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return events.count();
+}
+
+bool export_perfetto_file(const std::string& jsonl_path, const std::string& out_path,
+                          const PhaseProfile* phases) {
+  std::ifstream in(jsonl_path);
+  if (!in.is_open()) return false;
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  export_perfetto(in, out, phases);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dophy::obs

@@ -1,0 +1,39 @@
+#pragma once
+
+// Chrome-trace-event ("Perfetto JSON") exporter.  Converts a dophy JSONL
+// event trace — ordinary events, span records, and optionally the wall-clock
+// phase profile — into the trace-event format that ui.perfetto.dev and
+// chrome://tracing load directly:
+//
+//   {"traceEvents":[{"ph":"b","name":"pkt",...}, ...],"displayTimeUnit":"ms"}
+//
+// Mapping:
+//   span op "b"/"e"  -> async begin/end ("ph":"b"/"e", same cat/name/id)
+//   span op "x"      -> complete slice ("ph":"X" with "dur")
+//   span op "i"/"l"  -> instant ("ph":"i"); links carry from/to in args
+//   other events     -> instant ("ph":"i") named after the event kind
+//   phase profile    -> synthesized back-to-back "X" slices on pid 0
+//
+// Timestamps pass through unchanged (simulation microseconds, the unit the
+// format expects); each run context becomes one "pid" so concurrent trials
+// separate into process tracks.
+
+#include <iosfwd>
+#include <string>
+
+#include "dophy/obs/timer.hpp"
+
+namespace dophy::obs {
+
+/// Streams `jsonl` (one event per line) to `out` as trace-event JSON.
+/// Unparseable lines are skipped and counted; returns the number of trace
+/// events written.  `phases`, when given, adds one slice per phase timer.
+std::size_t export_perfetto(std::istream& jsonl, std::ostream& out,
+                            const PhaseProfile* phases = nullptr);
+
+/// File wrapper around export_perfetto; returns false if either path cannot
+/// be opened.
+bool export_perfetto_file(const std::string& jsonl_path, const std::string& out_path,
+                          const PhaseProfile* phases = nullptr);
+
+}  // namespace dophy::obs

@@ -1,0 +1,25 @@
+#include "dophy/obs/span.hpp"
+
+namespace dophy::obs {
+
+SpanTrace& SpanTrace::global() {
+  static SpanTrace spans;
+  return spans;
+}
+
+void SpanTrace::set_enabled(bool on) noexcept {
+  if (on) EventTrace::global().enable(EventKind::kSpan);
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void SpanTrace::link(SpanId from, SpanId to, std::uint64_t t_us) {
+  if (from == 0 || to == 0) return;
+  auto b = record(t_us);
+  b.str("op", "l").u64("id", from).u64("to", to);
+}
+
+EventBuilder SpanTrace::record(std::uint64_t t_us) {
+  return EventTrace::global().event(EventKind::kSpan, t_us);
+}
+
+}  // namespace dophy::obs

@@ -1,0 +1,137 @@
+#pragma once
+
+// Causal lifecycle spans layered on the JSONL event trace.  A span follows
+// one logical object (a data packet, a sink decode, a model window) through
+// time; spans reference each other by id, so a trace viewer — or
+// tools/dophy_trace — can reconstruct the causal chain packet -> hop
+// intervals -> decode -> model update.
+//
+// Spans are JSONL records with EventKind::kSpan ("ev":"span") and an "op"
+// field:
+//
+//   {"ev":"span","op":"b","id":7,"kind":"pkt",...}          begin
+//   {"ev":"span","op":"e","id":7,...}                       end
+//   {"ev":"span","op":"i","id":9,"kind":"decode",...}       instant
+//   {"ev":"span","op":"x","id":8,"kind":"hop","dur":512,...} completed interval
+//   {"ev":"span","op":"l","id":7,"to":9}                    causal link
+//
+// All timestamps are simulation microseconds; "run" carries the trial seed
+// like every other trace line.  SpanId 0 means "no span" — call sites keep
+// it in packets and results so downstream code can link without caring
+// whether tracing is live.
+//
+// Cost model: `SpanTrace::global().enabled()` is a single relaxed atomic
+// load; every call site guards with it, so disabled tracing costs one load
+// plus a branch (the PR 3 perf gate measures this path).  Annotation
+// callbacks run only when a record is actually built:
+//
+//   auto& spans = obs::SpanTrace::global();
+//   if (spans.enabled()) {
+//     pkt.span = spans.begin("pkt", now, [&](obs::EventBuilder& b) {
+//       b.u64("origin", origin).u64("seq", seq);
+//     });
+//   }
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "dophy/obs/trace.hpp"
+
+namespace dophy::obs {
+
+/// Process-unique span identifier; 0 means "no span".
+using SpanId = std::uint64_t;
+
+class SpanTrace {
+ public:
+  /// Process-wide span trace used by the sim/tomo instrumentation.
+  static SpanTrace& global();
+
+  /// The one check call sites make before doing any span work.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Enabling spans also enables EventKind::kSpan on the global EventTrace
+  /// so records are not masked away.
+  void set_enabled(bool on) noexcept;
+
+  /// Opens a span of `kind` at `t_us`; returns its id for end()/link().
+  template <typename Fn>
+  SpanId begin(std::string_view kind, std::uint64_t t_us, Fn&& annotate) {
+    const SpanId id = next_id();
+    {
+      auto b = record(t_us);
+      b.str("op", "b").u64("id", id).str("kind", kind);
+      std::forward<Fn>(annotate)(b);
+    }
+    return id;
+  }
+  SpanId begin(std::string_view kind, std::uint64_t t_us) {
+    return begin(kind, t_us, [](EventBuilder&) {});
+  }
+
+  /// Closes a span previously opened with begin().  No-op for id 0.
+  template <typename Fn>
+  void end(SpanId id, std::uint64_t t_us, Fn&& annotate) {
+    if (id == 0) return;
+    auto b = record(t_us);
+    b.str("op", "e").u64("id", id);
+    std::forward<Fn>(annotate)(b);
+  }
+  void end(SpanId id, std::uint64_t t_us) {
+    end(id, t_us, [](EventBuilder&) {});
+  }
+
+  /// A zero-duration span (a decode, a model publish): one record, still
+  /// linkable by id.
+  template <typename Fn>
+  SpanId instant(std::string_view kind, std::uint64_t t_us, Fn&& annotate) {
+    const SpanId id = next_id();
+    {
+      auto b = record(t_us);
+      b.str("op", "i").u64("id", id).str("kind", kind);
+      std::forward<Fn>(annotate)(b);
+    }
+    return id;
+  }
+  SpanId instant(std::string_view kind, std::uint64_t t_us) {
+    return instant(kind, t_us, [](EventBuilder&) {});
+  }
+
+  /// A completed interval [start_us, start_us + dur_us] recorded after the
+  /// fact (per-hop ARQ exchanges, sweep cells).
+  template <typename Fn>
+  SpanId interval(std::string_view kind, std::uint64_t start_us, std::uint64_t dur_us,
+                  Fn&& annotate) {
+    const SpanId id = next_id();
+    {
+      auto b = record(start_us);
+      b.str("op", "x").u64("id", id).str("kind", kind).u64("dur", dur_us);
+      std::forward<Fn>(annotate)(b);
+    }
+    return id;
+  }
+  SpanId interval(std::string_view kind, std::uint64_t start_us, std::uint64_t dur_us) {
+    return interval(kind, start_us, dur_us, [](EventBuilder&) {});
+  }
+
+  /// Declares a causal edge from span `from` to span `to` at `t_us`.
+  /// No-op when either end is 0.
+  void link(SpanId from, SpanId to, std::uint64_t t_us);
+
+ private:
+  [[nodiscard]] SpanId next_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A bare kSpan record; callers append "op"/"id" before annotations.
+  /// Returned by value — guaranteed elision, EventBuilder never moves.
+  [[nodiscard]] EventBuilder record(std::uint64_t t_us);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace dophy::obs

@@ -1,5 +1,7 @@
 #include "dophy/obs/trace.hpp"
 
+#include <unordered_map>
+
 namespace dophy::obs {
 
 std::string_view to_string(EventKind kind) noexcept {
@@ -14,6 +16,7 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kModelUpdate: return "model_update";
     case EventKind::kDecodeFailure: return "decode_failure";
     case EventKind::kFaultInject: return "fault_inject";
+    case EventKind::kSpan: return "span";
     case EventKind::kCount: break;
   }
   return "?";
@@ -23,13 +26,18 @@ namespace {
 thread_local std::uint64_t t_run_context = 0;
 constexpr std::uint32_t kAllMask =
     (1u << static_cast<std::uint32_t>(EventKind::kCount)) - 1;
+std::atomic<std::uint64_t> g_trace_ids{1};
 }  // namespace
 
 void EventTrace::set_run_context(std::uint64_t run_id) noexcept { t_run_context = run_id; }
 std::uint64_t EventTrace::run_context() noexcept { return t_run_context; }
 
+EventTrace::EventTrace() : id_(g_trace_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+EventTrace::~EventTrace() { close(); }
+
 EventTrace& EventTrace::global() {
-  static EventTrace trace;
+  static EventTrace trace;  // destructor flushes buffered lines at exit
   return trace;
 }
 
@@ -43,41 +51,102 @@ void EventTrace::disable_all() noexcept { set_mask(0); }
 bool EventTrace::open_file(const std::string& path) {
   std::ofstream file(path, std::ios::out | std::ios::trunc);
   if (!file.is_open()) return false;
+  flush();  // drain buffered lines to the previous destination
   const std::lock_guard<std::mutex> lock(mutex_);
   file_ = std::move(file);
   sink_ = nullptr;
+  has_destination_.store(true, std::memory_order_relaxed);
   return true;
 }
 
 void EventTrace::set_sink(Sink sink) {
+  flush();  // drain buffered lines to the previous destination
   const std::lock_guard<std::mutex> lock(mutex_);
   if (file_.is_open()) file_.close();
   sink_ = std::move(sink);
+  has_destination_.store(static_cast<bool>(sink_), std::memory_order_relaxed);
 }
 
 void EventTrace::close() {
+  flush();
   const std::lock_guard<std::mutex> lock(mutex_);
   if (file_.is_open()) {
     file_.flush();
     file_.close();
   }
   sink_ = nullptr;
+  has_destination_.store(false, std::memory_order_relaxed);
+}
+
+void EventTrace::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> batch;
+  for (const auto& buf : buffers_) {
+    {
+      const std::lock_guard<std::mutex> buf_lock(buf->m);
+      batch.swap(buf->lines);
+    }
+    emit_batch_locked(batch);
+  }
 }
 
 EventBuilder EventTrace::event(EventKind kind, std::uint64_t t_us) {
   return EventBuilder(this, kind, t_us);
 }
 
-void EventTrace::write_line(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (file_.is_open()) {
-    file_ << line << '\n';
-  } else if (sink_) {
-    sink_(line);
+EventTrace::Buffer& EventTrace::local_buffer() {
+  // Same id-keyed caching scheme as Registry::local_shard: a process-unique
+  // trace id keys the cache, so a stale entry for a destroyed trace can never
+  // alias a new one at the same address.
+  thread_local std::uint64_t last_id = 0;  // ids start at 1
+  thread_local Buffer* last_buffer = nullptr;
+  if (last_id == id_) return *last_buffer;
+
+  thread_local std::unordered_map<std::uint64_t, Buffer*> cache;
+  Buffer* buffer;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) {
+    buffer = it->second;
   } else {
-    return;  // no destination: drop silently (still counts as not emitted)
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffer = buffers_.back().get();
+    cache.emplace(id_, buffer);
   }
-  emitted_.fetch_add(1, std::memory_order_relaxed);
+  last_id = id_;
+  last_buffer = buffer;
+  return *buffer;
+}
+
+void EventTrace::write_line(std::string line) {
+  // No destination: drop immediately instead of buffering unboundedly.
+  if (!has_destination_.load(std::memory_order_relaxed)) return;
+  Buffer& buf = local_buffer();
+  std::vector<std::string> batch;
+  {
+    const std::lock_guard<std::mutex> buf_lock(buf.m);
+    buf.lines.push_back(std::move(line));
+    if (buf.lines.size() < kFlushLines) return;
+    batch.swap(buf.lines);
+  }
+  // The buffer lock is released before taking the global one (mutex_ is
+  // never acquired under a Buffer::m, so flush() cannot deadlock with us).
+  const std::lock_guard<std::mutex> lock(mutex_);
+  emit_batch_locked(batch);
+}
+
+void EventTrace::emit_batch_locked(std::vector<std::string>& batch) {
+  if (batch.empty()) return;
+  if (file_.is_open()) {
+    for (const auto& line : batch) file_ << line << '\n';
+  } else if (sink_) {
+    for (const auto& line : batch) sink_(line);
+  } else {
+    batch.clear();
+    return;  // destination vanished since buffering: drop, not emitted
+  }
+  emitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  batch.clear();
 }
 
 EventBuilder::EventBuilder(EventTrace* trace, EventKind kind, std::uint64_t t_us)
@@ -90,7 +159,7 @@ EventBuilder::EventBuilder(EventTrace* trace, EventKind kind, std::uint64_t t_us
 
 EventBuilder::~EventBuilder() {
   writer_.end_object();
-  trace_->write_line(writer_.str());
+  trace_->write_line(writer_.take());
 }
 
 EventBuilder& EventBuilder::u64(std::string_view key, std::uint64_t v) {

@@ -18,14 +18,22 @@
 // carries the event name ("ev"), simulation time in microseconds ("t"), and
 // the thread's run context ("run", normally the trial seed) so traces from
 // concurrent trials can be demultiplexed.
+//
+// Emission is batched per thread: lines accumulate in a thread-local buffer
+// and reach the file/sink in order, a few hundred at a time, so high-rate
+// tracing does not serialize the simulator on the global mutex.  Buffers
+// drain on `flush()`, when the destination changes, and on `close()`.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "dophy/obs/json.hpp"
 
@@ -42,6 +50,7 @@ enum class EventKind : std::uint32_t {
   kModelUpdate,       ///< sink published a new probability-model set
   kDecodeFailure,     ///< sink failed to decode a measurement blob
   kFaultInject,       ///< fault-injection event executed (dophy::fault)
+  kSpan,              ///< lifecycle span record (obs::SpanTrace)
   kCount
 };
 
@@ -73,6 +82,11 @@ class EventTrace {
  public:
   using Sink = std::function<void(std::string_view line)>;
 
+  EventTrace();
+  ~EventTrace();
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
   /// Process-wide trace used by the sim/tomo instrumentation.
   static EventTrace& global();
 
@@ -90,12 +104,18 @@ class EventTrace {
   }
 
   /// Routes events to a JSONL file; returns false (and leaves the previous
-  /// sink) if the file cannot be opened.
+  /// sink) if the file cannot be opened.  Buffered lines drain to the
+  /// previous destination first.
   bool open_file(const std::string& path);
   /// Routes events to an arbitrary sink (tests).  nullptr discards events.
+  /// Buffered lines drain to the previous destination first.
   void set_sink(Sink sink);
   /// Flushes and drops the current file/sink.
   void close();
+  /// Drains every thread's buffered lines to the current destination.  Lines
+  /// buffered by one thread stay in emission order; interleaving across
+  /// threads is unspecified.
+  void flush();
 
   /// Starts one event record at simulation time `t_us`; finish it by adding
   /// fields and letting the temporary die.
@@ -112,13 +132,28 @@ class EventTrace {
 
  private:
   friend class EventBuilder;
-  void write_line(const std::string& line);
+
+  /// Per-thread line buffer.  The mutex only contends with flush(): the
+  /// owning thread appends, flush() (any thread) swaps the lines out.
+  struct Buffer {
+    std::mutex m;
+    std::vector<std::string> lines;
+  };
+  static constexpr std::size_t kFlushLines = 256;
+
+  [[nodiscard]] Buffer& local_buffer();
+  void write_line(std::string line);
+  /// Writes a batch to the destination; caller holds mutex_.  Clears `batch`.
+  void emit_batch_locked(std::vector<std::string>& batch);
 
   std::atomic<std::uint32_t> mask_{0};
   std::atomic<std::uint64_t> emitted_{0};
-  std::mutex mutex_;
+  std::atomic<bool> has_destination_{false};
+  std::mutex mutex_;  ///< guards file_/sink_/buffers_; never taken under a Buffer::m
   std::ofstream file_;
   Sink sink_;
+  std::deque<std::unique_ptr<Buffer>> buffers_;  ///< stable addresses
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local buffer cache
 };
 
 /// RAII run-context setter (restores the previous context on destruction).

@@ -1,0 +1,275 @@
+#include "dophy/obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "dophy/common/table.hpp"
+#include "dophy/obs/json.hpp"
+
+namespace dophy::obs {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// Nearest-rank percentile over a sorted sample vector.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+LatencyStats stats_from(std::vector<std::uint64_t>& samples) {
+  LatencyStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  std::uint64_t sum = 0;
+  for (const auto v : samples) sum += v;
+  out.mean = static_cast<double>(sum) / static_cast<double>(samples.size());
+  out.p50 = percentile(samples, 0.50);
+  out.p95 = percentile(samples, 0.95);
+  out.p99 = percentile(samples, 0.99);
+  out.max = samples.back();
+  return out;
+}
+
+}  // namespace
+
+TraceSummary summarize_trace(std::istream& jsonl) {
+  TraceSummary out;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> latency_samples;
+
+  std::string line;
+  while (std::getline(jsonl, line)) {
+    if (line.empty()) continue;
+    ++out.lines;
+    const auto parsed = parse_flat_json_object(line);
+    if (!parsed) {
+      ++out.unparseable;
+      continue;
+    }
+    const auto field = [&](const char* key) -> std::string {
+      const auto it = parsed->find(key);
+      return it == parsed->end() ? std::string() : it->second;
+    };
+    const std::string ev = field("ev");
+    if (ev.empty()) {
+      ++out.unparseable;
+      continue;
+    }
+    ++out.event_counts[ev];
+
+    if (ev == "packet_fate") {
+      const std::string fate = field("fate");
+      ++out.fate_counts[fate];
+      if (fate == "delivered") {
+        const std::uint64_t t = parse_u64(field("t"));
+        const std::uint64_t created = parse_u64(field("created"));
+        const std::uint64_t hops = parse_u64(field("hops"));
+        const std::uint64_t latency = t >= created ? t - created : 0;
+        latency_samples[hops].push_back(latency);
+        latency_samples[0].push_back(latency);  // key 0 = all deliveries
+      }
+      continue;
+    }
+
+    if (ev == "span") {
+      const std::string op = field("op");
+      if (op == "b") ++out.spans_begun;
+      if (op == "e") ++out.spans_ended;
+      if (op == "x" && field("kind") == "hop") {
+        const auto link = std::make_pair(parse_u64(field("from")), parse_u64(field("to")));
+        LinkRetryStats& stats = out.link_retries[link];
+        const std::uint64_t attempts = parse_u64(field("attempts"));
+        ++stats.exchanges;
+        if (field("ok") == "false") ++stats.failures;
+        stats.attempts_sum += attempts;
+        stats.attempts_max =
+            std::max(stats.attempts_max, static_cast<std::uint32_t>(attempts));
+      }
+      continue;
+    }
+  }
+
+  for (auto& [hops, samples] : latency_samples) {
+    out.latency_by_hops[hops] = stats_from(samples);
+  }
+  return out;
+}
+
+void print_trace_summary(std::ostream& os, const TraceSummary& summary,
+                         std::size_t max_links) {
+  os << "trace: " << summary.lines << " lines";
+  if (summary.unparseable != 0) os << " (" << summary.unparseable << " unparseable)";
+  os << "\n\n";
+
+  {
+    dophy::common::Table table({"event", "count"});
+    for (const auto& [ev, count] : summary.event_counts) table.row().cell(ev).cell(count);
+    table.print(os, "Events");
+    os << "\n";
+  }
+
+  if (!summary.fate_counts.empty()) {
+    std::uint64_t total = 0;
+    for (const auto& [fate, count] : summary.fate_counts) total += count;
+    dophy::common::Table table({"fate", "count", "share"});
+    for (const auto& [fate, count] : summary.fate_counts) {
+      table.row().cell(fate).cell(count).cell(
+          total == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(total), 4);
+    }
+    table.print(os, "Packet fates (drop causes)");
+    os << "\n";
+  }
+
+  if (!summary.latency_by_hops.empty()) {
+    dophy::common::Table table(
+        {"hops", "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"});
+    for (const auto& [hops, stats] : summary.latency_by_hops) {
+      table.row()
+          .cell(hops == 0 ? std::string("all") : std::to_string(hops))
+          .cell(stats.count)
+          .cell(stats.mean, 1)
+          .cell(stats.p50)
+          .cell(stats.p95)
+          .cell(stats.p99)
+          .cell(stats.max);
+    }
+    table.print(os, "End-to-end latency by hop count (delivered)");
+    os << "\n";
+  }
+
+  if (!summary.link_retries.empty()) {
+    // Busiest links first.
+    std::vector<std::pair<std::pair<std::uint64_t, std::uint64_t>, LinkRetryStats>> links(
+        summary.link_retries.begin(), summary.link_retries.end());
+    std::sort(links.begin(), links.end(), [](const auto& a, const auto& b) {
+      return a.second.exchanges > b.second.exchanges;
+    });
+    if (links.size() > max_links) links.resize(max_links);
+    dophy::common::Table table(
+        {"link", "exchanges", "failures", "mean_attempts", "max_attempts"});
+    for (const auto& [link, stats] : links) {
+      table.row()
+          .cell(std::to_string(link.first) + "->" + std::to_string(link.second))
+          .cell(stats.exchanges)
+          .cell(stats.failures)
+          .cell(stats.mean_attempts(), 2)
+          .cell(stats.attempts_max);
+    }
+    table.print(os, "Per-link ARQ retries (top " + std::to_string(links.size()) + ")");
+    os << "\n";
+  }
+
+  if (summary.spans_begun != 0 || summary.spans_ended != 0) {
+    os << "spans: " << summary.spans_begun << " begun, " << summary.spans_ended
+       << " ended\n";
+  }
+}
+
+namespace {
+
+/// Flattens the sections diff_reports compares out of one parsed report.
+struct ReportView {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> phases;
+  std::map<std::string, double> histogram_totals;
+};
+
+ReportView view_of(const JsonValue& root) {
+  ReportView out;
+  if (const auto* phases = root.find("phase_seconds")) {
+    for (const auto& [name, v] : phases->object) {
+      if (v.is_number()) out.phases[name] = v.number;
+    }
+  }
+  if (const auto* metrics = root.find("metrics")) {
+    if (const auto* counters = metrics->find("counters")) {
+      for (const auto& [name, v] : counters->object) {
+        if (v.is_number()) out.counters[name] = v.number;
+      }
+    }
+    if (const auto* histograms = metrics->find("histograms")) {
+      for (const auto& [name, v] : histograms->object) {
+        if (const auto* total = v.find("total")) {
+          if (total->is_number()) out.histogram_totals[name] = total->number;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void diff_section(ReportDiff& diff, const std::string& section,
+                  const std::map<std::string, double>& before,
+                  const std::map<std::string, double>& after,
+                  const ReportDiffOptions& opts) {
+  std::map<std::string, std::pair<double, double>> merged;
+  for (const auto& [name, v] : before) merged[name].first = v;
+  for (const auto& [name, v] : after) merged[name].second = v;
+  for (const auto& [name, values] : merged) {
+    const auto [a, b] = values;
+    if (std::abs(a) < opts.min_magnitude && std::abs(b) < opts.min_magnitude) continue;
+    ReportDiff::Row row;
+    row.section = section;
+    row.name = name;
+    row.before = a;
+    row.after = b;
+    row.change_pct = a == 0.0 ? 0.0 : (b - a) / a * 100.0;
+    // A metric appearing or vanishing entirely is always worth flagging.
+    row.exceeded = a == 0.0 || b == 0.0 ? true : std::abs(row.change_pct) > opts.threshold_pct;
+    diff.any_exceeded = diff.any_exceeded || row.exceeded;
+    diff.rows.push_back(std::move(row));
+  }
+}
+
+}  // namespace
+
+ReportDiff diff_reports(const std::string& before_json, const std::string& after_json,
+                        const ReportDiffOptions& opts) {
+  ReportDiff diff;
+  const auto before = parse_json(before_json);
+  if (!before) {
+    diff.error = "cannot parse first report";
+    return diff;
+  }
+  const auto after = parse_json(after_json);
+  if (!after) {
+    diff.error = "cannot parse second report";
+    return diff;
+  }
+  const ReportView a = view_of(*before);
+  const ReportView b = view_of(*after);
+  diff_section(diff, "counter", a.counters, b.counters, opts);
+  diff_section(diff, "phase_s", a.phases, b.phases, opts);
+  diff_section(diff, "histogram_total", a.histogram_totals, b.histogram_totals, opts);
+  return diff;
+}
+
+void print_report_diff(std::ostream& os, const ReportDiff& diff) {
+  if (!diff.error.empty()) {
+    os << "error: " << diff.error << "\n";
+    return;
+  }
+  dophy::common::Table table({"section", "metric", "before", "after", "change%", "flag"});
+  for (const auto& row : diff.rows) {
+    table.row()
+        .cell(row.section)
+        .cell(row.name)
+        .cell(row.before, 4)
+        .cell(row.after, 4)
+        .cell(row.change_pct, 2)
+        .cell(row.exceeded ? "!" : "");
+  }
+  table.print(os, "Run-report diff");
+  os << (diff.any_exceeded ? "threshold exceeded\n" : "within threshold\n");
+}
+
+}  // namespace dophy::obs

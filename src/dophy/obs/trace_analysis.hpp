@@ -1,0 +1,103 @@
+#pragma once
+
+// Offline analysis of dophy JSONL event traces and run reports — the logic
+// behind tools/dophy_trace.  Lives in dophy_obs (not the tool) so tests can
+// drive it directly:
+//
+//   summarize_trace   one pass over a JSONL trace -> drop-cause table,
+//                     exact end-to-end latency percentiles per hop count,
+//                     per-link ARQ retry distributions
+//   diff_reports      compare two --metrics-json run reports (counters,
+//                     phase timings, histogram totals) against a threshold
+//
+// Latencies here are exact (samples are kept and sorted), unlike the
+// registry's log2 histograms — a trace is an offline artifact, so the memory
+// trade-off flips.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dophy::obs {
+
+/// Exact latency stats for one hop-count bucket (microseconds).
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+/// Per-link ARQ behaviour aggregated from hop span intervals.
+struct LinkRetryStats {
+  std::uint64_t exchanges = 0;   ///< completed ARQ exchanges on the link
+  std::uint64_t failures = 0;    ///< exchanges that burned the whole budget
+  std::uint64_t attempts_sum = 0;
+  std::uint32_t attempts_max = 0;
+  [[nodiscard]] double mean_attempts() const noexcept {
+    return exchanges == 0 ? 0.0
+                          : static_cast<double>(attempts_sum) / static_cast<double>(exchanges);
+  }
+};
+
+struct TraceSummary {
+  std::uint64_t lines = 0;         ///< total lines seen
+  std::uint64_t unparseable = 0;   ///< lines that failed the JSONL parser
+  std::map<std::string, std::uint64_t> event_counts;  ///< "ev" -> lines
+  std::map<std::string, std::uint64_t> fate_counts;   ///< packet fate -> count
+  /// Delivered end-to-end latency percentiles keyed by hop count; key 0
+  /// aggregates every delivered packet.
+  std::map<std::uint64_t, LatencyStats> latency_by_hops;
+  /// (from, to) -> retry distribution, from hop span intervals (requires the
+  /// trace to have been captured with spans enabled).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkRetryStats> link_retries;
+  /// Span lifecycle accounting (op "b" vs op "e" records).
+  std::uint64_t spans_begun = 0;
+  std::uint64_t spans_ended = 0;
+};
+
+/// One pass over a JSONL trace.
+[[nodiscard]] TraceSummary summarize_trace(std::istream& jsonl);
+
+/// Human-readable rendering: drop-cause table, per-hop-count latency
+/// percentiles, and the top `max_links` busiest links by exchanges.
+void print_trace_summary(std::ostream& os, const TraceSummary& summary,
+                         std::size_t max_links = 10);
+
+struct ReportDiffOptions {
+  double threshold_pct = 10.0;  ///< |relative change| that flags a row
+  /// Counters whose absolute value is below this on both sides are skipped
+  /// (tiny denominators make relative change meaningless).
+  double min_magnitude = 1.0;
+};
+
+struct ReportDiff {
+  struct Row {
+    std::string section;  ///< "counter" | "phase_s" | "histogram_total"
+    std::string name;
+    double before = 0.0;
+    double after = 0.0;
+    double change_pct = 0.0;  ///< (after-before)/before * 100; 0 when before==0
+    bool exceeded = false;
+  };
+  std::string error;  ///< nonempty when either report failed to parse
+  std::vector<Row> rows;
+  bool any_exceeded = false;
+};
+
+/// Diffs two run-report JSON documents (obs::RunReport::to_json shape).
+/// Rows are every metric present in either report, flagged when the relative
+/// change exceeds the threshold.
+[[nodiscard]] ReportDiff diff_reports(const std::string& before_json,
+                                      const std::string& after_json,
+                                      const ReportDiffOptions& opts = {});
+
+/// Renders the diff as a table; flagged rows are marked in the last column.
+void print_report_diff(std::ostream& os, const ReportDiff& diff);
+
+}  // namespace dophy::obs

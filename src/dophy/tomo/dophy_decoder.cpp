@@ -97,6 +97,7 @@ DecodeResult DophyDecoder::decode(const dophy::net::Packet& packet) {
 
   DecodedPath path;
   path.origin = packet.origin;
+  path.packet_span = packet.span;
   try {
     dophy::coding::ArithmeticDecoder dec(packet.blob.bytes, 0, packet.blob.logical_bits);
     NodeId prev = packet.origin;

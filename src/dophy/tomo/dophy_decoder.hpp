@@ -33,6 +33,11 @@ struct DecodedHop {
 struct DecodedPath {
   dophy::net::NodeId origin = dophy::net::kInvalidNode;
   std::vector<DecodedHop> hops;
+  /// Lifecycle span of the packet this path was decoded from and the decode
+  /// record itself (obs::SpanTrace ids; 0 when tracing is off).  Carried so
+  /// the model window that consumes the path can link back causally.
+  std::uint64_t packet_span = 0;
+  std::uint64_t decode_span = 0;
 };
 
 /// Why a delivered report failed to decode.

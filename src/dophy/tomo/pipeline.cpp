@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "dophy/check/invariants.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/span.hpp"
 #include "dophy/obs/timer.hpp"
 #include "dophy/obs/trace.hpp"
 #include "dophy/tomo/baseline/delivery_ratio.hpp"
@@ -176,10 +178,24 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
                             !hash_mode && !faults_active;
 
   std::vector<std::uint32_t> attempt_stream;
-  net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime) {
+  net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime now) {
     const dophy::obs::ObsTimer decode_timer(profile, "decode");
-    const auto decoded = decode(packet);
+    auto decoded = decode(packet);
     if (!decoded) return;
+    // Successful sink decode: sim-time latency from generation to decode
+    // (only decoded packets, unlike sim.e2e.latency_us which covers every
+    // delivery), plus an instant span linked back to the packet lifecycle.
+    static const auto decode_latency =
+        dophy::obs::Registry::global().latency_histogram("tomo.decode.latency_us");
+    decode_latency.observe(static_cast<std::uint64_t>(now - packet.created_at));
+    auto& span_trace = dophy::obs::SpanTrace::global();
+    if (span_trace.enabled()) {
+      decoded->decode_span = span_trace.instant(
+          "decode", static_cast<std::uint64_t>(now), [&](dophy::obs::EventBuilder& b) {
+            b.u64("origin", packet.origin).u64("hops", decoded->hops.size());
+          });
+      span_trace.link(packet.span, decoded->decode_span, static_cast<std::uint64_t>(now));
+    }
     if (strict_paths) {
       std::vector<dophy::check::InvariantChecker::DecodedHopView> views;
       views.reserve(decoded->hops.size());

@@ -6,6 +6,7 @@
 #include "dophy/common/logging.hpp"
 #include "dophy/common/stats.hpp"
 #include "dophy/obs/metrics.hpp"
+#include "dophy/obs/span.hpp"
 #include "dophy/obs/trace.hpp"
 
 namespace dophy::tomo {
@@ -22,6 +23,18 @@ ProbModelManager::ProbModelManager(const ModelUpdateConfig& config, std::size_t 
 }
 
 void ProbModelManager::observe(const DecodedPath& path) {
+  auto& spans = dophy::obs::SpanTrace::global();
+  if (spans.enabled()) {
+    // Lazily open the window span on the first decoded path it absorbs, and
+    // link each decode into it so the eventual publish has a causal fan-in.
+    if (window_span_ == 0) {
+      window_span_ = spans.begin("model_window", static_cast<std::uint64_t>(window_start_),
+                                 [&](dophy::obs::EventBuilder& b) {
+                                   b.u64("version", version_);
+                                 });
+    }
+    spans.link(path.decode_span, window_span_, static_cast<std::uint64_t>(last_tick_));
+  }
   for (const DecodedHop& hop : path.hops) {
     if (hop.receiver < node_count_) ++id_counts_[hop.receiver];
     const std::uint32_t symbol =
@@ -86,6 +99,16 @@ void ProbModelManager::publish_now() {
         .f64("kl_bits", stats_.last_kl_bits)
         .u64("window_hops", window_hops_);
   }
+  auto& spans = dophy::obs::SpanTrace::global();
+  if (spans.enabled()) {
+    const auto t = static_cast<std::uint64_t>(last_tick_);
+    const auto update_span =
+        spans.instant("model_update", t, [&](dophy::obs::EventBuilder& b) {
+          b.u64("version", next_version).u64("window_hops", window_hops_);
+        });
+    spans.link(window_span_, update_span, t);
+    spans.end(window_span_, t);
+  }
   publish_(set);
   reset_window();
 }
@@ -94,6 +117,7 @@ void ProbModelManager::reset_window() {
   std::fill(id_counts_.begin(), id_counts_.end(), 0);
   std::fill(retx_counts_.begin(), retx_counts_.end(), 0);
   window_hops_ = 0;
+  window_span_ = 0;
 }
 
 void ProbModelManager::on_tick(dophy::net::SimTime now) {

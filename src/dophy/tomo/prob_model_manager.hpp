@@ -82,6 +82,9 @@ class ProbModelManager {
   std::uint64_t window_hops_ = 0;
   dophy::net::SimTime window_start_ = 0;
   dophy::net::SimTime last_tick_ = 0;
+  /// Open "model_window" span covering the tally window feeding the next
+  /// publish (obs::SpanTrace id; 0 when tracing is off or nothing observed).
+  std::uint64_t window_span_ = 0;
 
   std::uint8_t version_ = 0;
   std::vector<std::uint64_t> deployed_id_counts_;    ///< counts behind deployed models

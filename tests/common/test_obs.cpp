@@ -257,6 +257,44 @@ TEST(Json, ParseRejectsNestedAndMalformed) {
   EXPECT_FALSE(parse_flat_json_object(R"({"a":1)").has_value());
 }
 
+TEST(Json, RecursiveParserHandlesNestedDocuments) {
+  const auto doc = parse_json(
+      R"({"metrics":{"counters":{"a":3},"histograms":{"h":{"total":7,"buckets":[1,2,4]}}},)"
+      R"("ok":true,"name":"run \"x\"","none":null})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const auto* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const auto* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* a = counters->find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->is_number());
+  EXPECT_DOUBLE_EQ(a->number, 3.0);
+  const auto* buckets = metrics->find("histograms")->find("h")->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets->array[2].number, 4.0);
+  EXPECT_TRUE(doc->find("ok")->is_bool());
+  EXPECT_TRUE(doc->find("ok")->boolean);
+  EXPECT_EQ(doc->find("name")->string, "run \"x\"");
+  EXPECT_TRUE(doc->find("none")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, RecursiveParserRejectsGarbage) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json(R"({"a":1} trailing)").has_value());
+  EXPECT_FALSE(parse_json(R"({"a":})").has_value());
+  EXPECT_FALSE(parse_json(R"([1,2,)").has_value());
+  // Depth cap: 100 nested arrays exceeds the 64-level limit.
+  std::string deep(100, '[');
+  deep.append(100, ']');
+  EXPECT_FALSE(parse_json(deep).has_value());
+}
+
 // --- Event trace ------------------------------------------------------------
 
 TEST(Trace, JsonlRoundTripThroughSink) {
@@ -272,6 +310,8 @@ TEST(Trace, JsonlRoundTripThroughSink) {
       .f64("x", 1.5)
       .boolean("late", false);
 
+  // Emission is batched per thread; flush() drains the buffer to the sink.
+  trace.flush();
   ASSERT_EQ(lines.size(), 1u);
   const auto parsed = parse_flat_json_object(lines[0]);
   ASSERT_TRUE(parsed.has_value());
@@ -308,6 +348,51 @@ TEST(Trace, EventKindNames) {
   EXPECT_EQ(to_string(EventKind::kTrickleReset), "trickle_reset");
   EXPECT_EQ(to_string(EventKind::kModelUpdate), "model_update");
   EXPECT_EQ(to_string(EventKind::kDecodeFailure), "decode_failure");
+  EXPECT_EQ(to_string(EventKind::kSpan), "span");
+}
+
+TEST(Trace, BatchedEmissionPreservesOrderAndFlushesOnThreshold) {
+  EventTrace trace;
+  std::vector<std::string> lines;
+  trace.set_sink([&](std::string_view line) { lines.emplace_back(line); });
+  trace.enable(EventKind::kPacketFate);
+
+  const ScopedRunContext ctx(1);
+  // Two full batches plus a partial one: the first 2*kFlushLines records
+  // reach the sink on their own once each buffer fills; the tail needs an
+  // explicit flush.
+  constexpr std::uint64_t kTotal = 2 * 256 + 17;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    trace.event(EventKind::kPacketFate, i).u64("seq", i);
+  }
+  EXPECT_EQ(lines.size(), 2u * 256u);  // threshold-crossing auto-flushes
+  trace.flush();
+  ASSERT_EQ(lines.size(), kTotal);
+  EXPECT_EQ(trace.emitted_count(), kTotal);
+
+  // Single-writer order survives batching.
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    const auto parsed = parse_flat_json_object(lines[i]);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->at("seq"), std::to_string(i));
+  }
+}
+
+TEST(Trace, FlushOnCloseAndDropWithoutDestination) {
+  EventTrace trace;
+  std::vector<std::string> lines;
+  trace.set_sink([&](std::string_view line) { lines.emplace_back(line); });
+  trace.enable(EventKind::kPacketFate);
+  trace.event(EventKind::kPacketFate, 1).u64("seq", 1);
+  EXPECT_TRUE(lines.empty());  // buffered, below threshold
+  trace.close();               // close() drains the buffer first
+  EXPECT_EQ(lines.size(), 1u);
+
+  // With no sink or file attached, records are dropped without buffering.
+  trace.event(EventKind::kPacketFate, 2).u64("seq", 2);
+  trace.flush();
+  EXPECT_EQ(lines.size(), 1u);
+  EXPECT_EQ(trace.emitted_count(), 1u);
 }
 
 TEST(Trace, RunContextRestoredByScope) {

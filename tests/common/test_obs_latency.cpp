@@ -1,0 +1,166 @@
+// Latency-histogram tests: log2 bucketing agreement with the generic
+// lower_bound histogram, quantile-estimation accuracy properties on
+// uniform / exponential / adversarial samples, and bound validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "dophy/obs/metrics.hpp"
+
+namespace dophy::obs {
+namespace {
+
+TEST(LatencyHistogram, Log2BoundsShape) {
+  EXPECT_EQ(log2_bounds(1), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(log2_bounds(4), (std::vector<std::uint64_t>{1, 2, 4, 8}));
+  const auto full = log2_bounds(64);
+  EXPECT_EQ(full.size(), 64u);
+  EXPECT_EQ(full.back(), std::uint64_t{1} << 63);
+  EXPECT_THROW((void)log2_bounds(0), std::invalid_argument);
+  EXPECT_THROW((void)log2_bounds(65), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, BucketCountMismatchThrows) {
+  Registry reg;
+  (void)reg.latency_histogram("lat", 40);
+  EXPECT_NO_THROW((void)reg.latency_histogram("lat", 40));
+  EXPECT_THROW((void)reg.latency_histogram("lat", 30), std::logic_error);
+}
+
+// The bit_width fast path must bucket exactly like the generic lower_bound
+// histogram over the same log2 bounds — every boundary and off-by-one value.
+TEST(LatencyHistogram, AgreesWithGenericLog2Histogram) {
+  Registry reg;
+  const auto fast = reg.latency_histogram("fast", 40);
+  const auto slow = reg.histogram("slow", log2_bounds(40));
+
+  std::vector<std::uint64_t> values = {0, 1, 2, 3, 4, 5, 7, 8, 9};
+  for (std::uint32_t k = 4; k <= 41; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + 1);  // k=39..41 exercise the overflow bucket
+  }
+  for (const auto v : values) {
+    fast.observe(v);
+    slow.observe(v);
+  }
+
+  const auto snap = reg.snapshot();
+  const auto& f = snap.histograms.at("fast");
+  const auto& s = snap.histograms.at("slow");
+  EXPECT_EQ(f.bounds, s.bounds);
+  EXPECT_EQ(f.counts, s.counts);
+  EXPECT_EQ(f.total, s.total);
+  EXPECT_EQ(f.sum, s.sum);
+}
+
+// Exact quantile of a sample vector, nearest-rank (matches the histogram's
+// 1-based rank convention).
+std::uint64_t exact_quantile(std::vector<std::uint64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(samples.size()))));
+  return samples[rank - 1];
+}
+
+// A log2 bucket spans (2^(k-1), 2^k]; the interpolated estimate and the true
+// sample sit in the same bucket, so the estimate is off by at most the bucket
+// width: est in [true/2, 2*true].
+void expect_within_bucket_error(const HistogramSnapshot& snap,
+                                const std::vector<std::uint64_t>& samples, double q) {
+  const double est = snap.quantile(q);
+  const auto truth = static_cast<double>(exact_quantile(samples, q));
+  EXPECT_GE(est, truth / 2.0) << "q=" << q;
+  EXPECT_LE(est, truth * 2.0) << "q=" << q;
+}
+
+TEST(LatencyHistogram, QuantileAccuracyUniform) {
+  Registry reg;
+  const auto h = reg.latency_histogram("u", 40);
+  std::mt19937_64 rng(1234);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 1'000'000);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = dist(rng);
+    samples.push_back(v);
+    h.observe(v);
+  }
+  const auto snap = reg.snapshot().histograms.at("u");
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    expect_within_bucket_error(snap, samples, q);
+  }
+}
+
+TEST(LatencyHistogram, QuantileAccuracyExponential) {
+  Registry reg;
+  const auto h = reg.latency_histogram("e", 40);
+  std::mt19937_64 rng(99);
+  std::exponential_distribution<double> dist(1.0 / 50'000.0);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng)) + 1;
+    samples.push_back(v);
+    h.observe(v);
+  }
+  const auto snap = reg.snapshot().histograms.at("e");
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    expect_within_bucket_error(snap, samples, q);
+  }
+}
+
+TEST(LatencyHistogram, QuantileAdversarialPointMass) {
+  // All mass at one value: every quantile must land inside that value's
+  // bucket, including a value sitting exactly on a power-of-two bound.
+  for (const std::uint64_t v : {std::uint64_t{7}, std::uint64_t{1024}}) {
+    Registry reg;
+    const auto h = reg.latency_histogram("p", 40);
+    for (int i = 0; i < 1000; ++i) h.observe(v);
+    const auto snap = reg.snapshot().histograms.at("p");
+    const double lo = v <= 1 ? 0.0 : static_cast<double>(std::uint64_t{1} << (std::bit_width(v - 1) - 1));
+    const double hi = static_cast<double>(std::uint64_t{1} << std::bit_width(v - 1));
+    for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+      const double est = snap.quantile(q);
+      EXPECT_GT(est, lo) << "v=" << v << " q=" << q;
+      EXPECT_LE(est, hi) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantileAdversarialBimodalAndOverflow) {
+  Registry reg;
+  // Tiny histogram so the overflow bucket is reachable: bounds {1,2,4,8}.
+  const auto h = reg.latency_histogram("b", 4);
+  for (int i = 0; i < 900; ++i) h.observe(3);    // bucket (2,4]
+  for (int i = 0; i < 100; ++i) h.observe(100);  // overflow (> 8)
+  const auto snap = reg.snapshot().histograms.at("b");
+  // p50 sits in the low mode.
+  EXPECT_GT(snap.quantile(0.5), 2.0);
+  EXPECT_LE(snap.quantile(0.5), 4.0);
+  // p99 has crossed into the overflow bucket, whose synthetic upper edge is
+  // 2 * bounds.back() = 16.
+  EXPECT_GT(snap.quantile(0.99), 8.0);
+  EXPECT_LE(snap.quantile(0.99), 16.0);
+}
+
+TEST(LatencyHistogram, QuantileEmptyAndDegenerate) {
+  Registry reg;
+  const auto h = reg.latency_histogram("d", 4);
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("d").quantile(0.5), 0.0);
+  h.observe(0);  // 0 and 1 share the first bucket (0, 1]
+  const auto snap = reg.snapshot().histograms.at("d");
+  EXPECT_GT(snap.quantile(0.5), 0.0);
+  EXPECT_LE(snap.quantile(0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace dophy::obs

@@ -1,0 +1,143 @@
+// dophy_trace analysis library: trace summarization (drop causes, per-hop
+// latency percentiles, per-link retries, span accounting) and run-report
+// diffing with thresholds.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "dophy/obs/trace_analysis.hpp"
+
+namespace dophy::obs {
+namespace {
+
+const char* const kTrace =
+    R"({"ev":"span","t":5,"run":1,"op":"b","id":1,"kind":"pkt"})"
+    "\n"
+    R"({"ev":"span","t":40,"run":1,"op":"x","id":2,"kind":"hop","dur":10,"from":3,"to":2,"attempts":2,"ok":true})"
+    "\n"
+    R"({"ev":"span","t":80,"run":1,"op":"x","id":3,"kind":"hop","dur":30,"from":3,"to":2,"attempts":4,"ok":false})"
+    "\n"
+    R"({"ev":"span","t":100,"run":1,"op":"e","id":1})"
+    "\n"
+    R"({"ev":"packet_fate","t":100,"run":1,"origin":4,"fate":"delivered","hops":2,"created":10})"
+    "\n"
+    R"({"ev":"packet_fate","t":300,"run":1,"origin":5,"fate":"delivered","hops":2,"created":100})"
+    "\n"
+    R"({"ev":"packet_fate","t":500,"run":1,"origin":6,"fate":"delivered","hops":3,"created":100})"
+    "\n"
+    R"({"ev":"packet_fate","t":600,"run":1,"origin":7,"fate":"dropped_retries","hops":1,"created":200})"
+    "\n"
+    "garbage line\n";
+
+TEST(TraceAnalysis, SummaryAggregatesFatesLatenciesAndRetries) {
+  std::istringstream in(kTrace);
+  const auto s = summarize_trace(in);
+
+  EXPECT_EQ(s.lines, 9u);
+  EXPECT_EQ(s.unparseable, 1u);
+  EXPECT_EQ(s.event_counts.at("span"), 4u);
+  EXPECT_EQ(s.event_counts.at("packet_fate"), 4u);
+  EXPECT_EQ(s.fate_counts.at("delivered"), 3u);
+  EXPECT_EQ(s.fate_counts.at("dropped_retries"), 1u);
+  EXPECT_EQ(s.spans_begun, 1u);
+  EXPECT_EQ(s.spans_ended, 1u);
+
+  // Dropped packets contribute no latency sample; delivered latencies are
+  // t - created: 90 and 200 at 2 hops, 400 at 3 hops; key 0 = all.
+  ASSERT_TRUE(s.latency_by_hops.count(2));
+  EXPECT_EQ(s.latency_by_hops.at(2).count, 2u);
+  EXPECT_EQ(s.latency_by_hops.at(2).p50, 90u);
+  EXPECT_EQ(s.latency_by_hops.at(2).max, 200u);
+  EXPECT_EQ(s.latency_by_hops.at(3).count, 1u);
+  EXPECT_EQ(s.latency_by_hops.at(3).p99, 400u);
+  EXPECT_EQ(s.latency_by_hops.at(0).count, 3u);
+  EXPECT_DOUBLE_EQ(s.latency_by_hops.at(0).mean, (90.0 + 200.0 + 400.0) / 3.0);
+
+  // Both hop intervals ride link 3->2; one burned its whole ARQ budget.
+  const auto link = std::make_pair(std::uint64_t{3}, std::uint64_t{2});
+  ASSERT_TRUE(s.link_retries.count(link));
+  EXPECT_EQ(s.link_retries.at(link).exchanges, 2u);
+  EXPECT_EQ(s.link_retries.at(link).failures, 1u);
+  EXPECT_DOUBLE_EQ(s.link_retries.at(link).mean_attempts(), 3.0);
+  EXPECT_EQ(s.link_retries.at(link).attempts_max, 4u);
+
+  std::ostringstream out;
+  print_trace_summary(out, s);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Packet fates"), std::string::npos);
+  EXPECT_NE(text.find("End-to-end latency by hop count"), std::string::npos);
+  EXPECT_NE(text.find("Per-link ARQ retries"), std::string::npos);
+  EXPECT_NE(text.find("3->2"), std::string::npos);
+  EXPECT_NE(text.find("spans: 1 begun, 1 ended"), std::string::npos);
+}
+
+const char* const kReportA =
+    R"({"phase_seconds":{"measure":10.0},"metrics":{)"
+    R"("counters":{"sim.packets.delivered":1000,"tomo.model.updates":50},)"
+    R"("histograms":{"sim.e2e.latency_us":{"total":1000,"sum":5}}}})";
+
+const char* const kReportB =
+    R"({"phase_seconds":{"measure":10.5},"metrics":{)"
+    R"("counters":{"sim.packets.delivered":1200,"tomo.model.updates":50},)"
+    R"("histograms":{"sim.e2e.latency_us":{"total":1005,"sum":5}}}})";
+
+TEST(TraceAnalysis, DiffFlagsOnlyChangesPastThreshold) {
+  const auto diff = diff_reports(kReportA, kReportB, {.threshold_pct = 10.0});
+  ASSERT_TRUE(diff.error.empty());
+  EXPECT_TRUE(diff.any_exceeded);  // delivered moved +20%
+
+  bool saw_delivered = false;
+  bool saw_updates = false;
+  bool saw_phase = false;
+  bool saw_hist = false;
+  for (const auto& row : diff.rows) {
+    if (row.name == "sim.packets.delivered") {
+      saw_delivered = true;
+      EXPECT_EQ(row.section, "counter");
+      EXPECT_NEAR(row.change_pct, 20.0, 1e-9);
+      EXPECT_TRUE(row.exceeded);
+    } else if (row.name == "tomo.model.updates") {
+      saw_updates = true;
+      EXPECT_FALSE(row.exceeded);  // unchanged
+    } else if (row.name == "measure") {
+      saw_phase = true;
+      EXPECT_EQ(row.section, "phase_s");
+      EXPECT_FALSE(row.exceeded);  // +5% under the 10% threshold
+    } else if (row.name == "sim.e2e.latency_us") {
+      saw_hist = true;
+      EXPECT_EQ(row.section, "histogram_total");
+      EXPECT_FALSE(row.exceeded);  // +0.5%
+    }
+  }
+  EXPECT_TRUE(saw_delivered);
+  EXPECT_TRUE(saw_updates);
+  EXPECT_TRUE(saw_phase);
+  EXPECT_TRUE(saw_hist);
+
+  // The same pair passes with a looser threshold.
+  EXPECT_FALSE(diff_reports(kReportA, kReportB, {.threshold_pct = 25.0}).any_exceeded);
+}
+
+TEST(TraceAnalysis, DiffFlagsAppearingAndVanishingMetrics) {
+  const char* const a = R"({"metrics":{"counters":{"x":5}}})";
+  const char* const b = R"({"metrics":{"counters":{"y":5}}})";
+  const auto diff = diff_reports(a, b, {.threshold_pct = 1000.0});
+  ASSERT_TRUE(diff.error.empty());
+  ASSERT_EQ(diff.rows.size(), 2u);
+  EXPECT_TRUE(diff.rows[0].exceeded);  // x vanished
+  EXPECT_TRUE(diff.rows[1].exceeded);  // y appeared
+  EXPECT_TRUE(diff.any_exceeded);
+}
+
+TEST(TraceAnalysis, DiffReportsParseErrors) {
+  EXPECT_FALSE(diff_reports("not json", kReportB).error.empty());
+  EXPECT_FALSE(diff_reports(kReportA, "{broken").error.empty());
+  std::ostringstream out;
+  print_report_diff(out, diff_reports("not json", kReportB));
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dophy::obs

@@ -52,6 +52,17 @@ TEST(ObsReport, RunTrialsMetricsDeterministicAcrossPoolSizes) {
   EXPECT_GT(a.metrics.counters.at("tomo.model.updates"), 0u);
   EXPECT_GT(a.metrics.histograms.at("sim.path.hops").total, 0u);
 
+  // The log2 latency histograms participate in the same deterministic delta
+  // (they are sim-time derived, so identical across pool sizes via the
+  // EXPECT_EQ above) and must actually collect samples.
+  EXPECT_GT(a.metrics.histograms.at("sim.e2e.latency_us").total, 0u);
+  EXPECT_GT(a.metrics.histograms.at("sim.hop.retry_delay_us").total, 0u);
+  EXPECT_GT(a.metrics.histograms.at("tomo.decode.latency_us").total, 0u);
+  // And their quantiles are sane: p99 never below p50.
+  const auto& e2e = a.metrics.histograms.at("sim.e2e.latency_us");
+  EXPECT_GE(e2e.quantile(0.99), e2e.quantile(0.5));
+  EXPECT_GT(e2e.quantile(0.5), 0.0);
+
   // Phase wall-clock timings exist per trial even though they are (rightly)
   // not part of the deterministic registry.
   EXPECT_EQ(a.phase_seconds.at("warmup").count(), 3u);

@@ -1,0 +1,143 @@
+// Perfetto exporter: a golden JSONL trace (one packet's full lifecycle plus
+// a phase profile) must convert to well-formed Chrome-trace-event JSON —
+// parseable, envelope fields on every event, async b/e pairs matched by id,
+// and nothing from the source lines dropped.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "dophy/obs/json.hpp"
+#include "dophy/obs/perfetto.hpp"
+#include "dophy/obs/timer.hpp"
+
+namespace dophy::obs {
+namespace {
+
+// One delivered packet as the instrumentation emits it: begin, one hop
+// interval, decode instant, causal links, end, and the packet_fate event.
+const char* const kGoldenTrace =
+    R"({"ev":"span","t":100,"run":7,"op":"b","id":1,"kind":"pkt","origin":4,"seq":0})"
+    "\n"
+    R"({"ev":"span","t":150,"run":7,"op":"x","id":2,"kind":"hop","dur":50,"from":4,"to":2,"attempts":1,"ok":true})"
+    "\n"
+    R"({"ev":"span","t":150,"run":7,"op":"l","id":1,"to":2})"
+    "\n"
+    R"({"ev":"span","t":200,"run":7,"op":"i","id":3,"kind":"decode","origin":4,"hops":2})"
+    "\n"
+    R"({"ev":"span","t":200,"run":7,"op":"l","id":1,"to":3})"
+    "\n"
+    R"({"ev":"span","t":200,"run":7,"op":"e","id":1,"fate":"delivered","hops":2})"
+    "\n"
+    R"({"ev":"packet_fate","t":200,"run":7,"origin":4,"seq":0,"fate":"delivered","hops":2,"created":100})"
+    "\n";
+
+TEST(Perfetto, GoldenTraceExportsWellFormedTraceEventJson) {
+  std::istringstream in(kGoldenTrace);
+  std::ostringstream out;
+  PhaseProfile phases;
+  phases.add("warmup", 0.25);
+  phases.add("measure", 1.0);
+
+  // 7 source lines + 2 phase slices + 2 process_name metadata records
+  // (run 7 and the synthetic pid-0 phase track).
+  EXPECT_EQ(export_perfetto(in, out, &phases), 11u);
+
+  const auto doc = parse_json(out.str());
+  ASSERT_TRUE(doc.has_value()) << out.str();
+  ASSERT_TRUE(doc->is_object());
+  const auto* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 11u);
+
+  std::map<std::uint64_t, std::uint64_t> async_begins;  // id -> count
+  std::map<std::uint64_t, std::uint64_t> async_ends;
+  std::uint64_t slices = 0;
+  std::uint64_t instants = 0;
+  std::uint64_t metadata = 0;
+
+  for (const auto& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    // Envelope every trace-event consumer requires.
+    for (const char* key : {"ph", "name", "ts", "pid"}) {
+      ASSERT_NE(e.find(key), nullptr) << "missing " << key;
+    }
+    ASSERT_TRUE(e.find("ph")->is_string());
+    ASSERT_TRUE(e.find("ts")->is_number());
+    ASSERT_TRUE(e.find("pid")->is_number());
+    const std::string ph = e.find("ph")->string;
+    if (ph == "b") {
+      ++async_begins[static_cast<std::uint64_t>(e.find("id")->number)];
+    } else if (ph == "e") {
+      ++async_ends[static_cast<std::uint64_t>(e.find("id")->number)];
+    } else if (ph == "X") {
+      ++slices;
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_TRUE(e.find("dur")->is_number());
+    } else if (ph == "i") {
+      ++instants;
+      ASSERT_NE(e.find("s"), nullptr);  // scoped instants need "s"
+    } else if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(e.find("name")->string, "process_name");
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_NE(e.find("args")->find("name"), nullptr);
+    }
+  }
+
+  // Async begin/end pairs match by id, one end per begin.
+  EXPECT_EQ(async_begins, async_ends);
+  EXPECT_EQ(async_begins.size(), 1u);
+  EXPECT_EQ(async_begins.count(1), 1u);
+  EXPECT_EQ(slices, 3u);    // hop interval + two phase slices
+  EXPECT_EQ(instants, 4u);  // decode + two links + packet_fate
+  EXPECT_EQ(metadata, 2u);
+
+  // The hop interval keeps its payload: tid = transmitting node, dur, and
+  // the unconsumed fields moved into args.
+  bool saw_hop = false;
+  for (const auto& e : events->array) {
+    if (e.find("name")->string != "hop") continue;
+    saw_hop = true;
+    EXPECT_DOUBLE_EQ(e.find("tid")->number, 4.0);
+    EXPECT_DOUBLE_EQ(e.find("dur")->number, 50.0);
+    const auto* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->find("attempts"), nullptr);
+    EXPECT_NE(args->find("ok"), nullptr);
+  }
+  EXPECT_TRUE(saw_hop);
+
+  // The end event repeats the begin's name so viewers can pair them.
+  for (const auto& e : events->array) {
+    if (e.find("ph")->string == "e") EXPECT_EQ(e.find("name")->string, "pkt");
+  }
+}
+
+TEST(Perfetto, SkipsGarbageLinesAndEmptyInput) {
+  {
+    std::istringstream in("not json\n\n{\"no_ev\":1}\n");
+    std::ostringstream out;
+    EXPECT_EQ(export_perfetto(in, out, nullptr), 0u);
+    const auto doc = parse_json(out.str());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(doc->find("traceEvents")->array.empty());
+  }
+  {
+    std::istringstream in("");
+    std::ostringstream out;
+    EXPECT_EQ(export_perfetto(in, out, nullptr), 0u);
+    ASSERT_TRUE(parse_json(out.str()).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace dophy::obs

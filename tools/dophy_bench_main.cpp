@@ -25,6 +25,9 @@
 //   --manifest PATH       write the run manifest (default <out-dir>/manifest.json)
 //   --metrics-json PATH   single-experiment run report (legacy --metrics-json)
 //   --trace-jsonl PATH    stream simulation events to JSONL (implies --force)
+//   --perfetto PATH       write a Chrome-trace-event/Perfetto JSON trace; spans
+//                         are enabled and events stream to PATH.jsonl unless
+//                         --trace-jsonl names the stream (implies --force)
 //   --check               arm the invariant oracle in every run (implies --force)
 
 #include <chrono>
@@ -42,6 +45,8 @@
 #include "dophy/common/table.hpp"
 #include "dophy/eval/sweep.hpp"
 #include "dophy/obs/metrics.hpp"
+#include "dophy/obs/perfetto.hpp"
+#include "dophy/obs/span.hpp"
 #include "dophy/obs/timer.hpp"
 #include "dophy/obs/trace.hpp"
 
@@ -55,7 +60,8 @@ int usage(int code) {
         "       dophy_bench run [ID...] [--all] [--trials N] [--nodes N] [--quick]\n"
         "                       [--csv] [--out-dir DIR] [--cache-dir DIR] [--no-cache]\n"
         "                       [--force] [--resume] [--shard I/N] [--manifest PATH]\n"
-        "                       [--metrics-json PATH] [--trace-jsonl PATH] [--check]\n"
+        "                       [--metrics-json PATH] [--trace-jsonl PATH]\n"
+        "                       [--perfetto PATH] [--check]\n"
         "\n"
         "Experiments are addressed by id (e.g. f6-accuracy-dynamics) or by the\n"
         "legacy output stem (e.g. fig_accuracy_dynamics).  `dophy_bench list`\n"
@@ -80,6 +86,7 @@ struct CliOptions {
   std::string manifest_path;
   std::string metrics_json;
   std::string trace_jsonl;
+  std::string perfetto;
 };
 
 bool parse_shard(const std::string& value, CliOptions& opts) {
@@ -116,7 +123,21 @@ int run_command(const CliOptions& opts) {
 
   // Cached cells skip the oracle and emit no events, so checking/tracing
   // forces fresh computes (results are still stored for later reuse).
-  const bool force = opts.force || opts.check || !opts.trace_jsonl.empty();
+  const bool force =
+      opts.force || opts.check || !opts.trace_jsonl.empty() || !opts.perfetto.empty();
+  if (force && !opts.force) {
+    std::string reasons;
+    auto add = [&](const char* flag) {
+      if (!reasons.empty()) reasons += "/";
+      reasons += flag;
+    };
+    if (opts.check) add("--check");
+    if (!opts.trace_jsonl.empty()) add("--trace-jsonl");
+    if (!opts.perfetto.empty()) add("--perfetto");
+    std::cerr << "note: " << reasons
+              << " implies --force: cached cells emit no events, so every owned "
+                 "cell is recomputed (the result store is still refreshed)\n";
+  }
 
   std::optional<dophy::eval::ResultCache> cache;
   if (!opts.no_cache) cache.emplace(opts.cache_dir);
@@ -287,6 +308,8 @@ int main(int argc, char** argv) {
       opts.metrics_json = next_arg();
     } else if (a == "--trace-jsonl") {
       opts.trace_jsonl = next_arg();
+    } else if (a == "--perfetto") {
+      opts.perfetto = next_arg();
     } else if (a == "--check") {
       opts.check = true;
     } else if (a == "--help" || a == "-h") {
@@ -299,13 +322,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!opts.trace_jsonl.empty()) {
+  // --perfetto needs an event stream to convert: reuse --trace-jsonl when
+  // given, otherwise stream to PATH.jsonl next to the output.
+  std::string trace_path = opts.trace_jsonl;
+  if (trace_path.empty() && !opts.perfetto.empty()) trace_path = opts.perfetto + ".jsonl";
+  if (!trace_path.empty()) {
+    // The sweep creates --out-dir lazily, but the trace file opens before
+    // any sweep runs; create its parent up front so `--perfetto DIR/x.json`
+    // works against a fresh directory.
+    const auto parent = std::filesystem::path(trace_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
     auto& trace = dophy::obs::EventTrace::global();
-    if (!trace.open_file(opts.trace_jsonl)) {
-      std::cerr << "cannot open trace file: " << opts.trace_jsonl << "\n";
+    if (!trace.open_file(trace_path)) {
+      std::cerr << "cannot open trace file: " << trace_path << "\n";
       return 2;
     }
     trace.enable_all();
+    // Lifecycle spans ride in the same stream; tracing runs want them.
+    dophy::obs::SpanTrace::global().set_enabled(true);
   }
   if (opts.check) {
     dophy::check::set_global_enabled(true);
@@ -320,5 +357,19 @@ int main(int argc, char** argv) {
     });
   }
 
-  return run_command(opts);
+  const int rc = run_command(opts);
+
+  if (!opts.perfetto.empty()) {
+    auto& trace = dophy::obs::EventTrace::global();
+    trace.disable_all();
+    trace.close();  // flush buffered lines before converting
+    const auto phases = dophy::obs::global_phases();
+    if (!dophy::obs::export_perfetto_file(trace_path, opts.perfetto, &phases)) {
+      std::cerr << "cannot write perfetto trace: " << opts.perfetto << "\n";
+      return rc == 0 ? 2 : rc;
+    }
+    std::cerr << "perfetto trace: " << opts.perfetto << " (events: " << trace_path
+              << ")\n";
+  }
+  return rc;
 }

@@ -1,0 +1,139 @@
+// dophy_trace — offline analyzer for dophy observability artifacts.
+//
+//   dophy_trace summary TRACE.jsonl [--links N]
+//       Drop-cause table, end-to-end latency percentiles per hop count, and
+//       per-link ARQ retry distributions from a JSONL event trace
+//       (dophy_bench run ... --trace-jsonl TRACE.jsonl).
+//
+//   dophy_trace diff BEFORE.json AFTER.json [--threshold PCT]
+//       Compares two --metrics-json run reports (counters, phase timings,
+//       histogram totals).  Exit 1 when any relative change exceeds the
+//       threshold (default 10%) — wired for perf-triage scripts.
+//
+//   dophy_trace perfetto TRACE.jsonl OUT.json
+//       Converts a JSONL trace to Chrome-trace-event JSON loadable at
+//       ui.perfetto.dev.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dophy/obs/perfetto.hpp"
+#include "dophy/obs/trace_analysis.hpp"
+
+namespace {
+
+int usage(int code) {
+  auto& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: dophy_trace summary TRACE.jsonl [--links N]\n"
+        "       dophy_trace diff BEFORE.json AFTER.json [--threshold PCT]\n"
+        "       dophy_trace perfetto TRACE.jsonl OUT.json\n";
+  return code;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int cmd_summary(int argc, char** argv) {
+  std::string path;
+  std::size_t links = 10;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--links") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --links\n";
+        return 2;
+      }
+      links = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!a.empty() && a.front() == '-') {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage(2);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage(2);
+    }
+  }
+  if (path.empty()) return usage(2);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::cerr << "cannot open trace: " << path << "\n";
+    return 2;
+  }
+  const auto summary = dophy::obs::summarize_trace(in);
+  dophy::obs::print_trace_summary(std::cout, summary, links);
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  std::string before_path, after_path;
+  dophy::obs::ReportDiffOptions opts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threshold") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --threshold\n";
+        return 2;
+      }
+      opts.threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (!a.empty() && a.front() == '-') {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage(2);
+    } else if (before_path.empty()) {
+      before_path = a;
+    } else if (after_path.empty()) {
+      after_path = a;
+    } else {
+      return usage(2);
+    }
+  }
+  if (before_path.empty() || after_path.empty()) return usage(2);
+
+  std::string before_json, after_json;
+  if (!read_file(before_path, before_json)) {
+    std::cerr << "cannot open report: " << before_path << "\n";
+    return 2;
+  }
+  if (!read_file(after_path, after_json)) {
+    std::cerr << "cannot open report: " << after_path << "\n";
+    return 2;
+  }
+  const auto diff = dophy::obs::diff_reports(before_json, after_json, opts);
+  dophy::obs::print_report_diff(std::cout, diff);
+  if (!diff.error.empty()) return 2;
+  return diff.any_exceeded ? 1 : 0;
+}
+
+int cmd_perfetto(int argc, char** argv) {
+  if (argc != 2) return usage(2);
+  const std::string in_path = argv[0];
+  const std::string out_path = argv[1];
+  if (!dophy::obs::export_perfetto_file(in_path, out_path)) {
+    std::cerr << "cannot convert " << in_path << " -> " << out_path << "\n";
+    return 2;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") return usage(0);
+  if (command == "summary") return cmd_summary(argc - 2, argv + 2);
+  if (command == "diff") return cmd_diff(argc - 2, argv + 2);
+  if (command == "perfetto") return cmd_perfetto(argc - 2, argv + 2);
+  std::cerr << "unknown command: " << command << "\n";
+  return usage(2);
+}
