@@ -18,15 +18,22 @@ namespace {
 using dophy::coding::Codec;
 
 constexpr std::size_t kStreamLength = 4096;
+constexpr std::uint32_t kCorpusSeed = 4242;
 
-std::vector<std::uint32_t> make_stream() {
-  dophy::common::Rng rng(4242);
-  const dophy::tomo::SymbolMapper mapper(4);
-  std::vector<std::uint32_t> symbols;
-  symbols.reserve(kStreamLength);
-  for (std::size_t i = 0; i < kStreamLength; ++i) {
-    symbols.push_back(mapper.to_symbol(std::min(rng.geometric_trials(0.9), 8u)));
-  }
+/// One corpus shared by every benchmark: encode and decode measure the exact
+/// same randomized symbol stream, so A/B pairs (legacy vs range coder) are
+/// apples-to-apples.  The seed is recorded in the bench JSON context.
+const std::vector<std::uint32_t>& corpus() {
+  static const std::vector<std::uint32_t> symbols = [] {
+    dophy::common::Rng rng(kCorpusSeed);
+    const dophy::tomo::SymbolMapper mapper(4);
+    std::vector<std::uint32_t> s;
+    s.reserve(kStreamLength);
+    for (std::size_t i = 0; i < kStreamLength; ++i) {
+      s.push_back(mapper.to_symbol(std::min(rng.geometric_trials(0.9), 8u)));
+    }
+    return s;
+  }();
   return symbols;
 }
 
@@ -37,7 +44,7 @@ std::vector<std::uint64_t> stream_counts(const std::vector<std::uint32_t>& symbo
 }
 
 void bench_encode(benchmark::State& state, Codec& codec) {
-  const auto symbols = make_stream();
+  const auto& symbols = corpus();
   std::vector<std::uint8_t> buf;
   for (auto _ : state) {
     benchmark::DoNotOptimize(codec.encode(symbols, buf));
@@ -47,7 +54,7 @@ void bench_encode(benchmark::State& state, Codec& codec) {
 }
 
 void bench_decode(benchmark::State& state, Codec& codec) {
-  const auto symbols = make_stream();
+  const auto& symbols = corpus();
   std::vector<std::uint8_t> buf;
   (void)codec.encode(symbols, buf);
   for (auto _ : state) {
@@ -72,10 +79,15 @@ void bench_decode(benchmark::State& state, Codec& codec) {
 DOPHY_CODEC_BENCH(Fixed2Bit, dophy::coding::make_fixed_width_codec(4));
 DOPHY_CODEC_BENCH(EliasGamma, dophy::coding::make_elias_gamma_codec());
 DOPHY_CODEC_BENCH(Rice0, dophy::coding::make_rice_codec(0));
-DOPHY_CODEC_BENCH(Huffman, dophy::coding::make_huffman_codec(stream_counts(make_stream())));
+DOPHY_CODEC_BENCH(Huffman, dophy::coding::make_huffman_codec(stream_counts(corpus())));
 DOPHY_CODEC_BENCH(ArithStatic,
-                  dophy::coding::make_static_arith_codec(stream_counts(make_stream())));
+                  dophy::coding::make_static_arith_codec(stream_counts(corpus())));
 DOPHY_CODEC_BENCH(ArithAdaptive, dophy::coding::make_adaptive_arith_codec(4));
+// Wire-v1 bit-at-a-time coder, kept for A/B comparison against the range
+// coder above (same models, same corpus).
+DOPHY_CODEC_BENCH(LegacyArithStatic,
+                  dophy::coding::make_legacy_static_arith_codec(stream_counts(corpus())));
+DOPHY_CODEC_BENCH(LegacyArithAdaptive, dophy::coding::make_legacy_adaptive_arith_codec(4));
 
 /// The TinyOS-constrained reference encoder's per-hop operation (no heap,
 /// fixed buffers) — the cycle budget a real mote pays per forwarded packet.
@@ -95,7 +107,7 @@ void MotePerHopAppend(benchmark::State& state) {
           dophy::mote::mote_append_hop(pkt, mote_ids, mote_retx,
                                        static_cast<std::uint16_t>(hop + 1), 0));
     }
-    benchmark::DoNotOptimize(pkt.bit_len);
+    benchmark::DoNotOptimize(pkt.byte_len);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
 }
@@ -107,15 +119,15 @@ void PerHopResumeAppendSuspend(benchmark::State& state) {
   const dophy::coding::StaticModel ids(std::vector<std::uint64_t>(100, 1));
   const dophy::coding::StaticModel retx(std::vector<std::uint64_t>{90, 7, 2, 1});
   for (auto _ : state) {
-    dophy::common::BitWriter w;
-    dophy::coding::ArithCoderState st;
+    std::vector<std::uint8_t> bytes;
+    dophy::coding::RangeCoderState st;
     for (int hop = 0; hop < 6; ++hop) {
-      dophy::coding::ArithmeticEncoder enc(w, st);
+      dophy::coding::RangeEncoder enc(bytes, st);
       enc.encode(ids, static_cast<std::size_t>(hop + 1));
       enc.encode(retx, 0);
       st = enc.suspend();
     }
-    benchmark::DoNotOptimize(w.bit_count());
+    benchmark::DoNotOptimize(bytes.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
 }
@@ -137,6 +149,10 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Pin the corpus provenance into the benchmark JSON context so a baseline
+  // recorded with one corpus is never compared against another.
+  benchmark::AddCustomContext("corpus_seed", "4242");
+  benchmark::AddCustomContext("stream_length", "4096");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

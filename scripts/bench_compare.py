@@ -90,7 +90,12 @@ def collect_round(build_dir: str, min_time: float):
                     metrics[key] = float(value)
             if metrics:
                 benches[entry["name"]] = metrics
-        result[name] = {"benchmarks": benches, "peak_rss_kb": float(peak_rss_kb)}
+        # Custom AddCustomContext entries (e.g. micro_codec's corpus_seed)
+        # ride along so a baseline records what corpus it was measured on.
+        context = {k: v for k, v in data.get("context", {}).items()
+                   if isinstance(v, str)}
+        result[name] = {"benchmarks": benches, "peak_rss_kb": float(peak_rss_kb),
+                        "context": context}
     return result
 
 
@@ -114,7 +119,8 @@ def merge_rounds(rounds, policy):
     acc = {}
     for rnd in rounds:
         for binary, payload in rnd.items():
-            slot = acc.setdefault(binary, {"benchmarks": {}, "peak_rss_kb": []})
+            slot = acc.setdefault(binary, {"benchmarks": {}, "peak_rss_kb": [],
+                                           "context": payload.get("context", {})})
             slot["peak_rss_kb"].append(payload["peak_rss_kb"])
             for bench, metrics in payload["benchmarks"].items():
                 dst = slot["benchmarks"].setdefault(bench, {})
@@ -135,6 +141,8 @@ def merge_rounds(rounds, policy):
                 for bench, metrics in payload["benchmarks"].items()
             },
         }
+        if payload.get("context"):
+            merged[binary]["context"] = payload["context"]
     return merged
 
 

@@ -32,7 +32,7 @@ cmake -B "$build_dir" -S . \
   -DDOPHY_BUILD_BENCH=OFF -DDOPHY_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="--coverage -O0"
 cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" -L 'unit|integration|property' --output-on-failure
+ctest --test-dir "$build_dir" -L 'unit|integration|property|coding' --output-on-failure
 
 mkdir -p results
 echo ">>> line coverage, src/dophy (tests excluded)"

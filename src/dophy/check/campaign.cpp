@@ -160,7 +160,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   result.digest = kFnvOffset;
   for (std::size_t i = 0; i < options.num_seeds; ++i) {
     const std::uint64_t seed = options.start_seed + i;
-    const ScenarioSpec spec = generate_scenario(seed);
+    const ScenarioSpec spec = generate_scenario(seed, options.profile);
     const ScenarioOutcome outcome = run_scenario(spec, options);
     ++result.scenarios_run;
     result.digest = fnv_mix(result.digest, outcome.digest);

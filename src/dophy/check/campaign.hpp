@@ -38,6 +38,9 @@ struct FailureRepro {
 struct CampaignOptions {
   std::uint64_t start_seed = 1;
   std::size_t num_seeds = 50;
+  /// Scenario-space bias (see ScenarioProfile); affects generation only,
+  /// not checking or shrinking.
+  ScenarioProfile profile = ScenarioProfile::kDefault;
   bool shrink = true;
   std::size_t max_shrink_runs = 40;
   /// Per-run checker knobs (strict_decode, max_violations, debug_retx_bias

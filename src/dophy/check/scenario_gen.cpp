@@ -11,6 +11,7 @@ namespace dophy::check {
 namespace {
 
 constexpr std::uint64_t kSpecStream = 0x5ec5'7e41'9c0f'feedULL;
+constexpr std::uint64_t kCodecStream = 0xc0de'c0de'5eed'beefULL;
 
 const char* loss_name(std::uint8_t kind) {
   switch (kind) {
@@ -60,6 +61,44 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
   spec.warmup_s = 90;
   spec.measure_s = 120 + static_cast<std::uint32_t>(rng.next_below(3)) * 60;  // 120..240
   return spec;
+}
+
+ScenarioSpec generate_scenario(std::uint64_t seed, ScenarioProfile profile) {
+  if (profile == ScenarioProfile::kDefault) return generate_scenario(seed);
+
+  // Codec stress: every knob that shapes the range coder's input or wire
+  // handling is pushed toward its hard regime.
+  dophy::common::Rng rng(seed ^ kCodecStream);
+  ScenarioSpec spec = generate_scenario(seed);
+  // Gilbert-Elliott bursts (sometimes drifting) make retry counts pile onto
+  // the censored symbol in long runs — the skewed-loss regime where the
+  // coder's clamp and the censored tail both work hardest.
+  spec.loss_kind = rng.bernoulli(0.70) ? 1 : 2;
+  // Bias censoring high: symbol alphabets of 6-8 with heavy tail mass.
+  spec.censor_k = rng.bernoulli(0.65)
+                      ? 6 + static_cast<std::uint32_t>(rng.next_below(3))   // {6,7,8}
+                      : 2 + static_cast<std::uint32_t>(rng.next_below(4));  // {2..5}
+  // Id-coding only: the hash-path decoder never touches the id model, so
+  // hash scenarios would waste codec-campaign seeds.
+  spec.hash_mode = false;
+  // Tight budgets exercise mid-path truncation poisoning and sink rejection.
+  spec.max_wire_bytes =
+      rng.bernoulli(0.50) ? 16 + static_cast<std::uint32_t>(rng.next_below(25)) : 0;
+  // Report mutation (bit flips, truncation) drives the decoder's typed-error
+  // paths; keep a benign share so strict decode comparison still runs.
+  const double fault_draw = rng.next_double();
+  spec.fault_level = fault_draw < 0.4 ? 0 : (fault_draw < 0.75 ? 1 : 2);
+  return spec;
+}
+
+bool parse_profile(std::string_view name, ScenarioProfile& out) {
+  if (name == "default") { out = ScenarioProfile::kDefault; return true; }
+  if (name == "codec") { out = ScenarioProfile::kCodec; return true; }
+  return false;
+}
+
+std::string_view to_string(ScenarioProfile profile) noexcept {
+  return profile == ScenarioProfile::kCodec ? "codec" : "default";
 }
 
 dophy::tomo::PipelineConfig make_config(const ScenarioSpec& spec) {

@@ -39,11 +39,28 @@ struct ScenarioSpec {
   }
 };
 
+/// Campaign flavor: which corner of the scenario space the generator biases
+/// toward.  Profiles only reweight field distributions — every spec any
+/// profile emits is a valid ScenarioSpec and reproduces the same way.
+enum class ScenarioProfile : std::uint8_t {
+  kDefault = 0,  ///< broad mix (half benign, half hostile)
+  kCodec,        ///< codec stress: bursty losses -> long retry runs, high
+                 ///< censor K, tight wire budgets; hash mode off so the
+                 ///< range-coder decode path is always the one under test
+};
+
+/// Parses a profile name ("default" | "codec"); false on unknown names.
+[[nodiscard]] bool parse_profile(std::string_view name, ScenarioProfile& out);
+[[nodiscard]] std::string_view to_string(ScenarioProfile profile) noexcept;
+
 /// Derives a spec deterministically from `seed` (which also becomes the
 /// pipeline seed).  Field distributions are weighted so roughly half the
 /// scenarios are benign enough for strict decode checking while the rest
 /// exercise faults, hash paths, wire budgets, and Trickle.
 [[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// Profile-biased variant; kDefault is identical to the overload above.
+[[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed, ScenarioProfile profile);
 
 /// Materializes the spec into a runnable pipeline config (baselines off,
 /// checker armed).

@@ -1,161 +1,202 @@
 #include "dophy/coding/arith.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dophy::coding {
 
 namespace {
-constexpr std::uint64_t kTop = 0xFFFFFFFFull;      // 2^32 - 1
-constexpr std::uint64_t kHalf = 0x80000000ull;     // 2^31
-constexpr std::uint64_t kQuarter = 0x40000000ull;  // 2^30
-constexpr std::uint64_t kThreeQuarters = kHalf + kQuarter;
-}  // namespace
 
-std::array<std::uint8_t, ArithCoderState::kSerializedSize> ArithCoderState::serialize()
-    const noexcept {
-  std::array<std::uint8_t, kSerializedSize> out{};
-  for (unsigned i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(low >> (24 - 8 * i));
-  for (unsigned i = 0; i < 4; ++i) out[4 + i] = static_cast<std::uint8_t>(high >> (24 - 8 * i));
-  out[8] = static_cast<std::uint8_t>(pending >> 8);
-  out[9] = static_cast<std::uint8_t>(pending);
-  return out;
+// Shared renormalization condition.  One byte moves per iteration:
+//   * top bytes of low and low+range agree -> no future carry can change the
+//     byte, shift it out;
+//   * range underflowed kRangeBot while the interval still straddles a 2^24
+//     boundary -> clamp range to the distance to the next 2^16 boundary
+//     (carryless underflow handling), then shift.  The clamp never yields
+//     zero: model totals are capped at kRangeBot, so a state with
+//     low = 0 mod 2^16 and range < kRangeBot cannot straddle a boundary and
+//     takes the first branch instead.
+inline bool needs_renorm(std::uint32_t low, std::uint32_t& range) noexcept {
+  if ((low ^ (low + range)) < kRangeTop) return true;
+  if (range < kRangeBot) {
+    range = (0u - low) & (kRangeBot - 1);
+    return true;
+  }
+  return false;
 }
 
-ArithCoderState ArithCoderState::deserialize(std::span<const std::uint8_t> bytes) {
+}  // namespace
+
+std::array<std::uint8_t, RangeCoderState::kSerializedSize> RangeCoderState::serialize()
+    const noexcept {
+  return {
+      static_cast<std::uint8_t>(low >> 24),   static_cast<std::uint8_t>(low >> 16),
+      static_cast<std::uint8_t>(low >> 8),    static_cast<std::uint8_t>(low),
+      static_cast<std::uint8_t>(range >> 24), static_cast<std::uint8_t>(range >> 16),
+      static_cast<std::uint8_t>(range >> 8),  static_cast<std::uint8_t>(range),
+  };
+}
+
+RangeCoderState RangeCoderState::deserialize(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kSerializedSize) {
-    throw std::runtime_error("ArithCoderState::deserialize: truncated");
+    throw std::runtime_error("RangeCoderState::deserialize: truncated");
   }
-  ArithCoderState st;
-  st.low = 0;
-  st.high = 0;
-  for (unsigned i = 0; i < 4; ++i) st.low = (st.low << 8) | bytes[i];
-  for (unsigned i = 0; i < 4; ++i) st.high = (st.high << 8) | bytes[4 + i];
-  st.pending = static_cast<std::uint16_t>((bytes[8] << 8) | bytes[9]);
-  if (st.low > st.high || st.high > kTop) {
-    throw std::runtime_error("ArithCoderState::deserialize: invalid registers");
+  RangeCoderState st;
+  st.low = (static_cast<std::uint32_t>(bytes[0]) << 24) |
+           (static_cast<std::uint32_t>(bytes[1]) << 16) |
+           (static_cast<std::uint32_t>(bytes[2]) << 8) | static_cast<std::uint32_t>(bytes[3]);
+  st.range = (static_cast<std::uint32_t>(bytes[4]) << 24) |
+             (static_cast<std::uint32_t>(bytes[5]) << 16) |
+             (static_cast<std::uint32_t>(bytes[6]) << 8) | static_cast<std::uint32_t>(bytes[7]);
+  // Suspended states are always post-renormalization (range >= kRangeBot);
+  // anything below the floor cannot have come from a real encoder.
+  if (st.range < kRangeBot) {
+    throw std::runtime_error("RangeCoderState::deserialize: invalid registers");
   }
   return st;
 }
 
-ArithmeticEncoder::ArithmeticEncoder(dophy::common::BitWriter& out) noexcept : out_(&out) {}
+RangeEncoder::RangeEncoder(std::vector<std::uint8_t>& out) noexcept : out_(&out) {}
 
-ArithmeticEncoder::ArithmeticEncoder(dophy::common::BitWriter& out,
-                                     const ArithCoderState& state) noexcept
+RangeEncoder::RangeEncoder(std::vector<std::uint8_t>& out, const RangeCoderState& state) noexcept
     : out_(&out), state_(state) {}
 
-void ArithmeticEncoder::emit_bit_with_pending(bool bit) {
-  out_->put_bit(bit);
-  while (state_.pending > 0) {
-    out_->put_bit(!bit);
-    --state_.pending;
-  }
+void RangeEncoder::encode(const FrequencyModel& model, std::size_t symbol) {
+  std::uint32_t cum_lo = 0;
+  std::uint32_t freq = 0;
+  model.interval(symbol, cum_lo, freq);
+  if (freq == 0) throw std::invalid_argument("RangeEncoder: zero-frequency symbol");
+  encode_interval(cum_lo, freq, model.total());
 }
 
-void ArithmeticEncoder::encode(const FrequencyModel& model, std::size_t symbol) {
-  if (finished_) throw std::logic_error("ArithmeticEncoder::encode after finish");
-  const std::uint64_t total = model.total();
-  const std::uint64_t cum_lo = model.cum(symbol);
-  const std::uint64_t cum_hi = cum_lo + model.freq(symbol);
-  if (cum_hi <= cum_lo) throw std::invalid_argument("ArithmeticEncoder: zero-frequency symbol");
-
-  const std::uint64_t range = state_.high - state_.low + 1;
-  state_.high = state_.low + (range * cum_hi) / total - 1;
-  state_.low = state_.low + (range * cum_lo) / total;
-
-  for (;;) {
-    if (state_.high < kHalf) {
-      emit_bit_with_pending(false);
-    } else if (state_.low >= kHalf) {
-      emit_bit_with_pending(true);
-      state_.low -= kHalf;
-      state_.high -= kHalf;
-    } else if (state_.low >= kQuarter && state_.high < kThreeQuarters) {
-      if (state_.pending == 0xFFFF) {
-        throw std::overflow_error("ArithmeticEncoder: pending-bit counter overflow");
-      }
-      ++state_.pending;
-      state_.low -= kQuarter;
-      state_.high -= kQuarter;
-    } else {
-      break;
-    }
-    state_.low <<= 1;
-    state_.high = (state_.high << 1) | 1;
-  }
+void RangeEncoder::encode(const StaticModel& model, std::size_t symbol) {
+  const std::span<const std::uint32_t> cum = model.cum_table();
+  if (symbol + 1 >= cum.size()) throw std::out_of_range("RangeEncoder::encode: bad symbol");
+  encode_interval(cum[symbol], cum[symbol + 1] - cum[symbol], model.total());
 }
 
-void ArithmeticEncoder::finish() {
+void RangeEncoder::encode(const AdaptiveModel& model, std::size_t symbol) {
+  std::uint32_t cum_lo = 0;
+  std::uint32_t freq = 0;
+  model.interval(symbol, cum_lo, freq);  // direct call: AdaptiveModel is final
+  encode_interval(cum_lo, freq, model.total());
+}
+
+void RangeEncoder::encode_interval(std::uint32_t cum_lo, std::uint32_t freq,
+                                   std::uint32_t total) {
+  if (finished_) throw std::logic_error("RangeEncoder::encode after finish");
+  std::uint32_t low = state_.low;
+  std::uint32_t range = state_.range;
+  const std::uint32_t r = range / total;  // >= 1: range >= kRangeBot >= total
+  low += r * cum_lo;
+  range = r * freq;
+  while (needs_renorm(low, range)) {
+    out_->push_back(static_cast<std::uint8_t>(low >> 24));
+    low <<= 8;
+    range <<= 8;
+  }
+  state_.low = low;
+  state_.range = range;
+}
+
+void RangeEncoder::finish() {
   if (finished_) return;
   finished_ = true;
-  // Disambiguate the final interval: low < quarter < half <= high always
-  // holds here, so emitting the quarter-pattern suffices.
-  ++state_.pending;
-  if (state_.low < kQuarter) {
-    emit_bit_with_pending(false);
+  const std::uint64_t low = state_.low;
+  const std::uint64_t end = low + state_.range;  // exact; <= 2^32
+  // Round low up to a 2^16 multiple: with range >= kRangeBot that value
+  // always falls inside [low, end), and its trailing two zero bytes are
+  // exactly what the decoder's zero-fill supplies — so emitting just the top
+  // two bytes pins the code value.
+  const std::uint64_t v = (low + 0xFFFFull) & ~0xFFFFull;
+  if (v < (1ull << 32)) {
+    out_->push_back(static_cast<std::uint8_t>(v >> 24));
+    out_->push_back(static_cast<std::uint8_t>(v >> 16));
   } else {
-    emit_bit_with_pending(true);
+    // low > 2^32 - 2^16: no 2^16 multiple fits in 32 bits; emit the full
+    // final code value instead (end - 1 is always inside the interval).
+    const std::uint64_t x = end - 1;
+    out_->push_back(static_cast<std::uint8_t>(x >> 24));
+    out_->push_back(static_cast<std::uint8_t>(x >> 16));
+    out_->push_back(static_cast<std::uint8_t>(x >> 8));
+    out_->push_back(static_cast<std::uint8_t>(x));
   }
 }
 
-namespace {
-/// Wraps BitReader so reads past the end yield zeros — the decoder's view of
-/// the implicit infinite zero tail after finish().
-}  // namespace
+RangeDecoder::RangeDecoder(std::span<const std::uint8_t> data, std::size_t start_byte,
+                           std::size_t byte_limit)
+    : data_(data), pos_(start_byte), end_(std::min(data.size(), byte_limit)) {
+  if (pos_ > end_) pos_ = end_;
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+}
 
-ArithmeticDecoder::ArithmeticDecoder(std::span<const std::uint8_t> data, std::size_t start_bit,
-                                     std::size_t bit_limit)
-    : reader_(data, bit_limit) {
-  // Skip to the stream start.
-  while (start_bit > 0 && !reader_.exhausted()) {
-    (void)reader_.get_bit();
-    --start_bit;
+std::uint8_t RangeDecoder::next_byte() noexcept {
+  if (pos_ < end_) {
+    ++consumed_;
+    return data_[pos_++];
   }
-  for (unsigned i = 0; i < 32; ++i) {
-    value_ = (value_ << 1) | static_cast<std::uint64_t>(next_bit());
+  ++fill_;
+  return 0;
+}
+
+std::uint32_t RangeDecoder::scaled_value(std::uint32_t total) {
+  div_ = range_ / total;
+  const std::uint32_t scaled = (code_ - low_) / div_;
+  // A well-formed stream always lands in [0, total): the encoder's code value
+  // sits in [low, low + r*total).  Landing in the truncation dead zone
+  // [r*total, range) or beyond means the bytes were corrupted.
+  if (scaled >= total) {
+    throw std::runtime_error("RangeDecoder: corrupt stream (value outside model span)");
+  }
+  return scaled;
+}
+
+void RangeDecoder::consume(std::uint32_t r, std::uint32_t cum_lo, std::uint32_t freq) {
+  low_ += r * cum_lo;
+  range_ = r * freq;
+  while (needs_renorm(low_, range_)) {
+    code_ = (code_ << 8) | next_byte();
+    low_ <<= 8;
+    range_ <<= 8;
   }
 }
 
-bool ArithmeticDecoder::next_bit() noexcept {
-  if (reader_.exhausted()) {
-    ++fill_;  // zero-fill past the logical end (see likely_truncated())
-    return false;
-  }
-  ++consumed_;
-  return reader_.get_bit();
-}
-
-std::size_t ArithmeticDecoder::decode(const FrequencyModel& model) {
-  const std::uint64_t total = model.total();
-  const std::uint64_t range = high_ - low_ + 1;
-  // Invert the encoder's mapping: find the cumulative slot of value_.
-  const std::uint64_t scaled = ((value_ - low_ + 1) * total - 1) / range;
-  if (scaled >= total) throw std::runtime_error("ArithmeticDecoder: corrupt stream");
-  const std::size_t symbol = model.find(static_cast<std::uint32_t>(scaled));
-
-  const std::uint64_t cum_lo = model.cum(symbol);
-  const std::uint64_t cum_hi = cum_lo + model.freq(symbol);
-  high_ = low_ + (range * cum_hi) / total - 1;
-  low_ = low_ + (range * cum_lo) / total;
-
-  for (;;) {
-    if (high_ < kHalf) {
-      // nothing
-    } else if (low_ >= kHalf) {
-      low_ -= kHalf;
-      high_ -= kHalf;
-      value_ -= kHalf;
-    } else if (low_ >= kQuarter && high_ < kThreeQuarters) {
-      low_ -= kQuarter;
-      high_ -= kQuarter;
-      value_ -= kQuarter;
-    } else {
-      break;
-    }
-    low_ <<= 1;
-    high_ = (high_ << 1) | 1;
-    value_ = (value_ << 1) | static_cast<std::uint64_t>(next_bit());
-  }
+std::size_t RangeDecoder::decode(const FrequencyModel& model) {
+  const std::uint32_t scaled = scaled_value(model.total());
+  std::uint32_t cum_lo = 0;
+  std::uint32_t freq = 0;
+  const std::size_t symbol = model.locate(scaled, cum_lo, freq);
+  consume(div_, cum_lo, freq);
   return symbol;
+}
+
+std::size_t RangeDecoder::decode(const StaticModel& model) {
+  const std::uint32_t scaled = scaled_value(model.total());
+  const std::size_t symbol = model.locate_fast(scaled);
+  const std::span<const std::uint32_t> cum = model.cum_table();
+  consume(div_, cum[symbol], cum[symbol + 1] - cum[symbol]);
+  return symbol;
+}
+
+std::size_t RangeDecoder::decode(const AdaptiveModel& model) {
+  const std::uint32_t scaled = scaled_value(model.total());
+  std::uint32_t cum_lo = 0;
+  std::uint32_t freq = 0;
+  const std::size_t symbol = model.locate(scaled, cum_lo, freq);  // direct call
+  consume(div_, cum_lo, freq);
+  return symbol;
+}
+
+bool decode_path(RangeDecoder& dec, const StaticModel& id_model, const StaticModel& retx_model,
+                 std::uint32_t terminal, std::size_t max_hops, std::vector<PathSymbol>& out) {
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    PathSymbol sym;
+    sym.receiver = static_cast<std::uint32_t>(dec.decode(id_model));
+    sym.retx = static_cast<std::uint32_t>(dec.decode(retx_model));
+    out.push_back(sym);
+    if (sym.receiver == terminal) return true;
+  }
+  return false;
 }
 
 }  // namespace dophy::coding

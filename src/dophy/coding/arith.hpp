@@ -1,101 +1,175 @@
 #pragma once
 
-// Integer arithmetic coder (Witten–Neal–Cleary construction, 32-bit
-// registers) with a *resumable* encoder: the register state serializes into
-// a fixed 10-byte trailer so a partially encoded stream can travel inside a
-// packet and the next hop can keep appending symbols.  This is the mechanism
-// that lets Dophy accumulate per-hop retransmission symbols at a cost of a
-// few bits per hop instead of whole bytes.
+// Byte-oriented range coder (Subbotin carryless construction, 32-bit
+// registers, whole-byte renormalization) with a *resumable* encoder: the
+// register pair serializes into a fixed 8-byte trailer so a partially
+// encoded stream can travel inside a packet and the next hop can keep
+// appending symbols.  This is the mechanism that lets Dophy accumulate
+// per-hop retransmission symbols at a cost of roughly a byte per hop.
+//
+// Construction notes (see docs in DESIGN.md, "Resumable range coding"):
+//
+//   * The coder tracks (low, range) as plain uint32.  Encoding a symbol with
+//     interval [cum, cum+freq) under total T does
+//         r = range / T;  low += r * cum;  range = r * freq;
+//     and renormalizes by emitting the top byte of `low` whenever the top
+//     bytes of low and low+range agree — i.e. no future carry can change the
+//     emitted byte, so the encoder never patches output (carryless).
+//   * When range falls below 2^16 while the interval still straddles a
+//     2^24 boundary, range is clamped to the distance to the next 2^16
+//     boundary (`range = -low & 0xFFFF`), sacrificing < 1 bit of code space
+//     to restore the no-carry invariant.  With model totals capped at 2^16
+//     (kMaxModelTotal) the clamp can never produce a zero range.
+//   * Invariant maintained throughout: low + range <= 2^32 (computed
+//     exactly), and range >= 2^16 after every renormalization — which is
+//     what makes the 8-byte suspended state self-contained.
+//
+// This is codec wire version 2.  Version 1 (the bit-at-a-time
+// Witten–Neal–Cleary coder) is preserved under dophy::coding::legacy for
+// the differential test battery and A/B benchmarks; version-1 streams are
+// NOT decodable by this coder and vice versa.  Golden wire fixtures under
+// tests/coding/golden/ pin both formats.
 
 #include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "dophy/common/bitio.hpp"
 #include "dophy/coding/freq_model.hpp"
 
 namespace dophy::coding {
 
-/// Suspended encoder registers.  `pending` counts carry-straddling bits not
-/// yet emitted; it is bounded by the number of symbols encoded so far, which
-/// packet-scale streams keep far below 2^16.
-struct ArithCoderState {
-  std::uint64_t low = 0;
-  std::uint64_t high = 0xFFFFFFFFull;
-  std::uint16_t pending = 0;
+/// Wire-format version of the streams the range coder produces.  Bumped
+/// from 1 when the bit-oriented arithmetic coder was replaced; pipeline
+/// goldens and the golden wire fixtures are pinned per version.
+inline constexpr std::uint8_t kCodecWireVersion = 2;
 
-  static constexpr std::size_t kSerializedSize = 10;
+/// Renormalization threshold: emit bytes while the top bytes of low and
+/// low+range agree (no carry can reach them).
+inline constexpr std::uint32_t kRangeTop = 1u << 24;
+/// Minimum post-renormalization range.  Model totals are capped at this
+/// value (kMaxModelTotal) so `range / total` never truncates to zero.
+inline constexpr std::uint32_t kRangeBot = 1u << 16;
+
+/// Suspended encoder registers.  Always a post-renormalization state
+/// (range >= kRangeBot), which is what deserialize() validates.
+struct RangeCoderState {
+  std::uint32_t low = 0;
+  std::uint32_t range = 0xFFFFFFFFu;
+
+  static constexpr std::size_t kSerializedSize = 8;
   [[nodiscard]] std::array<std::uint8_t, kSerializedSize> serialize() const noexcept;
-  [[nodiscard]] static ArithCoderState deserialize(std::span<const std::uint8_t> bytes);
-  [[nodiscard]] bool operator==(const ArithCoderState&) const noexcept = default;
+  [[nodiscard]] static RangeCoderState deserialize(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool operator==(const RangeCoderState&) const noexcept = default;
 };
 
-class ArithmeticEncoder {
+class RangeEncoder {
  public:
-  /// Fresh stream writing into `out` (which may already hold earlier,
-  /// unrelated bits; the coder only appends).
-  explicit ArithmeticEncoder(dophy::common::BitWriter& out) noexcept;
+  /// Fresh stream appending to `out` (which may already hold earlier,
+  /// unrelated bytes; the coder only appends).
+  explicit RangeEncoder(std::vector<std::uint8_t>& out) noexcept;
 
-  /// Resumes from a suspended state.  `out` must contain the bits the
+  /// Resumes from a suspended state.  `out` must contain the bytes the
   /// original encoder had emitted (byte-exact continuation is the caller's
-  /// contract; Dophy stores the packet's bit count alongside the trailer).
-  ArithmeticEncoder(dophy::common::BitWriter& out, const ArithCoderState& state) noexcept;
+  /// contract; Dophy stores the packet's byte count alongside the trailer).
+  RangeEncoder(std::vector<std::uint8_t>& out, const RangeCoderState& state) noexcept;
 
   /// Encodes `symbol`; does NOT call model.update() — callers that want
   /// adaptivity update explicitly so encode/decode stay symmetric.
   void encode(const FrequencyModel& model, std::size_t symbol);
 
+  /// Non-virtual fast path for the disseminated static models: interval
+  /// lookup inlines against the cumulative table.
+  void encode(const StaticModel& model, std::size_t symbol);
+
+  /// Non-virtual fast path for adaptive models (AdaptiveModel is final, so
+  /// interval() resolves directly instead of through the vtable).
+  void encode(const AdaptiveModel& model, std::size_t symbol);
+
+  /// Raw interval form shared by both overloads; preconditions: freq >= 1,
+  /// cum_lo + freq <= total <= kMaxModelTotal.
+  void encode_interval(std::uint32_t cum_lo, std::uint32_t freq, std::uint32_t total);
+
   /// Captures the register state for in-packet transport.  The encoder stays
   /// usable; typically the caller suspends and drops it.
-  [[nodiscard]] ArithCoderState suspend() const noexcept { return state_; }
+  [[nodiscard]] RangeCoderState suspend() const noexcept { return state_; }
 
-  /// Terminates the stream (emits 1–2 disambiguating bits plus pendings).
+  /// Terminates the stream: emits the 2 disambiguating bytes (4 in a rare
+  /// register corner), relying on the decoder's zero-fill for the rest.
   /// The encoder must not be used afterwards.
   void finish();
 
  private:
-  void emit_bit_with_pending(bool bit);
-
-  dophy::common::BitWriter* out_;
-  ArithCoderState state_;
+  std::vector<std::uint8_t>* out_;
+  RangeCoderState state_;
   bool finished_ = false;
 };
 
-class ArithmeticDecoder {
+class RangeDecoder {
  public:
-  /// Decodes from `data`, starting at `start_bit`, reading at most
-  /// `bit_limit` bits total (SIZE_MAX = whole buffer).  Reads past the
-  /// logical end are treated as zero bits, as the finish() convention
-  /// requires.
-  explicit ArithmeticDecoder(std::span<const std::uint8_t> data, std::size_t start_bit = 0,
-                             std::size_t bit_limit = SIZE_MAX);
+  /// Decodes from `data`, starting at byte `start_byte`, reading at most
+  /// `byte_limit` bytes counted from the buffer start (SIZE_MAX = whole
+  /// buffer).  Reads past the logical end are treated as zero bytes, as the
+  /// finish() convention requires.
+  explicit RangeDecoder(std::span<const std::uint8_t> data, std::size_t start_byte = 0,
+                        std::size_t byte_limit = SIZE_MAX);
 
   /// Decodes one symbol under `model` (no update; see encoder note).
+  /// Throws std::runtime_error when the code value falls outside the
+  /// model's span (corrupt stream).
   [[nodiscard]] std::size_t decode(const FrequencyModel& model);
 
-  /// Bits consumed from the underlying stream (excludes virtual zero-fill).
-  [[nodiscard]] std::size_t bits_consumed() const noexcept { return consumed_; }
+  /// Non-virtual fast path for static models (inline cumulative search).
+  [[nodiscard]] std::size_t decode(const StaticModel& model);
 
-  /// Virtual zero bits consumed past the logical end of the stream.
-  [[nodiscard]] std::size_t fill_bits() const noexcept { return fill_; }
+  /// Non-virtual fast path for adaptive models (direct locate(), no vtable).
+  [[nodiscard]] std::size_t decode(const AdaptiveModel& model);
+
+  /// Bytes consumed from the underlying stream (excludes virtual zero-fill).
+  [[nodiscard]] std::size_t bytes_consumed() const noexcept { return consumed_; }
+
+  /// Virtual zero bytes consumed past the logical end of the stream.
+  [[nodiscard]] std::size_t fill_bytes() const noexcept { return fill_; }
 
   /// Truncation heuristic.  Decoding a properly finish()ed stream to its
-  /// exact symbol count reads at most 32 + renormalization-shift bits, and
-  /// the encoder emitted at least shifts + 1 bits — so legitimate zero-fill
-  /// is bounded by 31 bits.  Reaching 32 fill bits means the stream ended
-  /// earlier than a complete encoding could have: the buffer was cut.
-  [[nodiscard]] bool likely_truncated() const noexcept { return fill_ >= 32; }
+  /// exact symbol count reads renormalizations + 4 bytes, and the encoder
+  /// emitted renormalizations + 2 bytes (or all 4 in the rare corner) — so
+  /// legitimate zero-fill is exactly 0 or 2 bytes.  Reaching 3 fill bytes
+  /// means the stream ended earlier than a complete encoding could have:
+  /// the buffer was cut.
+  [[nodiscard]] bool likely_truncated() const noexcept { return fill_ >= 3; }
 
  private:
-  [[nodiscard]] bool next_bit() noexcept;
+  [[nodiscard]] std::uint8_t next_byte() noexcept;
+  [[nodiscard]] std::uint32_t scaled_value(std::uint32_t total);
+  void consume(std::uint32_t r, std::uint32_t cum_lo, std::uint32_t freq);
 
-  dophy::common::BitReader reader_;
-  std::uint64_t low_ = 0;
-  std::uint64_t high_ = 0xFFFFFFFFull;
-  std::uint64_t value_ = 0;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
+  std::uint32_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+  std::uint32_t div_ = 0;  ///< range/total carried between scaled_value and consume
   std::size_t consumed_ = 0;
   std::size_t fill_ = 0;
 };
+
+/// One decoded hop of a Dophy measurement stream: receiver id symbol plus
+/// the aggregated retransmission symbol.
+struct PathSymbol {
+  std::uint32_t receiver = 0;
+  std::uint32_t retx = 0;
+};
+
+/// Batched whole-hop-stream decode: reads alternating (receiver-id, retx)
+/// symbol pairs from `dec` until `terminal` is decoded as receiver or
+/// `max_hops` pairs were produced, appending each pair to `out`.  The whole
+/// loop runs on the non-virtual StaticModel fast path — one call per packet
+/// instead of two virtual dispatches per hop.  Returns true when the
+/// terminal was reached; throws like decode() on corrupt streams.
+[[nodiscard]] bool decode_path(RangeDecoder& dec, const StaticModel& id_model,
+                               const StaticModel& retx_model, std::uint32_t terminal,
+                               std::size_t max_hops, std::vector<PathSymbol>& out);
 
 }  // namespace dophy::coding

@@ -6,6 +6,7 @@
 #include "dophy/common/bitio.hpp"
 #include "dophy/coding/elias.hpp"
 #include "dophy/coding/golomb.hpp"
+#include "dophy/coding/legacy_arith.hpp"
 
 namespace dophy::coding {
 
@@ -167,18 +168,16 @@ class StaticArithCodec final : public Codec {
 
   std::size_t encode(const std::vector<std::uint32_t>& symbols,
                      std::vector<std::uint8_t>& out) override {
-    BitWriter w;
-    ArithmeticEncoder enc(w);
+    out.clear();
+    RangeEncoder enc(out);
     for (const std::uint32_t s : symbols) enc.encode(model_, s);
     enc.finish();
-    const std::size_t bits = w.bit_count();
-    out = w.take();
-    return bits;
+    return out.size() * 8;
   }
 
   [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
                                                   std::size_t count) override {
-    ArithmeticDecoder dec(bytes);
+    RangeDecoder dec(bytes);
     std::vector<std::uint32_t> symbols;
     symbols.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -187,14 +186,14 @@ class StaticArithCodec final : public Codec {
     return symbols;
   }
 
-  // Arithmetic streams happily decode a cut buffer into in-alphabet garbage
+  // Range-coded streams happily decode a cut buffer into in-alphabet garbage
   // (the zero-fill tail is indistinguishable from data), so the exception
   // mapping alone is not enough: also reject streams whose decode leaned on
   // more virtual fill than any complete encoding could need.
   [[nodiscard]] DecodeOutcome try_decode(const std::vector<std::uint8_t>& bytes,
                                          std::size_t count) override {
     DecodeOutcome out;
-    ArithmeticDecoder dec(bytes);
+    RangeDecoder dec(bytes);
     try {
       out.symbols.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
@@ -221,22 +220,20 @@ class AdaptiveArithCodec final : public Codec {
   std::size_t encode(const std::vector<std::uint32_t>& symbols,
                      std::vector<std::uint8_t>& out) override {
     AdaptiveModel model(alphabet_size_);
-    BitWriter w;
-    ArithmeticEncoder enc(w);
+    out.clear();
+    RangeEncoder enc(out);
     for (const std::uint32_t s : symbols) {
       enc.encode(model, s);
       model.update(s);
     }
     enc.finish();
-    const std::size_t bits = w.bit_count();
-    out = w.take();
-    return bits;
+    return out.size() * 8;
   }
 
   [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
                                                   std::size_t count) override {
     AdaptiveModel model(alphabet_size_);
-    ArithmeticDecoder dec(bytes);
+    RangeDecoder dec(bytes);
     std::vector<std::uint32_t> symbols;
     symbols.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -252,7 +249,120 @@ class AdaptiveArithCodec final : public Codec {
                                          std::size_t count) override {
     DecodeOutcome out;
     AdaptiveModel model(alphabet_size_);
-    ArithmeticDecoder dec(bytes);
+    RangeDecoder dec(bytes);
+    try {
+      out.symbols.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t s = dec.decode(model);
+        model.update(s);
+        out.symbols.push_back(static_cast<std::uint32_t>(s));
+      }
+    } catch (const std::exception&) {
+      out.error = CodecError::kMalformed;
+      return out;
+    }
+    if (dec.likely_truncated()) out.error = CodecError::kTruncated;
+    return out;
+  }
+
+ private:
+  std::uint32_t alphabet_size_;
+};
+
+// Wire-v1 codecs over the retired bit-oriented coder.  Differential tests
+// pin value-exact equivalence against the range-coder codecs above, and the
+// microbenchmarks interleave both for the A/B speedup measurement.
+
+class LegacyStaticArithCodec final : public Codec {
+ public:
+  explicit LegacyStaticArithCodec(std::vector<std::uint64_t> counts) : model_(counts) {}
+
+  [[nodiscard]] std::string name() const override { return "arith-static-v1"; }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    BitWriter w;
+    legacy::ArithmeticEncoder enc(w);
+    for (const std::uint32_t s : symbols) enc.encode(model_, s);
+    enc.finish();
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    legacy::ArithmeticDecoder dec(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      symbols.push_back(static_cast<std::uint32_t>(dec.decode(model_)));
+    }
+    return symbols;
+  }
+
+  [[nodiscard]] DecodeOutcome try_decode(const std::vector<std::uint8_t>& bytes,
+                                         std::size_t count) override {
+    DecodeOutcome out;
+    legacy::ArithmeticDecoder dec(bytes);
+    try {
+      out.symbols.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        out.symbols.push_back(static_cast<std::uint32_t>(dec.decode(model_)));
+      }
+    } catch (const std::exception&) {
+      out.error = CodecError::kMalformed;
+      return out;
+    }
+    if (dec.likely_truncated()) out.error = CodecError::kTruncated;
+    return out;
+  }
+
+ private:
+  StaticModel model_;
+};
+
+class LegacyAdaptiveArithCodec final : public Codec {
+ public:
+  explicit LegacyAdaptiveArithCodec(std::uint32_t alphabet_size)
+      : alphabet_size_(alphabet_size) {}
+
+  [[nodiscard]] std::string name() const override { return "arith-adaptive-v1"; }
+
+  std::size_t encode(const std::vector<std::uint32_t>& symbols,
+                     std::vector<std::uint8_t>& out) override {
+    AdaptiveModel model(alphabet_size_);
+    BitWriter w;
+    legacy::ArithmeticEncoder enc(w);
+    for (const std::uint32_t s : symbols) {
+      enc.encode(model, s);
+      model.update(s);
+    }
+    enc.finish();
+    const std::size_t bits = w.bit_count();
+    out = w.take();
+    return bits;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> decode(const std::vector<std::uint8_t>& bytes,
+                                                  std::size_t count) override {
+    AdaptiveModel model(alphabet_size_);
+    legacy::ArithmeticDecoder dec(bytes);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t s = dec.decode(model);
+      model.update(s);
+      symbols.push_back(static_cast<std::uint32_t>(s));
+    }
+    return symbols;
+  }
+
+  [[nodiscard]] DecodeOutcome try_decode(const std::vector<std::uint8_t>& bytes,
+                                         std::size_t count) override {
+    DecodeOutcome out;
+    AdaptiveModel model(alphabet_size_);
+    legacy::ArithmeticDecoder dec(bytes);
     try {
       out.symbols.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
@@ -292,6 +402,14 @@ std::unique_ptr<Codec> make_static_arith_codec(std::vector<std::uint64_t> counts
 
 std::unique_ptr<Codec> make_adaptive_arith_codec(std::uint32_t alphabet_size) {
   return std::make_unique<AdaptiveArithCodec>(alphabet_size);
+}
+
+std::unique_ptr<Codec> make_legacy_static_arith_codec(std::vector<std::uint64_t> counts) {
+  return std::make_unique<LegacyStaticArithCodec>(std::move(counts));
+}
+
+std::unique_ptr<Codec> make_legacy_adaptive_arith_codec(std::uint32_t alphabet_size) {
+  return std::make_unique<LegacyAdaptiveArithCodec>(alphabet_size);
 }
 
 }  // namespace dophy::coding

@@ -79,10 +79,20 @@ class Codec {
 /// Canonical Huffman trained on provided counts.
 [[nodiscard]] std::unique_ptr<Codec> make_huffman_codec(std::vector<std::uint64_t> counts);
 
-/// Arithmetic coding with a trained static model (Dophy's deployed mode).
+/// Range coding with a trained static model (Dophy's deployed mode,
+/// wire version 2).
 [[nodiscard]] std::unique_ptr<Codec> make_static_arith_codec(std::vector<std::uint64_t> counts);
 
-/// Arithmetic coding with an order-0 adaptive model (self-synchronizing).
+/// Range coding with an order-0 adaptive model (self-synchronizing).
 [[nodiscard]] std::unique_ptr<Codec> make_adaptive_arith_codec(std::uint32_t alphabet_size);
+
+/// Wire-version-1 bit-oriented arithmetic coder (dophy::coding::legacy),
+/// kept for the differential test battery and interleaved A/B benchmarks.
+/// Identical model construction to the range-coder variants, so any output
+/// difference is the coder itself.
+[[nodiscard]] std::unique_ptr<Codec> make_legacy_static_arith_codec(
+    std::vector<std::uint64_t> counts);
+[[nodiscard]] std::unique_ptr<Codec> make_legacy_adaptive_arith_codec(
+    std::uint32_t alphabet_size);
 
 }  // namespace dophy::coding

@@ -11,6 +11,19 @@ namespace dophy::coding {
 
 void FrequencyModel::update(std::size_t /*symbol*/) {}
 
+void FrequencyModel::interval(std::size_t symbol, std::uint32_t& cum_lo,
+                              std::uint32_t& freq_out) const {
+  cum_lo = cum(symbol);
+  freq_out = freq(symbol);
+}
+
+std::size_t FrequencyModel::locate(std::uint32_t cum_value, std::uint32_t& cum_lo,
+                                   std::uint32_t& freq_out) const {
+  const std::size_t symbol = find(cum_value);
+  interval(symbol, cum_lo, freq_out);
+  return symbol;
+}
+
 double FrequencyModel::ideal_bits(std::size_t symbol) const {
   const double p = static_cast<double>(freq(symbol)) / static_cast<double>(total());
   return -std::log2(p);
@@ -84,9 +97,23 @@ std::uint32_t StaticModel::freq(std::size_t symbol) const {
 
 std::size_t StaticModel::find(std::uint32_t cum_value) const {
   if (cum_value >= total_) throw std::out_of_range("StaticModel::find");
-  // upper_bound over cum_: first entry > cum_value, minus one.
-  const auto it = std::upper_bound(cum_.begin(), cum_.end(), cum_value);
-  return static_cast<std::size_t>(it - cum_.begin()) - 1;
+  return locate_fast(cum_value);
+}
+
+void StaticModel::interval(std::size_t symbol, std::uint32_t& cum_lo,
+                           std::uint32_t& freq_out) const {
+  if (symbol >= freqs_.size()) throw std::out_of_range("StaticModel::interval");
+  cum_lo = cum_[symbol];
+  freq_out = freqs_[symbol];
+}
+
+std::size_t StaticModel::locate(std::uint32_t cum_value, std::uint32_t& cum_lo,
+                                std::uint32_t& freq_out) const {
+  if (cum_value >= total_) throw std::out_of_range("StaticModel::locate");
+  const std::size_t symbol = locate_fast(cum_value);
+  cum_lo = cum_[symbol];
+  freq_out = freqs_[symbol];
+  return symbol;
 }
 
 std::vector<std::uint8_t> StaticModel::serialize() const {
@@ -119,44 +146,91 @@ StaticModel StaticModel::deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 AdaptiveModel::AdaptiveModel(std::size_t symbol_count, std::uint32_t increment)
-    : count_(symbol_count), increment_(increment) {
+    : count_(symbol_count), increment_(increment), small_(symbol_count <= kSmallAlphabet) {
   if (symbol_count == 0) throw std::invalid_argument("AdaptiveModel: zero symbols");
   if (increment == 0) throw std::invalid_argument("AdaptiveModel: zero increment");
   if (symbol_count * 2 > kMaxModelTotal) {
     throw std::invalid_argument("AdaptiveModel: too many symbols");
   }
-  tree_.reset(symbol_count);
-  for (std::size_t i = 0; i < symbol_count; ++i) tree_.add(i, 1);
-}
-
-std::uint32_t AdaptiveModel::total() const noexcept {
-  return static_cast<std::uint32_t>(tree_.total());
+  if (!small_) {
+    tree_.reset(symbol_count);
+    for (std::size_t i = 0; i < symbol_count; ++i) tree_.add(i, 1);
+  }
+  freqs_.assign(symbol_count, 1);
+  total_ = static_cast<std::uint32_t>(symbol_count);
 }
 
 std::uint32_t AdaptiveModel::cum(std::size_t symbol) const {
+  if (small_) {
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < symbol; ++i) sum += freqs_[i];
+    return sum;
+  }
   return static_cast<std::uint32_t>(tree_.prefix_sum(symbol));
 }
 
 std::uint32_t AdaptiveModel::freq(std::size_t symbol) const {
-  return static_cast<std::uint32_t>(tree_.get(symbol));
+  if (symbol >= count_) throw std::out_of_range("AdaptiveModel::freq");
+  return freqs_[symbol];
 }
 
 std::size_t AdaptiveModel::find(std::uint32_t cum_value) const {
+  if (small_) {
+    std::uint32_t lo = 0;
+    std::uint32_t fr = 0;
+    return locate(cum_value, lo, fr);
+  }
   return tree_.find_by_cumulative(cum_value);
+}
+
+void AdaptiveModel::interval(std::size_t symbol, std::uint32_t& cum_lo,
+                             std::uint32_t& freq_out) const {
+  if (symbol >= count_) throw std::out_of_range("AdaptiveModel::interval");
+  if (small_) {
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < symbol; ++i) sum += freqs_[i];
+    cum_lo = sum;
+  } else {
+    cum_lo = static_cast<std::uint32_t>(tree_.prefix_sum(symbol));
+  }
+  freq_out = freqs_[symbol];
+}
+
+std::size_t AdaptiveModel::locate(std::uint32_t cum_value, std::uint32_t& cum_lo,
+                                  std::uint32_t& freq_out) const {
+  if (small_) {
+    std::uint32_t acc = 0;
+    std::size_t symbol = 0;
+    while (symbol + 1 < count_ && acc + freqs_[symbol] <= cum_value) {
+      acc += freqs_[symbol];
+      ++symbol;
+    }
+    cum_lo = acc;
+    freq_out = freqs_[symbol];
+    return symbol;
+  }
+  std::uint64_t prefix = 0;
+  const std::size_t symbol = tree_.find_with_prefix(cum_value, prefix);
+  cum_lo = static_cast<std::uint32_t>(prefix);
+  freq_out = freqs_[symbol];
+  return symbol;
 }
 
 void AdaptiveModel::update(std::size_t symbol) {
   if (symbol >= count_) throw std::out_of_range("AdaptiveModel::update");
-  if (tree_.total() + increment_ > kMaxModelTotal) rescale();
-  tree_.add(symbol, increment_);
+  if (total_ + increment_ > kMaxModelTotal) rescale();
+  if (!small_) tree_.add(symbol, increment_);
+  freqs_[symbol] += increment_;
+  total_ += increment_;
 }
 
 void AdaptiveModel::rescale() {
-  std::vector<std::uint64_t> freqs(count_);
-  for (std::size_t i = 0; i < count_; ++i) freqs[i] = tree_.get(i);
-  tree_.reset(count_);
+  if (!small_) tree_.reset(count_);
+  total_ = 0;
   for (std::size_t i = 0; i < count_; ++i) {
-    tree_.add(i, static_cast<std::int64_t>(std::max<std::uint64_t>(1, freqs[i] / 2)));
+    freqs_[i] = std::max<std::uint32_t>(1, freqs_[i] / 2);
+    if (!small_) tree_.add(i, freqs_[i]);
+    total_ += freqs_[i];
   }
 }
 

@@ -1,10 +1,16 @@
 #pragma once
 
-// Symbol frequency models driving the arithmetic coder.
+// Symbol frequency models driving the range coder.
 //
 // Dophy disseminates *versioned static models* from the sink (all encoders
 // along a path must share the decoder's model bit-for-bit), while offline
 // codec comparisons also use a self-synchronizing adaptive model.
+//
+// The lookup surface is shaped for the coder's hot path: both directions go
+// through one combined virtual call (`interval` when encoding, `locate` when
+// decoding) instead of separate total/cum/freq/find calls, and StaticModel
+// additionally exposes its cumulative table so the decoder's non-virtual
+// fast path can search it inline.
 
 #include <cstdint>
 #include <span>
@@ -14,12 +20,13 @@
 
 namespace dophy::coding {
 
-/// Upper bound on a model's total frequency.  The arithmetic coder requires
-/// total <= range/4 at minimum renormalized range (2^30), so 2^16 leaves a
-/// huge margin while keeping serialized models small.
+/// Upper bound on a model's total frequency.  The range coder divides its
+/// 32-bit range by the total and renormalizes at 2^16, so totals must stay
+/// <= 2^16 for every symbol to keep a non-empty slice; this also keeps
+/// serialized models small.
 inline constexpr std::uint32_t kMaxModelTotal = 1u << 16;
 
-/// Interface consumed by ArithmeticEncoder/Decoder.  Cumulative counts are
+/// Interface consumed by RangeEncoder/RangeDecoder.  Cumulative counts are
 /// "below": cum(s) = sum of freq(t) for t < s; every symbol must have
 /// freq >= 1 so it stays codable.
 class FrequencyModel {
@@ -32,6 +39,18 @@ class FrequencyModel {
   [[nodiscard]] virtual std::uint32_t freq(std::size_t symbol) const = 0;
   /// Symbol whose interval [cum(s), cum(s)+freq(s)) contains `cum_value`.
   [[nodiscard]] virtual std::size_t find(std::uint32_t cum_value) const = 0;
+
+  /// Encoder-side combined lookup: writes [cum(symbol), freq(symbol)) into
+  /// the out-params in one virtual call.  Default composes cum() + freq().
+  virtual void interval(std::size_t symbol, std::uint32_t& cum_lo,
+                        std::uint32_t& freq_out) const;
+
+  /// Decoder-side combined lookup: the symbol containing `cum_value` plus
+  /// its interval, in one virtual call.  Default composes find() + cum() +
+  /// freq(); both concrete models override with a single-pass search.
+  [[nodiscard]] virtual std::size_t locate(std::uint32_t cum_value, std::uint32_t& cum_lo,
+                                           std::uint32_t& freq_out) const;
+
   /// Adapts the model after coding `symbol`; static models ignore it.
   virtual void update(std::size_t symbol);
 
@@ -59,6 +78,39 @@ class StaticModel final : public FrequencyModel {
   [[nodiscard]] std::uint32_t cum(std::size_t symbol) const override;
   [[nodiscard]] std::uint32_t freq(std::size_t symbol) const override;
   [[nodiscard]] std::size_t find(std::uint32_t cum_value) const override;
+  void interval(std::size_t symbol, std::uint32_t& cum_lo,
+                std::uint32_t& freq_out) const override;
+  [[nodiscard]] std::size_t locate(std::uint32_t cum_value, std::uint32_t& cum_lo,
+                                   std::uint32_t& freq_out) const override;
+
+  /// The cumulative table (symbol_count()+1 entries, cum_table()[0] == 0,
+  /// cum_table().back() == total()).  Backing store for the decoder's
+  /// non-virtual fast path.
+  [[nodiscard]] std::span<const std::uint32_t> cum_table() const noexcept { return cum_; }
+
+  /// Non-virtual single-pass search: the symbol whose interval contains
+  /// `cum_value`.  Precondition: cum_value < total().  Linear scan for small
+  /// alphabets (retx models are 4–16 symbols), binary search above that.
+  [[nodiscard]] std::size_t locate_fast(std::uint32_t cum_value) const noexcept {
+    const std::uint32_t* c = cum_.data();
+    const std::size_t n = freqs_.size();
+    if (n <= 16) {
+      std::size_t s = 1;
+      while (c[s] <= cum_value) ++s;  // terminates: c[n] == total_ > cum_value
+      return s - 1;
+    }
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (c[mid] <= cum_value) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
 
   /// Compact wire form (varint-coded quantized frequencies).  This is the
   /// payload counted as model-dissemination overhead.
@@ -82,23 +134,40 @@ class StaticModel final : public FrequencyModel {
 /// `increment`, and halves all counts (keeping >= 1) when the total would
 /// exceed kMaxModelTotal.  Encoder and decoder stay synchronized by applying
 /// identical update() calls.
+///
+/// Prefix sums live in a Fenwick tree; a flat frequency mirror plus a cached
+/// total make freq()/total() O(1) and let locate() resolve symbol + interval
+/// in one tree descent.  Alphabets of at most kSmallAlphabet symbols (the
+/// retransmission-count case: K <= 8) skip the tree entirely — a linear scan
+/// over the flat array beats the descent's pointer chasing at that size, and
+/// update() collapses to two additions.
 class AdaptiveModel final : public FrequencyModel {
  public:
+  /// Below this alphabet size prefix sums are linear scans, not tree ops.
+  static constexpr std::size_t kSmallAlphabet = 24;
+
   explicit AdaptiveModel(std::size_t symbol_count, std::uint32_t increment = 32);
 
   [[nodiscard]] std::size_t symbol_count() const noexcept override { return count_; }
-  [[nodiscard]] std::uint32_t total() const noexcept override;
+  [[nodiscard]] std::uint32_t total() const noexcept override { return total_; }
   [[nodiscard]] std::uint32_t cum(std::size_t symbol) const override;
   [[nodiscard]] std::uint32_t freq(std::size_t symbol) const override;
   [[nodiscard]] std::size_t find(std::uint32_t cum_value) const override;
+  void interval(std::size_t symbol, std::uint32_t& cum_lo,
+                std::uint32_t& freq_out) const override;
+  [[nodiscard]] std::size_t locate(std::uint32_t cum_value, std::uint32_t& cum_lo,
+                                   std::uint32_t& freq_out) const override;
   void update(std::size_t symbol) override;
 
  private:
   void rescale();
 
-  dophy::common::FenwickTree tree_;
+  dophy::common::FenwickTree tree_;   // unused (empty) when small_
+  std::vector<std::uint32_t> freqs_;  // flat counts; mirrors tree_ leaves when !small_
   std::size_t count_;
   std::uint32_t increment_;
+  std::uint32_t total_ = 0;
+  bool small_;
 };
 
 /// Normalizes `counts` to frequencies with total <= max_total and min 1 per

@@ -1,0 +1,156 @@
+#include "dophy/coding/legacy_arith.hpp"
+
+#include <stdexcept>
+
+namespace dophy::coding::legacy {
+
+namespace {
+constexpr std::uint64_t kTop = 0xFFFFFFFFull;      // 2^32 - 1
+constexpr std::uint64_t kHalf = 0x80000000ull;     // 2^31
+constexpr std::uint64_t kQuarter = 0x40000000ull;  // 2^30
+constexpr std::uint64_t kThreeQuarters = kHalf + kQuarter;
+}  // namespace
+
+std::array<std::uint8_t, ArithCoderState::kSerializedSize> ArithCoderState::serialize()
+    const noexcept {
+  std::array<std::uint8_t, kSerializedSize> out{};
+  for (unsigned i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(low >> (24 - 8 * i));
+  for (unsigned i = 0; i < 4; ++i) out[4 + i] = static_cast<std::uint8_t>(high >> (24 - 8 * i));
+  out[8] = static_cast<std::uint8_t>(pending >> 8);
+  out[9] = static_cast<std::uint8_t>(pending);
+  return out;
+}
+
+ArithCoderState ArithCoderState::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSerializedSize) {
+    throw std::runtime_error("ArithCoderState::deserialize: truncated");
+  }
+  ArithCoderState st;
+  st.low = 0;
+  st.high = 0;
+  for (unsigned i = 0; i < 4; ++i) st.low = (st.low << 8) | bytes[i];
+  for (unsigned i = 0; i < 4; ++i) st.high = (st.high << 8) | bytes[4 + i];
+  st.pending = static_cast<std::uint16_t>((bytes[8] << 8) | bytes[9]);
+  if (st.low > st.high || st.high > kTop) {
+    throw std::runtime_error("ArithCoderState::deserialize: invalid registers");
+  }
+  return st;
+}
+
+ArithmeticEncoder::ArithmeticEncoder(dophy::common::BitWriter& out) noexcept : out_(&out) {}
+
+ArithmeticEncoder::ArithmeticEncoder(dophy::common::BitWriter& out,
+                                     const ArithCoderState& state) noexcept
+    : out_(&out), state_(state) {}
+
+void ArithmeticEncoder::emit_bit_with_pending(bool bit) {
+  out_->put_bit(bit);
+  while (state_.pending > 0) {
+    out_->put_bit(!bit);
+    --state_.pending;
+  }
+}
+
+void ArithmeticEncoder::encode(const FrequencyModel& model, std::size_t symbol) {
+  if (finished_) throw std::logic_error("ArithmeticEncoder::encode after finish");
+  const std::uint64_t total = model.total();
+  const std::uint64_t cum_lo = model.cum(symbol);
+  const std::uint64_t cum_hi = cum_lo + model.freq(symbol);
+  if (cum_hi <= cum_lo) throw std::invalid_argument("ArithmeticEncoder: zero-frequency symbol");
+
+  const std::uint64_t range = state_.high - state_.low + 1;
+  state_.high = state_.low + (range * cum_hi) / total - 1;
+  state_.low = state_.low + (range * cum_lo) / total;
+
+  for (;;) {
+    if (state_.high < kHalf) {
+      emit_bit_with_pending(false);
+    } else if (state_.low >= kHalf) {
+      emit_bit_with_pending(true);
+      state_.low -= kHalf;
+      state_.high -= kHalf;
+    } else if (state_.low >= kQuarter && state_.high < kThreeQuarters) {
+      if (state_.pending == 0xFFFF) {
+        throw std::overflow_error("ArithmeticEncoder: pending-bit counter overflow");
+      }
+      ++state_.pending;
+      state_.low -= kQuarter;
+      state_.high -= kQuarter;
+    } else {
+      break;
+    }
+    state_.low <<= 1;
+    state_.high = (state_.high << 1) | 1;
+  }
+}
+
+void ArithmeticEncoder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Disambiguate the final interval: low < quarter < half <= high always
+  // holds here, so emitting the quarter-pattern suffices.
+  ++state_.pending;
+  if (state_.low < kQuarter) {
+    emit_bit_with_pending(false);
+  } else {
+    emit_bit_with_pending(true);
+  }
+}
+
+ArithmeticDecoder::ArithmeticDecoder(std::span<const std::uint8_t> data, std::size_t start_bit,
+                                     std::size_t bit_limit)
+    : reader_(data, bit_limit) {
+  // Skip to the stream start.
+  while (start_bit > 0 && !reader_.exhausted()) {
+    (void)reader_.get_bit();
+    --start_bit;
+  }
+  for (unsigned i = 0; i < 32; ++i) {
+    value_ = (value_ << 1) | static_cast<std::uint64_t>(next_bit());
+  }
+}
+
+bool ArithmeticDecoder::next_bit() noexcept {
+  if (reader_.exhausted()) {
+    ++fill_;  // zero-fill past the logical end (see likely_truncated())
+    return false;
+  }
+  ++consumed_;
+  return reader_.get_bit();
+}
+
+std::size_t ArithmeticDecoder::decode(const FrequencyModel& model) {
+  const std::uint64_t total = model.total();
+  const std::uint64_t range = high_ - low_ + 1;
+  // Invert the encoder's mapping: find the cumulative slot of value_.
+  const std::uint64_t scaled = ((value_ - low_ + 1) * total - 1) / range;
+  if (scaled >= total) throw std::runtime_error("ArithmeticDecoder: corrupt stream");
+  const std::size_t symbol = model.find(static_cast<std::uint32_t>(scaled));
+
+  const std::uint64_t cum_lo = model.cum(symbol);
+  const std::uint64_t cum_hi = cum_lo + model.freq(symbol);
+  high_ = low_ + (range * cum_hi) / total - 1;
+  low_ = low_ + (range * cum_lo) / total;
+
+  for (;;) {
+    if (high_ < kHalf) {
+      // nothing
+    } else if (low_ >= kHalf) {
+      low_ -= kHalf;
+      high_ -= kHalf;
+      value_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarters) {
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+      value_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+    value_ = (value_ << 1) | static_cast<std::uint64_t>(next_bit());
+  }
+  return symbol;
+}
+
+}  // namespace dophy::coding::legacy

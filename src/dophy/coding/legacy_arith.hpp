@@ -1,0 +1,109 @@
+#pragma once
+
+// Wire-version-1 integer arithmetic coder (Witten–Neal–Cleary construction,
+// 32-bit registers, bit-at-a-time renormalization), preserved verbatim from
+// the original implementation when the hot path moved to the byte-oriented
+// range coder in arith.hpp.
+//
+// This coder is kept compiled for two reasons:
+//   * the differential codec test battery (tests/coding/
+//     test_range_differential.cpp) property-tests the new coder against it
+//     on identical symbol streams, and
+//   * the interleaved A/B microbenchmarks in bench/micro_codec.cpp measure
+//     both coders in one process so the speedup claim stays reproducible.
+//
+// It is NOT reachable from the tomo pipeline: packets only ever carry
+// wire-version-2 streams (see kCodecWireVersion in arith.hpp).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dophy/common/bitio.hpp"
+#include "dophy/coding/freq_model.hpp"
+
+namespace dophy::coding::legacy {
+
+/// Suspended encoder registers.  `pending` counts carry-straddling bits not
+/// yet emitted; it is bounded by the number of symbols encoded so far, which
+/// packet-scale streams keep far below 2^16.
+struct ArithCoderState {
+  std::uint64_t low = 0;
+  std::uint64_t high = 0xFFFFFFFFull;
+  std::uint16_t pending = 0;
+
+  static constexpr std::size_t kSerializedSize = 10;
+  [[nodiscard]] std::array<std::uint8_t, kSerializedSize> serialize() const noexcept;
+  [[nodiscard]] static ArithCoderState deserialize(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool operator==(const ArithCoderState&) const noexcept = default;
+};
+
+class ArithmeticEncoder {
+ public:
+  /// Fresh stream writing into `out` (which may already hold earlier,
+  /// unrelated bits; the coder only appends).
+  explicit ArithmeticEncoder(dophy::common::BitWriter& out) noexcept;
+
+  /// Resumes from a suspended state.  `out` must contain the bits the
+  /// original encoder had emitted (byte-exact continuation is the caller's
+  /// contract).
+  ArithmeticEncoder(dophy::common::BitWriter& out, const ArithCoderState& state) noexcept;
+
+  /// Encodes `symbol`; does NOT call model.update() — callers that want
+  /// adaptivity update explicitly so encode/decode stay symmetric.
+  void encode(const FrequencyModel& model, std::size_t symbol);
+
+  /// Captures the register state for in-packet transport.  The encoder stays
+  /// usable; typically the caller suspends and drops it.
+  [[nodiscard]] ArithCoderState suspend() const noexcept { return state_; }
+
+  /// Terminates the stream (emits 1–2 disambiguating bits plus pendings).
+  /// The encoder must not be used afterwards.
+  void finish();
+
+ private:
+  void emit_bit_with_pending(bool bit);
+
+  dophy::common::BitWriter* out_;
+  ArithCoderState state_;
+  bool finished_ = false;
+};
+
+class ArithmeticDecoder {
+ public:
+  /// Decodes from `data`, starting at `start_bit`, reading at most
+  /// `bit_limit` bits total (SIZE_MAX = whole buffer).  Reads past the
+  /// logical end are treated as zero bits, as the finish() convention
+  /// requires.
+  explicit ArithmeticDecoder(std::span<const std::uint8_t> data, std::size_t start_bit = 0,
+                             std::size_t bit_limit = SIZE_MAX);
+
+  /// Decodes one symbol under `model` (no update; see encoder note).
+  [[nodiscard]] std::size_t decode(const FrequencyModel& model);
+
+  /// Bits consumed from the underlying stream (excludes virtual zero-fill).
+  [[nodiscard]] std::size_t bits_consumed() const noexcept { return consumed_; }
+
+  /// Virtual zero bits consumed past the logical end of the stream.
+  [[nodiscard]] std::size_t fill_bits() const noexcept { return fill_; }
+
+  /// Truncation heuristic.  Decoding a properly finish()ed stream to its
+  /// exact symbol count reads at most 32 + renormalization-shift bits, and
+  /// the encoder emitted at least shifts + 1 bits — so legitimate zero-fill
+  /// is bounded by 31 bits.  Reaching 32 fill bits means the stream ended
+  /// earlier than a complete encoding could have: the buffer was cut.
+  [[nodiscard]] bool likely_truncated() const noexcept { return fill_ >= 32; }
+
+ private:
+  [[nodiscard]] bool next_bit() noexcept;
+
+  dophy::common::BitReader reader_;
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = 0xFFFFFFFFull;
+  std::uint64_t value_ = 0;
+  std::size_t consumed_ = 0;
+  std::size_t fill_ = 0;
+};
+
+}  // namespace dophy::coding::legacy

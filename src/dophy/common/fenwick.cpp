@@ -47,4 +47,22 @@ std::size_t FenwickTree::find_by_cumulative(std::uint64_t target) const {
   return pos;  // slot index (0-based) whose interval contains target
 }
 
+std::size_t FenwickTree::find_with_prefix(std::uint64_t target, std::uint64_t& prefix) const {
+  if (target >= total()) {
+    throw std::out_of_range("FenwickTree::find_with_prefix: target >= total");
+  }
+  std::size_t pos = 0;
+  std::uint64_t remaining = target;
+  std::size_t mask = size_ ? std::bit_floor(size_) : 0;
+  for (; mask > 0; mask >>= 1) {
+    const std::size_t next = pos + mask;
+    if (next <= size_ && tree_[next] <= remaining) {
+      remaining -= tree_[next];
+      pos = next;
+    }
+  }
+  prefix = target - remaining;
+  return pos;
+}
+
 }  // namespace dophy::common

@@ -37,6 +37,13 @@ class FenwickTree {
   /// `target`.  Requires target < total().
   [[nodiscard]] std::size_t find_by_cumulative(std::uint64_t target) const;
 
+  /// find_by_cumulative that also reports prefix_sum(result) through
+  /// `prefix` — the descent already accumulates it, so callers that need
+  /// both (the range decoder's symbol lookup) pay one tree walk instead of
+  /// two.  Requires target < total().
+  [[nodiscard]] std::size_t find_with_prefix(std::uint64_t target,
+                                             std::uint64_t& prefix) const;
+
  private:
   std::vector<std::uint64_t> tree_;  // 1-based internally
   std::size_t size_ = 0;

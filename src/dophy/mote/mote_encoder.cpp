@@ -4,10 +4,10 @@ namespace dophy::mote {
 
 namespace {
 
-constexpr std::uint32_t kTop = 0xFFFFFFFFu;
-constexpr std::uint32_t kHalf = 0x80000000u;
-constexpr std::uint32_t kQuarter = 0x40000000u;
-constexpr std::uint32_t kThreeQuarters = kHalf + kQuarter;
+// Range-coder thresholds; must match dophy::coding::kRangeTop/kRangeBot so
+// mote and host emit identical bytes.
+constexpr std::uint32_t kTop = 1u << 24;
+constexpr std::uint32_t kBot = 1u << 16;
 
 /// LEB128 read without exceptions; returns false on truncation/overlong.
 bool read_varint(const std::uint8_t* bytes, std::size_t size, std::size_t& offset,
@@ -24,28 +24,23 @@ bool read_varint(const std::uint8_t* bytes, std::size_t size, std::size_t& offse
   return false;
 }
 
-/// Appends one bit to the packet stream; false if the budget is exhausted.
-bool put_bit(MotePacketState& state, bool bit) {
-  const std::uint16_t byte_index = static_cast<std::uint16_t>(state.bit_len >> 3);
-  if (byte_index >= kMaxStreamBytes) return false;
-  if (bit) {
-    state.stream[byte_index] = static_cast<std::uint8_t>(
-        state.stream[byte_index] | (0x80u >> (state.bit_len & 7)));
-  } else {
-    state.stream[byte_index] = static_cast<std::uint8_t>(
-        state.stream[byte_index] & ~(0x80u >> (state.bit_len & 7)));
-  }
-  ++state.bit_len;
+/// Appends one byte to the packet stream; false if the budget is exhausted.
+bool put_byte(MotePacketState& state, std::uint8_t byte) {
+  if (state.byte_len >= kMaxStreamBytes) return false;
+  state.stream[state.byte_len++] = byte;
   return true;
 }
 
-bool emit_with_pending(MotePacketState& state, bool bit) {
-  if (!put_bit(state, bit)) return false;
-  while (state.pending > 0) {
-    if (!put_bit(state, !bit)) return false;
-    --state.pending;
+/// Mirror of the host coder's renormalization condition (see
+/// dophy::coding::RangeEncoder): emit the top byte while no carry can reach
+/// it, clamping range at 2^16 underflow.
+bool needs_renorm(std::uint32_t low, std::uint32_t& range) {
+  if ((low ^ (low + range)) < kTop) return true;
+  if (range < kBot) {
+    range = (0u - low) & (kBot - 1);
+    return true;
   }
-  return true;
+  return false;
 }
 
 }  // namespace
@@ -71,10 +66,9 @@ Status MoteModel::load(const std::uint8_t* bytes, std::size_t size) {
 
 void mote_on_origin(MotePacketState& state, std::uint8_t model_version) {
   for (std::size_t i = 0; i < kMaxStreamBytes; ++i) state.stream[i] = 0;
-  state.bit_len = 0;
+  state.byte_len = 0;
   state.low = 0;
-  state.high = kTop;
-  state.pending = 0;
+  state.range = 0xFFFFFFFFu;
   state.model_version = model_version;
   state.truncated = false;
 }
@@ -84,53 +78,50 @@ Status mote_encode_symbol(MotePacketState& state, const MoteModel& model,
   if (state.truncated) return Status::kTruncated;
   if (symbol >= model.count) return Status::kBadSymbol;
 
-  const std::uint64_t total = model.total();
-  const std::uint64_t cum_lo = model.cum[symbol];
-  const std::uint64_t cum_hi = model.cum[symbol + 1];
+  // Snapshot so a budget failure leaves the registers untouched (the packet
+  // is then poisoned, matching the host encoder).
+  const std::uint32_t saved_low = state.low;
+  const std::uint32_t saved_range = state.range;
+  const std::uint16_t saved_len = state.byte_len;
 
-  // Snapshot so a budget failure leaves the state untouched (the packet is
-  // then poisoned, matching the host encoder).
-  const MotePacketState saved = state;
-
-  const std::uint64_t range =
-      static_cast<std::uint64_t>(state.high) - state.low + 1;
-  state.high =
-      static_cast<std::uint32_t>(state.low + (range * cum_hi) / total - 1);
-  state.low = static_cast<std::uint32_t>(state.low + (range * cum_lo) / total);
-
-  for (;;) {
-    if (state.high < kHalf) {
-      if (!emit_with_pending(state, false)) {
-        state = saved;
-        state.truncated = true;
-        return Status::kBudget;
-      }
-    } else if (state.low >= kHalf) {
-      if (!emit_with_pending(state, true)) {
-        state = saved;
-        state.truncated = true;
-        return Status::kBudget;
-      }
-      state.low -= kHalf;
-      state.high -= kHalf;
-    } else if (state.low >= kQuarter && state.high < kThreeQuarters) {
-      ++state.pending;
-      state.low -= kQuarter;
-      state.high -= kQuarter;
-    } else {
-      break;
+  const std::uint32_t r = state.range / model.total();
+  state.low += r * model.cum[symbol];
+  state.range = r * (model.cum[symbol + 1] - model.cum[symbol]);
+  while (needs_renorm(state.low, state.range)) {
+    if (!put_byte(state, static_cast<std::uint8_t>(state.low >> 24))) {
+      state.low = saved_low;
+      state.range = saved_range;
+      state.byte_len = saved_len;
+      state.truncated = true;
+      return Status::kBudget;
     }
-    state.low <<= 1;
-    state.high = (state.high << 1) | 1u;
+    state.low <<= 8;
+    state.range <<= 8;
   }
   return Status::kOk;
 }
 
 Status mote_finish(MotePacketState& state) {
   if (state.truncated) return Status::kTruncated;
-  ++state.pending;
-  const bool bit = state.low >= kQuarter;
-  if (!emit_with_pending(state, bit)) {
+  // Mirror of RangeEncoder::finish(): round low up to a 2^16 multiple (two
+  // bytes pin the code value), or emit all four bytes when no multiple fits.
+  const std::uint64_t low = state.low;
+  const std::uint64_t end = low + state.range;
+  const std::uint64_t v = (low + 0xFFFFull) & ~0xFFFFull;
+  const std::uint16_t saved_len = state.byte_len;
+  bool ok;
+  if (v < (1ull << 32)) {
+    ok = put_byte(state, static_cast<std::uint8_t>(v >> 24)) &&
+         put_byte(state, static_cast<std::uint8_t>(v >> 16));
+  } else {
+    const std::uint64_t x = end - 1;
+    ok = put_byte(state, static_cast<std::uint8_t>(x >> 24)) &&
+         put_byte(state, static_cast<std::uint8_t>(x >> 16)) &&
+         put_byte(state, static_cast<std::uint8_t>(x >> 8)) &&
+         put_byte(state, static_cast<std::uint8_t>(x));
+  }
+  if (!ok) {
+    state.byte_len = saved_len;
     state.truncated = true;
     return Status::kBudget;
   }

@@ -50,13 +50,13 @@ struct MoteModel {
 };
 
 /// Per-packet measurement state as it would live in a packet buffer: the
-/// partially emitted stream plus the suspended coder registers.
+/// partially emitted stream plus the suspended range-coder registers
+/// (low/range pair, mirroring dophy::coding::RangeCoderState).
 struct MotePacketState {
   std::uint8_t stream[kMaxStreamBytes];
-  std::uint16_t bit_len;
+  std::uint16_t byte_len;
   std::uint32_t low;
-  std::uint32_t high;
-  std::uint16_t pending;
+  std::uint32_t range;
   std::uint8_t model_version;
   bool truncated;
 };
@@ -64,7 +64,7 @@ struct MotePacketState {
 /// Initializes packet state at the origin (fresh registers, empty stream).
 void mote_on_origin(MotePacketState& state, std::uint8_t model_version);
 
-/// Appends one arithmetic-coded symbol under `model`.  On kBudget the state
+/// Appends one range-coded symbol under `model`.  On kBudget the state
 /// is marked truncated (matching the host encoder's poisoning semantics).
 Status mote_encode_symbol(MotePacketState& state, const MoteModel& model,
                           std::uint16_t symbol);

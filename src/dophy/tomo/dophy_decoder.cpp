@@ -1,5 +1,7 @@
 #include "dophy/tomo/dophy_decoder.hpp"
 
+#include <algorithm>
+
 #include "dophy/coding/arith.hpp"
 #include "dophy/common/logging.hpp"
 #include "dophy/obs/metrics.hpp"
@@ -90,7 +92,7 @@ DecodeResult DophyDecoder::decode(const dophy::net::Packet& packet) {
   }
   if (packet.blob.logical_bits > packet.blob.bytes.size() * 8) {
     // Buffer shorter than its declared bit length: the report lost bytes in
-    // transit.  BitReader clamps to the buffer so decoding would not read
+    // transit.  The decoder clamps to the buffer so decoding would not read
     // out of bounds, but the zero tail would decode to plausible garbage.
     return fail(packet, DecodeError::kWireTruncated);
   }
@@ -98,33 +100,47 @@ DecodeResult DophyDecoder::decode(const dophy::net::Packet& packet) {
   DecodedPath path;
   path.origin = packet.origin;
   path.packet_span = packet.span;
+
+  // Batched decode: one call pulls the whole (id, retx) symbol stream on the
+  // static-model fast path.  Validation and symbol mapping run afterwards
+  // over the decoded pairs, in stream order, so error precedence matches the
+  // per-hop formulation: an invalid hop reported before a later stream error.
+  std::vector<dophy::coding::PathSymbol> symbols;
+  symbols.reserve(std::min<std::size_t>(max_hops_, 32));
+  bool saw_terminal = false;
+  bool malformed = false;
   try {
-    dophy::coding::ArithmeticDecoder dec(packet.blob.bytes, 0, packet.blob.logical_bits);
-    NodeId prev = packet.origin;
-    for (std::uint16_t hop = 0; hop < max_hops_; ++hop) {
-      const auto receiver = static_cast<NodeId>(dec.decode(models->id_model));
-      const auto symbol = static_cast<std::uint32_t>(dec.decode(models->retx_model));
-      if (validator_ && !validator_(prev, receiver)) {
-        return fail(packet, DecodeError::kInvalidHop);
-      }
-      DecodedHop decoded;
-      decoded.sender = prev;
-      decoded.receiver = receiver;
-      decoded.observation.censored = mapper_.is_censored(symbol);
-      decoded.observation.attempts = mapper_.to_attempts(symbol);
-      path.hops.push_back(decoded);
-      prev = receiver;
-      if (receiver == kSinkId) {
-        ++stats_.packets_decoded;
-        static const auto c_ok = dophy::obs::Registry::global().counter("tomo.decode.ok");
-        c_ok.inc();
-        return path;
-      }
-    }
+    dophy::coding::RangeDecoder dec(packet.blob.bytes, 0, packet.blob.logical_bits / 8);
+    saw_terminal = dophy::coding::decode_path(dec, models->id_model, models->retx_model,
+                                              kSinkId, max_hops_, symbols);
   } catch (const std::exception&) {
+    malformed = true;
+  }
+
+  NodeId prev = packet.origin;
+  for (const dophy::coding::PathSymbol& sym : symbols) {
+    const auto receiver = static_cast<NodeId>(sym.receiver);
+    if (validator_ && !validator_(prev, receiver)) {
+      return fail(packet, DecodeError::kInvalidHop);
+    }
+    DecodedHop decoded;
+    decoded.sender = prev;
+    decoded.receiver = receiver;
+    decoded.observation.censored = mapper_.is_censored(sym.retx);
+    decoded.observation.attempts = mapper_.to_attempts(sym.retx);
+    path.hops.push_back(decoded);
+    prev = receiver;
+  }
+  if (malformed) {
     return fail(packet, DecodeError::kMalformedStream);
   }
-  return fail(packet, DecodeError::kNoSinkTerminal);
+  if (!saw_terminal) {
+    return fail(packet, DecodeError::kNoSinkTerminal);
+  }
+  ++stats_.packets_decoded;
+  static const auto c_ok = dophy::obs::Registry::global().counter("tomo.decode.ok");
+  c_ok.inc();
+  return path;
 }
 
 }  // namespace dophy::tomo

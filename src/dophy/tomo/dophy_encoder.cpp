@@ -3,48 +3,29 @@
 #include <stdexcept>
 
 #include "dophy/coding/arith.hpp"
-#include "dophy/common/bitio.hpp"
 
 namespace dophy::tomo {
 
-using dophy::coding::ArithCoderState;
-using dophy::coding::ArithmeticEncoder;
-using dophy::common::BitWriter;
+using dophy::coding::RangeCoderState;
+using dophy::coding::RangeEncoder;
 using dophy::net::MeasurementBlob;
 using dophy::net::NodeId;
 using dophy::net::Packet;
 
 namespace {
 
-/// Rebuilds a BitWriter holding the blob's current bit-exact stream.
-BitWriter writer_from_blob(const MeasurementBlob& blob) {
-  BitWriter w;
-  dophy::common::BitReader r(blob.bytes, blob.logical_bits);
-  // Replay whole bytes fast, then the tail bits.
-  std::size_t remaining = blob.logical_bits;
-  while (remaining >= 8) {
-    w.put_bits(r.get_bits(8), 8);
-    remaining -= 8;
-  }
-  while (remaining > 0) {
-    w.put_bit(r.get_bit());
-    --remaining;
-  }
-  return w;
-}
-
-void state_into_blob(MeasurementBlob& blob, const ArithCoderState& state) {
+void state_into_blob(MeasurementBlob& blob, const RangeCoderState& state) {
   const auto bytes = state.serialize();
-  static_assert(ArithCoderState::kSerializedSize <= sizeof(MeasurementBlob::state));
+  static_assert(RangeCoderState::kSerializedSize <= sizeof(MeasurementBlob::state));
   std::copy(bytes.begin(), bytes.end(), blob.state.begin());
   blob.state_size = static_cast<std::uint8_t>(bytes.size());
 }
 
-ArithCoderState state_from_blob(const MeasurementBlob& blob) {
-  if (blob.state_size != ArithCoderState::kSerializedSize) {
+RangeCoderState state_from_blob(const MeasurementBlob& blob) {
+  if (blob.state_size != RangeCoderState::kSerializedSize) {
     throw std::runtime_error("Dophy: packet carries no coder state");
   }
-  return ArithCoderState::deserialize(
+  return RangeCoderState::deserialize(
       std::span<const std::uint8_t>(blob.state.data(), blob.state_size));
 }
 
@@ -69,7 +50,7 @@ void DophyInstrumentation::on_origin(Packet& packet, NodeId origin,
   packet.blob.model_version = store.current_version();
   packet.blob.bytes.clear();
   packet.blob.logical_bits = 0;
-  state_into_blob(packet.blob, ArithCoderState{});  // fresh registers
+  state_into_blob(packet.blob, RangeCoderState{});  // fresh registers
   ++stats_.packets_originated;
 }
 
@@ -96,17 +77,18 @@ void DophyInstrumentation::on_hop_received(Packet& packet, NodeId receiver, Node
     return;
   }
 
-  BitWriter writer = writer_from_blob(packet.blob);
-  const std::size_t bits_before = writer.bit_count();
-  ArithmeticEncoder enc(writer, state_from_blob(packet.blob));
+  // The byte-oriented coder appends to the blob's byte vector in place — no
+  // stream replay, the forwarder only touches bytes it adds.
+  const std::size_t bytes_before = packet.blob.bytes.size();
+  RangeEncoder enc(packet.blob.bytes, state_from_blob(packet.blob));
 
-  // Bit attribution below is approximate (the coder's registers buffer a few
-  // bits across symbol boundaries) but unbiased over many hops.
+  // Bit attribution below is approximate (the coder's registers buffer
+  // fractional symbols across byte boundaries) but unbiased over many hops.
   enc.encode(models->id_model, receiver);
-  const std::size_t bits_after_id = writer.bit_count();
+  const std::size_t bytes_after_id = packet.blob.bytes.size();
   enc.encode(models->retx_model, mapper_.to_symbol(attempts));
-  stats_.id_bits_appended += bits_after_id - bits_before;
-  stats_.retx_bits_appended += writer.bit_count() - bits_after_id;
+  stats_.id_bits_appended += (bytes_after_id - bytes_before) * 8;
+  stats_.retx_bits_appended += (packet.blob.bytes.size() - bytes_after_id) * 8;
 
   if (receiver == dophy::net::kSinkId) {
     enc.finish();
@@ -115,13 +97,12 @@ void DophyInstrumentation::on_hop_received(Packet& packet, NodeId receiver, Node
     state_into_blob(packet.blob, enc.suspend());
   }
 
-  const std::size_t bits_after = writer.bit_count();
+  const std::size_t bits_after = packet.blob.bytes.size() * 8;
   packet.blob.logical_bits = static_cast<std::uint32_t>(bits_after);
-  packet.blob.bytes = writer.take();
 
   ++stats_.hops_encoded;
-  stats_.total_bits_appended += bits_after - bits_before;
-  stats_.bits_per_hop.add(bits_after - bits_before);
+  stats_.total_bits_appended += bits_after - bytes_before * 8;
+  stats_.bits_per_hop.add(bits_after - bytes_before * 8);
 }
 
 void DophyInstrumentation::install(NodeId node, const ModelSet& set) {

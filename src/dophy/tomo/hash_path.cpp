@@ -7,10 +7,9 @@
 
 namespace dophy::tomo {
 
-using dophy::coding::ArithCoderState;
-using dophy::coding::ArithmeticDecoder;
-using dophy::coding::ArithmeticEncoder;
-using dophy::common::BitWriter;
+using dophy::coding::RangeCoderState;
+using dophy::coding::RangeDecoder;
+using dophy::coding::RangeEncoder;
 using dophy::net::kSinkId;
 using dophy::net::MeasurementBlob;
 using dophy::net::NodeId;
@@ -25,44 +24,29 @@ std::uint32_t hash_path_step(std::uint32_t hash, NodeId hop) noexcept {
 
 namespace {
 
-constexpr std::size_t kTrailerSize = ArithCoderState::kSerializedSize + 3;
+constexpr std::size_t kTrailerSize = RangeCoderState::kSerializedSize + 3;
 
-void trailer_into_blob(MeasurementBlob& blob, const ArithCoderState& state,
+void trailer_into_blob(MeasurementBlob& blob, const RangeCoderState& state,
                        std::uint32_t hash) {
   const auto coder_bytes = state.serialize();
   std::copy(coder_bytes.begin(), coder_bytes.end(), blob.state.begin());
-  blob.state[10] = static_cast<std::uint8_t>(hash >> 16);
-  blob.state[11] = static_cast<std::uint8_t>(hash >> 8);
-  blob.state[12] = static_cast<std::uint8_t>(hash);
+  blob.state[8] = static_cast<std::uint8_t>(hash >> 16);
+  blob.state[9] = static_cast<std::uint8_t>(hash >> 8);
+  blob.state[10] = static_cast<std::uint8_t>(hash);
   blob.state_size = kTrailerSize;
 }
 
-ArithCoderState coder_from_blob(const MeasurementBlob& blob) {
+RangeCoderState coder_from_blob(const MeasurementBlob& blob) {
   if (blob.state_size != kTrailerSize) {
     throw std::runtime_error("HashPath: packet carries no trailer");
   }
-  return ArithCoderState::deserialize(
-      std::span<const std::uint8_t>(blob.state.data(), ArithCoderState::kSerializedSize));
+  return RangeCoderState::deserialize(
+      std::span<const std::uint8_t>(blob.state.data(), RangeCoderState::kSerializedSize));
 }
 
 std::uint32_t hash_from_blob(const MeasurementBlob& blob) {
-  return (static_cast<std::uint32_t>(blob.state[10]) << 16) |
-         (static_cast<std::uint32_t>(blob.state[11]) << 8) | blob.state[12];
-}
-
-BitWriter writer_from_blob(const MeasurementBlob& blob) {
-  BitWriter w;
-  dophy::common::BitReader r(blob.bytes, blob.logical_bits);
-  std::size_t remaining = blob.logical_bits;
-  while (remaining >= 8) {
-    w.put_bits(r.get_bits(8), 8);
-    remaining -= 8;
-  }
-  while (remaining > 0) {
-    w.put_bit(r.get_bit());
-    --remaining;
-  }
-  return w;
+  return (static_cast<std::uint32_t>(blob.state[8]) << 16) |
+         (static_cast<std::uint32_t>(blob.state[9]) << 8) | blob.state[10];
 }
 
 }  // namespace
@@ -86,7 +70,7 @@ void HashPathInstrumentation::on_origin(Packet& packet, NodeId origin,
   packet.blob.model_version = store.current_version();
   packet.blob.bytes.clear();
   packet.blob.logical_bits = 0;
-  trailer_into_blob(packet.blob, ArithCoderState{}, hash_path_step(0, origin));
+  trailer_into_blob(packet.blob, RangeCoderState{}, hash_path_step(0, origin));
   ++stats_.packets_originated;
 }
 
@@ -104,9 +88,10 @@ void HashPathInstrumentation::on_hop_received(Packet& packet, NodeId receiver,
     return;
   }
 
-  BitWriter writer = writer_from_blob(packet.blob);
-  const std::size_t bits_before = writer.bit_count();
-  ArithmeticEncoder enc(writer, coder_from_blob(packet.blob));
+  // While the packet travels, blob.bytes holds the bare count stream and the
+  // coder appends in place; the running hash rides in the trailer.
+  const std::size_t bytes_before = packet.blob.bytes.size();
+  RangeEncoder enc(packet.blob.bytes, coder_from_blob(packet.blob));
   const std::uint32_t hash =
       hash_path_step(hash_from_blob(packet.blob), receiver);
 
@@ -115,27 +100,25 @@ void HashPathInstrumentation::on_hop_received(Packet& packet, NodeId receiver,
   std::size_t bits_after = 0;
   if (receiver == kSinkId) {
     enc.finish();
-    bits_after = writer.bit_count();
+    bits_after = packet.blob.bytes.size() * 8;
     packet.blob.state_size = 0;
     packet.blob.logical_bits = static_cast<std::uint32_t>(bits_after) + kPathHashBits;
-    // Final layout: 24-bit hash, then the byte-aligned count stream.
+    // Final layout: 24-bit hash, then the count stream.
     std::vector<std::uint8_t> bytes;
-    bytes.reserve(writer.byte_count() + 3);
+    bytes.reserve(packet.blob.bytes.size() + 3);
     bytes.push_back(static_cast<std::uint8_t>(hash >> 16));
     bytes.push_back(static_cast<std::uint8_t>(hash >> 8));
     bytes.push_back(static_cast<std::uint8_t>(hash));
-    const auto stream = writer.take();
-    bytes.insert(bytes.end(), stream.begin(), stream.end());
+    bytes.insert(bytes.end(), packet.blob.bytes.begin(), packet.blob.bytes.end());
     packet.blob.bytes = std::move(bytes);
   } else {
     trailer_into_blob(packet.blob, enc.suspend(), hash);
-    bits_after = writer.bit_count();
+    bits_after = packet.blob.bytes.size() * 8;
     packet.blob.logical_bits = static_cast<std::uint32_t>(bits_after);
-    packet.blob.bytes = writer.take();
   }
 
   ++stats_.hops_encoded;
-  const std::size_t appended = bits_after - bits_before;
+  const std::size_t appended = bits_after - bytes_before * 8;
   stats_.total_bits_appended += appended;
   stats_.retx_bits_appended += appended;
   stats_.bits_per_hop.add(appended);
@@ -196,7 +179,8 @@ std::optional<DecodedPath> HashPathDecoder::decode(const Packet& packet) {
   try {
     dophy::common::BitReader head(packet.blob.bytes, kPathHashBits);
     target_hash = static_cast<std::uint32_t>(head.get_bits(kPathHashBits));
-    ArithmeticDecoder dec(packet.blob.bytes, kPathHashBits, packet.blob.logical_bits);
+    // Count stream starts right after the 3-byte hash header.
+    RangeDecoder dec(packet.blob.bytes, kPathHashBits / 8, packet.blob.logical_bits / 8);
     observations.reserve(packet.hop_count);
     for (std::uint16_t i = 0; i < packet.hop_count; ++i) {
       const auto symbol = static_cast<std::uint32_t>(dec.decode(models->retx_model));

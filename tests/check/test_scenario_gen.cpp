@@ -105,6 +105,44 @@ TEST(ScenarioGen, MakeConfigMatchesSpec) {
   EXPECT_FALSE(config.check.strict_decode);  // non-benign spec
 }
 
+TEST(ScenarioGen, CodecProfileBiasesTheCodecRegime) {
+  std::size_t bursty = 0, high_k = 0, budgeted = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const auto spec = generate_scenario(seed, ScenarioProfile::kCodec);
+    // Deterministic: same seed, same spec.
+    EXPECT_EQ(spec, generate_scenario(seed, ScenarioProfile::kCodec));
+    // Hash mode is off by construction — the id-coding decoder is the
+    // component this profile exists to stress.
+    EXPECT_FALSE(spec.hash_mode);
+    ASSERT_GE(spec.censor_k, 2u);
+    ASSERT_LE(spec.censor_k, 8u);
+    if (spec.loss_kind != 0) ++bursty;
+    if (spec.censor_k >= 6) ++high_k;
+    if (spec.max_wire_bytes != 0) ++budgeted;
+  }
+  // Every scenario uses a non-bernoulli (bursty/drifting) loss process; the
+  // other biases are probabilistic but must dominate the mix.
+  EXPECT_EQ(bursty, 200u);
+  EXPECT_GT(high_k, 100u);
+  EXPECT_GT(budgeted, 70u);
+}
+
+TEST(ScenarioGen, DefaultProfileMatchesLegacyOverload) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    EXPECT_EQ(generate_scenario(seed), generate_scenario(seed, ScenarioProfile::kDefault));
+  }
+}
+
+TEST(ScenarioGen, ProfileNamesRoundTrip) {
+  ScenarioProfile p{};
+  ASSERT_TRUE(parse_profile("codec", p));
+  EXPECT_EQ(p, ScenarioProfile::kCodec);
+  ASSERT_TRUE(parse_profile("default", p));
+  EXPECT_EQ(p, ScenarioProfile::kDefault);
+  EXPECT_FALSE(parse_profile("bogus", p));
+  EXPECT_EQ(to_string(ScenarioProfile::kCodec), "codec");
+}
+
 TEST(ScenarioGen, BenignSpecArmsStrictDecode) {
   ScenarioSpec spec = generate_scenario(11);
   spec.fault_level = 0;

@@ -147,7 +147,12 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzCase{"arith_static", [](const auto& c) { return make_static_arith_codec(c); },
                  true},
         FuzzCase{"arith_adaptive",
-                 [](const auto&) { return make_adaptive_arith_codec(kAlphabet); }, true}),
+                 [](const auto&) { return make_adaptive_arith_codec(kAlphabet); }, true},
+        FuzzCase{"legacy_arith_static",
+                 [](const auto& c) { return make_legacy_static_arith_codec(c); }, true},
+        FuzzCase{"legacy_arith_adaptive",
+                 [](const auto&) { return make_legacy_adaptive_arith_codec(kAlphabet); },
+                 true}),
     [](const auto& suite_info) { return suite_info.param.label; });
 
 TEST(CodecFuzzDeterminism, SameSeedSameOutcomes) {

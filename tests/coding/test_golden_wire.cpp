@@ -1,0 +1,141 @@
+// Golden wire vectors: every codec encodes a fixed-seed corpus and the
+// resulting bytes are pinned as in-tree fixtures (tests/coding/golden/
+// <codec>.bin).  Any change to a codec's emitted bytes — intentional or not —
+// trips this suite, forcing a conscious wire-version decision.
+//
+// Fixture format: [1 byte wire version][payload bytes].
+// Regenerate after an intentional wire change with
+//   DOPHY_GOLDEN_REGEN=1 ./test_coding --gtest_filter='*GoldenWire*'
+// and commit the updated .bin files alongside the version bump.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dophy/coding/arith.hpp"
+#include "dophy/coding/codec.hpp"
+#include "dophy/common/rng.hpp"
+
+#ifndef DOPHY_GOLDEN_WIRE_DIR
+#error "build must define DOPHY_GOLDEN_WIRE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace dophy::coding {
+namespace {
+
+constexpr std::uint32_t kAlphabet = 8;
+constexpr std::size_t kCorpusLength = 512;
+constexpr std::uint64_t kCorpusSeed = 20260809;
+
+bool regen_mode() { return std::getenv("DOPHY_GOLDEN_REGEN") != nullptr; }
+
+std::string fixture_path(const std::string& codec_name) {
+  return std::string(DOPHY_GOLDEN_WIRE_DIR) + "/" + codec_name + ".bin";
+}
+
+/// The pinned corpus: geometric retransmission-count symbols, fixed seed.
+const std::vector<std::uint32_t>& corpus() {
+  static const std::vector<std::uint32_t> symbols = [] {
+    dophy::common::Rng rng(kCorpusSeed);
+    std::vector<std::uint32_t> s;
+    s.reserve(kCorpusLength);
+    for (std::size_t i = 0; i < kCorpusLength; ++i) {
+      s.push_back(std::min(rng.geometric_trials(0.75) - 1, kAlphabet - 1));
+    }
+    return s;
+  }();
+  return symbols;
+}
+
+std::vector<std::uint64_t> corpus_counts() {
+  std::vector<std::uint64_t> counts(kAlphabet, 1);
+  for (const auto s : corpus()) ++counts[s];
+  return counts;
+}
+
+struct GoldenCase {
+  std::string name;        ///< fixture file stem
+  std::uint8_t wire_version;
+  std::unique_ptr<Codec> (*make)();
+};
+
+std::vector<std::uint8_t> read_fixture(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_fixture(const std::string& path, std::uint8_t version,
+                   const std::vector<std::uint8_t>& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write fixture " << path;
+  out.put(static_cast<char>(version));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+}
+
+class GoldenWire : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenWire, EncodedBytesMatchPinnedFixture) {
+  const auto& param = GetParam();
+  auto codec = param.make();
+  std::vector<std::uint8_t> payload;
+  (void)codec->encode(corpus(), payload);
+
+  const std::string path = fixture_path(param.name);
+  if (regen_mode()) {
+    write_fixture(path, param.wire_version, payload);
+    std::printf("golden-wire: regenerated %s (%zu bytes)\n", path.c_str(), payload.size());
+    return;
+  }
+
+  const auto fixture = read_fixture(path);
+  ASSERT_FALSE(fixture.empty()) << "missing fixture " << path
+                                << " — run with DOPHY_GOLDEN_REGEN=1 to create it";
+  ASSERT_EQ(fixture[0], param.wire_version) << param.name << ": wire version drifted";
+  const std::vector<std::uint8_t> pinned(fixture.begin() + 1, fixture.end());
+  EXPECT_EQ(payload, pinned)
+      << param.name << ": emitted bytes changed; if intentional, bump the wire "
+      << "version and regenerate with DOPHY_GOLDEN_REGEN=1";
+}
+
+TEST_P(GoldenWire, PinnedFixtureDecodesToCorpus) {
+  if (regen_mode()) GTEST_SKIP() << "regen run";
+  const auto& param = GetParam();
+  const auto fixture = read_fixture(fixture_path(param.name));
+  ASSERT_FALSE(fixture.empty());
+  const std::vector<std::uint8_t> payload(fixture.begin() + 1, fixture.end());
+  auto codec = param.make();
+  const DecodeOutcome outcome = codec->try_decode(payload, corpus().size());
+  ASSERT_TRUE(outcome.ok()) << param.name << ": " << to_string(outcome.error);
+  EXPECT_EQ(outcome.symbols, corpus()) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, GoldenWire,
+    ::testing::Values(
+        GoldenCase{"fixed", 2, [] { return make_fixed_width_codec(kAlphabet); }},
+        GoldenCase{"gamma", 2, [] { return make_elias_gamma_codec(); }},
+        GoldenCase{"rice1", 2, [] { return make_rice_codec(1); }},
+        GoldenCase{"huffman", 2, [] { return make_huffman_codec(corpus_counts()); }},
+        GoldenCase{"arith_static", 2, [] { return make_static_arith_codec(corpus_counts()); }},
+        GoldenCase{"arith_adaptive", 2, [] { return make_adaptive_arith_codec(kAlphabet); }},
+        GoldenCase{"legacy_arith_static", 1,
+                   [] { return make_legacy_static_arith_codec(corpus_counts()); }},
+        GoldenCase{"legacy_arith_adaptive", 1,
+                   [] { return make_legacy_adaptive_arith_codec(kAlphabet); }}),
+    [](const auto& suite_info) { return suite_info.param.name; });
+
+TEST(GoldenWireMeta, RangeCoderVersionMatchesFixtures) {
+  // The arith fixtures above pin version 2; keep the header constant honest.
+  EXPECT_EQ(kCodecWireVersion, 2u);
+}
+
+}  // namespace
+}  // namespace dophy::coding

@@ -63,7 +63,7 @@ void expect_count(std::uint64_t actual, double golden, double rel_tol, const cha
 // Benign fixed-seed run: default 40-node pipeline, 900 s window.
 constexpr double kGoldPacketsMeasured = 6810;
 constexpr double kGoldDeliveryRatio = 0.970085;
-constexpr double kGoldMeanBitsPerPacket = 38.037445;
+constexpr double kGoldMeanBitsPerPacket = 47.609985;
 constexpr double kGoldMeanPathLength = 6.949927;
 constexpr double kGoldActiveLinks = 66;
 constexpr double kGoldPacketsDecoded = 7470;
@@ -75,9 +75,9 @@ constexpr double kGoldEmMae = 0.232305;
 constexpr double kGoldFaultEventsPlanned = 5;
 constexpr double kGoldFaultEventsExecuted = 5;
 constexpr double kGoldReportsMutated = 260;
-constexpr double kGoldFaultDecodeFailures = 253;
+constexpr double kGoldFaultDecodeFailures = 248;
 constexpr double kGoldFaultDeliveryRatio = 0.964684;
-constexpr double kGoldFaultDophyMae = 0.014697;
+constexpr double kGoldFaultDophyMae = 0.016145;
 
 TEST(GoldenPipeline, BenignRunMatchesPinnedResults) {
   const auto result = run_pipeline(golden_config());

@@ -13,10 +13,9 @@
 namespace dophy::mote {
 namespace {
 
-using dophy::coding::ArithmeticDecoder;
-using dophy::coding::ArithmeticEncoder;
+using dophy::coding::RangeDecoder;
+using dophy::coding::RangeEncoder;
 using dophy::coding::StaticModel;
-using dophy::common::BitWriter;
 
 MoteModel load_mote(const StaticModel& host) {
   const auto wire = host.serialize();
@@ -44,7 +43,7 @@ TEST(MoteModel, LoadRejectsGarbage) {
   EXPECT_EQ(model.load(truncated, 2), Status::kBadModel);
 }
 
-TEST(MoteEncoder, BitExactWithHostEncoder) {
+TEST(MoteEncoder, ByteExactWithHostEncoder) {
   dophy::common::Rng rng(31);
   const StaticModel ids(std::vector<std::uint64_t>{40, 10, 30, 5, 5, 20, 1, 9});
   const StaticModel retx(std::vector<std::uint64_t>{85, 10, 3, 2});
@@ -56,8 +55,8 @@ TEST(MoteEncoder, BitExactWithHostEncoder) {
 
     MotePacketState state{};
     mote_on_origin(state, 3);
-    BitWriter host_bits;
-    ArithmeticEncoder host(host_bits);
+    std::vector<std::uint8_t> host_bytes;
+    RangeEncoder host(host_bytes);
 
     for (std::size_t h = 0; h < hops; ++h) {
       const auto id = static_cast<std::uint16_t>(rng.next_below(8));
@@ -69,10 +68,9 @@ TEST(MoteEncoder, BitExactWithHostEncoder) {
     ASSERT_EQ(mote_finish(state), Status::kOk);
     host.finish();
 
-    ASSERT_EQ(state.bit_len, host_bits.bit_count()) << "trial " << trial;
-    for (std::size_t b = 0; b < host_bits.byte_count(); ++b) {
-      ASSERT_EQ(state.stream[b], host_bits.bytes()[b])
-          << "trial " << trial << " byte " << b;
+    ASSERT_EQ(state.byte_len, host_bytes.size()) << "trial " << trial;
+    for (std::size_t b = 0; b < host_bytes.size(); ++b) {
+      ASSERT_EQ(state.stream[b], host_bytes[b]) << "trial " << trial << " byte " << b;
     }
   }
 }
@@ -92,9 +90,8 @@ TEST(MoteEncoder, StreamDecodableByStandardSinkDecoder) {
   }
   ASSERT_EQ(mote_finish(state), Status::kOk);
 
-  const std::vector<std::uint8_t> bytes(state.stream,
-                                        state.stream + (state.bit_len + 7) / 8);
-  ArithmeticDecoder dec(bytes, 0, state.bit_len);
+  const std::vector<std::uint8_t> bytes(state.stream, state.stream + state.byte_len);
+  RangeDecoder dec(bytes);
   for (const auto s : symbols) EXPECT_EQ(dec.decode(retx), s);
 }
 
@@ -126,9 +123,9 @@ TEST(MoteEncoder, BadSymbolRejectedWithoutStateChange) {
   MotePacketState state{};
   mote_on_origin(state, 0);
   ASSERT_EQ(mote_encode_symbol(state, mote, 0), Status::kOk);
-  const std::uint16_t bits_before = state.bit_len;
+  const std::uint16_t bytes_before = state.byte_len;
   EXPECT_EQ(mote_encode_symbol(state, mote, 7), Status::kBadSymbol);
-  EXPECT_EQ(state.bit_len, bits_before);
+  EXPECT_EQ(state.byte_len, bytes_before);
 }
 
 TEST(MoteModel, LoadFuzzNeverCrashes) {

@@ -30,6 +30,9 @@ void print_help() {
       "usage: dophy_check [options]\n"
       "  --seeds N        scenarios to run (default 50)\n"
       "  --start-seed S   first seed (default 1)\n"
+      "  --profile P      scenario bias: default | codec (codec = bursty\n"
+      "                   losses, high censor K, tight wire budgets — the\n"
+      "                   range-coder stress regime)\n"
       "  --no-shrink      report failures without shrinking them\n"
       "  --repro SPEC     run one scenario from its spec string and print the\n"
       "                   full violation list (SPEC is the quoted string a\n"
@@ -138,6 +141,12 @@ int main(int argc, char** argv) {
       options.num_seeds = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--start-seed") {
       options.start_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--profile") {
+      const char* name = next();
+      if (!dophy::check::parse_profile(name, options.profile)) {
+        std::fprintf(stderr, "dophy_check: unknown profile %s (default|codec)\n", name);
+        return 2;
+      }
     } else if (arg == "--no-shrink") {
       options.shrink = false;
     } else if (arg == "--repro") {
@@ -159,7 +168,8 @@ int main(int argc, char** argv) {
   if (selftest) return run_selftest(options.start_seed);
   if (list_only) {
     for (std::size_t i = 0; i < options.num_seeds; ++i) {
-      const auto spec = dophy::check::generate_scenario(options.start_seed + i);
+      const auto spec =
+          dophy::check::generate_scenario(options.start_seed + i, options.profile);
       std::printf("%s\n", to_string(spec).c_str());
     }
     return 0;
