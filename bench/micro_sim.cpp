@@ -125,6 +125,48 @@ void NetworkSimulatedSecondsWithDophy(benchmark::State& state) {
 }
 BENCHMARK(NetworkSimulatedSecondsWithDophy)->Unit(benchmark::kMillisecond);
 
+// PDES scaling: one 1024-node grid partitioned into 8 LPs, executed with T
+// worker threads (arg 0 = the serial engine on the same topology).  The
+// events_per_s counter is the scaling headline; bench_compare.py gates the
+// T=8 / T=1 ratio on hosts with enough cores and records it informationally
+// elsewhere (a 1-core box measures synchronization overhead, not scaling).
+dophy::net::NetworkConfig parallel_net_config(std::uint64_t seed, std::int64_t threads) {
+  dophy::net::NetworkConfig cfg;
+  cfg.topology.node_count = 1024;
+  cfg.topology.field_size = 640.0;
+  cfg.topology.comm_range = 45.0;
+  cfg.topology.layout = dophy::net::Layout::kGrid;
+  cfg.traffic.data_interval_s = 2.0;
+  cfg.traffic.max_hops = 96;  // 32x32 corner-sink grid: diameter ~62 hops
+  cfg.seed = seed;
+  cfg.collect_outcomes = false;
+  if (threads > 0) {
+    cfg.pdes.lp_count = 8;
+    cfg.pdes.threads = static_cast<std::size_t>(threads);
+  }
+  return cfg;
+}
+
+void NetworkPdesGrid(benchmark::State& state) {
+  const std::int64_t threads = state.range(0);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  double sim_s = 0.0;
+  for (auto _ : state) {
+    dophy::net::Network net(parallel_net_config(seed++, threads));
+    net.run_for(30.0);
+    benchmark::DoNotOptimize(net.stats().packets_delivered);
+    events += net.executed_events();
+    sim_s += 30.0;
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_s_per_s"] =
+      benchmark::Counter(sim_s, benchmark::Counter::kIsRate);
+}
+BENCHMARK(NetworkPdesGrid)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 // Steady-state allocation audit: run the 60-node network past its warm-up
 // (every pool, slab, ring and heap at high-water mark), then count heap
 // allocations across a further simulated minute.  The engine contract is

@@ -185,6 +185,32 @@ def gate(current, baseline, threshold):
     return failures
 
 
+def pdes_scaling(current):
+    """Thread-scaling summary from the NetworkPdesGrid rows.
+
+    Returns (speedup_t8_over_t1, rows) or (None, {}) when the benchmark is
+    absent.  Speedup compares the 8-LP engine against ITSELF at one thread —
+    the same event stream, so the ratio isolates parallel efficiency from
+    the PDES engine's extra cross-LP events.
+    """
+    sim = current.get("micro_sim", {}).get("benchmarks", {})
+    rows = {}
+    for threads in (0, 1, 2, 4, 8):
+        rate = sim.get(f"NetworkPdesGrid/{threads}", {}).get("events_per_s")
+        if rate:
+            rows[threads] = rate
+    if 1 not in rows or 8 not in rows:
+        return None, rows
+    return rows[8] / rows[1], rows
+
+
+# The PDES speedup gate only means something on hardware that can actually
+# run 8 LP workers; below this the rows measure synchronization overhead and
+# the gate reports informationally instead of failing.
+PDES_GATE_MIN_CORES = 8
+PDES_GATE_MIN_SPEEDUP = 3.0
+
+
 def speedups_vs_reference(current, reference):
     """Ratios of headline current metrics against the pre-engine reference."""
     out = {}
@@ -276,6 +302,23 @@ def main():
         return 0
 
     failures = gate(current, baseline.get("results", {}), args.threshold)
+
+    # Hardware-adaptive PDES scaling gate: enforce the 8-thread speedup only
+    # where 8 workers have cores to run on.
+    speedup, pdes_rows = pdes_scaling(current)
+    if speedup is not None:
+        cores = os.cpu_count() or 1
+        row_text = ", ".join(f"T={t}: {r:.0f} ev/s" for t, r in sorted(pdes_rows.items()))
+        print(f"  PDES scaling ({row_text}) -> T8/T1 = {speedup:.2f}x")
+        if cores >= PDES_GATE_MIN_CORES:
+            if speedup < PDES_GATE_MIN_SPEEDUP:
+                failures.append(
+                    f"micro_sim/NetworkPdesGrid: T8/T1 speedup {speedup:.2f}x below "
+                    f"{PDES_GATE_MIN_SPEEDUP:.1f}x on a {cores}-core host")
+        else:
+            print(f"  (speedup gate skipped: {cores} core(s) < "
+                  f"{PDES_GATE_MIN_CORES} needed to run 8 LP workers)")
+
     if "speedup_vs_pre_engine" in report:
         for key, ratio in sorted(report["speedup_vs_pre_engine"].items()):
             print(f"  speedup vs pre-engine {key}: {ratio}x")

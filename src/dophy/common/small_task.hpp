@@ -1,0 +1,113 @@
+#pragma once
+
+// Small-buffer-optimized move-only callable, the pool-side counterpart of the
+// event engine's typed thunks: a ThreadPool task is stored inline in a fixed
+// buffer (no heap traffic for the common capture sizes) and falls back to a
+// heap box only for oversized captures.  std::function is the wrong tool for
+// a task queue — it requires copyability (so move-only captures need a
+// shared_ptr dance) and its type erasure allocates for modest captures.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dophy::common {
+
+class SmallTask {
+ public:
+  /// Inline capture budget: two cache lines minus the vtable-ish header.
+  /// Sized so a parallel_for chunk closure (a few pointers + counters) stays
+  /// inline.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  SmallTask() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallTask> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallTask(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  SmallTask(SmallTask&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallTask& operator=(SmallTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallTask(const SmallTask&) = delete;
+  SmallTask& operator=(const SmallTask&) = delete;
+
+  ~SmallTask() { reset(); }
+
+  /// True when a callable is held.
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the callable (must hold one).
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Moves the callable from `src` storage into `dst` storage and destroys
+    /// the source.  Inline captures relocate by move-construction; boxed
+    /// ones just carry the pointer over.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops boxed_ops = {
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace dophy::common

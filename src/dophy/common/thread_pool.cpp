@@ -15,26 +15,32 @@ ThreadPool::ThreadPool(std::size_t worker_count) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   task_ready_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  if (workers_.empty()) {  // inline pool: no worker will ever drain the queue
-    task();
-    return;
-  }
+void ThreadPool::submit(SmallTask task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    if (stopping_) return;  // defined no-op: the task is dropped, not run
+    if (!workers_.empty()) {
+      tasks_.push(std::move(task));
+      ++in_flight_;
+      task_ready_.notify_one();
+      return;
+    }
   }
-  task_ready_.notify_one();
+  // Inline pool: no worker will ever drain the queue; run on the caller.
+  task();
 }
 
 void ThreadPool::wait_idle() {
@@ -44,7 +50,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    SmallTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });

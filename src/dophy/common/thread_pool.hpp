@@ -3,6 +3,9 @@
 // Fixed-size worker pool with a `parallel_for` used to fan Monte-Carlo
 // trials across cores.  Each trial owns an independent Rng stream, so the
 // results are bitwise identical regardless of worker count or scheduling.
+// Tasks are stored as SmallTask (small-buffer-optimized, move-only) instead
+// of std::function: typical submit() captures stay inline, and move-only
+// captures need no shared_ptr workaround.
 
 #include <condition_variable>
 #include <cstddef>
@@ -11,6 +14,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "dophy/common/small_task.hpp"
 
 namespace dophy::common {
 
@@ -34,17 +39,23 @@ class ThreadPool {
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
 
   /// Enqueues a task (runs it inline on a workerless pool).  Tasks must not
-  /// throw; wrap fallible work yourself.
-  void submit(std::function<void()> task);
+  /// throw; wrap fallible work yourself.  After shutdown() the call is a
+  /// defined no-op: the task is destroyed without running.
+  void submit(SmallTask task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
+
+  /// Drains queued tasks and joins the workers.  Idempotent; the destructor
+  /// calls it.  Afterwards submit() drops tasks and wait_idle() returns
+  /// immediately — shutdown is a state, not a use-after-free.
+  void shutdown();
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<SmallTask> tasks_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;

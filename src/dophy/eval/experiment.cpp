@@ -31,6 +31,12 @@ RowSet::RowRef RowSet::row() {
 MultiTrialResult CellContext::run_trials(const dophy::tomo::PipelineConfig& base,
                                          std::size_t trials, std::uint64_t base_seed,
                                          bool keep_runs) const {
+  if (sim_threads_ > 1) {
+    dophy::tomo::PipelineConfig cfg = base;
+    cfg.net.pdes.lp_count = sim_threads_;
+    cfg.net.pdes.threads = sim_threads_;
+    return dophy::eval::run_trials(cfg, trials, base_seed, keep_runs, trial_pool_);
+  }
   return dophy::eval::run_trials(base, trials, base_seed, keep_runs, trial_pool_);
 }
 

@@ -81,9 +81,11 @@ class CellContext {
  public:
   /// Builds a context whose trial batches run on `trial_pool` (null = the
   /// process-global pool).  The sweep engine passes the inline executor when
-  /// the cell itself already runs on a pool worker.
-  explicit CellContext(dophy::common::ThreadPool* trial_pool = nullptr)
-      : trial_pool_(trial_pool) {}
+  /// the cell itself already runs on a pool worker.  `sim_threads` > 1
+  /// switches every pipeline run onto the PDES engine with that many LPs.
+  explicit CellContext(dophy::common::ThreadPool* trial_pool = nullptr,
+                       std::size_t sim_threads = 0)
+      : trial_pool_(trial_pool), sim_threads_(sim_threads) {}
 
   /// Monte-Carlo batch runner; same contract as eval::run_trials but routed
   /// through this cell's trial pool.
@@ -96,8 +98,12 @@ class CellContext {
     return trial_pool_;
   }
 
+  /// Per-simulation thread budget (0 or 1 = serial engine).
+  [[nodiscard]] std::size_t sim_threads() const noexcept { return sim_threads_; }
+
  private:
   dophy::common::ThreadPool* trial_pool_;
+  std::size_t sim_threads_ = 0;
 };
 
 /// One grid cell: a sweep point with its content-address and compute.

@@ -1,9 +1,12 @@
 #include "dophy/eval/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "dophy/common/table.hpp"
 #include "dophy/common/thread_pool.hpp"
@@ -24,6 +27,14 @@ struct CellOutcome {
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Cell-level workers that keep cells x per-sim threads at or under the
+/// hardware budget.  Serial engine: whole machine; PDES: hw / sim_threads.
+std::size_t cell_worker_budget(std::size_t sim_threads) {
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (sim_threads <= 1) return hw;
+  return std::max<std::size_t>(1, hw / sim_threads);
 }
 
 }  // namespace
@@ -47,13 +58,18 @@ ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opt
     run.spec_hash = fnv1a64(cell.key.canonical(), run.spec_hash);
   }
 
+  // The result store is keyed on the canonical config alone; parallel-engine
+  // results depend on lp_count, so sim_threads > 1 neither reads nor writes
+  // it — mixing the two would poison serial replays.
+  const bool cacheable = opts.sim_threads <= 1;
+
   std::vector<CellOutcome> outcomes(cells.size());
   std::vector<std::size_t> to_compute;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i % opts.shard_count != opts.shard_index) continue;
     outcomes[i].owned = true;
     ++run.cells_owned;
-    if (opts.cache != nullptr && !opts.force) {
+    if (cacheable && opts.cache != nullptr && !opts.force) {
       if (auto cached = opts.cache->load(cells[i].key)) {
         outcomes[i].hit = true;
         outcomes[i].rows = std::move(cached->rows);
@@ -73,7 +89,8 @@ ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opt
 
   auto compute_cell = [&](std::size_t index, dophy::common::ThreadPool* trial_pool) {
     const auto start = std::chrono::steady_clock::now();
-    auto rows = cells[index].compute(CellContext(trial_pool)).take_rows();
+    auto rows =
+        cells[index].compute(CellContext(trial_pool, opts.sim_threads)).take_rows();
     outcomes[index].wall_seconds = seconds_since(start);
     outcomes[index].rows = std::move(rows);
     computed_counter.inc();
@@ -89,20 +106,27 @@ ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opt
     }
   };
 
+  // Oversubscription guard: with per-simulation worker teams active, cap
+  // cell/trial parallelism so cells x sim_threads stays within the machine.
+  std::optional<dophy::common::ThreadPool> guarded;
+  if (opts.sim_threads > 1) guarded.emplace(cell_worker_budget(opts.sim_threads));
+
   if (to_compute.size() == 1) {
     // A single miss: keep the legacy binaries' trial-level parallelism.
-    compute_cell(to_compute.front(), nullptr);
+    compute_cell(to_compute.front(), guarded ? &*guarded : nullptr);
   } else if (!to_compute.empty()) {
     // Many misses: parallelize across cells, trials inline — nesting a trial
     // parallel_for inside a cell task on the same pool would deadlock.
-    auto& pool = opts.pool != nullptr ? *opts.pool : dophy::common::global_pool();
+    auto& pool = guarded      ? *guarded
+                 : opts.pool != nullptr ? *opts.pool
+                                        : dophy::common::global_pool();
     dophy::common::parallel_for(pool, to_compute.size(), [&](std::size_t j) {
       compute_cell(to_compute[j], &dophy::common::inline_executor());
     });
   }
   run.cells_computed = to_compute.size();
 
-  if (opts.cache != nullptr) {
+  if (cacheable && opts.cache != nullptr) {
     for (const std::size_t i : to_compute) {
       CachedCell entry;
       entry.experiment = spec.id;
@@ -198,6 +222,22 @@ std::string manifest_json(const std::vector<ExperimentRun>& runs,
   w.key("shard_index").value(static_cast<std::uint64_t>(opts.shard_index));
   w.key("shard_count").value(static_cast<std::uint64_t>(opts.shard_count));
   w.key("wall_seconds").value(wall_seconds);
+
+  // Effective thread budget: how the machine was split between cell-level
+  // and per-simulation parallelism for this run.
+  {
+    const std::size_t sim = std::max<std::size_t>(1, opts.sim_threads);
+    const std::size_t cell_workers =
+        sim > 1 ? cell_worker_budget(sim)
+                : (opts.pool != nullptr ? opts.pool->worker_count()
+                                        : dophy::common::global_pool().worker_count());
+    w.key("threads").begin_object();
+    w.key("hardware").value(static_cast<std::uint64_t>(
+        std::max<std::size_t>(1, std::thread::hardware_concurrency())));
+    w.key("sim_threads").value(static_cast<std::uint64_t>(sim));
+    w.key("cell_workers").value(static_cast<std::uint64_t>(cell_workers));
+    w.end_object();
+  }
 
   w.key("experiments").begin_array();
   for (const auto& run : runs) {

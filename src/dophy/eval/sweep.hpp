@@ -36,6 +36,12 @@ struct SweepOptions {
   ResultCache* cache = nullptr; ///< null = always compute, never store
   bool force = false;           ///< bypass cache reads (still stores results)
   dophy::common::ThreadPool* pool = nullptr;  ///< null = the process-global pool
+  /// >1 = run every simulation on the PDES engine with this many LPs/threads.
+  /// Implies a cache bypass (parallel-engine results are lp_count-dependent
+  /// and must not mix with the serial store) and shrinks cell-level
+  /// parallelism to hardware_concurrency / sim_threads so cells x sim
+  /// threads never oversubscribe the machine.  0 or 1 = the serial engine.
+  std::size_t sim_threads = 0;
 };
 
 /// Outcome of one experiment sweep: the assembled table rows (grid order,

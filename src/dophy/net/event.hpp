@@ -28,6 +28,8 @@ enum class EventKind : std::uint8_t {
   kTrickleInterval,   ///< Trickle end-of-interval (payload: trickle)
   kFaultAction,       ///< fault-plan event firing (payload: fault)
   kFaultRecovery,     ///< timed fault recovery (payload: fault_recovery)
+  kRemoteBeacon,      ///< beacon heard across a cut link (payload: remote_beacon)
+  kRemoteArrival,     ///< data frame crossing a cut link (payload: remote_arrival)
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
@@ -43,6 +45,8 @@ enum class EventKind : std::uint8_t {
     case EventKind::kTrickleInterval: return "trickle_interval";
     case EventKind::kFaultAction: return "fault_action";
     case EventKind::kFaultRecovery: return "fault_recovery";
+    case EventKind::kRemoteBeacon: return "remote_beacon";
+    case EventKind::kRemoteArrival: return "remote_arrival";
   }
   return "unknown";
 }
@@ -63,6 +67,9 @@ struct Event {
     struct { const void* plan_event; } fault;       ///< const FaultEvent*
     struct { NodeId a; NodeId b; std::uint8_t op; } fault_recovery;
     struct { std::uint32_t slot; } callback;        ///< queue-internal slab slot
+    /// Cross-LP beacon reception: fits the 16-byte budget exactly.
+    struct { double etx; NodeId sender; NodeId receiver; std::uint16_t seq; } remote_beacon;
+    struct { std::uint32_t slot; } remote_arrival;  ///< shard arrival-slab slot
   };
 
   EventFn fn = nullptr;     ///< null only for kCallback (queue runs the slab entry)

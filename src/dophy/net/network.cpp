@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "dophy/common/logging.hpp"
+#include "dophy/net/pdes/locked_hooks.hpp"
+#include "dophy/net/pdes/worker_team.hpp"
 #include "dophy/obs/metrics.hpp"
 #include "dophy/obs/span.hpp"
 #include "dophy/obs/trace.hpp"
@@ -20,11 +24,16 @@ constexpr std::size_t kTrueHopsReserve = 8;
 /// bounded by concurrent in-flight + queued packets; the cap is a backstop).
 constexpr std::size_t kPacketPoolCap = 1024;
 
+constexpr SimTime kMaxTime = std::numeric_limits<SimTime>::max();
+
 /// Interned once; every Network instance shares these registry handles.
+/// All handles are relaxed atomics underneath, so LP threads may hit them
+/// concurrently without coordination.
 struct NetMetrics {
   dophy::obs::Counter generated, delivered;
   dophy::obs::Counter drop_retries, drop_noroute, drop_ttl, drop_queue;
   dophy::obs::Counter beacons, churn_transitions, flood_bytes, air_bytes;
+  dophy::obs::Counter pdes_windows, pdes_remote_msgs;
   dophy::obs::HistogramHandle hop_attempts, path_hops;
   dophy::obs::LatencyHistogram e2e_latency, retry_delay;
 
@@ -46,6 +55,8 @@ struct NetMetrics {
     churn_transitions = r.counter("sim.churn.transitions");
     flood_bytes = r.counter("sim.flood.bytes");
     air_bytes = r.counter("sim.air.bytes");
+    pdes_windows = r.counter("sim.pdes.windows");
+    pdes_remote_msgs = r.counter("sim.pdes.remote_msgs");
     hop_attempts = r.histogram("sim.hop.attempts", {1, 2, 3, 4, 6, 8, 12, 16});
     path_hops = r.histogram("sim.path.hops", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
     e2e_latency = r.latency_histogram("sim.e2e.latency_us");
@@ -62,8 +73,17 @@ Network::Network(const NetworkConfig& config, PacketInstrumentation* instrumenta
         return Topology::generate(config.topology, topo_rng);
       }()),
       mac_(config.mac) {
+  // Shards (and the partition) come first and consume no randomness, so the
+  // master-RNG draw sequence below is byte-identical to the pre-PDES engine.
+  build_shards();
+  if (multi_lp() && instrumentation_ != nullptr) {
+    locked_instrumentation_ =
+        std::make_unique<pdes::LockedInstrumentation>(hook_mutex_, *instrumentation_);
+    instrumentation_ = locked_instrumentation_.get();
+  }
+
   dophy::common::Rng master(config_.seed);
-  traces_.set_store_outcomes(config_.collect_outcomes);
+  for (auto& sh : shards_) sh->traces.set_store_outcomes(config_.collect_outcomes);
   build_links(master);
   build_adjacency();
 
@@ -76,129 +96,186 @@ Network::Network(const NetworkConfig& config, PacketInstrumentation* instrumenta
   hops_to_sink_ = topology_.hops_to_sink();
 
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    schedule_beacon(static_cast<NodeId>(i), /*initial=*/true);
-    if (i != kSinkId) schedule_generation(static_cast<NodeId>(i), /*initial=*/true);
+    const NodeId id = static_cast<NodeId>(i);
+    schedule_beacon(shard_of(id), id, /*initial=*/true);
+    if (i != kSinkId) schedule_generation(shard_of(id), id, /*initial=*/true);
   }
 
   if (config_.churn.enabled) {
     for (std::size_t i = 1; i < nodes_.size(); ++i) {
       if (nodes_[i]->rng().bernoulli(config_.churn.churn_fraction)) {
-        schedule_churn_transition(static_cast<NodeId>(i));
+        const NodeId id = static_cast<NodeId>(i);
+        schedule_churn_transition(shard_of(id), id);
       }
     }
   }
+}
+
+Network::~Network() = default;
+
+// ---------------------------------------------------------------------------
+// LP construction
+
+void Network::build_shards() {
+  const std::size_t requested = std::max<std::size_t>(1, config_.pdes.lp_count);
+  const std::size_t lp_count = std::min(requested, topology_.node_count());
+  partition_ = pdes::build_partition(topology_, static_cast<std::uint32_t>(lp_count));
+  lp_of_ = partition_.lp_of;
+
+  shards_.reserve(lp_count);
+  for (std::size_t lp = 0; lp < lp_count; ++lp) {
+    auto sh = std::make_unique<Shard>();
+    sh->net = this;
+    sh->lp = static_cast<std::uint32_t>(lp);
+    shards_.push_back(std::move(sh));
+  }
+  sim_ = &shards_[0]->sim;
+
+  if (!multi_lp()) return;
+
+  // Conservative lookahead: nothing a node does at time t can affect another
+  // LP before t + L.  Beacons crossing a cut are delivered L late (the one
+  // semantic concession); data frames complete one full ARQ attempt plus the
+  // queue service delay at minimum, which the clamp keeps >= L by design.
+  lookahead_ = std::clamp<SimTime>(
+      config_.mac.attempt_duration + config_.mac.queue_service_delay, 1, kFloodHopDelay);
+
+  mailboxes_.resize(lp_count * lp_count);
+  for (std::size_t src = 0; src < lp_count; ++src) {
+    for (std::size_t dst = 0; dst < lp_count; ++dst) {
+      if (src == dst) continue;
+      mailboxes_[src * lp_count + dst] =
+          std::make_unique<pdes::SpscMailbox<pdes::RemoteMsg>>(config_.pdes.mailbox_capacity);
+    }
+  }
+  alive_snapshot_.assign(topology_.node_count(), 1);
+
+  std::size_t threads = config_.pdes.threads;
+  if (threads == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(lp_count, hw);
+  }
+  thread_budget_ = std::clamp<std::size_t>(threads, 1, lp_count);
+  if (thread_budget_ > 1) team_ = std::make_unique<pdes::WorkerTeam>(thread_budget_);
 }
 
 // ---------------------------------------------------------------------------
 // Typed event dispatch
 
 void Network::event_trampoline(void* target, const Event& ev) {
-  static_cast<Network*>(target)->on_event(ev);
+  Shard* sh = static_cast<Shard*>(target);
+  sh->net->on_event(*sh, ev);
 }
 
-void Network::on_event(const Event& ev) {
+void Network::on_event(Shard& sh, const Event& ev) {
   switch (ev.kind) {
     case EventKind::kBeaconSend:
-      send_beacon(ev.payload.node_ev.node);
+      send_beacon(sh, ev.payload.node_ev.node);
       break;
     case EventKind::kBeaconTrigger: {
       const NodeId id = ev.payload.node_ev.node;
       node(id).set_beacon_trigger_pending(false);
-      broadcast_beacon(id);
+      broadcast_beacon(sh, id);
       break;
     }
     case EventKind::kPacketGenerate:
-      generate_packet(ev.payload.node_ev.node);
+      generate_packet(sh, ev.payload.node_ev.node);
       break;
     case EventKind::kTxDone:
-      complete_transmission(ev.payload.tx.node, ev.payload.tx.slot);
+      complete_transmission(sh, ev.payload.tx.node, ev.payload.tx.slot);
       break;
     case EventKind::kChurnTransition: {
       const NodeId id = ev.payload.node_ev.node;
       NetMetrics::get().churn_transitions.inc();
-      set_node_alive(id, !node(id).alive());
-      schedule_churn_transition(id);
+      set_node_alive(sh, id, !node(id).alive());
+      schedule_churn_transition(sh, id);
       break;
     }
     case EventKind::kPeriodic:
-      run_periodic(ev.payload.periodic.index);
+      run_periodic(sh, ev.payload.periodic.index);
+      break;
+    case EventKind::kRemoteBeacon:
+      on_remote_beacon(sh, ev);
+      break;
+    case EventKind::kRemoteArrival:
+      on_remote_arrival(sh, ev.payload.remote_arrival.slot);
       break;
     default:
       throw std::logic_error("Network::on_event: unexpected event kind");
   }
 }
 
-void Network::schedule_node_event(EventKind kind, NodeId id, SimTime delay) {
-  sim_.schedule_event_in(delay, Event::node_event(kind, &event_trampoline, this, id));
+void Network::schedule_node_event(Shard& sh, EventKind kind, NodeId id, SimTime delay) {
+  sh.sim.schedule_event_in(delay, Event::node_event(kind, &event_trampoline, &sh, id));
 }
 
 // ---------------------------------------------------------------------------
 // Slabs and pools
 
-std::uint32_t Network::acquire_inflight() {
-  if (!inflight_free_.empty()) {
-    const std::uint32_t slot = inflight_free_.back();
-    inflight_free_.pop_back();
+std::uint32_t Network::acquire_inflight(Shard& sh) {
+  if (!sh.inflight_free.empty()) {
+    const std::uint32_t slot = sh.inflight_free.back();
+    sh.inflight_free.pop_back();
     return slot;
   }
-  inflight_.emplace_back();
-  return static_cast<std::uint32_t>(inflight_.size() - 1);
+  sh.inflight.emplace_back();
+  return static_cast<std::uint32_t>(sh.inflight.size() - 1);
 }
 
-void Network::release_inflight(std::uint32_t slot) noexcept {
-  inflight_free_.push_back(slot);
-}
-
-Packet Network::acquire_packet() {
-  if (packet_pool_.empty()) {
+Packet Network::acquire_packet(Shard& sh) {
+  if (sh.packet_pool.empty()) {
     Packet p;
     p.true_hops.reserve(kTrueHopsReserve);
     return p;
   }
-  Packet p = std::move(packet_pool_.back());
-  packet_pool_.pop_back();
+  Packet p = std::move(sh.packet_pool.back());
+  sh.packet_pool.pop_back();
   return p;
 }
 
-void Network::recycle_packet(Packet&& packet) {
-  if (packet_pool_.size() >= kPacketPoolCap) return;
+void Network::recycle_packet(Shard& sh, Packet&& packet) {
+  if (sh.packet_pool.size() >= kPacketPoolCap) return;
   packet.reset();
-  packet_pool_.push_back(std::move(packet));
+  sh.packet_pool.push_back(std::move(packet));
 }
 
 // ---------------------------------------------------------------------------
 // Churn
 
-void Network::schedule_churn_transition(NodeId id) {
+void Network::schedule_churn_transition(Shard& sh, NodeId id) {
   Node& n = node(id);
   const double mean_s = n.alive() ? config_.churn.mean_up_s : config_.churn.mean_down_s;
   const SimTime delay =
       static_cast<SimTime>(std::max(1.0, n.rng().exponential(1.0 / mean_s)) * 1e6);
-  schedule_node_event(EventKind::kChurnTransition, id, delay);
+  schedule_node_event(sh, EventKind::kChurnTransition, id, delay);
 }
 
 void Network::set_node_alive(NodeId id, bool alive) {
+  set_node_alive(shard_of(id), id, alive);
+}
+
+void Network::set_node_alive(Shard& sh, NodeId id, bool alive) {
   Node& target = node(id);
   if (target.alive() == alive) return;
   target.set_alive(alive);
   DOPHY_DEBUG("node %u %s at t=%llu us", static_cast<unsigned>(id), alive ? "up" : "down",
-              static_cast<unsigned long long>(sim_.now()));
+              static_cast<unsigned long long>(sh.sim.now()));
   auto& tr = dophy::obs::EventTrace::global();
   if (tr.enabled(dophy::obs::EventKind::kNodeChurn)) {
-    tr.event(dophy::obs::EventKind::kNodeChurn, static_cast<std::uint64_t>(sim_.now()))
+    tr.event(dophy::obs::EventKind::kNodeChurn, static_cast<std::uint64_t>(sh.sim.now()))
         .u64("node", id)
         .boolean("up", alive);
   }
   if (!alive) {
-    ++node_failures_;
+    ++sh.node_failures;
     // Packets held in the dead node's queue are lost with it.
     while (!target.queue_empty()) {
-      finish_packet(target.dequeue(), PacketFate::kDroppedNoRoute);
+      finish_packet(sh, target.dequeue(), PacketFate::kDroppedNoRoute);
     }
   } else {
     // Rejoin: stale table entries will be refreshed by beacons; announce
     // ourselves quickly.
-    trigger_beacon(id);
+    trigger_beacon(sh, id);
   }
 }
 
@@ -226,6 +303,10 @@ void Network::build_links(dophy::common::Rng& rng) {
                                                  rng.fork()));
       links_.emplace(rev, std::make_unique<Link>(rev, make_loss_process(base_r, rng),
                                                  rng.fork()));
+      if (multi_lp()) {
+        base_loss_.emplace(fwd, base_f);
+        base_loss_.emplace(rev, base_r);
+      }
     }
   }
 }
@@ -242,6 +323,21 @@ void Network::build_adjacency() {
       nl.forward = links_.at(LinkKey{id, w}).get();
       const auto rev = links_.find(LinkKey{w, id});
       nl.reverse = rev == links_.end() ? nullptr : rev->second.get();
+      nl.cut = multi_lp() && lp_of_[id] != lp_of_[w];
+      if (nl.cut && nl.reverse != nullptr) {
+        // The real reverse link belongs to the peer's LP, so this sender
+        // must not sample it for ACK losses.  Clone a distributionally
+        // identical stand-in from the recorded base loss, seeded off the
+        // link key alone so the clone is stable across lp_count/threads and
+        // never touches the master RNG stream.
+        const LinkKey rkey{w, id};
+        dophy::common::Rng srng(config_.seed ^ 0x61636b73ULL ^  // "acks"
+                                (static_cast<std::uint64_t>(rkey.from) << 20) ^ rkey.to);
+        auto shadow = std::make_unique<Link>(rkey, make_loss_process(base_loss_.at(rkey), srng),
+                                             srng.fork());
+        nl.ack_shadow = shadow.get();
+        shadow_links_.push_back(std::move(shadow));
+      }
       adjacency_[u].push_back(nl);
     }
   }
@@ -283,11 +379,181 @@ std::unique_ptr<LossProcess> Network::make_loss_process(double base,
   throw std::logic_error("Network::make_loss_process: unknown loss kind");
 }
 
+// ---------------------------------------------------------------------------
+// Run loop
+
 void Network::run_for(double seconds) {
-  run_until(sim_.now() + static_cast<SimTime>(seconds * 1e6));
+  run_until(global_now() + static_cast<SimTime>(seconds * 1e6));
 }
 
-void Network::run_until(SimTime t) { sim_.run_until(t); }
+void Network::run_until(SimTime t) {
+  if (!multi_lp()) {
+    sim_->run_until(t);
+    return;
+  }
+  run_windows(t);
+}
+
+void Network::run_windows(SimTime until) {
+  for (;;) {
+    SimTime next_ev = kMaxTime;
+    for (const auto& sh : shards_) {
+      if (!sh->sim.queue().empty()) next_ev = std::min(next_ev, sh->sim.queue().next_time());
+    }
+    SimTime next_hook = kMaxTime;
+    for (const BarrierHook& h : barrier_hooks_) next_hook = std::min(next_hook, h.due);
+    if (next_ev > until && next_hook > until) break;
+
+    // Window [gvt_prev, gvt]: every event in it is closer to the earliest
+    // pending event than the lookahead, so no cross-LP message produced
+    // inside the window can land inside it.  Hooks pin the window end to
+    // their due time so they run at a barrier where every clock == due.
+    SimTime wend = until < kMaxTime - 1 ? until + 1 : kMaxTime;
+    if (next_ev != kMaxTime && next_ev < kMaxTime - lookahead_) {
+      wend = std::min(wend, next_ev + lookahead_);
+    }
+    if (next_hook != kMaxTime) wend = std::min(wend, next_hook + 1);
+    const SimTime gvt = wend - 1;
+
+    struct WindowJob {
+      Network* net;
+      SimTime gvt;
+    } job{this, gvt};
+    const auto run_shard = +[](void* ctx, std::size_t i) {
+      auto* j = static_cast<WindowJob*>(ctx);
+      j->net->shards_[i]->sim.run_until(j->gvt);
+    };
+    if (team_ != nullptr) {
+      // Dynamic claiming: any worker may run any LP; shards share no mutable
+      // state inside a window, so assignment does not affect results.
+      team_->run(shards_.size(), run_shard, &job);
+    } else {
+      for (std::size_t i = 0; i < shards_.size(); ++i) run_shard(&job, i);
+    }
+
+    drain_mailboxes(wend);
+    refresh_alive_snapshot();
+    run_due_hooks(gvt);
+    ++windows_;
+    NetMetrics::get().pdes_windows.inc();
+  }
+  // Quiescent up to `until`: advance every clock so a subsequent barrier-time
+  // read (stats, hooks, schedule_global_in) sees one agreed-upon "now".
+  for (auto& sh : shards_) sh->sim.run_until(until);
+}
+
+void Network::drain_mailboxes(SimTime window_end) {
+  const std::size_t lp_count = shards_.size();
+  for (std::size_t dst = 0; dst < lp_count; ++dst) {
+    Shard& d = *shards_[dst];
+    // Source order is fixed (ascending) and each mailbox preserves FIFO, so
+    // the destination queue's tie-break sequence numbers — and therefore the
+    // whole run — are identical for every thread count.
+    for (std::size_t src = 0; src < lp_count; ++src) {
+      if (src == dst) continue;
+      drain_scratch_.clear();
+      outbox(static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(dst))
+          .drain_into(drain_scratch_);
+      for (pdes::RemoteMsg& m : drain_scratch_) {
+        const SimTime at = std::max(m.at, window_end);
+        ++remote_msgs_;
+        NetMetrics::get().pdes_remote_msgs.inc();
+        Event ev;
+        ev.fn = &event_trampoline;
+        ev.target = &d;
+        if (m.kind == pdes::RemoteMsg::Kind::kBeacon) {
+          ev.kind = EventKind::kRemoteBeacon;
+          ev.payload.remote_beacon.etx = m.advertised_etx;
+          ev.payload.remote_beacon.sender = m.sender;
+          ev.payload.remote_beacon.receiver = m.receiver;
+          ev.payload.remote_beacon.seq = m.beacon_seq;
+        } else {
+          std::uint32_t slot;
+          if (!d.arrival_free.empty()) {
+            slot = d.arrival_free.back();
+            d.arrival_free.pop_back();
+          } else {
+            d.arrivals.emplace_back();
+            slot = static_cast<std::uint32_t>(d.arrivals.size() - 1);
+          }
+          RemoteArrival& ra = d.arrivals[slot];
+          ra.packet = std::move(m.packet);
+          ra.sender = m.sender;
+          ra.receiver = m.receiver;
+          ra.attempts = m.attempts_to_first_rx;
+          ra.total_attempts = m.total_attempts;
+          ev.kind = EventKind::kRemoteArrival;
+          ev.payload.remote_arrival.slot = slot;
+        }
+        d.sim.schedule_event_at(at, ev);
+      }
+    }
+  }
+}
+
+void Network::refresh_alive_snapshot() {
+  // Only boundary nodes can be the far end of a cut edge, so only they are
+  // ever read through the snapshot.
+  for (const NodeId b : partition_.boundary_nodes) {
+    alive_snapshot_[b] = nodes_[b]->alive() ? 1 : 0;
+  }
+}
+
+void Network::run_due_hooks(SimTime now) {
+  bool fired_oneshot = false;
+  // Index loop: a hook may add further hooks (flood installs, one-shots) and
+  // reallocate the vector mid-iteration.
+  for (std::size_t i = 0; i < barrier_hooks_.size(); ++i) {
+    if (barrier_hooks_[i].due > now) continue;
+    if (barrier_hooks_[i].interval > 0) {
+      auto fn = barrier_hooks_[i].fn;  // copy: fn may grow the vector
+      fn(now);
+      barrier_hooks_[i].due = now + barrier_hooks_[i].interval;
+    } else {
+      auto fn = std::move(barrier_hooks_[i].fn);
+      barrier_hooks_[i].due = kMaxTime;  // parked until the erase below
+      fn(now);
+      fired_oneshot = true;
+    }
+  }
+  if (fired_oneshot) {
+    barrier_hooks_.erase(std::remove_if(barrier_hooks_.begin(), barrier_hooks_.end(),
+                                        [](const BarrierHook& h) {
+                                          return h.interval == 0 && !h.fn;
+                                        }),
+                         barrier_hooks_.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remote event delivery
+
+void Network::on_remote_beacon(Shard& sh, const Event& ev) {
+  const auto& rb = ev.payload.remote_beacon;
+  Node& receiver = node(rb.receiver);
+  // Aliveness is evaluated at delivery time on the owning LP (the sender
+  // sampled its own link at transmit time, exactly like the local path).
+  if (!receiver.alive()) return;
+  receiver.routing().on_beacon(rb.sender, rb.etx, rb.seq, sh.sim.now());
+  if (receiver.routing().select_parent(sh.sim.now())) {
+    if (observer_ != nullptr) observer_->on_parent_change(rb.receiver, sh.sim.now());
+    trigger_beacon(sh, rb.receiver);
+  }
+}
+
+void Network::on_remote_arrival(Shard& sh, std::uint32_t slot) {
+  RemoteArrival& ra = sh.arrivals[slot];
+  Packet packet = std::move(ra.packet);
+  const NodeId sender = ra.sender;
+  const NodeId receiver = ra.receiver;
+  const std::uint32_t attempts = ra.attempts;
+  const std::uint32_t total = ra.total_attempts;
+  sh.arrival_free.push_back(slot);
+  handle_arrival(sh, receiver, sender, std::move(packet), attempts, total);
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
 
 Node& Network::node(NodeId id) {
   if (id >= nodes_.size()) throw std::out_of_range("Network::node");
@@ -318,62 +584,108 @@ std::vector<LinkKey> Network::link_keys() const {
   return keys;
 }
 
+TraceCollector& Network::traces() {
+  if (!multi_lp()) return shards_[0]->traces;
+  merged_traces_ = std::make_unique<TraceCollector>();
+  merged_traces_->set_store_outcomes(config_.collect_outcomes);
+  for (const auto& sh : shards_) merged_traces_->merge_from(sh->traces);
+  return *merged_traces_;
+}
+
+void Network::set_observer(NetworkObserver* observer) {
+  locked_observer_.reset();
+  if (observer != nullptr && multi_lp()) {
+    locked_observer_ = std::make_unique<pdes::LockedObserver>(hook_mutex_, *observer);
+    observer_ = locked_observer_.get();
+  } else {
+    observer_ = observer;
+  }
+}
+
+std::size_t Network::inflight_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) n += sh->inflight.size() - sh->inflight_free.size();
+  return n;
+}
+
+std::uint64_t Network::executed_events() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->sim.executed_count();
+  return n;
+}
+
 // ---------------------------------------------------------------------------
 // Control plane: beacons
 
-void Network::schedule_beacon(NodeId id, bool initial) {
+void Network::schedule_beacon(Shard& sh, NodeId id, bool initial) {
   Node& n = node(id);
   const double interval = config_.routing.beacon_interval_s;
   const double jitter = config_.routing.beacon_jitter;
   const double delay_s = (initial ? n.rng().uniform(0.0, interval)
                                   : interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter)) *
                          n.clock_factor();
-  schedule_node_event(EventKind::kBeaconSend, id, static_cast<SimTime>(delay_s * 1e6));
+  schedule_node_event(sh, EventKind::kBeaconSend, id, static_cast<SimTime>(delay_s * 1e6));
 }
 
-void Network::send_beacon(NodeId id) {
-  broadcast_beacon(id);
-  schedule_beacon(id, /*initial=*/false);
+void Network::send_beacon(Shard& sh, NodeId id) {
+  broadcast_beacon(sh, id);
+  schedule_beacon(sh, id, /*initial=*/false);
 }
 
-void Network::broadcast_beacon(NodeId id) {
+void Network::broadcast_beacon(Shard& sh, NodeId id) {
   Node& n = node(id);
   if (!n.alive()) return;
   const std::uint16_t seq = n.next_beacon_seq();
   const double advertised = n.routing().advertise_etx();
-  ++beacons_sent_;
+  ++sh.beacons_sent;
   NetMetrics::get().beacons.inc();
   for (const NeighborLink& nl : adjacency_[id]) {
-    if (nl.forward->attempt_control(sim_.now())) {
+    if (nl.forward->attempt_control(sh.sim.now())) {
+      if (nl.cut) {
+        // Cross-LP reception: the frame was sampled on our own (owned)
+        // forward link; delivery happens one lookahead later on the peer's
+        // shard, where its aliveness is checked against live state.
+        pdes::RemoteMsg m;
+        m.kind = pdes::RemoteMsg::Kind::kBeacon;
+        m.at = sh.sim.now() + lookahead_;
+        m.sender = id;
+        m.receiver = nl.peer;
+        m.beacon_seq = seq;
+        m.advertised_etx = advertised;
+        outbox(sh.lp, lp_of_[nl.peer]).push(std::move(m));
+        continue;
+      }
       Node& receiver = node(nl.peer);
       if (!receiver.alive()) continue;
-      receiver.routing().on_beacon(id, advertised, seq, sim_.now());
-      if (receiver.routing().select_parent(sim_.now())) {
-        if (observer_ != nullptr) observer_->on_parent_change(nl.peer, sim_.now());
-        trigger_beacon(nl.peer);
+      receiver.routing().on_beacon(id, advertised, seq, sh.sim.now());
+      if (receiver.routing().select_parent(sh.sim.now())) {
+        if (observer_ != nullptr) observer_->on_parent_change(nl.peer, sh.sim.now());
+        trigger_beacon(sh, nl.peer);
       }
     }
   }
-  if (n.routing().select_parent(sim_.now())) {
-    if (observer_ != nullptr) observer_->on_parent_change(id, sim_.now());
-    trigger_beacon(id);
+  if (n.routing().select_parent(sh.sim.now())) {
+    if (observer_ != nullptr) observer_->on_parent_change(id, sh.sim.now());
+    trigger_beacon(sh, id);
   }
 }
 
-void Network::trigger_beacon(NodeId id) {
+void Network::trigger_beacon(NodeId id) { trigger_beacon(shard_of(id), id); }
+
+void Network::trigger_beacon(Shard& sh, NodeId id) {
   Node& n = node(id);
   if (n.beacon_trigger_pending()) return;
   n.set_beacon_trigger_pending(true);
   // Short jittered delay so simultaneous triggers don't synchronize.
   const SimTime delay =
       50 * kMillisecond + static_cast<SimTime>(n.rng().next_below(100)) * kMillisecond;
-  schedule_node_event(EventKind::kBeaconTrigger, id, delay);
+  schedule_node_event(sh, EventKind::kBeaconTrigger, id, delay);
 }
 
 // ---------------------------------------------------------------------------
 // Data plane
 
-void Network::schedule_generation(NodeId id, bool initial) {
+void Network::schedule_generation(Shard& sh, NodeId id, bool initial) {
   Node& n = node(id);
   const double interval = config_.traffic.data_interval_s;
   const double jitter = config_.traffic.jitter;
@@ -381,47 +693,47 @@ void Network::schedule_generation(NodeId id, bool initial) {
       ((initial ? config_.traffic.start_delay_s : 0.0) +
        interval * n.rng().uniform(1.0 - jitter, 1.0 + jitter)) *
       n.clock_factor();
-  schedule_node_event(EventKind::kPacketGenerate, id, static_cast<SimTime>(delay_s * 1e6));
+  schedule_node_event(sh, EventKind::kPacketGenerate, id, static_cast<SimTime>(delay_s * 1e6));
 }
 
-void Network::generate_packet(NodeId id) {
+void Network::generate_packet(Shard& sh, NodeId id) {
   Node& n = node(id);
   if (!n.alive()) {
-    schedule_generation(id, /*initial=*/false);
+    schedule_generation(sh, id, /*initial=*/false);
     return;
   }
-  ++packets_generated_;
+  ++sh.packets_generated;
   ++n.stats().generated;
   NetMetrics::get().generated.inc();
 
-  Packet packet = acquire_packet();
+  Packet packet = acquire_packet(sh);
   packet.origin = id;
   packet.seq = n.next_data_seq();
-  packet.created_at = sim_.now();
+  packet.created_at = sh.sim.now();
   auto& spans = dophy::obs::SpanTrace::global();
   if (spans.enabled()) {
-    packet.span = spans.begin("pkt", static_cast<std::uint64_t>(sim_.now()),
+    packet.span = spans.begin("pkt", static_cast<std::uint64_t>(sh.sim.now()),
                               [&](dophy::obs::EventBuilder& b) {
                                 b.u64("origin", id).u64("seq", packet.seq);
                               });
   }
-  if (instrumentation_ != nullptr) instrumentation_->on_origin(packet, id, sim_.now());
-  if (observer_ != nullptr) observer_->on_generated(packet, sim_.now());
+  if (instrumentation_ != nullptr) instrumentation_->on_origin(packet, id, sh.sim.now());
+  if (observer_ != nullptr) observer_->on_generated(packet, sh.sim.now());
 
   if (!n.routing().has_route()) {
     DOPHY_DEBUG("drop: node %u generated packet with no route", static_cast<unsigned>(id));
-    finish_packet(std::move(packet), PacketFate::kDroppedNoRoute);
+    finish_packet(sh, std::move(packet), PacketFate::kDroppedNoRoute);
   } else if (!n.enqueue(std::move(packet))) {
     // enqueue only moves from the packet on success.
-    note_queue_overflow(id);
-    finish_packet(std::move(packet), PacketFate::kDroppedQueue);
+    note_queue_overflow(sh, id);
+    finish_packet(sh, std::move(packet), PacketFate::kDroppedQueue);
   } else {
-    try_send(id);
+    try_send(sh, id);
   }
-  schedule_generation(id, /*initial=*/false);
+  schedule_generation(sh, id, /*initial=*/false);
 }
 
-void Network::try_send(NodeId id) {
+void Network::try_send(Shard& sh, NodeId id) {
   Node& n = node(id);
   if (n.tx_busy() || n.queue_empty()) return;
 
@@ -430,8 +742,8 @@ void Network::try_send(NodeId id) {
   // ETX-sample noise through the hysteresis. Only bail if routeless.
   if (!n.routing().has_route()) {
     DOPHY_DEBUG("drop: node %u lost its route with packets queued", static_cast<unsigned>(id));
-    finish_packet(n.dequeue(), PacketFate::kDroppedNoRoute);
-    try_send(id);
+    finish_packet(sh, n.dequeue(), PacketFate::kDroppedNoRoute);
+    try_send(sh, id);
     return;
   }
 
@@ -439,9 +751,13 @@ void Network::try_send(NodeId id) {
   const NeighborLink& nl = neighbor_link(id, parent);
 
   TxOutcome outcome;
-  const bool channel_used = node(parent).alive();
+  // Cut edges read the barrier-refreshed liveness snapshot: the real node
+  // belongs to another LP mid-window.  At most one lookahead stale, and
+  // identical for every thread count.
+  const bool channel_used = nl.cut ? alive_snapshot_[parent] != 0 : node(parent).alive();
   if (channel_used) {
-    outcome = mac_.transmit(*nl.forward, nl.reverse, sim_.now(), n.rng());
+    outcome = mac_.transmit(*nl.forward, nl.cut ? nl.ack_shadow : nl.reverse, sh.sim.now(),
+                            n.rng());
   } else {
     // Dead receiver: the whole ARQ budget burns with no channel involvement,
     // so the link's loss ground truth is not polluted by churn.
@@ -454,39 +770,60 @@ void Network::try_send(NodeId id) {
   if (observer_ != nullptr) {
     observer_->on_transmission(id, parent, outcome.total_attempts,
                                outcome.attempts_to_first_rx, outcome.delivered,
-                               channel_used, sim_.now());
+                               channel_used, sh.sim.now());
   }
 
   // Park the packet in the in-flight slab; the kTxDone event carries only
   // the slot index, so scheduling a transmission allocates nothing.
-  const std::uint32_t slot = acquire_inflight();
-  InFlightTx& fl = inflight_[slot];
+  const std::uint32_t slot = acquire_inflight(sh);
+  InFlightTx& fl = sh.inflight[slot];
   fl.packet = n.dequeue();
   fl.outcome = outcome;
   fl.parent = parent;
+  fl.remote = false;
+  fl.span = 0;
 
   const std::uint64_t air =
       fl.packet.blob.wire_bytes() * static_cast<std::uint64_t>(outcome.total_attempts);
-  measurement_air_bytes_ += air;
+  sh.measurement_air_bytes += air;
   if (air != 0) NetMetrics::get().air_bytes.inc(air);
 
   n.set_tx_busy(true);
-  const SimTime done_at = sim_.now() + outcome.delay + config_.mac.queue_service_delay;
+  const SimTime done_at = sh.sim.now() + outcome.delay + config_.mac.queue_service_delay;
+  if (nl.cut && outcome.delivered) {
+    // The packet crosses the LP boundary now; the local kTxDone below only
+    // releases the radio.  done_at >= now + lookahead (one ARQ attempt plus
+    // service delay), so the arrival never lands inside the current window.
+    fl.remote = true;
+    fl.span = fl.packet.span;
+    pdes::RemoteMsg m;
+    m.kind = pdes::RemoteMsg::Kind::kArrival;
+    m.at = done_at;
+    m.sender = id;
+    m.receiver = parent;
+    m.attempts_to_first_rx = outcome.attempts_to_first_rx;
+    m.total_attempts = outcome.total_attempts;
+    m.packet = std::move(fl.packet);
+    outbox(sh.lp, lp_of_[parent]).push(std::move(m));
+  }
   Event ev;
   ev.fn = &event_trampoline;
-  ev.target = this;
+  ev.target = &sh;
   ev.kind = EventKind::kTxDone;
   ev.payload.tx.slot = slot;
   ev.payload.tx.node = id;
-  sim_.schedule_event_at(done_at, ev);
+  sh.sim.schedule_event_at(done_at, ev);
 }
 
-void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
-  InFlightTx& fl = inflight_[slot];
+void Network::complete_transmission(Shard& sh, NodeId sender_id, std::uint32_t slot) {
+  InFlightTx& fl = sh.inflight[slot];
   const TxOutcome outcome = fl.outcome;
   const NodeId parent = fl.parent;
-  Packet packet = std::move(fl.packet);
-  release_inflight(slot);
+  const bool remote = fl.remote;
+  const std::uint64_t span_id = remote ? fl.span : fl.packet.span;
+  Packet packet = std::move(fl.packet);  // empty shell when remote
+  fl.remote = false;
+  sh.inflight_free.push_back(slot);
 
   Node& sender = node(sender_id);
   sender.set_tx_busy(false);
@@ -496,7 +833,7 @@ void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
   if (spans.enabled()) {
     // The exchange occupied [done - service - delay, done - service].
     const auto start = static_cast<std::uint64_t>(
-        sim_.now() - config_.mac.queue_service_delay - outcome.delay);
+        sh.sim.now() - config_.mac.queue_service_delay - outcome.delay);
     const dophy::obs::SpanId hop = spans.interval(
         "hop", start, static_cast<std::uint64_t>(outcome.delay),
         [&](dophy::obs::EventBuilder& b) {
@@ -505,38 +842,45 @@ void Network::complete_transmission(NodeId sender_id, std::uint32_t slot) {
               .u64("attempts", outcome.total_attempts)
               .boolean("ok", outcome.delivered);
         });
-    spans.link(packet.span, hop, static_cast<std::uint64_t>(sim_.now()));
+    spans.link(span_id, hop, static_cast<std::uint64_t>(sh.sim.now()));
+  }
+  if (remote) {
+    // The packet itself crossed via the mailbox at try_send time; here we
+    // only account the successful forward and free the radio.
+    ++sender.stats().forwarded;
+    try_send(sh, sender_id);
+    return;
   }
   if (outcome.delivered) {
     ++sender.stats().forwarded;
-    handle_arrival(parent, sender_id, std::move(packet), outcome.attempts_to_first_rx,
+    handle_arrival(sh, parent, sender_id, std::move(packet), outcome.attempts_to_first_rx,
                    outcome.total_attempts);
   } else {
     auto& tr = dophy::obs::EventTrace::global();
     if (tr.enabled(dophy::obs::EventKind::kArqExhausted)) {
-      tr.event(dophy::obs::EventKind::kArqExhausted, static_cast<std::uint64_t>(sim_.now()))
+      tr.event(dophy::obs::EventKind::kArqExhausted, static_cast<std::uint64_t>(sh.sim.now()))
           .u64("from", sender_id)
           .u64("to", parent)
           .u64("attempts", outcome.total_attempts)
           .u64("origin", packet.origin);
     }
-    finish_packet(std::move(packet), PacketFate::kDroppedRetries);
+    finish_packet(sh, std::move(packet), PacketFate::kDroppedRetries);
   }
-  try_send(sender_id);
+  try_send(sh, sender_id);
 }
 
-void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
+void Network::handle_arrival(Shard& sh, NodeId receiver, NodeId sender, Packet packet,
                              std::uint32_t attempts, std::uint32_t total_attempts) {
   Node& r = node(receiver);
   const std::uint64_t dedupe_key =
       (static_cast<std::uint64_t>(packet.flow_key()) << 16) | packet.hop_count;
   const bool duplicate = r.check_and_mark_seen(dedupe_key);
   if (observer_ != nullptr) {
-    observer_->on_arrival(packet, receiver, sender, dedupe_key, duplicate, sim_.now());
+    observer_->on_arrival(packet, receiver, sender, dedupe_key, duplicate, sh.sim.now());
   }
   if (duplicate) {
     ++r.stats().duplicates_discarded;
-    recycle_packet(std::move(packet));
+    recycle_packet(sh, std::move(packet));
     return;
   }
 
@@ -544,67 +888,75 @@ void Network::handle_arrival(NodeId receiver, NodeId sender, Packet packet,
   // us means somebody's route advertisement is stale — re-select and push a
   // triggered beacon so the loop collapses quickly.
   if (sender == r.routing().parent()) {
-    if (r.routing().select_parent(sim_.now()) && observer_ != nullptr) {
-      observer_->on_parent_change(receiver, sim_.now());
+    if (r.routing().select_parent(sh.sim.now()) && observer_ != nullptr) {
+      observer_->on_parent_change(receiver, sh.sim.now());
     }
-    trigger_beacon(receiver);
+    trigger_beacon(sh, receiver);
   }
 
   ++packet.hop_count;
   if (packet.hop_count > config_.traffic.max_hops) {
-    finish_packet(std::move(packet), PacketFate::kDroppedTtl);
+    finish_packet(sh, std::move(packet), PacketFate::kDroppedTtl);
     return;
   }
 
   packet.true_hops.push_back(
-      HopRecord{sender, receiver, attempts, total_attempts, sim_.now()});
+      HopRecord{sender, receiver, attempts, total_attempts, sh.sim.now()});
   NetMetrics::get().hop_attempts.observe(attempts);
   if (instrumentation_ != nullptr) {
-    instrumentation_->on_hop_received(packet, receiver, sender, attempts, sim_.now());
+    instrumentation_->on_hop_received(packet, receiver, sender, attempts, sh.sim.now());
   }
 
   if (receiver == kSinkId) {
-    ++packets_delivered_;
+    ++sh.packets_delivered;
     NetMetrics::get().delivered.inc();
     NetMetrics::get().path_hops.observe(packet.true_hops.size());
     NetMetrics::get().e2e_latency.observe(
-        static_cast<std::uint64_t>(sim_.now() - packet.created_at));
-    if (report_mutator_) report_mutator_(packet, sim_.now());
-    if (delivery_handler_) delivery_handler_(packet, sim_.now());
-    finish_packet(std::move(packet), PacketFate::kDelivered);
+        static_cast<std::uint64_t>(sh.sim.now() - packet.created_at));
+    if (multi_lp() && (report_mutator_ || delivery_handler_)) {
+      // User hooks may share state with observer callbacks firing from other
+      // LP threads; serialize them on the same hook mutex.
+      const std::lock_guard<std::mutex> lock(hook_mutex_);
+      if (report_mutator_) report_mutator_(packet, sh.sim.now());
+      if (delivery_handler_) delivery_handler_(packet, sh.sim.now());
+    } else {
+      if (report_mutator_) report_mutator_(packet, sh.sim.now());
+      if (delivery_handler_) delivery_handler_(packet, sh.sim.now());
+    }
+    finish_packet(sh, std::move(packet), PacketFate::kDelivered);
     return;
   }
 
   if (!r.enqueue(std::move(packet))) {
-    note_queue_overflow(receiver);
-    finish_packet(std::move(packet), PacketFate::kDroppedQueue);
+    note_queue_overflow(sh, receiver);
+    finish_packet(sh, std::move(packet), PacketFate::kDroppedQueue);
     return;
   }
-  try_send(receiver);
+  try_send(sh, receiver);
 }
 
-void Network::note_queue_overflow(NodeId id) {
+void Network::note_queue_overflow(Shard& sh, NodeId id) {
   DOPHY_DEBUG("drop: node %u forwarding queue overflow", static_cast<unsigned>(id));
   auto& tr = dophy::obs::EventTrace::global();
   if (tr.enabled(dophy::obs::EventKind::kQueueOverflow)) {
-    tr.event(dophy::obs::EventKind::kQueueOverflow, static_cast<std::uint64_t>(sim_.now()))
+    tr.event(dophy::obs::EventKind::kQueueOverflow, static_cast<std::uint64_t>(sh.sim.now()))
         .u64("node", id);
   }
 }
 
-void Network::finish_packet(Packet&& packet, PacketFate fate) {
-  if (observer_ != nullptr) observer_->on_finished(packet, fate, sim_.now());
+void Network::finish_packet(Shard& sh, Packet&& packet, PacketFate fate) {
+  if (observer_ != nullptr) observer_->on_finished(packet, fate, sh.sim.now());
   const NetMetrics& metrics = NetMetrics::get();
   switch (fate) {
     case PacketFate::kDelivered: break;
-    case PacketFate::kDroppedRetries: ++dropped_retries_; metrics.drop_retries.inc(); break;
-    case PacketFate::kDroppedNoRoute: ++dropped_noroute_; metrics.drop_noroute.inc(); break;
-    case PacketFate::kDroppedTtl: ++dropped_ttl_; metrics.drop_ttl.inc(); break;
-    case PacketFate::kDroppedQueue: ++dropped_queue_; metrics.drop_queue.inc(); break;
+    case PacketFate::kDroppedRetries: ++sh.dropped_retries; metrics.drop_retries.inc(); break;
+    case PacketFate::kDroppedNoRoute: ++sh.dropped_noroute; metrics.drop_noroute.inc(); break;
+    case PacketFate::kDroppedTtl: ++sh.dropped_ttl; metrics.drop_ttl.inc(); break;
+    case PacketFate::kDroppedQueue: ++sh.dropped_queue; metrics.drop_queue.inc(); break;
   }
   auto& tr = dophy::obs::EventTrace::global();
   if (tr.enabled(dophy::obs::EventKind::kPacketFate)) {
-    tr.event(dophy::obs::EventKind::kPacketFate, static_cast<std::uint64_t>(sim_.now()))
+    tr.event(dophy::obs::EventKind::kPacketFate, static_cast<std::uint64_t>(sh.sim.now()))
         .u64("origin", packet.origin)
         .u64("seq", packet.seq)
         .str("fate", to_string(fate))
@@ -613,17 +965,17 @@ void Network::finish_packet(Packet&& packet, PacketFate fate) {
   }
   auto& spans = dophy::obs::SpanTrace::global();
   if (spans.enabled()) {
-    spans.end(packet.span, static_cast<std::uint64_t>(sim_.now()),
+    spans.end(packet.span, static_cast<std::uint64_t>(sh.sim.now()),
               [&](dophy::obs::EventBuilder& b) {
                 b.str("fate", to_string(fate)).u64("hops", packet.true_hops.size());
               });
   }
   PacketOutcome outcome;
   outcome.fate = fate;
-  outcome.finished_at = sim_.now();
+  outcome.finished_at = sh.sim.now();
   if (config_.collect_outcomes) {
     outcome.packet = std::move(packet);
-    traces_.record(std::move(outcome));
+    sh.traces.record(std::move(outcome));
   } else {
     // Memory-light mode: the collector keeps tallies and running stats only
     // (store_outcomes is off), so carry just the scalar fields they need.
@@ -631,38 +983,54 @@ void Network::finish_packet(Packet&& packet, PacketFate fate) {
     outcome.packet.seq = packet.seq;
     outcome.packet.created_at = packet.created_at;
     outcome.packet.hop_count = packet.hop_count;
-    traces_.record(std::move(outcome));
-    recycle_packet(std::move(packet));
+    sh.traces.record(std::move(outcome));
+    recycle_packet(sh, std::move(packet));
   }
 }
 
 // ---------------------------------------------------------------------------
 // Periodic hooks and floods
 
-void Network::run_periodic(std::uint32_t index) {
+void Network::run_periodic(Shard& sh, std::uint32_t index) {
   // Invoke first, then re-arm: the hook's own scheduling must receive
   // earlier sequence numbers than the re-arm (matches the legacy closure
   // engine's event order exactly).  Index again after the call — the hook
   // may add_periodic and reallocate the vector.
-  periodic_hooks_[index].fn(sim_.now());
+  periodic_hooks_[index].fn(sh.sim.now());
   Event ev;
   ev.fn = &event_trampoline;
-  ev.target = this;
+  ev.target = &sh;
   ev.kind = EventKind::kPeriodic;
   ev.payload.periodic.index = index;
-  sim_.schedule_event_in(periodic_hooks_[index].interval, ev);
+  sh.sim.schedule_event_in(periodic_hooks_[index].interval, ev);
 }
 
 void Network::add_periodic(double interval_s, std::function<void(SimTime)> fn) {
   const SimTime interval = static_cast<SimTime>(interval_s * 1e6);
   if (interval <= 0) throw std::invalid_argument("Network::add_periodic: bad interval");
+  if (multi_lp()) {
+    // Barrier hook: runs between windows with every LP quiescent, so the
+    // callback may freely read (or mutate) any node or link.
+    barrier_hooks_.push_back(BarrierHook{std::move(fn), interval, global_now() + interval});
+    return;
+  }
   periodic_hooks_.push_back(PeriodicHook{std::move(fn), interval});
   Event ev;
   ev.fn = &event_trampoline;
-  ev.target = this;
+  ev.target = shards_[0].get();
   ev.kind = EventKind::kPeriodic;
   ev.payload.periodic.index = static_cast<std::uint32_t>(periodic_hooks_.size() - 1);
-  sim_.schedule_event_in(interval, ev);
+  sim_->schedule_event_in(interval, ev);
+}
+
+void Network::schedule_global_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Network::schedule_global_in: negative delay");
+  if (!multi_lp()) {
+    sim_->schedule_in(delay, std::move(fn));
+    return;
+  }
+  barrier_hooks_.push_back(
+      BarrierHook{[f = std::move(fn)](SimTime) { f(); }, 0, global_now() + delay});
 }
 
 void Network::flood_from_sink(std::size_t payload_bytes,
@@ -670,33 +1038,48 @@ void Network::flood_from_sink(std::size_t payload_bytes,
   // Epidemic flood: every node rebroadcasts once, so the byte cost is
   // payload * node_count; installs land with per-depth latency.  Cold path:
   // uses the callback escape hatch (one slab entry per node per flood).
-  control_flood_bytes_ += payload_bytes * nodes_.size();
+  shards_[0]->control_flood_bytes += payload_bytes * nodes_.size();
   NetMetrics::get().flood_bytes.inc(payload_bytes * nodes_.size());
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     const NodeId id = static_cast<NodeId>(i);
     const std::uint16_t depth =
         hops_to_sink_[i] == Topology::kInvalidHops ? 1 : hops_to_sink_[i];
-    const SimTime at = sim_.now() + static_cast<SimTime>(depth) * kFloodHopDelay;
-    sim_.schedule_at(at, [install, id, at] { install(id, at); });
+    const SimTime at = global_now() + static_cast<SimTime>(depth) * kFloodHopDelay;
+    if (multi_lp()) {
+      // Installs may touch cross-cutting state (instrumentation config), so
+      // they run as barrier one-shots rather than on the owner LP's queue.
+      barrier_hooks_.push_back(
+          BarrierHook{[install, id, at](SimTime) { install(id, at); }, 0, at});
+    } else {
+      sim_->schedule_at(at, [install, id, at] { install(id, at); });
+    }
   }
 }
 
 NetworkStats Network::stats() const {
   NetworkStats s;
-  s.packets_generated = packets_generated_;
-  s.packets_delivered = packets_delivered_;
-  s.dropped_retries = dropped_retries_;
-  s.dropped_noroute = dropped_noroute_;
-  s.dropped_ttl = dropped_ttl_;
-  s.dropped_queue = dropped_queue_;
-  s.beacons_sent = beacons_sent_;
-  s.node_failures = node_failures_;
-  s.control_flood_bytes = control_flood_bytes_;
-  s.measurement_air_bytes = measurement_air_bytes_;
+  for (const auto& sh : shards_) {
+    s.packets_generated += sh->packets_generated;
+    s.packets_delivered += sh->packets_delivered;
+    s.dropped_retries += sh->dropped_retries;
+    s.dropped_noroute += sh->dropped_noroute;
+    s.dropped_ttl += sh->dropped_ttl;
+    s.dropped_queue += sh->dropped_queue;
+    s.beacons_sent += sh->beacons_sent;
+    s.node_failures += sh->node_failures;
+    s.control_flood_bytes += sh->control_flood_bytes;
+    s.measurement_air_bytes += sh->measurement_air_bytes;
+  }
   for (const auto& [key, link] : links_) {
     s.data_tx_attempts += link->data_attempts();
     s.data_rx_frames += link->data_attempts() - link->data_losses();
     s.control_rx_frames += link->control_attempts() - link->control_losses();
+  }
+  // Cut-edge ACK traffic lands on the sender-side shadow clones.
+  for (const auto& shadow : shadow_links_) {
+    s.data_tx_attempts += shadow->data_attempts();
+    s.data_rx_frames += shadow->data_attempts() - shadow->data_losses();
+    s.control_rx_frames += shadow->control_attempts() - shadow->control_losses();
   }
   for (const auto& n : nodes_) s.parent_changes += n->routing().parent_changes();
   return s;

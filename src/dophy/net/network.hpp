@@ -3,9 +3,21 @@
 // Full network assembly: topology + links + nodes + routing + traffic, driven
 // by the discrete-event simulator.  This is the "large-scale simulation"
 // substrate the paper evaluates on (TOSSIM in the original; rebuilt here).
+//
+// Execution modes (NetworkConfig::pdes):
+//   * lp_count == 1 (default): the legacy serial engine, bit-identical to
+//     the single-queue simulator the golden hashes pin.
+//   * lp_count > 1: conservative parallel DES.  The topology is partitioned
+//     into logical processes (pdes::build_partition); each LP owns a private
+//     Simulator/EventQueue plus its nodes' mutable state, cut-link traffic
+//     crosses through bounded SPSC mailboxes, and all LPs advance in
+//     barrier-synchronized windows bounded by the MAC-derived lookahead.
+//     Results are deterministic in lp_count but independent of `threads`.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,9 +28,18 @@
 #include "dophy/net/node.hpp"
 #include "dophy/net/observer.hpp"
 #include "dophy/net/packet.hpp"
+#include "dophy/net/pdes/partition.hpp"
+#include "dophy/net/pdes/remote_msg.hpp"
+#include "dophy/net/pdes/spsc_mailbox.hpp"
 #include "dophy/net/simulator.hpp"
 #include "dophy/net/topology.hpp"
 #include "dophy/net/trace.hpp"
+
+namespace dophy::net::pdes {
+class WorkerTeam;
+class LockedObserver;
+class LockedInstrumentation;
+}  // namespace dophy::net::pdes
 
 namespace dophy::net {
 
@@ -65,6 +86,21 @@ struct TrafficConfig {
   std::uint16_t max_hops = 32;    ///< datapath TTL (routing-loop guard)
 };
 
+/// Parallel-engine knobs.  The defaults select the serial engine.
+struct PdesConfig {
+  /// Logical processes the topology is partitioned into.  1 = the legacy
+  /// serial engine (bit-identical to pre-PDES builds).  Results depend on
+  /// lp_count (cut-link semantics) but NOT on `threads`.
+  std::size_t lp_count = 1;
+  /// OS threads executing LPs (clamped to [1, lp_count]; 0 = min(lp_count,
+  /// hardware_concurrency)).  Any value yields identical results; callers
+  /// own the oversubscription policy (see dophy_bench --sim-threads).
+  std::size_t threads = 0;
+  /// SPSC ring slots per LP pair (power of two); bursts beyond this spill
+  /// to a mutex-guarded overflow without loss or reordering.
+  std::size_t mailbox_capacity = 256;
+};
+
 struct NetworkConfig {
   TopologyConfig topology;
   MacConfig mac;
@@ -72,6 +108,7 @@ struct NetworkConfig {
   LossConfig loss;
   TrafficConfig traffic;
   ChurnConfig churn;
+  PdesConfig pdes;
   std::uint64_t seed = 1;
   bool collect_outcomes = true;  ///< keep full per-packet outcomes in memory
 };
@@ -105,12 +142,16 @@ class Network {
   /// layer); it must outlive the Network.
   explicit Network(const NetworkConfig& config,
                    PacketInstrumentation* instrumentation = nullptr);
+  ~Network();
 
   /// Advances simulation time by `seconds`.
   void run_for(double seconds);
   void run_until(SimTime t);
 
-  [[nodiscard]] Simulator& sim() noexcept { return sim_; }
+  /// LP 0's simulator (in serial mode: the one simulator everything runs
+  /// on).  Scheduling through it from outside is only safe in serial mode
+  /// or while the network is quiescent (between run_* calls).
+  [[nodiscard]] Simulator& sim() noexcept { return *sim_; }
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
 
@@ -123,7 +164,11 @@ class Network {
   [[nodiscard]] const Link* find_link(NodeId from, NodeId to) const noexcept;
   [[nodiscard]] std::vector<LinkKey> link_keys() const;
 
-  [[nodiscard]] TraceCollector& traces() noexcept { return traces_; }
+  /// Packet outcome traces.  Serial mode: the live collector.  Multi-LP:
+  /// a deterministic merge of the per-LP collectors (LP-ascending order,
+  /// so the result is independent of thread count), rebuilt per call —
+  /// query it while quiescent.
+  [[nodiscard]] TraceCollector& traces();
 
   /// Extra hook invoked on every sink delivery (after instrumentation).
   using DeliveryHandler = std::function<void(const Packet&, SimTime)>;
@@ -138,6 +183,7 @@ class Network {
   /// Forces a node up or down (fault injection; also the churn primitive).
   /// Going down drops the node's queued packets; coming back up announces
   /// itself with a triggered beacon.  No-op when already in that state.
+  /// Multi-LP: only valid while quiescent (fault injection is serial-only).
   void set_node_alive(NodeId id, bool alive);
 
   /// Sets a node's clock-rate factor (fault injection; see Node).
@@ -145,41 +191,65 @@ class Network {
 
   /// Installs a passive observer (dophy::check's ground-truth oracle).  May
   /// be null (the default); must outlive the Network while installed.  Each
-  /// hook site costs one null-check branch when unset.
-  void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
+  /// hook site costs one null-check branch when unset.  In multi-LP mode the
+  /// observer is transparently serialized behind the network's hook mutex.
+  void set_observer(NetworkObserver* observer);
 
   /// Packets currently parked between MAC completion scheduling and their
   /// kTxDone event (conservation accounting for dophy::check).
-  [[nodiscard]] std::size_t inflight_count() const noexcept {
-    return inflight_.size() - inflight_free_.size();
-  }
+  [[nodiscard]] std::size_t inflight_count() const noexcept;
 
   /// Periodic hook (e.g. tomography epoch boundaries).  Runs every
-  /// `interval_s` simulated seconds starting one interval from now.  The
-  /// hook is stored once and re-armed through a typed kPeriodic event — no
-  /// per-cycle closure materialization.
+  /// `interval_s` simulated seconds starting one interval from now.  Serial:
+  /// re-armed through a typed kPeriodic event.  Multi-LP: runs at the window
+  /// barrier covering its due time, when every LP is quiescent — so the hook
+  /// may safely read any node or link.
   void add_periodic(double interval_s, std::function<void(SimTime)> fn);
+
+  /// One-shot barrier-safe callback `delay` microseconds from now.  Serial:
+  /// identical to sim().schedule_in.  Multi-LP: runs at the window barrier
+  /// covering its due time (all LPs quiescent — global reads are safe).
+  void schedule_global_in(SimTime delay, std::function<void()> fn);
 
   /// Control-plane flood from the sink: delivers an install callback to
   /// every other node with per-depth latency and accounts the byte cost
-  /// (every node rebroadcasts the payload once).
+  /// (every node rebroadcasts the payload once).  Multi-LP: call while
+  /// quiescent (a barrier hook or between run_* calls).
   void flood_from_sink(std::size_t payload_bytes,
                        const std::function<void(NodeId, SimTime)>& install);
 
-  /// Aggregate statistics (computed on demand).
+  /// Aggregate statistics (computed on demand; multi-LP: while quiescent).
   [[nodiscard]] NetworkStats stats() const;
 
   /// Schedules a near-immediate beacon for `id` (route-change/Trickle
-  /// reset); coalesced while one is already pending.
+  /// reset); coalesced while one is already pending.  Multi-LP: only valid
+  /// while quiescent (Trickle is serial-only).
   void trigger_beacon(NodeId id);
+
+  // --- PDES introspection -------------------------------------------------
+
+  [[nodiscard]] std::size_t lp_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] const pdes::Partition& partition() const noexcept { return partition_; }
+  /// Events executed across every LP (== sim().executed_count() when serial).
+  [[nodiscard]] std::uint64_t executed_events() const noexcept;
+  /// Conservative lookahead in microseconds (MAC-derived).
+  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+  /// Barrier windows completed so far (0 in serial mode).
+  [[nodiscard]] std::uint64_t window_count() const noexcept { return windows_; }
+  /// Cross-LP messages delivered so far (0 in serial mode).
+  [[nodiscard]] std::uint64_t remote_message_count() const noexcept { return remote_msgs_; }
 
  private:
   /// One directed radio edge as seen from its sender, resolved once at
   /// construction so the data/control hot paths never hash into links_.
   struct NeighborLink {
     NodeId peer = kInvalidNode;
+    bool cut = false;         ///< peer lives in a different LP
     Link* forward = nullptr;  ///< this node -> peer
     Link* reverse = nullptr;  ///< peer -> this node (acks); null if absent
+    /// Cut edges only: sender-LP-owned clone of `reverse` the ARQ samples
+    /// ACK losses on (the real reverse link belongs to the peer's LP).
+    Link* ack_shadow = nullptr;
   };
 
   /// A unicast exchange parked between MAC completion scheduling and its
@@ -189,6 +259,53 @@ class Network {
     Packet packet;
     TxOutcome outcome;
     NodeId parent = kInvalidNode;
+    /// Multi-LP: the packet already crossed a cut link via mailbox; the
+    /// kTxDone event only releases the radio and emits the hop span.
+    bool remote = false;
+    std::uint64_t span = 0;  ///< packet's span id saved across the handoff
+  };
+
+  /// A cross-LP data frame parked between the mailbox drain and its
+  /// kRemoteArrival event on the destination shard.
+  struct RemoteArrival {
+    Packet packet;
+    NodeId sender = kInvalidNode;
+    NodeId receiver = kInvalidNode;
+    std::uint32_t attempts = 0;
+    std::uint32_t total_attempts = 0;
+  };
+
+  /// One logical process: a private simulator plus every piece of formerly
+  /// network-global mutable run state, sharded so LPs never write shared
+  /// memory inside a window.
+  struct Shard {
+    Network* net = nullptr;
+    std::uint32_t lp = 0;
+    Simulator sim;
+    TraceCollector traces;
+    std::vector<InFlightTx> inflight;
+    std::vector<std::uint32_t> inflight_free;
+    std::vector<Packet> packet_pool;
+    std::vector<RemoteArrival> arrivals;
+    std::vector<std::uint32_t> arrival_free;
+
+    std::uint64_t beacons_sent = 0;
+    std::uint64_t node_failures = 0;
+    std::uint64_t dropped_retries = 0;
+    std::uint64_t dropped_noroute = 0;
+    std::uint64_t dropped_ttl = 0;
+    std::uint64_t dropped_queue = 0;
+    std::uint64_t packets_generated = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t control_flood_bytes = 0;
+    std::uint64_t measurement_air_bytes = 0;
+  };
+
+  /// Barrier-executed hook (multi-LP periodic/one-shot scheduling).
+  struct BarrierHook {
+    std::function<void(SimTime)> fn;
+    SimTime interval = 0;  ///< 0 = one-shot
+    SimTime due = 0;
   };
 
   struct PeriodicHook {
@@ -197,66 +314,91 @@ class Network {
   };
 
   static void event_trampoline(void* target, const Event& ev);
-  void on_event(const Event& ev);
+  void on_event(Shard& sh, const Event& ev);
   /// The one re-arm helper behind every recurring per-node activity
-  /// (beacons, generation, churn, triggered beacons).
-  void schedule_node_event(EventKind kind, NodeId id, SimTime delay);
+  /// (beacons, generation, churn, triggered beacons).  Self-scheduling:
+  /// the owner shard is always the one executing.
+  void schedule_node_event(Shard& sh, EventKind kind, NodeId id, SimTime delay);
 
   void build_links(dophy::common::Rng& rng);
   void build_adjacency();
+  void build_shards();
   [[nodiscard]] const NeighborLink& neighbor_link(NodeId from, NodeId to) const;
   [[nodiscard]] std::unique_ptr<LossProcess> make_loss_process(double base,
                                                                dophy::common::Rng& rng) const;
-  void schedule_beacon(NodeId id, bool initial);
-  void send_beacon(NodeId id);
-  void broadcast_beacon(NodeId id);
-  void schedule_generation(NodeId id, bool initial);
-  void generate_packet(NodeId id);
-  void schedule_churn_transition(NodeId id);
-  void try_send(NodeId id);
-  void complete_transmission(NodeId sender, std::uint32_t slot);
-  void run_periodic(std::uint32_t index);
-  void handle_arrival(NodeId receiver, NodeId sender, Packet packet, std::uint32_t attempts,
-                      std::uint32_t total_attempts);
-  void finish_packet(Packet&& packet, PacketFate fate);
-  void note_queue_overflow(NodeId id);
+  void schedule_beacon(Shard& sh, NodeId id, bool initial);
+  void send_beacon(Shard& sh, NodeId id);
+  void broadcast_beacon(Shard& sh, NodeId id);
+  void trigger_beacon(Shard& sh, NodeId id);
+  void schedule_generation(Shard& sh, NodeId id, bool initial);
+  void generate_packet(Shard& sh, NodeId id);
+  void schedule_churn_transition(Shard& sh, NodeId id);
+  void set_node_alive(Shard& sh, NodeId id, bool alive);
+  void try_send(Shard& sh, NodeId id);
+  void complete_transmission(Shard& sh, NodeId sender, std::uint32_t slot);
+  void run_periodic(Shard& sh, std::uint32_t index);
+  void handle_arrival(Shard& sh, NodeId receiver, NodeId sender, Packet packet,
+                      std::uint32_t attempts, std::uint32_t total_attempts);
+  void on_remote_beacon(Shard& sh, const Event& ev);
+  void on_remote_arrival(Shard& sh, std::uint32_t slot);
+  void finish_packet(Shard& sh, Packet&& packet, PacketFate fate);
+  void note_queue_overflow(Shard& sh, NodeId id);
 
-  [[nodiscard]] std::uint32_t acquire_inflight();
-  void release_inflight(std::uint32_t slot) noexcept;
-  [[nodiscard]] Packet acquire_packet();
-  void recycle_packet(Packet&& packet);
+  [[nodiscard]] std::uint32_t acquire_inflight(Shard& sh);
+  [[nodiscard]] Packet acquire_packet(Shard& sh);
+  void recycle_packet(Shard& sh, Packet&& packet);
+
+  [[nodiscard]] bool multi_lp() const noexcept { return shards_.size() > 1; }
+  [[nodiscard]] Shard& shard_of(NodeId id) noexcept { return *shards_[lp_of_[id]]; }
+  [[nodiscard]] pdes::SpscMailbox<pdes::RemoteMsg>& outbox(std::uint32_t src,
+                                                           std::uint32_t dst) noexcept {
+    return *mailboxes_[src * shards_.size() + dst];
+  }
+  /// Quiescent-time "now": every shard clock agrees on it at a barrier or
+  /// between run_* calls.
+  [[nodiscard]] SimTime global_now() const noexcept { return sim_->now(); }
+
+  void run_windows(SimTime until);
+  void drain_mailboxes(SimTime window_end);
+  void refresh_alive_snapshot();
+  void run_due_hooks(SimTime now);
 
   NetworkConfig config_;
   PacketInstrumentation* instrumentation_;
   NetworkObserver* observer_ = nullptr;
-  Simulator sim_;
   Topology topology_;
   ArqMac mac_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<LinkKey, std::unique_ptr<Link>, LinkKeyHash> links_;
+  /// Base loss level per directed link (records build_links' curve draws so
+  /// cut-edge ACK shadows can clone a distributionally-identical process).
+  std::unordered_map<LinkKey, double, LinkKeyHash> base_loss_;
   /// Per-node resolved neighbor links in topology-neighbor order.
   std::vector<std::vector<NeighborLink>> adjacency_;
-  TraceCollector traces_;
   DeliveryHandler delivery_handler_;
   ReportMutator report_mutator_;
   std::vector<std::uint16_t> hops_to_sink_;
   std::vector<PeriodicHook> periodic_hooks_;
-  std::vector<InFlightTx> inflight_;
-  std::vector<std::uint32_t> inflight_free_;
-  /// Finished packets waiting to be reused (only fed when outcomes are not
-  /// collected — collection moves packets into the trace instead).
-  std::vector<Packet> packet_pool_;
 
-  std::uint64_t beacons_sent_ = 0;
-  std::uint64_t node_failures_ = 0;
-  std::uint64_t dropped_retries_ = 0;
-  std::uint64_t dropped_noroute_ = 0;
-  std::uint64_t dropped_ttl_ = 0;
-  std::uint64_t dropped_queue_ = 0;
-  std::uint64_t packets_generated_ = 0;
-  std::uint64_t packets_delivered_ = 0;
-  std::uint64_t control_flood_bytes_ = 0;
-  std::uint64_t measurement_air_bytes_ = 0;
+  // --- PDES state ---------------------------------------------------------
+  pdes::Partition partition_;
+  std::vector<std::uint16_t> lp_of_;  ///< node -> LP (all zero when serial)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Simulator* sim_ = nullptr;  ///< shards_[0]->sim (the serial-mode simulator)
+  std::vector<std::unique_ptr<pdes::SpscMailbox<pdes::RemoteMsg>>> mailboxes_;
+  std::vector<std::unique_ptr<Link>> shadow_links_;
+  std::vector<std::uint8_t> alive_snapshot_;  ///< barrier-refreshed liveness
+  std::vector<BarrierHook> barrier_hooks_;
+  std::vector<pdes::RemoteMsg> drain_scratch_;
+  std::unique_ptr<pdes::WorkerTeam> team_;
+  std::unique_ptr<pdes::LockedObserver> locked_observer_;
+  std::unique_ptr<pdes::LockedInstrumentation> locked_instrumentation_;
+  std::mutex hook_mutex_;  ///< serializes user hooks across LP threads
+  std::unique_ptr<TraceCollector> merged_traces_;  ///< multi-LP traces() result
+  SimTime lookahead_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t remote_msgs_ = 0;
+  std::size_t thread_budget_ = 1;
 };
 
 }  // namespace dophy::net

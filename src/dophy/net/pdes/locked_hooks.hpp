@@ -1,0 +1,71 @@
+#pragma once
+
+// Mutex adapters for user-facing hook interfaces when the network runs
+// multi-LP.  Observer and instrumentation callbacks fire from whichever
+// thread executes the involved LP; serializing them on the network's hook
+// mutex keeps user code single-threaded-looking.  The wrapped state must be
+// order-independent (tallies, sets) for results to stay deterministic across
+// thread counts — dophy::check's GroundTruth is, by construction.
+
+#include <mutex>
+
+#include "dophy/net/observer.hpp"
+#include "dophy/net/packet.hpp"
+
+namespace dophy::net::pdes {
+
+class LockedObserver final : public NetworkObserver {
+ public:
+  LockedObserver(std::mutex& mutex, NetworkObserver& inner) : mutex_(mutex), inner_(inner) {}
+
+  void on_generated(const Packet& packet, SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_generated(packet, now);
+  }
+  void on_transmission(NodeId sender, NodeId receiver, std::uint32_t attempts,
+                       std::uint32_t attempts_to_first_rx, bool delivered, bool channel_used,
+                       SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_transmission(sender, receiver, attempts, attempts_to_first_rx, delivered,
+                           channel_used, now);
+  }
+  void on_arrival(const Packet& packet, NodeId receiver, NodeId sender,
+                  std::uint64_t dedupe_key, bool duplicate, SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_arrival(packet, receiver, sender, dedupe_key, duplicate, now);
+  }
+  void on_parent_change(NodeId node, SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_parent_change(node, now);
+  }
+  void on_finished(const Packet& packet, PacketFate fate, SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_finished(packet, fate, now);
+  }
+
+ private:
+  std::mutex& mutex_;
+  NetworkObserver& inner_;
+};
+
+class LockedInstrumentation final : public PacketInstrumentation {
+ public:
+  LockedInstrumentation(std::mutex& mutex, PacketInstrumentation& inner)
+      : mutex_(mutex), inner_(inner) {}
+
+  void on_origin(Packet& packet, NodeId origin, SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_origin(packet, origin, now);
+  }
+  void on_hop_received(Packet& packet, NodeId receiver, NodeId sender, std::uint32_t attempts,
+                       SimTime now) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.on_hop_received(packet, receiver, sender, attempts, now);
+  }
+
+ private:
+  std::mutex& mutex_;
+  PacketInstrumentation& inner_;
+};
+
+}  // namespace dophy::net::pdes

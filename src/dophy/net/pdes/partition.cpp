@@ -1,0 +1,114 @@
+#include "dophy/net/pdes/partition.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dophy::net::pdes {
+
+namespace {
+
+/// BFS hop distances from `sources` over the radio graph (0xFFFF when
+/// unreachable).
+std::vector<std::uint16_t> bfs_hops(const Topology& topo, const std::vector<NodeId>& sources) {
+  std::vector<std::uint16_t> dist(topo.node_count(), 0xFFFF);
+  std::queue<NodeId> frontier;
+  for (const NodeId s : sources) {
+    dist[s] = 0;
+    frontier.push(s);
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : topo.neighbors(u)) {
+      if (dist[v] != 0xFFFF) continue;
+      dist[v] = static_cast<std::uint16_t>(dist[u] + 1);
+      frontier.push(v);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Partition build_partition(const Topology& topology, std::uint32_t lp_count) {
+  const std::size_t n = topology.node_count();
+  Partition part;
+  part.lp_count = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(lp_count, static_cast<std::uint32_t>(n)));
+  part.lp_of.assign(n, 0);
+  part.members.resize(part.lp_count);
+  if (part.lp_count == 1) {
+    part.members[0].reserve(n);
+    for (std::size_t i = 0; i < n; ++i) part.members[0].push_back(static_cast<NodeId>(i));
+    return part;
+  }
+
+  // Farthest-point seed selection: the sink anchors LP 0, then each next
+  // seed maximizes hop distance to the chosen set (lowest id breaks ties —
+  // determinism).
+  std::vector<NodeId> seeds{kSinkId};
+  while (seeds.size() < part.lp_count) {
+    const std::vector<std::uint16_t> dist = bfs_hops(topology, seeds);
+    NodeId best = kInvalidNode;
+    std::uint16_t best_dist = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint16_t d = dist[i];
+      if (d == 0xFFFF || d == 0) continue;  // unreachable nodes handled below
+      if (d > best_dist) {
+        best_dist = d;
+        best = static_cast<NodeId>(i);
+      }
+    }
+    if (best == kInvalidNode) break;  // graph smaller/more disconnected than lp_count
+    seeds.push_back(best);
+  }
+
+  // Round-robin frontier growth: each LP claims one unassigned neighbor
+  // layer per turn, so clusters stay contiguous and comparable in size.
+  std::vector<std::uint16_t> owner(n, 0xFFFF);
+  std::vector<std::queue<NodeId>> frontiers(seeds.size());
+  for (std::size_t lp = 0; lp < seeds.size(); ++lp) {
+    owner[seeds[lp]] = static_cast<std::uint16_t>(lp);
+    frontiers[lp].push(seeds[lp]);
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t lp = 0; lp < frontiers.size(); ++lp) {
+      if (frontiers[lp].empty()) continue;
+      const NodeId u = frontiers[lp].front();
+      frontiers[lp].pop();
+      progress = true;
+      for (const NodeId v : topology.neighbors(u)) {
+        if (owner[v] != 0xFFFF) continue;
+        owner[v] = static_cast<std::uint16_t>(lp);
+        frontiers[lp].push(v);
+      }
+    }
+  }
+  // Anything left (disconnected components, seed shortfall) round-robins.
+  std::size_t spill = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (owner[i] == 0xFFFF) owner[i] = static_cast<std::uint16_t>(spill++ % part.lp_count);
+  }
+
+  part.lp_of = std::move(owner);
+  for (std::size_t i = 0; i < n; ++i) {
+    part.members[part.lp_of[i]].push_back(static_cast<NodeId>(i));
+  }
+
+  std::vector<bool> boundary(n, false);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const NodeId v : topology.neighbors(static_cast<NodeId>(u))) {
+      if (part.lp_of[u] == part.lp_of[v]) continue;
+      boundary[u] = true;
+      if (u < v) ++part.cut_edges;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (boundary[i]) part.boundary_nodes.push_back(static_cast<NodeId>(i));
+  }
+  return part;
+}
+
+}  // namespace dophy::net::pdes

@@ -1,0 +1,40 @@
+#pragma once
+
+// Spatial LP partition of the radio graph.  Greedy multi-source BFS
+// clustering: seeds are chosen farthest-point-first by hop distance (the
+// sink seeds LP 0), then the seeds' BFS frontiers expand round-robin so
+// clusters come out contiguous and roughly balanced.  Deterministic — it
+// depends only on the topology, never on thread count or timing, which is
+// what makes parallel runs replayable.
+
+#include <cstdint>
+#include <vector>
+
+#include "dophy/net/topology.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net::pdes {
+
+struct Partition {
+  std::uint32_t lp_count = 1;
+  /// lp_of[node] — every node is assigned (disconnected nodes round-robin).
+  std::vector<std::uint16_t> lp_of;
+  /// Nodes per LP in ascending id order.
+  std::vector<std::vector<NodeId>> members;
+  /// Undirected topology edges whose endpoints landed in different LPs.
+  std::size_t cut_edges = 0;
+  /// Nodes incident to at least one cut edge, ascending — the only nodes
+  /// whose liveness a remote LP ever reads (barrier-refreshed snapshot).
+  std::vector<NodeId> boundary_nodes;
+
+  [[nodiscard]] std::size_t largest_lp() const {
+    std::size_t best = 0;
+    for (const auto& m : members) best = m.size() > best ? m.size() : best;
+    return best;
+  }
+};
+
+/// Builds a `lp_count`-way partition (clamped to [1, node_count]).
+[[nodiscard]] Partition build_partition(const Topology& topology, std::uint32_t lp_count);
+
+}  // namespace dophy::net::pdes

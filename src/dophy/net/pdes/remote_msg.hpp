@@ -1,0 +1,37 @@
+#pragma once
+
+// Cross-LP message payloads.  A RemoteMsg travels through one (src, dst)
+// SpscMailbox and is converted into a typed event on the destination shard's
+// queue at the barrier drain.  Both message kinds carry a delivery time at
+// least one lookahead past the send time, which is what makes the
+// conservative windows safe.
+
+#include <cstdint>
+
+#include "dophy/net/packet.hpp"
+#include "dophy/net/types.hpp"
+
+namespace dophy::net::pdes {
+
+struct RemoteMsg {
+  enum class Kind : std::uint8_t {
+    kBeacon,   ///< routing beacon heard across a cut link
+    kArrival,  ///< delivered unicast data frame crossing a cut link
+  };
+
+  Kind kind = Kind::kBeacon;
+  SimTime at = 0;          ///< delivery time on the destination shard
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+
+  // kBeacon fields.
+  std::uint16_t beacon_seq = 0;
+  double advertised_etx = 0.0;
+
+  // kArrival fields.
+  std::uint32_t attempts_to_first_rx = 0;
+  std::uint32_t total_attempts = 0;
+  Packet packet;  ///< moved across the LP boundary (kArrival only)
+};
+
+}  // namespace dophy::net::pdes

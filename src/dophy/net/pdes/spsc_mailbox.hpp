@@ -1,0 +1,96 @@
+#pragma once
+
+// Bounded single-producer/single-consumer mailbox for cross-LP events.
+//
+// Each ordered LP pair (src, dst) owns one mailbox: the thread executing LP
+// `src` is the only producer during a conservative window, and the barrier
+// drain (all LPs quiescent) is the only consumer.  The hot path is a
+// power-of-two ring with acquire/release head/tail — no locks, no
+// allocation.  When a burst overflows the ring, messages spill to a
+// mutex-guarded vector; FIFO order is preserved by keeping the producer in
+// spill mode until the next drain empties both (cross-LP message order
+// within a pair is part of the deterministic replay contract, so the
+// overflow path must not reorder).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dophy::net::pdes {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  /// `capacity_pow2` must be a power of two (ring slot count).
+  explicit SpscMailbox(std::size_t capacity_pow2 = 256)
+      : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    static_assert(std::atomic<std::size_t>::is_always_lock_free);
+  }
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer side.  Never blocks and never fails; a full ring diverts to
+  /// the overflow spill (counted, so pressure is observable).
+  void push(T value) {
+    if (!spilling_) {
+      const std::size_t tail = tail_.load(std::memory_order_relaxed);
+      const std::size_t head = head_.load(std::memory_order_acquire);
+      if (tail - head < slots_.size()) {
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return;
+      }
+      spilling_ = true;  // producer-private; consumer resets it at drain
+    }
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    overflow_.push_back(std::move(value));
+    ++spilled_;
+  }
+
+  /// Consumer side: moves every pending message into `out` in FIFO order.
+  /// Must only run while the producer is quiescent (barrier context) —
+  /// that is what allows it to reset the producer's spill flag.
+  void drain_into(std::vector<T>& out) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    for (; head != tail; ++head) {
+      out.push_back(std::move(slots_[head & mask_]));
+    }
+    head_.store(head, std::memory_order_release);
+    if (spilling_) {
+      const std::lock_guard<std::mutex> lock(overflow_mutex_);
+      for (T& v : overflow_) out.push_back(std::move(v));
+      overflow_.clear();
+      spilling_ = false;
+    }
+  }
+
+  /// True when nothing is pending (barrier context only).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           !spilling_;
+  }
+
+  /// Messages that took the overflow path since construction (ring-sizing
+  /// telemetry).
+  [[nodiscard]] std::uint64_t spilled_count() const noexcept { return spilled_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  /// Head/tail on separate cache lines: the producer writes tail_ every
+  /// push, the consumer writes head_ every drain.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  bool spilling_ = false;
+  std::uint64_t spilled_ = 0;
+  std::mutex overflow_mutex_;
+  std::vector<T> overflow_;
+};
+
+}  // namespace dophy::net::pdes

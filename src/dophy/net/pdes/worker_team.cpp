@@ -1,0 +1,87 @@
+#include "dophy/net/pdes/worker_team.hpp"
+
+namespace dophy::net::pdes {
+
+namespace {
+/// Spin budget before a worker parks on the condvar.  Small on purpose: on
+/// an oversubscribed box (more team threads than cores) yielding quickly is
+/// what lets the sibling holding the next job actually run.
+constexpr int kSpinIters = 256;
+}  // namespace
+
+WorkerTeam::WorkerTeam(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  stop_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerTeam::run(std::size_t jobs, JobFn fn, void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  jobs_ = jobs;
+  next_.store(0, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  // The epoch bump is the release that publishes fn_/ctx_/jobs_ to workers.
+  // Always bump under the mutex: a worker checks the epoch under this mutex
+  // right before parking, so bumping outside it could slip between that
+  // check and the wait (classic store-buffering deadlock).  Uncontended
+  // lock + empty notify_all costs nanoseconds per window.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  if (sleepers_.load(std::memory_order_acquire) != 0) wake_.notify_all();
+  work();
+  // Wait for every worker to finish the epoch: afterwards none of them can
+  // touch fn_/jobs_/next_ again, so the next run() may overwrite freely.
+  while (done_.load(std::memory_order_acquire) != workers_.size()) {
+    std::this_thread::yield();
+  }
+}
+
+void WorkerTeam::work() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs_) return;
+    fn_(ctx_, i);
+  }
+}
+
+void WorkerTeam::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for a new epoch: spin a little, then park.
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (++spins < kSpinIters) {
+        std::this_thread::yield();
+        continue;
+      }
+      sleepers_.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+      }
+      sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+      break;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    work();
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace dophy::net::pdes

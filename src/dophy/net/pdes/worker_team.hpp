@@ -1,0 +1,58 @@
+#pragma once
+
+// Persistent worker team for the conservative window loop.  A PDES window is
+// microseconds of work per LP; a ThreadPool round-trip (mutex + condvar per
+// task) per window would dominate, so the team keeps its workers parked on
+// an epoch counter: run() publishes a job set, bumps the epoch, participates
+// from the calling thread, and returns only after every worker has finished
+// the epoch (so no stale worker can race the next window's job publication).
+// Workers spin briefly on the epoch then fall back to a condvar — busy
+// windows never syscall, idle stretches never burn a core.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dophy::net::pdes {
+
+class WorkerTeam {
+ public:
+  /// Job callback: `fn(ctx, job_index)`.  A plain function pointer — run()
+  /// is called once per window and must not allocate.
+  using JobFn = void (*)(void* ctx, std::size_t job);
+
+  /// `threads` is the total parallelism including the calling thread, so the
+  /// team spawns `threads - 1` workers.
+  explicit WorkerTeam(std::size_t threads);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  /// Runs fn(ctx, i) for i in [0, jobs); jobs are claimed dynamically.
+  /// Blocks until all jobs are done AND every worker has left the epoch.
+  void run(std::size_t jobs, JobFn fn, void* ctx);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+ private:
+  void worker_loop();
+  void work();
+
+  JobFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> done_{0};      ///< workers finished with the current epoch
+  std::atomic<std::size_t> sleepers_{0};  ///< workers parked on the condvar
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dophy::net::pdes

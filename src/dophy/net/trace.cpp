@@ -24,6 +24,23 @@ double TraceCollector::delivery_ratio() const noexcept {
   return total == 0 ? 1.0 : static_cast<double>(delivered_) / static_cast<double>(total);
 }
 
+void TraceCollector::merge_from(const TraceCollector& other) {
+  if (per_origin_.size() < other.per_origin_.size()) {
+    per_origin_.resize(other.per_origin_.size());
+  }
+  for (std::size_t i = 0; i < other.per_origin_.size(); ++i) {
+    per_origin_[i].generated += other.per_origin_[i].generated;
+    per_origin_[i].delivered += other.per_origin_[i].delivered;
+  }
+  latency_.merge(other.latency_);
+  hops_.merge(other.hops_);
+  delivered_ += other.delivered_;
+  dropped_ += other.dropped_;
+  if (store_outcomes_) {
+    outcomes_.insert(outcomes_.end(), other.outcomes_.begin(), other.outcomes_.end());
+  }
+}
+
 void TraceCollector::clear() noexcept {
   outcomes_.clear();
   per_origin_.clear();

@@ -80,6 +80,11 @@ class TraceCollector {
     return per_origin_;
   }
 
+  /// Folds another collector's tallies (and, when this collector stores
+  /// outcomes, copies of its outcome records) into this one.  Used to build
+  /// the merged view over per-LP collectors after a parallel run.
+  void merge_from(const TraceCollector& other);
+
   void clear() noexcept;
 
  private:

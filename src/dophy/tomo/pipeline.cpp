@@ -91,7 +91,16 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   const ModelStore& sink_store =
       hash_mode ? hash_instr->store(kSinkId) : id_instr->store(kSinkId);
 
-  Network net(config.net, instr_ptr);
+  // The invariant checker installs a simulator trace hook and the fault /
+  // trickle subsystems schedule through net.sim() directly; all three are
+  // serial-only.  Drop to the serial engine rather than crash mid-run.
+  dophy::net::NetworkConfig net_config = config.net;
+  if (config.check.enabled || dophy::check::global_enabled() || config.faults.enabled ||
+      config.dophy.use_trickle_dissemination) {
+    net_config.pdes.lp_count = 1;
+  }
+
+  Network net(net_config, instr_ptr);
   const std::size_t node_count = net.node_count();
 
   // --- Invariant oracle ----------------------------------------------------
@@ -288,7 +297,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   snapshot_truth();
   if (config.truth_tail_fraction < 1.0 && config.truth_tail_fraction > 0.0) {
     const double lead_s = config.measure_s * (1.0 - config.truth_tail_fraction);
-    net.sim().schedule_in(static_cast<SimTime>(lead_s * 1e6), snapshot_truth);
+    net.schedule_global_in(static_cast<SimTime>(lead_s * 1e6), snapshot_truth);
   }
   const std::uint64_t parent_changes_start = net.stats().parent_changes;
   const std::uint64_t generated_start = net.stats().packets_generated;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -64,6 +67,80 @@ TEST(ParallelFor, SequentialReuse) {
 
 TEST(GlobalPool, SingletonIdentity) {
   EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsDefinedNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.shutdown();
+  const int before = counter.load();
+  pool.submit([&counter] { counter.fetch_add(100); });  // dropped, not queued
+  pool.wait_idle();                                     // returns immediately
+  EXPECT_EQ(counter.load(), before);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(SmallTask, InlinesSmallCapturesAndBoxesLargeOnes) {
+  int hit = 0;
+  SmallTask small([&hit] { hit = 1; });
+  EXPECT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(hit, 1);
+
+  // A capture larger than the inline buffer must still work (heap box).
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 7;
+  std::uint64_t out = 0;
+  SmallTask boxed([big, &out] { out = big[15]; });
+  boxed();
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(SmallTask, MoveTransfersOwnership) {
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  SmallTask a([p = std::move(payload), &seen] { seen = *p; });
+  SmallTask b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  SmallTask c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SmallTask, DestroysCaptureWithoutInvocation) {
+  auto tracker = std::make_shared<int>(0);
+  EXPECT_EQ(tracker.use_count(), 1);
+  {
+    SmallTask t([tracker] { (void)tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(SmallTask, PoolRunsMoveOnlyTasks) {
+  // std::function cannot hold move-only callables; SmallTask storage lets
+  // submit() accept them directly.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 8; ++i) {
+    auto p = std::make_unique<int>(i);
+    pool.submit(SmallTask([p = std::move(p), &total] { total.fetch_add(*p); }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+#include "dophy/net/pdes/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/net/topology.hpp"
+
+namespace dophy::net::pdes {
+namespace {
+
+Topology make_topology(std::size_t nodes, std::uint64_t seed = 7) {
+  TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.field_size = 150.0;
+  cfg.comm_range = 40.0;
+  dophy::common::Rng rng(seed);
+  return Topology::generate(cfg, rng);
+}
+
+TEST(Partition, SingleLpIsTrivial) {
+  const Topology topo = make_topology(40);
+  const Partition p = build_partition(topo, 1);
+  EXPECT_EQ(p.lp_count, 1u);
+  ASSERT_EQ(p.lp_of.size(), topo.node_count());
+  for (const auto lp : p.lp_of) EXPECT_EQ(lp, 0);
+  EXPECT_EQ(p.cut_edges, 0u);
+  EXPECT_TRUE(p.boundary_nodes.empty());
+  EXPECT_EQ(p.members[0].size(), topo.node_count());
+}
+
+TEST(Partition, EveryNodeAssignedExactlyOnce) {
+  const Topology topo = make_topology(60);
+  const Partition p = build_partition(topo, 4);
+  ASSERT_EQ(p.lp_count, 4u);
+  std::set<NodeId> seen;
+  for (std::uint32_t lp = 0; lp < p.lp_count; ++lp) {
+    for (const NodeId id : p.members[lp]) {
+      EXPECT_TRUE(seen.insert(id).second) << "node " << id << " in two LPs";
+      EXPECT_EQ(p.lp_of[id], lp);
+    }
+  }
+  EXPECT_EQ(seen.size(), topo.node_count());
+}
+
+TEST(Partition, SinkSeedsLpZero) {
+  const Topology topo = make_topology(50);
+  const Partition p = build_partition(topo, 4);
+  EXPECT_EQ(p.lp_of[kSinkId], 0);
+}
+
+TEST(Partition, BoundaryAndCutEdgesConsistent) {
+  const Topology topo = make_topology(60);
+  const Partition p = build_partition(topo, 4);
+  std::size_t cut = 0;
+  std::set<NodeId> boundary;
+  for (std::size_t u = 0; u < topo.node_count(); ++u) {
+    for (const NodeId v : topo.neighbors(static_cast<NodeId>(u))) {
+      if (p.lp_of[u] == p.lp_of[v]) continue;
+      boundary.insert(static_cast<NodeId>(u));
+      if (v > u) ++cut;  // count each undirected pair once
+    }
+  }
+  EXPECT_EQ(p.cut_edges, cut);
+  EXPECT_EQ(std::set<NodeId>(p.boundary_nodes.begin(), p.boundary_nodes.end()), boundary);
+}
+
+TEST(Partition, RoughlyBalanced) {
+  const Topology topo = make_topology(120);
+  const Partition p = build_partition(topo, 4);
+  // Greedy BFS growth with round-robin frontiers: no LP should end up empty,
+  // and the largest should stay within a loose factor of ideal.
+  for (std::uint32_t lp = 0; lp < p.lp_count; ++lp) {
+    EXPECT_FALSE(p.members[lp].empty()) << "LP " << lp << " empty";
+  }
+  EXPECT_LE(p.largest_lp(), topo.node_count());
+  EXPECT_LE(p.largest_lp(), 3 * topo.node_count() / p.lp_count);
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const Topology topo = make_topology(80);
+  const Partition a = build_partition(topo, 8);
+  const Partition b = build_partition(topo, 8);
+  EXPECT_EQ(a.lp_of, b.lp_of);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+  EXPECT_EQ(a.boundary_nodes, b.boundary_nodes);
+}
+
+TEST(Partition, MoreLpsThanNodesClampsGracefully) {
+  TopologyConfig cfg;
+  cfg.node_count = 12;
+  cfg.field_size = 60.0;
+  cfg.comm_range = 40.0;
+  dophy::common::Rng rng(7);
+  const Topology topo = Topology::generate(cfg, rng);
+  const Partition p = build_partition(topo, 8);
+  std::size_t assigned = 0;
+  for (const auto& m : p.members) assigned += m.size();
+  EXPECT_EQ(assigned, topo.node_count());
+}
+
+}  // namespace
+}  // namespace dophy::net::pdes

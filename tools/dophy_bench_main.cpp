@@ -14,6 +14,10 @@
 // Options (run):
 //   --trials N            Monte-Carlo trials per sweep point (default per-spec)
 //   --nodes N             network size where applicable (default per-spec)
+//   --sim-threads N       run each simulation on the PDES engine with N
+//                         LPs/threads; shrinks cell-level parallelism to
+//                         hw/N and bypasses the result cache (parallel-engine
+//                         results are lp_count-dependent)
 //   --quick               cut simulated durations ~4x for smoke runs
 //   --csv                 emit CSV instead of the aligned table
 //   --out-dir DIR         write per-experiment files instead of stdout
@@ -57,7 +61,8 @@ using dophy::eval::ExperimentRegistry;
 int usage(int code) {
   auto& os = code == 0 ? std::cout : std::cerr;
   os << "usage: dophy_bench list [--markdown]\n"
-        "       dophy_bench run [ID...] [--all] [--trials N] [--nodes N] [--quick]\n"
+        "       dophy_bench run [ID...] [--all] [--trials N] [--nodes N]\n"
+        "                       [--sim-threads N] [--quick]\n"
         "                       [--csv] [--out-dir DIR] [--cache-dir DIR] [--no-cache]\n"
         "                       [--force] [--resume] [--shard I/N] [--manifest PATH]\n"
         "                       [--metrics-json PATH] [--trace-jsonl PATH]\n"
@@ -74,6 +79,7 @@ struct CliOptions {
   bool all = false;
   std::size_t trials = 0;
   std::size_t nodes = 0;
+  std::size_t sim_threads = 0;
   bool quick = false;
   bool csv = false;
   bool check = false;
@@ -150,6 +156,11 @@ int run_command(const CliOptions& opts) {
   sweep.shard_count = opts.shard_count;
   sweep.cache = cache ? &*cache : nullptr;
   sweep.force = force;
+  sweep.sim_threads = opts.sim_threads;
+  if (opts.sim_threads > 1 && cache) {
+    std::cerr << "note: --sim-threads > 1 bypasses the result cache "
+                 "(parallel-engine results are lp_count-dependent)\n";
+  }
 
   const bool to_files = !opts.out_dir.empty() || selected.size() > 1;
   const std::string out_dir = opts.out_dir.empty() ? "results" : opts.out_dir;
@@ -283,6 +294,8 @@ int main(int argc, char** argv) {
       opts.trials = next_value();
     } else if (a == "--nodes") {
       opts.nodes = next_value();
+    } else if (a == "--sim-threads") {
+      opts.sim_threads = next_value();
     } else if (a == "--quick") {
       opts.quick = true;
     } else if (a == "--csv") {
