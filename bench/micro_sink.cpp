@@ -1,0 +1,160 @@
+// T2c — Streaming-sink microbenchmarks (google-benchmark): incremental MLE
+// update rate on raw hop observations, the full decode+update path over
+// pre-encoded packets, ingest-queue push/drain throughput, and the
+// end-to-end SinkService ingest rate (bounded queue, consumer thread,
+// batched decode).  Rows are pinned into bench/BENCH_sim.json and gated by
+// scripts/bench_compare.py like the simulator/codec suites.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/sink/incremental_mle.hpp"
+#include "dophy/sink/ingest_queue.hpp"
+#include "dophy/sink/service.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/link_inference.hpp"
+
+namespace {
+
+using dophy::common::Rng;
+using dophy::net::kSinkId;
+using dophy::net::LinkKey;
+using dophy::net::NodeId;
+
+constexpr std::size_t kNodes = 50;
+constexpr std::uint32_t kK = 4;
+
+std::vector<std::pair<LinkKey, dophy::tomo::HopObservation>> make_observations(
+    std::size_t count) {
+  Rng rng(17);
+  std::vector<std::pair<LinkKey, dophy::tomo::HopObservation>> obs;
+  obs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const LinkKey link{static_cast<NodeId>(1 + rng.next_below(kNodes - 1)),
+                       static_cast<NodeId>(rng.next_below(kNodes - 1))};
+    const auto t = 1 + static_cast<std::uint32_t>(rng.next_below(kK + 3));
+    obs.push_back({link, {t >= kK ? kK : t, t >= kK}});
+  }
+  return obs;
+}
+
+/// Delivered packets encoded through the real instrumentation, outside the
+/// timed region.
+std::vector<dophy::sink::StreamRecord> make_reports(dophy::tomo::DophyInstrumentation& instr,
+                                                    std::size_t count) {
+  Rng rng(23);
+  std::vector<dophy::sink::StreamRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    dophy::net::Packet packet;
+    const auto origin = static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+    packet.origin = origin;
+    packet.seq = static_cast<std::uint16_t>(i);
+    instr.on_origin(packet, origin, 0);
+    NodeId sender = origin;
+    const std::size_t len = 1 + rng.next_below(5);
+    for (std::size_t h = 0; h < len; ++h) {
+      const NodeId receiver =
+          h + 1 == len ? kSinkId : static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+      instr.on_hop_received(packet, receiver, sender,
+                            1 + static_cast<std::uint32_t>(rng.next_below(kK + 3)), 0);
+      sender = receiver;
+    }
+    dophy::sink::StreamRecord rec;
+    rec.kind = dophy::sink::StreamRecord::Kind::kReport;
+    rec.report.packet = std::move(packet);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+// Pure estimator arithmetic: one sharded-map update per hop observation.
+void SinkMleUpdate(benchmark::State& state) {
+  const auto obs = make_observations(4096);
+  dophy::sink::ShardedLinkEstimator est(kK);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    for (int n = 0; n < 64; ++n) {
+      est.observe(obs[i].first, obs[i].second);
+      i = (i + 1) % obs.size();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  benchmark::DoNotOptimize(est.link_count());
+}
+BENCHMARK(SinkMleUpdate);
+
+// The consumer's per-report work: decode the in-packet stream, fold every
+// hop into the estimator.  This bounds single-thread sink throughput.
+void SinkDecodeAndUpdate(benchmark::State& state) {
+  const dophy::tomo::SymbolMapper mapper(kK);
+  dophy::tomo::DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_reports(instr, 1024);
+  dophy::tomo::DophyDecoder decoder(instr.store(kSinkId), mapper);
+  dophy::sink::ShardedLinkEstimator est(kK);
+  std::size_t i = 0;
+  std::uint64_t failures = 0;
+  for (auto _ : state) {
+    for (int n = 0; n < 16; ++n) {
+      const auto decoded = decoder.decode(records[i].report.packet);
+      if (decoded) {
+        est.observe_path(*decoded);
+      } else {
+        ++failures;
+      }
+      i = (i + 1) % records.size();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+  if (failures > 0) state.SkipWithError("decode failures in benchmark stream");
+}
+BENCHMARK(SinkDecodeAndUpdate);
+
+// Queue transport alone: SPSC push + batched drain, no decode behind it.
+void SinkIngestQueuePushDrain(benchmark::State& state) {
+  dophy::sink::IngestQueue queue(4096, 1);
+  dophy::sink::StreamRecord rec;
+  std::vector<dophy::sink::StreamRecord> batch;
+  batch.reserve(64);
+  for (auto _ : state) {
+    for (int n = 0; n < 64; ++n) (void)queue.push(0, rec);
+    batch.clear();
+    benchmark::DoNotOptimize(queue.drain_into(batch, 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(SinkIngestQueuePushDrain);
+
+// End to end: producer thread (this one) submitting into a running service —
+// queue handoff + batched decode + estimator update on the consumer thread.
+void SinkServiceIngest(benchmark::State& state) {
+  const dophy::tomo::SymbolMapper mapper(kK);
+  dophy::tomo::DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_reports(instr, 1024);
+
+  dophy::sink::SinkServiceConfig config;
+  config.node_count = kNodes;
+  config.censor_threshold = kK;
+  dophy::sink::SinkService service(config);
+  service.start();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    for (int n = 0; n < 64; ++n) {
+      (void)service.submit(0, records[i]);
+      i = (i + 1) % records.size();
+    }
+  }
+  service.wait_idle();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  service.stop();
+  if (service.stats().decode_failures > 0) {
+    state.SkipWithError("decode failures in benchmark stream");
+  }
+}
+BENCHMARK(SinkServiceIngest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

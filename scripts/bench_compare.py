@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Perf-regression harness for the simulator/codec microbenchmarks.
+"""Perf-regression harness for the simulator/codec/sink microbenchmarks.
 
-Runs `micro_sim` and `micro_codec` (google-benchmark binaries), collects
+Runs `micro_sim`, `micro_codec`, and `micro_sink` (google-benchmark
+binaries), collects
 throughput counters plus peak RSS and the counting-allocator metrics, writes
 the combined `BENCH_sim.json`, and compares against the committed baseline
 (`bench/BENCH_sim.json` by default).  Exits non-zero when any gated metric
@@ -34,7 +35,7 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-BINARIES = ("micro_sim", "micro_codec")
+BINARIES = ("micro_sim", "micro_codec", "micro_sink")
 
 # google-benchmark entry fields / counters worth tracking.  Anything matching
 # LOWER_IS_BETTER gates in the "must not grow" direction; everything else is

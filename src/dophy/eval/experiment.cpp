@@ -86,6 +86,7 @@ void register_builtin_experiments(ExperimentRegistry& registry) {
   experiments::register_a3_pathmode(registry);
   experiments::register_a4_dissemination(registry);
   experiments::register_a5_detection(registry);
+  experiments::register_a6_sink_replay(registry);
 }
 
 CanonicalKey pipeline_cell_key(std::string_view experiment_id, std::string_view cell_label,

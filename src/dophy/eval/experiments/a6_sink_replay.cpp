@@ -1,0 +1,271 @@
+// A6 — Streaming-sink replay: throughput and exactness of the standing
+// ingestion service (dophy::sink) against the batch pipeline.
+//
+// Each trial records the sink-side stream of a pipeline run (model installs
+// + delivered packets, in arrival order) and replays it unpaced through
+// SinkService under the cell's ingest configuration.  Lossless cells
+// (kBlock) additionally run the batch tomo::LinkLossEstimator over the same
+// stream and report the worst estimate divergence — the incremental MLE is
+// exact, so anything above 1e-12 is a bug, not noise.  The drop-policy cell
+// shows bounded-latency shedding under a deliberately tiny ring.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dophy/common/stats.hpp"
+#include "dophy/eval/experiment.hpp"
+#include "dophy/eval/experiments/registrars.hpp"
+#include "dophy/eval/scenario.hpp"
+#include "dophy/sink/service.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::eval::experiments {
+
+namespace {
+
+using dophy::sink::OverflowPolicy;
+using dophy::sink::ReportStream;
+using dophy::sink::SinkService;
+using dophy::sink::SinkServiceConfig;
+using dophy::sink::StreamRecord;
+
+struct CellConfig {
+  std::size_t producers = 1;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  std::size_t queue_capacity = 4096;
+};
+
+/// Captures the sink-side stream during the recording run.
+class RecordingTap final : public dophy::tomo::SinkReportTap {
+ public:
+  void on_sink_install(const dophy::tomo::ModelSet& set) override {
+    StreamRecord rec;
+    rec.kind = StreamRecord::Kind::kModelInstall;
+    rec.model_bytes = set.serialize();
+    stream.records.push_back(std::move(rec));
+  }
+
+  void on_delivery(const dophy::net::Packet& packet, dophy::net::SimTime now,
+                   bool in_measure) override {
+    StreamRecord rec;
+    rec.kind = StreamRecord::Kind::kReport;
+    rec.report.packet = packet;
+    rec.report.packet.true_hops.clear();  // simulator-only ground truth
+    rec.report.packet.span = 0;
+    rec.report.recv_time = now;
+    rec.report.in_measure = in_measure;
+    stream.records.push_back(std::move(rec));
+  }
+
+  ReportStream stream;
+};
+
+ReportStream record_stream(std::size_t nodes, std::uint64_t seed, bool quick) {
+  auto config = dophy::eval::default_pipeline(nodes, seed);
+  config.warmup_s = quick ? 120.0 : 300.0;
+  config.measure_s = quick ? 300.0 : 900.0;
+  config.run_baselines = false;  // the stream only needs the Dophy path
+
+  RecordingTap tap;
+  tap.stream.node_count = config.net.topology.node_count;
+  tap.stream.censor_threshold = config.dophy.censor_threshold;
+  tap.stream.max_hops = static_cast<std::uint16_t>(config.net.traffic.max_hops + 2);
+  config.report_tap = &tap;
+  (void)dophy::tomo::run_pipeline(config);
+  return std::move(tap.stream);
+}
+
+struct TrialResult {
+  double reports = 0.0;
+  double reports_per_s = 0.0;
+  double dropped = 0.0;
+  double max_delta = 0.0;  ///< vs batch; only meaningful when lossless
+  bool diverged = false;
+};
+
+TrialResult run_trial(const ReportStream& stream, const CellConfig& cell) {
+  SinkServiceConfig cfg;
+  cfg.node_count = stream.node_count;
+  cfg.censor_threshold = stream.censor_threshold;
+  cfg.max_hops = stream.max_hops;
+  cfg.producers = cell.producers;
+  cfg.queue_capacity = cell.queue_capacity;
+  cfg.overflow_policy = cell.policy;
+
+  SinkService service(cfg);
+  service.start();
+
+  // Reports fan out round-robin over producer lanes (one thread per lane);
+  // every model install is an idle barrier so the install/report order
+  // matches the recording exactly.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::vector<const StreamRecord*>> segment(cell.producers);
+  std::size_t next_lane = 0;
+  auto flush_segment = [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(cell.producers);
+    for (std::size_t lane = 0; lane < cell.producers; ++lane) {
+      if (segment[lane].empty()) continue;
+      threads.emplace_back([&, lane] {
+        for (const StreamRecord* rec : segment[lane]) (void)service.submit(lane, *rec);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& lane : segment) lane.clear();
+  };
+  for (const StreamRecord& rec : stream.records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      flush_segment();
+      service.wait_idle();
+      (void)service.submit(0, rec);
+      // Barrier on both sides: per-lane FIFO alone would let another lane's
+      // report (already encoded with the new version) drain before the
+      // install does.
+      service.wait_idle();
+      continue;
+    }
+    segment[next_lane].push_back(&rec);
+    next_lane = (next_lane + 1) % cell.producers;
+  }
+  flush_segment();
+  service.wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  service.stop();
+
+  const auto stats = service.stats();
+  TrialResult result;
+  result.reports = static_cast<double>(stats.reports_processed);
+  result.reports_per_s =
+      elapsed > 0.0 ? static_cast<double>(stats.reports_processed) / elapsed : 0.0;
+  result.dropped = static_cast<double>(stats.queue.dropped);
+
+  if (cell.policy == OverflowPolicy::kBlock) {
+    // Differential: batch estimator over the identical stream.
+    dophy::tomo::ModelStore store;
+    const dophy::tomo::SymbolMapper mapper(stream.censor_threshold);
+    store.install(
+        dophy::tomo::ModelSet::bootstrap(stream.node_count, mapper.alphabet_size()));
+    dophy::tomo::DophyDecoder decoder(store, mapper, stream.max_hops);
+    dophy::tomo::LinkLossEstimator batch(stream.censor_threshold);
+    for (const StreamRecord& rec : stream.records) {
+      if (rec.kind == StreamRecord::Kind::kModelInstall) {
+        store.install(dophy::tomo::ModelSet::deserialize(rec.model_bytes));
+        continue;
+      }
+      auto decoded = decoder.decode(rec.report.packet);
+      if (decoded && rec.report.in_measure) batch.observe_path(*decoded);
+    }
+    const auto batch_links = batch.all_estimates();
+    const auto inc_links = service.all_estimates();
+    result.diverged = batch_links.size() != inc_links.size();
+    for (std::size_t i = 0; !result.diverged && i < batch_links.size(); ++i) {
+      const auto& [bk, be] = batch_links[i];
+      const auto& [ik, ie] = inc_links[i];
+      if (bk != ik) {
+        result.diverged = true;
+        break;
+      }
+      result.max_delta = std::max({result.max_delta, std::fabs(be.loss - ie.loss),
+                                   std::fabs(be.stderr_ - ie.stderr_)});
+    }
+  }
+  return result;
+}
+
+RowSet compute_cell(std::size_t nodes, const CellConfig& cell, const std::string& label,
+                    std::size_t trials, bool quick) {
+  dophy::common::RunningStats reports, rate, dropped;
+  double max_delta = 0.0;
+  bool diverged = false;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto stream = record_stream(nodes, 240 + t, quick);
+    const auto r = run_trial(stream, cell);
+    reports.add(r.reports);
+    rate.add(r.reports_per_s);
+    dropped.add(r.dropped);
+    max_delta = std::max(max_delta, r.max_delta);
+    diverged = diverged || r.diverged;
+  }
+  const bool lossless = cell.policy == OverflowPolicy::kBlock;
+  char delta_text[32];
+  std::snprintf(delta_text, sizeof(delta_text), "%.3e", max_delta);
+  RowSet rows;
+  rows.row()
+      .cell(label)
+      .cell(reports.mean(), 0)
+      .cell(rate.mean(), 0)
+      .cell(dropped.mean(), 0)
+      .cell(lossless ? (diverged ? std::string("DIVERGED") : std::string(delta_text))
+                     : std::string("-"));
+  return rows;
+}
+
+}  // namespace
+
+void register_a6_sink_replay(ExperimentRegistry& registry) {
+  ExperimentSpec spec;
+  spec.id = "a6-sink-replay";
+  spec.figure = "A6";
+  spec.claim =
+      "The streaming sink service sustains >= 1e5 reports/s and its "
+      "incremental MLE is exact against the batch estimator";
+  spec.axes = "ingest config in {1p-block, 2p-block, 4p-block, 1p-drop-tiny}";
+  spec.title = "A6: sink replay throughput and incremental-vs-batch exactness";
+  spec.output_stem = "fig_sink_replay";
+  spec.default_trials = 3;
+  spec.default_nodes = 50;
+  spec.columns = {"ingest", "reports", "reports_per_s", "dropped", "max_abs_delta"};
+  spec.expected =
+      "\nExpected shape: every lossless (block-policy) configuration agrees\n"
+      "with the batch estimator to <= 1e-12 — the sufficient statistics are\n"
+      "order-invariant, so producer count cannot matter.  Replay throughput\n"
+      "sits far above any deployment's report rate (the sink is not the\n"
+      "bottleneck).  The tiny drop-policy ring sheds load instead of\n"
+      "blocking; its divergence column is '-' because shedding makes the\n"
+      "accepted subset nondeterministic across producer interleavings.\n";
+  spec.make_cells = [id = spec.id](const SweepContext& ctx) {
+    struct Axis {
+      const char* label;
+      CellConfig config;
+    };
+    const Axis axes[] = {
+        {"1p-block", {1, OverflowPolicy::kBlock, 4096}},
+        {"2p-block", {2, OverflowPolicy::kBlock, 4096}},
+        {"4p-block", {4, OverflowPolicy::kBlock, 4096}},
+        {"1p-drop-tiny", {1, OverflowPolicy::kDropNewest, 64}},
+    };
+    std::vector<Cell> cells;
+    for (const auto& axis : axes) {
+      Cell cell;
+      cell.label = std::string("ingest=") + axis.label;
+      cell.key = pipeline_cell_key(id, cell.label,
+                                   dophy::eval::default_pipeline(ctx.nodes, 240),
+                                   ctx.trials, /*base_seed=*/240);
+      cell.key.set("seed.formula", "240+trial")
+          .set("producers", static_cast<std::uint64_t>(axis.config.producers))
+          .set("policy",
+               axis.config.policy == OverflowPolicy::kBlock ? "block" : "drop")
+          .set("queue_capacity",
+               static_cast<std::uint64_t>(axis.config.queue_capacity))
+          .set("quick", ctx.quick);
+      cell.compute = [nodes = ctx.nodes, config = axis.config,
+                      label = std::string(axis.label), trials = ctx.trials,
+                      quick = ctx.quick](const CellContext&) {
+        return compute_cell(nodes, config, label, trials, quick);
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace dophy::eval::experiments

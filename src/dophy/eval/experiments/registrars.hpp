@@ -44,5 +44,7 @@ void register_a3_pathmode(ExperimentRegistry& registry);
 void register_a4_dissemination(ExperimentRegistry& registry);
 /// Registers A5 (link-degradation detection latency).
 void register_a5_detection(ExperimentRegistry& registry);
+/// Registers A6 (streaming-sink replay throughput and exactness).
+void register_a6_sink_replay(ExperimentRegistry& registry);
 
 }  // namespace dophy::eval::experiments

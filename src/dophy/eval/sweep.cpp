@@ -62,6 +62,11 @@ ExperimentRun run_experiment(const ExperimentSpec& spec, const SweepOptions& opt
   // results depend on lp_count, so sim_threads > 1 neither reads nor writes
   // it — mixing the two would poison serial replays.
   const bool cacheable = opts.sim_threads <= 1;
+  if (!cacheable && opts.cache != nullptr) {
+    run.cache_bypassed = true;
+    run.cache_bypass_reason =
+        "sim_threads > 1: parallel-engine results are lp_count-dependent";
+  }
 
   std::vector<CellOutcome> outcomes(cells.size());
   std::vector<std::size_t> to_compute;
@@ -250,6 +255,10 @@ std::string manifest_json(const std::vector<ExperimentRun>& runs,
     w.key("cells_owned").value(static_cast<std::uint64_t>(run.cells_owned));
     w.key("cache_hits").value(static_cast<std::uint64_t>(run.cache_hits));
     w.key("cells_computed").value(static_cast<std::uint64_t>(run.cells_computed));
+    if (run.cache_bypassed) {
+      w.key("cache_bypassed").value(true);
+      w.key("cache_bypass_reason").value(run.cache_bypass_reason);
+    }
     w.key("wall_seconds").value(run.wall_seconds);
     w.end_object();
   }

@@ -57,6 +57,12 @@ struct ExperimentRun {
   std::size_t cache_hits = 0;     ///< owned cells replayed from the cache
   std::size_t cells_computed = 0; ///< owned cells computed this run
   double wall_seconds = 0.0;      ///< wall clock of the whole sweep
+  /// True when the run neither read nor wrote the result store even though
+  /// one was configured (today: sim_threads > 1, whose results are
+  /// lp_count-dependent).  Surfaced in the manifest so "0 hits" reads as a
+  /// deliberate bypass rather than a cold cache.
+  bool cache_bypassed = false;
+  std::string cache_bypass_reason;  ///< empty unless cache_bypassed
 };
 
 /// Executes `spec` under `opts`; see the file comment for the execution

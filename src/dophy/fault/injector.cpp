@@ -231,35 +231,50 @@ void FaultInjector::mutate_report(Packet& packet, SimTime now) {
   for (const ReportWindow& window : windows_) {
     if (now >= window.until) continue;
     if (!rng_.bernoulli(window.probability)) continue;
+    if (!mutate_blob(packet.blob, window.kind, rng_)) continue;
     switch (window.kind) {
       case FaultKind::kReportDrop:
-        if (packet.blob.dropped) break;
-        packet.blob.bytes.clear();
-        packet.blob.logical_bits = 0;
-        packet.blob.state_size = 0;
-        packet.blob.dropped = true;
         note("report_drop", m.reports_dropped, stats_.reports_dropped);
         break;
-      case FaultKind::kReportTruncate: {
-        if (packet.blob.bytes.empty()) break;
-        const std::size_t cut = 1 + rng_.next_below(packet.blob.bytes.size());
-        packet.blob.bytes.resize(packet.blob.bytes.size() - cut);
+      case FaultKind::kReportTruncate:
         note("report_truncate", m.reports_truncated, stats_.reports_truncated);
         break;
-      }
-      case FaultKind::kReportCorrupt: {
-        if (packet.blob.bytes.empty()) break;
-        const std::size_t flips = 1 + rng_.next_below(3);
-        for (std::size_t i = 0; i < flips; ++i) {
-          const std::size_t bit = rng_.next_below(packet.blob.bytes.size() * 8);
-          packet.blob.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-        }
+      case FaultKind::kReportCorrupt:
         note("report_corrupt", m.reports_corrupted, stats_.reports_corrupted);
         break;
-      }
       default:
         break;
     }
+  }
+}
+
+bool mutate_blob(dophy::net::MeasurementBlob& blob, FaultKind kind,
+                 dophy::common::Rng& rng) {
+  switch (kind) {
+    case FaultKind::kReportDrop:
+      if (blob.dropped) return false;
+      blob.bytes.clear();
+      blob.logical_bits = 0;
+      blob.state_size = 0;
+      blob.dropped = true;
+      return true;
+    case FaultKind::kReportTruncate: {
+      if (blob.bytes.empty()) return false;
+      const std::size_t cut = 1 + rng.next_below(blob.bytes.size());
+      blob.bytes.resize(blob.bytes.size() - cut);
+      return true;
+    }
+    case FaultKind::kReportCorrupt: {
+      if (blob.bytes.empty()) return false;
+      const std::size_t flips = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t bit = rng.next_below(blob.bytes.size() * 8);
+        blob.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      return true;
+    }
+    default:
+      return false;
   }
 }
 

@@ -34,6 +34,15 @@ struct FaultStats {
   }
 };
 
+/// Applies one report-fault kind to a measurement blob in place, drawing any
+/// randomness from `rng`; returns true when the blob changed (a drop on an
+/// already-dropped blob, or a truncate/corrupt on an empty one, is a no-op).
+/// This is the exact mutation the armed injector applies to in-flight
+/// reports — exposed so stream-level tests (e.g. the sink differential
+/// campaign) corrupt recorded reports through the same code path.
+[[nodiscard]] bool mutate_blob(dophy::net::MeasurementBlob& blob, FaultKind kind,
+                               dophy::common::Rng& rng);
+
 class FaultInjector {
  public:
   /// Binds `plan` to `net`.  Event times are relative to the simulator clock

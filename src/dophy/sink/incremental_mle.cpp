@@ -1,0 +1,221 @@
+#include "dophy/sink/incremental_mle.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "dophy/obs/json.hpp"
+
+namespace dophy::sink {
+
+using dophy::net::LinkKey;
+using dophy::net::LinkKeyHash;
+
+namespace {
+
+/// %.17g round-trips every finite double exactly through strtod; JSON-quoted
+/// so the %.9g number formatter in obs::JsonWriter never touches it.
+void exact_double(dophy::obs::JsonWriter& w, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  w.value(std::string_view(buf));
+}
+
+[[nodiscard]] bool parse_exact_double(const dophy::obs::JsonValue* v, double& out) {
+  if (v == nullptr || !v->is_string()) return false;
+  const char* begin = v->string.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end != begin && *end == '\0';
+}
+
+}  // namespace
+
+ShardedLinkEstimator::ShardedLinkEstimator(std::uint32_t censor_threshold, double decay,
+                                           std::size_t shard_count)
+    : k_(censor_threshold), decay_(decay) {
+  if (censor_threshold < 2) {
+    throw std::invalid_argument("ShardedLinkEstimator: K must be >= 2");
+  }
+  if (decay <= 0.0 || decay > 1.0) {
+    throw std::invalid_argument("ShardedLinkEstimator: decay must be in (0, 1]");
+  }
+  const std::size_t shards = std::bit_ceil(shard_count < 1 ? std::size_t{1} : shard_count);
+  shard_mask_ = shards - 1;
+  shards_ = std::vector<Shard>(shards);
+}
+
+ShardedLinkEstimator::Shard& ShardedLinkEstimator::shard_for(LinkKey link) const {
+  return shards_[LinkKeyHash{}(link)&shard_mask_];
+}
+
+void ShardedLinkEstimator::set_beta_prior(double a, double b) {
+  if (a < 0.0 || b < 0.0) {
+    throw std::invalid_argument("ShardedLinkEstimator::set_beta_prior: negative prior");
+  }
+  prior_a_ = a;
+  prior_b_ = b;
+}
+
+void ShardedLinkEstimator::observe(LinkKey link, const tomo::HopObservation& obs) {
+  Shard& shard = shard_for(link);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.links[link].observe(obs);
+}
+
+void ShardedLinkEstimator::observe_path(const tomo::DecodedPath& path) {
+  for (const tomo::DecodedHop& hop : path.hops) {
+    observe(LinkKey{hop.sender, hop.receiver}, hop.observation);
+  }
+}
+
+void ShardedLinkEstimator::end_epoch() {
+  if (decay_ >= 1.0) return;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [key, stats] : shard.links) stats.decay(decay_);
+  }
+}
+
+std::optional<tomo::LinkEstimate> ShardedLinkEstimator::estimate(LinkKey link) const {
+  const auto stat = stats(link);
+  if (!stat || !stat->has_support()) return std::nullopt;
+  return tomo::estimate_censored_geometric(*stat, k_, prior_a_, prior_b_);
+}
+
+std::vector<std::pair<LinkKey, tomo::LinkEstimate>> ShardedLinkEstimator::all_estimates() const {
+  std::vector<std::pair<LinkKey, tomo::LinkEstimate>> out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, stats] : shard.links) {
+      if (!stats.has_support()) continue;
+      out.emplace_back(key, tomo::estimate_censored_geometric(stats, k_, prior_a_, prior_b_));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::optional<tomo::GeometricSuffStats> ShardedLinkEstimator::stats(LinkKey link) const {
+  const Shard& shard = shard_for(link);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.links.find(link);
+  if (it == shard.links.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ShardedLinkEstimator::link_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.links.size();
+  }
+  return total;
+}
+
+void ShardedLinkEstimator::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.links.clear();
+  }
+}
+
+std::string ShardedLinkEstimator::snapshot_json() const {
+  // Links are emitted in sorted key order so equal states serialize to equal
+  // documents (snapshot files are diffable artifacts).
+  std::vector<std::pair<LinkKey, tomo::GeometricSuffStats>> links;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, stats] : shard.links) links.emplace_back(key, stats);
+  }
+  std::sort(links.begin(), links.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  dophy::obs::JsonWriter w;
+  w.begin_object();
+  w.key("format").value("dophy-sink-snapshot-v1");
+  w.key("k").value(k_);
+  w.key("decay");
+  exact_double(w, decay_);
+  w.key("prior_a");
+  exact_double(w, prior_a_);
+  w.key("prior_b");
+  exact_double(w, prior_b_);
+  w.key("shards").value(static_cast<std::uint64_t>(shards_.size()));
+  w.key("links").begin_array();
+  for (const auto& [key, stats] : links) {
+    w.begin_object();
+    w.key("from").value(static_cast<std::uint64_t>(key.from));
+    w.key("to").value(static_cast<std::uint64_t>(key.to));
+    w.key("u");
+    exact_double(w, stats.uncensored);
+    w.key("a");
+    exact_double(w, stats.attempts_sum);
+    w.key("c");
+    exact_double(w, stats.censored);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::optional<ShardedLinkEstimator> ShardedLinkEstimator::restore_json(std::string_view json) {
+  const auto doc = dophy::obs::parse_json(json);
+  if (!doc) return std::nullopt;
+  return restore(*doc);
+}
+
+std::optional<ShardedLinkEstimator> ShardedLinkEstimator::restore(
+    const dophy::obs::JsonValue& parsed) {
+  const auto* doc = &parsed;
+  if (!doc->is_object()) return std::nullopt;
+  const auto* format = doc->find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->string != "dophy-sink-snapshot-v1") {
+    return std::nullopt;
+  }
+  const auto* k = doc->find("k");
+  const auto* shards = doc->find("shards");
+  const auto* links = doc->find("links");
+  if (k == nullptr || !k->is_number() || k->number < 2 || shards == nullptr ||
+      !shards->is_number() || shards->number < 1 || links == nullptr || !links->is_array()) {
+    return std::nullopt;
+  }
+  double decay = 1.0, prior_a = 0.0, prior_b = 0.0;
+  if (!parse_exact_double(doc->find("decay"), decay) ||
+      !parse_exact_double(doc->find("prior_a"), prior_a) ||
+      !parse_exact_double(doc->find("prior_b"), prior_b)) {
+    return std::nullopt;
+  }
+  if (decay <= 0.0 || decay > 1.0 || prior_a < 0.0 || prior_b < 0.0) return std::nullopt;
+
+  ShardedLinkEstimator est(static_cast<std::uint32_t>(k->number), decay,
+                           static_cast<std::size_t>(shards->number));
+  est.prior_a_ = prior_a;
+  est.prior_b_ = prior_b;
+  for (const auto& entry : links->array) {
+    const auto* from = entry.find("from");
+    const auto* to = entry.find("to");
+    if (from == nullptr || !from->is_number() || to == nullptr || !to->is_number()) {
+      return std::nullopt;
+    }
+    tomo::GeometricSuffStats stats;
+    if (!parse_exact_double(entry.find("u"), stats.uncensored) ||
+        !parse_exact_double(entry.find("a"), stats.attempts_sum) ||
+        !parse_exact_double(entry.find("c"), stats.censored) || stats.uncensored < 0.0 ||
+        stats.attempts_sum < 0.0 || stats.censored < 0.0) {
+      return std::nullopt;
+    }
+    const LinkKey key{static_cast<dophy::net::NodeId>(from->number),
+                      static_cast<dophy::net::NodeId>(to->number)};
+    Shard& shard = est.shard_for(key);
+    shard.links[key] = stats;
+  }
+  return est;
+}
+
+}  // namespace dophy::sink

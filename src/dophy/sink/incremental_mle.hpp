@@ -1,0 +1,102 @@
+#pragma once
+
+// Incremental censored-geometric link estimator for the streaming sink.
+//
+// Per-link sufficient statistics (tomo::GeometricSuffStats) are sharded by
+// link hash: an update locks exactly one shard, so sink-side queries
+// (estimate / all_estimates / snapshot) can run concurrently with the
+// consumer thread without stalling ingest.  Every estimate is produced by
+// the same closed form the batch tomo::LinkLossEstimator evaluates
+// (tomo::estimate_censored_geometric), and the statistics stay integral
+// until a decay is applied — so after the same multiset of observations the
+// incremental state equals the batch state bit-for-bit, regardless of
+// arrival order or shard layout.  The differential campaign in
+// tests/sink/test_incremental_mle.cpp holds this to <= 1e-12 (and exact
+// equality on the sufficient statistics).
+//
+// Snapshots serialize the statistics as %.17g strings (JSON numbers in this
+// codebase print as %.9g, which is lossy); restore therefore reproduces the
+// exact doubles, making snapshot/restore invisible to the differential test
+// even mid-stream and after decay epochs.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dophy/net/types.hpp"
+#include "dophy/obs/json.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/geometric_mle.hpp"
+
+namespace dophy::sink {
+
+class ShardedLinkEstimator {
+ public:
+  /// `censor_threshold` K >= 2; `decay` in (0,1] (1 = cumulative);
+  /// `shard_count` >= 1 (rounded up to a power of two).
+  explicit ShardedLinkEstimator(std::uint32_t censor_threshold, double decay = 1.0,
+                                std::size_t shard_count = 16);
+
+  // Movable (the shard vector's buffer moves wholesale; mutexes never move
+  // element-wise), not copyable.  Only safe while no thread is updating.
+  ShardedLinkEstimator(ShardedLinkEstimator&&) noexcept = default;
+  ShardedLinkEstimator& operator=(ShardedLinkEstimator&&) noexcept = default;
+
+  /// Beta(a, b) prior on per-attempt success; both 0 keeps the plain MLE.
+  void set_beta_prior(double a, double b);
+
+  /// Folds one decoded hop / path into the per-link statistics.
+  void observe(dophy::net::LinkKey link, const tomo::HopObservation& obs);
+  void observe_path(const tomo::DecodedPath& path);
+
+  /// Applies the decay factor to every link (tracking-epoch boundary).
+  void end_epoch();
+
+  [[nodiscard]] std::optional<tomo::LinkEstimate> estimate(dophy::net::LinkKey link) const;
+  [[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, tomo::LinkEstimate>> all_estimates()
+      const;
+
+  /// Copy of one link's raw statistics; nullopt when never observed.
+  [[nodiscard]] std::optional<tomo::GeometricSuffStats> stats(dophy::net::LinkKey link) const;
+
+  [[nodiscard]] std::size_t link_count() const;
+  [[nodiscard]] std::uint32_t censor_threshold() const noexcept { return k_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  void clear();
+
+  /// Serializes configuration + every link's statistics.  Consistent when no
+  /// update runs concurrently (the service snapshots at batch boundaries).
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Rebuilds an estimator from snapshot_json() output; nullopt on malformed
+  /// input.  The restored estimator is bit-identical to the snapshotted one.
+  [[nodiscard]] static std::optional<ShardedLinkEstimator> restore_json(std::string_view json);
+
+  /// Same, from an already-parsed document (e.g. a subtree of a service
+  /// snapshot).  Exactness holds because the parser keeps the quoted %.17g
+  /// statistics as strings.
+  [[nodiscard]] static std::optional<ShardedLinkEstimator> restore(
+      const dophy::obs::JsonValue& doc);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<dophy::net::LinkKey, tomo::GeometricSuffStats, dophy::net::LinkKeyHash>
+        links;
+  };
+
+  [[nodiscard]] Shard& shard_for(dophy::net::LinkKey link) const;
+
+  std::uint32_t k_;
+  double decay_;
+  double prior_a_ = 0.0;
+  double prior_b_ = 0.0;
+  std::size_t shard_mask_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace dophy::sink

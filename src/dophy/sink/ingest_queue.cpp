@@ -1,0 +1,130 @@
+#include "dophy/sink/ingest_queue.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dophy::sink {
+
+IngestQueue::IngestQueue(std::size_t capacity, std::size_t producers, OverflowPolicy policy)
+    : capacity_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)), policy_(policy) {
+  if (producers == 0) throw std::invalid_argument("IngestQueue: producers must be >= 1");
+  lanes_.reserve(producers);
+  for (std::size_t i = 0; i < producers; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(capacity_));
+  }
+}
+
+bool IngestQueue::push(std::size_t producer, StreamRecord item) {
+  Lane& lane = *lanes_.at(producer);
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::size_t tail = lane.tail.load(std::memory_order_relaxed);
+    const std::size_t head = lane.head.load(std::memory_order_acquire);
+    if (tail - head < lane.slots.size()) {
+      lane.slots[tail & lane.mask] = std::move(item);
+      lane.tail.store(tail + 1, std::memory_order_release);
+      lane.accepted.fetch_add(1, std::memory_order_relaxed);
+      // Wake the consumer only when it may be sleeping.  The fence pairs
+      // with the one in wait_nonempty(): either this push sees the waiting
+      // flag, or the consumer's depth() check sees the new tail.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (consumer_waiting_.load(std::memory_order_relaxed)) {
+        {
+          const std::lock_guard<std::mutex> lock(wait_mutex_);
+        }
+        items_cv_.notify_one();
+      }
+      return true;
+    }
+    if (policy_ == OverflowPolicy::kDropNewest) {
+      lane.dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // kBlock: wait until the consumer frees a slot in this lane.
+    lane.block_waits.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    producers_waiting_.fetch_add(1, std::memory_order_seq_cst);
+    space_cv_.wait(lock, [&] {
+      return closed_.load(std::memory_order_acquire) ||
+             lane.tail.load(std::memory_order_relaxed) -
+                     lane.head.load(std::memory_order_acquire) <
+                 lane.slots.size();
+    });
+    producers_waiting_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+std::size_t IngestQueue::drain_into(std::vector<StreamRecord>& out, std::size_t max_items) {
+  std::size_t taken = 0;
+  std::size_t idle_lanes = 0;
+  while (taken < max_items && idle_lanes < lanes_.size()) {
+    Lane& lane = *lanes_[next_lane_];
+    next_lane_ = (next_lane_ + 1) % lanes_.size();
+    std::size_t head = lane.head.load(std::memory_order_relaxed);
+    const std::size_t tail = lane.tail.load(std::memory_order_acquire);
+    if (head == tail) {
+      ++idle_lanes;
+      continue;
+    }
+    idle_lanes = 0;
+    while (head != tail && taken < max_items) {
+      out.push_back(std::move(lane.slots[head & lane.mask]));
+      ++head;
+      ++taken;
+    }
+    lane.head.store(head, std::memory_order_release);
+  }
+  // Symmetric Dekker pairing: either this load sees a waiting producer, or
+  // that producer's predicate (evaluated under the lock, after our
+  // head-store) sees the freed slots.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (taken > 0 && policy_ == OverflowPolicy::kBlock &&
+      producers_waiting_.load(std::memory_order_relaxed) > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(wait_mutex_);
+    }
+    space_cv_.notify_all();
+  }
+  return taken;
+}
+
+bool IngestQueue::wait_nonempty() {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  consumer_waiting_.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  items_cv_.wait(lock, [&] {
+    return depth() > 0 || closed_.load(std::memory_order_acquire);
+  });
+  consumer_waiting_.store(false, std::memory_order_relaxed);
+  return depth() > 0;
+}
+
+void IngestQueue::close() {
+  closed_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(wait_mutex_);
+  }
+  space_cv_.notify_all();
+  items_cv_.notify_all();
+}
+
+std::size_t IngestQueue::depth() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->tail.load(std::memory_order_acquire) -
+             lane->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+IngestQueueStats IngestQueue::stats() const noexcept {
+  IngestQueueStats s;
+  for (const auto& lane : lanes_) {
+    s.accepted += lane->accepted.load(std::memory_order_relaxed);
+    s.dropped += lane->dropped.load(std::memory_order_relaxed);
+    s.block_waits += lane->block_waits.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace dophy::sink

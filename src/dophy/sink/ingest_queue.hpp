@@ -1,0 +1,117 @@
+#pragma once
+
+// Backpressure-aware bounded MPSC queue feeding the sink's consumer thread.
+//
+// Built as one bounded SPSC ring per producer (the pdes SpscMailbox idiom:
+// power-of-two ring, acquire/release head/tail on separate cache lines, no
+// hot-path locks) plus a round-robin consumer drain.  Unlike the mailbox, the
+// consumer runs concurrently with the producers — which the plain SPSC
+// protocol already supports — so there is no spill vector: a full ring means
+// the producer is outrunning the sink, and the overflow policy decides
+// whether to block (lossless backpressure) or shed the newest report
+// (bounded-latency ingest, losses accounted).
+//
+// Ordering contract: per-producer FIFO, always.  Cross-producer order is
+// whatever the drain interleaves — the estimator's sufficient statistics are
+// order-invariant (see geometric_mle.hpp), so this is enough for exactness.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dophy/sink/report_stream.hpp"
+
+namespace dophy::sink {
+
+/// What a producer does when its ring is full.
+enum class OverflowPolicy : std::uint8_t {
+  kBlock,       ///< wait for the consumer (lossless, applies backpressure)
+  kDropNewest,  ///< reject the incoming item (lossy, counted per producer)
+};
+
+struct IngestQueueStats {
+  std::uint64_t accepted = 0;     ///< items that entered a ring
+  std::uint64_t dropped = 0;      ///< items shed under kDropNewest
+  std::uint64_t block_waits = 0;  ///< pushes that had to wait under kBlock
+};
+
+class IngestQueue {
+ public:
+  /// `capacity` is the per-producer ring size, rounded up to a power of two
+  /// (minimum 2).  `producers` fixes the producer lane count for the queue's
+  /// lifetime; lane i must only ever be pushed from one thread at a time.
+  IngestQueue(std::size_t capacity, std::size_t producers,
+              OverflowPolicy policy = OverflowPolicy::kBlock);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Producer side.  Returns false only when the item was shed (kDropNewest
+  /// on a full ring) or the queue is closed.  Under kBlock a full ring waits
+  /// for the consumer; close() releases any waiter with a false return.
+  bool push(std::size_t producer, StreamRecord item);
+
+  /// Consumer side: appends up to `max_items` pending records to `out` in
+  /// round-robin lane order (per-lane FIFO preserved).  Returns the number
+  /// taken; 0 means every ring was empty at the scan.
+  std::size_t drain_into(std::vector<StreamRecord>& out, std::size_t max_items);
+
+  /// Consumer side: blocks until at least one item is pending or the queue
+  /// is closed.  Returns false when closed *and* drained empty (shutdown).
+  bool wait_nonempty();
+
+  /// Marks the queue closed: subsequent pushes fail fast, blocked producers
+  /// wake with a false return, and wait_nonempty() returns false once the
+  /// rings are empty.  Already-queued items remain drainable (shutdown must
+  /// not lose accepted reports).
+  void close();
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate total items currently queued across all lanes.
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+  [[nodiscard]] std::size_t producer_count() const noexcept { return lanes_.size(); }
+  [[nodiscard]] std::size_t capacity_per_producer() const noexcept { return capacity_; }
+  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+
+  /// Totals across lanes (each lane counter has a single writer, so the sums
+  /// are exact once the producers are quiescent).
+  [[nodiscard]] IngestQueueStats stats() const noexcept;
+
+ private:
+  struct Lane {
+    explicit Lane(std::size_t capacity) : slots(capacity), mask(capacity - 1) {}
+    std::vector<StreamRecord> slots;
+    std::size_t mask;
+    alignas(64) std::atomic<std::size_t> head{0};  ///< consumer cursor
+    alignas(64) std::atomic<std::size_t> tail{0};  ///< producer cursor
+    alignas(64) std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> block_waits{0};
+  };
+
+  std::size_t capacity_;
+  OverflowPolicy policy_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> closed_{false};
+  std::size_t next_lane_ = 0;  ///< consumer-private round-robin cursor
+
+  // Sleep/wake edges only; the ring hot path touches at most the two flags.
+  // Producers pair a seq_cst fence after publishing tail with a seq_cst
+  // fence after the consumer raises consumer_waiting_ (Dekker-style), so a
+  // push can skip the lock+notify whenever the consumer is provably awake.
+  std::mutex wait_mutex_;
+  std::condition_variable space_cv_;  ///< consumer -> blocked producers
+  std::condition_variable items_cv_;  ///< producers -> sleeping consumer
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<std::size_t> producers_waiting_{0};
+};
+
+}  // namespace dophy::sink

@@ -1,0 +1,168 @@
+#include "dophy/sink/report_stream.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dophy::sink {
+namespace {
+
+constexpr std::string_view kMagic = "dophy-report-stream v1";
+
+[[nodiscard]] int hex_nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(const std::uint8_t* data, std::size_t size) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  if (size == 0) return "-";
+  std::string out;
+  out.reserve(size * 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    out += kDigits[data[i] >> 4];
+    out += kDigits[data[i] & 0xF];
+  }
+  return out;
+}
+
+bool from_hex(std::string_view text, std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (text == "-") return true;
+  if (text.size() % 2 != 0) return false;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_nibble(text[i]);
+    const int lo = hex_nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::size_t ReportStream::report_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(records.begin(), records.end(), [](const StreamRecord& r) {
+        return r.kind == StreamRecord::Kind::kReport;
+      }));
+}
+
+std::string ReportStream::serialize() const {
+  std::string out;
+  out += kMagic;
+  out += '\n';
+  char header[96];
+  std::snprintf(header, sizeof(header), "H %zu %u %u\n", node_count, censor_threshold,
+                static_cast<unsigned>(max_hops));
+  out += header;
+  char buf[160];
+  for (const StreamRecord& rec : records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      out += "M ";
+      out += to_hex(rec.model_bytes.data(), rec.model_bytes.size());
+      out += '\n';
+      continue;
+    }
+    const dophy::net::Packet& p = rec.report.packet;
+    std::snprintf(buf, sizeof(buf), "R %u %u %u %lld %d %u %u %u %d %d ",
+                  static_cast<unsigned>(p.origin), static_cast<unsigned>(p.seq),
+                  static_cast<unsigned>(p.hop_count),
+                  static_cast<long long>(rec.report.recv_time), rec.report.in_measure ? 1 : 0,
+                  p.blob.logical_bits, static_cast<unsigned>(p.blob.model_version),
+                  static_cast<unsigned>(p.blob.state_size), p.blob.truncated ? 1 : 0,
+                  p.blob.dropped ? 1 : 0);
+    out += buf;
+    out += to_hex(p.blob.state.data(), p.blob.state_size);
+    out += ' ';
+    out += to_hex(p.blob.bytes.data(), p.blob.bytes.size());
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<ReportStream> ReportStream::parse(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  ReportStream stream;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "H") {
+      unsigned k = 0, hops = 0;
+      if (!(fields >> stream.node_count >> k >> hops)) return std::nullopt;
+      stream.censor_threshold = k;
+      stream.max_hops = static_cast<std::uint16_t>(hops);
+      have_header = true;
+    } else if (tag == "M") {
+      std::string hex;
+      if (!(fields >> hex)) return std::nullopt;
+      StreamRecord rec;
+      rec.kind = StreamRecord::Kind::kModelInstall;
+      if (!from_hex(hex, rec.model_bytes)) return std::nullopt;
+      stream.records.push_back(std::move(rec));
+    } else if (tag == "R") {
+      unsigned origin = 0, seq = 0, hop_count = 0, in_measure = 0, logical_bits = 0;
+      unsigned model_version = 0, state_size = 0, truncated = 0, dropped = 0;
+      long long recv = 0;
+      std::string state_hex;
+      std::string bytes_hex;
+      if (!(fields >> origin >> seq >> hop_count >> recv >> in_measure >> logical_bits >>
+            model_version >> state_size >> truncated >> dropped >> state_hex >> bytes_hex)) {
+        return std::nullopt;
+      }
+      StreamRecord rec;
+      rec.kind = StreamRecord::Kind::kReport;
+      rec.report.recv_time = recv;
+      rec.report.in_measure = in_measure != 0;
+      dophy::net::Packet& p = rec.report.packet;
+      p.origin = static_cast<dophy::net::NodeId>(origin);
+      p.seq = static_cast<std::uint16_t>(seq);
+      p.hop_count = static_cast<std::uint16_t>(hop_count);
+      p.blob.logical_bits = logical_bits;
+      p.blob.model_version = static_cast<std::uint8_t>(model_version);
+      p.blob.state_size = static_cast<std::uint8_t>(state_size);
+      p.blob.truncated = truncated != 0;
+      p.blob.dropped = dropped != 0;
+      std::vector<std::uint8_t> state_bytes;
+      if (!from_hex(state_hex, state_bytes) || state_bytes.size() != state_size ||
+          state_bytes.size() > p.blob.state.size()) {
+        return std::nullopt;
+      }
+      std::copy(state_bytes.begin(), state_bytes.end(), p.blob.state.begin());
+      if (!from_hex(bytes_hex, p.blob.bytes)) return std::nullopt;
+      stream.records.push_back(std::move(rec));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_header) return std::nullopt;
+  return stream;
+}
+
+bool ReportStream::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string text = serialize();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<ReportStream> ReportStream::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace dophy::sink

@@ -1,0 +1,73 @@
+#pragma once
+
+// Recorded sink-side report streams for the replay driver.
+//
+// A stream is everything the sink observed during a run, in arrival order:
+// model-set installs (the sink's copy of each published version) interleaved
+// with delivered packets and their arrival times.  Replaying a stream through
+// SinkService reproduces the exact decode + estimator state of the original
+// run — the foundation of the incremental-vs-batch differential campaign and
+// the throughput benchmarks, neither of which wants to re-run a simulation
+// per measurement.
+//
+// The on-disk form is line-oriented text (one record per line, hex payloads)
+// in the spirit of eval/trace_io: diffable, greppable, stable across
+// platforms.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dophy/net/packet.hpp"
+
+namespace dophy::sink {
+
+/// Lowercase hex encoding; empty input encodes to "-" (a visible
+/// empty-payload marker that survives whitespace-delimited parsing).
+[[nodiscard]] std::string to_hex(const std::uint8_t* data, std::size_t size);
+/// Inverse of to_hex; false on odd length or a non-hex digit.
+[[nodiscard]] bool from_hex(std::string_view text, std::vector<std::uint8_t>& out);
+
+/// One delivered packet as the sink saw it.
+struct SinkReport {
+  dophy::net::Packet packet;
+  dophy::net::SimTime recv_time = 0;
+  /// Whether the delivery fell inside the recording run's measurement window
+  /// (warm-up deliveries still update decode stats but not scored estimates).
+  bool in_measure = true;
+};
+
+/// One stream record: a model install or a report, in sink arrival order.
+struct StreamRecord {
+  enum class Kind : std::uint8_t { kModelInstall, kReport };
+  Kind kind = Kind::kReport;
+  /// kModelInstall: the serialized ModelSet (tomo::ModelSet::deserialize).
+  std::vector<std::uint8_t> model_bytes;
+  /// kReport: the delivered packet.
+  SinkReport report;
+  /// Transport-only: wall-clock stamp set by SinkService::submit so the
+  /// consumer can report queue latency.  Not part of the serialized stream.
+  std::uint64_t enqueue_ns = 0;
+};
+
+struct ReportStream {
+  std::size_t node_count = 0;
+  std::uint32_t censor_threshold = 2;  ///< K used by the recording run
+  std::uint16_t max_hops = 64;         ///< decoder hop bound of the recording run
+  std::vector<StreamRecord> records;
+
+  [[nodiscard]] std::size_t report_count() const noexcept;
+
+  /// Text round trip.  `parse` returns nullopt on malformed input (bad
+  /// header, truncated hex, unknown record tag).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<ReportStream> parse(std::string_view text);
+
+  /// File round trip; `load` returns nullopt on IO or parse failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<ReportStream> load(const std::string& path);
+};
+
+}  // namespace dophy::sink

@@ -1,0 +1,275 @@
+#include "dophy/sink/service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "dophy/obs/json.hpp"
+#include "dophy/obs/metrics.hpp"
+
+namespace dophy::sink {
+namespace {
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct SinkMetrics {
+  dophy::obs::LatencyHistogram ingest_latency;
+  dophy::obs::Gauge queue_depth;
+  dophy::obs::LatencyHistogram mle_update;
+  dophy::obs::Counter reports_processed;
+  dophy::obs::Counter decode_failures;
+  dophy::obs::Counter models_installed;
+  dophy::obs::Counter models_rejected;
+
+  static const SinkMetrics& get() {
+    static const SinkMetrics m = [] {
+      auto& reg = dophy::obs::Registry::global();
+      return SinkMetrics{reg.latency_histogram("sink.ingest.latency_us"),
+                         reg.gauge("sink.queue.depth"),
+                         reg.latency_histogram("sink.mle.update_us"),
+                         reg.counter("sink.reports.processed"),
+                         reg.counter("sink.decode.failures"),
+                         reg.counter("sink.models.installed"),
+                         reg.counter("sink.models.rejected")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+SinkService::SinkService(SinkServiceConfig config)
+    : config_(config),
+      mapper_(config.censor_threshold),
+      store_(),
+      decoder_(store_, mapper_, config.max_hops),
+      estimator_(config.censor_threshold, config.decay, config.shard_count),
+      queue_(config.queue_capacity, config.producers, config.overflow_policy) {
+  if (config.node_count == 0) {
+    throw std::invalid_argument("SinkService: node_count must be set");
+  }
+  if (config.decode_batch == 0) {
+    throw std::invalid_argument("SinkService: decode_batch must be >= 1");
+  }
+  if (config.prior_a > 0.0 || config.prior_b > 0.0) {
+    estimator_.set_beta_prior(config.prior_a, config.prior_b);
+  }
+  // Same bootstrap the instrumentation side starts from: every stream is
+  // decodable from record zero even before its first model install.
+  store_.install(tomo::ModelSet::bootstrap(config.node_count, mapper_.alphabet_size()));
+}
+
+SinkService::~SinkService() { stop(); }
+
+void SinkService::start() {
+  if (stopped_ || running_.load(std::memory_order_acquire)) return;
+  running_.store(true, std::memory_order_release);
+  consumer_ = std::thread([this] { consumer_loop(); });
+}
+
+void SinkService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  if (consumer_.joinable()) {
+    consumer_.join();
+  } else {
+    // Never started: drain synchronously so accepted records are not lost.
+    std::vector<StreamRecord> batch;
+    while (queue_.drain_into(batch, config_.decode_batch) > 0) {
+      process_batch(batch);
+      batch.clear();
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+bool SinkService::submit(std::size_t producer, StreamRecord record) {
+  record.enqueue_ns = now_ns();
+  if (!queue_.push(producer, std::move(record))) return false;
+  submitted_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void SinkService::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return processed_records_.load(std::memory_order_acquire) >=
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void SinkService::consumer_loop() {
+  std::vector<StreamRecord> batch;
+  batch.reserve(config_.decode_batch);
+  while (true) {
+    batch.clear();
+    const std::size_t taken = queue_.drain_into(batch, config_.decode_batch);
+    if (taken == 0) {
+      if (!queue_.wait_nonempty()) break;  // closed and fully drained
+      continue;
+    }
+    process_batch(batch);
+  }
+}
+
+void SinkService::process_batch(std::vector<StreamRecord>& batch) {
+  const SinkMetrics& metrics = SinkMetrics::get();
+  const std::uint64_t batch_start = now_ns();
+  std::uint64_t decoded = 0;
+  std::uint64_t installed = 0;
+  std::uint64_t reports = 0;
+  {
+    const std::lock_guard<std::mutex> lock(decoder_mutex_);
+    for (StreamRecord& rec : batch) {
+      if (rec.kind == StreamRecord::Kind::kModelInstall) {
+        try {
+          store_.install(tomo::ModelSet::deserialize(rec.model_bytes));
+          installed_model_bytes_.push_back(std::move(rec.model_bytes));
+          if (installed_model_bytes_.size() > kModelHistory) {
+            installed_model_bytes_.erase(installed_model_bytes_.begin());
+          }
+          ++installed;
+          metrics.models_installed.inc();
+        } catch (const std::exception&) {
+          metrics.models_rejected.inc();  // malformed install: skip, keep going
+        }
+        continue;
+      }
+      ++reports;
+      metrics.reports_processed.inc();
+      if (rec.enqueue_ns != 0) {
+        metrics.ingest_latency.observe((now_ns() - rec.enqueue_ns) / 1000);
+      }
+      auto decoded_path = decoder_.decode(rec.report.packet);
+      if (!decoded_path) {
+        metrics.decode_failures.inc();
+        continue;
+      }
+      ++decoded;
+      if (rec.report.in_measure || config_.ingest_warmup) {
+        estimator_.observe_path(*decoded_path);
+      }
+    }
+  }
+  metrics.mle_update.observe((now_ns() - batch_start) / 1000);
+  metrics.queue_depth.set(static_cast<double>(queue_.depth()));
+
+  reports_processed_.fetch_add(reports, std::memory_order_relaxed);
+  reports_decoded_.fetch_add(decoded, std::memory_order_relaxed);
+  models_installed_.fetch_add(installed, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    processed_records_.fetch_add(batch.size(), std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+}
+
+std::optional<tomo::LinkEstimate> SinkService::estimate(dophy::net::LinkKey link) const {
+  return estimator_.estimate(link);
+}
+
+std::vector<std::pair<dophy::net::LinkKey, tomo::LinkEstimate>> SinkService::all_estimates()
+    const {
+  return estimator_.all_estimates();
+}
+
+SinkServiceStats SinkService::stats() const {
+  SinkServiceStats s;
+  s.reports_processed = reports_processed_.load(std::memory_order_relaxed);
+  s.reports_decoded = reports_decoded_.load(std::memory_order_relaxed);
+  s.models_installed = models_installed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.queue = queue_.stats();
+  const auto decoder = decoder_stats();
+  s.decode_failures = decoder.decode_failures;
+  return s;
+}
+
+tomo::DophyDecoderStats SinkService::decoder_stats() const {
+  const std::lock_guard<std::mutex> lock(decoder_mutex_);
+  return decoder_.stats();
+}
+
+std::string SinkService::snapshot_json() const {
+  dophy::obs::JsonWriter w;
+  w.begin_object();
+  w.key("format").value("dophy-sink-service-snapshot-v1");
+  w.key("reports_processed").value(reports_processed_.load(std::memory_order_relaxed));
+  w.key("reports_decoded").value(reports_decoded_.load(std::memory_order_relaxed));
+  w.key("models_installed").value(models_installed_.load(std::memory_order_relaxed));
+  // Installed model history (oldest first) so a restored service can decode
+  // every version the snapshotted one could.
+  w.key("models").begin_array();
+  {
+    const std::lock_guard<std::mutex> lock(decoder_mutex_);
+    for (const auto& bytes : installed_model_bytes_) {
+      w.value(std::string_view(to_hex(bytes.data(), bytes.size())));
+    }
+  }
+  w.end_array();
+  w.end_object();
+  // The estimator document is embedded as pre-rendered JSON; JsonWriter has
+  // no raw-splice call, so splice it over the closing brace.
+  std::string out = w.take();
+  out.pop_back();  // trailing '}'
+  out += ",\"estimator\":";
+  out += estimator_.snapshot_json();
+  out += '}';
+  return out;
+}
+
+bool SinkService::restore_snapshot(std::string_view json) {
+  if (running_.load(std::memory_order_acquire)) return false;
+  const auto doc = dophy::obs::parse_json(json);
+  if (!doc || !doc->is_object()) return false;
+  const auto* format = doc->find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->string != "dophy-sink-service-snapshot-v1") {
+    return false;
+  }
+  const auto* estimator = doc->find("estimator");
+  if (estimator == nullptr || !estimator->is_object()) return false;
+  auto restored = ShardedLinkEstimator::restore(*estimator);
+  if (!restored || restored->censor_threshold() != config_.censor_threshold) return false;
+  const auto* models = doc->find("models");
+  if (models != nullptr && models->is_array()) {
+    std::vector<std::uint8_t> bytes;
+    for (const auto& entry : models->array) {
+      if (!entry.is_string() || !from_hex(entry.string, bytes)) return false;
+      try {
+        store_.install(tomo::ModelSet::deserialize(bytes));
+      } catch (const std::exception&) {
+        return false;
+      }
+      installed_model_bytes_.push_back(bytes);
+      if (installed_model_bytes_.size() > kModelHistory) {
+        installed_model_bytes_.erase(installed_model_bytes_.begin());
+      }
+    }
+  }
+  estimator_ = std::move(*restored);
+  const auto* processed = doc->find("reports_processed");
+  const auto* decoded = doc->find("reports_decoded");
+  const auto* installed = doc->find("models_installed");
+  if (processed != nullptr && processed->is_number()) {
+    reports_processed_.store(static_cast<std::uint64_t>(processed->number),
+                             std::memory_order_relaxed);
+  }
+  if (decoded != nullptr && decoded->is_number()) {
+    reports_decoded_.store(static_cast<std::uint64_t>(decoded->number),
+                           std::memory_order_relaxed);
+  }
+  if (installed != nullptr && installed->is_number()) {
+    models_installed_.store(static_cast<std::uint64_t>(installed->number),
+                            std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace dophy::sink

@@ -1,0 +1,145 @@
+#pragma once
+
+// Long-running sink ingestion service: the decode + estimate path extracted
+// from the batch pipeline into a standing server loop.
+//
+// Producers (radio frontends in a deployment; replay threads here) submit
+// StreamRecords into the bounded MPSC IngestQueue; one consumer thread
+// drains them in batches, applies model installs in arrival order, decodes
+// reports through the shared tomo::DophyDecoder, and folds decoded hops into
+// the ShardedLinkEstimator.  Because model installs ride the same queue as
+// reports, the consumer is the only thread touching the ModelStore — no
+// locking on the decode path, and a replayed stream reproduces the original
+// install/report interleaving exactly.
+//
+// Instrumented via dophy::obs: sink.ingest.latency_us (submit -> processed),
+// sink.queue.depth (gauge, sampled per drain), sink.mle.update_us (per-batch
+// decode+update time), plus processed/dropped/decode-failure counters.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dophy/sink/incremental_mle.hpp"
+#include "dophy/sink/ingest_queue.hpp"
+#include "dophy/sink/report_stream.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/measurement.hpp"
+
+namespace dophy::sink {
+
+struct SinkServiceConfig {
+  std::size_t node_count = 0;          ///< id alphabet of the recording run
+  std::uint32_t censor_threshold = 4;  ///< aggregation K (>= 2)
+  std::uint16_t max_hops = 64;         ///< decoder hop bound
+  std::size_t producers = 1;
+  std::size_t queue_capacity = 4096;  ///< per producer, rounded to a power of two
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  std::size_t decode_batch = 64;  ///< max records drained per consumer cycle
+  double decay = 1.0;             ///< estimator epoch decay, (0, 1]
+  double prior_a = 0.0;           ///< Beta prior on per-attempt success
+  double prior_b = 0.0;
+  std::size_t shard_count = 16;
+  /// Count warm-up reports (in_measure == false) into the estimator too.
+  /// The batch pipeline only scores measurement-window paths, so the
+  /// differential tests keep this false.
+  bool ingest_warmup = false;
+};
+
+struct SinkServiceStats {
+  std::uint64_t reports_processed = 0;  ///< reports taken off the queue
+  std::uint64_t reports_decoded = 0;    ///< successful decodes
+  std::uint64_t decode_failures = 0;
+  std::uint64_t models_installed = 0;
+  std::uint64_t batches = 0;  ///< consumer drain cycles with work
+  IngestQueueStats queue;
+};
+
+class SinkService {
+ public:
+  explicit SinkService(SinkServiceConfig config);
+  ~SinkService();
+
+  SinkService(const SinkService&) = delete;
+  SinkService& operator=(const SinkService&) = delete;
+
+  /// Spawns the consumer thread.  Idempotent until stop().
+  void start();
+
+  /// Closes the queue, drains everything already accepted, joins the
+  /// consumer.  After stop() the estimator holds the final state and
+  /// submits fail.  Idempotent.
+  void stop();
+
+  /// Producer-side submit on lane `producer` (< config.producers).  Returns
+  /// false when the record was shed (kDropNewest overflow) or the service is
+  /// stopped.
+  bool submit(std::size_t producer, StreamRecord record);
+
+  /// Blocks until every record accepted so far has been processed.  Requires
+  /// the service to be running (or stopped, in which case it returns
+  /// immediately: stop() already drained).
+  void wait_idle();
+
+  /// Estimator queries (thread-safe; consistent at batch granularity).
+  [[nodiscard]] std::optional<tomo::LinkEstimate> estimate(dophy::net::LinkKey link) const;
+  [[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, tomo::LinkEstimate>> all_estimates()
+      const;
+  [[nodiscard]] const ShardedLinkEstimator& estimator() const noexcept { return estimator_; }
+
+  [[nodiscard]] SinkServiceStats stats() const;
+  [[nodiscard]] tomo::DophyDecoderStats decoder_stats() const;
+  [[nodiscard]] const SinkServiceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.depth(); }
+
+  /// Point-in-time service snapshot (estimator state + processed counters).
+  /// Call while idle (wait_idle() or stopped) for a batch-consistent view.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Replaces the estimator state from a snapshot.  Only valid while the
+  /// consumer is not running (before start() or after stop()); returns false
+  /// on malformed input or config mismatch (K).
+  [[nodiscard]] bool restore_snapshot(std::string_view json);
+
+ private:
+  void consumer_loop();
+  void process_batch(std::vector<StreamRecord>& batch);
+
+  /// ModelStore history depth; also bounds the serialized model sets a
+  /// snapshot carries so a restored service can decode the same versions.
+  static constexpr std::size_t kModelHistory = 8;
+
+  SinkServiceConfig config_;
+  tomo::SymbolMapper mapper_;
+  tomo::ModelStore store_;
+  tomo::DophyDecoder decoder_;
+  /// Wire forms of the installed sets, oldest first, capped at
+  /// kModelHistory (consumer-thread only; read under decoder_mutex_).
+  std::vector<std::vector<std::uint8_t>> installed_model_bytes_;
+  ShardedLinkEstimator estimator_;
+  IngestQueue queue_;
+
+  std::thread consumer_;
+  std::atomic<bool> running_{false};
+  bool stopped_ = false;  ///< start/stop lifecycle guard (API-thread only)
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_records_{0};
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  // Consumer-private tallies, atomically mirrored for stats().
+  std::atomic<std::uint64_t> reports_processed_{0};
+  std::atomic<std::uint64_t> reports_decoded_{0};
+  std::atomic<std::uint64_t> models_installed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  mutable std::mutex decoder_mutex_;  ///< guards decoder stats reads vs decode
+};
+
+}  // namespace dophy::sink

@@ -1,0 +1,39 @@
+#include "dophy/tomo/geometric_mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dophy::tomo {
+
+LinkEstimate estimate_censored_geometric(const GeometricSuffStats& stats, std::uint32_t k,
+                                         double prior_a, double prior_b) {
+  LinkEstimate est;
+  est.samples = stats.uncensored + stats.censored;
+  const double denom = stats.attempts_sum + stats.censored * static_cast<double>(k - 1);
+  if (prior_a > 0.0 || prior_b > 0.0) {
+    // Beta posterior mean: successes U + a over trials (sum t_i + C(K-1)) + a + b.
+    const double q = (stats.uncensored + prior_a) / (denom + prior_a + prior_b);
+    est.loss = 1.0 - std::clamp(q, 1e-9, 1.0);
+    const double n = stats.uncensored + prior_a + prior_b;
+    est.stderr_ = std::sqrt(std::max(q * q * (1.0 - q), 1e-12) / std::max(n, 1.0));
+    return est;
+  }
+  if (stats.uncensored <= 0.0) {
+    // Every observation censored: the MLE sits at the boundary q = 0; report
+    // the most conservative identifiable value instead.
+    est.loss = 1.0 - 1.0 / static_cast<double>(k);
+    est.stderr_ = 1.0;  // effectively unknown
+    return est;
+  }
+  const double q = std::clamp(stats.uncensored / denom, 1e-9, 1.0);
+  est.loss = 1.0 - q;
+  // Observed Fisher information for q.
+  const double failures = (stats.attempts_sum - stats.uncensored) +
+                          stats.censored * static_cast<double>(k - 1);
+  const double info = stats.uncensored / (q * q) +
+                      (failures > 0.0 ? failures / ((1.0 - q) * (1.0 - q)) : 0.0);
+  est.stderr_ = info > 0.0 ? 1.0 / std::sqrt(info) : 1.0;
+  return est;
+}
+
+}  // namespace dophy::tomo

@@ -1,0 +1,85 @@
+#pragma once
+
+// Sufficient statistics and closed forms for the right-censored geometric
+// link-loss estimator — the math shared by the batch LinkLossEstimator
+// (link_inference.hpp) and the streaming sink's incremental estimator
+// (dophy/sink/incremental_mle.hpp).
+//
+// A hop observation over a link is Geometric(q) in the per-attempt success
+// probability q = 1 - p, right-censored at the aggregation threshold K.  The
+// whole likelihood is summarized by three counts (uncensored observations,
+// their attempt sum, censored observations), so estimates can be maintained
+// incrementally: fold each observation into the stats and evaluate the
+// closed form on demand — no recompute over past reports.  Both estimator
+// front-ends call the same accumulate/estimate code, which is what makes the
+// streaming differential campaign ("incremental == batch") meaningful.
+
+#include <cstdint>
+
+#include "dophy/tomo/symbol_mapper.hpp"
+
+namespace dophy::tomo {
+
+/// Point estimate for one link (shared by every estimator front-end).
+struct LinkEstimate {
+  double loss = 0.0;        ///< p_hat, per-attempt loss ratio
+  double stderr_ = 0.0;     ///< Wald standard error of p_hat
+  double samples = 0.0;     ///< effective (possibly decayed) observation count
+};
+
+/// Sufficient statistics of the censored-geometric likelihood for one link.
+/// The fields stay integral until a decay is applied, so accumulation order
+/// never changes the values (double adds of small integers are exact) — the
+/// property the sink's arbitrary-interleaving differential tests rely on.
+struct GeometricSuffStats {
+  double uncensored = 0.0;    ///< observations with an exact attempt count
+  double attempts_sum = 0.0;  ///< sum of attempts over uncensored observations
+  double censored = 0.0;      ///< observations censored at K
+
+  /// Folds one hop observation in.
+  void observe(const HopObservation& obs) noexcept {
+    if (obs.censored) {
+      censored += 1.0;
+    } else {
+      uncensored += 1.0;
+      attempts_sum += static_cast<double>(obs.attempts);
+    }
+  }
+
+  /// Scales every count by `factor` (tracking-epoch decay).
+  void decay(double factor) noexcept {
+    uncensored *= factor;
+    attempts_sum *= factor;
+    censored *= factor;
+  }
+
+  /// Adds another stat block (shard merge / snapshot restore).
+  void merge(const GeometricSuffStats& other) noexcept {
+    uncensored += other.uncensored;
+    attempts_sum += other.attempts_sum;
+    censored += other.censored;
+  }
+
+  /// Total (possibly decayed) observation mass.
+  [[nodiscard]] double total() const noexcept { return uncensored + censored; }
+
+  /// True when the link has enough mass to report an estimate (the < 0.5
+  /// guard keeps fully-decayed ghosts out of all_estimates()).
+  [[nodiscard]] bool has_support() const noexcept { return total() >= 0.5; }
+
+  bool operator==(const GeometricSuffStats&) const = default;
+};
+
+/// Closed-form estimate from sufficient statistics at censor threshold `k`.
+/// With `prior_a`/`prior_b` both zero this is the MLE
+///     q_hat = U / (sum_i t_i + C * (K - 1))
+/// with a Wald standard error from the observed Fisher information; nonzero
+/// priors switch to the Beta(a, b) posterior mean (the geometric likelihood
+/// is conjugate).  All-censored stats sit at the likelihood boundary and
+/// report the most conservative identifiable value, loss = 1 - 1/K.
+[[nodiscard]] LinkEstimate estimate_censored_geometric(const GeometricSuffStats& stats,
+                                                       std::uint32_t k,
+                                                       double prior_a = 0.0,
+                                                       double prior_b = 0.0);
+
+}  // namespace dophy::tomo

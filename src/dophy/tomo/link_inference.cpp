@@ -1,7 +1,6 @@
 #include "dophy/tomo/link_inference.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace dophy::tomo {
@@ -23,22 +22,12 @@ void LinkLossEstimator::observe_path(const DecodedPath& path) {
 }
 
 void LinkLossEstimator::observe(LinkKey link, const HopObservation& obs) {
-  Counts& c = stats_[link];
-  if (obs.censored) {
-    c.censored += 1.0;
-  } else {
-    c.uncensored += 1.0;
-    c.attempts_sum += static_cast<double>(obs.attempts);
-  }
+  stats_[link].observe(obs);
 }
 
 void LinkLossEstimator::end_epoch() {
   if (decay_ >= 1.0) return;
-  for (auto& [key, c] : stats_) {
-    c.uncensored *= decay_;
-    c.attempts_sum *= decay_;
-    c.censored *= decay_;
-  }
+  for (auto& [key, c] : stats_) c.decay(decay_);
 }
 
 void LinkLossEstimator::set_beta_prior(double a, double b) {
@@ -49,53 +38,28 @@ void LinkLossEstimator::set_beta_prior(double a, double b) {
   prior_b_ = b;
 }
 
-LinkEstimate LinkLossEstimator::estimate_from(const Counts& c, std::uint32_t k) const {
-  LinkEstimate est;
-  est.samples = c.uncensored + c.censored;
-  const double denom = c.attempts_sum + c.censored * static_cast<double>(k - 1);
-  if (prior_a_ > 0.0 || prior_b_ > 0.0) {
-    // Beta posterior mean: successes U + a over trials (sum t_i + C(K-1)) + a + b.
-    const double q = (c.uncensored + prior_a_) / (denom + prior_a_ + prior_b_);
-    est.loss = 1.0 - std::clamp(q, 1e-9, 1.0);
-    const double n = c.uncensored + prior_a_ + prior_b_;
-    est.stderr_ = std::sqrt(std::max(q * q * (1.0 - q), 1e-12) / std::max(n, 1.0));
-    return est;
-  }
-  if (c.uncensored <= 0.0) {
-    // Every observation censored: the MLE sits at the boundary q = 0; report
-    // the most conservative identifiable value instead.
-    est.loss = 1.0 - 1.0 / static_cast<double>(k);
-    est.stderr_ = 1.0;  // effectively unknown
-    return est;
-  }
-  const double q = std::clamp(c.uncensored / denom, 1e-9, 1.0);
-  est.loss = 1.0 - q;
-  // Observed Fisher information for q.
-  const double failures = (c.attempts_sum - c.uncensored) +
-                          c.censored * static_cast<double>(k - 1);
-  const double info = c.uncensored / (q * q) +
-                      (failures > 0.0 ? failures / ((1.0 - q) * (1.0 - q)) : 0.0);
-  est.stderr_ = info > 0.0 ? 1.0 / std::sqrt(info) : 1.0;
-  return est;
-}
-
 std::optional<LinkEstimate> LinkLossEstimator::estimate(LinkKey link) const {
   const auto it = stats_.find(link);
   if (it == stats_.end()) return std::nullopt;
-  if (it->second.uncensored + it->second.censored < 0.5) return std::nullopt;
-  return estimate_from(it->second, k_);
+  if (!it->second.has_support()) return std::nullopt;
+  return estimate_censored_geometric(it->second, k_, prior_a_, prior_b_);
 }
 
 std::vector<std::pair<LinkKey, LinkEstimate>> LinkLossEstimator::all_estimates() const {
   std::vector<std::pair<LinkKey, LinkEstimate>> out;
   out.reserve(stats_.size());
   for (const auto& [key, counts] : stats_) {
-    if (counts.uncensored + counts.censored < 0.5) continue;
-    out.emplace_back(key, estimate_from(counts, k_));
+    if (!counts.has_support()) continue;
+    out.emplace_back(key, estimate_censored_geometric(counts, k_, prior_a_, prior_b_));
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
+}
+
+const GeometricSuffStats* LinkLossEstimator::stats(LinkKey link) const {
+  const auto it = stats_.find(link);
+  return it == stats_.end() ? nullptr : &it->second;
 }
 
 }  // namespace dophy::tomo

@@ -4,15 +4,13 @@
 //
 // A hop observation over link l is the number of transmission attempts until
 // the receiver first heard the frame — Geometric(1 - p_l) in the per-attempt
-// loss p_l, right-censored at the aggregation threshold K.  For U uncensored
-// observations with counts t_i and C censored ones, the MLE of the success
-// probability q = 1 - p is
-//
-//     q_hat = U / (sum_i t_i + C * (K - 1)),
-//
-// with a Wald standard error from the observed Fisher information.  An
-// optional per-epoch count decay turns the estimator into a tracker for
-// drifting link qualities.
+// loss p_l, right-censored at the aggregation threshold K.  The likelihood
+// math (sufficient statistics + closed-form MLE / posterior mean) lives in
+// geometric_mle.hpp so the streaming sink's incremental estimator provably
+// evaluates the same formulas; this class is the batch front-end used inside
+// a trial: accumulate whole decoded paths, then read every estimate at the
+// end.  An optional per-epoch count decay turns the estimator into a tracker
+// for drifting link qualities.
 
 #include <cstdint>
 #include <optional>
@@ -21,15 +19,10 @@
 
 #include "dophy/net/types.hpp"
 #include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/geometric_mle.hpp"
 #include "dophy/tomo/symbol_mapper.hpp"
 
 namespace dophy::tomo {
-
-struct LinkEstimate {
-  double loss = 0.0;        ///< p_hat, per-attempt loss ratio
-  double stderr_ = 0.0;     ///< Wald standard error of p_hat
-  double samples = 0.0;     ///< effective (possibly decayed) observation count
-};
 
 class LinkLossEstimator {
  public:
@@ -59,22 +52,20 @@ class LinkLossEstimator {
   /// All links with observations, sorted by key.
   [[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, LinkEstimate>> all_estimates() const;
 
+  /// Raw sufficient statistics for one link; nullptr when never observed.
+  /// Exposed for the incremental-vs-batch differential tests.
+  [[nodiscard]] const GeometricSuffStats* stats(dophy::net::LinkKey link) const;
+
+  [[nodiscard]] std::uint32_t censor_threshold() const noexcept { return k_; }
   [[nodiscard]] std::size_t link_count() const noexcept { return stats_.size(); }
   void clear() noexcept { stats_.clear(); }
 
  private:
-  struct Counts {
-    double uncensored = 0.0;
-    double attempts_sum = 0.0;  ///< over uncensored observations
-    double censored = 0.0;
-  };
-  [[nodiscard]] LinkEstimate estimate_from(const Counts& c, std::uint32_t k) const;
-
   std::uint32_t k_;
   double decay_;
   double prior_a_ = 0.0;  ///< Beta prior pseudo-successes
   double prior_b_ = 0.0;  ///< Beta prior pseudo-failures
-  std::unordered_map<dophy::net::LinkKey, Counts, dophy::net::LinkKeyHash> stats_;
+  std::unordered_map<dophy::net::LinkKey, GeometricSuffStats, dophy::net::LinkKeyHash> stats_;
 };
 
 }  // namespace dophy::tomo

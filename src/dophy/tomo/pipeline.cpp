@@ -87,6 +87,9 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     } else {
       id_instr->install(node, set);
     }
+    if (node == kSinkId && config.report_tap != nullptr) {
+      config.report_tap->on_sink_install(set);
+    }
   };
   const ModelStore& sink_store =
       hash_mode ? hash_instr->store(kSinkId) : id_instr->store(kSinkId);
@@ -189,6 +192,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   std::vector<std::uint32_t> attempt_stream;
   net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime now) {
     const dophy::obs::ObsTimer decode_timer(profile, "decode");
+    if (config.report_tap != nullptr) config.report_tap->on_delivery(packet, now, in_measure);
     auto decoded = decode(packet);
     if (!decoded) return;
     // Successful sink decode: sim-time latency from generation to decode

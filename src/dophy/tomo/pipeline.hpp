@@ -46,6 +46,20 @@ struct DophyConfig {
   dophy::net::TrickleConfig trickle;
 };
 
+/// Observer of the raw sink-side stream: every model set installed at the
+/// sink and every packet delivered to it, in arrival order — exactly the
+/// input a standalone sink service would see.  Armed by the dophy_sink
+/// record/replay tooling.  Non-owning and non-canonical: eval's config
+/// canonicalization ignores the pointer, so tapped runs must not be served
+/// from (or written to) the result cache.
+class SinkReportTap {
+ public:
+  virtual ~SinkReportTap() = default;
+  virtual void on_sink_install(const ModelSet& set) = 0;
+  virtual void on_delivery(const dophy::net::Packet& packet, dophy::net::SimTime now,
+                           bool in_measure) = 0;
+};
+
 struct PipelineConfig {
   dophy::net::NetworkConfig net;
   DophyConfig dophy;
@@ -76,6 +90,9 @@ struct PipelineConfig {
   /// Invariant oracle (dophy::check).  Disabled by default: the pipeline
   /// also arms it when dophy::check::global_enabled() is set (bench --check).
   dophy::check::CheckConfig check;
+
+  /// Raw sink-stream observer (see SinkReportTap); nullptr = off.
+  SinkReportTap* report_tap = nullptr;
 };
 
 /// One point of the within-run convergence series.

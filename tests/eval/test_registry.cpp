@@ -19,7 +19,7 @@ using dophy::eval::SweepContext;
 
 TEST(Registry, BuiltinCatalogIsComplete) {
   const auto& registry = ExperimentRegistry::builtin();
-  EXPECT_EQ(registry.size(), 16u);
+  EXPECT_EQ(registry.size(), 17u);
 
   std::set<std::string> ids, stems, figures;
   for (const auto& spec : registry.all()) {
@@ -44,6 +44,7 @@ TEST(Registry, BuiltinCatalogIsComplete) {
   EXPECT_TRUE(figures.count("F6"));
   EXPECT_TRUE(figures.count("T1"));
   EXPECT_TRUE(figures.count("A5"));
+  EXPECT_TRUE(figures.count("A6"));
 }
 
 TEST(Registry, FindsByIdAndByLegacyStem) {

@@ -197,6 +197,44 @@ TEST(Sweep, ResumeAfterKillRecomputesOnlyTheMissingCell) {
   EXPECT_EQ(resumed.rows, cold.rows);
 }
 
+TEST(Sweep, SimThreadsBypassesTheCacheAndSaysSo) {
+  // --sim-threads > 1 must neither read nor write the serial result store
+  // (parallel-engine results are lp_count-dependent) — and the manifest must
+  // record the bypass instead of looking like a cold cache.
+  const auto spec = synthetic_spec();
+  ResultCache cache(fresh_dir("bypass"), "v1");
+  SweepOptions opts;
+  opts.cache = &cache;
+  (void)dophy::eval::run_experiment(spec, opts);  // warm the store
+
+  compute_count().store(0);
+  SweepOptions pdes = opts;
+  pdes.sim_threads = 2;
+  auto run = dophy::eval::run_experiment(spec, pdes);
+  EXPECT_EQ(compute_count().load(), 6) << "bypass must not read the serial store";
+  EXPECT_EQ(run.cache_hits, 0u);
+  EXPECT_TRUE(run.cache_bypassed);
+  EXPECT_NE(run.cache_bypass_reason.find("sim_threads"), std::string::npos);
+  EXPECT_EQ(cache.stats().stores, 6u) << "bypass must not write the serial store";
+
+  std::vector<ExperimentRun> runs;
+  runs.push_back(std::move(run));
+  const auto manifest =
+      dophy::eval::manifest_json(runs, pdes, dophy::obs::MetricsSnapshot{}, 1.0);
+  EXPECT_NE(manifest.find("\"cache_bypassed\":true"), std::string::npos);
+  EXPECT_NE(manifest.find("\"cache_bypass_reason\":"), std::string::npos);
+
+  // A serial run without a configured cache is not a "bypass" — there was
+  // nothing to bypass — so the manifest stays clean.
+  auto uncached = dophy::eval::run_experiment(spec, SweepOptions{});
+  EXPECT_FALSE(uncached.cache_bypassed);
+  std::vector<ExperimentRun> uncached_runs;
+  uncached_runs.push_back(std::move(uncached));
+  const auto clean = dophy::eval::manifest_json(uncached_runs, SweepOptions{},
+                                                dophy::obs::MetricsSnapshot{}, 1.0);
+  EXPECT_EQ(clean.find("cache_bypassed"), std::string::npos);
+}
+
 TEST(Sweep, PrintRunMatchesLegacyShape) {
   const auto spec = synthetic_spec();
   const auto run = dophy::eval::run_experiment(spec, SweepOptions{});

@@ -1,0 +1,172 @@
+// Round-trip and rejection tests for the recorded sink stream format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dophy/sink/report_stream.hpp"
+
+namespace dophy::sink {
+namespace {
+
+StreamRecord report_record(std::uint16_t origin, std::uint16_t seq) {
+  StreamRecord rec;
+  rec.kind = StreamRecord::Kind::kReport;
+  rec.report.recv_time = 123456789;
+  rec.report.in_measure = (seq % 2) == 0;
+  auto& p = rec.report.packet;
+  p.origin = origin;
+  p.seq = seq;
+  p.hop_count = 3;
+  p.blob.bytes = {0x00, 0xff, 0x5a, static_cast<std::uint8_t>(seq)};
+  p.blob.logical_bits = 29;
+  p.blob.state = {};
+  p.blob.state[0] = 0xab;
+  p.blob.state[1] = 0xcd;
+  p.blob.state_size = 2;
+  p.blob.model_version = 4;
+  p.blob.truncated = (seq % 3) == 0;
+  p.blob.dropped = false;
+  return rec;
+}
+
+ReportStream sample_stream() {
+  ReportStream stream;
+  stream.node_count = 17;
+  stream.censor_threshold = 4;
+  stream.max_hops = 12;
+  StreamRecord install;
+  install.kind = StreamRecord::Kind::kModelInstall;
+  install.model_bytes = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  stream.records.push_back(install);
+  for (std::uint16_t seq = 0; seq < 5; ++seq) {
+    stream.records.push_back(report_record(static_cast<std::uint16_t>(seq + 1), seq));
+  }
+  return stream;
+}
+
+void expect_equal(const ReportStream& a, const ReportStream& b) {
+  EXPECT_EQ(a.node_count, b.node_count);
+  EXPECT_EQ(a.censor_threshold, b.censor_threshold);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const StreamRecord& x = a.records[i];
+    const StreamRecord& y = b.records[i];
+    ASSERT_EQ(x.kind, y.kind) << "record " << i;
+    if (x.kind == StreamRecord::Kind::kModelInstall) {
+      EXPECT_EQ(x.model_bytes, y.model_bytes) << "record " << i;
+      continue;
+    }
+    EXPECT_EQ(x.report.recv_time, y.report.recv_time) << "record " << i;
+    EXPECT_EQ(x.report.in_measure, y.report.in_measure) << "record " << i;
+    const auto& p = x.report.packet;
+    const auto& q = y.report.packet;
+    EXPECT_EQ(p.origin, q.origin);
+    EXPECT_EQ(p.seq, q.seq);
+    EXPECT_EQ(p.hop_count, q.hop_count);
+    EXPECT_EQ(p.blob.bytes, q.blob.bytes);
+    EXPECT_EQ(p.blob.logical_bits, q.blob.logical_bits);
+    EXPECT_EQ(p.blob.state_size, q.blob.state_size);
+    for (std::size_t b_i = 0; b_i < p.blob.state_size; ++b_i) {
+      EXPECT_EQ(p.blob.state[b_i], q.blob.state[b_i]);
+    }
+    EXPECT_EQ(p.blob.model_version, q.blob.model_version);
+    EXPECT_EQ(p.blob.truncated, q.blob.truncated);
+    EXPECT_EQ(p.blob.dropped, q.blob.dropped);
+  }
+}
+
+TEST(HexCodec, RoundTripsAndMarksEmpty) {
+  const std::uint8_t data[] = {0x00, 0x0f, 0xf0, 0xff};
+  EXPECT_EQ(to_hex(data, 4), "000ff0ff");
+  EXPECT_EQ(to_hex(data, 0), "-");
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(from_hex("000ff0ff", out));
+  EXPECT_EQ(out, std::vector<std::uint8_t>({0x00, 0x0f, 0xf0, 0xff}));
+  ASSERT_TRUE(from_hex("-", out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(from_hex("AbCd", out));  // upper-case accepted on input
+  EXPECT_EQ(out, std::vector<std::uint8_t>({0xab, 0xcd}));
+  EXPECT_FALSE(from_hex("abc", out));   // odd length
+  EXPECT_FALSE(from_hex("zz", out));    // non-hex digit
+}
+
+TEST(ReportStream, SerializeParseRoundTrip) {
+  const ReportStream stream = sample_stream();
+  const std::string text = stream.serialize();
+  EXPECT_EQ(text.rfind("dophy-report-stream v1\n", 0), 0u);
+  const auto parsed = ReportStream::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(stream, *parsed);
+  EXPECT_EQ(parsed->report_count(), 5u);
+}
+
+TEST(ReportStream, EmptyPayloadAndDroppedReportRoundTrip) {
+  ReportStream stream;
+  stream.node_count = 3;
+  StreamRecord rec;
+  rec.kind = StreamRecord::Kind::kReport;
+  rec.report.packet.origin = 2;
+  rec.report.packet.blob.dropped = true;  // faulted in transit: empty payload
+  stream.records.push_back(rec);
+  const auto parsed = ReportStream::parse(stream.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(stream, *parsed);
+}
+
+TEST(ReportStream, ParseSkipsCommentsAndBlankLines) {
+  const std::string text =
+      "dophy-report-stream v1\n"
+      "# recorded by a test\n"
+      "\n"
+      "H 5 4 10\n"
+      "M deadbeef\n";
+  const auto parsed = ReportStream::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->node_count, 5u);
+  EXPECT_EQ(parsed->censor_threshold, 4u);
+  EXPECT_EQ(parsed->max_hops, 10u);
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(parsed->records[0].model_bytes.size(), 4u);
+}
+
+TEST(ReportStream, RejectsMalformedInput) {
+  EXPECT_FALSE(ReportStream::parse("").has_value());
+  EXPECT_FALSE(ReportStream::parse("wrong-magic\nH 1 2 3\n").has_value());
+  // Missing header line entirely.
+  EXPECT_FALSE(ReportStream::parse("dophy-report-stream v1\nM dead\n").has_value());
+  // Unknown record tag.
+  EXPECT_FALSE(
+      ReportStream::parse("dophy-report-stream v1\nH 1 2 3\nX what\n").has_value());
+  // Truncated report line.
+  EXPECT_FALSE(
+      ReportStream::parse("dophy-report-stream v1\nH 1 2 3\nR 1 2 3\n").has_value());
+  // Odd-length hex payload.
+  EXPECT_FALSE(ReportStream::parse("dophy-report-stream v1\nH 1 2 3\nM abc\n").has_value());
+  // state_size disagreeing with the state hex payload.
+  EXPECT_FALSE(
+      ReportStream::parse(
+          "dophy-report-stream v1\nH 1 2 3\nR 1 1 1 0 1 8 0 4 0 0 ab cdef\n")
+          .has_value());
+  // state_size exceeding the fixed in-packet state array (16 bytes).
+  std::string oversized = "dophy-report-stream v1\nH 1 2 3\nR 1 1 1 0 1 8 0 17 0 0 ";
+  oversized += std::string(34, 'a');
+  oversized += " -\n";
+  EXPECT_FALSE(ReportStream::parse(oversized).has_value());
+}
+
+TEST(ReportStream, FileSaveLoadRoundTrip) {
+  const ReportStream stream = sample_stream();
+  const std::string path = ::testing::TempDir() + "dophy_sink_stream_test.txt";
+  ASSERT_TRUE(stream.save(path));
+  const auto loaded = ReportStream::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(stream, *loaded);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReportStream::load(path).has_value());  // gone: IO failure path
+}
+
+}  // namespace
+}  // namespace dophy::sink

@@ -1,0 +1,304 @@
+// SinkService end-to-end tests against synthesized (no-network) packet
+// streams: the running service must reproduce the batch decode + estimate
+// path exactly — including under duplicated and fault-mutated reports,
+// mid-stream snapshot/restore into a fresh service, and lossy overflow
+// policies.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/fault/injector.hpp"
+#include "dophy/obs/json.hpp"
+#include "dophy/sink/service.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/measurement.hpp"
+
+namespace dophy::sink {
+namespace {
+
+using dophy::common::Rng;
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::tomo::DophyDecoder;
+using dophy::tomo::DophyInstrumentation;
+using dophy::tomo::LinkLossEstimator;
+using dophy::tomo::SymbolMapper;
+
+constexpr std::size_t kNodes = 30;
+constexpr std::uint32_t kK = 4;
+
+struct Hop {
+  NodeId receiver;
+  std::uint32_t attempts;
+};
+
+/// Applies a hop sequence through the instrumentation as the simulator would.
+Packet make_packet(DophyInstrumentation& instr, NodeId origin, const std::vector<Hop>& hops) {
+  Packet packet;
+  packet.origin = origin;
+  packet.seq = 1;
+  instr.on_origin(packet, origin, 0);
+  NodeId sender = origin;
+  for (const Hop& hop : hops) {
+    instr.on_hop_received(packet, hop.receiver, sender, hop.attempts, 0);
+    sender = hop.receiver;
+  }
+  return packet;
+}
+
+/// A reproducible stream of delivered packets ending at the sink.
+std::vector<StreamRecord> make_stream(DophyInstrumentation& instr, std::uint64_t seed,
+                                      std::size_t count, double warmup_fraction = 0.0) {
+  Rng rng(seed);
+  std::vector<StreamRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto origin = static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+    std::vector<Hop> hops;
+    const std::size_t len = 1 + rng.next_below(5);
+    for (std::size_t h = 0; h + 1 < len; ++h) {
+      hops.push_back({static_cast<NodeId>(1 + rng.next_below(kNodes - 1)),
+                      1 + static_cast<std::uint32_t>(rng.next_below(kK + 3))});
+    }
+    hops.push_back({kSinkId, 1 + static_cast<std::uint32_t>(rng.next_below(kK + 3))});
+    StreamRecord rec;
+    rec.kind = StreamRecord::Kind::kReport;
+    rec.report.packet = make_packet(instr, origin, hops);
+    rec.report.recv_time = static_cast<dophy::net::SimTime>(i);
+    rec.report.in_measure = rng.next_double() >= warmup_fraction;
+    records.push_back(std::move(rec));
+    if (rng.bernoulli(0.1)) records.push_back(records.back());  // duplicate delivery
+  }
+  return records;
+}
+
+SinkServiceConfig base_config() {
+  SinkServiceConfig config;
+  config.node_count = kNodes;
+  config.censor_threshold = kK;
+  return config;
+}
+
+/// Batch reference: same decoder configuration, same estimator math, fed
+/// synchronously in stream order.
+LinkLossEstimator batch_reference(const std::vector<StreamRecord>& records,
+                                  bool include_warmup = false,
+                                  std::uint64_t* decode_failures = nullptr) {
+  const SymbolMapper mapper(kK);
+  dophy::tomo::ModelStore store;
+  store.install(dophy::tomo::ModelSet::bootstrap(kNodes, mapper.alphabet_size()));
+  DophyDecoder decoder(store, mapper);
+  LinkLossEstimator batch(kK);
+  std::uint64_t failures = 0;
+  for (const StreamRecord& rec : records) {
+    const auto decoded = decoder.decode(rec.report.packet);
+    if (!decoded) {
+      ++failures;
+      continue;
+    }
+    if (rec.report.in_measure || include_warmup) batch.observe_path(*decoded);
+  }
+  if (decode_failures != nullptr) *decode_failures = failures;
+  return batch;
+}
+
+void expect_matches_batch(const SinkService& service, const LinkLossEstimator& batch) {
+  const auto batch_links = batch.all_estimates();
+  const auto sink_links = service.all_estimates();
+  ASSERT_EQ(batch_links.size(), sink_links.size());
+  for (std::size_t i = 0; i < batch_links.size(); ++i) {
+    ASSERT_EQ(batch_links[i].first, sink_links[i].first);
+    const auto* bs = batch.stats(batch_links[i].first);
+    const auto is = service.estimator().stats(sink_links[i].first);
+    ASSERT_NE(bs, nullptr);
+    ASSERT_TRUE(is.has_value());
+    EXPECT_TRUE(*bs == *is) << "link " << batch_links[i].first.from << "->"
+                            << batch_links[i].first.to;
+    EXPECT_EQ(batch_links[i].second.loss, sink_links[i].second.loss);
+    EXPECT_EQ(batch_links[i].second.stderr_, sink_links[i].second.stderr_);
+  }
+}
+
+TEST(SinkService, MatchesBatchEstimatorExactly) {
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 11, 400);
+  const LinkLossEstimator batch = batch_reference(records);
+
+  SinkService service(base_config());
+  service.start();
+  for (const StreamRecord& rec : records) {
+    ASSERT_TRUE(service.submit(0, rec));
+  }
+  service.wait_idle();
+  expect_matches_batch(service, batch);
+  service.stop();
+
+  const SinkServiceStats stats = service.stats();
+  EXPECT_EQ(stats.reports_processed, records.size());
+  EXPECT_EQ(stats.reports_decoded, records.size());  // clean stream: all decode
+  EXPECT_EQ(stats.decode_failures, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.queue.accepted, records.size());
+  EXPECT_EQ(stats.queue.dropped, 0u);
+}
+
+TEST(SinkService, WarmupReportsAreSkippedUnlessOptedIn) {
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 23, 200, /*warmup_fraction=*/0.4);
+
+  {
+    SinkService service(base_config());
+    service.start();
+    for (const StreamRecord& rec : records) ASSERT_TRUE(service.submit(0, rec));
+    service.wait_idle();
+    expect_matches_batch(service, batch_reference(records, /*include_warmup=*/false));
+  }
+  {
+    SinkServiceConfig config = base_config();
+    config.ingest_warmup = true;
+    SinkService service(config);
+    service.start();
+    for (const StreamRecord& rec : records) ASSERT_TRUE(service.submit(0, rec));
+    service.wait_idle();
+    expect_matches_batch(service, batch_reference(records, /*include_warmup=*/true));
+  }
+}
+
+TEST(SinkService, FaultMutatedReportsCannotDiverge) {
+  // Corrupt / truncate / drop a third of the stream through the injector's
+  // own mutation kernel.  Whatever the decoder makes of a mutated report,
+  // batch and service must make the same thing of it.
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  auto records = make_stream(instr, 37, 300);
+  Rng rng(99);
+  for (StreamRecord& rec : records) {
+    const std::size_t roll = rng.next_below(9);
+    if (roll > 2) continue;
+    const dophy::fault::FaultKind kind = roll == 0   ? dophy::fault::FaultKind::kReportDrop
+                                         : roll == 1 ? dophy::fault::FaultKind::kReportTruncate
+                                                     : dophy::fault::FaultKind::kReportCorrupt;
+    (void)dophy::fault::mutate_blob(rec.report.packet.blob, kind, rng);
+  }
+
+  std::uint64_t batch_failures = 0;
+  const LinkLossEstimator batch = batch_reference(records, false, &batch_failures);
+  EXPECT_GT(batch_failures, 0u);  // the mutations actually broke something
+
+  SinkService service(base_config());
+  service.start();
+  for (const StreamRecord& rec : records) ASSERT_TRUE(service.submit(0, rec));
+  service.wait_idle();
+  expect_matches_batch(service, batch);
+  service.stop();
+  EXPECT_EQ(service.stats().decode_failures, batch_failures);
+}
+
+TEST(SinkService, MidStreamSnapshotRestoresIntoFreshService) {
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 53, 300);
+  const LinkLossEstimator batch = batch_reference(records);
+  const std::size_t cut = records.size() / 2;
+
+  std::string snapshot;
+  {
+    SinkService first(base_config());
+    first.start();
+    for (std::size_t i = 0; i < cut; ++i) ASSERT_TRUE(first.submit(0, records[i]));
+    first.wait_idle();
+    snapshot = first.snapshot_json();
+    first.stop();
+  }
+
+  // The snapshot is a well-formed versioned document.
+  const auto doc = dophy::obs::parse_json(snapshot);
+  ASSERT_TRUE(doc.has_value());
+  const auto* format = doc->find("format");
+  ASSERT_NE(format, nullptr);
+  EXPECT_EQ(format->string, "dophy-sink-service-snapshot-v1");
+
+  SinkService second(base_config());
+  ASSERT_TRUE(second.restore_snapshot(snapshot));
+  second.start();
+  for (std::size_t i = cut; i < records.size(); ++i) {
+    ASSERT_TRUE(second.submit(0, records[i]));
+  }
+  second.wait_idle();
+  expect_matches_batch(second, batch);
+}
+
+TEST(SinkService, RestoreRejectsMalformedAndRunning) {
+  SinkService service(base_config());
+  EXPECT_FALSE(service.restore_snapshot("not json"));
+  EXPECT_FALSE(service.restore_snapshot("{}"));
+  EXPECT_FALSE(service.restore_snapshot(R"({"format":"wrong","estimator":{}})"));
+
+  // K mismatch between snapshot and service config.
+  SinkServiceConfig other = base_config();
+  other.censor_threshold = 8;
+  SinkService donor(other);
+  const std::string snapshot = donor.snapshot_json();
+  EXPECT_FALSE(service.restore_snapshot(snapshot));
+
+  SinkService running(base_config());
+  running.start();
+  EXPECT_FALSE(running.restore_snapshot(running.snapshot_json()));
+  running.stop();
+}
+
+TEST(SinkService, DropNewestShedsUnderOverflowButKeepsExactness) {
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 71, 200);
+
+  SinkServiceConfig config = base_config();
+  config.queue_capacity = 16;
+  config.overflow_policy = OverflowPolicy::kDropNewest;
+  SinkService service(config);
+  // No consumer yet: only the first ring-capacity submits are accepted.
+  std::vector<StreamRecord> accepted;
+  for (const StreamRecord& rec : records) {
+    if (service.submit(0, rec)) accepted.push_back(rec);
+  }
+  EXPECT_EQ(accepted.size(), 16u);
+  service.start();
+  service.wait_idle();
+  service.stop();
+
+  const SinkServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queue.dropped, records.size() - accepted.size());
+  EXPECT_EQ(stats.reports_processed, accepted.size());
+  // The estimate over the accepted prefix is still exactly the batch answer.
+  expect_matches_batch(service, batch_reference(accepted));
+}
+
+TEST(SinkService, StopWithoutStartDrainsSynchronously) {
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 83, 50);
+  SinkService service(base_config());
+  for (const StreamRecord& rec : records) ASSERT_TRUE(service.submit(0, rec));
+  service.stop();  // never started: accepted records must still be processed
+  expect_matches_batch(service, batch_reference(records));
+  EXPECT_FALSE(service.submit(0, records[0]));  // stopped: submits fail
+}
+
+TEST(SinkService, RejectsInvalidConfig) {
+  SinkServiceConfig config;  // node_count unset
+  EXPECT_THROW(SinkService{config}, std::invalid_argument);
+  config.node_count = 5;
+  config.decode_batch = 0;
+  EXPECT_THROW(SinkService{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dophy::sink

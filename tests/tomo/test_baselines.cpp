@@ -91,6 +91,34 @@ TEST(DeliveryRatio, SkipsThinOrigins) {
   EXPECT_TRUE(DeliveryRatioTomography(cfg).estimate(samples).empty());
 }
 
+TEST(DeliveryRatio, ZeroObservationCases) {
+  DeliveryRatioConfig cfg;
+  cfg.max_attempts = 1;
+  cfg.min_generated = 1;
+  // No samples at all.
+  EXPECT_TRUE(DeliveryRatioTomography(cfg).estimate({}).empty());
+  // A window with zero generated packets carries no ratio: it must be
+  // skipped without dividing by zero.
+  std::vector<PathSample> samples;
+  samples.push_back({1, {0}, 0, 0});
+  EXPECT_TRUE(DeliveryRatioTomography(cfg).estimate(samples).empty());
+  // A sample with no path (origin with no snapshot route) is unusable too.
+  samples.clear();
+  samples.push_back({1, {}, 1000, 900});
+  EXPECT_TRUE(DeliveryRatioTomography(cfg).estimate(samples).empty());
+}
+
+TEST(DeliveryRatio, TotalBlackoutClampsToFullLoss) {
+  DeliveryRatioConfig cfg;
+  cfg.max_attempts = 1;
+  cfg.min_generated = 1;
+  std::vector<PathSample> samples;
+  samples.push_back({1, {0}, 1000, 0});  // nothing ever arrived
+  const auto est = DeliveryRatioTomography(cfg).estimate(samples);
+  ASSERT_EQ(est.count(LinkKey{1, 0}), 1u);
+  EXPECT_DOUBLE_EQ(est.at(LinkKey{1, 0}), 1.0);
+}
+
 TEST(DeliveryRatio, ArqMaskingCompressesEstimates) {
   // Same delivery ratios, but interpreted under an 8-attempt MAC: the
   // inferred per-attempt losses become large and poorly separated — the
@@ -144,6 +172,21 @@ TEST(Nnls, HandlesPathDiversity) {
 TEST(Nnls, EmptyInput) {
   NnlsConfig cfg;
   EXPECT_TRUE(NnlsPathTomography(cfg).estimate({}).empty());
+}
+
+TEST(Nnls, ZeroObservationAndThinWindowCases) {
+  NnlsConfig cfg;
+  cfg.max_attempts = 1;
+  cfg.min_generated = 100;
+  // Zero-generated and below-threshold windows contribute no equations.
+  std::vector<PathSample> samples;
+  samples.push_back({1, {0}, 0, 0});
+  samples.push_back({2, {1, 0}, 99, 50});
+  EXPECT_TRUE(NnlsPathTomography(cfg).estimate(samples).empty());
+  // At exactly the threshold the window counts.
+  samples.push_back({3, {0}, 100, 90});
+  const auto est = NnlsPathTomography(cfg).estimate(samples);
+  EXPECT_EQ(est.count(LinkKey{3, 0}), 1u);
 }
 
 TEST(Nnls, NonNegativeOutputs) {
@@ -210,6 +253,15 @@ TEST(Em, EmptyAndDegenerateInputs) {
   EXPECT_TRUE(EmPathTomography(cfg).estimate({}).empty());
   std::vector<PacketObservation> no_path{{1, {}, true}};
   EXPECT_TRUE(EmPathTomography(cfg).estimate(no_path).empty());
+}
+
+TEST(Em, TotalBlackoutAttributesFullLoss) {
+  EmConfig cfg;
+  cfg.max_attempts = 1;
+  std::vector<PacketObservation> packets(2000, PacketObservation{1, {0}, false});
+  const auto est = EmPathTomography(cfg).estimate(packets);
+  ASSERT_EQ(est.count(LinkKey{1, 0}), 1u);
+  EXPECT_GT(est.at(LinkKey{1, 0}), 0.95);
 }
 
 TEST(Baselines, EmAndNnlsAgreeOnIdentifiableSystem) {

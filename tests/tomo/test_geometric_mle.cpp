@@ -1,0 +1,152 @@
+// Unit tests for the shared censored-geometric sufficient-statistic kernel —
+// the math both the batch LinkLossEstimator and the streaming sink estimator
+// evaluate.  Covers the accumulation identities (merge == sequential, order
+// invariance while integral), the decay/ghost boundary, and hand-computed
+// closed forms including the all-censored and zero-observation edges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dophy/tomo/geometric_mle.hpp"
+
+namespace dophy::tomo {
+namespace {
+
+HopObservation obs(std::uint32_t attempts, bool censored = false) {
+  return HopObservation{attempts, censored};
+}
+
+TEST(GeometricSuffStats, ObserveAccumulatesIntegralCounts) {
+  GeometricSuffStats s;
+  s.observe(obs(3));
+  s.observe(obs(1));
+  s.observe(obs(4, true));
+  EXPECT_EQ(s.uncensored, 2.0);
+  EXPECT_EQ(s.attempts_sum, 4.0);
+  EXPECT_EQ(s.censored, 1.0);
+  EXPECT_EQ(s.total(), 3.0);
+  EXPECT_TRUE(s.has_support());
+}
+
+TEST(GeometricSuffStats, MergeEqualsSequentialAccumulation) {
+  GeometricSuffStats whole, left, right;
+  const std::uint32_t attempts[] = {1, 3, 2, 4, 4, 1, 2, 5};
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto o = obs(attempts[i], attempts[i] >= 4);
+    whole.observe(o);
+    (i < 4 ? left : right).observe(o);
+  }
+  left.merge(right);
+  EXPECT_TRUE(left == whole);  // exact: shard merge loses nothing
+}
+
+TEST(GeometricSuffStats, AccumulationOrderIsIrrelevantWhileIntegral) {
+  GeometricSuffStats forward, backward;
+  const std::uint32_t attempts[] = {7, 1, 3, 4, 2, 6, 5, 1, 1, 4};
+  for (std::size_t i = 0; i < 10; ++i) forward.observe(obs(attempts[i], attempts[i] >= 4));
+  for (std::size_t i = 10; i-- > 0;) backward.observe(obs(attempts[i], attempts[i] >= 4));
+  EXPECT_TRUE(forward == backward);
+}
+
+TEST(GeometricSuffStats, DecayScalesAndEventuallyDropsSupport) {
+  GeometricSuffStats s;
+  s.observe(obs(3));
+  s.observe(obs(4, true));
+  s.decay(0.5);
+  EXPECT_EQ(s.uncensored, 0.5);
+  EXPECT_EQ(s.attempts_sum, 1.5);
+  EXPECT_EQ(s.censored, 0.5);
+  EXPECT_TRUE(s.has_support());  // total exactly 1.0
+  s.decay(0.25);
+  EXPECT_FALSE(s.has_support());  // fully-decayed ghost: total 0.25 < 0.5
+}
+
+TEST(EstimateCensoredGeometric, MatchesHandComputedMle) {
+  // U = 3 uncensored with attempts {1, 2, 4}; C = 2 censored at K = 4.
+  GeometricSuffStats s;
+  s.observe(obs(1));
+  s.observe(obs(2));
+  s.observe(obs(4));
+  s.observe(obs(4, true));
+  s.observe(obs(4, true));
+  const LinkEstimate e = estimate_censored_geometric(s, 4);
+  const double q = 3.0 / (7.0 + 2.0 * 3.0);  // U / (sum t + C(K-1))
+  EXPECT_DOUBLE_EQ(e.loss, 1.0 - q);
+  EXPECT_DOUBLE_EQ(e.samples, 5.0);
+  // Wald stderr from the observed Fisher information.
+  const double failures = (7.0 - 3.0) + 2.0 * 3.0;
+  const double info = 3.0 / (q * q) + failures / ((1.0 - q) * (1.0 - q));
+  EXPECT_DOUBLE_EQ(e.stderr_, 1.0 / std::sqrt(info));
+}
+
+TEST(EstimateCensoredGeometric, PerfectLinkHasZeroLoss) {
+  GeometricSuffStats s;
+  for (int i = 0; i < 10; ++i) s.observe(obs(1));
+  const LinkEstimate e = estimate_censored_geometric(s, 4);
+  EXPECT_DOUBLE_EQ(e.loss, 0.0);  // q = U / sum t = 1
+  EXPECT_GT(e.stderr_, 0.0);
+}
+
+TEST(EstimateCensoredGeometric, AllCensoredReportsConservativeBoundary) {
+  for (const std::uint32_t k : {2u, 4u, 16u}) {
+    GeometricSuffStats s;
+    for (int i = 0; i < 5; ++i) s.observe(obs(k, true));
+    const LinkEstimate e = estimate_censored_geometric(s, k);
+    EXPECT_DOUBLE_EQ(e.loss, 1.0 - 1.0 / static_cast<double>(k)) << "K=" << k;
+    EXPECT_DOUBLE_EQ(e.stderr_, 1.0) << "K=" << k;
+    EXPECT_DOUBLE_EQ(e.samples, 5.0) << "K=" << k;
+  }
+}
+
+TEST(EstimateCensoredGeometric, ZeroObservationsAreTheCallersGuard) {
+  // Empty stats take the all-censored branch (uncensored == 0); front-ends
+  // must consult has_support() before reporting, which is false here.
+  const GeometricSuffStats s;
+  EXPECT_FALSE(s.has_support());
+  const LinkEstimate e = estimate_censored_geometric(s, 4);
+  EXPECT_DOUBLE_EQ(e.samples, 0.0);
+  EXPECT_DOUBLE_EQ(e.stderr_, 1.0);
+}
+
+TEST(EstimateCensoredGeometric, PosteriorMeanMatchesConjugateUpdate) {
+  // Beta(a, b) prior on q; geometric likelihood is conjugate:
+  // posterior mean q = (U + a) / (sum t + C(K-1) + a + b).
+  GeometricSuffStats s;
+  s.observe(obs(2));
+  s.observe(obs(4, true));
+  const double a = 1.5, b = 0.5;
+  const LinkEstimate e = estimate_censored_geometric(s, 4, a, b);
+  const double q = (1.0 + a) / (2.0 + 3.0 + a + b);
+  EXPECT_DOUBLE_EQ(e.loss, 1.0 - q);
+  EXPECT_GT(e.stderr_, 0.0);
+}
+
+TEST(EstimateCensoredGeometric, PriorDominatesEmptyStatsAndWashesOut) {
+  // No data: the posterior mean is the prior mean.  Lots of data: the prior
+  // contribution becomes negligible relative to the MLE.
+  const GeometricSuffStats empty;
+  const LinkEstimate prior_only = estimate_censored_geometric(empty, 4, 4.0, 1.0);
+  EXPECT_NEAR(prior_only.loss, 1.0 - 4.0 / 5.0, 1e-12);
+
+  GeometricSuffStats heavy;
+  for (int i = 0; i < 100000; ++i) heavy.observe(obs(2));  // q = 0.5 exactly
+  const LinkEstimate with_prior = estimate_censored_geometric(heavy, 4, 4.0, 1.0);
+  const LinkEstimate mle = estimate_censored_geometric(heavy, 4);
+  EXPECT_NEAR(with_prior.loss, mle.loss, 1e-4);
+}
+
+TEST(EstimateCensoredGeometric, LossStaysInUnitInterval) {
+  // Degenerate but representable stat blocks must never escape [0, 1].
+  GeometricSuffStats s;
+  s.observe(obs(1));
+  s.decay(1e-6);  // tiny residual mass
+  for (const double prior : {0.0, 1.0}) {
+    const LinkEstimate e = estimate_censored_geometric(s, 2, prior, prior);
+    EXPECT_GE(e.loss, 0.0);
+    EXPECT_LE(e.loss, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dophy::tomo

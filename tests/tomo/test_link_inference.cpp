@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "dophy/common/rng.hpp"
+#include "dophy/tomo/geometric_mle.hpp"
 
 namespace dophy::tomo {
 namespace {
@@ -233,6 +234,68 @@ TEST(LinkLossEstimator, ClearResets) {
   est.observe(LinkKey{1, 2}, obs(1));
   est.clear();
   EXPECT_EQ(est.link_count(), 0u);
+  EXPECT_FALSE(est.estimate(LinkKey{1, 2}).has_value());
+}
+
+TEST(LinkLossEstimator, MinimumCensorThresholdBoundary) {
+  // K = 2 is the smallest legal threshold: every attempt count >= 2 is
+  // censored, so the all-censored boundary sits at loss = 1 - 1/2.
+  LinkLossEstimator est(2);
+  EXPECT_EQ(est.censor_threshold(), 2u);
+  for (int i = 0; i < 10; ++i) est.observe(LinkKey{1, 2}, obs(2, true));
+  const auto e = est.estimate(LinkKey{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(e->loss, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(e->stderr_, 1.0);
+
+  // One uncensored success moves the MLE off the boundary.
+  est.observe(LinkKey{1, 2}, obs(1));
+  const auto e2 = est.estimate(LinkKey{1, 2});
+  EXPECT_LT(e2->loss, 1.0);
+  EXPECT_LT(e2->stderr_, 1.0);
+}
+
+TEST(LinkLossEstimator, NeverCensoredAtMaxThreshold) {
+  // K above every attempt count: censoring never fires and the MLE reduces
+  // to the plain geometric estimate U / sum(t).
+  LinkLossEstimator est(1000);
+  est.observe(LinkKey{1, 2}, obs(2));
+  est.observe(LinkKey{1, 2}, obs(2));
+  const auto e = est.estimate(LinkKey{1, 2});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->loss, 0.5);  // q = 2 / 4
+}
+
+TEST(LinkLossEstimator, StatsAccessorExposesSufficientStatistics) {
+  LinkLossEstimator est(4);
+  EXPECT_EQ(est.stats(LinkKey{1, 2}), nullptr);
+  est.observe(LinkKey{1, 2}, obs(3));
+  est.observe(LinkKey{1, 2}, obs(4, true));
+  const GeometricSuffStats* s = est.stats(LinkKey{1, 2});
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->uncensored, 1.0);
+  EXPECT_EQ(s->attempts_sum, 3.0);
+  EXPECT_EQ(s->censored, 1.0);
+  // The estimate is exactly the shared closed form over those stats.
+  const auto direct = estimate_censored_geometric(*s, 4);
+  const auto via = est.estimate(LinkKey{1, 2});
+  ASSERT_TRUE(via.has_value());
+  EXPECT_EQ(via->loss, direct.loss);
+  EXPECT_EQ(via->stderr_, direct.stderr_);
+}
+
+TEST(LinkLossEstimator, FullyDecayedGhostLinksDisappear) {
+  // A link whose mass decays below the support threshold must stop being
+  // reported — by estimate() and by all_estimates() alike.
+  LinkLossEstimator est(4, 0.1);
+  est.observe(LinkKey{1, 2}, obs(1));
+  ASSERT_TRUE(est.estimate(LinkKey{1, 2}).has_value());
+  est.end_epoch();  // mass 0.1 < 0.5
+  EXPECT_FALSE(est.estimate(LinkKey{1, 2}).has_value());
+  EXPECT_TRUE(est.all_estimates().empty());
+  // New observations revive it.
+  est.observe(LinkKey{1, 2}, obs(2));
+  EXPECT_TRUE(est.estimate(LinkKey{1, 2}).has_value());
 }
 
 }  // namespace

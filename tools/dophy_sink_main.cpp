@@ -1,0 +1,445 @@
+// dophy_sink — record, replay, and verify sink-side report streams.
+//
+//   dophy_sink record --out FILE [--nodes N] [--seed S] [--warmup-s X]
+//                     [--measure-s X] [--k K]
+//       Runs the simulation pipeline with a stream tap armed and writes the
+//       sink's exact input (model installs + delivered packets, in arrival
+//       order) to FILE.
+//
+//   dophy_sink replay --in FILE [--rate R] [--repeat N] [--producers P]
+//                     [--queue-capacity C] [--policy block|drop] [--batch B]
+//                     [--report FILE]
+//       Feeds a recorded stream through the SinkService at a target rate
+//       (reports/s across all producers; 0 = unpaced) and reports achieved
+//       throughput, decode counters, and ingest-latency percentiles.
+//
+//   dophy_sink verify --in FILE [--snapshot-at FRAC] [--batch B]
+//       Differential check: replays the stream through the incremental
+//       service (optionally snapshotting at FRAC of the reports, restoring
+//       into a fresh service, and continuing there) and through the batch
+//       tomo::LinkLossEstimator, then requires identical link sets, exactly
+//       equal sufficient statistics, and estimates within 1e-12.  Exit 0 on
+//       agreement, 2 on divergence.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dophy/eval/scenario.hpp"
+#include "dophy/obs/metrics.hpp"
+#include "dophy/obs/report.hpp"
+#include "dophy/sink/service.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace {
+
+using dophy::sink::OverflowPolicy;
+using dophy::sink::ReportStream;
+using dophy::sink::SinkService;
+using dophy::sink::SinkServiceConfig;
+using dophy::sink::StreamRecord;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dophy_sink record --out FILE [--nodes N] [--seed S] [--warmup-s X]\n"
+               "                         [--measure-s X] [--k K]\n"
+               "       dophy_sink replay --in FILE [--rate R] [--repeat N] [--producers P]\n"
+               "                         [--queue-capacity C] [--policy block|drop]\n"
+               "                         [--batch B] [--report FILE]\n"
+               "       dophy_sink verify --in FILE [--snapshot-at FRAC] [--batch B]\n");
+  return 1;
+}
+
+/// Captures the sink-side stream during a pipeline run.
+class RecordingTap final : public dophy::tomo::SinkReportTap {
+ public:
+  void on_sink_install(const dophy::tomo::ModelSet& set) override {
+    StreamRecord rec;
+    rec.kind = StreamRecord::Kind::kModelInstall;
+    rec.model_bytes = set.serialize();
+    stream.records.push_back(std::move(rec));
+  }
+
+  void on_delivery(const dophy::net::Packet& packet, dophy::net::SimTime now,
+                   bool in_measure) override {
+    StreamRecord rec;
+    rec.kind = StreamRecord::Kind::kReport;
+    rec.report.packet = packet;
+    rec.report.packet.true_hops.clear();  // simulator-only ground truth
+    rec.report.packet.span = 0;
+    rec.report.recv_time = now;
+    rec.report.in_measure = in_measure;
+    stream.records.push_back(std::move(rec));
+  }
+
+  ReportStream stream;
+};
+
+struct Args {
+  std::string in_path;
+  std::string out_path;
+  std::string report_path;
+  std::size_t nodes = 50;
+  std::uint64_t seed = 1;
+  double warmup_s = -1.0;
+  double measure_s = -1.0;
+  std::uint32_t k = 0;
+  double rate = 0.0;
+  std::size_t repeat = 1;
+  std::size_t producers = 1;
+  std::size_t queue_capacity = 4096;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  std::size_t batch = 64;
+  double snapshot_at = -1.0;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (flag == "--in" && (v = next())) {
+      args.in_path = v;
+    } else if (flag == "--out" && (v = next())) {
+      args.out_path = v;
+    } else if (flag == "--report" && (v = next())) {
+      args.report_path = v;
+    } else if (flag == "--nodes" && (v = next())) {
+      args.nodes = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--warmup-s" && (v = next())) {
+      args.warmup_s = std::strtod(v, nullptr);
+    } else if (flag == "--measure-s" && (v = next())) {
+      args.measure_s = std::strtod(v, nullptr);
+    } else if (flag == "--k" && (v = next())) {
+      args.k = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--rate" && (v = next())) {
+      args.rate = std::strtod(v, nullptr);
+    } else if (flag == "--repeat" && (v = next())) {
+      args.repeat = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--producers" && (v = next())) {
+      args.producers = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--queue-capacity" && (v = next())) {
+      args.queue_capacity = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--batch" && (v = next())) {
+      args.batch = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--snapshot-at" && (v = next())) {
+      args.snapshot_at = std::strtod(v, nullptr);
+    } else if (flag == "--policy" && (v = next())) {
+      if (std::strcmp(v, "block") == 0) {
+        args.policy = OverflowPolicy::kBlock;
+      } else if (std::strcmp(v, "drop") == 0) {
+        args.policy = OverflowPolicy::kDropNewest;
+      } else {
+        std::fprintf(stderr, "dophy_sink: unknown --policy %s\n", v);
+        return std::nullopt;
+      }
+    } else {
+      std::fprintf(stderr, "dophy_sink: unknown or incomplete flag %s\n",
+                   std::string(flag).c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+SinkServiceConfig service_config(const ReportStream& stream, const Args& args) {
+  SinkServiceConfig cfg;
+  cfg.node_count = stream.node_count;
+  cfg.censor_threshold = stream.censor_threshold;
+  cfg.max_hops = stream.max_hops;
+  cfg.producers = args.producers;
+  cfg.queue_capacity = args.queue_capacity;
+  cfg.overflow_policy = args.policy;
+  cfg.decode_batch = args.batch;
+  return cfg;
+}
+
+int cmd_record(const Args& args) {
+  if (args.out_path.empty()) return usage();
+  dophy::tomo::PipelineConfig config = dophy::eval::default_pipeline(args.nodes, args.seed);
+  if (args.warmup_s >= 0.0) config.warmup_s = args.warmup_s;
+  if (args.measure_s >= 0.0) config.measure_s = args.measure_s;
+  if (args.k >= 2) config.dophy.censor_threshold = args.k;
+  config.run_baselines = false;  // the stream only needs the Dophy path
+
+  RecordingTap tap;
+  tap.stream.node_count = config.net.topology.node_count;
+  tap.stream.censor_threshold = config.dophy.censor_threshold;
+  tap.stream.max_hops = static_cast<std::uint16_t>(config.net.traffic.max_hops + 2);
+  config.report_tap = &tap;
+
+  const auto result = dophy::tomo::run_pipeline(config);
+  if (!tap.stream.save(args.out_path)) {
+    std::fprintf(stderr, "dophy_sink: cannot write %s\n", args.out_path.c_str());
+    return 2;
+  }
+  std::printf("recorded %zu records (%zu reports, %zu installs) from %zu-node run to %s\n",
+              tap.stream.records.size(), tap.stream.report_count(),
+              tap.stream.records.size() - tap.stream.report_count(),
+              config.net.topology.node_count, args.out_path.c_str());
+  std::printf("pipeline decoded %llu packets, measured %llu\n",
+              static_cast<unsigned long long>(result.decoder_stats.packets_decoded),
+              static_cast<unsigned long long>(result.packets_measured));
+  return 0;
+}
+
+/// Pushes `stream` through `service` once: reports fan out round-robin over
+/// the producer lanes (each lane pushed by its own thread, paced to
+/// rate/producers), with an idle barrier at every model install so the
+/// install/report order matches the recording.  Returns submitted reports.
+std::uint64_t feed_stream(SinkService& service, const ReportStream& stream, double rate,
+                          std::size_t producers,
+                          std::vector<std::uint64_t>& lane_sent,
+                          std::chrono::steady_clock::time_point start,
+                          bool include_installs = true) {
+  std::uint64_t submitted = 0;
+  std::vector<std::vector<const StreamRecord*>> segment(producers);
+  std::size_t next_lane = 0;
+
+  auto flush_segment = [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t lane = 0; lane < producers; ++lane) {
+      if (segment[lane].empty()) continue;
+      threads.emplace_back([&, lane] {
+        const double lane_rate = rate > 0.0 ? rate / static_cast<double>(producers) : 0.0;
+        for (const StreamRecord* rec : segment[lane]) {
+          if (lane_rate > 0.0) {
+            const auto due =
+                start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(lane_sent[lane]) / lane_rate));
+            std::this_thread::sleep_until(due);
+          }
+          (void)service.submit(lane, *rec);  // drop policy may shed; accounted
+          ++lane_sent[lane];
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& lane : segment) {
+      submitted += lane.size();
+      lane.clear();
+    }
+  };
+
+  for (const StreamRecord& rec : stream.records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      if (!include_installs) continue;  // repeat passes: versions already live
+      flush_segment();
+      service.wait_idle();  // keep install ordered after every prior report
+      (void)service.submit(0, rec);
+      // ...and processed before any later report: per-lane FIFO alone would
+      // let another lane's report (encoded with the just-published version)
+      // drain ahead of the install and fail decode.
+      service.wait_idle();
+      continue;
+    }
+    segment[next_lane].push_back(&rec);
+    next_lane = (next_lane + 1) % producers;
+  }
+  flush_segment();
+  return submitted;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.in_path.empty()) return usage();
+  auto stream = ReportStream::load(args.in_path);
+  if (!stream) {
+    std::fprintf(stderr, "dophy_sink: cannot load %s\n", args.in_path.c_str());
+    return 2;
+  }
+  if (args.producers == 0 || args.repeat == 0) return usage();
+
+  SinkService service(service_config(*stream, args));
+  service.start();
+
+  auto& registry = dophy::obs::Registry::global();
+  const auto base = registry.snapshot();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> lane_sent(args.producers, 0);
+  std::uint64_t submitted = 0;
+  for (std::size_t pass = 0; pass < args.repeat; ++pass) {
+    submitted += feed_stream(service, *stream, args.rate, args.producers, lane_sent, start,
+                             /*include_installs=*/pass == 0);
+  }
+  service.wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  service.stop();
+
+  const auto stats = service.stats();
+  const auto delta = registry.snapshot().delta_since(base);
+  const auto lat = delta.histograms.find("sink.ingest.latency_us");
+  const double p50 = lat != delta.histograms.end() ? lat->second.quantile(0.50) : 0.0;
+  const double p95 = lat != delta.histograms.end() ? lat->second.quantile(0.95) : 0.0;
+  const double p99 = lat != delta.histograms.end() ? lat->second.quantile(0.99) : 0.0;
+  const double rate_achieved =
+      elapsed > 0.0 ? static_cast<double>(stats.reports_processed) / elapsed : 0.0;
+
+  std::printf("replayed %llu reports in %.3f s: %.0f reports/s (target %s)\n",
+              static_cast<unsigned long long>(stats.reports_processed), elapsed,
+              rate_achieved, args.rate > 0.0 ? std::to_string(args.rate).c_str() : "unpaced");
+  std::printf("  decoded %llu, decode failures %llu, queue dropped %llu, block waits %llu\n",
+              static_cast<unsigned long long>(stats.reports_decoded),
+              static_cast<unsigned long long>(stats.decode_failures),
+              static_cast<unsigned long long>(stats.queue.dropped),
+              static_cast<unsigned long long>(stats.queue.block_waits));
+  std::printf("  ingest latency p50 %.1f us, p95 %.1f us, p99 %.1f us\n", p50, p95, p99);
+  std::printf("  links tracked %zu, estimator batches %llu\n", service.estimator().link_count(),
+              static_cast<unsigned long long>(stats.batches));
+
+  if (!args.report_path.empty()) {
+    dophy::obs::RunReport report;
+    report.bench = "dophy_sink";
+    report.title = "sink replay";
+    report.config = {{"stream", args.in_path},
+                     {"producers", std::to_string(args.producers)},
+                     {"queue_capacity", std::to_string(args.queue_capacity)},
+                     {"policy", args.policy == OverflowPolicy::kBlock ? "block" : "drop"},
+                     {"rate_target", std::to_string(args.rate)},
+                     {"repeat", std::to_string(args.repeat)},
+                     {"decode_batch", std::to_string(args.batch)}};
+    dophy::obs::TableSection table;
+    table.title = "sink replay";
+    table.columns = {"reports", "elapsed_s", "reports_per_s", "decoded", "decode_failures",
+                     "dropped", "p50_us", "p95_us", "p99_us"};
+    char num[64];
+    auto fmt = [&num](double v) {
+      std::snprintf(num, sizeof(num), "%.6g", v);
+      return std::string(num);
+    };
+    table.rows.push_back({std::to_string(stats.reports_processed), fmt(elapsed),
+                          fmt(rate_achieved), std::to_string(stats.reports_decoded),
+                          std::to_string(stats.decode_failures),
+                          std::to_string(stats.queue.dropped), fmt(p50), fmt(p95), fmt(p99)});
+    report.tables.push_back(std::move(table));
+    report.metrics = delta;
+    if (!dophy::obs::write_report_file(report, args.report_path)) {
+      std::fprintf(stderr, "dophy_sink: cannot write %s\n", args.report_path.c_str());
+      return 2;
+    }
+  }
+  const bool lossless_shortfall = args.policy == OverflowPolicy::kBlock &&
+                                  stats.reports_processed != submitted;
+  return lossless_shortfall ? 2 : 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.in_path.empty()) return usage();
+  auto stream = ReportStream::load(args.in_path);
+  if (!stream) {
+    std::fprintf(stderr, "dophy_sink: cannot load %s\n", args.in_path.c_str());
+    return 2;
+  }
+
+  // Batch reference: same decoder stack, whole stream at once.
+  dophy::tomo::ModelStore store;
+  const dophy::tomo::SymbolMapper mapper(stream->censor_threshold);
+  store.install(
+      dophy::tomo::ModelSet::bootstrap(stream->node_count, mapper.alphabet_size()));
+  dophy::tomo::DophyDecoder decoder(store, mapper, stream->max_hops);
+  dophy::tomo::LinkLossEstimator batch(stream->censor_threshold);
+  for (const StreamRecord& rec : stream->records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      store.install(dophy::tomo::ModelSet::deserialize(rec.model_bytes));
+      continue;
+    }
+    auto decoded = decoder.decode(rec.report.packet);
+    if (decoded && rec.report.in_measure) batch.observe_path(*decoded);
+  }
+
+  // Incremental service, optionally split across a snapshot/restore.
+  Args service_args = args;
+  service_args.producers = 1;
+  service_args.policy = OverflowPolicy::kBlock;
+  const std::size_t total_reports = stream->report_count();
+  const std::size_t snapshot_after =
+      args.snapshot_at > 0.0 && args.snapshot_at < 1.0
+          ? static_cast<std::size_t>(args.snapshot_at * static_cast<double>(total_reports))
+          : 0;
+
+  auto service = std::make_unique<SinkService>(service_config(*stream, service_args));
+  service->start();
+  std::size_t reports_fed = 0;
+  bool restored = false;
+  for (const StreamRecord& rec : stream->records) {
+    if (snapshot_after > 0 && !restored && reports_fed == snapshot_after &&
+        rec.kind == StreamRecord::Kind::kReport) {
+      service->wait_idle();
+      const std::string snap = service->snapshot_json();
+      service->stop();
+      auto next = std::make_unique<SinkService>(service_config(*stream, service_args));
+      if (!next->restore_snapshot(snap)) {
+        std::fprintf(stderr, "verify: snapshot restore failed\n");
+        return 2;
+      }
+      next->start();
+      service = std::move(next);
+      restored = true;
+    }
+    (void)service->submit(0, rec);
+    if (rec.kind == StreamRecord::Kind::kReport) ++reports_fed;
+  }
+  service->wait_idle();
+  service->stop();
+
+  // Compare: identical link sets, exact sufficient statistics, estimates
+  // within 1e-12.
+  const auto batch_links = batch.all_estimates();
+  const auto inc_links = service->all_estimates();
+  if (batch_links.size() != inc_links.size()) {
+    std::fprintf(stderr, "verify: link count diverged (batch %zu, incremental %zu)\n",
+                 batch_links.size(), inc_links.size());
+    return 2;
+  }
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < batch_links.size(); ++i) {
+    const auto& [bk, be] = batch_links[i];
+    const auto& [ik, ie] = inc_links[i];
+    if (bk != ik) {
+      std::fprintf(stderr, "verify: link set diverged at index %zu\n", i);
+      return 2;
+    }
+    const auto bs = batch.stats(bk);
+    const auto is = service->estimator().stats(ik);
+    if (bs == nullptr || !is || !(*bs == *is)) {
+      std::fprintf(stderr, "verify: sufficient statistics diverged on link %u->%u\n",
+                   static_cast<unsigned>(bk.from), static_cast<unsigned>(bk.to));
+      return 2;
+    }
+    max_delta = std::max({max_delta, std::fabs(be.loss - ie.loss),
+                          std::fabs(be.stderr_ - ie.stderr_),
+                          std::fabs(be.samples - ie.samples)});
+  }
+  if (max_delta > 1e-12) {
+    std::fprintf(stderr, "verify: estimate divergence %.3e exceeds 1e-12\n", max_delta);
+    return 2;
+  }
+  std::printf("verify: %zu links agree (max |delta| %.3e%s)\n", batch_links.size(), max_delta,
+              restored ? ", through mid-stream snapshot/restore" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view cmd = argv[1];
+  const auto args = parse_args(argc, argv);
+  if (!args) return 1;
+  if (cmd == "record") return cmd_record(*args);
+  if (cmd == "replay") return cmd_replay(*args);
+  if (cmd == "verify") return cmd_verify(*args);
+  return usage();
+}
