@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
 #include <vector>
 
 #include "dophy/common/rng.hpp"
@@ -154,6 +155,52 @@ void SinkServiceIngest(benchmark::State& state) {
   }
 }
 BENCHMARK(SinkServiceIngest);
+
+// Consumer scaling: N producer threads submitting into N lanes drained by N
+// consumers (shard-affine partitions, no estimator locks).  Each iteration
+// pushes one burst and waits for it to be fully decoded + folded, so the
+// rate is end-to-end ingest throughput, not queue acceptance.  Real time:
+// the work happens on the consumer threads.  scripts/bench_compare.py reads
+// the C4/C1 ratio as the sink_scaling gate (>= 8-core hosts only).
+void SinkServiceScaling(benchmark::State& state) {
+  const auto consumers = static_cast<std::size_t>(state.range(0));
+  const dophy::tomo::SymbolMapper mapper(kK);
+  dophy::tomo::DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_reports(instr, 2048);
+
+  dophy::sink::SinkServiceConfig config;
+  config.node_count = kNodes;
+  config.censor_threshold = kK;
+  config.producers = consumers;
+  config.consumers = consumers;
+  dophy::sink::SinkService service(config);
+  service.start();
+
+  constexpr std::size_t kBurst = 4096;
+  const std::size_t per_lane = kBurst / consumers;
+  for (auto _ : state) {
+    std::vector<std::thread> producers;
+    producers.reserve(consumers);
+    for (std::size_t lane = 0; lane < consumers; ++lane) {
+      producers.emplace_back([&, lane] {
+        std::size_t i = lane;  // disjoint per-lane strides over the corpus
+        for (std::size_t n = 0; n < per_lane; ++n) {
+          (void)service.submit(lane, records[i]);
+          i = (i + consumers) % records.size();
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    service.wait_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(per_lane * consumers));
+  service.stop();
+  if (service.stats().decode_failures > 0) {
+    state.SkipWithError("decode failures in benchmark stream");
+  }
+}
+BENCHMARK(SinkServiceScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

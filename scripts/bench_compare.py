@@ -212,6 +212,33 @@ PDES_GATE_MIN_CORES = 8
 PDES_GATE_MIN_SPEEDUP = 3.0
 
 
+def sink_scaling(current):
+    """Consumer-scaling summary from the SinkServiceScaling rows.
+
+    Returns (speedup_c4_over_c1, rows) or (None, {}) when the benchmark is
+    absent.  The ratio compares the service against ITSELF at one consumer —
+    same decode + fold work per report, so it isolates the shard-affine
+    consumer group's parallel efficiency.
+    """
+    sink = current.get("micro_sink", {}).get("benchmarks", {})
+    rows = {}
+    for consumers in (1, 2, 4):
+        rate = sink.get(f"SinkServiceScaling/{consumers}/real_time",
+                        {}).get("items_per_second")
+        if rate:
+            rows[consumers] = rate
+    if 1 not in rows or 4 not in rows:
+        return None, rows
+    return rows[4] / rows[1], rows
+
+
+# Like the PDES gate: a 4-consumer service (4 producer threads + 4 consumer
+# threads) needs cores to scale on; below the floor the rows are contention
+# measurements and the gate reports informationally instead of failing.
+SINK_GATE_MIN_CORES = 8
+SINK_GATE_MIN_SPEEDUP = 3.0
+
+
 def speedups_vs_reference(current, reference):
     """Ratios of headline current metrics against the pre-engine reference."""
     out = {}
@@ -319,6 +346,24 @@ def main():
         else:
             print(f"  (speedup gate skipped: {cores} core(s) < "
                   f"{PDES_GATE_MIN_CORES} needed to run 8 LP workers)")
+
+    # Hardware-adaptive sink consumer-scaling gate, same shape: enforce the
+    # 4-consumer ingest speedup only where the threads have cores to run on.
+    sink_speedup, sink_rows = sink_scaling(current)
+    if sink_speedup is not None:
+        cores = os.cpu_count() or 1
+        row_text = ", ".join(
+            f"C={c}: {r:.0f} reports/s" for c, r in sorted(sink_rows.items()))
+        print(f"  sink scaling ({row_text}) -> C4/C1 = {sink_speedup:.2f}x")
+        if cores >= SINK_GATE_MIN_CORES:
+            if sink_speedup < SINK_GATE_MIN_SPEEDUP:
+                failures.append(
+                    f"micro_sink/SinkServiceScaling: C4/C1 speedup "
+                    f"{sink_speedup:.2f}x below {SINK_GATE_MIN_SPEEDUP:.1f}x "
+                    f"on a {cores}-core host")
+        else:
+            print(f"  (sink scaling gate skipped: {cores} core(s) < "
+                  f"{SINK_GATE_MIN_CORES} needed for a 4-consumer group)")
 
     if "speedup_vs_pre_engine" in report:
         for key, ratio in sorted(report["speedup_vs_pre_engine"].items()):

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Fails when any docs/*.md (or README.md) references something that does not
+# exist: relative markdown link targets, or backticked repo paths such as
+# `src/dophy/sink/service.hpp` (brace groups like service.{hpp,cpp} are
+# expanded; `path:123` line suffixes are stripped).  CI wires this into the
+# docs job next to check_experiments_doc.sh so renames cannot silently
+# strand the documentation.
+#
+# Usage:
+#   scripts/check_doc_links.sh              # check the repo's docs
+#   scripts/check_doc_links.sh --self-test  # prove a planted stale link fails
+#
+# DOPHY_DOC_ROOT overrides the checked tree (used by the self-test).
+set -euo pipefail
+
+script_path="$(cd "$(dirname "$0")" && pwd)/$(basename "$0")"
+repo_root="${DOPHY_DOC_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+# Top-level entries a backticked token must start with to be treated as a
+# repo path (keeps `ctest -L sink` and flag examples out of the check).
+path_roots='src|tests|tools|bench|docs|scripts|examples|\.github'
+
+failures=0
+
+fail() {
+  echo "stale reference: $1" >&2
+  failures=$((failures + 1))
+}
+
+check_doc() {
+  local doc="$1"
+  local doc_dir
+  doc_dir="$(dirname "$doc")"
+
+  # 1. Relative markdown links: [text](target).  External URLs and pure
+  #    in-page anchors are out of scope; #section suffixes are stripped.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$doc_dir/$path" && ! -e "$repo_root/$path" ]]; then
+      fail "$doc: link target '$target' does not exist"
+    fi
+  done < <(grep -oE '\[[^][]*\]\([^)[:space:]]+\)' "$doc" 2>/dev/null |
+           sed -E 's/^\[[^][]*\]\(([^)]+)\)$/\1/')
+
+  # 2. Backticked repo paths: `src/.../file.ext`, with optional {a,b} brace
+  #    groups and :line suffixes.  Checked against the repo root.
+  while IFS= read -r token; do
+    [[ -z "$token" ]] && continue
+    token="${token%\`}"
+    token="${token#\`}"
+    token="${token%%:[0-9]*}"            # file.cpp:123 -> file.cpp
+    [[ "$token" =~ ^(${path_roots})/ ]] || continue
+    [[ "$token" =~ ^[A-Za-z0-9_.{},/-]+$ ]] || continue
+    local candidate
+    # Safe to eval: the charset above excludes quoting/substitution chars.
+    for candidate in $(eval echo "$token"); do
+      candidate="${candidate%/}"
+      if [[ ! -e "$repo_root/$candidate" ]]; then
+        fail "$doc: path \`$candidate\` does not exist"
+      fi
+    done
+  done < <(grep -oE '`[^` ]+`' "$doc" 2>/dev/null)
+  return 0
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  mkdir -p "$tmp/docs"
+  cat > "$tmp/docs/STALE.md" <<'EOF'
+A [dangling link](no-such-page.md) and a dead path `src/dophy/gone/never.hpp`.
+EOF
+  if DOPHY_DOC_ROOT="$tmp" "$script_path" >/dev/null 2>&1; then
+    echo "self-test FAILED: planted stale link was not rejected" >&2
+    exit 1
+  fi
+  echo "self-test: planted stale link correctly rejected"
+  # Fall through: the real tree must still pass.
+fi
+
+shopt -s nullglob
+docs=("$repo_root"/docs/*.md)
+[[ -f "$repo_root/README.md" ]] && docs+=("$repo_root/README.md")
+if [[ ${#docs[@]} -eq 0 ]]; then
+  echo "error: no docs found under $repo_root" >&2
+  exit 1
+fi
+for doc in "${docs[@]}"; do
+  check_doc "$doc"
+done
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "check_doc_links: $failures stale reference(s)" >&2
+  exit 1
+fi
+echo "check_doc_links: all ${#docs[@]} doc(s) clean."

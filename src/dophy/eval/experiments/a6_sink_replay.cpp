@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "dophy/common/stats.hpp"
@@ -23,6 +22,7 @@
 #include "dophy/eval/experiments/registrars.hpp"
 #include "dophy/eval/scenario.hpp"
 #include "dophy/sink/service.hpp"
+#include "dophy/sink/stream_feed.hpp"
 #include "dophy/tomo/link_inference.hpp"
 #include "dophy/tomo/pipeline.hpp"
 
@@ -38,6 +38,7 @@ using dophy::sink::StreamRecord;
 
 struct CellConfig {
   std::size_t producers = 1;
+  std::size_t consumers = 1;
   OverflowPolicy policy = OverflowPolicy::kBlock;
   std::size_t queue_capacity = 4096;
 };
@@ -96,45 +97,19 @@ TrialResult run_trial(const ReportStream& stream, const CellConfig& cell) {
   cfg.censor_threshold = stream.censor_threshold;
   cfg.max_hops = stream.max_hops;
   cfg.producers = cell.producers;
+  cfg.consumers = cell.consumers;
   cfg.queue_capacity = cell.queue_capacity;
   cfg.overflow_policy = cell.policy;
 
   SinkService service(cfg);
   service.start();
 
-  // Reports fan out round-robin over producer lanes (one thread per lane);
-  // every model install is an idle barrier so the install/report order
-  // matches the recording exactly.
+  // Canonical feed (sink::feed_stream): reports fan out round-robin over
+  // producer lanes, one thread per lane, and every model install is an idle
+  // barrier so the install/report order matches the recording exactly.
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::vector<const StreamRecord*>> segment(cell.producers);
-  std::size_t next_lane = 0;
-  auto flush_segment = [&] {
-    std::vector<std::thread> threads;
-    threads.reserve(cell.producers);
-    for (std::size_t lane = 0; lane < cell.producers; ++lane) {
-      if (segment[lane].empty()) continue;
-      threads.emplace_back([&, lane] {
-        for (const StreamRecord* rec : segment[lane]) (void)service.submit(lane, *rec);
-      });
-    }
-    for (auto& t : threads) t.join();
-    for (auto& lane : segment) lane.clear();
-  };
-  for (const StreamRecord& rec : stream.records) {
-    if (rec.kind == StreamRecord::Kind::kModelInstall) {
-      flush_segment();
-      service.wait_idle();
-      (void)service.submit(0, rec);
-      // Barrier on both sides: per-lane FIFO alone would let another lane's
-      // report (already encoded with the new version) drain before the
-      // install does.
-      service.wait_idle();
-      continue;
-    }
-    segment[next_lane].push_back(&rec);
-    next_lane = (next_lane + 1) % cell.producers;
-  }
-  flush_segment();
+  std::vector<std::uint64_t> lane_sent(cell.producers, 0);
+  (void)dophy::sink::feed_stream(service, stream, cell.producers, lane_sent, start);
   service.wait_idle();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -217,7 +192,9 @@ void register_a6_sink_replay(ExperimentRegistry& registry) {
   spec.claim =
       "The streaming sink service sustains >= 1e5 reports/s and its "
       "incremental MLE is exact against the batch estimator";
-  spec.axes = "ingest config in {1p-block, 2p-block, 4p-block, 1p-drop-tiny}";
+  spec.axes =
+      "ingest config in {1p1c-block, 2p1c-block, 4p1c-block, 4p2c-block, "
+      "4p4c-block, 1p-drop-tiny}";
   spec.title = "A6: sink replay throughput and incremental-vs-batch exactness";
   spec.output_stem = "fig_sink_replay";
   spec.default_trials = 3;
@@ -226,21 +203,25 @@ void register_a6_sink_replay(ExperimentRegistry& registry) {
   spec.expected =
       "\nExpected shape: every lossless (block-policy) configuration agrees\n"
       "with the batch estimator to <= 1e-12 — the sufficient statistics are\n"
-      "order-invariant, so producer count cannot matter.  Replay throughput\n"
-      "sits far above any deployment's report rate (the sink is not the\n"
-      "bottleneck).  The tiny drop-policy ring sheds load instead of\n"
-      "blocking; its divergence column is '-' because shedding makes the\n"
-      "accepted subset nondeterministic across producer interleavings.\n";
+      "order-invariant, so neither producer count nor consumer count (the\n"
+      "shard-affine consumer group merges exactly) can matter.  Replay\n"
+      "throughput sits far above any deployment's report rate (the sink is\n"
+      "not the bottleneck); multi-consumer cells scale further on multicore\n"
+      "hosts.  The tiny drop-policy ring sheds load instead of blocking;\n"
+      "its divergence column is '-' because shedding makes the accepted\n"
+      "subset nondeterministic across producer interleavings.\n";
   spec.make_cells = [id = spec.id](const SweepContext& ctx) {
     struct Axis {
       const char* label;
       CellConfig config;
     };
     const Axis axes[] = {
-        {"1p-block", {1, OverflowPolicy::kBlock, 4096}},
-        {"2p-block", {2, OverflowPolicy::kBlock, 4096}},
-        {"4p-block", {4, OverflowPolicy::kBlock, 4096}},
-        {"1p-drop-tiny", {1, OverflowPolicy::kDropNewest, 64}},
+        {"1p1c-block", {1, 1, OverflowPolicy::kBlock, 4096}},
+        {"2p1c-block", {2, 1, OverflowPolicy::kBlock, 4096}},
+        {"4p1c-block", {4, 1, OverflowPolicy::kBlock, 4096}},
+        {"4p2c-block", {4, 2, OverflowPolicy::kBlock, 4096}},
+        {"4p4c-block", {4, 4, OverflowPolicy::kBlock, 4096}},
+        {"1p-drop-tiny", {1, 1, OverflowPolicy::kDropNewest, 64}},
     };
     std::vector<Cell> cells;
     for (const auto& axis : axes) {
@@ -251,6 +232,7 @@ void register_a6_sink_replay(ExperimentRegistry& registry) {
                                    ctx.trials, /*base_seed=*/240);
       cell.key.set("seed.formula", "240+trial")
           .set("producers", static_cast<std::uint64_t>(axis.config.producers))
+          .set("consumers", static_cast<std::uint64_t>(axis.config.consumers))
           .set("policy",
                axis.config.policy == OverflowPolicy::kBlock ? "block" : "drop")
           .set("queue_capacity",

@@ -79,6 +79,17 @@ void ShardedLinkEstimator::end_epoch() {
   }
 }
 
+void ShardedLinkEstimator::merge_from(const ShardedLinkEstimator& other) {
+  for (const Shard& src : other.shards_) {
+    const std::lock_guard<std::mutex> src_lock(src.mutex);
+    for (const auto& [key, stats] : src.links) {
+      Shard& dst = shard_for(key);
+      const std::lock_guard<std::mutex> dst_lock(dst.mutex);
+      dst.links[key].merge(stats);
+    }
+  }
+}
+
 std::optional<tomo::LinkEstimate> ShardedLinkEstimator::estimate(LinkKey link) const {
   const auto stat = stats(link);
   if (!stat || !stat->has_support()) return std::nullopt;

@@ -34,6 +34,8 @@
 
 namespace dophy::sink {
 
+/// Incremental censored-geometric link estimator, sharded by link hash so
+/// updates and queries run concurrently (see the file comment).
 class ShardedLinkEstimator {
  public:
   /// `censor_threshold` K >= 2; `decay` in (0,1] (1 = cumulative);
@@ -41,31 +43,46 @@ class ShardedLinkEstimator {
   explicit ShardedLinkEstimator(std::uint32_t censor_threshold, double decay = 1.0,
                                 std::size_t shard_count = 16);
 
-  // Movable (the shard vector's buffer moves wholesale; mutexes never move
-  // element-wise), not copyable.  Only safe while no thread is updating.
+  /// Movable (the shard vector's buffer moves wholesale; mutexes never move
+  /// element-wise), not copyable.  Only safe while no thread is updating.
   ShardedLinkEstimator(ShardedLinkEstimator&&) noexcept = default;
+  /// Move assignment; same safety contract as the move constructor.
   ShardedLinkEstimator& operator=(ShardedLinkEstimator&&) noexcept = default;
 
   /// Beta(a, b) prior on per-attempt success; both 0 keeps the plain MLE.
   void set_beta_prior(double a, double b);
 
-  /// Folds one decoded hop / path into the per-link statistics.
+  /// Folds one decoded hop observation into the link's statistics.
   void observe(dophy::net::LinkKey link, const tomo::HopObservation& obs);
+  /// Folds every hop of a decoded path (observe per link).
   void observe_path(const tomo::DecodedPath& path);
 
   /// Applies the decay factor to every link (tracking-epoch boundary).
   void end_epoch();
 
+  /// Folds every link of `other` into this estimator through
+  /// tomo::GeometricSuffStats::merge — plain addition, exact while the
+  /// statistics are integral doubles, so merging per-consumer partitions
+  /// reproduces the single-estimator state bit-for-bit.  `other` must not
+  /// be concurrently updated; shard layouts may differ.
+  void merge_from(const ShardedLinkEstimator& other);
+
+  /// One link's current estimate; nullopt when never observed.
   [[nodiscard]] std::optional<tomo::LinkEstimate> estimate(dophy::net::LinkKey link) const;
+  /// Every observed link's estimate, sorted by link key.
   [[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, tomo::LinkEstimate>> all_estimates()
       const;
 
   /// Copy of one link's raw statistics; nullopt when never observed.
   [[nodiscard]] std::optional<tomo::GeometricSuffStats> stats(dophy::net::LinkKey link) const;
 
+  /// Distinct links observed so far.
   [[nodiscard]] std::size_t link_count() const;
+  /// The aggregation threshold K this estimator was built with.
   [[nodiscard]] std::uint32_t censor_threshold() const noexcept { return k_; }
+  /// Number of shards (power of two).
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Drops every link's statistics (configuration kept).
   void clear();
 
   /// Serializes configuration + every link's statistics.  Consistent when no

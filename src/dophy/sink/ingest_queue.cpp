@@ -5,13 +5,22 @@
 
 namespace dophy::sink {
 
-IngestQueue::IngestQueue(std::size_t capacity, std::size_t producers, OverflowPolicy policy)
+IngestQueue::IngestQueue(std::size_t capacity, std::size_t producers, OverflowPolicy policy,
+                         std::size_t consumers)
     : capacity_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)), policy_(policy) {
   if (producers == 0) throw std::invalid_argument("IngestQueue: producers must be >= 1");
+  if (consumers == 0) throw std::invalid_argument("IngestQueue: consumers must be >= 1");
   lanes_.reserve(producers);
   for (std::size_t i = 0; i < producers; ++i) {
     lanes_.push_back(std::make_unique<Lane>(capacity_));
   }
+  // Static lane affinity: lane i belongs to consumer i % consumers.  A
+  // consumer beyond the lane count simply owns no lanes and drains nothing.
+  owned_.resize(consumers);
+  for (std::size_t i = 0; i < producers; ++i) {
+    owned_[i % consumers].push_back(i);
+  }
+  cursors_ = std::vector<Cursor>(consumers);
 }
 
 bool IngestQueue::push(std::size_t producer, StreamRecord item) {
@@ -24,15 +33,15 @@ bool IngestQueue::push(std::size_t producer, StreamRecord item) {
       lane.slots[tail & lane.mask] = std::move(item);
       lane.tail.store(tail + 1, std::memory_order_release);
       lane.accepted.fetch_add(1, std::memory_order_relaxed);
-      // Wake the consumer only when it may be sleeping.  The fence pairs
-      // with the one in wait_nonempty(): either this push sees the waiting
-      // flag, or the consumer's depth() check sees the new tail.
+      // Wake consumers only when one may be sleeping.  The fence pairs with
+      // the one in wait_nonempty(): either this push sees the waiting
+      // counter, or the consumer's depth_for() check sees the new tail.
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (consumer_waiting_.load(std::memory_order_relaxed)) {
+      if (consumers_waiting_.load(std::memory_order_relaxed) > 0) {
         {
           const std::lock_guard<std::mutex> lock(wait_mutex_);
         }
-        items_cv_.notify_one();
+        items_cv_.notify_all();
       }
       return true;
     }
@@ -40,7 +49,7 @@ bool IngestQueue::push(std::size_t producer, StreamRecord item) {
       lane.dropped.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    // kBlock: wait until the consumer frees a slot in this lane.
+    // kBlock: wait until the lane's consumer frees a slot.
     lane.block_waits.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(wait_mutex_);
     producers_waiting_.fetch_add(1, std::memory_order_seq_cst);
@@ -54,12 +63,16 @@ bool IngestQueue::push(std::size_t producer, StreamRecord item) {
   }
 }
 
-std::size_t IngestQueue::drain_into(std::vector<StreamRecord>& out, std::size_t max_items) {
+std::size_t IngestQueue::drain_into(std::vector<StreamRecord>& out, std::size_t max_items,
+                                    std::size_t consumer) {
+  const std::vector<std::size_t>& owned = owned_.at(consumer);
+  if (owned.empty()) return 0;
+  Cursor& cursor = cursors_[consumer];
   std::size_t taken = 0;
   std::size_t idle_lanes = 0;
-  while (taken < max_items && idle_lanes < lanes_.size()) {
-    Lane& lane = *lanes_[next_lane_];
-    next_lane_ = (next_lane_ + 1) % lanes_.size();
+  while (taken < max_items && idle_lanes < owned.size()) {
+    Lane& lane = *lanes_[owned[cursor.next]];
+    cursor.next = (cursor.next + 1) % owned.size();
     std::size_t head = lane.head.load(std::memory_order_relaxed);
     const std::size_t tail = lane.tail.load(std::memory_order_acquire);
     if (head == tail) {
@@ -88,15 +101,15 @@ std::size_t IngestQueue::drain_into(std::vector<StreamRecord>& out, std::size_t 
   return taken;
 }
 
-bool IngestQueue::wait_nonempty() {
+bool IngestQueue::wait_nonempty(std::size_t consumer) {
   std::unique_lock<std::mutex> lock(wait_mutex_);
-  consumer_waiting_.store(true, std::memory_order_relaxed);
+  consumers_waiting_.fetch_add(1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   items_cv_.wait(lock, [&] {
-    return depth() > 0 || closed_.load(std::memory_order_acquire);
+    return depth_for(consumer) > 0 || closed_.load(std::memory_order_acquire);
   });
-  consumer_waiting_.store(false, std::memory_order_relaxed);
-  return depth() > 0;
+  consumers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  return depth_for(consumer) > 0;
 }
 
 void IngestQueue::close() {
@@ -113,6 +126,15 @@ std::size_t IngestQueue::depth() const noexcept {
   for (const auto& lane : lanes_) {
     total += lane->tail.load(std::memory_order_acquire) -
              lane->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::size_t IngestQueue::depth_for(std::size_t consumer) const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t i : owned_[consumer]) {
+    total += lanes_[i]->tail.load(std::memory_order_acquire) -
+             lanes_[i]->head.load(std::memory_order_acquire);
   }
   return total;
 }

@@ -1,18 +1,19 @@
 #pragma once
 
-// Backpressure-aware bounded MPSC queue feeding the sink's consumer thread.
+// Backpressure-aware bounded multi-producer queue feeding the sink's
+// consumer group.
 //
 // Built as one bounded SPSC ring per producer (the pdes SpscMailbox idiom:
 // power-of-two ring, acquire/release head/tail on separate cache lines, no
-// hot-path locks) plus a round-robin consumer drain.  Unlike the mailbox, the
-// consumer runs concurrently with the producers — which the plain SPSC
-// protocol already supports — so there is no spill vector: a full ring means
-// the producer is outrunning the sink, and the overflow policy decides
-// whether to block (lossless backpressure) or shed the newest report
-// (bounded-latency ingest, losses accounted).
+// hot-path locks) plus a lane-affine consumer drain: with C consumers, lane i
+// is owned by consumer i % C, so every ring still has exactly one producer
+// and exactly one consumer and the plain SPSC protocol carries over
+// unchanged.  A full ring means the producer is outrunning its consumer, and
+// the overflow policy decides whether to block (lossless backpressure) or
+// shed the newest report (bounded-latency ingest, losses accounted).
 //
-// Ordering contract: per-producer FIFO, always.  Cross-producer order is
-// whatever the drain interleaves — the estimator's sufficient statistics are
+// Ordering contract: per-lane FIFO, always.  Cross-lane order is whatever
+// the drains interleave — the estimator's sufficient statistics are
 // order-invariant (see geometric_mle.hpp), so this is enough for exactness.
 
 #include <atomic>
@@ -33,36 +34,47 @@ enum class OverflowPolicy : std::uint8_t {
   kDropNewest,  ///< reject the incoming item (lossy, counted per producer)
 };
 
+/// Aggregate producer-side counters summed across lanes.
 struct IngestQueueStats {
   std::uint64_t accepted = 0;     ///< items that entered a ring
   std::uint64_t dropped = 0;      ///< items shed under kDropNewest
   std::uint64_t block_waits = 0;  ///< pushes that had to wait under kBlock
 };
 
+/// Bounded multi-producer ingest queue: one SPSC ring per producer lane,
+/// drained by a lane-affine consumer group (see the file comment).
 class IngestQueue {
  public:
   /// `capacity` is the per-producer ring size, rounded up to a power of two
   /// (minimum 2).  `producers` fixes the producer lane count for the queue's
   /// lifetime; lane i must only ever be pushed from one thread at a time.
+  /// `consumers` partitions the lanes into affinity groups: lane i belongs
+  /// to consumer i % consumers, and drain_into / wait_nonempty for consumer
+  /// c must only ever be called from one thread at a time.
   IngestQueue(std::size_t capacity, std::size_t producers,
-              OverflowPolicy policy = OverflowPolicy::kBlock);
+              OverflowPolicy policy = OverflowPolicy::kBlock,
+              std::size_t consumers = 1);
 
-  IngestQueue(const IngestQueue&) = delete;
-  IngestQueue& operator=(const IngestQueue&) = delete;
+  IngestQueue(const IngestQueue&) = delete;             ///< not copyable
+  IngestQueue& operator=(const IngestQueue&) = delete;  ///< not copyable
 
   /// Producer side.  Returns false only when the item was shed (kDropNewest
   /// on a full ring) or the queue is closed.  Under kBlock a full ring waits
-  /// for the consumer; close() releases any waiter with a false return.
+  /// for the lane's consumer; close() releases any waiter with a false
+  /// return.
   bool push(std::size_t producer, StreamRecord item);
 
-  /// Consumer side: appends up to `max_items` pending records to `out` in
-  /// round-robin lane order (per-lane FIFO preserved).  Returns the number
-  /// taken; 0 means every ring was empty at the scan.
-  std::size_t drain_into(std::vector<StreamRecord>& out, std::size_t max_items);
+  /// Consumer side: appends up to `max_items` pending records from consumer
+  /// `consumer`'s owned lanes to `out` in round-robin lane order (per-lane
+  /// FIFO preserved).  Returns the number taken; 0 means every owned ring
+  /// was empty at the scan.
+  std::size_t drain_into(std::vector<StreamRecord>& out, std::size_t max_items,
+                         std::size_t consumer = 0);
 
-  /// Consumer side: blocks until at least one item is pending or the queue
-  /// is closed.  Returns false when closed *and* drained empty (shutdown).
-  bool wait_nonempty();
+  /// Consumer side: blocks until at least one item is pending on one of
+  /// consumer `consumer`'s lanes or the queue is closed.  Returns false when
+  /// closed *and* the owned lanes are drained empty (shutdown).
+  bool wait_nonempty(std::size_t consumer = 0);
 
   /// Marks the queue closed: subsequent pushes fail fast, blocked producers
   /// wake with a false return, and wait_nonempty() returns false once the
@@ -70,6 +82,7 @@ class IngestQueue {
   /// not lose accepted reports).
   void close();
 
+  /// Whether close() has been called.
   [[nodiscard]] bool closed() const noexcept {
     return closed_.load(std::memory_order_acquire);
   }
@@ -77,9 +90,22 @@ class IngestQueue {
   /// Approximate total items currently queued across all lanes.
   [[nodiscard]] std::size_t depth() const noexcept;
 
+  /// Approximate items queued on consumer `consumer`'s owned lanes.
+  [[nodiscard]] std::size_t depth_for(std::size_t consumer) const noexcept;
+
+  /// Number of producer lanes.
   [[nodiscard]] std::size_t producer_count() const noexcept { return lanes_.size(); }
+  /// Number of consumer affinity groups.
+  [[nodiscard]] std::size_t consumer_count() const noexcept { return owned_.size(); }
+  /// Effective per-lane ring capacity (power of two).
   [[nodiscard]] std::size_t capacity_per_producer() const noexcept { return capacity_; }
+  /// The configured overflow policy.
   [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+
+  /// Lane indices owned by consumer `consumer` (i.e. {i : i % consumers == c}).
+  [[nodiscard]] const std::vector<std::size_t>& owned_lanes(std::size_t consumer) const {
+    return owned_.at(consumer);
+  }
 
   /// Totals across lanes (each lane counter has a single writer, so the sums
   /// are exact once the producers are quiescent).
@@ -97,20 +123,28 @@ class IngestQueue {
     std::atomic<std::uint64_t> block_waits{0};
   };
 
+  /// Per-consumer drain cursor, padded so neighbouring consumers don't
+  /// false-share (each cursor has a single owning thread).
+  struct Cursor {
+    alignas(64) std::size_t next = 0;  ///< index into the owned-lane list
+  };
+
   std::size_t capacity_;
   OverflowPolicy policy_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::vector<std::size_t>> owned_;  ///< consumer -> owned lane ids
+  std::vector<Cursor> cursors_;                  ///< consumer-private round-robin cursors
   std::atomic<bool> closed_{false};
-  std::size_t next_lane_ = 0;  ///< consumer-private round-robin cursor
 
-  // Sleep/wake edges only; the ring hot path touches at most the two flags.
-  // Producers pair a seq_cst fence after publishing tail with a seq_cst
-  // fence after the consumer raises consumer_waiting_ (Dekker-style), so a
-  // push can skip the lock+notify whenever the consumer is provably awake.
+  // Sleep/wake edges only; the ring hot path touches at most the two
+  // counters.  Producers pair a seq_cst fence after publishing tail with a
+  // seq_cst fence after a consumer raises consumers_waiting_ (Dekker-style),
+  // so a push can skip the lock+notify whenever every consumer is provably
+  // awake.
   std::mutex wait_mutex_;
-  std::condition_variable space_cv_;  ///< consumer -> blocked producers
-  std::condition_variable items_cv_;  ///< producers -> sleeping consumer
-  std::atomic<bool> consumer_waiting_{false};
+  std::condition_variable space_cv_;  ///< consumers -> blocked producers
+  std::condition_variable items_cv_;  ///< producers -> sleeping consumers
+  std::atomic<std::size_t> consumers_waiting_{0};
   std::atomic<std::size_t> producers_waiting_{0};
 };
 

@@ -1,0 +1,35 @@
+#include "dophy/sink/live_feed.hpp"
+
+namespace dophy::sink {
+
+void LiveSinkFeed::on_sink_install(const tomo::ModelSet& set) {
+  StreamRecord rec;
+  rec.kind = StreamRecord::Kind::kModelInstall;
+  rec.model_bytes = set.serialize();
+  // Same double bracket as stream_feed: every prior report drains before the
+  // install, and the install drains before any later report.
+  service_.wait_idle();
+  (void)service_.submit(0, std::move(rec));
+  service_.wait_idle();
+  ++stats_.installs;
+}
+
+void LiveSinkFeed::on_delivery(const dophy::net::Packet& packet, dophy::net::SimTime now,
+                               bool in_measure) {
+  StreamRecord rec;
+  rec.kind = StreamRecord::Kind::kReport;
+  rec.report.packet = packet;
+  rec.report.packet.true_hops.clear();  // simulator-only ground truth
+  rec.report.packet.span = 0;
+  rec.report.recv_time = now;
+  rec.report.in_measure = in_measure;
+  const std::size_t lane = next_lane_;
+  next_lane_ = (next_lane_ + 1) % producers_;
+  if (service_.submit(lane, std::move(rec))) {
+    ++stats_.reports_submitted;
+  } else {
+    ++stats_.reports_shed;
+  }
+}
+
+}  // namespace dophy::sink

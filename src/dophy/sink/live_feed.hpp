@@ -1,0 +1,61 @@
+#pragma once
+
+// Live mode: the simulator's sink tap feeding an in-process SinkService.
+//
+// LiveSinkFeed implements tomo::SinkReportTap so it can hang off
+// PipelineConfig::live_sink — every model install and packet delivery the
+// simulated sink observes is submitted straight into the service's ingest
+// queue, replacing the record-to-disk / replay-from-disk loop with the
+// paper's actual deployment story: a sink continuously estimating per-link
+// loss from live reports.
+//
+// The feed applies the same canonical rules as stream_feed: simulator-only
+// ground truth is stripped from each packet (the service must decode the
+// wire form, not peek at the truth), reports fan out round-robin over the
+// producer lanes, and installs ride lane 0 double-bracketed with
+// wait_idle() so no report encoded under a new model version can drain
+// ahead of its install on another lane.  The simulator delivers from one
+// thread, so single-threaded round-robin submits respect every lane's
+// single-pusher contract.
+
+#include <cstdint>
+
+#include "dophy/sink/service.hpp"
+#include "dophy/tomo/pipeline.hpp"
+
+namespace dophy::sink {
+
+/// Feed-side counters (single-writer: the simulator thread).
+struct LiveSinkFeedStats {
+  std::uint64_t reports_submitted = 0;  ///< deliveries accepted by the queue
+  std::uint64_t reports_shed = 0;       ///< deliveries rejected (kDropNewest)
+  std::uint64_t installs = 0;           ///< model installs forwarded
+};
+
+/// SinkReportTap that submits every simulated sink observation straight
+/// into an in-process SinkService (see the file comment).
+class LiveSinkFeed final : public tomo::SinkReportTap {
+ public:
+  /// Binds the feed to `service` (must outlive the feed and be start()ed
+  /// before the pipeline runs).  Lanes are taken from the service config.
+  explicit LiveSinkFeed(SinkService& service)
+      : service_(service), producers_(service.config().producers) {}
+
+  /// Forwards a published model set: wait_idle() bracket, lane-0 submit.
+  void on_sink_install(const tomo::ModelSet& set) override;
+  /// Forwards a delivery: strips simulator-only ground truth, submits
+  /// round-robin onto the next producer lane.
+  void on_delivery(const dophy::net::Packet& packet, dophy::net::SimTime now,
+                   bool in_measure) override;
+
+  /// Feed-side counters (read from the simulator thread or after the run).
+  [[nodiscard]] const LiveSinkFeedStats& stats() const noexcept { return stats_; }
+
+ private:
+  SinkService& service_;
+  std::size_t producers_;
+  std::size_t next_lane_ = 0;
+  LiveSinkFeedStats stats_;
+};
+
+}  // namespace dophy::sink

@@ -32,8 +32,8 @@ namespace dophy::sink {
 
 /// One delivered packet as the sink saw it.
 struct SinkReport {
-  dophy::net::Packet packet;
-  dophy::net::SimTime recv_time = 0;
+  dophy::net::Packet packet;          ///< the delivered packet (wire form)
+  dophy::net::SimTime recv_time = 0;  ///< sink arrival time
   /// Whether the delivery fell inside the recording run's measurement window
   /// (warm-up deliveries still update decode stats but not scored estimates).
   bool in_measure = true;
@@ -41,8 +41,12 @@ struct SinkReport {
 
 /// One stream record: a model install or a report, in sink arrival order.
 struct StreamRecord {
-  enum class Kind : std::uint8_t { kModelInstall, kReport };
-  Kind kind = Kind::kReport;
+  /// Record discriminator.
+  enum class Kind : std::uint8_t {
+    kModelInstall,  ///< a published model-set version reaching the sink
+    kReport,        ///< a delivered packet
+  };
+  Kind kind = Kind::kReport;  ///< which union-style payload below is live
   /// kModelInstall: the serialized ModelSet (tomo::ModelSet::deserialize).
   std::vector<std::uint8_t> model_bytes;
   /// kReport: the delivered packet.
@@ -50,23 +54,32 @@ struct StreamRecord {
   /// Transport-only: wall-clock stamp set by SinkService::submit so the
   /// consumer can report queue latency.  Not part of the serialized stream.
   std::uint64_t enqueue_ns = 0;
+  /// Transport-only: ingest lane the record was submitted on, stamped by
+  /// SinkService::submit so the consumer can advance the per-lane durable
+  /// cursor (see SinkService::snapshot_json).  Not serialized.
+  std::uint32_t lane = 0;
 };
 
+/// A full recorded sink-side stream plus the run parameters a replaying
+/// service must match.
 struct ReportStream {
-  std::size_t node_count = 0;
+  std::size_t node_count = 0;          ///< id alphabet of the recording run
   std::uint32_t censor_threshold = 2;  ///< K used by the recording run
   std::uint16_t max_hops = 64;         ///< decoder hop bound of the recording run
-  std::vector<StreamRecord> records;
+  std::vector<StreamRecord> records;   ///< installs + reports, arrival order
 
+  /// Number of kReport records.
   [[nodiscard]] std::size_t report_count() const noexcept;
 
-  /// Text round trip.  `parse` returns nullopt on malformed input (bad
-  /// header, truncated hex, unknown record tag).
+  /// Renders the stream as line-oriented text (one record per line).
   [[nodiscard]] std::string serialize() const;
+  /// Inverse of serialize(); nullopt on malformed input (bad header,
+  /// truncated hex, unknown record tag).
   [[nodiscard]] static std::optional<ReportStream> parse(std::string_view text);
 
-  /// File round trip; `load` returns nullopt on IO or parse failure.
+  /// Writes serialize() output to `path`; false on IO failure.
   [[nodiscard]] bool save(const std::string& path) const;
+  /// Loads and parses `path`; nullopt on IO or parse failure.
   [[nodiscard]] static std::optional<ReportStream> load(const std::string& path);
 };
 

@@ -1,5 +1,6 @@
 #include "dophy/sink/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -40,27 +41,52 @@ struct SinkMetrics {
   }
 };
 
+void accumulate(tomo::DophyDecoderStats& total, const tomo::DophyDecoderStats& part) {
+  total.packets_decoded += part.packets_decoded;
+  total.decode_failures += part.decode_failures;
+  total.reports_lost += part.reports_lost;
+  total.unknown_model_version += part.unknown_model_version;
+  total.unfinalized += part.unfinalized;
+  total.path_truncated += part.path_truncated;
+  total.wire_truncated += part.wire_truncated;
+  total.malformed_stream += part.malformed_stream;
+  total.invalid_hop += part.invalid_hop;
+  total.no_sink_terminal += part.no_sink_terminal;
+}
+
 }  // namespace
 
 SinkService::SinkService(SinkServiceConfig config)
     : config_(config),
       mapper_(config.censor_threshold),
       store_(),
-      decoder_(store_, mapper_, config.max_hops),
-      estimator_(config.censor_threshold, config.decay, config.shard_count),
-      queue_(config.queue_capacity, config.producers, config.overflow_policy) {
+      queue_(config.queue_capacity, config.producers, config.overflow_policy,
+             std::max<std::size_t>(
+                 1, std::min(config.consumers,
+                             config.producers == 0 ? std::size_t{1} : config.producers))) {
   if (config.node_count == 0) {
     throw std::invalid_argument("SinkService: node_count must be set");
   }
   if (config.decode_batch == 0) {
     throw std::invalid_argument("SinkService: decode_batch must be >= 1");
   }
-  if (config.prior_a > 0.0 || config.prior_b > 0.0) {
-    estimator_.set_beta_prior(config.prior_a, config.prior_b);
+  if (config.consumers == 0) {
+    throw std::invalid_argument("SinkService: consumers must be >= 1");
   }
+  // A consumer with no owned lane would have nothing to drain; clamp so the
+  // effective count is visible through config().
+  config_.consumers = std::max<std::size_t>(1, std::min(config.consumers, config.producers));
   // Same bootstrap the instrumentation side starts from: every stream is
   // decodable from record zero even before its first model install.
   store_.install(tomo::ModelSet::bootstrap(config.node_count, mapper_.alphabet_size()));
+  consumers_.reserve(config_.consumers);
+  for (std::size_t c = 0; c < config_.consumers; ++c) {
+    consumers_.push_back(std::make_unique<Consumer>(store_, mapper_, config_));
+    if (config.prior_a > 0.0 || config.prior_b > 0.0) {
+      consumers_.back()->estimator.set_beta_prior(config.prior_a, config.prior_b);
+    }
+  }
+  lane_processed_ = std::vector<std::atomic<std::uint64_t>>(config_.producers);
 }
 
 SinkService::~SinkService() { stop(); }
@@ -68,21 +94,30 @@ SinkService::~SinkService() { stop(); }
 void SinkService::start() {
   if (stopped_ || running_.load(std::memory_order_acquire)) return;
   running_.store(true, std::memory_order_release);
-  consumer_ = std::thread([this] { consumer_loop(); });
+  for (std::size_t c = 0; c < consumers_.size(); ++c) {
+    consumers_[c]->thread = std::thread([this, c] { consumer_loop(c); });
+  }
 }
 
 void SinkService::stop() {
   if (stopped_) return;
   stopped_ = true;
   queue_.close();
-  if (consumer_.joinable()) {
-    consumer_.join();
-  } else {
+  bool joined = false;
+  for (auto& consumer : consumers_) {
+    if (consumer->thread.joinable()) {
+      consumer->thread.join();
+      joined = true;
+    }
+  }
+  if (!joined) {
     // Never started: drain synchronously so accepted records are not lost.
     std::vector<StreamRecord> batch;
-    while (queue_.drain_into(batch, config_.decode_batch) > 0) {
-      process_batch(batch);
-      batch.clear();
+    for (std::size_t c = 0; c < consumers_.size(); ++c) {
+      while (queue_.drain_into(batch, config_.decode_batch, c) > 0) {
+        process_batch(c, batch);
+        batch.clear();
+      }
     }
   }
   running_.store(false, std::memory_order_release);
@@ -90,6 +125,7 @@ void SinkService::stop() {
 
 bool SinkService::submit(std::size_t producer, StreamRecord record) {
   record.enqueue_ns = now_ns();
+  record.lane = static_cast<std::uint32_t>(producer);
   if (!queue_.push(producer, std::move(record))) return false;
   submitted_.fetch_add(1, std::memory_order_release);
   return true;
@@ -103,65 +139,79 @@ void SinkService::wait_idle() {
   });
 }
 
-void SinkService::consumer_loop() {
+void SinkService::consumer_loop(std::size_t consumer) {
   std::vector<StreamRecord> batch;
   batch.reserve(config_.decode_batch);
   while (true) {
     batch.clear();
-    const std::size_t taken = queue_.drain_into(batch, config_.decode_batch);
+    const std::size_t taken = queue_.drain_into(batch, config_.decode_batch, consumer);
     if (taken == 0) {
-      if (!queue_.wait_nonempty()) break;  // closed and fully drained
+      if (!queue_.wait_nonempty(consumer)) break;  // closed and fully drained
       continue;
     }
-    process_batch(batch);
+    process_batch(consumer, batch);
   }
 }
 
-void SinkService::process_batch(std::vector<StreamRecord>& batch) {
+void SinkService::process_batch(std::size_t consumer, std::vector<StreamRecord>& batch) {
   const SinkMetrics& metrics = SinkMetrics::get();
+  Consumer& self = *consumers_[consumer];
   const std::uint64_t batch_start = now_ns();
-  std::uint64_t decoded = 0;
-  std::uint64_t installed = 0;
-  std::uint64_t reports = 0;
-  {
-    const std::lock_guard<std::mutex> lock(decoder_mutex_);
-    for (StreamRecord& rec : batch) {
-      if (rec.kind == StreamRecord::Kind::kModelInstall) {
-        try {
-          store_.install(tomo::ModelSet::deserialize(rec.model_bytes));
-          installed_model_bytes_.push_back(std::move(rec.model_bytes));
-          if (installed_model_bytes_.size() > kModelHistory) {
-            installed_model_bytes_.erase(installed_model_bytes_.begin());
-          }
-          ++installed;
-          metrics.models_installed.inc();
-        } catch (const std::exception&) {
-          metrics.models_rejected.inc();  // malformed install: skip, keep going
+  // Segmented locking: report runs decode under a shared store-barrier hold;
+  // each install takes the barrier exclusively — the cross-consumer
+  // synchronization point that quiesces every decode in flight before the
+  // store mutates.  Counters (per-lane cursor, processed tallies) are bumped
+  // inside the hold so an exclusive snapshot always sees a cursor consistent
+  // with the folded estimator state.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].kind == StreamRecord::Kind::kModelInstall) {
+      StreamRecord& rec = batch[i];
+      const std::unique_lock<std::shared_mutex> barrier(store_barrier_);
+      try {
+        store_.install(tomo::ModelSet::deserialize(rec.model_bytes));
+        installed_model_bytes_.push_back(std::move(rec.model_bytes));
+        if (installed_model_bytes_.size() > kModelHistory) {
+          installed_model_bytes_.erase(installed_model_bytes_.begin());
         }
-        continue;
+        models_installed_.fetch_add(1, std::memory_order_relaxed);
+        metrics.models_installed.inc();
+      } catch (const std::exception&) {
+        metrics.models_rejected.inc();  // malformed install: skip, keep going
       }
-      ++reports;
-      metrics.reports_processed.inc();
-      if (rec.enqueue_ns != 0) {
-        metrics.ingest_latency.observe((now_ns() - rec.enqueue_ns) / 1000);
+      lane_processed_[rec.lane].fetch_add(1, std::memory_order_relaxed);
+      ++i;
+      continue;
+    }
+    std::uint64_t decoded = 0;
+    std::uint64_t reports = 0;
+    {
+      const std::shared_lock<std::shared_mutex> barrier(store_barrier_);
+      for (; i < batch.size() && batch[i].kind == StreamRecord::Kind::kReport; ++i) {
+        StreamRecord& rec = batch[i];
+        ++reports;
+        metrics.reports_processed.inc();
+        if (rec.enqueue_ns != 0) {
+          metrics.ingest_latency.observe((now_ns() - rec.enqueue_ns) / 1000);
+        }
+        auto decoded_path = self.decoder.decode(rec.report.packet);
+        if (decoded_path) {
+          ++decoded;
+          if (rec.report.in_measure || config_.ingest_warmup) {
+            self.estimator.observe_path(*decoded_path);
+          }
+        } else {
+          metrics.decode_failures.inc();
+        }
+        lane_processed_[rec.lane].fetch_add(1, std::memory_order_relaxed);
       }
-      auto decoded_path = decoder_.decode(rec.report.packet);
-      if (!decoded_path) {
-        metrics.decode_failures.inc();
-        continue;
-      }
-      ++decoded;
-      if (rec.report.in_measure || config_.ingest_warmup) {
-        estimator_.observe_path(*decoded_path);
-      }
+      reports_processed_.fetch_add(reports, std::memory_order_relaxed);
+      reports_decoded_.fetch_add(decoded, std::memory_order_relaxed);
     }
   }
   metrics.mle_update.observe((now_ns() - batch_start) / 1000);
   metrics.queue_depth.set(static_cast<double>(queue_.depth()));
 
-  reports_processed_.fetch_add(reports, std::memory_order_relaxed);
-  reports_decoded_.fetch_add(decoded, std::memory_order_relaxed);
-  models_installed_.fetch_add(installed, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(idle_mutex_);
@@ -170,13 +220,51 @@ void SinkService::process_batch(std::vector<StreamRecord>& batch) {
   idle_cv_.notify_all();
 }
 
+std::optional<tomo::GeometricSuffStats> SinkService::link_stats(
+    dophy::net::LinkKey link) const {
+  std::optional<tomo::GeometricSuffStats> out;
+  for (const auto& consumer : consumers_) {
+    const auto part = consumer->estimator.stats(link);
+    if (!part) continue;
+    if (!out) {
+      out = *part;
+    } else {
+      out->merge(*part);
+    }
+  }
+  return out;
+}
+
 std::optional<tomo::LinkEstimate> SinkService::estimate(dophy::net::LinkKey link) const {
-  return estimator_.estimate(link);
+  const auto stats = link_stats(link);
+  if (!stats || !stats->has_support()) return std::nullopt;
+  return tomo::estimate_censored_geometric(*stats, config_.censor_threshold, config_.prior_a,
+                                           config_.prior_b);
 }
 
 std::vector<std::pair<dophy::net::LinkKey, tomo::LinkEstimate>> SinkService::all_estimates()
     const {
-  return estimator_.all_estimates();
+  return merged_estimator().all_estimates();
+}
+
+std::size_t SinkService::link_count() const { return merged_estimator().link_count(); }
+
+ShardedLinkEstimator SinkService::merged_estimator() const {
+  ShardedLinkEstimator merged(config_.censor_threshold, config_.decay, config_.shard_count);
+  if (config_.prior_a > 0.0 || config_.prior_b > 0.0) {
+    merged.set_beta_prior(config_.prior_a, config_.prior_b);
+  }
+  for (const auto& consumer : consumers_) {
+    merged.merge_from(consumer->estimator);
+  }
+  return merged;
+}
+
+void SinkService::end_epoch() {
+  const std::unique_lock<std::shared_mutex> barrier(store_barrier_);
+  for (auto& consumer : consumers_) {
+    consumer->estimator.end_epoch();
+  }
 }
 
 SinkServiceStats SinkService::stats() const {
@@ -192,34 +280,56 @@ SinkServiceStats SinkService::stats() const {
 }
 
 tomo::DophyDecoderStats SinkService::decoder_stats() const {
-  const std::lock_guard<std::mutex> lock(decoder_mutex_);
-  return decoder_.stats();
+  const std::unique_lock<std::shared_mutex> barrier(store_barrier_);
+  tomo::DophyDecoderStats total;
+  for (const auto& consumer : consumers_) {
+    accumulate(total, consumer->decoder.stats());
+  }
+  return total;
+}
+
+std::uint64_t SinkService::lane_processed(std::size_t lane) const {
+  return lane_processed_.at(lane).load(std::memory_order_acquire);
 }
 
 std::string SinkService::snapshot_json() const {
+  const std::unique_lock<std::shared_mutex> barrier(store_barrier_);
   dophy::obs::JsonWriter w;
   w.begin_object();
-  w.key("format").value("dophy-sink-service-snapshot-v1");
+  w.key("format").value("dophy-sink-service-snapshot-v2");
+  w.key("producers").value(static_cast<std::uint64_t>(config_.producers));
+  w.key("consumers").value(static_cast<std::uint64_t>(config_.consumers));
   w.key("reports_processed").value(reports_processed_.load(std::memory_order_relaxed));
   w.key("reports_decoded").value(reports_decoded_.load(std::memory_order_relaxed));
   w.key("models_installed").value(models_installed_.load(std::memory_order_relaxed));
+  // Per-lane stream cursor: how many records of each lane's FIFO subsequence
+  // are folded into this snapshot.  Recovery replays each lane's tail from
+  // exactly this offset.
+  w.key("lane_processed").begin_array();
+  for (const auto& lane : lane_processed_) {
+    w.value(lane.load(std::memory_order_relaxed));
+  }
+  w.end_array();
   // Installed model history (oldest first) so a restored service can decode
   // every version the snapshotted one could.
   w.key("models").begin_array();
-  {
-    const std::lock_guard<std::mutex> lock(decoder_mutex_);
-    for (const auto& bytes : installed_model_bytes_) {
-      w.value(std::string_view(to_hex(bytes.data(), bytes.size())));
-    }
+  for (const auto& bytes : installed_model_bytes_) {
+    w.value(std::string_view(to_hex(bytes.data(), bytes.size())));
   }
   w.end_array();
   w.end_object();
   // The estimator document is embedded as pre-rendered JSON; JsonWriter has
-  // no raw-splice call, so splice it over the closing brace.
+  // no raw-splice call, so splice it over the closing brace.  The merge is
+  // exact (integral-double addition), so the document equals what a
+  // single-consumer run would have written.
   std::string out = w.take();
   out.pop_back();  // trailing '}'
   out += ",\"estimator\":";
-  out += estimator_.snapshot_json();
+  ShardedLinkEstimator merged(config_.censor_threshold, config_.decay, config_.shard_count);
+  for (const auto& consumer : consumers_) {
+    merged.merge_from(consumer->estimator);
+  }
+  out += merged.snapshot_json();
   out += '}';
   return out;
 }
@@ -230,13 +340,24 @@ bool SinkService::restore_snapshot(std::string_view json) {
   if (!doc || !doc->is_object()) return false;
   const auto* format = doc->find("format");
   if (format == nullptr || !format->is_string() ||
-      format->string != "dophy-sink-service-snapshot-v1") {
+      format->string != "dophy-sink-service-snapshot-v2") {
     return false;
   }
   const auto* estimator = doc->find("estimator");
   if (estimator == nullptr || !estimator->is_object()) return false;
   auto restored = ShardedLinkEstimator::restore(*estimator);
   if (!restored || restored->censor_threshold() != config_.censor_threshold) return false;
+  const auto* lanes = doc->find("lane_processed");
+  if (lanes != nullptr) {
+    // The cursor is only meaningful against the same lane layout; reject a
+    // mismatch rather than silently replaying the wrong tails.
+    if (!lanes->is_array() || lanes->array.size() != lane_processed_.size()) return false;
+    for (std::size_t i = 0; i < lanes->array.size(); ++i) {
+      if (!lanes->array[i].is_number() || lanes->array[i].number < 0) return false;
+      lane_processed_[i].store(static_cast<std::uint64_t>(lanes->array[i].number),
+                               std::memory_order_relaxed);
+    }
+  }
   const auto* models = doc->find("models");
   if (models != nullptr && models->is_array()) {
     std::vector<std::uint8_t> bytes;
@@ -253,7 +374,13 @@ bool SinkService::restore_snapshot(std::string_view json) {
       }
     }
   }
-  estimator_ = std::move(*restored);
+  // The merged state lands in consumer 0's partition; the other partitions
+  // start empty and refill as the tail replays.  Queries merge across
+  // partitions, so placement is invisible to every observer.
+  consumers_[0]->estimator = std::move(*restored);
+  for (std::size_t c = 1; c < consumers_.size(); ++c) {
+    consumers_[c]->estimator.clear();
+  }
   const auto* processed = doc->find("reports_processed");
   const auto* decoded = doc->find("reports_decoded");
   const auto* installed = doc->find("models_installed");

@@ -1,16 +1,32 @@
 #pragma once
 
 // Long-running sink ingestion service: the decode + estimate path extracted
-// from the batch pipeline into a standing server loop.
+// from the batch pipeline into a standing server loop, scaled across a
+// consumer group.
 //
-// Producers (radio frontends in a deployment; replay threads here) submit
-// StreamRecords into the bounded MPSC IngestQueue; one consumer thread
-// drains them in batches, applies model installs in arrival order, decodes
-// reports through the shared tomo::DophyDecoder, and folds decoded hops into
-// the ShardedLinkEstimator.  Because model installs ride the same queue as
-// reports, the consumer is the only thread touching the ModelStore — no
-// locking on the decode path, and a replayed stream reproduces the original
-// install/report interleaving exactly.
+// Producers (radio frontends in a deployment; replay threads or the live
+// simulator tap here) submit StreamRecords into the bounded IngestQueue; N
+// consumer threads drain them in batches with static lane affinity (lane i
+// belongs to consumer i % N).  Each consumer owns a private DophyDecoder and
+// a private ShardedLinkEstimator, so the decode + fold hot path takes no
+// cross-consumer locks: every estimator shard has exactly one writer, and
+// queries merge the per-consumer partitions through the exact additive
+// GeometricSuffStats::merge.
+//
+// Model installs are the one cross-consumer synchronization point: the
+// ModelStore is shared, and the consumer that dequeues an install takes the
+// store barrier (a shared_mutex held shared for every decode segment,
+// exclusive for the install) — generalizing the PR 9 single-consumer
+// invariant that the consumer is the only thread touching the store mid-run.
+// Feeders still bracket installs with wait_idle() so no report encoded under
+// a new model version can race ahead of its install on another lane.
+//
+// Durability: snapshot_json() emits a v2 document carrying the merged
+// estimator (%.17g exact), the installed-model history, and a per-lane
+// stream cursor (records processed per ingest lane).  Because every lane is
+// FIFO, the cursor identifies exactly which prefix of each lane's
+// subsequence is folded into the snapshot — the foundation of the
+// SnapshotWriter + `dophy_sink recover` crash-recovery path.
 //
 // Instrumented via dophy::obs: sink.ingest.latency_us (submit -> processed),
 // sink.queue.depth (gauge, sampled per drain), sink.mle.update_us (per-batch
@@ -19,8 +35,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -34,46 +52,57 @@
 
 namespace dophy::sink {
 
+/// Construction-time tuning for a SinkService.
 struct SinkServiceConfig {
   std::size_t node_count = 0;          ///< id alphabet of the recording run
   std::uint32_t censor_threshold = 4;  ///< aggregation K (>= 2)
   std::uint16_t max_hops = 64;         ///< decoder hop bound
-  std::size_t producers = 1;
+  std::size_t producers = 1;           ///< ingest lanes (one ring each)
   std::size_t queue_capacity = 4096;  ///< per producer, rounded to a power of two
-  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;  ///< full-ring behavior
   std::size_t decode_batch = 64;  ///< max records drained per consumer cycle
+  /// Consumer threads; clamped to the producer count (a consumer with no
+  /// owned lane would have nothing to drain).
+  std::size_t consumers = 1;
   double decay = 1.0;             ///< estimator epoch decay, (0, 1]
-  double prior_a = 0.0;           ///< Beta prior on per-attempt success
-  double prior_b = 0.0;
-  std::size_t shard_count = 16;
+  double prior_a = 0.0;           ///< Beta prior on per-attempt success (a)
+  double prior_b = 0.0;           ///< Beta prior on per-attempt success (b)
+  std::size_t shard_count = 16;   ///< estimator shards per consumer
   /// Count warm-up reports (in_measure == false) into the estimator too.
   /// The batch pipeline only scores measurement-window paths, so the
   /// differential tests keep this false.
   bool ingest_warmup = false;
 };
 
+/// Aggregate service counters (consumer tallies + queue stats).
 struct SinkServiceStats {
   std::uint64_t reports_processed = 0;  ///< reports taken off the queue
   std::uint64_t reports_decoded = 0;    ///< successful decodes
-  std::uint64_t decode_failures = 0;
-  std::uint64_t models_installed = 0;
+  std::uint64_t decode_failures = 0;    ///< reports the decoder rejected
+  std::uint64_t models_installed = 0;   ///< model-set installs applied
   std::uint64_t batches = 0;  ///< consumer drain cycles with work
-  IngestQueueStats queue;
+  IngestQueueStats queue;     ///< producer-side queue counters
 };
 
+/// The standing sink: a bounded ingest queue drained by a shard-affine
+/// consumer group whose merged incremental MLE matches the batch pipeline
+/// bit-for-bit (see the file comment and docs/SINK.md).
 class SinkService {
  public:
+  /// Builds the queue, the consumer group state, and the shared ModelStore
+  /// (bootstrap model installed).  Consumers start on start().
   explicit SinkService(SinkServiceConfig config);
+  /// Stops the service if still running (best effort; prefer stop()).
   ~SinkService();
 
-  SinkService(const SinkService&) = delete;
-  SinkService& operator=(const SinkService&) = delete;
+  SinkService(const SinkService&) = delete;             ///< not copyable
+  SinkService& operator=(const SinkService&) = delete;  ///< not copyable
 
-  /// Spawns the consumer thread.  Idempotent until stop().
+  /// Spawns the consumer threads.  Idempotent until stop().
   void start();
 
   /// Closes the queue, drains everything already accepted, joins the
-  /// consumer.  After stop() the estimator holds the final state and
+  /// consumers.  After stop() the estimators hold the final state and
   /// submits fail.  Idempotent.
   void stop();
 
@@ -87,29 +116,71 @@ class SinkService {
   /// immediately: stop() already drained).
   void wait_idle();
 
-  /// Estimator queries (thread-safe; consistent at batch granularity).
+  /// One link's estimate.  Thread-safe; consistent at batch granularity
+  /// (call wait_idle() first for a quiescent view).  Merges the per-consumer
+  /// partitions through the exact GeometricSuffStats::merge.
   [[nodiscard]] std::optional<tomo::LinkEstimate> estimate(dophy::net::LinkKey link) const;
+  /// Every observed link's estimate, sorted by link key.  Same consistency
+  /// and merge semantics as estimate().
   [[nodiscard]] std::vector<std::pair<dophy::net::LinkKey, tomo::LinkEstimate>> all_estimates()
       const;
-  [[nodiscard]] const ShardedLinkEstimator& estimator() const noexcept { return estimator_; }
 
+  /// Merged raw statistics for one link; nullopt when never observed.
+  [[nodiscard]] std::optional<tomo::GeometricSuffStats> link_stats(
+      dophy::net::LinkKey link) const;
+
+  /// Distinct links observed across all consumer partitions.
+  [[nodiscard]] std::size_t link_count() const;
+
+  /// Full merged estimator (a fresh fold of every consumer partition).
+  [[nodiscard]] ShardedLinkEstimator merged_estimator() const;
+
+  /// Applies the configured decay to every consumer partition (tracking-epoch
+  /// boundary).  Takes the store barrier, so it is safe while running; call
+  /// wait_idle() first to decay a batch-consistent state.
+  void end_epoch();
+
+  /// Aggregate counters (consumer tallies + queue stats).
   [[nodiscard]] SinkServiceStats stats() const;
+  /// Decoder counters summed across consumers (takes the store barrier).
   [[nodiscard]] tomo::DophyDecoderStats decoder_stats() const;
+  /// The effective configuration (after consumer clamping).
   [[nodiscard]] const SinkServiceConfig& config() const noexcept { return config_; }
+  /// Approximate records currently queued across all lanes.
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.depth(); }
 
-  /// Point-in-time service snapshot (estimator state + processed counters).
-  /// Call while idle (wait_idle() or stopped) for a batch-consistent view.
+  /// Records processed so far on ingest lane `lane` — the durable stream
+  /// cursor a recovery replays the tail against.
+  [[nodiscard]] std::uint64_t lane_processed(std::size_t lane) const;
+
+  /// Durable service snapshot: merged estimator state, installed-model
+  /// history, counters, and the per-lane stream cursor.  Takes the store
+  /// barrier exclusively, so the document is batch-consistent even while the
+  /// consumers are running (in-flight batches finish first).
   [[nodiscard]] std::string snapshot_json() const;
 
-  /// Replaces the estimator state from a snapshot.  Only valid while the
-  /// consumer is not running (before start() or after stop()); returns false
-  /// on malformed input or config mismatch (K).
+  /// Replaces the estimator state (folded into consumer 0's partition) from
+  /// a snapshot.  Only valid while the consumers are not running (before
+  /// start() or after stop()); returns false on malformed input or config
+  /// mismatch (K, or a per-lane cursor whose lane count differs from
+  /// config.producers).
   [[nodiscard]] bool restore_snapshot(std::string_view json);
 
  private:
-  void consumer_loop();
-  void process_batch(std::vector<StreamRecord>& batch);
+  /// Per-consumer decode + fold state.  Each consumer owns its decoder and
+  /// estimator partition outright; nothing here is shared across threads.
+  struct Consumer {
+    Consumer(const tomo::ModelStore& store, const tomo::SymbolMapper& mapper,
+             const SinkServiceConfig& config)
+        : decoder(store, mapper, config.max_hops),
+          estimator(config.censor_threshold, config.decay, config.shard_count) {}
+    tomo::DophyDecoder decoder;
+    ShardedLinkEstimator estimator;
+    std::thread thread;
+  };
+
+  void consumer_loop(std::size_t consumer);
+  void process_batch(std::size_t consumer, std::vector<StreamRecord>& batch);
 
   /// ModelStore history depth; also bounds the serialized model sets a
   /// snapshot carries so a restored service can decode the same versions.
@@ -117,15 +188,20 @@ class SinkService {
 
   SinkServiceConfig config_;
   tomo::SymbolMapper mapper_;
+  /// Shared across consumers; mutated only under an exclusive store_barrier_
+  /// hold (model installs, restore).  Decode segments hold it shared.
   tomo::ModelStore store_;
-  tomo::DophyDecoder decoder_;
   /// Wire forms of the installed sets, oldest first, capped at
-  /// kModelHistory (consumer-thread only; read under decoder_mutex_).
+  /// kModelHistory (guarded by store_barrier_).
   std::vector<std::vector<std::uint8_t>> installed_model_bytes_;
-  ShardedLinkEstimator estimator_;
+  /// The install barrier: consumers decode under a shared hold; the consumer
+  /// applying an install (and any durable snapshot / epoch / stats read)
+  /// takes it exclusively, which quiesces every decode + fold in flight.
+  mutable std::shared_mutex store_barrier_;
+
+  std::vector<std::unique_ptr<Consumer>> consumers_;
   IngestQueue queue_;
 
-  std::thread consumer_;
   std::atomic<bool> running_{false};
   bool stopped_ = false;  ///< start/stop lifecycle guard (API-thread only)
 
@@ -134,12 +210,17 @@ class SinkService {
   mutable std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 
-  // Consumer-private tallies, atomically mirrored for stats().
+  /// Per-lane processed counts (single writer each: the lane's consumer,
+  /// bumped inside the store-barrier hold so an exclusive snapshot sees a
+  /// cursor consistent with the estimator contents).
+  std::vector<std::atomic<std::uint64_t>> lane_processed_;
+
+  // Consumer tallies, bumped inside the store-barrier hold for snapshot
+  // consistency, atomically mirrored for stats().
   std::atomic<std::uint64_t> reports_processed_{0};
   std::atomic<std::uint64_t> reports_decoded_{0};
   std::atomic<std::uint64_t> models_installed_{0};
   std::atomic<std::uint64_t> batches_{0};
-  mutable std::mutex decoder_mutex_;  ///< guards decoder stats reads vs decode
 };
 
 }  // namespace dophy::sink

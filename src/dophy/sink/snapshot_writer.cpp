@@ -1,0 +1,217 @@
+#include "dophy/sink/snapshot_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "dophy/obs/json.hpp"
+
+namespace dophy::sink {
+namespace fs = std::filesystem;
+namespace {
+
+constexpr std::string_view kPrefix = "snapshot-";
+constexpr std::string_view kSuffix = ".json";
+
+[[nodiscard]] std::string snapshot_name(std::uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snapshot-%09llu.json",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// All completed snapshots in `directory` as (sequence, path), unsorted.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& directory) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const auto seq = snapshot_sequence(entry.path().filename().string());
+    if (seq) out.emplace_back(*seq, entry.path().string());
+  }
+  return out;
+}
+
+/// Atomic publish: tmp write + flush + fsync + rename.
+[[nodiscard]] bool write_file_atomic(const std::string& final_path, std::string_view text) {
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                     std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = !wrote || fsync(fileno(f)) == 0;
+#else
+  const bool synced = true;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(SinkService& service, SnapshotWriterConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.retain < 1) config_.retain = 1;
+  // Resume the sequence after whatever a previous incarnation left behind,
+  // so a restarted service appends to the same history.
+  for (const auto& [seq, path] : list_snapshots(config_.directory)) {
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::start() {
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  if (config_.interval_s > 0.0) {
+    timer_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+void SnapshotWriter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+void SnapshotWriter::timer_loop() {
+  const auto period = std::chrono::duration<double>(config_.interval_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_cv_.wait_for(lock, period, [&] { return stop_requested_; })) {
+    lock.unlock();
+    (void)write_now();
+    lock.lock();
+  }
+}
+
+bool SnapshotWriter::write_now() {
+  // Capture outside the writer mutex: snapshot_json() quiesces the service
+  // (exclusive store barrier) and must not serialize against stats readers.
+  const std::string snapshot = service_.snapshot_json();
+  std::uint64_t seq;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    seq = next_seq_++;
+  }
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  const std::string path = (fs::path(config_.directory) / snapshot_name(seq)).string();
+  const bool ok = write_file_atomic(path, snapshot);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ok) {
+      ++stats_.written;
+      stats_.last_path = path;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (!ok) return false;
+  // Retention: unlink completed snapshots beyond the bound, oldest first.
+  auto existing = list_snapshots(config_.directory);
+  std::sort(existing.begin(), existing.end());
+  while (existing.size() > config_.retain) {
+    fs::remove(existing.front().second, ec);
+    existing.erase(existing.begin());
+  }
+  return true;
+}
+
+SnapshotWriterStats SnapshotWriter::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::optional<std::uint64_t> snapshot_sequence(std::string_view filename) {
+  if (filename.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (filename.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (filename.substr(filename.size() - kSuffix.size()) != kSuffix) return std::nullopt;
+  const std::string_view digits =
+      filename.substr(kPrefix.size(), filename.size() - kPrefix.size() - kSuffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+std::optional<std::string> latest_snapshot(const std::string& directory) {
+  auto existing = list_snapshots(directory);
+  if (existing.empty()) return std::nullopt;
+  return std::max_element(existing.begin(), existing.end())->second;
+}
+
+std::optional<RecoveredSnapshot> load_latest_snapshot(const std::string& directory) {
+  auto existing = list_snapshots(directory);
+  std::sort(existing.begin(), existing.end());
+  // Newest first; skip anything unreadable or malformed rather than wedge.
+  for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
+    std::ifstream in(it->second, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    RecoveredSnapshot out;
+    out.path = it->second;
+    out.json = buf.str();
+    const auto doc = dophy::obs::parse_json(out.json);
+    if (!doc || !doc->is_object()) continue;
+    const auto* format = doc->find("format");
+    if (format == nullptr || !format->is_string() ||
+        format->string != "dophy-sink-service-snapshot-v2") {
+      continue;
+    }
+    const auto* producers = doc->find("producers");
+    if (producers == nullptr || !producers->is_number() || producers->number < 1) continue;
+    out.producers = static_cast<std::size_t>(producers->number);
+    const auto* lanes = doc->find("lane_processed");
+    bool lanes_ok = lanes != nullptr && lanes->is_array();
+    if (lanes_ok) {
+      for (const auto& lane : lanes->array) {
+        if (!lane.is_number() || lane.number < 0) {
+          lanes_ok = false;
+          break;
+        }
+        out.lane_processed.push_back(static_cast<std::uint64_t>(lane.number));
+      }
+    }
+    if (!lanes_ok || out.lane_processed.size() != out.producers) continue;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dophy::sink

@@ -1,0 +1,125 @@
+#pragma once
+
+// Durable snapshot streaming for the sink service.
+//
+// A SnapshotWriter owns a timer thread that periodically captures
+// SinkService::snapshot_json() (batch-consistent: the service takes the
+// store barrier exclusively) and streams it to a snapshot directory using
+// the atomic publish protocol:
+//
+//   1. write snapshot-<seq>.json.tmp, flush, fsync
+//   2. rename(2) it to snapshot-<seq>.json     — atomic on POSIX
+//   3. unlink completed snapshots beyond the retention bound, oldest first
+//
+// A reader therefore never observes a torn document: either the rename
+// happened and the file is complete, or the writer died mid-write and left
+// only a .tmp, which recovery ignores.  Sequence numbers are monotonic and
+// resume from the highest number already present in the directory, so a
+// restarted service keeps appending to the same history.
+//
+// Recovery helpers (latest_snapshot / load_latest_snapshot) pick the
+// newest complete snapshot and expose the per-lane stream cursor the
+// service embeds — everything `dophy_sink recover` needs to replay the
+// stream tail (see stream_feed.hpp).
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dophy/sink/service.hpp"
+
+namespace dophy::sink {
+
+/// Tuning for a SnapshotWriter.
+struct SnapshotWriterConfig {
+  /// Snapshot directory (created on start() if missing).
+  std::string directory;
+  /// Timer period in seconds; <= 0 disables the timer (write_now() only).
+  double interval_s = 30.0;
+  /// Completed snapshots kept on disk; older ones are unlinked after each
+  /// successful publish.  Minimum 1.
+  std::size_t retain = 4;
+};
+
+/// Writer-side counters (exact: every mutation holds the writer mutex).
+struct SnapshotWriterStats {
+  std::uint64_t written = 0;   ///< snapshots published (renamed into place)
+  std::uint64_t failed = 0;    ///< write/rename failures (service kept running)
+  std::string last_path;       ///< most recently published snapshot file
+};
+
+/// Timer-driven durable snapshot publisher for a SinkService (see the file
+/// comment for the atomic publish protocol).
+class SnapshotWriter {
+ public:
+  /// Binds the writer to `service`; `service` must outlive the writer.
+  SnapshotWriter(SinkService& service, SnapshotWriterConfig config);
+  /// Stops the timer thread (no final snapshot; see stop()).
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;             ///< not copyable
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;  ///< not copyable
+
+  /// Creates the directory and spawns the timer thread (no-op when
+  /// interval_s <= 0).  Idempotent until stop().
+  void start();
+
+  /// Joins the timer thread.  Does not write a final snapshot; call
+  /// write_now() first for a shutdown checkpoint.  Idempotent.
+  void stop();
+
+  /// Captures and publishes one snapshot immediately (also what the timer
+  /// calls).  Returns false when the write or rename failed; the failure is
+  /// counted and the service keeps running.
+  bool write_now();
+
+  /// Writer-side counters (exact; see SnapshotWriterStats).
+  [[nodiscard]] SnapshotWriterStats stats() const;
+  /// The configuration the writer was built with.
+  [[nodiscard]] const SnapshotWriterConfig& config() const noexcept { return config_; }
+
+ private:
+  void timer_loop();
+
+  SinkService& service_;
+  SnapshotWriterConfig config_;
+  std::uint64_t next_seq_ = 0;
+
+  std::thread timer_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  mutable std::mutex mutex_;  ///< guards stats_, next_seq_, stop flag
+  std::condition_variable stop_cv_;
+  SnapshotWriterStats stats_;
+};
+
+/// Parses the sequence number out of a snapshot file name
+/// ("snapshot-<seq>.json"); nullopt for anything else (including .tmp
+/// leftovers from a crashed writer).
+[[nodiscard]] std::optional<std::uint64_t> snapshot_sequence(std::string_view filename);
+
+/// Path of the newest complete snapshot in `directory` (highest sequence
+/// number, .tmp files ignored); nullopt when none exists.
+[[nodiscard]] std::optional<std::string> latest_snapshot(const std::string& directory);
+
+/// A loaded snapshot plus the recovery-relevant fields parsed out of it.
+struct RecoveredSnapshot {
+  std::string path;  ///< file the document came from
+  std::string json;  ///< full document, ready for SinkService::restore_snapshot
+  std::size_t producers = 1;  ///< lane layout the snapshotting service ran with
+  std::vector<std::uint64_t> lane_processed;  ///< per-lane stream cursor
+};
+
+/// Loads and validates the newest complete snapshot in `directory`:
+/// corrupt or unparseable candidates are skipped in favour of the next
+/// newest, so a torn file (beyond even the .tmp protocol) cannot wedge
+/// recovery.  nullopt when no valid snapshot exists.
+[[nodiscard]] std::optional<RecoveredSnapshot> load_latest_snapshot(
+    const std::string& directory);
+
+}  // namespace dophy::sink

@@ -1,0 +1,75 @@
+#include "dophy/sink/stream_feed.hpp"
+
+#include <thread>
+
+namespace dophy::sink {
+
+std::uint64_t feed_stream(SinkService& service, const ReportStream& stream,
+                          std::size_t producers, std::vector<std::uint64_t>& lane_sent,
+                          std::chrono::steady_clock::time_point start,
+                          const StreamFeedOptions& options) {
+  std::uint64_t submitted = 0;
+  std::vector<std::vector<const StreamRecord*>> segment(producers);
+  // Records *assigned* per lane so far (installs count toward lane 0): the
+  // index a lane_skip cursor is compared against.
+  std::vector<std::uint64_t> lane_assigned(producers, 0);
+  std::size_t next_lane = 0;
+
+  auto flush_segment = [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t lane = 0; lane < producers; ++lane) {
+      if (segment[lane].empty()) continue;
+      threads.emplace_back([&, lane] {
+        const double lane_rate =
+            options.rate > 0.0 ? options.rate / static_cast<double>(producers) : 0.0;
+        for (const StreamRecord* rec : segment[lane]) {
+          if (lane_rate > 0.0) {
+            const auto due =
+                start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(lane_sent[lane]) / lane_rate));
+            std::this_thread::sleep_until(due);
+          }
+          (void)service.submit(lane, *rec);  // drop policy may shed; accounted
+          ++lane_sent[lane];
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& lane : segment) {
+      submitted += lane.size();
+      lane.clear();
+    }
+  };
+
+  auto skipped = [&](std::size_t lane) {
+    const std::uint64_t index = lane_assigned[lane]++;
+    return options.lane_skip != nullptr && lane < options.lane_skip->size() &&
+           index < (*options.lane_skip)[lane];
+  };
+
+  for (const StreamRecord& rec : stream.records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      if (!options.include_installs) continue;  // repeat passes: versions already live
+      if (skipped(0)) continue;  // already folded pre-snapshot (model history restored)
+      flush_segment();
+      service.wait_idle();  // keep install ordered after every prior report
+      (void)service.submit(0, rec);  // kBlock in practice; sheds tracked by queue stats
+      ++submitted;
+      // ...and processed before any later report: per-lane FIFO alone would
+      // let another lane's report (encoded with the just-published version)
+      // drain ahead of the install and fail decode.
+      service.wait_idle();
+      continue;
+    }
+    const std::size_t lane = next_lane;
+    next_lane = (next_lane + 1) % producers;
+    if (skipped(lane)) continue;  // pre-snapshot prefix of this lane's FIFO
+    segment[lane].push_back(&rec);
+  }
+  flush_segment();
+  return submitted;
+}
+
+}  // namespace dophy::sink

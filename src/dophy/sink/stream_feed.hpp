@@ -1,0 +1,50 @@
+#pragma once
+
+// Canonical stream feeder: the one lane-assignment rule shared by replay,
+// crash recovery, and the differential tests.
+//
+// Reports fan out round-robin over the producer lanes; model installs always
+// ride lane 0 and are bracketed with wait_idle() on both sides (per-lane
+// FIFO alone would let a report encoded under a just-published model version
+// drain ahead of its install on another lane).  Because the assignment is a
+// pure function of record index and producer count, a per-lane processed
+// cursor (SinkService::lane_processed) identifies exactly which records a
+// snapshot already folded — recovery re-runs the same assignment and skips
+// that prefix per lane.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "dophy/sink/report_stream.hpp"
+#include "dophy/sink/service.hpp"
+
+namespace dophy::sink {
+
+/// Tuning for one feed_stream pass.
+struct StreamFeedOptions {
+  /// Target submit rate in reports/s across all lanes; 0 = unpaced.
+  double rate = 0.0;
+  /// Submit kModelInstall records (false on repeat passes: the versions are
+  /// already installed).
+  bool include_installs = true;
+  /// Per-lane skip counts (size == producers): the first lane_skip[i]
+  /// records *assigned* to lane i are dropped instead of submitted.  This is
+  /// the recovery tail-replay cursor — pass the snapshot's lane_processed
+  /// array to resume exactly after the folded prefix.  nullptr = feed all.
+  const std::vector<std::uint64_t>* lane_skip = nullptr;
+};
+
+/// Pushes `stream` through `service` once under the canonical assignment:
+/// each lane pushed by its own thread (paced to rate/producers against
+/// `start`, with `lane_sent` carrying pacing state across passes), installs
+/// double-bracketed with wait_idle().  Returns the number of records
+/// actually submitted, installs included (skipped records are not counted;
+/// records shed by a kDropNewest queue are counted — the queue stats
+/// account the sheds).
+std::uint64_t feed_stream(SinkService& service, const ReportStream& stream,
+                          std::size_t producers, std::vector<std::uint64_t>& lane_sent,
+                          std::chrono::steady_clock::time_point start,
+                          const StreamFeedOptions& options = {});
+
+}  // namespace dophy::sink

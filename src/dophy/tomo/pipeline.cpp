@@ -87,8 +87,9 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     } else {
       id_instr->install(node, set);
     }
-    if (node == kSinkId && config.report_tap != nullptr) {
-      config.report_tap->on_sink_install(set);
+    if (node == kSinkId) {
+      if (config.report_tap != nullptr) config.report_tap->on_sink_install(set);
+      if (config.live_sink != nullptr) config.live_sink->on_sink_install(set);
     }
   };
   const ModelStore& sink_store =
@@ -193,6 +194,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   net.set_delivery_handler([&](const dophy::net::Packet& packet, SimTime now) {
     const dophy::obs::ObsTimer decode_timer(profile, "decode");
     if (config.report_tap != nullptr) config.report_tap->on_delivery(packet, now, in_measure);
+    if (config.live_sink != nullptr) config.live_sink->on_delivery(packet, now, in_measure);
     auto decoded = decode(packet);
     if (!decoded) return;
     // Successful sink decode: sim-time latency from generation to decode

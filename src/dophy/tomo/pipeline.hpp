@@ -93,6 +93,15 @@ struct PipelineConfig {
 
   /// Raw sink-stream observer (see SinkReportTap); nullptr = off.
   SinkReportTap* report_tap = nullptr;
+
+  /// Live-mode sink: a second tap receiving the same install/delivery stream,
+  /// intended for an in-process sink::SinkService behind a sink::LiveSinkFeed
+  /// (the simulator feeds the service through its ingest queue instead of a
+  /// recorded stream).  Kept separate from report_tap so a run can record and
+  /// feed live simultaneously (the recorded stream is the live feed's
+  /// differential reference).  Non-owning and non-canonical, like report_tap:
+  /// live runs bypass the result cache.
+  SinkReportTap* live_sink = nullptr;
 };
 
 /// One point of the within-run convergence series.

@@ -290,6 +290,29 @@ TEST(ShardedLinkEstimator, RestoreRejectsMalformedSnapshots) {
                    .has_value());
 }
 
+TEST(ShardedLinkEstimator, MergedPartitionsEqualSingleFold) {
+  // The consumer-group model: observations split round-robin across three
+  // partitions (different shard layouts), merged into a fresh estimator,
+  // must be bit-identical to one estimator that saw everything — the
+  // additive GeometricSuffStats::merge is exact on integral statistics.
+  ShardedLinkEstimator whole(4, 1.0, 4);
+  ShardedLinkEstimator part_a(4, 1.0, 1);
+  ShardedLinkEstimator part_b(4, 1.0, 8);
+  ShardedLinkEstimator part_c(4, 1.0, 16);
+  ShardedLinkEstimator* parts[] = {&part_a, &part_b, &part_c};
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const LinkKey link{static_cast<NodeId>(1 + rng.next_below(9)),
+                       static_cast<NodeId>(rng.next_below(9))};
+    const auto obs = to_observation(1 + static_cast<std::uint32_t>(rng.next_below(8)), 4);
+    whole.observe(link, obs);
+    parts[i % 3]->observe(link, obs);
+  }
+  ShardedLinkEstimator merged(4, 1.0, 4);
+  for (ShardedLinkEstimator* part : parts) merged.merge_from(*part);
+  EXPECT_EQ(merged.snapshot_json(), whole.snapshot_json());  // bit-equal state
+}
+
 TEST(ShardedLinkEstimator, SnapshotIsCanonicalAcrossShardLayouts) {
   // The same link state snapshotted from different shard counts serializes
   // identically except for the recorded shard count; restoring across

@@ -1,0 +1,451 @@
+// Crash-recovery suite: the SnapshotWriter's atomic publish protocol
+// (tmp + rename + retention), recovery's tolerance of torn and corrupt
+// candidates, and the end-to-end exactness claim — a service rebuilt from
+// the last snapshot plus a stream-tail replay equals the uninterrupted run
+// bit-for-bit, including when the snapshot was captured concurrently with
+// the feed (the in-process equivalent of kill -9 mid-stream).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dophy/common/rng.hpp"
+#include "dophy/obs/json.hpp"
+#include "dophy/sink/snapshot_writer.hpp"
+#include "dophy/sink/stream_feed.hpp"
+#include "dophy/tomo/dophy_decoder.hpp"
+#include "dophy/tomo/dophy_encoder.hpp"
+#include "dophy/tomo/link_inference.hpp"
+#include "dophy/tomo/measurement.hpp"
+
+namespace dophy::sink {
+namespace {
+
+namespace fs = std::filesystem;
+using dophy::common::Rng;
+using dophy::net::kSinkId;
+using dophy::net::NodeId;
+using dophy::net::Packet;
+using dophy::tomo::DophyDecoder;
+using dophy::tomo::DophyInstrumentation;
+using dophy::tomo::LinkLossEstimator;
+using dophy::tomo::ModelSet;
+using dophy::tomo::ModelStore;
+using dophy::tomo::SymbolMapper;
+
+constexpr std::size_t kNodes = 24;
+constexpr std::uint32_t kK = 4;
+
+/// Fresh per-test directory under the gtest temp root.
+fs::path make_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct Hop {
+  NodeId receiver;
+  std::uint32_t attempts;
+};
+
+Packet make_packet(DophyInstrumentation& instr, NodeId origin, const std::vector<Hop>& hops) {
+  Packet packet;
+  packet.origin = origin;
+  packet.seq = 1;
+  instr.on_origin(packet, origin, 0);
+  NodeId sender = origin;
+  for (const Hop& hop : hops) {
+    instr.on_hop_received(packet, hop.receiver, sender, hop.attempts, 0);
+    sender = hop.receiver;
+  }
+  return packet;
+}
+
+/// A synthesized recorded stream: `count` delivered reports with model
+/// installs spliced in every `install_every` reports (0 = none).  Installs
+/// re-publish the bootstrap models under a fresh version number, so decode
+/// results are unchanged but the install / lane-0 accounting paths run.
+ReportStream make_stream(std::uint64_t seed, std::size_t count, std::size_t install_every = 0) {
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  Rng rng(seed);
+  ReportStream stream;
+  stream.node_count = kNodes;
+  stream.censor_threshold = kK;
+  std::uint8_t next_version = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (install_every > 0 && i > 0 && i % install_every == 0) {
+      ModelSet set = ModelSet::bootstrap(kNodes, mapper.alphabet_size());
+      set.version = next_version++;
+      StreamRecord install;
+      install.kind = StreamRecord::Kind::kModelInstall;
+      install.model_bytes = set.serialize();
+      stream.records.push_back(std::move(install));
+    }
+    const auto origin = static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+    std::vector<Hop> hops;
+    const std::size_t len = 1 + rng.next_below(5);
+    for (std::size_t h = 0; h + 1 < len; ++h) {
+      hops.push_back({static_cast<NodeId>(1 + rng.next_below(kNodes - 1)),
+                      1 + static_cast<std::uint32_t>(rng.next_below(kK + 3))});
+    }
+    hops.push_back({kSinkId, 1 + static_cast<std::uint32_t>(rng.next_below(kK + 3))});
+    StreamRecord rec;
+    rec.kind = StreamRecord::Kind::kReport;
+    rec.report.packet = make_packet(instr, origin, hops);
+    rec.report.recv_time = static_cast<dophy::net::SimTime>(i);
+    stream.records.push_back(std::move(rec));
+  }
+  return stream;
+}
+
+SinkServiceConfig make_config(std::size_t producers, std::size_t consumers) {
+  SinkServiceConfig config;
+  config.node_count = kNodes;
+  config.censor_threshold = kK;
+  config.producers = producers;
+  config.consumers = consumers;
+  return config;
+}
+
+/// Whole-stream batch decode, install-aware — mirrors `dophy_sink verify`.
+LinkLossEstimator batch_reference(const ReportStream& stream) {
+  ModelStore store;
+  const SymbolMapper mapper(stream.censor_threshold);
+  store.install(ModelSet::bootstrap(stream.node_count, mapper.alphabet_size()));
+  DophyDecoder decoder(store, mapper, stream.max_hops);
+  LinkLossEstimator batch(stream.censor_threshold);
+  for (const StreamRecord& rec : stream.records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      store.install(ModelSet::deserialize(rec.model_bytes));
+      continue;
+    }
+    const auto decoded = decoder.decode(rec.report.packet);
+    if (decoded && rec.report.in_measure) batch.observe_path(*decoded);
+  }
+  return batch;
+}
+
+void expect_matches_batch(const SinkService& service, const LinkLossEstimator& batch) {
+  const auto batch_links = batch.all_estimates();
+  const auto sink_links = service.all_estimates();
+  ASSERT_EQ(batch_links.size(), sink_links.size());
+  for (std::size_t i = 0; i < batch_links.size(); ++i) {
+    ASSERT_EQ(batch_links[i].first, sink_links[i].first);
+    const auto* bs = batch.stats(batch_links[i].first);
+    const auto is = service.link_stats(sink_links[i].first);
+    ASSERT_NE(bs, nullptr);
+    ASSERT_TRUE(is.has_value());
+    EXPECT_TRUE(*bs == *is) << "link " << batch_links[i].first.from << "->"
+                            << batch_links[i].first.to;
+    EXPECT_EQ(batch_links[i].second.loss, sink_links[i].second.loss);
+    EXPECT_EQ(batch_links[i].second.stderr_, sink_links[i].second.stderr_);
+  }
+}
+
+/// Single-pass canonical feed of `stream` (fresh pacing state, unpaced).
+std::uint64_t feed_all(SinkService& service, const ReportStream& stream, std::size_t producers,
+                       const StreamFeedOptions& options = {}) {
+  std::vector<std::uint64_t> lane_sent(producers, 0);
+  return feed_stream(service, stream, producers, lane_sent,
+                     std::chrono::steady_clock::now(), options);
+}
+
+void write_file(const fs::path& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+/// Completed snapshot file names in `dir`, sorted.
+std::set<std::string> completed_snapshots(const fs::path& dir) {
+  std::set<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (snapshot_sequence(name).has_value()) names.insert(name);
+  }
+  return names;
+}
+
+TEST(SnapshotNaming, SequenceParsing) {
+  EXPECT_EQ(snapshot_sequence("snapshot-000000042.json"), 42u);
+  EXPECT_EQ(snapshot_sequence("snapshot-0.json"), 0u);
+  // .tmp leftovers from a crashed writer are not snapshots.
+  EXPECT_FALSE(snapshot_sequence("snapshot-000000042.json.tmp").has_value());
+  EXPECT_FALSE(snapshot_sequence("snapshot-.json").has_value());
+  EXPECT_FALSE(snapshot_sequence("snapshot-12.txt").has_value());
+  EXPECT_FALSE(snapshot_sequence("other.json").has_value());
+  EXPECT_FALSE(snapshot_sequence("snapshot-12x.json").has_value());
+}
+
+TEST(SnapshotWriter, PublishesAtomicallyAndPrunes) {
+  const fs::path dir = make_dir("writer_prune");
+  const ReportStream stream = make_stream(7, 120);
+
+  SinkService service(make_config(1, 1));
+  service.start();
+  SnapshotWriter writer(service, {dir.string(), /*interval_s=*/0.0, /*retain=*/2});
+  writer.start();  // interval 0: timer disabled, write_now() only
+
+  // Four manual checkpoints with fresh state between them.
+  for (std::size_t quarter = 0; quarter < 4; ++quarter) {
+    ReportStream slice;
+    slice.node_count = stream.node_count;
+    slice.censor_threshold = stream.censor_threshold;
+    for (std::size_t i = quarter * 30; i < (quarter + 1) * 30; ++i) {
+      slice.records.push_back(stream.records[i]);
+    }
+    (void)feed_all(service, slice, 1);
+    service.wait_idle();
+    ASSERT_TRUE(writer.write_now());
+  }
+  writer.stop();
+  service.stop();
+
+  const SnapshotWriterStats stats = writer.stats();
+  EXPECT_EQ(stats.written, 4u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(fs::path(stats.last_path).filename(), "snapshot-000000003.json");
+
+  // Retention kept exactly the newest two; nothing torn left behind.
+  EXPECT_EQ(completed_snapshots(dir),
+            (std::set<std::string>{"snapshot-000000002.json", "snapshot-000000003.json"}));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  EXPECT_EQ(fs::path(*latest_snapshot(dir.string())).filename(), "snapshot-000000003.json");
+
+  // The published document restores the exact service state.
+  const auto recovered = load_latest_snapshot(dir.string());
+  ASSERT_TRUE(recovered.has_value());
+  SinkService restored(make_config(1, 1));
+  ASSERT_TRUE(restored.restore_snapshot(recovered->json));
+  expect_matches_batch(restored, batch_reference(stream));
+}
+
+TEST(SnapshotWriter, SequenceResumesAcrossRestart) {
+  const fs::path dir = make_dir("writer_resume");
+  const ReportStream stream = make_stream(9, 40);
+  {
+    SinkService service(make_config(1, 1));
+    service.start();
+    (void)feed_all(service, stream, 1);
+    service.wait_idle();
+    SnapshotWriter writer(service, {dir.string(), 0.0, 8});
+    ASSERT_TRUE(writer.write_now());
+    ASSERT_TRUE(writer.write_now());
+    service.stop();
+  }
+  {
+    // A restarted writer keeps appending to the same history instead of
+    // clobbering snapshot-000000000.json.
+    SinkService service(make_config(1, 1));
+    SnapshotWriter writer(service, {dir.string(), 0.0, 8});
+    ASSERT_TRUE(writer.write_now());
+  }
+  EXPECT_EQ(completed_snapshots(dir),
+            (std::set<std::string>{"snapshot-000000000.json", "snapshot-000000001.json",
+                                   "snapshot-000000002.json"}));
+}
+
+TEST(SnapshotWriter, TimerPublishesWithoutManualCalls) {
+  const fs::path dir = make_dir("writer_timer");
+  SinkService service(make_config(1, 1));
+  service.start();
+  SnapshotWriter writer(service, {dir.string(), /*interval_s=*/0.02, /*retain=*/4});
+  writer.start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (writer.stats().written == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  writer.stop();
+  service.stop();
+  EXPECT_GE(writer.stats().written, 1u);
+  EXPECT_FALSE(completed_snapshots(dir).empty());
+}
+
+TEST(SnapshotRecovery, IgnoresTmpLeftoversAndCorruptFiles) {
+  const fs::path dir = make_dir("recovery_skip");
+  const ReportStream stream = make_stream(13, 60);
+
+  SinkService service(make_config(1, 1));
+  service.start();
+  (void)feed_all(service, stream, 1);
+  service.wait_idle();
+  SnapshotWriter writer(service, {dir.string(), 0.0, 8});
+  ASSERT_TRUE(writer.write_now());  // snapshot-000000000.json, the one good file
+  service.stop();
+
+  // A crashed writer's torn temp file, a corrupt completed file with a
+  // higher sequence, and a well-formed document of the wrong format — all
+  // newer-looking than the good snapshot, all skipped.
+  write_file(dir / "snapshot-000000009.json.tmp", "{\"format\":\"dophy-sink-");
+  write_file(dir / "snapshot-000000007.json", "not json at all");
+  write_file(dir / "snapshot-000000005.json", R"({"format":"something-else"})");
+
+  // latest_snapshot picks purely by name; load_latest_snapshot validates.
+  EXPECT_EQ(fs::path(*latest_snapshot(dir.string())).filename(), "snapshot-000000007.json");
+  const auto recovered = load_latest_snapshot(dir.string());
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(fs::path(recovered->path).filename(), "snapshot-000000000.json");
+  EXPECT_EQ(recovered->producers, 1u);
+  ASSERT_EQ(recovered->lane_processed.size(), 1u);
+  EXPECT_EQ(recovered->lane_processed[0], stream.records.size());
+
+  SinkService restored(make_config(1, 1));
+  ASSERT_TRUE(restored.restore_snapshot(recovered->json));
+  expect_matches_batch(restored, batch_reference(stream));
+
+  // A directory with only garbage yields no snapshot rather than a bad one.
+  const fs::path junk = make_dir("recovery_junk");
+  write_file(junk / "snapshot-000000001.json", "junk");
+  EXPECT_FALSE(load_latest_snapshot(junk.string()).has_value());
+  EXPECT_FALSE(load_latest_snapshot((junk / "missing").string()).has_value());
+}
+
+TEST(SnapshotRecovery, KillMidStreamRecoveryIsExact) {
+  // The headline crash-recovery claim, in-process: feed a prefix, snapshot,
+  // "kill" (drop the service), then rebuild from the snapshot and replay the
+  // tail under the canonical lane assignment.  The cut is deliberately not a
+  // multiple of the producer count (uneven per-lane cursors) and leaves one
+  // install in the prefix and one in the tail.
+  const fs::path dir = make_dir("recovery_kill");
+  const std::size_t kProducers = 3;
+  const ReportStream full = make_stream(21, 400, /*install_every=*/150);
+  const std::size_t cut = 211;  // records (reports + installs), mid-stream
+
+  ReportStream prefix;
+  prefix.node_count = full.node_count;
+  prefix.censor_threshold = full.censor_threshold;
+  prefix.records.assign(full.records.begin(),
+                        full.records.begin() + static_cast<std::ptrdiff_t>(cut));
+
+  {
+    SinkService service(make_config(kProducers, 2));
+    service.start();
+    (void)feed_all(service, prefix, kProducers);
+    service.wait_idle();
+    SnapshotWriter writer(service, {dir.string(), 0.0, 4});
+    ASSERT_TRUE(writer.write_now());
+    // No orderly stop: the service object is simply destroyed, as a crash
+    // would leave it.  (~SinkService drains, but the snapshot on disk is the
+    // only state recovery gets to see.)
+  }
+
+  const auto recovered = load_latest_snapshot(dir.string());
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->producers, kProducers);
+  ASSERT_EQ(recovered->lane_processed.size(), kProducers);
+  std::uint64_t in_snapshot = 0;
+  for (const auto count : recovered->lane_processed) in_snapshot += count;
+  EXPECT_EQ(in_snapshot, cut);
+  // Lane assignment is positional, so a cut that is not a lane-count
+  // multiple leaves uneven cursors.
+  EXPECT_NE(recovered->lane_processed[0], recovered->lane_processed[kProducers - 1]);
+
+  SinkService rebuilt(make_config(kProducers, 2));
+  ASSERT_TRUE(rebuilt.restore_snapshot(recovered->json));
+  rebuilt.start();
+  StreamFeedOptions options;
+  options.lane_skip = &recovered->lane_processed;
+  const std::uint64_t tail = feed_all(rebuilt, full, kProducers, options);
+  rebuilt.wait_idle();
+  rebuilt.stop();
+  EXPECT_EQ(in_snapshot + tail, full.records.size());
+
+  // Exact against the batch decode of the whole stream...
+  expect_matches_batch(rebuilt, batch_reference(full));
+  // ...and bit-identical to a service that never crashed.
+  SinkService uninterrupted(make_config(kProducers, 2));
+  uninterrupted.start();
+  (void)feed_all(uninterrupted, full, kProducers);
+  uninterrupted.wait_idle();
+  uninterrupted.stop();
+  EXPECT_EQ(rebuilt.snapshot_json(), uninterrupted.snapshot_json());
+}
+
+TEST(SnapshotRecovery, ConcurrentSnapshotsReplayExactly) {
+  // Snapshots captured while the feed is running land at arbitrary cut
+  // points (mid-batch, uneven lanes, possibly between an install's brackets).
+  // Every one of them must recover: restore + tail replay with the
+  // snapshot's own cursor equals the uninterrupted run.
+  const fs::path dir = make_dir("recovery_concurrent");
+  const std::size_t kProducers = 4;
+  const ReportStream full = make_stream(33, 500, /*install_every=*/120);
+
+  {
+    SinkService service(make_config(kProducers, 2));
+    service.start();
+    SnapshotWriter writer(service, {dir.string(), 0.0, 64});
+    std::thread feeder([&] { (void)feed_all(service, full, kProducers); });
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(writer.write_now());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    feeder.join();
+    service.wait_idle();
+    ASSERT_TRUE(writer.write_now());  // final checkpoint: full-stream state
+    service.stop();
+  }
+
+  const LinkLossEstimator batch = batch_reference(full);
+  std::size_t replayed = 0;
+  for (const std::string& name : completed_snapshots(dir)) {
+    std::ifstream in(dir / name, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    const auto doc = dophy::obs::parse_json(json);
+    ASSERT_TRUE(doc.has_value()) << name;
+    const auto* lanes = doc->find("lane_processed");
+    ASSERT_NE(lanes, nullptr) << name;
+    std::vector<std::uint64_t> cursor;
+    for (const auto& lane : lanes->array) {
+      cursor.push_back(static_cast<std::uint64_t>(lane.number));
+    }
+    ASSERT_EQ(cursor.size(), kProducers) << name;
+
+    SinkService rebuilt(make_config(kProducers, 2));
+    ASSERT_TRUE(rebuilt.restore_snapshot(json)) << name;
+    rebuilt.start();
+    StreamFeedOptions options;
+    options.lane_skip = &cursor;
+    (void)feed_all(rebuilt, full, kProducers, options);
+    rebuilt.wait_idle();
+    rebuilt.stop();
+    expect_matches_batch(rebuilt, batch);
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 2u);  // at least one mid-stream cut plus the final one
+}
+
+TEST(SnapshotRecovery, RestoreRejectsMismatchedLaneLayout) {
+  // The per-lane cursor only means something under the producer layout that
+  // wrote it; restoring into a service with a different lane count must fail
+  // instead of silently replaying the wrong tail.
+  const ReportStream stream = make_stream(41, 60);
+  SinkService donor(make_config(3, 1));
+  donor.start();
+  (void)feed_all(donor, stream, 3);
+  donor.wait_idle();
+  const std::string snapshot = donor.snapshot_json();
+  donor.stop();
+
+  SinkService two_lanes(make_config(2, 1));
+  EXPECT_FALSE(two_lanes.restore_snapshot(snapshot));
+  SinkService three_lanes(make_config(3, 1));
+  EXPECT_TRUE(three_lanes.restore_snapshot(snapshot));
+  expect_matches_batch(three_lanes, batch_reference(stream));
+}
+
+}  // namespace
+}  // namespace dophy::sink

@@ -115,7 +115,7 @@ void expect_matches_batch(const SinkService& service, const LinkLossEstimator& b
   for (std::size_t i = 0; i < batch_links.size(); ++i) {
     ASSERT_EQ(batch_links[i].first, sink_links[i].first);
     const auto* bs = batch.stats(batch_links[i].first);
-    const auto is = service.estimator().stats(sink_links[i].first);
+    const auto is = service.link_stats(sink_links[i].first);
     ASSERT_NE(bs, nullptr);
     ASSERT_TRUE(is.has_value());
     EXPECT_TRUE(*bs == *is) << "link " << batch_links[i].first.from << "->"
@@ -172,6 +172,82 @@ TEST(SinkService, WarmupReportsAreSkippedUnlessOptedIn) {
   }
 }
 
+/// Feeds `records` round-robin across `producers` lanes from one thread
+/// (the canonical assignment without installs) and waits until drained.
+void feed_round_robin(SinkService& service, const std::vector<StreamRecord>& records,
+                      std::size_t producers) {
+  std::size_t lane = 0;
+  for (const StreamRecord& rec : records) {
+    ASSERT_TRUE(service.submit(lane, rec));
+    lane = (lane + 1) % producers;
+  }
+  service.wait_idle();
+}
+
+TEST(SinkService, ConsumerCountsAreBitEqual) {
+  // The tentpole invariant: consumer counts 1, 2, and 4 (shard-affine
+  // lane partitions) produce bit-identical merged sufficient statistics —
+  // equal to each other and to the batch reference.
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 131, 600);
+  const LinkLossEstimator batch = batch_reference(records);
+
+  const std::size_t kProducers = 4;
+  for (const std::size_t consumers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SinkServiceConfig config = base_config();
+    config.producers = kProducers;
+    config.consumers = consumers;
+    SinkService service(config);
+    ASSERT_EQ(service.config().consumers, consumers);
+    service.start();
+    feed_round_robin(service, records, kProducers);
+    expect_matches_batch(service, batch);
+    service.stop();
+    const SinkServiceStats stats = service.stats();
+    EXPECT_EQ(stats.reports_processed, records.size());
+    EXPECT_EQ(stats.decode_failures, 0u);
+  }
+}
+
+TEST(SinkService, ConsumerCountExceedingLanesIsClamped) {
+  SinkServiceConfig config = base_config();
+  config.producers = 2;
+  config.consumers = 8;
+  SinkService service(config);
+  EXPECT_EQ(service.config().consumers, 2u);  // a consumer needs an owned lane
+}
+
+TEST(SinkService, MultiConsumerSnapshotEqualsSingleConsumerSnapshot) {
+  // Durable snapshots must not leak the consumer partitioning: the merged
+  // estimator document a 4-consumer service writes equals the 1-consumer one
+  // byte-for-byte (links are sorted, merge is exact integral addition).
+  const SymbolMapper mapper(kK);
+  DophyInstrumentation instr(kNodes, mapper);
+  const auto records = make_stream(instr, 149, 400);
+
+  auto run = [&](std::size_t consumers) {
+    SinkServiceConfig config = base_config();
+    config.producers = 4;
+    config.consumers = consumers;
+    SinkService service(config);
+    service.start();
+    feed_round_robin(service, records, 4);
+    std::string snap = service.snapshot_json();
+    service.stop();
+    return snap;
+  };
+  const std::string single = run(1);
+  const std::string quad = run(4);
+  // The documents differ only in the recorded consumer count.
+  const auto strip = [](std::string s) {
+    const auto pos = s.find("\"consumers\":");
+    const auto end = s.find(',', pos);
+    return s.erase(pos, end - pos + 1);
+  };
+  EXPECT_EQ(strip(single), strip(quad));
+}
+
 TEST(SinkService, FaultMutatedReportsCannotDiverge) {
   // Corrupt / truncate / drop a third of the stream through the injector's
   // own mutation kernel.  Whatever the decoder makes of a mutated report,
@@ -224,7 +300,12 @@ TEST(SinkService, MidStreamSnapshotRestoresIntoFreshService) {
   ASSERT_TRUE(doc.has_value());
   const auto* format = doc->find("format");
   ASSERT_NE(format, nullptr);
-  EXPECT_EQ(format->string, "dophy-sink-service-snapshot-v1");
+  EXPECT_EQ(format->string, "dophy-sink-service-snapshot-v2");
+  const auto* lanes = doc->find("lane_processed");
+  ASSERT_NE(lanes, nullptr);
+  ASSERT_TRUE(lanes->is_array());
+  ASSERT_EQ(lanes->array.size(), 1u);  // single-lane config
+  EXPECT_EQ(static_cast<std::size_t>(lanes->array[0].number), cut);
 
   SinkService second(base_config());
   ASSERT_TRUE(second.restore_snapshot(snapshot));
@@ -297,6 +378,9 @@ TEST(SinkService, RejectsInvalidConfig) {
   EXPECT_THROW(SinkService{config}, std::invalid_argument);
   config.node_count = 5;
   config.decode_batch = 0;
+  EXPECT_THROW(SinkService{config}, std::invalid_argument);
+  config.decode_batch = 64;
+  config.consumers = 0;
   EXPECT_THROW(SinkService{config}, std::invalid_argument);
 }
 

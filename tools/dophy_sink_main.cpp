@@ -1,4 +1,5 @@
-// dophy_sink — record, replay, and verify sink-side report streams.
+// dophy_sink — record, replay, verify, recover, and live-run sink report
+// streams.
 //
 //   dophy_sink record --out FILE [--nodes N] [--seed S] [--warmup-s X]
 //                     [--measure-s X] [--k K]
@@ -7,25 +8,50 @@
 //       order) to FILE.
 //
 //   dophy_sink replay --in FILE [--rate R] [--repeat N] [--producers P]
-//                     [--queue-capacity C] [--policy block|drop] [--batch B]
-//                     [--report FILE]
+//                     [--consumers C] [--queue-capacity Q]
+//                     [--policy block|drop] [--batch B] [--report FILE]
+//                     [--snapshot-dir DIR] [--snapshot-interval-s X]
+//                     [--retain K]
 //       Feeds a recorded stream through the SinkService at a target rate
 //       (reports/s across all producers; 0 = unpaced) and reports achieved
-//       throughput, decode counters, and ingest-latency percentiles.
+//       throughput, decode counters, and ingest-latency percentiles.  With
+//       --snapshot-dir, a SnapshotWriter streams durable snapshots on a
+//       timer (and once at the end), so a killed replay can be resumed with
+//       `recover`.
 //
 //   dophy_sink verify --in FILE [--snapshot-at FRAC] [--batch B]
+//                     [--producers P] [--consumers C]
 //       Differential check: replays the stream through the incremental
 //       service (optionally snapshotting at FRAC of the reports, restoring
 //       into a fresh service, and continuing there) and through the batch
 //       tomo::LinkLossEstimator, then requires identical link sets, exactly
 //       equal sufficient statistics, and estimates within 1e-12.  Exit 0 on
 //       agreement, 2 on divergence.
+//
+//   dophy_sink recover --in FILE --snapshot-dir DIR [--batch B]
+//                      [--consumers C] [--verify]
+//       Crash recovery: loads the newest complete snapshot from DIR,
+//       restores it into a fresh service, and replays only the stream tail
+//       (each lane resumes after the snapshot's per-lane cursor).  With
+//       --verify, the recovered state is differentially checked against a
+//       full batch decode of the stream.  Exit 2 on failure/divergence.
+//
+//   dophy_sink live --nodes N [--seed S] [--warmup-s X] [--measure-s X]
+//                   [--k K] [--producers P] [--consumers C]
+//                   [--snapshot-dir DIR] [--snapshot-interval-s X]
+//                   [--retain K] [--verify]
+//       Live mode: runs the simulation with the sink tap feeding an
+//       in-process SinkService through the ingest queue (no recorded
+//       stream).  With --verify, the run is recorded simultaneously and the
+//       live service is differentially checked against a batch decode of
+//       the recording.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -34,7 +60,10 @@
 #include "dophy/eval/scenario.hpp"
 #include "dophy/obs/metrics.hpp"
 #include "dophy/obs/report.hpp"
+#include "dophy/sink/live_feed.hpp"
 #include "dophy/sink/service.hpp"
+#include "dophy/sink/snapshot_writer.hpp"
+#include "dophy/sink/stream_feed.hpp"
 #include "dophy/tomo/link_inference.hpp"
 #include "dophy/tomo/pipeline.hpp"
 
@@ -44,16 +73,29 @@ using dophy::sink::OverflowPolicy;
 using dophy::sink::ReportStream;
 using dophy::sink::SinkService;
 using dophy::sink::SinkServiceConfig;
+using dophy::sink::SnapshotWriter;
+using dophy::sink::SnapshotWriterConfig;
+using dophy::sink::StreamFeedOptions;
 using dophy::sink::StreamRecord;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: dophy_sink record --out FILE [--nodes N] [--seed S] [--warmup-s X]\n"
-               "                         [--measure-s X] [--k K]\n"
-               "       dophy_sink replay --in FILE [--rate R] [--repeat N] [--producers P]\n"
-               "                         [--queue-capacity C] [--policy block|drop]\n"
-               "                         [--batch B] [--report FILE]\n"
-               "       dophy_sink verify --in FILE [--snapshot-at FRAC] [--batch B]\n");
+  std::fprintf(
+      stderr,
+      "usage: dophy_sink record --out FILE [--nodes N] [--seed S] [--warmup-s X]\n"
+      "                         [--measure-s X] [--k K]\n"
+      "       dophy_sink replay --in FILE [--rate R] [--repeat N] [--producers P]\n"
+      "                         [--consumers C] [--queue-capacity Q]\n"
+      "                         [--policy block|drop] [--batch B] [--report FILE]\n"
+      "                         [--snapshot-dir DIR] [--snapshot-interval-s X]\n"
+      "                         [--retain K]\n"
+      "       dophy_sink verify --in FILE [--snapshot-at FRAC] [--batch B]\n"
+      "                         [--producers P] [--consumers C]\n"
+      "       dophy_sink recover --in FILE --snapshot-dir DIR [--batch B]\n"
+      "                          [--consumers C] [--verify]\n"
+      "       dophy_sink live --nodes N [--seed S] [--warmup-s X] [--measure-s X]\n"
+      "                       [--k K] [--producers P] [--consumers C]\n"
+      "                       [--snapshot-dir DIR] [--snapshot-interval-s X]\n"
+      "                       [--retain K] [--verify]\n");
   return 1;
 }
 
@@ -86,6 +128,7 @@ struct Args {
   std::string in_path;
   std::string out_path;
   std::string report_path;
+  std::string snapshot_dir;
   std::size_t nodes = 50;
   std::uint64_t seed = 1;
   double warmup_s = -1.0;
@@ -94,10 +137,14 @@ struct Args {
   double rate = 0.0;
   std::size_t repeat = 1;
   std::size_t producers = 1;
+  std::size_t consumers = 1;
   std::size_t queue_capacity = 4096;
   OverflowPolicy policy = OverflowPolicy::kBlock;
   std::size_t batch = 64;
   double snapshot_at = -1.0;
+  double snapshot_interval_s = 30.0;
+  std::size_t retain = 4;
+  bool verify = false;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -112,6 +159,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.out_path = v;
     } else if (flag == "--report" && (v = next())) {
       args.report_path = v;
+    } else if (flag == "--snapshot-dir" && (v = next())) {
+      args.snapshot_dir = v;
     } else if (flag == "--nodes" && (v = next())) {
       args.nodes = std::strtoull(v, nullptr, 10);
     } else if (flag == "--seed" && (v = next())) {
@@ -128,12 +177,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.repeat = std::strtoull(v, nullptr, 10);
     } else if (flag == "--producers" && (v = next())) {
       args.producers = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--consumers" && (v = next())) {
+      args.consumers = std::strtoull(v, nullptr, 10);
     } else if (flag == "--queue-capacity" && (v = next())) {
       args.queue_capacity = std::strtoull(v, nullptr, 10);
     } else if (flag == "--batch" && (v = next())) {
       args.batch = std::strtoull(v, nullptr, 10);
     } else if (flag == "--snapshot-at" && (v = next())) {
       args.snapshot_at = std::strtod(v, nullptr);
+    } else if (flag == "--snapshot-interval-s" && (v = next())) {
+      args.snapshot_interval_s = std::strtod(v, nullptr);
+    } else if (flag == "--retain" && (v = next())) {
+      args.retain = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--verify") {
+      args.verify = true;
     } else if (flag == "--policy" && (v = next())) {
       if (std::strcmp(v, "block") == 0) {
         args.policy = OverflowPolicy::kBlock;
@@ -158,10 +215,69 @@ SinkServiceConfig service_config(const ReportStream& stream, const Args& args) {
   cfg.censor_threshold = stream.censor_threshold;
   cfg.max_hops = stream.max_hops;
   cfg.producers = args.producers;
+  cfg.consumers = args.consumers;
   cfg.queue_capacity = args.queue_capacity;
   cfg.overflow_policy = args.policy;
   cfg.decode_batch = args.batch;
   return cfg;
+}
+
+/// Whole-stream batch decode: the reference every differential mode (verify,
+/// recover --verify, live --verify) compares the incremental service against.
+dophy::tomo::LinkLossEstimator batch_reference(const ReportStream& stream) {
+  dophy::tomo::ModelStore store;
+  const dophy::tomo::SymbolMapper mapper(stream.censor_threshold);
+  store.install(dophy::tomo::ModelSet::bootstrap(stream.node_count, mapper.alphabet_size()));
+  dophy::tomo::DophyDecoder decoder(store, mapper, stream.max_hops);
+  dophy::tomo::LinkLossEstimator batch(stream.censor_threshold);
+  for (const StreamRecord& rec : stream.records) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      store.install(dophy::tomo::ModelSet::deserialize(rec.model_bytes));
+      continue;
+    }
+    auto decoded = decoder.decode(rec.report.packet);
+    if (decoded && rec.report.in_measure) batch.observe_path(*decoded);
+  }
+  return batch;
+}
+
+/// Identical link sets, exactly equal sufficient statistics, estimates
+/// within 1e-12.  Returns 0 on agreement, 2 on divergence.
+int compare_with_batch(const dophy::tomo::LinkLossEstimator& batch, const SinkService& service,
+                       const char* label) {
+  const auto batch_links = batch.all_estimates();
+  const auto inc_links = service.all_estimates();
+  if (batch_links.size() != inc_links.size()) {
+    std::fprintf(stderr, "%s: link count diverged (batch %zu, incremental %zu)\n", label,
+                 batch_links.size(), inc_links.size());
+    return 2;
+  }
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < batch_links.size(); ++i) {
+    const auto& [bk, be] = batch_links[i];
+    const auto& [ik, ie] = inc_links[i];
+    if (bk != ik) {
+      std::fprintf(stderr, "%s: link set diverged at index %zu\n", label, i);
+      return 2;
+    }
+    const auto bs = batch.stats(bk);
+    const auto is = service.link_stats(ik);
+    if (bs == nullptr || !is || !(*bs == *is)) {
+      std::fprintf(stderr, "%s: sufficient statistics diverged on link %u->%u\n", label,
+                   static_cast<unsigned>(bk.from), static_cast<unsigned>(bk.to));
+      return 2;
+    }
+    max_delta = std::max({max_delta, std::fabs(be.loss - ie.loss),
+                          std::fabs(be.stderr_ - ie.stderr_),
+                          std::fabs(be.samples - ie.samples)});
+  }
+  if (max_delta > 1e-12) {
+    std::fprintf(stderr, "%s: estimate divergence %.3e exceeds 1e-12\n", label, max_delta);
+    return 2;
+  }
+  std::printf("%s: %zu links agree (max |delta| %.3e)\n", label, batch_links.size(),
+              max_delta);
+  return 0;
 }
 
 int cmd_record(const Args& args) {
@@ -193,65 +309,6 @@ int cmd_record(const Args& args) {
   return 0;
 }
 
-/// Pushes `stream` through `service` once: reports fan out round-robin over
-/// the producer lanes (each lane pushed by its own thread, paced to
-/// rate/producers), with an idle barrier at every model install so the
-/// install/report order matches the recording.  Returns submitted reports.
-std::uint64_t feed_stream(SinkService& service, const ReportStream& stream, double rate,
-                          std::size_t producers,
-                          std::vector<std::uint64_t>& lane_sent,
-                          std::chrono::steady_clock::time_point start,
-                          bool include_installs = true) {
-  std::uint64_t submitted = 0;
-  std::vector<std::vector<const StreamRecord*>> segment(producers);
-  std::size_t next_lane = 0;
-
-  auto flush_segment = [&] {
-    std::vector<std::thread> threads;
-    threads.reserve(producers);
-    for (std::size_t lane = 0; lane < producers; ++lane) {
-      if (segment[lane].empty()) continue;
-      threads.emplace_back([&, lane] {
-        const double lane_rate = rate > 0.0 ? rate / static_cast<double>(producers) : 0.0;
-        for (const StreamRecord* rec : segment[lane]) {
-          if (lane_rate > 0.0) {
-            const auto due =
-                start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(
-                                static_cast<double>(lane_sent[lane]) / lane_rate));
-            std::this_thread::sleep_until(due);
-          }
-          (void)service.submit(lane, *rec);  // drop policy may shed; accounted
-          ++lane_sent[lane];
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    for (auto& lane : segment) {
-      submitted += lane.size();
-      lane.clear();
-    }
-  };
-
-  for (const StreamRecord& rec : stream.records) {
-    if (rec.kind == StreamRecord::Kind::kModelInstall) {
-      if (!include_installs) continue;  // repeat passes: versions already live
-      flush_segment();
-      service.wait_idle();  // keep install ordered after every prior report
-      (void)service.submit(0, rec);
-      // ...and processed before any later report: per-lane FIFO alone would
-      // let another lane's report (encoded with the just-published version)
-      // drain ahead of the install and fail decode.
-      service.wait_idle();
-      continue;
-    }
-    segment[next_lane].push_back(&rec);
-    next_lane = (next_lane + 1) % producers;
-  }
-  flush_segment();
-  return submitted;
-}
-
 int cmd_replay(const Args& args) {
   if (args.in_path.empty()) return usage();
   auto stream = ReportStream::load(args.in_path);
@@ -259,10 +316,18 @@ int cmd_replay(const Args& args) {
     std::fprintf(stderr, "dophy_sink: cannot load %s\n", args.in_path.c_str());
     return 2;
   }
-  if (args.producers == 0 || args.repeat == 0) return usage();
+  if (args.producers == 0 || args.consumers == 0 || args.repeat == 0) return usage();
 
   SinkService service(service_config(*stream, args));
   service.start();
+
+  std::unique_ptr<SnapshotWriter> writer;
+  if (!args.snapshot_dir.empty()) {
+    writer = std::make_unique<SnapshotWriter>(
+        service,
+        SnapshotWriterConfig{args.snapshot_dir, args.snapshot_interval_s, args.retain});
+    writer->start();
+  }
 
   auto& registry = dophy::obs::Registry::global();
   const auto base = registry.snapshot();
@@ -270,12 +335,19 @@ int cmd_replay(const Args& args) {
   std::vector<std::uint64_t> lane_sent(args.producers, 0);
   std::uint64_t submitted = 0;
   for (std::size_t pass = 0; pass < args.repeat; ++pass) {
-    submitted += feed_stream(service, *stream, args.rate, args.producers, lane_sent, start,
-                             /*include_installs=*/pass == 0);
+    StreamFeedOptions options;
+    options.rate = args.rate;
+    options.include_installs = pass == 0;
+    submitted +=
+        dophy::sink::feed_stream(service, *stream, args.producers, lane_sent, start, options);
   }
   service.wait_idle();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (writer) {
+    (void)writer->write_now();  // shutdown checkpoint: recover becomes a no-op tail
+    writer->stop();
+  }
   service.stop();
 
   const auto stats = service.stats();
@@ -296,7 +368,8 @@ int cmd_replay(const Args& args) {
               static_cast<unsigned long long>(stats.queue.dropped),
               static_cast<unsigned long long>(stats.queue.block_waits));
   std::printf("  ingest latency p50 %.1f us, p95 %.1f us, p99 %.1f us\n", p50, p95, p99);
-  std::printf("  links tracked %zu, estimator batches %llu\n", service.estimator().link_count(),
+  std::printf("  links tracked %zu, consumers %zu, estimator batches %llu\n",
+              service.link_count(), service.config().consumers,
               static_cast<unsigned long long>(stats.batches));
 
   if (!args.report_path.empty()) {
@@ -305,6 +378,7 @@ int cmd_replay(const Args& args) {
     report.title = "sink replay";
     report.config = {{"stream", args.in_path},
                      {"producers", std::to_string(args.producers)},
+                     {"consumers", std::to_string(service.config().consumers)},
                      {"queue_capacity", std::to_string(args.queue_capacity)},
                      {"policy", args.policy == OverflowPolicy::kBlock ? "block" : "drop"},
                      {"rate_target", std::to_string(args.rate)},
@@ -330,8 +404,11 @@ int cmd_replay(const Args& args) {
       return 2;
     }
   }
-  const bool lossless_shortfall = args.policy == OverflowPolicy::kBlock &&
-                                  stats.reports_processed != submitted;
+  // feed_stream counts installs it submitted; the service tallies them
+  // separately from reports.
+  const bool lossless_shortfall =
+      args.policy == OverflowPolicy::kBlock &&
+      stats.reports_processed + stats.models_installed != submitted;
   return lossless_shortfall ? 2 : 0;
 }
 
@@ -342,26 +419,14 @@ int cmd_verify(const Args& args) {
     std::fprintf(stderr, "dophy_sink: cannot load %s\n", args.in_path.c_str());
     return 2;
   }
+  if (args.producers == 0 || args.consumers == 0) return usage();
 
-  // Batch reference: same decoder stack, whole stream at once.
-  dophy::tomo::ModelStore store;
-  const dophy::tomo::SymbolMapper mapper(stream->censor_threshold);
-  store.install(
-      dophy::tomo::ModelSet::bootstrap(stream->node_count, mapper.alphabet_size()));
-  dophy::tomo::DophyDecoder decoder(store, mapper, stream->max_hops);
-  dophy::tomo::LinkLossEstimator batch(stream->censor_threshold);
-  for (const StreamRecord& rec : stream->records) {
-    if (rec.kind == StreamRecord::Kind::kModelInstall) {
-      store.install(dophy::tomo::ModelSet::deserialize(rec.model_bytes));
-      continue;
-    }
-    auto decoded = decoder.decode(rec.report.packet);
-    if (decoded && rec.report.in_measure) batch.observe_path(*decoded);
-  }
+  const auto batch = batch_reference(*stream);
 
-  // Incremental service, optionally split across a snapshot/restore.
+  // Incremental service, optionally split across a snapshot/restore.  The
+  // feed is the canonical assignment (round-robin reports, bracketed
+  // installs) done inline so the snapshot point can fall mid-stream.
   Args service_args = args;
-  service_args.producers = 1;
   service_args.policy = OverflowPolicy::kBlock;
   const std::size_t total_reports = stream->report_count();
   const std::size_t snapshot_after =
@@ -372,63 +437,154 @@ int cmd_verify(const Args& args) {
   auto service = std::make_unique<SinkService>(service_config(*stream, service_args));
   service->start();
   std::size_t reports_fed = 0;
+  std::size_t next_lane = 0;
   bool restored = false;
   for (const StreamRecord& rec : stream->records) {
-    if (snapshot_after > 0 && !restored && reports_fed == snapshot_after &&
-        rec.kind == StreamRecord::Kind::kReport) {
+    if (rec.kind == StreamRecord::Kind::kModelInstall) {
+      service->wait_idle();  // bracket: order the install across every lane
+      (void)service->submit(0, rec);
+      service->wait_idle();
+      continue;
+    }
+    if (snapshot_after > 0 && !restored && reports_fed == snapshot_after) {
       service->wait_idle();
       const std::string snap = service->snapshot_json();
       service->stop();
-      auto next = std::make_unique<SinkService>(service_config(*stream, service_args));
-      if (!next->restore_snapshot(snap)) {
+      auto fresh = std::make_unique<SinkService>(service_config(*stream, service_args));
+      if (!fresh->restore_snapshot(snap)) {
         std::fprintf(stderr, "verify: snapshot restore failed\n");
         return 2;
       }
-      next->start();
-      service = std::move(next);
+      fresh->start();
+      service = std::move(fresh);
       restored = true;
     }
-    (void)service->submit(0, rec);
-    if (rec.kind == StreamRecord::Kind::kReport) ++reports_fed;
+    (void)service->submit(next_lane, rec);
+    next_lane = (next_lane + 1) % args.producers;
+    ++reports_fed;
   }
   service->wait_idle();
   service->stop();
 
-  // Compare: identical link sets, exact sufficient statistics, estimates
-  // within 1e-12.
-  const auto batch_links = batch.all_estimates();
-  const auto inc_links = service->all_estimates();
-  if (batch_links.size() != inc_links.size()) {
-    std::fprintf(stderr, "verify: link count diverged (batch %zu, incremental %zu)\n",
-                 batch_links.size(), inc_links.size());
+  const int rc = compare_with_batch(batch, *service, "verify");
+  if (rc == 0 && restored) {
+    std::printf("verify: agreement held through a mid-stream snapshot/restore\n");
+  }
+  return rc;
+}
+
+int cmd_recover(const Args& args) {
+  if (args.in_path.empty() || args.snapshot_dir.empty()) return usage();
+  auto stream = ReportStream::load(args.in_path);
+  if (!stream) {
+    std::fprintf(stderr, "dophy_sink: cannot load %s\n", args.in_path.c_str());
     return 2;
   }
-  double max_delta = 0.0;
-  for (std::size_t i = 0; i < batch_links.size(); ++i) {
-    const auto& [bk, be] = batch_links[i];
-    const auto& [ik, ie] = inc_links[i];
-    if (bk != ik) {
-      std::fprintf(stderr, "verify: link set diverged at index %zu\n", i);
-      return 2;
-    }
-    const auto bs = batch.stats(bk);
-    const auto is = service->estimator().stats(ik);
-    if (bs == nullptr || !is || !(*bs == *is)) {
-      std::fprintf(stderr, "verify: sufficient statistics diverged on link %u->%u\n",
-                   static_cast<unsigned>(bk.from), static_cast<unsigned>(bk.to));
-      return 2;
-    }
-    max_delta = std::max({max_delta, std::fabs(be.loss - ie.loss),
-                          std::fabs(be.stderr_ - ie.stderr_),
-                          std::fabs(be.samples - ie.samples)});
-  }
-  if (max_delta > 1e-12) {
-    std::fprintf(stderr, "verify: estimate divergence %.3e exceeds 1e-12\n", max_delta);
+  const auto snapshot = dophy::sink::load_latest_snapshot(args.snapshot_dir);
+  if (!snapshot) {
+    std::fprintf(stderr, "dophy_sink: no usable snapshot in %s\n", args.snapshot_dir.c_str());
     return 2;
   }
-  std::printf("verify: %zu links agree (max |delta| %.3e%s)\n", batch_links.size(), max_delta,
-              restored ? ", through mid-stream snapshot/restore" : "");
-  return 0;
+
+  // The lane layout is dictated by the snapshot (the cursor only identifies
+  // per-lane prefixes under the same assignment); recovery is lossless by
+  // construction, so the policy is pinned to kBlock.
+  Args service_args = args;
+  service_args.producers = snapshot->producers;
+  service_args.policy = OverflowPolicy::kBlock;
+  SinkService service(service_config(*stream, service_args));
+  if (!service.restore_snapshot(snapshot->json)) {
+    std::fprintf(stderr, "dophy_sink: snapshot %s does not match stream %s\n",
+                 snapshot->path.c_str(), args.in_path.c_str());
+    return 2;
+  }
+  std::uint64_t already = 0;
+  for (const auto count : snapshot->lane_processed) already += count;
+
+  service.start();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> lane_sent(snapshot->producers, 0);
+  StreamFeedOptions options;
+  options.lane_skip = &snapshot->lane_processed;
+  const std::uint64_t tail = dophy::sink::feed_stream(service, *stream, snapshot->producers,
+                                                      lane_sent, start, options);
+  service.wait_idle();
+  service.stop();
+
+  std::printf("recovered from %s: %llu records in snapshot, %llu replayed from tail, "
+              "%zu links tracked\n",
+              snapshot->path.c_str(), static_cast<unsigned long long>(already),
+              static_cast<unsigned long long>(tail), service.link_count());
+  if (!args.verify) return 0;
+  return compare_with_batch(batch_reference(*stream), service, "recover");
+}
+
+int cmd_live(const Args& args) {
+  if (args.producers == 0 || args.consumers == 0) return usage();
+  dophy::tomo::PipelineConfig config = dophy::eval::default_pipeline(args.nodes, args.seed);
+  if (args.warmup_s >= 0.0) config.warmup_s = args.warmup_s;
+  if (args.measure_s >= 0.0) config.measure_s = args.measure_s;
+  if (args.k >= 2) config.dophy.censor_threshold = args.k;
+  config.run_baselines = false;
+
+  SinkServiceConfig cfg;
+  cfg.node_count = config.net.topology.node_count;
+  cfg.censor_threshold = config.dophy.censor_threshold;
+  cfg.max_hops = static_cast<std::uint16_t>(config.net.traffic.max_hops + 2);
+  cfg.producers = args.producers;
+  cfg.consumers = args.consumers;
+  cfg.queue_capacity = args.queue_capacity;
+  cfg.overflow_policy = args.policy;
+  cfg.decode_batch = args.batch;
+  SinkService service(cfg);
+  service.start();
+  dophy::sink::LiveSinkFeed feed(service);
+  config.live_sink = &feed;
+
+  RecordingTap tap;  // --verify: record simultaneously as the reference
+  if (args.verify) {
+    tap.stream.node_count = cfg.node_count;
+    tap.stream.censor_threshold = cfg.censor_threshold;
+    tap.stream.max_hops = cfg.max_hops;
+    config.report_tap = &tap;
+  }
+
+  std::unique_ptr<SnapshotWriter> writer;
+  if (!args.snapshot_dir.empty()) {
+    writer = std::make_unique<SnapshotWriter>(
+        service,
+        SnapshotWriterConfig{args.snapshot_dir, args.snapshot_interval_s, args.retain});
+    writer->start();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  (void)dophy::tomo::run_pipeline(config);
+  service.wait_idle();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (writer) {
+    (void)writer->write_now();
+    writer->stop();
+  }
+  service.stop();
+
+  const auto stats = service.stats();
+  const auto& feed_stats = feed.stats();
+  std::printf("live run: %llu reports fed (%llu shed), %llu installs, %.3f s wall\n",
+              static_cast<unsigned long long>(feed_stats.reports_submitted),
+              static_cast<unsigned long long>(feed_stats.reports_shed),
+              static_cast<unsigned long long>(feed_stats.installs), elapsed);
+  std::printf("  decoded %llu, decode failures %llu, links tracked %zu, consumers %zu\n",
+              static_cast<unsigned long long>(stats.reports_decoded),
+              static_cast<unsigned long long>(stats.decode_failures), service.link_count(),
+              service.config().consumers);
+  if (writer) {
+    const auto wstats = writer->stats();
+    std::printf("  snapshots written %llu (last %s)\n",
+                static_cast<unsigned long long>(wstats.written), wstats.last_path.c_str());
+  }
+  if (!args.verify) return 0;
+  return compare_with_batch(batch_reference(tap.stream), service, "live");
 }
 
 }  // namespace
@@ -441,5 +597,7 @@ int main(int argc, char** argv) {
   if (cmd == "record") return cmd_record(*args);
   if (cmd == "replay") return cmd_replay(*args);
   if (cmd == "verify") return cmd_verify(*args);
+  if (cmd == "recover") return cmd_recover(*args);
+  if (cmd == "live") return cmd_live(*args);
   return usage();
 }
